@@ -1,0 +1,154 @@
+//! Exact brute-force ("Flat") index.
+//!
+//! Computes the metric between the query and every indexed point. Slow but
+//! exact; used as the accuracy reference, for small-scale sanity checks, and
+//! as the building block of the lossless mode discussed in the paper's
+//! Section 6.5.
+
+use crate::sim::SimulationConfig;
+use juno_common::error::{Error, Result};
+use juno_common::index::{AnnIndex, SearchResult, SearchStats};
+use juno_common::metric::Metric;
+use juno_common::topk::TopK;
+use juno_common::vector::VectorSet;
+
+/// An exact nearest-neighbour index.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    points: VectorSet,
+    metric: Metric,
+    sim: SimulationConfig,
+}
+
+impl FlatIndex {
+    /// Builds a flat index over the given points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyInput`] when `points` is empty.
+    pub fn new(points: VectorSet, metric: Metric) -> Result<Self> {
+        if points.is_empty() {
+            return Err(Error::empty_input("flat index requires at least one point"));
+        }
+        Ok(Self {
+            points,
+            metric,
+            sim: SimulationConfig::default(),
+        })
+    }
+
+    /// Replaces the GPU simulation configuration (builder style).
+    pub fn with_simulation(mut self, sim: SimulationConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Borrow of the indexed points.
+    pub fn points(&self) -> &VectorSet {
+        &self.points
+    }
+}
+
+impl AnnIndex for FlatIndex {
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult> {
+        if query.len() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: query.len(),
+            });
+        }
+        if k == 0 {
+            return Err(Error::invalid_config("k must be positive"));
+        }
+        let mut topk = TopK::new(k, self.metric);
+        for (i, row) in self.points.iter().enumerate() {
+            topk.push(i as u64, self.metric.distance(query, row));
+        }
+        let mut stats = SearchStats {
+            candidates: self.points.len(),
+            accumulations: self.points.len() * self.dim(),
+            ..SearchStats::default()
+        };
+        let simulated_us = self
+            .sim
+            .flat_scan_us(&mut stats, self.points.len(), self.dim());
+        Ok(SearchResult {
+            neighbors: topk.into_sorted_vec(),
+            simulated_us,
+            stats,
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("Flat({})", self.metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_common::recall::{r1_at_100, GroundTruth};
+    use juno_data::profiles::DatasetProfile;
+
+    #[test]
+    fn exact_search_matches_ground_truth() {
+        let ds = DatasetProfile::DeepLike.generate(800, 10, 5).unwrap();
+        let index = FlatIndex::new(ds.points.clone(), ds.metric()).unwrap();
+        let gt = ds.ground_truth(10).unwrap();
+        let mut retrieved = Vec::new();
+        for q in ds.queries.iter() {
+            retrieved.push(index.search(q, 10).unwrap().ids());
+        }
+        // Exact search: retrieved ids equal ground truth ids exactly.
+        for (got, want) in retrieved.iter().zip(gt.truth.iter()) {
+            assert_eq!(got, want);
+        }
+        assert!((r1_at_100(&retrieved, &gt).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_flat_search() {
+        let points =
+            VectorSet::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![3.0, 3.0]]).unwrap();
+        let index = FlatIndex::new(points, Metric::InnerProduct).unwrap();
+        let res = index.search(&[1.0, 1.0], 1).unwrap();
+        assert_eq!(res.neighbors[0].id, 2);
+        assert_eq!(index.name(), "Flat(IP)");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let points = VectorSet::from_rows(vec![vec![0.0, 0.0]]).unwrap();
+        let index = FlatIndex::new(points, Metric::L2).unwrap();
+        assert!(index.search(&[1.0], 1).is_err());
+        assert!(index.search(&[1.0, 1.0], 0).is_err());
+        assert!(FlatIndex::new(VectorSet::new(3).unwrap(), Metric::L2).is_err());
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.dim(), 2);
+        assert_eq!(index.points().len(), 1);
+    }
+
+    #[test]
+    fn reports_simulated_time_and_stats() {
+        let ds = DatasetProfile::SiftLike.generate(500, 2, 11).unwrap();
+        let index = FlatIndex::new(ds.points.clone(), ds.metric()).unwrap();
+        let res = index.search(ds.queries.row(0), 5).unwrap();
+        assert!(res.simulated_us > 0.0);
+        assert_eq!(res.stats.candidates, 500);
+        // Ground truth helper is compatible with the result format.
+        let gt = GroundTruth::brute_force(&ds.points, &ds.queries, ds.metric(), 5).unwrap();
+        assert_eq!(gt.truth[0], res.ids());
+    }
+}

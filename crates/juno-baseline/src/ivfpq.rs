@@ -1,0 +1,377 @@
+//! The FAISS-style IVFPQ baseline with dense L2-LUT construction.
+//!
+//! This is the pipeline the paper profiles in Section 3 and competes against
+//! in Section 6: filtering (stage A), dense per-cluster LUT construction
+//! (stages B–C) and distance calculation over all candidate points (stage D).
+//! Both L2 and inner-product metrics are supported; for MIPS the LUT holds
+//! per-subspace inner products and the per-cluster centroid term is added
+//! once per candidate, following the additive decomposition
+//! `IP(q, c + r) = IP(q, c) + Σ_s IP(q_s, r_s)`.
+
+use crate::sim::SimulationConfig;
+use juno_common::error::{Error, Result};
+use juno_common::index::{AnnIndex, SearchResult, SearchStats};
+use juno_common::metric::{inner_product, Metric};
+use juno_common::topk::TopK;
+use juno_common::vector::VectorSet;
+use juno_quant::ivf::{IvfIndex, IvfTrainConfig};
+use juno_quant::pq::{EncodedPoints, PqTrainConfig, ProductQuantizer};
+
+/// Build/search configuration of an [`IvfPqIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvfPqConfig {
+    /// Number of coarse clusters (`C`).
+    pub n_clusters: usize,
+    /// Number of clusters scanned per query (`nprobs`).
+    pub nprobs: usize,
+    /// Number of PQ subspaces (`D/M`), e.g. 48 for DEEP.
+    pub pq_subspaces: usize,
+    /// Codebook entries per subspace (`E`), typically 256.
+    pub pq_entries: usize,
+    /// Metric.
+    pub metric: Metric,
+    /// Training seed.
+    pub seed: u64,
+}
+
+impl Default for IvfPqConfig {
+    fn default() -> Self {
+        Self {
+            n_clusters: 64,
+            nprobs: 8,
+            pq_subspaces: 16,
+            pq_entries: 256,
+            metric: Metric::L2,
+            seed: 0xFA15,
+        }
+    }
+}
+
+/// The FAISS-style `IVFx,PQy` index.
+#[derive(Debug, Clone)]
+pub struct IvfPqIndex {
+    ivf: IvfIndex,
+    pq: ProductQuantizer,
+    codes: EncodedPoints,
+    /// Inner product of each point's assigned centroid with itself is not
+    /// needed; for MIPS we store nothing extra because the centroid term is
+    /// computed per query per cluster.
+    metric: Metric,
+    nprobs: usize,
+    num_points: usize,
+    sim: SimulationConfig,
+}
+
+impl IvfPqIndex {
+    /// Trains the coarse quantiser + PQ codebooks and encodes every point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training/configuration errors from the IVF and PQ stages.
+    pub fn build(points: &VectorSet, config: &IvfPqConfig) -> Result<Self> {
+        if config.nprobs == 0 {
+            return Err(Error::invalid_config("nprobs must be positive"));
+        }
+        let ivf = IvfIndex::train(
+            points,
+            &IvfTrainConfig {
+                n_clusters: config.n_clusters,
+                metric: config.metric,
+                seed: config.seed,
+                ..IvfTrainConfig::default()
+            },
+        )?;
+        let residuals = ivf.point_residuals(points)?;
+        let pq = ProductQuantizer::train(
+            &residuals,
+            &PqTrainConfig {
+                num_subspaces: config.pq_subspaces,
+                entries_per_subspace: config.pq_entries,
+                seed: config.seed ^ 0xBEEF,
+                ..PqTrainConfig::default()
+            },
+        )?;
+        let codes = pq.encode(&residuals)?;
+        Ok(Self {
+            ivf,
+            pq,
+            codes,
+            metric: config.metric,
+            nprobs: config.nprobs,
+            num_points: points.len(),
+            sim: SimulationConfig::default(),
+        })
+    }
+
+    /// Replaces the GPU simulation configuration (builder style).
+    pub fn with_simulation(mut self, sim: SimulationConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Changes the number of probed clusters (search-time knob).
+    pub fn set_nprobs(&mut self, nprobs: usize) {
+        self.nprobs = nprobs.max(1);
+    }
+
+    /// The number of probed clusters.
+    pub fn nprobs(&self) -> usize {
+        self.nprobs
+    }
+
+    /// Borrow of the coarse quantiser.
+    pub fn ivf(&self) -> &IvfIndex {
+        &self.ivf
+    }
+
+    /// Borrow of the trained product quantiser.
+    pub fn pq(&self) -> &ProductQuantizer {
+        &self.pq
+    }
+
+    /// Borrow of the encoded points.
+    pub fn codes(&self) -> &EncodedPoints {
+        &self.codes
+    }
+
+    /// Builds the per-cluster LUT of a query for one selected cluster.
+    ///
+    /// For L2 the LUT rows are squared distances between the query *residual*
+    /// projection and the codebook entries; for MIPS they are inner products
+    /// between the query projection and the entries.
+    fn cluster_lut(&self, query: &[f32], cluster: usize) -> Result<Vec<Vec<f32>>> {
+        match self.metric {
+            Metric::L2 => {
+                let residual = self.ivf.query_residual(query, cluster)?;
+                self.pq.dense_lut(&residual)
+            }
+            Metric::InnerProduct => {
+                let sub_dim = self.pq.sub_dim();
+                let mut lut = Vec::with_capacity(self.pq.num_subspaces());
+                for (s, cb) in self.pq.codebooks().iter().enumerate() {
+                    let proj = &query[s * sub_dim..(s + 1) * sub_dim];
+                    lut.push(
+                        cb.entries()
+                            .iter()
+                            .map(|e| inner_product(proj, e))
+                            .collect(),
+                    );
+                }
+                Ok(lut)
+            }
+        }
+    }
+}
+
+impl AnnIndex for IvfPqIndex {
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn dim(&self) -> usize {
+        self.ivf.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.num_points
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult> {
+        if k == 0 {
+            return Err(Error::invalid_config("k must be positive"));
+        }
+        if query.len() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: query.len(),
+            });
+        }
+        let filter = self.ivf.filter(query, self.nprobs)?;
+        let subspaces = self.pq.num_subspaces();
+        let entries = self.pq.entries_per_subspace();
+
+        let mut topk = TopK::new(k, self.metric);
+        let mut candidates = 0usize;
+        for &c in &filter.clusters {
+            let lut = self.cluster_lut(query, c)?;
+            // For MIPS the centroid contribution is constant per cluster.
+            let centroid_term = match self.metric {
+                Metric::L2 => 0.0,
+                Metric::InnerProduct => inner_product(query, self.ivf.centroid(c)?),
+            };
+            for &pid in self.ivf.list(c)? {
+                let code = self.codes.code(pid as usize);
+                let partial = ProductQuantizer::adc_distance(&lut, code);
+                let raw = centroid_term + partial;
+                topk.push(pid as u64, raw);
+                candidates += 1;
+            }
+        }
+
+        let lut_distances = filter.clusters.len() * entries * subspaces;
+        let mut stats = SearchStats {
+            filter_distances: filter.distance_computations,
+            lut_distances,
+            candidates,
+            accumulations: candidates * subspaces,
+            ..SearchStats::default()
+        };
+        let simulated_us = self.sim.fill_ivfpq_times(
+            &mut stats,
+            self.ivf.n_clusters(),
+            self.dim(),
+            lut_distances,
+            self.pq.sub_dim(),
+            candidates,
+            subspaces,
+        );
+        Ok(SearchResult {
+            neighbors: topk.into_sorted_vec(),
+            simulated_us,
+            stats,
+        })
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "IVF{},PQ{}(nprobs={})",
+            self.ivf.n_clusters(),
+            self.pq.num_subspaces(),
+            self.nprobs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_common::recall::{r1_at_100, recall_at};
+    use juno_data::profiles::DatasetProfile;
+
+    fn build(
+        profile: DatasetProfile,
+        n: usize,
+        q: usize,
+        cfg: IvfPqConfig,
+    ) -> (juno_data::profiles::Dataset, IvfPqIndex) {
+        let ds = profile.generate(n, q, 17).unwrap();
+        let index = IvfPqIndex::build(&ds.points, &cfg).unwrap();
+        (ds, index)
+    }
+
+    fn deep_cfg() -> IvfPqConfig {
+        IvfPqConfig {
+            n_clusters: 32,
+            nprobs: 8,
+            pq_subspaces: 48,
+            pq_entries: 64,
+            metric: Metric::L2,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn recall_is_reasonable_on_clustered_data() {
+        let (ds, index) = build(DatasetProfile::DeepLike, 4_000, 20, deep_cfg());
+        let gt = ds.ground_truth(1).unwrap();
+        let retrieved: Vec<Vec<u64>> = ds
+            .queries
+            .iter()
+            .map(|q| index.search(q, 100).unwrap().ids())
+            .collect();
+        let r = r1_at_100(&retrieved, &gt).unwrap();
+        assert!(r > 0.8, "R1@100 {r} too low for an IVFPQ baseline");
+    }
+
+    #[test]
+    fn recall_improves_with_nprobs() {
+        let (ds, mut index) = build(DatasetProfile::DeepLike, 3_000, 20, deep_cfg());
+        let gt = ds.ground_truth(10).unwrap();
+        let recall_with = |index: &IvfPqIndex| {
+            let retrieved: Vec<Vec<u64>> = ds
+                .queries
+                .iter()
+                .map(|q| index.search(q, 10).unwrap().ids())
+                .collect();
+            recall_at(&retrieved, &gt, 10, 10).unwrap()
+        };
+        index.set_nprobs(1);
+        let low = recall_with(&index);
+        index.set_nprobs(16);
+        let high = recall_with(&index);
+        assert!(
+            high >= low,
+            "recall should not drop with more probes ({low} -> {high})"
+        );
+    }
+
+    #[test]
+    fn simulated_time_grows_with_nprobs() {
+        let (ds, mut index) = build(DatasetProfile::DeepLike, 3_000, 5, deep_cfg());
+        index.set_nprobs(2);
+        let t2 = index.search(ds.queries.row(0), 10).unwrap().simulated_us;
+        index.set_nprobs(16);
+        let t16 = index.search(ds.queries.row(0), 10).unwrap().simulated_us;
+        assert!(t16 > t2, "more probes must cost more simulated time");
+    }
+
+    #[test]
+    fn stats_reflect_dense_lut_work() {
+        let (ds, index) = build(DatasetProfile::DeepLike, 2_000, 5, deep_cfg());
+        let res = index.search(ds.queries.row(0), 10).unwrap();
+        assert_eq!(res.stats.filter_distances, 32);
+        // Dense LUT: nprobs × E × subspaces pairwise distances.
+        assert_eq!(res.stats.lut_distances, 8 * 64 * 48);
+        assert!(res.stats.candidates > 0);
+        assert_eq!(res.stats.accumulations, res.stats.candidates * 48);
+        assert!(res.stats.lut_us > res.stats.filter_us);
+    }
+
+    #[test]
+    fn inner_product_metric_ranks_by_dot_product() {
+        let cfg = IvfPqConfig {
+            n_clusters: 16,
+            nprobs: 8,
+            pq_subspaces: 40,
+            pq_entries: 32,
+            metric: Metric::InnerProduct,
+            seed: 5,
+        };
+        let (ds, index) = build(DatasetProfile::TtiLike, 2_000, 10, cfg);
+        let gt = ds.ground_truth(10).unwrap();
+        let retrieved: Vec<Vec<u64>> = ds
+            .queries
+            .iter()
+            .map(|q| index.search(q, 100).unwrap().ids())
+            .collect();
+        let r = recall_at(&retrieved, &gt, 10, 100).unwrap();
+        assert!(r > 0.5, "MIPS recall {r} too low");
+        // Raw distances are inner products: best neighbour should have the
+        // largest value.
+        let res = index.search(ds.queries.row(0), 5).unwrap();
+        for w in res.neighbors.windows(2) {
+            assert!(w[0].distance >= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let (ds, index) = build(DatasetProfile::DeepLike, 1_000, 2, deep_cfg());
+        assert_eq!(index.len(), 1_000);
+        assert_eq!(index.dim(), 96);
+        assert_eq!(index.nprobs(), 8);
+        assert_eq!(index.pq().num_subspaces(), 48);
+        assert_eq!(index.codes().len(), 1_000);
+        assert!(index.name().starts_with("IVF32,PQ48"));
+        assert!(index.search(ds.queries.row(0), 0).is_err());
+        assert!(index.search(&[0.0; 4], 1).is_err());
+        assert!(IvfPqIndex::build(
+            &ds.points,
+            &IvfPqConfig {
+                nprobs: 0,
+                ..deep_cfg()
+            }
+        )
+        .is_err());
+    }
+}

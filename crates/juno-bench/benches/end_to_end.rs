@@ -1,0 +1,69 @@
+//! Criterion benchmark: end-to-end single-query search of the IVFPQ baseline
+//! versus JUNO-H and JUNO-L (CPU wall-clock of the reproduction, complementary
+//! to the simulated-GPU QPS the figure binaries report).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use juno_baseline::ivfpq::{IvfPqConfig, IvfPqIndex};
+use juno_bench::setup::{build_fixture, clusters_for, BenchScale};
+use juno_common::index::AnnIndex;
+use juno_core::config::QualityMode;
+use juno_data::profiles::DatasetProfile;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let scale = BenchScale {
+        points: 10_000,
+        queries: 4,
+    };
+    let profile = DatasetProfile::DeepLike;
+    let mut fixture = build_fixture(profile, scale, 10, 17).expect("fixture");
+    let baseline = IvfPqIndex::build(
+        &fixture.dataset.points,
+        &IvfPqConfig {
+            n_clusters: clusters_for(scale.points),
+            nprobs: 8,
+            pq_subspaces: profile.paper_pq_subspaces(),
+            pq_entries: 64,
+            metric: profile.metric(),
+            seed: 5,
+        },
+    )
+    .expect("baseline");
+    let query = fixture.dataset.queries.row(0).to_vec();
+
+    let mut group = c.benchmark_group("end_to_end_search");
+    group.bench_function("ivfpq_baseline", |bench| {
+        bench.iter(|| {
+            baseline
+                .search(black_box(&query), 100)
+                .unwrap()
+                .neighbors
+                .len()
+        })
+    });
+    fixture.juno.set_quality(QualityMode::High);
+    group.bench_function("juno_high", |bench| {
+        bench.iter(|| {
+            fixture
+                .juno
+                .search(black_box(&query), 100)
+                .unwrap()
+                .neighbors
+                .len()
+        })
+    });
+    fixture.juno.set_quality(QualityMode::Low);
+    group.bench_function("juno_low", |bench| {
+        bench.iter(|| {
+            fixture
+                .juno
+                .search(black_box(&query), 100)
+                .unwrap()
+                .neighbors
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

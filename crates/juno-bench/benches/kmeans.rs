@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the k-means substrate (offline training cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use juno_data::synthetic::{generate_clustered, ClusteredSpec};
+use juno_quant::kmeans::{KMeans, KMeansConfig};
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_train");
+    group.sample_size(10);
+    for &(n, k) in &[(2_000usize, 16usize), (5_000, 64)] {
+        let data = generate_clustered(&ClusteredSpec {
+            num_points: n,
+            num_queries: 1,
+            dim: 32,
+            num_clusters: k,
+            ..ClusteredSpec::default()
+        })
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("train", format!("{n}pts_{k}clusters")),
+            &(n, k),
+            |bench, &(_, k)| {
+                bench.iter(|| {
+                    KMeans::train(
+                        &data.points,
+                        &KMeansConfig {
+                            n_clusters: k,
+                            max_iters: 10,
+                            ..KMeansConfig::new(k, 7)
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark: dense (FAISS-style) vs. selective (JUNO) L2-LUT
+//! construction — the CPU-side cost of the paper's central optimisation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use juno_bench::setup::{build_fixture, juno_config_for, BenchScale};
+use juno_data::profiles::DatasetProfile;
+use juno_quant::ivf::{IvfIndex, IvfTrainConfig};
+use juno_quant::pq::{PqTrainConfig, ProductQuantizer};
+
+fn bench_lut(c: &mut Criterion) {
+    let scale = BenchScale {
+        points: 10_000,
+        queries: 8,
+    };
+    let profile = DatasetProfile::DeepLike;
+    let fixture = build_fixture(profile, scale, 10, 7).expect("fixture");
+    let ds = &fixture.dataset;
+    let config = juno_config_for(profile, scale.points);
+
+    // A stand-alone IVF + PQ pair for the dense construction.
+    let ivf = IvfIndex::train(
+        &ds.points,
+        &IvfTrainConfig::new(config.n_clusters, config.metric),
+    )
+    .unwrap();
+    let residuals = ivf.point_residuals(&ds.points).unwrap();
+    let pq = ProductQuantizer::train(
+        &residuals,
+        &PqTrainConfig::new(config.pq_subspaces, config.pq_entries),
+    )
+    .unwrap();
+
+    let query = ds.queries.row(0).to_vec();
+
+    let mut group = c.benchmark_group("lut_construction");
+    group.bench_function("dense_faiss_style", |bench| {
+        bench.iter(|| {
+            let filter = ivf.filter(black_box(&query), 8).unwrap();
+            let mut total = 0usize;
+            for &cluster in &filter.clusters {
+                let residual = ivf.query_residual(&query, cluster).unwrap();
+                let lut = pq.dense_lut(&residual).unwrap();
+                total += lut.iter().map(Vec::len).sum::<usize>();
+            }
+            total
+        })
+    });
+    group.bench_function("selective_juno_rt", |bench| {
+        bench.iter(|| {
+            let (_, lut, _, _) = fixture.juno.build_selective_lut(black_box(&query)).unwrap();
+            lut.total_selected()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lut);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Figure 3(a) — execution-time breakdown of the FAISS-style IVFPQ baseline
+//! as a function of `nprobs`.
+//!
+//! The paper's observation: L2-LUT construction and distance calculation
+//! consume 90–99.9 % of the query time and scale linearly with `nprobs`,
+//! while filtering is flat. The same shape must emerge from the simulated
+//! stage times of the baseline.
+
+use juno_baseline::ivfpq::{IvfPqConfig, IvfPqIndex};
+use juno_bench::report::{fmt_f64, Table};
+use juno_bench::setup::{clusters_for, BenchScale};
+use juno_common::index::AnnIndex;
+use juno_data::profiles::DatasetProfile;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let profile = DatasetProfile::DeepLike;
+    let ds = profile
+        .generate(scale.points, scale.queries, 7)
+        .expect("dataset generation");
+    let clusters = clusters_for(scale.points);
+
+    let mut index = IvfPqIndex::build(
+        &ds.points,
+        &IvfPqConfig {
+            n_clusters: clusters,
+            nprobs: 4,
+            pq_subspaces: profile.paper_pq_subspaces(),
+            pq_entries: 64,
+            metric: profile.metric(),
+            seed: 11,
+        },
+    )
+    .expect("baseline build");
+
+    let mut table = Table::new(&[
+        "nprobs",
+        "filter_us",
+        "lut_us",
+        "dist_us",
+        "total_us",
+        "lut+dist share",
+    ]);
+    let mut nprobs = 4usize;
+    while nprobs <= clusters.min(512) {
+        index.set_nprobs(nprobs);
+        let mut filter = 0.0;
+        let mut lut = 0.0;
+        let mut dist = 0.0;
+        for q in ds.queries.iter() {
+            let res = index.search(q, 100).expect("search");
+            filter += res.stats.filter_us;
+            lut += res.stats.lut_us;
+            dist += res.stats.accumulate_us;
+        }
+        let n = ds.queries.len() as f64;
+        let (filter, lut, dist) = (filter / n, lut / n, dist / n);
+        let total = filter + lut + dist;
+        table.push_row(vec![
+            nprobs.to_string(),
+            fmt_f64(filter),
+            fmt_f64(lut),
+            fmt_f64(dist),
+            fmt_f64(total),
+            format!("{:.1}%", 100.0 * (lut + dist) / total),
+        ]);
+        nprobs *= 2;
+    }
+    table.print(&format!(
+        "Fig. 3(a) — IVF{clusters},PQ{} stage breakdown on {} ({} points)",
+        profile.paper_pq_subspaces(),
+        profile.name(),
+        scale.points
+    ));
+}

@@ -1,0 +1,81 @@
+//! Figures 3(b) and 4 — codebook-entry sparsity and spatial locality on the
+//! DEEP-like dataset.
+//!
+//! * Fig. 3(b): for one query, how many of its true top-100 points use each
+//!   codebook entry, with entries ordered from closest to farthest.
+//! * Fig. 4(a): mean/max fraction of entries used per subspace.
+//! * Fig. 4(b): CDF of top-100 coverage from closest to farthest entries.
+
+use juno_bench::report::{fmt_f64, Table};
+use juno_bench::setup::{build_fixture, BenchScale};
+use juno_core::analysis::{coverage_cdf, usage_ratios};
+use juno_data::profiles::DatasetProfile;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let fixture = build_fixture(DatasetProfile::DeepLike, scale, 100, 21).expect("fixture");
+    let ds = &fixture.dataset;
+    let gt = &fixture.ground_truth;
+    let index = &fixture.juno;
+
+    // Fig. 3(b): single-query usage by entry rank (bucketed into deciles).
+    let entries = index.pq().entries_per_subspace();
+    let q0 = ds.queries.row(0);
+    let filter = index.ivf().filter(q0, 1).expect("filter");
+    let residual = index
+        .ivf()
+        .query_residual(q0, filter.clusters[0])
+        .expect("residual");
+    let mut decile_usage = vec![0usize; 10];
+    let subspaces = index.pq().num_subspaces();
+    for s in 0..subspaces {
+        let proj = &residual[2 * s..2 * s + 2];
+        let order = index
+            .pq()
+            .codebook(s)
+            .unwrap()
+            .entries_by_distance(proj)
+            .unwrap();
+        let mut rank_of = vec![0usize; entries];
+        for (rank, &(e, _)) in order.iter().enumerate() {
+            rank_of[e as usize] = rank;
+        }
+        for &pid in &gt.truth[0] {
+            let e = index.codes().code(pid as usize)[s] as usize;
+            let decile = (rank_of[e] * 10 / entries).min(9);
+            decile_usage[decile] += 1;
+        }
+    }
+    let mut t3b = Table::new(&["entry rank decile (closest→farthest)", "top-100 usages"]);
+    for (d, &u) in decile_usage.iter().enumerate() {
+        t3b.push_row(vec![format!("{}0-{}0%", d, d + 1), u.to_string()]);
+    }
+    t3b.print("Fig. 3(b) — single-query entry usage vs. entry rank");
+
+    // Fig. 4(a).
+    let usage = usage_ratios(index, &ds.queries, gt).expect("usage");
+    let mut t4a = Table::new(&["subspace", "mean usage", "max usage"]);
+    for (s, (m, x)) in usage.mean.iter().zip(usage.max.iter()).enumerate() {
+        if s % 4 == 0 {
+            t4a.push_row(vec![s.to_string(), fmt_f64(*m), fmt_f64(*x)]);
+        }
+    }
+    t4a.print("Fig. 4(a) — codebook entry usage ratio per subspace (every 4th subspace)");
+    println!(
+        "overall mean usage ratio: {}",
+        fmt_f64(usage.overall_mean())
+    );
+
+    // Fig. 4(b).
+    let cov = coverage_cdf(index, &ds.queries, gt).expect("coverage");
+    let mut t4b = Table::new(&["closest entries considered", "top-100 covered"]);
+    for frac in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        let idx = ((entries as f64 * frac) as usize).clamp(1, entries) - 1;
+        t4b.push_row(vec![format!("{:.0}%", frac * 100.0), fmt_f64(cov.cdf[idx])]);
+    }
+    t4b.print("Fig. 4(b) — coverage CDF from closest to farthest entries");
+    println!(
+        "entries needed for 90% coverage: {:.0}% of the codebook",
+        cov.entries_for_90pct * 100.0
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 5 — entry usage ratios and coverage CDFs on the SIFT-like and
+//! TTI-like datasets (the cross-dataset version of Fig. 4).
+
+use juno_bench::report::{fmt_f64, Table};
+use juno_bench::setup::{build_fixture, BenchScale};
+use juno_core::analysis::{coverage_cdf, usage_ratios};
+use juno_data::profiles::DatasetProfile;
+
+fn main() {
+    let scale = BenchScale::from_env().reduced(2);
+    for profile in [DatasetProfile::SiftLike, DatasetProfile::TtiLike] {
+        let fixture = build_fixture(profile, scale, 100, 31).expect("fixture");
+        let usage = usage_ratios(
+            &fixture.juno,
+            &fixture.dataset.queries,
+            &fixture.ground_truth,
+        )
+        .expect("usage");
+        let cov = coverage_cdf(
+            &fixture.juno,
+            &fixture.dataset.queries,
+            &fixture.ground_truth,
+        )
+        .expect("coverage");
+        let entries = fixture.juno.pq().entries_per_subspace();
+        let mut table = Table::new(&["quantity", "value"]);
+        table.push_row(vec![
+            "mean entry usage ratio".into(),
+            fmt_f64(usage.overall_mean()),
+        ]);
+        table.push_row(vec![
+            "max entry usage ratio (any subspace)".into(),
+            fmt_f64(usage.max.iter().cloned().fold(0.0, f64::max)),
+        ]);
+        table.push_row(vec![
+            "coverage with closest 50% of entries".into(),
+            fmt_f64(cov.cdf[entries / 2 - 1]),
+        ]);
+        table.push_row(vec![
+            "entries needed for 90% coverage".into(),
+            format!("{:.0}%", cov.entries_for_90pct * 100.0),
+        ]);
+        table.print(&format!(
+            "Fig. 5 — sparsity and locality on {} ({} points, PQ{})",
+            profile.name(),
+            scale.points,
+            fixture.juno.pq().num_subspaces()
+        ));
+    }
+}

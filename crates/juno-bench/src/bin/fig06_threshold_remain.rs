@@ -1,0 +1,24 @@
+//! Figure 6 — fraction of search-point projections that remain (require LUT
+//! lookups and accumulation) as a function of the distance threshold.
+
+use juno_bench::report::{fmt_f64, Table};
+use juno_bench::setup::{build_fixture, BenchScale};
+use juno_core::analysis::remaining_vs_threshold;
+use juno_data::profiles::DatasetProfile;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let fixture = build_fixture(DatasetProfile::DeepLike, scale, 100, 41).expect("fixture");
+    let curve = remaining_vs_threshold(
+        &fixture.juno,
+        &fixture.dataset.points,
+        &fixture.dataset.queries,
+        10,
+    )
+    .expect("remaining curve");
+    let mut table = Table::new(&["threshold (fraction of max distance)", "points remaining"]);
+    for (threshold, remaining) in curve {
+        table.push_row(vec![fmt_f64(threshold), fmt_f64(remaining)]);
+    }
+    table.print("Fig. 6 — remaining point projections vs. distance threshold (DEEP-like)");
+}

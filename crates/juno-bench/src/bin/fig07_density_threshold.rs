@@ -1,0 +1,59 @@
+//! Figure 7 — (a) the relation between region density and the radius needed
+//! to contain the top-100 points, and (b) the amount of the top-100 retained
+//! when the threshold is scaled down.
+
+use juno_bench::report::{fmt_f64, Table};
+use juno_bench::setup::{build_fixture, BenchScale};
+use juno_core::analysis::{density_threshold_samples, radius_scaling_curve};
+use juno_data::profiles::DatasetProfile;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let fixture = build_fixture(DatasetProfile::DeepLike, scale, 100, 51).expect("fixture");
+
+    // (a) density vs. containment radius, bucketed by density decile.
+    let (samples, correlation) =
+        density_threshold_samples(&fixture.juno, &fixture.dataset.points, 0, 100, 400)
+            .expect("density samples");
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.density.partial_cmp(&b.density).unwrap());
+    let mut t7a = Table::new(&[
+        "density decile",
+        "mean density",
+        "mean radius to contain top-100",
+    ]);
+    let bucket = (sorted.len() / 10).max(1);
+    for d in 0..10 {
+        let slice = &sorted[d * bucket..((d + 1) * bucket).min(sorted.len())];
+        if slice.is_empty() {
+            continue;
+        }
+        let mean_density = slice.iter().map(|s| s.density as f64).sum::<f64>() / slice.len() as f64;
+        let mean_radius = slice.iter().map(|s| s.radius as f64).sum::<f64>() / slice.len() as f64;
+        t7a.push_row(vec![
+            d.to_string(),
+            fmt_f64(mean_density),
+            fmt_f64(mean_radius),
+        ]);
+    }
+    t7a.print("Fig. 7(a) — containment radius vs. region density (subspace 0)");
+    println!(
+        "Pearson correlation (ln density vs radius): {}",
+        fmt_f64(correlation)
+    );
+
+    // (b) retained top-100 vs. radius scaling factor.
+    let rows = radius_scaling_curve(
+        &fixture.juno,
+        &fixture.dataset.points,
+        &fixture.dataset.queries,
+        &fixture.ground_truth,
+        &[1.0, 0.75, 0.5, 0.25, 0.1],
+    )
+    .expect("radius scaling");
+    let mut t7b = Table::new(&["radius scaling factor", "top-100 retained"]);
+    for (s, retained) in rows {
+        t7b.push_row(vec![fmt_f64(s as f64), fmt_f64(retained)]);
+    }
+    t7b.print("Fig. 7(b) — top-100 retained vs. radius scaling factor");
+}

@@ -1,0 +1,124 @@
+//! Figure 11 — (a) stage latencies under solo-run, naive co-run and the
+//! Tensor-core pipelined execution; (b) the correlation between hit count and
+//! the exact query–point distance, with and without the reward/penalty
+//! refinement.
+
+use juno_bench::report::{fmt_f64, Table};
+use juno_bench::setup::{build_fixture, BenchScale};
+use juno_common::index::AnnIndex;
+use juno_common::metric::l2_squared;
+use juno_data::profiles::DatasetProfile;
+use juno_gpu::device::GpuDevice;
+use juno_gpu::pipeline::ExecutionMode;
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let mut fixture = build_fixture(DatasetProfile::DeepLike, scale, 100, 61).expect("fixture");
+    let queries = fixture.dataset.queries.clone();
+
+    // ---------------- (a) execution-mode latencies ----------------
+    let mut t11a = Table::new(&["mode", "lut_us", "accumulate_us", "total_us", "normalised"]);
+    let mut serial_total = 0.0;
+    for mode in [
+        ExecutionMode::Serial,
+        ExecutionMode::NaiveCorun,
+        ExecutionMode::Pipelined,
+    ] {
+        fixture.juno.set_execution(mode, GpuDevice::rtx4090());
+        let mut lut = 0.0;
+        let mut acc = 0.0;
+        let mut total = 0.0;
+        for q in queries.iter() {
+            let res = fixture.juno.search(q, 100).expect("search");
+            lut += res.stats.lut_us;
+            acc += res.stats.accumulate_us;
+            total += res.simulated_us;
+        }
+        let n = queries.len() as f64;
+        let (lut, acc, total) = (lut / n, acc / n, total / n);
+        if mode == ExecutionMode::Serial {
+            serial_total = total;
+        }
+        t11a.push_row(vec![
+            format!("{mode:?}"),
+            fmt_f64(lut),
+            fmt_f64(acc),
+            fmt_f64(total),
+            fmt_f64(total / serial_total.max(1e-12)),
+        ]);
+    }
+    t11a.print(
+        "Fig. 11(a) — per-query latency under solo-run / naive co-run / pipelined execution",
+    );
+
+    // ---------------- (b) hit count vs. exact distance ----------------
+    fixture
+        .juno
+        .set_execution(ExecutionMode::Pipelined, GpuDevice::rtx4090());
+    let index = &fixture.juno;
+    let ds = &fixture.dataset;
+    let q = ds.queries.row(0);
+    let (clusters, lut, _, thresholds) = index.build_selective_lut(q).expect("selective lut");
+
+    // Reproduce the engine's hit counting so both variants can be compared
+    // against the exact distances.
+    use std::collections::HashMap;
+    let mut counts: HashMap<u32, (u32, u32)> = HashMap::new();
+    let subspaces = index.pq().num_subspaces();
+    for (slot, &cluster) in clusters.iter().enumerate() {
+        for s in 0..subspaces {
+            for &(entry, value) in lut.row(slot, s) {
+                let half = thresholds[slot][s] * 0.5;
+                let inner = value <= half * half;
+                for &pid in index
+                    .inverted()
+                    .points_for(cluster, s, entry as usize)
+                    .unwrap()
+                {
+                    let c = counts.entry(pid).or_insert((0, 0));
+                    c.0 += 1;
+                    if inner {
+                        c.1 += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut xs_exact = Vec::new();
+    let mut ys_count = Vec::new();
+    let mut ys_penalty = Vec::new();
+    for (&pid, &(outer, inner)) in &counts {
+        let exact = l2_squared(q, ds.points.row(pid as usize)) as f64;
+        xs_exact.push(-exact); // negate so "closer" correlates with "higher count"
+        ys_count.push(outer as f64);
+        ys_penalty.push(inner as f64 + outer as f64); // equivalent ranking to inner − misses
+    }
+    let mut t11b = Table::new(&["scoring", "correlation with (negated) exact distance"]);
+    t11b.push_row(vec![
+        "hit count".into(),
+        fmt_f64(pearson(&xs_exact, &ys_count)),
+    ]);
+    t11b.push_row(vec![
+        "hit count w/ reward-penalty".into(),
+        fmt_f64(pearson(&xs_exact, &ys_penalty)),
+    ]);
+    t11b.print("Fig. 11(b) — hit count vs. exact distance correlation (single query)");
+    println!("candidates scored: {}", counts.len());
+}

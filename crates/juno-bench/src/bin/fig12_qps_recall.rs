@@ -1,0 +1,160 @@
+//! Figure 12 — QPS vs. search quality on the SIFT-like, DEEP-like and
+//! TTI-like datasets: FAISS-style IVFPQ baselines (nprobs sweep), the HNSW
+//! baseline, and JUNO-L/M/H (threshold-scale sweep).
+//!
+//! Pass `--summary` to print only the aggregated speed-ups (the §6.2 text
+//! numbers) instead of every sweep point.
+
+use juno_baseline::hnsw::{HnswConfig, HnswIndex};
+use juno_baseline::ivfpq::{IvfPqConfig, IvfPqIndex};
+use juno_bench::report::{fmt_f64, Table};
+use juno_bench::setup::{build_fixture, clusters_for, BenchScale};
+use juno_bench::sweep::{run_sweep, SweepResult};
+use juno_core::config::QualityMode;
+use juno_data::profiles::DatasetProfile;
+
+fn main() {
+    let summary_only = std::env::args().any(|a| a == "--summary");
+    let scale = BenchScale::from_env();
+
+    let mut all_speedups_low = Vec::new();
+    let mut all_speedups_high = Vec::new();
+
+    for profile in DatasetProfile::paper_profiles() {
+        let mut fixture = build_fixture(profile, scale, 100, 81).expect("fixture");
+        let queries = fixture.dataset.queries.clone();
+        let gt = fixture.ground_truth.clone();
+        let mut rows: Vec<(String, SweepResult)> = Vec::new();
+
+        // FAISS-style IVFPQ baseline, nprobs sweep.
+        let mut baseline = IvfPqIndex::build(
+            &fixture.dataset.points,
+            &IvfPqConfig {
+                n_clusters: clusters_for(scale.points),
+                nprobs: 4,
+                pq_subspaces: profile.paper_pq_subspaces(),
+                pq_entries: 64,
+                metric: profile.metric(),
+                seed: 5,
+            },
+        )
+        .expect("baseline build");
+        for nprobs in [2usize, 4, 8, 16, 32] {
+            baseline.set_nprobs(nprobs);
+            let r = run_sweep(&baseline, &queries, &gt, 100, 100).expect("baseline sweep");
+            rows.push((format!("FAISS-IVFPQ nprobs={nprobs}"), r));
+        }
+
+        // HNSW baseline (ef sweep).
+        let mut hnsw = HnswIndex::build(
+            fixture.dataset.points.clone(),
+            &HnswConfig {
+                m: 16,
+                ef_construction: 80,
+                ef_search: 64,
+                metric: profile.metric(),
+                seed: 9,
+            },
+        )
+        .expect("hnsw build");
+        for ef in [32usize, 128] {
+            hnsw.set_ef_search(ef);
+            let r = run_sweep(&hnsw, &queries, &gt, 100, 100).expect("hnsw sweep");
+            rows.push((format!("+HNSW ef={ef}"), r));
+        }
+
+        // JUNO-L/M/H with a threshold-scale sweep.
+        for (mode, scales) in [
+            (QualityMode::Low, vec![0.4f32, 0.7, 1.0]),
+            (QualityMode::Medium, vec![0.5, 1.0]),
+            (QualityMode::High, vec![0.5, 0.75, 1.0]),
+        ] {
+            fixture.juno.set_quality(mode);
+            for s in scales {
+                fixture.juno.set_threshold_scale(s).expect("scale");
+                let r = run_sweep(&fixture.juno, &queries, &gt, 100, 100).expect("juno sweep");
+                rows.push((format!("{} scale={s}", mode.label()), r));
+            }
+        }
+
+        if !summary_only {
+            let mut table = Table::new(&["engine", "R1@100", "R100@100", "mean us", "QPS"]);
+            for (name, r) in &rows {
+                table.push_row(vec![
+                    name.clone(),
+                    fmt_f64(r.r1_at_100),
+                    fmt_f64(r.recall),
+                    fmt_f64(r.mean_us),
+                    fmt_f64(r.qps),
+                ]);
+            }
+            table.print(&format!(
+                "Fig. 12 — QPS vs. recall on {} ({} points, {} queries)",
+                profile.name(),
+                scale.points,
+                scale.queries
+            ));
+        }
+
+        // §6.2-style aggregate: best JUNO QPS vs best baseline QPS in the low
+        // (R1@100 ≤ 0.95) and high (R1@100 > 0.95) quality regimes.
+        let best_qps = |rows: &[(String, SweepResult)], juno: bool, low: bool| {
+            rows.iter()
+                .filter(|(name, r)| {
+                    let is_juno = name.starts_with("JUNO");
+                    let in_band = if low {
+                        r.r1_at_100 <= 0.95
+                    } else {
+                        r.r1_at_100 > 0.95
+                    };
+                    is_juno == juno && in_band
+                })
+                .map(|(_, r)| r.qps)
+                .fold(0.0f64, f64::max)
+        };
+        let mut summary = Table::new(&["regime", "best baseline QPS", "best JUNO QPS", "speed-up"]);
+        for (label, low) in [
+            ("low quality (R1@100 ≤ 0.95)", true),
+            ("high quality (R1@100 > 0.95)", false),
+        ] {
+            let base = best_qps(&rows, false, low);
+            let juno = best_qps(&rows, true, low);
+            let speedup = if base > 0.0 && juno > 0.0 {
+                juno / base
+            } else {
+                f64::NAN
+            };
+            if speedup.is_finite() {
+                if low {
+                    all_speedups_low.push(speedup);
+                } else {
+                    all_speedups_high.push(speedup);
+                }
+            }
+            summary.push_row(vec![
+                label.into(),
+                fmt_f64(base),
+                fmt_f64(juno),
+                if speedup.is_finite() {
+                    format!("{speedup:.2}x")
+                } else {
+                    "n/a".into()
+                },
+            ]);
+        }
+        summary.print(&format!("§6.2 summary — {}", profile.name()));
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("\n== Overall (paper reports 4.4x avg low-quality, 2.1x avg high-quality) ==");
+    println!(
+        "mean speed-up, low quality:  {:.2}x over {} datasets",
+        mean(&all_speedups_low),
+        all_speedups_low.len()
+    );
+    println!(
+        "mean speed-up, high quality: {:.2}x over {} datasets",
+        mean(&all_speedups_high),
+        all_speedups_high.len()
+    );
+}

@@ -1,0 +1,92 @@
+//! Figure 13 — (a) improvement breakdown of JUNO against the IVFPQ baseline
+//! with individual optimisations removed (no pipelining, no hit-count
+//! selection); (b) dynamic vs. static small/large threshold strategies.
+
+use juno_baseline::ivfpq::{IvfPqConfig, IvfPqIndex};
+use juno_bench::report::{fmt_f64, Table};
+use juno_bench::setup::{build_fixture, clusters_for, BenchScale};
+use juno_bench::sweep::run_sweep;
+use juno_core::config::QualityMode;
+use juno_core::threshold::ThresholdStrategy;
+use juno_data::profiles::DatasetProfile;
+use juno_gpu::device::GpuDevice;
+use juno_gpu::pipeline::ExecutionMode;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let profile = DatasetProfile::DeepLike;
+    let mut fixture = build_fixture(profile, scale, 100, 91).expect("fixture");
+    let queries = fixture.dataset.queries.clone();
+    let gt = fixture.ground_truth.clone();
+
+    let baseline = IvfPqIndex::build(
+        &fixture.dataset.points,
+        &IvfPqConfig {
+            n_clusters: clusters_for(scale.points),
+            nprobs: 8,
+            pq_subspaces: profile.paper_pq_subspaces(),
+            pq_entries: 64,
+            metric: profile.metric(),
+            seed: 5,
+        },
+    )
+    .expect("baseline");
+    let base = run_sweep(&baseline, &queries, &gt, 100, 100).expect("baseline sweep");
+
+    // ---------------- (a) improvement breakdown ----------------
+    let mut t13a = Table::new(&["configuration", "R1@100", "QPS", "speed-up vs FAISS"]);
+    t13a.push_row(vec![
+        "FAISS-IVFPQ (baseline)".into(),
+        fmt_f64(base.r1_at_100),
+        fmt_f64(base.qps),
+        "1.00x".into(),
+    ]);
+    let variants: Vec<(&str, QualityMode, ExecutionMode)> = vec![
+        (
+            "JUNO (full: hit-count + pipeline)",
+            QualityMode::Low,
+            ExecutionMode::Pipelined,
+        ),
+        ("JUNO w/o pipeline", QualityMode::Low, ExecutionMode::Serial),
+        (
+            "JUNO w/o hit count (exact dist.)",
+            QualityMode::High,
+            ExecutionMode::Pipelined,
+        ),
+        ("JUNO w/o both", QualityMode::High, ExecutionMode::Serial),
+    ];
+    for (name, quality, mode) in variants {
+        fixture.juno.set_quality(quality);
+        fixture.juno.set_execution(mode, GpuDevice::rtx4090());
+        fixture.juno.set_threshold_scale(0.75).expect("scale");
+        let r = run_sweep(&fixture.juno, &queries, &gt, 100, 100).expect("juno sweep");
+        t13a.push_row(vec![
+            name.into(),
+            fmt_f64(r.r1_at_100),
+            fmt_f64(r.qps),
+            format!("{:.2}x", r.qps / base.qps.max(1e-12)),
+        ]);
+    }
+    t13a.print("Fig. 13(a) — improvement breakdown against the IVFPQ baseline");
+
+    // ---------------- (b) threshold strategies ----------------
+    fixture.juno.set_quality(QualityMode::High);
+    fixture
+        .juno
+        .set_execution(ExecutionMode::Pipelined, GpuDevice::rtx4090());
+    fixture.juno.set_threshold_scale(1.0).expect("scale");
+    let mut t13b = Table::new(&["strategy", "R1@100", "QPS"]);
+    for (name, strategy) in [
+        ("R-Small (static)", ThresholdStrategy::StaticSmall),
+        ("R-Large (static)", ThresholdStrategy::StaticLarge),
+        (
+            "R-Dynamic (density + regression)",
+            ThresholdStrategy::Dynamic,
+        ),
+    ] {
+        fixture.juno.set_threshold_strategy(strategy);
+        let r = run_sweep(&fixture.juno, &queries, &gt, 100, 100).expect("strategy sweep");
+        t13b.push_row(vec![name.into(), fmt_f64(r.r1_at_100), fmt_f64(r.qps)]);
+    }
+    t13b.print("Fig. 13(b) — static vs. dynamic threshold strategies (JUNO-H)");
+}

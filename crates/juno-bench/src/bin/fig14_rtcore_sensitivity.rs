@@ -1,0 +1,80 @@
+//! Figure 14 — sensitivity to RT-core performance: (a) JUNO without RT cores
+//! (A100 software fallback) against the FAISS-style baseline, and (b) the
+//! average speed-up over the baseline on A100 / A40 / RTX 4090.
+
+use juno_baseline::ivfpq::{IvfPqConfig, IvfPqIndex};
+use juno_baseline::sim::SimulationConfig;
+use juno_bench::report::{fmt_f64, Table};
+use juno_bench::setup::{build_fixture, clusters_for, BenchScale};
+use juno_bench::sweep::run_sweep;
+use juno_core::config::QualityMode;
+use juno_data::profiles::DatasetProfile;
+use juno_gpu::device::GpuDevice;
+use juno_gpu::pipeline::ExecutionMode;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let profile = DatasetProfile::SiftLike;
+    let mut fixture = build_fixture(profile, scale, 100, 101).expect("fixture");
+    let queries = fixture.dataset.queries.clone();
+    let gt = fixture.ground_truth.clone();
+
+    let build_baseline = |device: GpuDevice| {
+        IvfPqIndex::build(
+            &fixture.dataset.points,
+            &IvfPqConfig {
+                n_clusters: clusters_for(scale.points),
+                nprobs: 8,
+                pq_subspaces: profile.paper_pq_subspaces(),
+                pq_entries: 64,
+                metric: profile.metric(),
+                seed: 5,
+            },
+        )
+        .expect("baseline")
+        .with_simulation(SimulationConfig::on_device(device))
+    };
+
+    // ---------------- (a) JUNO without RT cores (A100) ----------------
+    let baseline_a100 = build_baseline(GpuDevice::a100());
+    let base = run_sweep(&baseline_a100, &queries, &gt, 100, 100).expect("baseline sweep");
+    let mut t14a = Table::new(&["engine on A100 (no RT cores)", "R1@100", "QPS"]);
+    t14a.push_row(vec![
+        "FAISS-IVFPQ".into(),
+        fmt_f64(base.r1_at_100),
+        fmt_f64(base.qps),
+    ]);
+    for (label, quality, thr) in [
+        ("JUNO w/o RT core (low quality)", QualityMode::Low, 0.6f32),
+        ("JUNO w/o RT core (high quality)", QualityMode::High, 1.0),
+    ] {
+        fixture.juno.set_quality(quality);
+        fixture.juno.set_threshold_scale(thr).expect("scale");
+        fixture
+            .juno
+            .set_execution(ExecutionMode::Serial, GpuDevice::a100());
+        let r = run_sweep(&fixture.juno, &queries, &gt, 100, 100).expect("juno sweep");
+        t14a.push_row(vec![label.into(), fmt_f64(r.r1_at_100), fmt_f64(r.qps)]);
+    }
+    t14a.print("Fig. 14(a) — JUNO vs. FAISS on A100 (RT traversal falls back to CUDA cores)");
+
+    // ---------------- (b) speed-up across GPUs ----------------
+    let mut t14b = Table::new(&["GPU", "baseline QPS", "JUNO-H QPS", "speed-up"]);
+    for device in [GpuDevice::a100(), GpuDevice::a40(), GpuDevice::rtx4090()] {
+        let baseline = build_baseline(device.clone());
+        let base = run_sweep(&baseline, &queries, &gt, 100, 100).expect("baseline sweep");
+        fixture.juno.set_quality(QualityMode::High);
+        fixture.juno.set_threshold_scale(1.0).expect("scale");
+        fixture
+            .juno
+            .set_execution(ExecutionMode::Pipelined, device.clone());
+        let juno = run_sweep(&fixture.juno, &queries, &gt, 100, 100).expect("juno sweep");
+        t14b.push_row(vec![
+            device.name.clone(),
+            fmt_f64(base.qps),
+            fmt_f64(juno.qps),
+            format!("{:.2}x", juno.qps / base.qps.max(1e-12)),
+        ]);
+    }
+    t14b.print("Fig. 14(b) — JUNO speed-up over the baseline across GPUs");
+}

@@ -1,0 +1,81 @@
+//! Figure 15 — LLM attention sparsity: quality of truncated attention as a
+//! function of the fraction of attended tokens retained.
+//!
+//! The paper measures Llama-7B word perplexity; this reproduction (see
+//! `DESIGN.md`) uses a synthetic multi-head attention workload and reports
+//! (i) the softmax mass retained and a pseudo-perplexity proxy when keeping
+//! the exact top-k keys, and (ii) the mass retained when the top-k keys are
+//! retrieved by a JUNO MIPS index instead of exact search.
+
+use juno_bench::report::{fmt_f64, Table};
+use juno_common::index::AnnIndex;
+use juno_common::metric::inner_product;
+use juno_core::config::JunoConfig;
+use juno_core::engine::JunoIndex;
+use juno_data::attention::{AttentionSpec, AttentionWorkload};
+
+fn main() {
+    let seq_len = std::env::var("JUNO_BENCH_SEQ_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_024usize);
+    let workload = AttentionWorkload::generate(&AttentionSpec {
+        seq_len,
+        num_queries: 32,
+        head_dim: 64,
+        concentration: 5.0,
+        seed: 13,
+    })
+    .expect("attention workload");
+
+    // Exact truncation sweep (the Fig. 15 x-axis).
+    let fractions = [1.0, 0.8, 0.6, 0.4, 0.2, 0.1, 0.05, 0.02];
+    let rows = workload.sweep(&fractions).expect("sweep");
+    let mut t = Table::new(&[
+        "attention retained (fraction of keys)",
+        "softmax mass kept",
+        "pseudo-perplexity",
+    ]);
+    for (f, mass, ppl) in rows {
+        t.push_row(vec![fmt_f64(f), fmt_f64(mass), fmt_f64(ppl)]);
+    }
+    t.print("Fig. 15 — attention quality vs. fraction of keys retained (exact top-k)");
+
+    // ANN-retrieved variant: a JUNO MIPS index over the keys retrieves each
+    // query's top-k; report the softmax mass those keys carry.
+    let config = JunoConfig {
+        n_clusters: 16,
+        nprobs: 8,
+        pq_entries: 32,
+        ..JunoConfig::small_test(workload.keys().dim(), juno_common::Metric::InnerProduct)
+    };
+    let index = JunoIndex::build(workload.keys(), &config).expect("juno over keys");
+    let mut t2 = Table::new(&["fraction retained via JUNO (MIPS)", "softmax mass kept"]);
+    for f in [0.2f64, 0.1, 0.05] {
+        let k = ((seq_len as f64 * f) as usize).max(1);
+        let mut kept_mass = 0.0;
+        for qi in 0..workload.queries().len() {
+            let q = workload.queries().row(qi);
+            let result = index.search(q, k).expect("search");
+            // Softmax over all keys, then sum the mass of the retrieved ones.
+            let logits: Vec<f64> = workload
+                .keys()
+                .iter()
+                .map(|key| inner_product(q, key) as f64)
+                .collect();
+            let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+            let total: f64 = exps.iter().sum();
+            kept_mass += result
+                .neighbors
+                .iter()
+                .map(|n| exps[n.id as usize] / total)
+                .sum::<f64>();
+        }
+        t2.push_row(vec![
+            fmt_f64(f),
+            fmt_f64(kept_mass / workload.queries().len() as f64),
+        ]);
+    }
+    t2.print("Fig. 15 (ANN variant) — attention mass kept when JUNO retrieves the keys");
+}

@@ -1,0 +1,21 @@
+//! Shared harness for the JUNO benchmark binaries.
+//!
+//! Every figure and table of the paper's evaluation has a dedicated binary in
+//! `src/bin/` (see `DESIGN.md` for the index). They all share the helpers in
+//! this crate:
+//!
+//! * [`setup`] — dataset and index construction at a configurable scale
+//!   (`JUNO_BENCH_POINTS` / `JUNO_BENCH_QUERIES` environment variables), so
+//!   the same binaries run in seconds on CI and at larger scale on a
+//!   workstation.
+//! * [`sweep`] — running an [`AnnIndex`](juno_common::AnnIndex) over a query
+//!   batch and reporting recall, simulated latency and QPS.
+//! * [`report`] — plain-text table output mirroring the rows/series of the
+//!   paper's figures.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod report;
+pub mod setup;
+pub mod sweep;

@@ -1,0 +1,93 @@
+//! Running an index over a query batch and summarising quality/throughput.
+
+use juno_common::error::Result;
+use juno_common::index::{AnnIndex, SearchStats};
+use juno_common::recall::{recall_at, GroundTruth};
+use juno_common::vector::VectorSet;
+
+/// Aggregated outcome of running one engine configuration over a query batch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepResult {
+    /// Engine name (from [`AnnIndex::name`]).
+    pub engine: String,
+    /// `R1@100` search quality.
+    pub r1_at_100: f64,
+    /// `R{n}@{m}` for the requested recall configuration.
+    pub recall: f64,
+    /// Mean simulated per-query latency in microseconds.
+    pub mean_us: f64,
+    /// Simulated queries per second (1e6 / mean_us).
+    pub qps: f64,
+    /// Mean per-query work counters.
+    pub stats: SearchStats,
+}
+
+/// Runs `index` over `queries`, retrieving `retrieve_k` neighbours per query,
+/// and evaluates recall of the true top-`truth_n` within the retrieved set.
+///
+/// # Errors
+///
+/// Propagates per-query search errors and recall computation errors.
+pub fn run_sweep(
+    index: &dyn AnnIndex,
+    queries: &VectorSet,
+    ground_truth: &GroundTruth,
+    retrieve_k: usize,
+    truth_n: usize,
+) -> Result<SweepResult> {
+    let mut retrieved = Vec::with_capacity(queries.len());
+    let mut total_us = 0.0;
+    let mut stats = SearchStats::default();
+    for q in queries.iter() {
+        let res = index.search(q, retrieve_k)?;
+        total_us += res.simulated_us;
+        stats.merge(&res.stats);
+        retrieved.push(res.ids());
+    }
+    let n = queries.len().max(1) as f64;
+    let mean_us = total_us / n;
+    // Average the per-query counters.
+    let stats = SearchStats {
+        filter_distances: (stats.filter_distances as f64 / n) as usize,
+        lut_distances: (stats.lut_distances as f64 / n) as usize,
+        accumulations: (stats.accumulations as f64 / n) as usize,
+        candidates: (stats.candidates as f64 / n) as usize,
+        rt_aabb_tests: (stats.rt_aabb_tests as f64 / n) as usize,
+        rt_primitive_tests: (stats.rt_primitive_tests as f64 / n) as usize,
+        rt_hits: (stats.rt_hits as f64 / n) as usize,
+        filter_us: stats.filter_us / n,
+        lut_us: stats.lut_us / n,
+        accumulate_us: stats.accumulate_us / n,
+    };
+    let r1 = recall_at(&retrieved, ground_truth, 1, retrieve_k.min(100))?;
+    let recall = recall_at(&retrieved, ground_truth, truth_n, retrieve_k)?;
+    Ok(SweepResult {
+        engine: index.name(),
+        r1_at_100: r1,
+        recall,
+        mean_us,
+        qps: if mean_us > 0.0 { 1e6 / mean_us } else { 0.0 },
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_baseline::flat::FlatIndex;
+    use juno_data::profiles::DatasetProfile;
+
+    #[test]
+    fn sweep_of_exact_index_has_perfect_recall() {
+        let ds = DatasetProfile::DeepLike.generate(600, 8, 12).unwrap();
+        let gt = ds.ground_truth(10).unwrap();
+        let index = FlatIndex::new(ds.points.clone(), ds.metric()).unwrap();
+        let result = run_sweep(&index, &ds.queries, &gt, 10, 10).unwrap();
+        assert!((result.recall - 1.0).abs() < 1e-12);
+        assert!((result.r1_at_100 - 1.0).abs() < 1e-12);
+        assert!(result.qps > 0.0);
+        assert!(result.mean_us > 0.0);
+        assert_eq!(result.stats.candidates, 600);
+        assert!(result.engine.starts_with("Flat"));
+    }
+}

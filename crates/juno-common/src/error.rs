@@ -1,0 +1,134 @@
+//! Error types shared across the JUNO workspace.
+
+use std::fmt;
+
+/// Convenience alias for results produced by JUNO crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Error type returned by fallible operations in the JUNO workspace.
+///
+/// The variants are deliberately coarse-grained: most errors are configuration
+/// or shape mismatches detected while building or querying an index.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A dimension mismatch between vectors, codebooks or indexes.
+    DimensionMismatch {
+        /// The dimension expected by the callee.
+        expected: usize,
+        /// The dimension actually supplied.
+        actual: usize,
+    },
+    /// An invalid configuration parameter (for example zero clusters).
+    InvalidConfig(String),
+    /// The operation requires training data or a trained model that is absent.
+    NotTrained(String),
+    /// An empty input where at least one element was required.
+    EmptyInput(String),
+    /// An index (cluster id, entry id, point id, ...) was out of bounds.
+    IndexOutOfBounds {
+        /// Human readable name of the indexed collection.
+        what: String,
+        /// The offending index.
+        index: usize,
+        /// The length of the collection.
+        len: usize,
+    },
+    /// An I/O error (dataset loading / persistence), carried as a string so the
+    /// error stays `Clone + PartialEq`.
+    Io(String),
+    /// A numeric failure such as a singular matrix during regression fitting.
+    Numeric(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::NotTrained(msg) => write!(f, "model not trained: {msg}"),
+            Error::EmptyInput(msg) => write!(f, "empty input: {msg}"),
+            Error::IndexOutOfBounds { what, index, len } => {
+                write!(f, "{what} index {index} out of bounds (len {len})")
+            }
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::Numeric(msg) => write!(f, "numeric error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        Error::Io(err.to_string())
+    }
+}
+
+impl Error {
+    /// Builds an [`Error::InvalidConfig`] from anything displayable.
+    pub fn invalid_config(msg: impl fmt::Display) -> Self {
+        Error::InvalidConfig(msg.to_string())
+    }
+
+    /// Builds an [`Error::NotTrained`] from anything displayable.
+    pub fn not_trained(msg: impl fmt::Display) -> Self {
+        Error::NotTrained(msg.to_string())
+    }
+
+    /// Builds an [`Error::EmptyInput`] from anything displayable.
+    pub fn empty_input(msg: impl fmt::Display) -> Self {
+        Error::EmptyInput(msg.to_string())
+    }
+
+    /// Builds an [`Error::Numeric`] from anything displayable.
+    pub fn numeric(msg: impl fmt::Display) -> Self {
+        Error::Numeric(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = Error::DimensionMismatch {
+            expected: 128,
+            actual: 96,
+        };
+        assert_eq!(err.to_string(), "dimension mismatch: expected 128, got 96");
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(Error::invalid_config("nlist must be > 0")
+            .to_string()
+            .contains("nlist"));
+        assert!(Error::not_trained("pq").to_string().contains("pq"));
+        assert!(Error::empty_input("points").to_string().contains("points"));
+        assert!(Error::numeric("singular").to_string().contains("singular"));
+        let oob = Error::IndexOutOfBounds {
+            what: "cluster".into(),
+            index: 7,
+            len: 4,
+        };
+        assert_eq!(oob.to_string(), "cluster index 7 out of bounds (len 4)");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let err: Error = io.into();
+        assert!(matches!(err, Error::Io(_)));
+        assert!(err.to_string().contains("missing file"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,260 @@
+//! The common interface implemented by every ANN index in the workspace.
+//!
+//! Both the JUNO engine (`juno-core`) and the baselines (`juno-baseline`)
+//! implement [`AnnIndex`], which lets the benchmark harness sweep
+//! configurations and compare engines uniformly.
+
+use crate::error::Result;
+use crate::metric::Metric;
+use crate::vector::VectorSet;
+use serde::{Deserialize, Serialize};
+
+/// A single retrieved neighbour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Identifier of the search point (its row index in the dataset).
+    pub id: u64,
+    /// The raw metric value: squared L2 distance (lower is better) or inner
+    /// product (higher is better), depending on the index metric.
+    pub distance: f32,
+}
+
+impl Neighbor {
+    /// Creates a neighbour record.
+    pub fn new(id: u64, distance: f32) -> Self {
+        Self { id, distance }
+    }
+}
+
+/// The result of searching one query.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Retrieved neighbours sorted from best to worst.
+    pub neighbors: Vec<Neighbor>,
+    /// Simulated device time spent on this query, in microseconds.
+    ///
+    /// Engines that model GPU execution (JUNO, the FAISS-like baselines) fill
+    /// this in from the `juno-gpu` cost model; pure-CPU engines may leave it
+    /// at zero.
+    pub simulated_us: f64,
+    /// Statistics about the work performed, used by the breakdown figures.
+    pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// Ids of the retrieved neighbours, best first.
+    pub fn ids(&self) -> Vec<u64> {
+        self.neighbors.iter().map(|n| n.id).collect()
+    }
+}
+
+/// Work counters accumulated while answering one query.
+///
+/// These counters drive the paper's breakdown figures (Fig. 3(a), Fig. 11(a))
+/// and the analytic GPU cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Pairwise distance computations performed during coarse filtering.
+    pub filter_distances: usize,
+    /// Pairwise distance computations performed during LUT construction.
+    pub lut_distances: usize,
+    /// LUT lookups + accumulations performed during distance calculation.
+    pub accumulations: usize,
+    /// Number of candidate points whose full distance was evaluated.
+    pub candidates: usize,
+    /// RT-core work: bounding-box tests (zero for non-RT engines).
+    pub rt_aabb_tests: usize,
+    /// RT-core work: primitive (sphere) intersection tests.
+    pub rt_primitive_tests: usize,
+    /// RT-core work: hit-shader invocations.
+    pub rt_hits: usize,
+    /// Simulated microseconds spent in the filtering stage.
+    pub filter_us: f64,
+    /// Simulated microseconds spent constructing the L2-LUT.
+    pub lut_us: f64,
+    /// Simulated microseconds spent in distance calculation / accumulation.
+    pub accumulate_us: f64,
+}
+
+impl SearchStats {
+    /// Merges the counters of another query into this one (used for batch
+    /// averages).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.filter_distances += other.filter_distances;
+        self.lut_distances += other.lut_distances;
+        self.accumulations += other.accumulations;
+        self.candidates += other.candidates;
+        self.rt_aabb_tests += other.rt_aabb_tests;
+        self.rt_primitive_tests += other.rt_primitive_tests;
+        self.rt_hits += other.rt_hits;
+        self.filter_us += other.filter_us;
+        self.lut_us += other.lut_us;
+        self.accumulate_us += other.accumulate_us;
+    }
+
+    /// Total simulated time across the three online stages, in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.filter_us + self.lut_us + self.accumulate_us
+    }
+}
+
+/// The interface shared by the JUNO engine and every baseline index.
+///
+/// Implementations are expected to be immutable once built: `search` takes
+/// `&self` so that query batches can be processed from multiple threads.
+pub trait AnnIndex: Send + Sync {
+    /// The metric this index ranks with.
+    fn metric(&self) -> Metric;
+
+    /// Dimensionality of indexed vectors.
+    fn dim(&self) -> usize;
+
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the index holds no vectors.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Searches the `k` nearest neighbours of one query.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the query dimension does not match
+    /// [`AnnIndex::dim`] or the index is not usable.
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult>;
+
+    /// Searches a batch of queries, returning one result per query.
+    ///
+    /// The default implementation simply loops over [`AnnIndex::search`];
+    /// engines with batch-level optimisations override it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query error encountered.
+    fn search_batch(&self, queries: &VectorSet, k: usize) -> Result<Vec<SearchResult>> {
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries.iter() {
+            out.push(self.search(q, k)?);
+        }
+        Ok(out)
+    }
+
+    /// A short human-readable name used in benchmark reports.
+    fn name(&self) -> String {
+        std::any::type_name::<Self>()
+            .rsplit("::")
+            .next()
+            .unwrap_or("index")
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use crate::topk::TopK;
+
+    /// A trivial exact index used to exercise the trait's default methods.
+    struct Exact {
+        points: VectorSet,
+        metric: Metric,
+    }
+
+    impl AnnIndex for Exact {
+        fn metric(&self) -> Metric {
+            self.metric
+        }
+        fn dim(&self) -> usize {
+            self.points.dim()
+        }
+        fn len(&self) -> usize {
+            self.points.len()
+        }
+        fn search(&self, query: &[f32], k: usize) -> Result<SearchResult> {
+            if query.len() != self.dim() {
+                return Err(Error::DimensionMismatch {
+                    expected: self.dim(),
+                    actual: query.len(),
+                });
+            }
+            let mut topk = TopK::new(k, self.metric);
+            for (i, row) in self.points.iter().enumerate() {
+                topk.push(i as u64, self.metric.distance(query, row));
+            }
+            Ok(SearchResult {
+                neighbors: topk.into_sorted_vec(),
+                simulated_us: 0.0,
+                stats: SearchStats::default(),
+            })
+        }
+    }
+
+    fn toy_index() -> Exact {
+        Exact {
+            points: VectorSet::from_rows(vec![
+                vec![0.0, 0.0],
+                vec![1.0, 0.0],
+                vec![5.0, 5.0],
+                vec![0.1, 0.1],
+            ])
+            .unwrap(),
+            metric: Metric::L2,
+        }
+    }
+
+    #[test]
+    fn exact_search_finds_nearest() {
+        let idx = toy_index();
+        let res = idx.search(&[0.0, 0.05], 2).unwrap();
+        assert_eq!(res.neighbors[0].id, 0);
+        assert_eq!(res.neighbors[1].id, 3);
+        assert_eq!(res.ids(), vec![0, 3]);
+    }
+
+    #[test]
+    fn batch_default_matches_single() {
+        let idx = toy_index();
+        let queries = VectorSet::from_rows(vec![vec![0.0, 0.0], vec![5.0, 5.0]]).unwrap();
+        let batch = idx.search_batch(&queries, 1).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].neighbors[0].id, 0);
+        assert_eq!(batch[1].neighbors[0].id, 2);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let idx = toy_index();
+        assert!(idx.search(&[0.0], 1).is_err());
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = SearchStats {
+            filter_distances: 1,
+            lut_distances: 2,
+            accumulations: 3,
+            candidates: 4,
+            rt_aabb_tests: 5,
+            rt_primitive_tests: 6,
+            rt_hits: 7,
+            filter_us: 1.0,
+            lut_us: 2.0,
+            accumulate_us: 3.0,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.filter_distances, 2);
+        assert_eq!(a.rt_hits, 14);
+        assert!((a.total_us() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_name_is_type_name() {
+        let idx = toy_index();
+        assert_eq!(idx.name(), "Exact");
+        assert!(!idx.is_empty());
+    }
+}

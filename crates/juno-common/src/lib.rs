@@ -1,0 +1,50 @@
+//! Shared primitives for the JUNO approximate nearest neighbour (ANN) search
+//! reproduction.
+//!
+//! This crate hosts the building blocks that every other crate in the workspace
+//! relies on:
+//!
+//! * [`metric`] — the two similarity metrics used by the paper (L2 distance and
+//!   inner product), with scalar and batched kernels.
+//! * [`vector`] — [`VectorSet`](vector::VectorSet), a dense row-major set of
+//!   `f32` vectors used for search points, queries, centroids and codebooks.
+//! * [`topk`] — a bounded top-k selector used by every index implementation.
+//! * [`recall`] — the paper's search-quality metrics (`R1@100`, `R100@1000`)
+//!   and exact ground-truth computation.
+//! * [`index`] — the [`AnnIndex`](index::AnnIndex) trait implemented by the
+//!   JUNO engine and every baseline.
+//! * [`rng`] — deterministic random-number helpers shared by data generators
+//!   and training code.
+//!
+//! # Example
+//!
+//! ```
+//! use juno_common::metric::Metric;
+//! use juno_common::vector::VectorSet;
+//! use juno_common::topk::TopK;
+//!
+//! let points = VectorSet::from_rows(vec![vec![0.0, 0.0], vec![3.0, 4.0]]).unwrap();
+//! let query = [1.0, 1.0];
+//! let mut topk = TopK::new(1, Metric::L2);
+//! for (id, row) in points.iter().enumerate() {
+//!     topk.push(id as u64, Metric::L2.distance(&query, row));
+//! }
+//! assert_eq!(topk.into_sorted_vec()[0].id, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod index;
+pub mod metric;
+pub mod recall;
+pub mod rng;
+pub mod topk;
+pub mod vector;
+
+pub use error::{Error, Result};
+pub use index::{AnnIndex, Neighbor, SearchResult};
+pub use metric::Metric;
+pub use topk::TopK;
+pub use vector::VectorSet;

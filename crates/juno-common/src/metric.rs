@@ -1,0 +1,246 @@
+//! Similarity metrics used throughout the JUNO paper.
+//!
+//! The paper (Section 2.1) evaluates two metrics:
+//!
+//! * **L2 distance** (lower is better): `L2(q, x) = Σ (x_i - q_i)^2`.
+//!   Note that, following FAISS and the paper, the *squared* L2 distance is
+//!   used everywhere — the square root is monotone and therefore irrelevant
+//!   for ranking.
+//! * **Inner product** (higher is better): `IP(q, x) = Σ x_i * q_i`, used by
+//!   the TTI1M dataset and LLM attention workloads (MIPS).
+//!
+//! [`Metric::score`] converts both into a uniform "lower is better" value so
+//! that top-k selection code does not need to special-case the metric.
+
+use serde::{Deserialize, Serialize};
+
+/// The similarity metric of a dataset or index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Metric {
+    /// Squared Euclidean distance; lower is better.
+    #[default]
+    L2,
+    /// Inner (dot) product similarity; higher is better (MIPS).
+    InnerProduct,
+}
+
+impl Metric {
+    /// Returns `true` if a *larger* raw metric value means a better match.
+    #[inline]
+    pub fn higher_is_better(self) -> bool {
+        matches!(self, Metric::InnerProduct)
+    }
+
+    /// Computes the raw metric value between two equal-length slices.
+    ///
+    /// For [`Metric::L2`] this is the squared L2 distance, for
+    /// [`Metric::InnerProduct`] the dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the slices have different lengths.
+    #[inline]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "metric operands must have equal length");
+        match self {
+            Metric::L2 => l2_squared(a, b),
+            Metric::InnerProduct => inner_product(a, b),
+        }
+    }
+
+    /// Computes a "lower is better" score usable directly by top-k selection.
+    ///
+    /// For L2 this is the distance itself; for inner product it is the negated
+    /// dot product.
+    #[inline]
+    pub fn score(self, a: &[f32], b: &[f32]) -> f32 {
+        let raw = self.distance(a, b);
+        self.raw_to_score(raw)
+    }
+
+    /// Converts a raw metric value into a "lower is better" score.
+    #[inline]
+    pub fn raw_to_score(self, raw: f32) -> f32 {
+        match self {
+            Metric::L2 => raw,
+            Metric::InnerProduct => -raw,
+        }
+    }
+
+    /// Converts a "lower is better" score back into the raw metric value.
+    #[inline]
+    pub fn score_to_raw(self, score: f32) -> f32 {
+        match self {
+            Metric::L2 => score,
+            Metric::InnerProduct => -score,
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Metric::L2 => write!(f, "L2"),
+            Metric::InnerProduct => write!(f, "IP"),
+        }
+    }
+}
+
+/// Squared L2 distance between two equal-length slices.
+///
+/// The loop is written over four-element chunks so that the optimiser can
+/// vectorise it without requiring explicit SIMD intrinsics.
+#[inline]
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        for lane in 0..4 {
+            let d = a[i + lane] - b[i + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Inner (dot) product between two equal-length slices.
+#[inline]
+pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        for lane in 0..4 {
+            acc[lane] += a[i + lane] * b[i + lane];
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Squared L2 norm of a vector (`Σ x_i^2`).
+#[inline]
+pub fn squared_norm(a: &[f32]) -> f32 {
+    inner_product(a, a)
+}
+
+/// Computes raw metric values from one query against many rows of a flat
+/// row-major matrix, appending the results to `out`.
+///
+/// `rows` must have length `n * dim`. This is the batched kernel used by the
+/// filtering stage (query vs. all IVF centroids) and by flat baselines.
+pub fn batch_distances(
+    metric: Metric,
+    query: &[f32],
+    rows: &[f32],
+    dim: usize,
+    out: &mut Vec<f32>,
+) {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(rows.len() % dim, 0, "rows length must be a multiple of dim");
+    assert_eq!(query.len(), dim, "query length must equal dim");
+    let n = rows.len() / dim;
+    out.reserve(n);
+    for r in 0..n {
+        let row = &rows[r * dim..(r + 1) * dim];
+        out.push(metric.distance(query, row));
+    }
+}
+
+/// Decomposed squared L2 distance `‖x − q‖² = ‖x‖² − 2·x·q + ‖q‖²`.
+///
+/// The paper (Section 5.3) uses this identity so that the `‖x‖²` term can be
+/// precomputed offline and the cross term `x·qᵀ` mapped to a GEMM on tensor
+/// cores. This helper evaluates the identity given a precomputed `‖x‖²`.
+#[inline]
+pub fn l2_from_decomposition(x_sq_norm: f32, dot_xq: f32, q_sq_norm: f32) -> f32 {
+    x_sq_norm - 2.0 * dot_xq + q_sq_norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_naive() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let naive: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+        assert!((l2_squared(&a, &b) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ip_matches_naive() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [0.5, -1.0, 2.0, 0.0, 1.0, -2.0];
+        let naive: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        assert!((inner_product(&a, &b) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_orders_ip_correctly() {
+        // Higher inner product must produce a lower (better) score.
+        let q = [1.0, 0.0];
+        let close = [0.9, 0.1];
+        let far = [0.1, 0.9];
+        let m = Metric::InnerProduct;
+        assert!(m.score(&q, &close) < m.score(&q, &far));
+    }
+
+    #[test]
+    fn score_raw_roundtrip() {
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            for raw in [-3.5f32, 0.0, 1.25, 97.0] {
+                let score = metric.raw_to_score(raw);
+                assert_eq!(metric.score_to_raw(score), raw);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let dim = 3;
+        let rows = vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0];
+        let q = [1.0, 1.0, 1.0];
+        let mut out = Vec::new();
+        batch_distances(Metric::L2, &q, &rows, dim, &mut out);
+        assert_eq!(out.len(), 3);
+        for (i, &d) in out.iter().enumerate() {
+            let row = &rows[i * dim..(i + 1) * dim];
+            assert!((d - l2_squared(&q, row)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn decomposition_identity() {
+        let x = [0.5f32, -1.0, 2.0, 4.0];
+        let q = [1.0f32, 1.0, -1.0, 0.25];
+        let direct = l2_squared(&x, &q);
+        let via = l2_from_decomposition(squared_norm(&x), inner_product(&x, &q), squared_norm(&q));
+        assert!((direct - via).abs() < 1e-4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Metric::L2.to_string(), "L2");
+        assert_eq!(Metric::InnerProduct.to_string(), "IP");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn batch_rejects_ragged_rows() {
+        let mut out = Vec::new();
+        batch_distances(Metric::L2, &[1.0, 2.0], &[1.0, 2.0, 3.0], 2, &mut out);
+    }
+}

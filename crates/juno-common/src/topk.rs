@@ -1,0 +1,275 @@
+//! Bounded top-k selection.
+//!
+//! Every ANN index in the workspace ends its search with "keep the k best
+//! candidates seen so far". [`TopK`] implements that with a bounded binary
+//! max-heap over "lower is better" scores (see
+//! [`Metric::raw_to_score`](crate::metric::Metric::raw_to_score)), so both L2
+//! and inner-product searches use the same selector.
+
+use crate::index::Neighbor;
+use crate::metric::Metric;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A candidate held inside the heap. Ordered by score so that the *worst*
+/// (largest score) candidate sits at the top of the max-heap and can be
+/// evicted in `O(log k)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    score: f32,
+    id: u64,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // NaN-safe total ordering: NaN scores are considered the worst possible
+        // candidates so they never displace valid ones.
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or_else(|| match (self.score.is_nan(), other.score.is_nan()) {
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                _ => Ordering::Equal,
+            })
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// A bounded selector that keeps the `k` candidates with the lowest score.
+///
+/// # Example
+///
+/// ```
+/// use juno_common::{topk::TopK, Metric};
+///
+/// let mut topk = TopK::new(2, Metric::L2);
+/// topk.push(10, 5.0);
+/// topk.push(11, 1.0);
+/// topk.push(12, 3.0);
+/// let out = topk.into_sorted_vec();
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(out[0].id, 11);
+/// assert_eq!(out[1].id, 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    metric: Metric,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl TopK {
+    /// Creates a selector keeping the best `k` candidates under `metric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, metric: Metric) -> Self {
+        assert!(k > 0, "top-k selector requires k > 0");
+        Self {
+            k,
+            metric,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// The `k` this selector was created with.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The metric this selector interprets raw values with.
+    #[inline]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Number of candidates currently held (at most `k`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no candidate has been pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pushes a candidate given its *raw* metric value (L2 distance or inner
+    /// product). Returns `true` if the candidate was kept.
+    #[inline]
+    pub fn push(&mut self, id: u64, raw: f32) -> bool {
+        self.push_score(id, self.metric.raw_to_score(raw))
+    }
+
+    /// Pushes a candidate given an already-converted "lower is better" score.
+    #[inline]
+    pub fn push_score(&mut self, id: u64, score: f32) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry { score, id });
+            return true;
+        }
+        // Heap is full: only insert if better than the current worst.
+        let worst = self
+            .heap
+            .peek()
+            .expect("heap cannot be empty when len == k > 0");
+        if score < worst.score {
+            self.heap.pop();
+            self.heap.push(HeapEntry { score, id });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current worst kept score, or `None` if fewer than `k` candidates have
+    /// been pushed. Useful for pruning (a candidate with a worse bound cannot
+    /// enter the result).
+    #[inline]
+    pub fn worst_score(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|e| e.score)
+        }
+    }
+
+    /// Consumes the selector and returns neighbours sorted from best to worst.
+    ///
+    /// The returned [`Neighbor::distance`] holds the *raw* metric value (an L2
+    /// distance, or an inner product for MIPS).
+    pub fn into_sorted_vec(self) -> Vec<Neighbor> {
+        let metric = self.metric;
+        let mut entries: Vec<HeapEntry> = self.heap.into_vec();
+        entries.sort_unstable();
+        entries
+            .into_iter()
+            .map(|e| Neighbor {
+                id: e.id,
+                distance: metric.score_to_raw(e.score),
+            })
+            .collect()
+    }
+}
+
+/// Selects the indices of the `k` smallest values of a slice (ties broken by
+/// index). Convenience wrapper used when the candidate scores already live in
+/// a dense vector, e.g. selecting the `nprobs` closest IVF centroids.
+pub fn smallest_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    if k == 0 || values.is_empty() {
+        return Vec::new();
+    }
+    let mut selector = TopK::new(k.min(values.len()), Metric::L2);
+    for (i, &v) in values.iter().enumerate() {
+        selector.push_score(i as u64, v);
+    }
+    selector
+        .into_sorted_vec()
+        .into_iter()
+        .map(|n| n.id as usize)
+        .collect()
+}
+
+/// Selects the indices of the `k` largest values of a slice.
+pub fn largest_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    if k == 0 || values.is_empty() {
+        return Vec::new();
+    }
+    let mut selector = TopK::new(k.min(values.len()), Metric::L2);
+    for (i, &v) in values.iter().enumerate() {
+        selector.push_score(i as u64, -v);
+    }
+    selector
+        .into_sorted_vec()
+        .into_iter()
+        .map(|n| n.id as usize)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k_under_l2() {
+        let mut topk = TopK::new(3, Metric::L2);
+        let values = [9.0, 1.0, 4.0, 7.0, 2.0, 8.0];
+        for (i, &v) in values.iter().enumerate() {
+            topk.push(i as u64, v);
+        }
+        let ids: Vec<u64> = topk.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 4, 2]);
+    }
+
+    #[test]
+    fn keeps_best_k_under_ip() {
+        let mut topk = TopK::new(2, Metric::InnerProduct);
+        for (i, &v) in [0.1, 0.9, 0.5, 0.95].iter().enumerate() {
+            topk.push(i as u64, v);
+        }
+        let out = topk.into_sorted_vec();
+        assert_eq!(out[0].id, 3);
+        assert_eq!(out[1].id, 1);
+        // Raw inner-product values are preserved in the output.
+        assert!((out[0].distance - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worst_score_reports_threshold() {
+        let mut topk = TopK::new(2, Metric::L2);
+        assert!(topk.worst_score().is_none());
+        topk.push(0, 3.0);
+        assert!(topk.worst_score().is_none());
+        topk.push(1, 1.0);
+        assert_eq!(topk.worst_score(), Some(3.0));
+        topk.push(2, 2.0);
+        assert_eq!(topk.worst_score(), Some(2.0));
+    }
+
+    #[test]
+    fn nan_never_displaces_valid_candidates() {
+        let mut topk = TopK::new(2, Metric::L2);
+        topk.push(0, 1.0);
+        topk.push(1, 2.0);
+        topk.push(2, f32::NAN);
+        let ids: Vec<u64> = topk.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let mut topk = TopK::new(10, Metric::L2);
+        topk.push(7, 3.0);
+        let out = topk.into_sorted_vec();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn zero_k_panics() {
+        let _ = TopK::new(0, Metric::L2);
+    }
+
+    #[test]
+    fn index_helpers() {
+        let v = [5.0, 1.0, 3.0, 2.0];
+        assert_eq!(smallest_k_indices(&v, 2), vec![1, 3]);
+        assert_eq!(largest_k_indices(&v, 2), vec![0, 2]);
+        assert_eq!(smallest_k_indices(&v, 0), Vec::<usize>::new());
+        assert_eq!(smallest_k_indices(&[], 3), Vec::<usize>::new());
+        // k larger than the slice simply returns all indices ranked.
+        assert_eq!(smallest_k_indices(&v, 10).len(), 4);
+    }
+}

@@ -1,0 +1,491 @@
+//! Sparsity, locality and threshold analyses (Figures 3(b), 4, 5, 6, 7).
+//!
+//! The paper motivates JUNO with a profiling study of the IVFPQ pipeline:
+//!
+//! * only a small fraction of codebook entries is used by the true top-100
+//!   neighbours of a query (**sparsity**, Fig. 3(b), 4(a), 5(a));
+//! * the used entries are the ones closest to the query projection
+//!   (**spatial locality**, Fig. 4(b), 5(b));
+//! * the number of point projections within a distance threshold of the query
+//!   projection shrinks roughly linearly with the threshold (Fig. 6);
+//! * the threshold needed to contain the top-100 anticorrelates with local
+//!   density (Fig. 7(a)) and shrinking it retains most of the top-100
+//!   (Fig. 7(b)).
+//!
+//! The functions here recompute those studies on any built [`JunoIndex`] so
+//! the benchmark harness can regenerate the corresponding figures.
+
+use crate::engine::JunoIndex;
+use juno_common::error::{Error, Result};
+use juno_common::recall::GroundTruth;
+use juno_common::vector::VectorSet;
+use serde::{Deserialize, Serialize};
+
+/// Per-subspace codebook-entry usage ratios (Fig. 4(a) / 5(a)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct UsageRatios {
+    /// Mean (over queries) fraction of entries used by the top-k, per subspace.
+    pub mean: Vec<f64>,
+    /// Maximum (over queries) fraction of entries used, per subspace.
+    pub max: Vec<f64>,
+}
+
+impl UsageRatios {
+    /// Average of the per-subspace mean ratios (the "~25 %" headline number).
+    pub fn overall_mean(&self) -> f64 {
+        if self.mean.is_empty() {
+            0.0
+        } else {
+            self.mean.iter().sum::<f64>() / self.mean.len() as f64
+        }
+    }
+}
+
+/// Coverage CDF from closest to farthest entries (Fig. 4(b) / 5(b)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CoverageCdf {
+    /// `cdf[r]` is the mean fraction of top-k points covered when the `r + 1`
+    /// closest entries per subspace are considered.
+    pub cdf: Vec<f64>,
+    /// Fraction of entries (0–1) needed to cover 90 % of the top-k on average.
+    pub entries_for_90pct: f64,
+}
+
+/// One sample of the density/threshold relationship (Fig. 7(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DensityThresholdSample {
+    /// Region density at the query projection.
+    pub density: f32,
+    /// Radius needed to contain the top-k point projections.
+    pub radius: f32,
+}
+
+/// Computes, for each query, which codebook entries its true top-k neighbours
+/// are encoded with, and returns the per-subspace usage ratios.
+///
+/// # Errors
+///
+/// Returns an error when the ground truth and query counts disagree or ids are
+/// out of range.
+pub fn usage_ratios(
+    index: &JunoIndex,
+    queries: &VectorSet,
+    gt: &GroundTruth,
+) -> Result<UsageRatios> {
+    if queries.len() != gt.len() {
+        return Err(Error::invalid_config(format!(
+            "{} queries but ground truth for {}",
+            queries.len(),
+            gt.len()
+        )));
+    }
+    let subspaces = index.pq().num_subspaces();
+    let entries = index.pq().entries_per_subspace();
+    let mut mean = vec![0.0f64; subspaces];
+    let mut max = vec![0.0f64; subspaces];
+    for (qi, _q) in queries.iter().enumerate() {
+        let mut used = vec![vec![false; entries]; subspaces];
+        for &pid in &gt.truth[qi] {
+            let code = index.codes().code(pid as usize);
+            for (s, &e) in code.iter().enumerate() {
+                used[s][e as usize] = true;
+            }
+        }
+        for s in 0..subspaces {
+            let ratio = used[s].iter().filter(|&&u| u).count() as f64 / entries as f64;
+            mean[s] += ratio;
+            max[s] = max[s].max(ratio);
+        }
+    }
+    let nq = queries.len().max(1) as f64;
+    for m in &mut mean {
+        *m /= nq;
+    }
+    Ok(UsageRatios { mean, max })
+}
+
+/// Computes the coverage CDF: fraction of top-k points whose entry is among
+/// the `r` closest entries to the query projection, averaged over queries and
+/// subspaces (Fig. 4(b) / 5(b)).
+///
+/// # Errors
+///
+/// Propagates shape mismatches.
+pub fn coverage_cdf(
+    index: &JunoIndex,
+    queries: &VectorSet,
+    gt: &GroundTruth,
+) -> Result<CoverageCdf> {
+    if queries.len() != gt.len() {
+        return Err(Error::invalid_config("queries / ground truth mismatch"));
+    }
+    let subspaces = index.pq().num_subspaces();
+    let entries = index.pq().entries_per_subspace();
+    let mut cdf = vec![0.0f64; entries];
+    let mut samples = 0usize;
+
+    for (qi, q) in queries.iter().enumerate() {
+        if gt.truth[qi].is_empty() {
+            continue;
+        }
+        // Rank entries by distance to the query's residual projection with
+        // respect to its closest cluster (the cluster actually probed first).
+        let filter = index.ivf().filter(q, 1)?;
+        let residual = index.ivf().query_residual(q, filter.clusters[0])?;
+        for s in 0..subspaces {
+            let projection = &residual[2 * s..2 * s + 2];
+            let order = index.pq().codebook(s)?.entries_by_distance(projection)?;
+            // rank_of[e] = position of entry e in the closest-first order.
+            let mut rank_of = vec![0usize; entries];
+            for (rank, &(e, _)) in order.iter().enumerate() {
+                rank_of[e as usize] = rank;
+            }
+            let k = gt.truth[qi].len();
+            let mut counts_at_rank = vec![0usize; entries];
+            for &pid in &gt.truth[qi] {
+                let e = index.codes().code(pid as usize)[s] as usize;
+                counts_at_rank[rank_of[e]] += 1;
+            }
+            let mut running = 0usize;
+            for (r, &c) in counts_at_rank.iter().enumerate() {
+                running += c;
+                cdf[r] += running as f64 / k as f64;
+            }
+            samples += 1;
+        }
+    }
+    if samples == 0 {
+        return Err(Error::empty_input(
+            "coverage CDF requires non-empty ground truth",
+        ));
+    }
+    for v in &mut cdf {
+        *v /= samples as f64;
+    }
+    let entries_for_90pct = cdf
+        .iter()
+        .position(|&v| v >= 0.9)
+        .map(|r| (r + 1) as f64 / entries as f64)
+        .unwrap_or(1.0);
+    Ok(CoverageCdf {
+        cdf,
+        entries_for_90pct,
+    })
+}
+
+/// Fraction of point projections within a threshold of the query projection,
+/// for a sweep of thresholds expressed as fractions of the maximum projection
+/// distance (Fig. 6). Returns `(threshold fraction, remaining fraction)`
+/// rows averaged over queries and subspaces.
+///
+/// # Errors
+///
+/// Propagates filtering errors.
+pub fn remaining_vs_threshold(
+    index: &JunoIndex,
+    points: &VectorSet,
+    queries: &VectorSet,
+    steps: usize,
+) -> Result<Vec<(f64, f64)>> {
+    if steps == 0 {
+        return Err(Error::invalid_config("steps must be positive"));
+    }
+    let subspaces = index.pq().num_subspaces();
+    let mut remaining = vec![0.0f64; steps + 1];
+    let mut samples = 0usize;
+    for q in queries.iter() {
+        let filter = index.ivf().filter(q, 1)?;
+        let cluster = filter.clusters[0];
+        let residual = index.ivf().query_residual(q, cluster)?;
+        let members = index.ivf().list(cluster)?;
+        if members.is_empty() {
+            continue;
+        }
+        for s in 0..subspaces.min(8) {
+            // Distances of member-point residual projections to the query
+            // projection in this subspace.
+            let proj = [residual[2 * s], residual[2 * s + 1]];
+            let mut dists: Vec<f32> = Vec::with_capacity(members.len());
+            for &pid in members {
+                let row = points.row(pid as usize);
+                let centroid = index.ivf().centroid(cluster)?;
+                let px = row[2 * s] - centroid[2 * s];
+                let py = row[2 * s + 1] - centroid[2 * s + 1];
+                let dx = px - proj[0];
+                let dy = py - proj[1];
+                dists.push((dx * dx + dy * dy).sqrt());
+            }
+            let max_d = dists.iter().cloned().fold(0.0f32, f32::max).max(1e-9);
+            for step in 0..=steps {
+                let thr = max_d * (step as f32 / steps as f32);
+                let frac = dists.iter().filter(|&&d| d <= thr).count() as f64 / dists.len() as f64;
+                remaining[step] += frac;
+            }
+            samples += 1;
+        }
+    }
+    if samples == 0 {
+        return Err(Error::empty_input("no samples for remaining_vs_threshold"));
+    }
+    Ok(remaining
+        .into_iter()
+        .enumerate()
+        .map(|(step, total)| (step as f64 / steps as f64, total / samples as f64))
+        .collect())
+}
+
+/// Samples the density / containment-radius relationship of Fig. 7(a) on the
+/// residual projections of subspace `subspace`, and returns the samples plus
+/// the Pearson correlation between `ln(1 + density)` and the radius.
+///
+/// # Errors
+///
+/// Propagates shape errors from the engine internals.
+pub fn density_threshold_samples(
+    index: &JunoIndex,
+    points: &VectorSet,
+    subspace: usize,
+    target_k: usize,
+    max_samples: usize,
+) -> Result<(Vec<DensityThresholdSample>, f64)> {
+    if subspace >= index.pq().num_subspaces() {
+        return Err(Error::IndexOutOfBounds {
+            what: "subspace".into(),
+            index: subspace,
+            len: index.pq().num_subspaces(),
+        });
+    }
+    // Residual projections of all points in this subspace.
+    let residuals = index.ivf().point_residuals(points)?;
+    let sub = residuals.subspace(subspace * 2, 2)?;
+    let projections: Vec<[f32; 2]> = sub.iter().map(|r| [r[0], r[1]]).collect();
+    let density_map = crate::density::DensityMap::build(&projections, 100)?;
+
+    let stride = (projections.len() / max_samples.max(1)).max(1);
+    let mut samples = Vec::new();
+    for anchor in projections.iter().step_by(stride).take(max_samples) {
+        let mut dists: Vec<f32> = projections
+            .iter()
+            .map(|p| {
+                let dx = p[0] - anchor[0];
+                let dy = p[1] - anchor[1];
+                (dx * dx + dy * dy).sqrt()
+            })
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let radius = dists[target_k.min(dists.len() - 1)];
+        samples.push(DensityThresholdSample {
+            density: density_map.density_at(anchor[0], anchor[1]),
+            radius,
+        });
+    }
+    let correlation = pearson(
+        &samples
+            .iter()
+            .map(|s| (1.0 + s.density as f64).ln())
+            .collect::<Vec<_>>(),
+        &samples.iter().map(|s| s.radius as f64).collect::<Vec<_>>(),
+    );
+    Ok((samples, correlation))
+}
+
+/// Fraction of the true top-k retained per subspace when the calibrated
+/// threshold is scaled down (Fig. 7(b)). Returns `(scale, retained fraction)`
+/// rows.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn radius_scaling_curve(
+    index: &JunoIndex,
+    points: &VectorSet,
+    queries: &VectorSet,
+    gt: &GroundTruth,
+    scales: &[f32],
+) -> Result<Vec<(f32, f64)>> {
+    if queries.len() != gt.len() {
+        return Err(Error::invalid_config("queries / ground truth mismatch"));
+    }
+    let subspaces = index.pq().num_subspaces();
+    let mut rows = Vec::with_capacity(scales.len());
+    for &scale in scales {
+        let mut retained = 0.0f64;
+        let mut total = 0usize;
+        for (qi, q) in queries.iter().enumerate() {
+            if gt.truth[qi].is_empty() {
+                continue;
+            }
+            let filter = index.ivf().filter(q, 1)?;
+            let cluster = filter.clusters[0];
+            let residual = index.ivf().query_residual(q, cluster)?;
+            let centroid = index.ivf().centroid(cluster)?.to_vec();
+            for s in 0..subspaces.min(8) {
+                let proj = [residual[2 * s], residual[2 * s + 1]];
+                let threshold = index.threshold_model().threshold_for(
+                    s,
+                    q[2 * s],
+                    q[2 * s + 1],
+                    crate::threshold::ThresholdStrategy::Dynamic,
+                    scale.max(1e-3),
+                )?;
+                let mut kept = 0usize;
+                for &pid in &gt.truth[qi] {
+                    let row = points.row(pid as usize);
+                    let dx = (row[2 * s] - centroid[2 * s]) - proj[0];
+                    let dy = (row[2 * s + 1] - centroid[2 * s + 1]) - proj[1];
+                    if (dx * dx + dy * dy).sqrt() <= threshold {
+                        kept += 1;
+                    }
+                }
+                retained += kept as f64 / gt.truth[qi].len() as f64;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return Err(Error::empty_input("no samples for radius_scaling_curve"));
+        }
+        rows.push((scale, retained / total as f64));
+    }
+    Ok(rows)
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if xs.is_empty() || xs.len() != ys.len() {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JunoConfig;
+    use juno_data::profiles::DatasetProfile;
+
+    fn setup() -> (juno_data::profiles::Dataset, JunoIndex, GroundTruth) {
+        let ds = DatasetProfile::DeepLike.generate(3_000, 12, 99).unwrap();
+        let config = JunoConfig {
+            n_clusters: 24,
+            nprobs: 6,
+            pq_entries: 64,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        };
+        let index = JunoIndex::build(&ds.points, &config).unwrap();
+        let gt = ds.ground_truth(50).unwrap();
+        (ds, index, gt)
+    }
+
+    #[test]
+    fn usage_is_sparse() {
+        let (ds, index, gt) = setup();
+        let usage = usage_ratios(&index, &ds.queries, &gt).unwrap();
+        assert_eq!(usage.mean.len(), 48);
+        // The paper reports ~25 % mean usage with E = 256 and k = 100; with
+        // E = 64 and k = 50 the ratio is higher but must stay well below 1.
+        let overall = usage.overall_mean();
+        assert!(overall < 0.6, "mean usage {overall} not sparse");
+        assert!(overall > 0.0);
+        for (m, x) in usage.mean.iter().zip(usage.max.iter()) {
+            assert!(*m <= *x + 1e-12);
+        }
+    }
+
+    #[test]
+    fn closest_entries_cover_most_of_topk() {
+        let (ds, index, gt) = setup();
+        let cov = coverage_cdf(&index, &ds.queries, &gt).unwrap();
+        assert_eq!(cov.cdf.len(), 64);
+        // Monotone non-decreasing CDF ending at 1.
+        for w in cov.cdf.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!((cov.cdf.last().unwrap() - 1.0).abs() < 1e-9);
+        // Locality: far fewer than all entries are needed for 90 % coverage.
+        assert!(
+            cov.entries_for_90pct < 0.8,
+            "needed {} of entries for 90 % coverage",
+            cov.entries_for_90pct
+        );
+        // The closest entries must cover much more than a uniform share.
+        let quarter = cov.cdf[64 / 4 - 1];
+        assert!(
+            quarter > 0.4,
+            "closest 25 % of entries cover only {quarter}"
+        );
+    }
+
+    #[test]
+    fn remaining_points_shrink_with_threshold() {
+        let (ds, index, _) = setup();
+        let curve = remaining_vs_threshold(&index, &ds.points, &ds.queries, 10).unwrap();
+        assert_eq!(curve.len(), 11);
+        assert!(
+            curve[0].1 < 0.2,
+            "zero threshold should keep almost nothing"
+        );
+        assert!(
+            (curve[10].1 - 1.0).abs() < 1e-9,
+            "full threshold keeps everything"
+        );
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1e-12,
+                "remaining fraction must be monotone"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_anticorrelates_with_density() {
+        let (ds, index, _) = setup();
+        let (samples, corr) = density_threshold_samples(&index, &ds.points, 0, 50, 200).unwrap();
+        assert!(samples.len() > 50);
+        assert!(
+            corr < -0.2,
+            "expected a negative density/radius correlation, got {corr}"
+        );
+    }
+
+    #[test]
+    fn shrinking_radius_retains_most_topk() {
+        let (ds, index, gt) = setup();
+        let rows =
+            radius_scaling_curve(&index, &ds.points, &ds.queries, &gt, &[1.0, 0.5, 0.25]).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Retention decreases with the scale but stays substantial at 0.5
+        // (the paper reports ~90 %).
+        assert!(rows[0].1 >= rows[1].1 - 1e-9);
+        assert!(rows[1].1 >= rows[2].1 - 1e-9);
+        assert!(rows[0].1 > 0.8, "full radius retains {}", rows[0].1);
+        assert!(rows[1].1 > 0.5, "half radius retains {}", rows[1].1);
+    }
+
+    #[test]
+    fn input_validation() {
+        let (ds, index, gt) = setup();
+        let wrong_queries = DatasetProfile::DeepLike
+            .generate(100, 3, 1)
+            .unwrap()
+            .queries;
+        assert!(usage_ratios(&index, &wrong_queries, &gt).is_err());
+        assert!(coverage_cdf(&index, &wrong_queries, &gt).is_err());
+        assert!(remaining_vs_threshold(&index, &ds.points, &ds.queries, 0).is_err());
+        assert!(density_threshold_samples(&index, &ds.points, 999, 50, 10).is_err());
+        assert!(radius_scaling_curve(&index, &ds.points, &wrong_queries, &gt, &[1.0]).is_err());
+    }
+}

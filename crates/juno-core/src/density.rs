@@ -1,0 +1,181 @@
+//! Per-subspace density maps.
+//!
+//! The paper (Section 4.1) observes a negative correlation between the
+//! distance threshold needed to contain the top-100 search points and the
+//! *density* of the region the query projection falls into. The density is
+//! computed offline on a 100×100 grid over each 2-D subspace: every cell
+//! records the number of search-point projections falling into it divided by
+//! the cell area. At query time the map is looked up with the query
+//! projection to feed the threshold regressor.
+
+use juno_common::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Default grid resolution used by the paper.
+pub const DEFAULT_GRID: usize = 100;
+
+/// A 2-D density map over one subspace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DensityMap {
+    /// Grid resolution per axis.
+    grid: usize,
+    /// Lower corner of the covered area.
+    min: [f32; 2],
+    /// Upper corner of the covered area.
+    max: [f32; 2],
+    /// Row-major densities, `grid × grid` cells.
+    cells: Vec<f32>,
+    /// Total number of points the map was built from.
+    total_points: usize,
+}
+
+impl DensityMap {
+    /// Builds a density map from 2-D projections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyInput`] when no projections are provided and
+    /// [`Error::InvalidConfig`] for a zero-sized grid.
+    pub fn build(projections: &[[f32; 2]], grid: usize) -> Result<Self> {
+        if projections.is_empty() {
+            return Err(Error::empty_input("density map requires projections"));
+        }
+        if grid == 0 {
+            return Err(Error::invalid_config("density grid must be positive"));
+        }
+        let mut min = [f32::INFINITY; 2];
+        let mut max = [f32::NEG_INFINITY; 2];
+        for p in projections {
+            for d in 0..2 {
+                min[d] = min[d].min(p[d]);
+                max[d] = max[d].max(p[d]);
+            }
+        }
+        // Guard against degenerate (all identical) projections.
+        for d in 0..2 {
+            if max[d] - min[d] < 1e-6 {
+                max[d] = min[d] + 1e-6;
+            }
+        }
+        let mut counts = vec![0usize; grid * grid];
+        for p in projections {
+            let (i, j) = cell_of(p, &min, &max, grid);
+            counts[i * grid + j] += 1;
+        }
+        let cell_area = ((max[0] - min[0]) / grid as f32) * ((max[1] - min[1]) / grid as f32);
+        let cells = counts
+            .into_iter()
+            .map(|c| c as f32 / cell_area.max(1e-12))
+            .collect();
+        Ok(Self {
+            grid,
+            min,
+            max,
+            cells,
+            total_points: projections.len(),
+        })
+    }
+
+    /// Grid resolution per axis.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Number of points used to build the map.
+    pub fn total_points(&self) -> usize {
+        self.total_points
+    }
+
+    /// The density of the cell containing `(x, y)`. Coordinates outside the
+    /// covered area are clamped to the border cells, which matches how a
+    /// query slightly outside the training distribution should be treated.
+    pub fn density_at(&self, x: f32, y: f32) -> f32 {
+        let (i, j) = cell_of(&[x, y], &self.min, &self.max, self.grid);
+        self.cells[i * self.grid + j]
+    }
+
+    /// Mean density over all non-empty cells (diagnostics).
+    pub fn mean_nonzero_density(&self) -> f32 {
+        let nonzero: Vec<f32> = self.cells.iter().copied().filter(|&c| c > 0.0).collect();
+        if nonzero.is_empty() {
+            0.0
+        } else {
+            nonzero.iter().sum::<f32>() / nonzero.len() as f32
+        }
+    }
+
+    /// Fraction of cells that contain at least one projection (diagnostics;
+    /// low occupancy is itself a sign of the clustering JUNO exploits).
+    pub fn occupancy(&self) -> f32 {
+        self.cells.iter().filter(|&&c| c > 0.0).count() as f32 / self.cells.len() as f32
+    }
+}
+
+fn cell_of(p: &[f32; 2], min: &[f32; 2], max: &[f32; 2], grid: usize) -> (usize, usize) {
+    let mut idx = [0usize; 2];
+    for d in 0..2 {
+        let t = ((p[d] - min[d]) / (max[d] - min[d])).clamp(0.0, 1.0);
+        idx[d] = ((t * grid as f32) as usize).min(grid - 1);
+    }
+    (idx[0], idx[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_common::rng::{normal, seeded};
+
+    fn clustered_projections(n: usize, seed: u64) -> Vec<[f32; 2]> {
+        let mut rng = seeded(seed);
+        (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 {
+                    [0.0f32, 0.0]
+                } else {
+                    [8.0, 8.0]
+                };
+                [normal(&mut rng, c[0], 0.4), normal(&mut rng, c[1], 0.4)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_regions_have_higher_density() {
+        let projections = clustered_projections(5_000, 3);
+        let map = DensityMap::build(&projections, DEFAULT_GRID).unwrap();
+        let dense = map.density_at(0.0, 0.0).max(map.density_at(8.0, 8.0));
+        let sparse = map.density_at(4.0, 4.0);
+        assert!(
+            dense > 10.0 * sparse.max(1e-6),
+            "dense {dense} sparse {sparse}"
+        );
+        assert_eq!(map.total_points(), 5_000);
+        assert_eq!(map.grid(), DEFAULT_GRID);
+    }
+
+    #[test]
+    fn occupancy_reflects_clustering() {
+        let clustered = DensityMap::build(&clustered_projections(5_000, 4), 100).unwrap();
+        assert!(
+            clustered.occupancy() < 0.2,
+            "clustered data should leave most cells empty"
+        );
+        assert!(clustered.mean_nonzero_density() > 0.0);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_clamped() {
+        let map = DensityMap::build(&clustered_projections(1_000, 5), 50).unwrap();
+        // Should not panic and should return the border cell's density.
+        let _ = map.density_at(1e6, -1e6);
+    }
+
+    #[test]
+    fn degenerate_and_invalid_inputs() {
+        // All-identical projections must not divide by zero.
+        let map = DensityMap::build(&[[1.0, 1.0]; 10], 10).unwrap();
+        assert!(map.density_at(1.0, 1.0) > 0.0);
+        assert!(DensityMap::build(&[], 10).is_err());
+        assert!(DensityMap::build(&[[0.0, 0.0]], 0).is_err());
+    }
+}

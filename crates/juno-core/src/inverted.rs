@@ -1,0 +1,267 @@
+//! Subspace-level inverted index.
+//!
+//! The conventional IVFPQ layout stores, for every point, its PQ code. JUNO's
+//! selective LUT only covers a few entries per subspace, so the engine needs
+//! the opposite direction: given `(cluster, subspace, entry)`, which points
+//! are encoded with that entry? (paper Section 5.2, Alg. 1 lines 12–14:
+//! `Map[c][e]` per subspace.) This module stores that mapping in a compact
+//! CSR layout: one offsets array of length `E + 1` plus one id array per
+//! `(cluster, subspace)` pair.
+
+use juno_common::error::{Error, Result};
+use juno_quant::pq::EncodedPoints;
+use serde::{Deserialize, Serialize};
+
+/// CSR storage of one `(cluster, subspace)` pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+struct EntryLists {
+    /// `offsets[e]..offsets[e + 1]` indexes `point_ids` for entry `e`.
+    offsets: Vec<u32>,
+    /// Point ids grouped by entry.
+    point_ids: Vec<u32>,
+}
+
+/// The full inverted index `Map[cluster][subspace][entry] → point ids`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubspaceInvertedIndex {
+    /// `lists[cluster * num_subspaces + subspace]`.
+    lists: Vec<EntryLists>,
+    num_clusters: usize,
+    num_subspaces: usize,
+    entries_per_subspace: usize,
+}
+
+impl SubspaceInvertedIndex {
+    /// Builds the index from cluster labels and PQ codes.
+    ///
+    /// `labels[p]` is the IVF cluster of point `p`; `codes.code(p)[s]` its
+    /// codebook entry in subspace `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when shapes disagree or a code
+    /// references an entry `≥ entries_per_subspace`.
+    pub fn build(
+        labels: &[usize],
+        codes: &EncodedPoints,
+        num_clusters: usize,
+        entries_per_subspace: usize,
+    ) -> Result<Self> {
+        if labels.len() != codes.len() {
+            return Err(Error::invalid_config(format!(
+                "{} labels but {} encoded points",
+                labels.len(),
+                codes.len()
+            )));
+        }
+        if num_clusters == 0 || entries_per_subspace == 0 {
+            return Err(Error::invalid_config(
+                "cluster and entry counts must be positive",
+            ));
+        }
+        let num_subspaces = codes.num_subspaces();
+        if num_subspaces == 0 {
+            return Err(Error::invalid_config(
+                "codes must have at least one subspace",
+            ));
+        }
+
+        // Count phase: how many points per (cluster, subspace, entry).
+        let mut counts = vec![0u32; num_clusters * num_subspaces * entries_per_subspace];
+        for (p, &c) in labels.iter().enumerate() {
+            if c >= num_clusters {
+                return Err(Error::IndexOutOfBounds {
+                    what: "cluster label".into(),
+                    index: c,
+                    len: num_clusters,
+                });
+            }
+            for (s, &e) in codes.code(p).iter().enumerate() {
+                let e = e as usize;
+                if e >= entries_per_subspace {
+                    return Err(Error::IndexOutOfBounds {
+                        what: "codebook entry".into(),
+                        index: e,
+                        len: entries_per_subspace,
+                    });
+                }
+                counts[(c * num_subspaces + s) * entries_per_subspace + e] += 1;
+            }
+        }
+
+        // Allocate CSR lists.
+        let mut lists = Vec::with_capacity(num_clusters * num_subspaces);
+        for cs in 0..num_clusters * num_subspaces {
+            let base = cs * entries_per_subspace;
+            let mut offsets = Vec::with_capacity(entries_per_subspace + 1);
+            offsets.push(0u32);
+            let mut running = 0u32;
+            for e in 0..entries_per_subspace {
+                running += counts[base + e];
+                offsets.push(running);
+            }
+            lists.push(EntryLists {
+                point_ids: vec![0u32; running as usize],
+                offsets,
+            });
+        }
+
+        // Fill phase.
+        let mut cursors = vec![0u32; num_clusters * num_subspaces * entries_per_subspace];
+        for (p, &c) in labels.iter().enumerate() {
+            for (s, &e) in codes.code(p).iter().enumerate() {
+                let cs = c * num_subspaces + s;
+                let e = e as usize;
+                let slot = lists[cs].offsets[e] + cursors[cs * entries_per_subspace + e];
+                lists[cs].point_ids[slot as usize] = p as u32;
+                cursors[cs * entries_per_subspace + e] += 1;
+            }
+        }
+
+        Ok(Self {
+            lists,
+            num_clusters,
+            num_subspaces,
+            entries_per_subspace,
+        })
+    }
+
+    /// Number of IVF clusters covered.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Number of PQ subspaces covered.
+    pub fn num_subspaces(&self) -> usize {
+        self.num_subspaces
+    }
+
+    /// Number of codebook entries per subspace.
+    pub fn entries_per_subspace(&self) -> usize {
+        self.entries_per_subspace
+    }
+
+    /// The point ids of cluster `cluster` whose subspace-`subspace` projection
+    /// is encoded with `entry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] for invalid coordinates.
+    pub fn points_for(&self, cluster: usize, subspace: usize, entry: usize) -> Result<&[u32]> {
+        if cluster >= self.num_clusters {
+            return Err(Error::IndexOutOfBounds {
+                what: "cluster".into(),
+                index: cluster,
+                len: self.num_clusters,
+            });
+        }
+        if subspace >= self.num_subspaces {
+            return Err(Error::IndexOutOfBounds {
+                what: "subspace".into(),
+                index: subspace,
+                len: self.num_subspaces,
+            });
+        }
+        if entry >= self.entries_per_subspace {
+            return Err(Error::IndexOutOfBounds {
+                what: "entry".into(),
+                index: entry,
+                len: self.entries_per_subspace,
+            });
+        }
+        let list = &self.lists[cluster * self.num_subspaces + subspace];
+        let start = list.offsets[entry] as usize;
+        let end = list.offsets[entry + 1] as usize;
+        Ok(&list.point_ids[start..end])
+    }
+
+    /// Total number of `(point, subspace)` postings stored (diagnostics).
+    pub fn total_postings(&self) -> usize {
+        self.lists.iter().map(|l| l.point_ids.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_common::rng::{normal, seeded};
+    use juno_common::vector::VectorSet;
+    use juno_quant::pq::{PqTrainConfig, ProductQuantizer};
+
+    fn trained_codes(n: usize) -> (Vec<usize>, EncodedPoints, usize, usize) {
+        let mut rng = seeded(5);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..8).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+            .collect();
+        let data = VectorSet::from_rows(rows).unwrap();
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqTrainConfig {
+                num_subspaces: 4,
+                entries_per_subspace: 8,
+                kmeans_iters: 8,
+                seed: 1,
+                train_subsample: None,
+            },
+        )
+        .unwrap();
+        let codes = pq.encode(&data).unwrap();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        (labels, codes, 3, 8)
+    }
+
+    #[test]
+    fn every_posting_is_consistent_with_the_codes() {
+        let (labels, codes, clusters, entries) = trained_codes(200);
+        let idx = SubspaceInvertedIndex::build(&labels, &codes, clusters, entries).unwrap();
+        assert_eq!(idx.num_clusters(), 3);
+        assert_eq!(idx.num_subspaces(), 4);
+        assert_eq!(idx.entries_per_subspace(), 8);
+        // Forward check: each point appears exactly where its code says.
+        for p in 0..200 {
+            let c = labels[p];
+            for (s, &e) in codes.code(p).iter().enumerate() {
+                let members = idx.points_for(c, s, e as usize).unwrap();
+                assert!(
+                    members.contains(&(p as u32)),
+                    "point {p} missing from ({c},{s},{e})"
+                );
+            }
+        }
+        // Reverse check: every posting points to a matching code.
+        for c in 0..3 {
+            for s in 0..4 {
+                for e in 0..8 {
+                    for &p in idx.points_for(c, s, e).unwrap() {
+                        assert_eq!(labels[p as usize], c);
+                        assert_eq!(codes.code(p as usize)[s] as usize, e);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn postings_count_equals_points_times_subspaces() {
+        let (labels, codes, clusters, entries) = trained_codes(150);
+        let idx = SubspaceInvertedIndex::build(&labels, &codes, clusters, entries).unwrap();
+        assert_eq!(idx.total_postings(), 150 * 4);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (labels, codes, clusters, entries) = trained_codes(50);
+        assert!(SubspaceInvertedIndex::build(&labels[..10], &codes, clusters, entries).is_err());
+        assert!(SubspaceInvertedIndex::build(&labels, &codes, 0, entries).is_err());
+        // Entry bound too small for the trained codes.
+        assert!(SubspaceInvertedIndex::build(&labels, &codes, clusters, 1).is_err());
+        // Label out of bounds.
+        let mut bad_labels = labels.clone();
+        bad_labels[0] = 99;
+        assert!(SubspaceInvertedIndex::build(&bad_labels, &codes, clusters, entries).is_err());
+        let idx = SubspaceInvertedIndex::build(&labels, &codes, clusters, entries).unwrap();
+        assert!(idx.points_for(5, 0, 0).is_err());
+        assert!(idx.points_for(0, 9, 0).is_err());
+        assert!(idx.points_for(0, 0, 99).is_err());
+    }
+}

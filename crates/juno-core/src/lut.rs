@@ -1,0 +1,272 @@
+//! The selective L2-LUT.
+//!
+//! Where FAISS tabulates the distance from the query projection to **every**
+//! codebook entry (`nprobs × E × D/M` values per query), JUNO only stores the
+//! entries whose spheres were hit by the query rays — typically a small
+//! fraction (Section 3.2 reports ≤ 30 % usage, and the threshold prunes
+//! further). The LUT is therefore sparse: per `(probed cluster, subspace)` a
+//! short list of `(entry, value)` pairs, where `value` is the squared L2
+//! distance (or the inner product under MIPS) recovered from `t_hit`.
+
+use crate::mapping::SceneMapping;
+use juno_common::error::{Error, Result};
+use juno_rt::stats::TraversalStats;
+use serde::{Deserialize, Serialize};
+
+/// A sparse, per-query look-up table of selected entry distances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectiveLut {
+    /// `rows[slot * num_subspaces + subspace]` holds `(entry, value)` pairs
+    /// sorted by entry id. `slot` indexes the probed clusters in filter order.
+    rows: Vec<Vec<(u16, f32)>>,
+    num_slots: usize,
+    num_subspaces: usize,
+}
+
+impl SelectiveLut {
+    /// Creates an empty LUT for `num_slots` probed clusters and
+    /// `num_subspaces` subspaces.
+    pub fn new(num_slots: usize, num_subspaces: usize) -> Self {
+        Self {
+            rows: vec![Vec::new(); num_slots * num_subspaces],
+            num_slots,
+            num_subspaces,
+        }
+    }
+
+    /// Number of probed-cluster slots.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Number of subspaces.
+    pub fn num_subspaces(&self) -> usize {
+        self.num_subspaces
+    }
+
+    /// Records one selected entry. Entries may be inserted in any order;
+    /// [`SelectiveLut::finish`] sorts each row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `subspace` are out of bounds (internal misuse).
+    pub fn insert(&mut self, slot: usize, subspace: usize, entry: u16, value: f32) {
+        assert!(slot < self.num_slots && subspace < self.num_subspaces);
+        self.rows[slot * self.num_subspaces + subspace].push((entry, value));
+    }
+
+    /// Sorts every row by entry id (enables binary-search lookups).
+    pub fn finish(&mut self) {
+        for row in &mut self.rows {
+            row.sort_unstable_by_key(|&(e, _)| e);
+        }
+    }
+
+    /// The selected `(entry, value)` pairs of one `(slot, subspace)` row.
+    pub fn row(&self, slot: usize, subspace: usize) -> &[(u16, f32)] {
+        &self.rows[slot * self.num_subspaces + subspace]
+    }
+
+    /// Looks up the value of a specific entry, if it was selected.
+    pub fn lookup(&self, slot: usize, subspace: usize, entry: u16) -> Option<f32> {
+        let row = self.row(slot, subspace);
+        row.binary_search_by_key(&entry, |&(e, _)| e)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// Total number of selected entries across all rows.
+    pub fn total_selected(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// The fraction of the dense LUT that was actually materialised
+    /// (`total selected / (slots × subspaces × E)`).
+    pub fn density(&self, entries_per_subspace: usize) -> f64 {
+        let dense = self.num_slots * self.num_subspaces * entries_per_subspace;
+        if dense == 0 {
+            0.0
+        } else {
+            self.total_selected() as f64 / dense as f64
+        }
+    }
+}
+
+/// One ray request for the selective construction: which probed-cluster slot
+/// and subspace it belongs to, the query projection in original units, and
+/// the distance threshold (L2) or scale factor (MIPS) to apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LutRayRequest {
+    /// Index of the probed cluster in filter order.
+    pub slot: usize,
+    /// Subspace index.
+    pub subspace: usize,
+    /// Query (residual) projection in original subspace coordinates.
+    pub projection: [f32; 2],
+    /// Distance threshold (L2 mapping) or scale factor (MIPS mapping).
+    pub threshold: f32,
+}
+
+/// Constructs the selective LUT by tracing one ray per request through the RT
+/// scene. Returns the LUT together with the traversal work performed (which
+/// the GPU model converts into RT-core time).
+///
+/// # Errors
+///
+/// Propagates mapping errors (invalid subspace indices).
+pub fn construct_selective_lut(
+    mapping: &SceneMapping,
+    num_slots: usize,
+    requests: &[LutRayRequest],
+) -> Result<(SelectiveLut, TraversalStats)> {
+    let mut lut = SelectiveLut::new(num_slots, mapping.num_subspaces());
+    let mut stats = TraversalStats::new();
+    for req in requests {
+        if req.slot >= num_slots {
+            return Err(Error::IndexOutOfBounds {
+                what: "lut slot".into(),
+                index: req.slot,
+                len: num_slots,
+            });
+        }
+        let t_max = mapping.t_max_for_threshold(req.subspace, req.threshold)?;
+        let ray = mapping.ray_for(req.subspace, req.projection, t_max)?;
+        let mut decode_error: Option<Error> = None;
+        mapping
+            .scene()
+            .trace_with_stats(&ray, &mut stats, &mut |hit| {
+                if decode_error.is_some() {
+                    return;
+                }
+                match mapping.decode_hit(req.projection, &hit) {
+                    Ok((subspace, entry, value)) => {
+                        // Rays are confined to their subspace by construction, but
+                        // guard anyway: a hit from another layer would corrupt the
+                        // LUT silently.
+                        if subspace == req.subspace {
+                            lut.insert(req.slot, subspace, entry as u16, value);
+                        }
+                    }
+                    Err(e) => decode_error = Some(e),
+                }
+            });
+        if let Some(e) = decode_error {
+            return Err(e);
+        }
+    }
+    lut.finish();
+    Ok((lut, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_common::metric::l2_squared;
+    use juno_common::vector::VectorSet;
+    use juno_quant::codebook::Codebook;
+
+    fn mapping() -> (Vec<Codebook>, SceneMapping) {
+        let entries0 = VectorSet::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![3.0, 3.0],
+        ])
+        .unwrap();
+        let entries1 = VectorSet::from_rows(vec![
+            vec![0.5, 0.5],
+            vec![-1.0, 0.0],
+            vec![2.0, 2.0],
+            vec![-3.0, 1.0],
+        ])
+        .unwrap();
+        let cbs = vec![
+            Codebook::new(0, entries0).unwrap(),
+            Codebook::new(1, entries1).unwrap(),
+        ];
+        let mapping = SceneMapping::build_l2(&cbs, &[5.0, 5.0]).unwrap();
+        (cbs, mapping)
+    }
+
+    #[test]
+    fn construction_selects_only_close_entries() {
+        let (cbs, mapping) = mapping();
+        let requests = vec![
+            LutRayRequest {
+                slot: 0,
+                subspace: 0,
+                projection: [0.1, 0.1],
+                threshold: 1.2,
+            },
+            LutRayRequest {
+                slot: 0,
+                subspace: 1,
+                projection: [0.4, 0.4],
+                threshold: 1.0,
+            },
+        ];
+        let (lut, stats) = construct_selective_lut(&mapping, 1, &requests).unwrap();
+        assert_eq!(stats.rays, 2);
+        // Subspace 0: entries 0, 1, 2 are within 1.2 of (0.1, 0.1); entry 3 is not.
+        let row0 = lut.row(0, 0);
+        let ids: Vec<u16> = row0.iter().map(|&(e, _)| e).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        for &(e, v) in row0 {
+            let exact = l2_squared(&[0.1, 0.1], cbs[0].entry(e as usize).unwrap());
+            assert!((v - exact).abs() < 1e-3);
+        }
+        // Subspace 1: only entry 0 is within 1.0 of (0.4, 0.4).
+        let ids1: Vec<u16> = lut.row(0, 1).iter().map(|&(e, _)| e).collect();
+        assert_eq!(ids1, vec![0]);
+        // Lookups.
+        assert!(lut.lookup(0, 0, 1).is_some());
+        assert!(lut.lookup(0, 0, 3).is_none());
+        assert_eq!(lut.total_selected(), 4);
+        assert!((lut.density(4) - 4.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lut_is_sparser_than_dense_with_tight_threshold() {
+        let (_, mapping) = mapping();
+        let requests: Vec<LutRayRequest> = (0..2)
+            .map(|s| LutRayRequest {
+                slot: 0,
+                subspace: s,
+                projection: [0.0, 0.0],
+                threshold: 0.5,
+            })
+            .collect();
+        let (lut, _) = construct_selective_lut(&mapping, 1, &requests).unwrap();
+        assert!(lut.density(4) < 0.5);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let (_, mapping) = mapping();
+        let bad_slot = vec![LutRayRequest {
+            slot: 3,
+            subspace: 0,
+            projection: [0.0, 0.0],
+            threshold: 1.0,
+        }];
+        assert!(construct_selective_lut(&mapping, 1, &bad_slot).is_err());
+        let bad_subspace = vec![LutRayRequest {
+            slot: 0,
+            subspace: 9,
+            projection: [0.0, 0.0],
+            threshold: 1.0,
+        }];
+        assert!(construct_selective_lut(&mapping, 1, &bad_subspace).is_err());
+    }
+
+    #[test]
+    fn empty_request_list_gives_empty_lut() {
+        let (_, mapping) = mapping();
+        let (lut, stats) = construct_selective_lut(&mapping, 2, &[]).unwrap();
+        assert_eq!(lut.total_selected(), 0);
+        assert_eq!(stats.rays, 0);
+        assert_eq!(lut.num_slots(), 2);
+        assert_eq!(lut.num_subspaces(), 2);
+        assert!(lut.row(1, 1).is_empty());
+    }
+}

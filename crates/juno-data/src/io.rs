@@ -1,0 +1,201 @@
+//! Readers and writers for the `fvecs` / `ivecs` formats.
+//!
+//! The TEXMEX / BIGANN datasets the paper uses (SIFT1M, DEEP1M, ...) are
+//! distributed in these simple binary formats: every vector is stored as a
+//! little-endian `u32` dimension followed by `dim` components (`f32` for
+//! `fvecs`, `i32` for `ivecs`). Implementing them lets the benchmark harness
+//! accept the real datasets when the user provides them, while falling back
+//! to the synthetic profiles otherwise.
+
+use bytes::{Buf, BufMut};
+use juno_common::error::{Error, Result};
+use juno_common::vector::VectorSet;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads an `fvecs` file into a [`VectorSet`].
+///
+/// # Errors
+///
+/// Returns an I/O error for unreadable files and
+/// [`Error::InvalidConfig`] for malformed contents (inconsistent dimensions,
+/// truncated records).
+pub fn read_fvecs(path: impl AsRef<Path>) -> Result<VectorSet> {
+    let mut reader = BufReader::new(File::open(path.as_ref())?);
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_fvecs(&bytes)
+}
+
+/// Parses `fvecs` content from a byte buffer.
+///
+/// # Errors
+///
+/// Same as [`read_fvecs`].
+pub fn parse_fvecs(mut bytes: &[u8]) -> Result<VectorSet> {
+    let mut data = Vec::new();
+    let mut dim: Option<usize> = None;
+    while bytes.remaining() >= 4 {
+        let d = bytes.get_u32_le() as usize;
+        if d == 0 {
+            return Err(Error::invalid_config("fvecs record with zero dimension"));
+        }
+        match dim {
+            None => dim = Some(d),
+            Some(expected) if expected != d => {
+                return Err(Error::DimensionMismatch {
+                    expected,
+                    actual: d,
+                })
+            }
+            _ => {}
+        }
+        if bytes.remaining() < d * 4 {
+            return Err(Error::invalid_config("truncated fvecs record"));
+        }
+        for _ in 0..d {
+            data.push(bytes.get_f32_le());
+        }
+    }
+    if bytes.has_remaining() {
+        return Err(Error::invalid_config("trailing bytes in fvecs content"));
+    }
+    let dim = dim.ok_or_else(|| Error::empty_input("fvecs content holds no vectors"))?;
+    VectorSet::from_flat(data, dim)
+}
+
+/// Writes a [`VectorSet`] as an `fvecs` file.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be written.
+pub fn write_fvecs(path: impl AsRef<Path>, vectors: &VectorSet) -> Result<()> {
+    let mut writer = BufWriter::new(File::create(path.as_ref())?);
+    let bytes = encode_fvecs(vectors);
+    writer.write_all(&bytes)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Encodes a [`VectorSet`] into `fvecs` bytes.
+pub fn encode_fvecs(vectors: &VectorSet) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vectors.len() * (4 + vectors.dim() * 4));
+    for row in vectors.iter() {
+        out.put_u32_le(vectors.dim() as u32);
+        for &v in row {
+            out.put_f32_le(v);
+        }
+    }
+    out
+}
+
+/// Reads an `ivecs` file (typically ground-truth neighbour ids).
+///
+/// # Errors
+///
+/// Same failure modes as [`read_fvecs`].
+pub fn read_ivecs(path: impl AsRef<Path>) -> Result<Vec<Vec<u32>>> {
+    let mut reader = BufReader::new(File::open(path.as_ref())?);
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_ivecs(&bytes)
+}
+
+/// Parses `ivecs` content from a byte buffer.
+///
+/// # Errors
+///
+/// Same failure modes as [`parse_fvecs`].
+pub fn parse_ivecs(mut bytes: &[u8]) -> Result<Vec<Vec<u32>>> {
+    let mut rows = Vec::new();
+    while bytes.remaining() >= 4 {
+        let d = bytes.get_u32_le() as usize;
+        if bytes.remaining() < d * 4 {
+            return Err(Error::invalid_config("truncated ivecs record"));
+        }
+        let mut row = Vec::with_capacity(d);
+        for _ in 0..d {
+            row.push(bytes.get_u32_le());
+        }
+        rows.push(row);
+    }
+    if bytes.has_remaining() {
+        return Err(Error::invalid_config("trailing bytes in ivecs content"));
+    }
+    Ok(rows)
+}
+
+/// Encodes ground-truth rows into `ivecs` bytes.
+pub fn encode_ivecs(rows: &[Vec<u32>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for row in rows {
+        out.put_u32_le(row.len() as u32);
+        for &v in row {
+            out.put_u32_le(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip_in_memory() {
+        let vs = VectorSet::from_rows(vec![vec![1.0, -2.5, 3.25], vec![0.0, 0.5, 9.0]]).unwrap();
+        let bytes = encode_fvecs(&vs);
+        let parsed = parse_fvecs(&bytes).unwrap();
+        assert_eq!(parsed, vs);
+    }
+
+    #[test]
+    fn fvecs_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("juno_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.fvecs");
+        let vs =
+            VectorSet::from_rows(vec![vec![4.0, 5.0], vec![6.0, 7.0], vec![8.0, 9.0]]).unwrap();
+        write_fvecs(&path, &vs).unwrap();
+        let back = read_fvecs(&path).unwrap();
+        assert_eq!(back, vs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let rows = vec![vec![1u32, 5, 9], vec![2, 4], vec![]];
+        let bytes = encode_ivecs(&rows);
+        let parsed = parse_ivecs(&bytes).unwrap();
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        // Truncated record.
+        let mut bytes = Vec::new();
+        bytes.put_u32_le(3);
+        bytes.put_f32_le(1.0);
+        assert!(parse_fvecs(&bytes).is_err());
+        // Inconsistent dimension.
+        let a = encode_fvecs(&VectorSet::from_rows(vec![vec![1.0, 2.0]]).unwrap());
+        let b = encode_fvecs(&VectorSet::from_rows(vec![vec![1.0, 2.0, 3.0]]).unwrap());
+        let mut cat = a.clone();
+        cat.extend_from_slice(&b);
+        assert!(parse_fvecs(&cat).is_err());
+        // Zero dimension.
+        let mut zero = Vec::new();
+        zero.put_u32_le(0);
+        assert!(parse_fvecs(&zero).is_err());
+        // Empty content.
+        assert!(parse_fvecs(&[]).is_err());
+        // Missing file.
+        assert!(read_fvecs("/nonexistent/juno.fvecs").is_err());
+        // Truncated ivecs.
+        let mut iv = Vec::new();
+        iv.put_u32_le(2);
+        iv.put_u32_le(7);
+        assert!(parse_ivecs(&iv).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Named dataset profiles mirroring the paper's evaluation datasets.
+//!
+//! Each profile fixes the dimension, metric and clustering structure of one
+//! of the paper's datasets and exposes a scale knob (number of points) so
+//! tests and benches can run at laptop scale while keeping the structure. The
+//! profile also records the paper's PQ configuration for that dataset (e.g.
+//! DEEP1M → PQ48), which the benchmark harness uses as its default sweep.
+
+use crate::synthetic::{generate_clustered, ClusteredSpec, GeneratedData};
+use juno_common::error::Result;
+use juno_common::metric::Metric;
+use juno_common::recall::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+/// A named dataset profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetProfile {
+    /// SIFT-like: 128-dimensional local image descriptors, L2 metric
+    /// (paper configuration `PQ64`, `E = 256`).
+    SiftLike,
+    /// DEEP-like: 96-dimensional CNN descriptors, L2 metric (`PQ48`).
+    DeepLike,
+    /// TTI-like: 200-dimensional text-to-image embeddings, inner product
+    /// metric (`PQ40`).
+    TtiLike,
+    /// GIST-like: 960-dimensional global image descriptors, L2 metric. Not in
+    /// the paper's main evaluation but a common stress test for the pipeline.
+    GistLike,
+}
+
+impl DatasetProfile {
+    /// All profiles used by the paper's main evaluation (Fig. 12).
+    pub fn paper_profiles() -> [DatasetProfile; 3] {
+        [
+            DatasetProfile::SiftLike,
+            DatasetProfile::DeepLike,
+            DatasetProfile::TtiLike,
+        ]
+    }
+
+    /// Vector dimension of this profile.
+    pub fn dim(self) -> usize {
+        match self {
+            DatasetProfile::SiftLike => 128,
+            DatasetProfile::DeepLike => 96,
+            DatasetProfile::TtiLike => 200,
+            DatasetProfile::GistLike => 960,
+        }
+    }
+
+    /// Metric of this profile.
+    pub fn metric(self) -> Metric {
+        match self {
+            DatasetProfile::TtiLike => Metric::InnerProduct,
+            _ => Metric::L2,
+        }
+    }
+
+    /// The paper's PQ subspace count for this dataset (`PQx`).
+    pub fn paper_pq_subspaces(self) -> usize {
+        match self {
+            DatasetProfile::SiftLike => 64,
+            DatasetProfile::DeepLike => 48,
+            DatasetProfile::TtiLike => 40,
+            DatasetProfile::GistLike => 96,
+        }
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetProfile::SiftLike => "SIFT-like",
+            DatasetProfile::DeepLike => "DEEP-like",
+            DatasetProfile::TtiLike => "TTI-like",
+            DatasetProfile::GistLike => "GIST-like",
+        }
+    }
+
+    /// Generates a dataset of this profile with `num_points` search points and
+    /// `num_queries` queries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator configuration errors.
+    pub fn generate(self, num_points: usize, num_queries: usize, seed: u64) -> Result<Dataset> {
+        // The number of natural clusters scales sub-linearly with dataset
+        // size, mirroring how IVF cluster counts are chosen (~sqrt(N)).
+        let natural_clusters = ((num_points as f64).sqrt() as usize).clamp(8, 4096);
+        let spec = ClusteredSpec {
+            num_points,
+            num_queries,
+            dim: self.dim(),
+            num_clusters: natural_clusters,
+            center_range: 10.0,
+            cluster_std: match self {
+                // TTI-like embeddings are less tightly clustered; a larger
+                // within-cluster spread reduces entry sparsity slightly, as
+                // the paper observes for TTI1M.
+                DatasetProfile::TtiLike => 2.0,
+                _ => 1.0,
+            },
+            imbalance: 0.8,
+            seed,
+        };
+        let GeneratedData {
+            points, queries, ..
+        } = generate_clustered(&spec)?;
+        Ok(Dataset {
+            profile: self,
+            points,
+            queries,
+        })
+    }
+}
+
+impl std::fmt::Display for DatasetProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A generated (or loaded) dataset plus its profile metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// The profile this dataset was generated from.
+    pub profile: DatasetProfile,
+    /// Search points.
+    pub points: juno_common::vector::VectorSet,
+    /// Query points.
+    pub queries: juno_common::vector::VectorSet,
+}
+
+impl Dataset {
+    /// The metric of this dataset.
+    pub fn metric(&self) -> Metric {
+        self.profile.metric()
+    }
+
+    /// The dimensionality of this dataset.
+    pub fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    /// Computes exact ground truth for the dataset's queries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates brute-force errors (dimension mismatches).
+    pub fn ground_truth(&self, k: usize) -> Result<GroundTruth> {
+        GroundTruth::brute_force(&self.points, &self.queries, self.metric(), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_dimensions_and_metrics() {
+        assert_eq!(DatasetProfile::SiftLike.dim(), 128);
+        assert_eq!(DatasetProfile::DeepLike.dim(), 96);
+        assert_eq!(DatasetProfile::TtiLike.dim(), 200);
+        assert_eq!(DatasetProfile::SiftLike.metric(), Metric::L2);
+        assert_eq!(DatasetProfile::TtiLike.metric(), Metric::InnerProduct);
+        assert_eq!(DatasetProfile::DeepLike.paper_pq_subspaces(), 48);
+        assert_eq!(DatasetProfile::SiftLike.paper_pq_subspaces(), 64);
+        assert_eq!(DatasetProfile::TtiLike.paper_pq_subspaces(), 40);
+        assert_eq!(DatasetProfile::paper_profiles().len(), 3);
+    }
+
+    #[test]
+    fn generation_produces_requested_shape() {
+        let ds = DatasetProfile::DeepLike.generate(2_000, 10, 42).unwrap();
+        assert_eq!(ds.points.len(), 2_000);
+        assert_eq!(ds.points.dim(), 96);
+        assert_eq!(ds.queries.len(), 10);
+        assert_eq!(ds.metric(), Metric::L2);
+        assert_eq!(ds.dim(), 96);
+        assert_eq!(ds.profile.name(), "DEEP-like");
+        assert_eq!(format!("{}", ds.profile), "DEEP-like");
+    }
+
+    #[test]
+    fn ground_truth_has_one_entry_per_query() {
+        let ds = DatasetProfile::SiftLike.generate(500, 5, 7).unwrap();
+        let gt = ds.ground_truth(10).unwrap();
+        assert_eq!(gt.len(), 5);
+        assert!(gt.truth.iter().all(|t| t.len() == 10));
+    }
+
+    #[test]
+    fn dimension_divisible_by_paper_pq() {
+        for p in DatasetProfile::paper_profiles() {
+            assert_eq!(
+                p.dim() % p.paper_pq_subspaces(),
+                0,
+                "{p}: dim {} not divisible by PQ{}",
+                p.dim(),
+                p.paper_pq_subspaces()
+            );
+        }
+    }
+}

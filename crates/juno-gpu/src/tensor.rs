@@ -1,0 +1,146 @@
+//! Tensor-core distance accumulation.
+//!
+//! JUNO maps the accumulation of per-subspace distances onto Tensor cores
+//! (paper Section 5.3): the selected distances of each candidate point are
+//! laid out as the rows of a matrix `A` with `K = D/M` columns (padded with
+//! zeros), `B` is a `K × 1` matrix of ones, and the candidate's total
+//! distance is the matching row of `A × B`. This module provides a software
+//! implementation of that GEMM (so results are bit-for-bit reproducible) plus
+//! its cost on a device.
+
+use crate::cost::{tensor_accumulation_cost, KernelCost};
+use juno_common::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// The padded `A` matrix of one accumulation batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AccumulationMatrix {
+    /// Row-major data, `rows × k`.
+    data: Vec<f32>,
+    /// Number of candidate rows.
+    rows: usize,
+    /// Number of subspace columns (`D/M`).
+    k: usize,
+}
+
+impl AccumulationMatrix {
+    /// Creates a zero-filled matrix for `rows` candidates and `k` subspaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `k == 0`.
+    pub fn new(rows: usize, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::invalid_config(
+                "accumulation width k must be positive",
+            ));
+        }
+        Ok(Self {
+            data: vec![0.0; rows * k],
+            rows,
+            k,
+        })
+    }
+
+    /// Number of candidate rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of subspace columns.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Sets the partial distance of candidate `row` in subspace column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.k, "index out of bounds");
+        self.data[row * self.k + col] = value;
+    }
+
+    /// Accesses the partial distance of candidate `row` in column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.k, "index out of bounds");
+        self.data[row * self.k + col]
+    }
+
+    /// Performs the ones-vector GEMM `A × 1`, returning one accumulated value
+    /// per candidate row — exactly what cuBLAS would return on Tensor cores.
+    pub fn accumulate(&self) -> Vec<f32> {
+        self.data
+            .chunks_exact(self.k.max(1))
+            .map(|row| row.iter().sum())
+            .collect()
+    }
+
+    /// The Tensor-core kernel cost of this accumulation for a whole batch of
+    /// `queries` queries sharing the same shape.
+    pub fn cost(&self, queries: usize) -> KernelCost {
+        tensor_accumulation_cost(queries, self.rows, self.k)
+    }
+}
+
+/// Accumulates a set of per-subspace distance rows directly (helper used when
+/// the caller does not need to keep the matrix around).
+pub fn accumulate_rows(rows: &[Vec<f32>]) -> Vec<f32> {
+    rows.iter().map(|r| r.iter().sum()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_matches_manual_sum() {
+        let mut m = AccumulationMatrix::new(3, 4).unwrap();
+        m.set(0, 0, 1.0);
+        m.set(0, 3, 2.0);
+        m.set(1, 1, 5.0);
+        m.set(2, 0, -1.0);
+        m.set(2, 2, 1.5);
+        let out = m.accumulate();
+        assert_eq!(out, vec![3.0, 5.0, 0.5]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.k(), 4);
+        assert_eq!(m.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(AccumulationMatrix::new(5, 0).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_accumulates_to_nothing() {
+        let m = AccumulationMatrix::new(0, 4).unwrap();
+        assert!(m.accumulate().is_empty());
+    }
+
+    #[test]
+    fn accumulate_rows_helper() {
+        let rows = vec![vec![1.0, 2.0], vec![0.5, 0.25], vec![]];
+        assert_eq!(accumulate_rows(&rows), vec![3.0, 0.75, 0.0]);
+    }
+
+    #[test]
+    fn cost_scales_with_rows() {
+        let a = AccumulationMatrix::new(1_000, 48).unwrap().cost(10);
+        let b = AccumulationMatrix::new(2_000, 48).unwrap().cost(10);
+        assert!((b.flops / a.flops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let mut m = AccumulationMatrix::new(1, 1).unwrap();
+        m.set(1, 0, 1.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Inverted file index (IVF) — the coarse filtering stage.
+//!
+//! The IVF (paper Section 2.1, step 1 and stage A) clusters the `N` search
+//! points into `C` clusters with full-dimension k-means and stores, for each
+//! cluster, the list of its member point ids. At query time the *filtering*
+//! stage computes the query's distance to all `C` centroids and keeps the
+//! `nprobs` closest clusters; all later stages only touch points in those
+//! clusters.
+
+use crate::kmeans::{KMeans, KMeansConfig};
+use juno_common::error::{Error, Result};
+use juno_common::metric::Metric;
+use juno_common::topk::TopK;
+use juno_common::vector::VectorSet;
+use serde::{Deserialize, Serialize};
+
+/// Training configuration for an [`IvfIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IvfTrainConfig {
+    /// Number of coarse clusters (`C`), e.g. 4096 in the paper's DEEP1M setup.
+    pub n_clusters: usize,
+    /// Metric used for filtering (L2 or inner product).
+    pub metric: Metric,
+    /// k-means iterations.
+    pub kmeans_iters: usize,
+    /// Seed for the coarse k-means.
+    pub seed: u64,
+    /// Optional training subsample for the coarse k-means.
+    pub train_subsample: Option<usize>,
+}
+
+impl Default for IvfTrainConfig {
+    fn default() -> Self {
+        Self {
+            n_clusters: 64,
+            metric: Metric::L2,
+            kmeans_iters: 20,
+            seed: 0x1F5,
+            train_subsample: Some(100_000),
+        }
+    }
+}
+
+impl IvfTrainConfig {
+    /// Convenience constructor with a cluster count and metric.
+    pub fn new(n_clusters: usize, metric: Metric) -> Self {
+        Self {
+            n_clusters,
+            metric,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of the filtering stage for one query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FilterResult {
+    /// Selected cluster ids, closest first.
+    pub clusters: Vec<usize>,
+    /// Raw metric value of the query to each selected centroid.
+    pub centroid_distances: Vec<f32>,
+    /// Number of pairwise distance computations performed (`C`).
+    pub distance_computations: usize,
+}
+
+/// A trained inverted file index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IvfIndex {
+    centroids: VectorSet,
+    /// `lists[c]` holds the ids of the points assigned to cluster `c`.
+    lists: Vec<Vec<u32>>,
+    /// Cluster assignment of every indexed point.
+    labels: Vec<usize>,
+    metric: Metric,
+}
+
+impl IvfIndex {
+    /// Trains the coarse quantiser and builds the inverted lists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates k-means errors (empty input, too many clusters, ...).
+    pub fn train(points: &VectorSet, config: &IvfTrainConfig) -> Result<Self> {
+        let km_cfg = KMeansConfig {
+            n_clusters: config.n_clusters,
+            max_iters: config.kmeans_iters,
+            tolerance: 1e-4,
+            seed: config.seed,
+            train_subsample: config.train_subsample,
+        };
+        let km = KMeans::train(points, &km_cfg)?;
+        let labels = km.labels().to_vec();
+        let mut lists = vec![Vec::new(); config.n_clusters];
+        for (i, &c) in labels.iter().enumerate() {
+            lists[c].push(i as u32);
+        }
+        Ok(Self {
+            centroids: km.into_centroids(),
+            lists,
+            labels,
+            metric: config.metric,
+        })
+    }
+
+    /// Number of clusters `C`.
+    pub fn n_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Dimension of indexed points.
+    pub fn dim(&self) -> usize {
+        self.centroids.dim()
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The filtering metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Borrow of the coarse centroids.
+    pub fn centroids(&self) -> &VectorSet {
+        &self.centroids
+    }
+
+    /// Borrow of one coarse centroid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] for an invalid cluster id.
+    pub fn centroid(&self, c: usize) -> Result<&[f32]> {
+        self.centroids
+            .get(c)
+            .ok_or_else(|| Error::IndexOutOfBounds {
+                what: "cluster".into(),
+                index: c,
+                len: self.centroids.len(),
+            })
+    }
+
+    /// Cluster assignment of every indexed point.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The member point ids of cluster `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] for an invalid cluster id.
+    pub fn list(&self, c: usize) -> Result<&[u32]> {
+        self.lists
+            .get(c)
+            .map(Vec::as_slice)
+            .ok_or_else(|| Error::IndexOutOfBounds {
+                what: "cluster".into(),
+                index: c,
+                len: self.lists.len(),
+            })
+    }
+
+    /// Sizes of all inverted lists (useful for balance diagnostics).
+    pub fn list_sizes(&self) -> Vec<usize> {
+        self.lists.iter().map(Vec::len).collect()
+    }
+
+    /// The filtering stage: selects the `nprobs` clusters whose centroids are
+    /// closest to (or, for MIPS, have largest inner product with) the query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the query dimension differs
+    /// and [`Error::InvalidConfig`] when `nprobs == 0`.
+    pub fn filter(&self, query: &[f32], nprobs: usize) -> Result<FilterResult> {
+        if query.len() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: query.len(),
+            });
+        }
+        if nprobs == 0 {
+            return Err(Error::invalid_config("nprobs must be positive"));
+        }
+        let nprobs = nprobs.min(self.n_clusters());
+        let mut topk = TopK::new(nprobs, self.metric);
+        for (c, row) in self.centroids.iter().enumerate() {
+            topk.push(c as u64, self.metric.distance(query, row));
+        }
+        let ranked = topk.into_sorted_vec();
+        Ok(FilterResult {
+            clusters: ranked.iter().map(|n| n.id as usize).collect(),
+            centroid_distances: ranked.iter().map(|n| n.distance).collect(),
+            distance_computations: self.n_clusters(),
+        })
+    }
+
+    /// The residual of a query with respect to cluster `c`'s centroid
+    /// (`query - centroid`), used by PQ's asymmetric distance computation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid cluster id or mismatched dimension.
+    pub fn query_residual(&self, query: &[f32], c: usize) -> Result<Vec<f32>> {
+        if query.len() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: query.len(),
+            });
+        }
+        let centroid = self.centroid(c)?;
+        Ok(query
+            .iter()
+            .zip(centroid.iter())
+            .map(|(q, c)| q - c)
+            .collect())
+    }
+
+    /// Computes residuals of all indexed points with respect to their assigned
+    /// centroid — the training input of the PQ codebooks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension errors from [`VectorSet::residual_to`].
+    pub fn point_residuals(&self, points: &VectorSet) -> Result<VectorSet> {
+        if points.len() != self.labels.len() {
+            return Err(Error::invalid_config(format!(
+                "point count {} does not match trained assignment {}",
+                points.len(),
+                self.labels.len()
+            )));
+        }
+        points.residual_to(&self.centroids, &self.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_common::rng::{normal, seeded};
+
+    fn clustered_points(n_per: usize, seed: u64) -> VectorSet {
+        let mut rng = seeded(seed);
+        let centers = [
+            [0.0f32, 0.0, 0.0, 0.0],
+            [10.0, 10.0, 10.0, 10.0],
+            [-10.0, 5.0, 0.0, -5.0],
+            [20.0, -20.0, 10.0, 0.0],
+        ];
+        let mut rows = Vec::new();
+        for c in centers {
+            for _ in 0..n_per {
+                rows.push(c.iter().map(|&m| normal(&mut rng, m, 0.5)).collect());
+            }
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    fn toy_index() -> (VectorSet, IvfIndex) {
+        let points = clustered_points(50, 3);
+        let ivf = IvfIndex::train(&points, &IvfTrainConfig::new(4, Metric::L2)).unwrap();
+        (points, ivf)
+    }
+
+    #[test]
+    fn lists_partition_all_points() {
+        let (points, ivf) = toy_index();
+        let total: usize = ivf.list_sizes().iter().sum();
+        assert_eq!(total, points.len());
+        // Every point appears in the list matching its label.
+        for (i, &label) in ivf.labels().iter().enumerate() {
+            assert!(ivf.list(label).unwrap().contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn filter_selects_own_cluster_first() {
+        let (points, ivf) = toy_index();
+        // A query equal to an indexed point must rank that point's cluster first.
+        for i in (0..points.len()).step_by(23) {
+            let res = ivf.filter(points.row(i), 2).unwrap();
+            assert_eq!(res.clusters[0], ivf.labels()[i]);
+            assert_eq!(res.distance_computations, 4);
+            assert_eq!(res.clusters.len(), 2);
+        }
+    }
+
+    #[test]
+    fn filter_distances_are_sorted() {
+        let (points, ivf) = toy_index();
+        let res = ivf.filter(points.row(0), 4).unwrap();
+        for w in res.centroid_distances.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn filter_with_inner_product_prefers_aligned_centroid() {
+        let points = VectorSet::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![1.1, 0.0],
+            vec![0.9, 0.1],
+            vec![0.0, 1.0],
+            vec![0.0, 1.1],
+            vec![0.1, 0.9],
+        ])
+        .unwrap();
+        let ivf = IvfIndex::train(&points, &IvfTrainConfig::new(2, Metric::InnerProduct)).unwrap();
+        let res = ivf.filter(&[3.0, 0.0], 1).unwrap();
+        let picked = ivf.centroid(res.clusters[0]).unwrap();
+        // The selected centroid must be the x-aligned one.
+        assert!(picked[0] > picked[1]);
+    }
+
+    #[test]
+    fn nprobs_is_clamped_and_validated() {
+        let (points, ivf) = toy_index();
+        assert!(ivf.filter(points.row(0), 0).is_err());
+        let res = ivf.filter(points.row(0), 100).unwrap();
+        assert_eq!(res.clusters.len(), ivf.n_clusters());
+        assert!(ivf.filter(&[0.0; 3], 1).is_err());
+    }
+
+    #[test]
+    fn residuals_are_consistent() {
+        let (points, ivf) = toy_index();
+        let res = ivf.point_residuals(&points).unwrap();
+        // Residual + centroid reconstructs the point.
+        for i in (0..points.len()).step_by(17) {
+            let c = ivf.centroid(ivf.labels()[i]).unwrap();
+            for d in 0..points.dim() {
+                let rebuilt = res.row(i)[d] + c[d];
+                assert!((rebuilt - points.row(i)[d]).abs() < 1e-5);
+            }
+        }
+        // Query residual agrees with manual subtraction.
+        let qres = ivf.query_residual(points.row(0), 0).unwrap();
+        let c0 = ivf.centroid(0).unwrap();
+        for d in 0..points.dim() {
+            assert!((qres[d] - (points.row(0)[d] - c0[d])).abs() < 1e-6);
+        }
+        assert!(ivf.query_residual(&[0.0; 2], 0).is_err());
+        assert!(ivf.query_residual(points.row(0), 99).is_err());
+    }
+
+    #[test]
+    fn accessors_and_bounds() {
+        let (_, ivf) = toy_index();
+        assert_eq!(ivf.n_clusters(), 4);
+        assert_eq!(ivf.dim(), 4);
+        assert_eq!(ivf.len(), 200);
+        assert!(!ivf.is_empty());
+        assert_eq!(ivf.metric(), Metric::L2);
+        assert!(ivf.centroid(4).is_err());
+        assert!(ivf.list(4).is_err());
+    }
+}

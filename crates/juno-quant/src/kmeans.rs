@@ -1,0 +1,434 @@
+//! Lloyd's k-means with k-means++ initialisation.
+//!
+//! Used twice by the IVFPQ pipeline:
+//!
+//! 1. the "first" clustering over all `N` search points of full dimension `D`
+//!    (the IVF coarse quantiser, `C` clusters), and
+//! 2. one "second" clustering per subspace over residual projections of
+//!    dimension `M` (the PQ codebook, `E` entries per subspace).
+//!
+//! Determinism: all randomness flows through the seed in [`KMeansConfig`], so
+//! repeated builds of an index produce identical centroids.
+
+use juno_common::error::{Error, Result};
+use juno_common::metric::l2_squared;
+use juno_common::rng::{sample_indices, seeded};
+use juno_common::vector::VectorSet;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a k-means run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters (`C` for the coarse quantiser, `E` per subspace).
+    pub n_clusters: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the relative decrease of the objective.
+    pub tolerance: f64,
+    /// Seed driving the k-means++ initialisation and empty-cluster repair.
+    pub seed: u64,
+    /// Optional cap on the number of points used for training; when the input
+    /// is larger, a random subsample of this size is used (FAISS does the same
+    /// for large datasets). `None` trains on everything.
+    pub train_subsample: Option<usize>,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            n_clusters: 8,
+            max_iters: 25,
+            tolerance: 1e-4,
+            seed: 0x5EED,
+            train_subsample: None,
+        }
+    }
+}
+
+impl KMeansConfig {
+    /// Convenience constructor with the given cluster count and seed.
+    pub fn new(n_clusters: usize, seed: u64) -> Self {
+        Self {
+            n_clusters,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// A trained k-means model: centroids plus the training assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: VectorSet,
+    /// Assignment of the training points to centroids (same order as input).
+    labels: Vec<usize>,
+    /// Final value of the (mean squared) quantisation objective.
+    inertia: f64,
+    /// Number of Lloyd iterations executed.
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Trains k-means on `points` according to `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyInput`] when `points` is empty and
+    /// [`Error::InvalidConfig`] when `n_clusters` is zero or exceeds the
+    /// number of points.
+    pub fn train(points: &VectorSet, config: &KMeansConfig) -> Result<Self> {
+        if points.is_empty() {
+            return Err(Error::empty_input("k-means requires at least one point"));
+        }
+        if config.n_clusters == 0 {
+            return Err(Error::invalid_config("n_clusters must be positive"));
+        }
+        if config.n_clusters > points.len() {
+            return Err(Error::invalid_config(format!(
+                "n_clusters {} exceeds number of points {}",
+                config.n_clusters,
+                points.len()
+            )));
+        }
+
+        let mut rng = seeded(config.seed);
+
+        // Optional subsampling for training; the final assignment below is
+        // always computed over the full point set.
+        let training: VectorSet = match config.train_subsample {
+            Some(cap) if cap < points.len() && cap >= config.n_clusters => {
+                let ids = sample_indices(&mut rng, points.len(), cap);
+                points.select(&ids)?
+            }
+            _ => points.clone(),
+        };
+
+        let mut centroids = plus_plus_init(&training, config.n_clusters, &mut rng);
+        let mut labels = vec![0usize; training.len()];
+        let mut inertia = f64::INFINITY;
+        let mut iterations = 0usize;
+
+        for iter in 0..config.max_iters.max(1) {
+            iterations = iter + 1;
+            // Assignment step.
+            let new_inertia = assign(&training, &centroids, &mut labels);
+            // Update step.
+            update_centroids(&training, &labels, &mut centroids, &mut rng);
+            let improved = inertia.is_infinite()
+                || (inertia - new_inertia) > config.tolerance * inertia.abs().max(1e-12);
+            inertia = new_inertia;
+            if !improved {
+                break;
+            }
+        }
+
+        // Final assignment over the full input (also covers the subsampled
+        // case where `training` differs from `points`).
+        let mut full_labels = vec![0usize; points.len()];
+        let final_inertia = assign(points, &centroids, &mut full_labels);
+
+        Ok(Self {
+            centroids,
+            labels: full_labels,
+            inertia: final_inertia,
+            iterations,
+        })
+    }
+
+    /// The trained centroids (one row per cluster).
+    pub fn centroids(&self) -> &VectorSet {
+        &self.centroids
+    }
+
+    /// Consumes the model and returns its centroids.
+    pub fn into_centroids(self) -> VectorSet {
+        self.centroids
+    }
+
+    /// Assignment of the training points (cluster id per point).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Mean squared distance of points to their assigned centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Number of Lloyd iterations performed before convergence / cut-off.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Assigns a single vector to its nearest centroid, returning
+    /// `(cluster id, squared distance)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the vector has the wrong
+    /// dimension.
+    pub fn assign_one(&self, v: &[f32]) -> Result<(usize, f32)> {
+        if v.len() != self.centroids.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.centroids.dim(),
+                actual: v.len(),
+            });
+        }
+        Ok(nearest_centroid(v, &self.centroids))
+    }
+}
+
+/// k-means++ seeding: the first centroid is uniform, each further centroid is
+/// sampled proportionally to its squared distance from the nearest chosen one.
+fn plus_plus_init<R: Rng>(points: &VectorSet, k: usize, rng: &mut R) -> VectorSet {
+    let n = points.len();
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let first = rng.gen_range(0..n);
+    chosen.push(first);
+
+    // Squared distance of each point to the nearest chosen centroid.
+    let mut dist: Vec<f32> = points
+        .iter()
+        .map(|p| l2_squared(p, points.row(first)))
+        .collect();
+
+    while chosen.len() < k {
+        let total: f64 = dist.iter().map(|&d| d as f64).sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with chosen centroids; pick any
+            // unchosen index to keep the centroid count correct.
+            (0..n).find(|i| !chosen.contains(i)).unwrap_or(0)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in dist.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        chosen.push(next);
+        let new_c = points.row(next);
+        for (i, p) in points.iter().enumerate() {
+            let d = l2_squared(p, new_c);
+            if d < dist[i] {
+                dist[i] = d;
+            }
+        }
+    }
+
+    points
+        .select(&chosen)
+        .expect("chosen indices are in bounds by construction")
+}
+
+/// Finds the nearest centroid of `v`, returning `(index, squared distance)`.
+fn nearest_centroid(v: &[f32], centroids: &VectorSet) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, row) in centroids.iter().enumerate() {
+        let d = l2_squared(v, row);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Assignment step. Returns the mean squared distance (the objective).
+/// Parallelised over points with scoped threads.
+fn assign(points: &VectorSet, centroids: &VectorSet, labels: &mut [usize]) -> f64 {
+    let n = points.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let n_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1);
+    let chunk = n.div_ceil(n_threads);
+    let mut partial = vec![0.0f64; n_threads];
+    std::thread::scope(|scope| {
+        let mut rest: &mut [usize] = labels;
+        let mut handles = Vec::new();
+        let mut start = 0usize;
+        for slot in partial.iter_mut() {
+            if start >= n {
+                break;
+            }
+            let take = chunk.min(n - start);
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let begin = start;
+            handles.push(scope.spawn(move || {
+                let mut local = 0.0f64;
+                for (i, lab) in head.iter_mut().enumerate() {
+                    let (c, d) = nearest_centroid(points.row(begin + i), centroids);
+                    *lab = c;
+                    local += d as f64;
+                }
+                *slot = local;
+            }));
+            start += take;
+        }
+        for h in handles {
+            h.join().expect("k-means assignment worker panicked");
+        }
+    });
+    partial.iter().sum::<f64>() / n as f64
+}
+
+/// Update step: recompute each centroid as the mean of its assigned points.
+/// Empty clusters are re-seeded with a random point (empty-cluster repair).
+fn update_centroids<R: Rng>(
+    points: &VectorSet,
+    labels: &[usize],
+    centroids: &mut VectorSet,
+    rng: &mut R,
+) {
+    let dim = points.dim();
+    let k = centroids.len();
+    let mut sums = vec![0.0f64; k * dim];
+    let mut counts = vec![0usize; k];
+    for (i, p) in points.iter().enumerate() {
+        let c = labels[i];
+        counts[c] += 1;
+        let sum = &mut sums[c * dim..(c + 1) * dim];
+        for (s, &x) in sum.iter_mut().zip(p.iter()) {
+            *s += x as f64;
+        }
+    }
+    for c in 0..k {
+        let row = centroids.row_mut(c);
+        if counts[c] == 0 {
+            // Empty-cluster repair: move the centroid onto a random point so
+            // it can attract members in the next iteration.
+            let idx = rng.gen_range(0..points.len());
+            row.copy_from_slice(points.row(idx));
+        } else {
+            let inv = 1.0 / counts[c] as f64;
+            let sum = &sums[c * dim..(c + 1) * dim];
+            for (r, &s) in row.iter_mut().zip(sum.iter()) {
+                *r = (s * inv) as f32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_common::rng::normal;
+
+    /// Three well-separated Gaussian blobs in 2-D.
+    fn blobs(n_per: usize, seed: u64) -> VectorSet {
+        let mut rng = seeded(seed);
+        let centers = [[0.0f32, 0.0], [10.0, 10.0], [-10.0, 8.0]];
+        let mut rows = Vec::new();
+        for c in centers {
+            for _ in 0..n_per {
+                rows.push(vec![
+                    normal(&mut rng, c[0], 0.5),
+                    normal(&mut rng, c[1], 0.5),
+                ]);
+            }
+        }
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let points = blobs(60, 7);
+        let km = KMeans::train(&points, &KMeansConfig::new(3, 42)).unwrap();
+        assert_eq!(km.n_clusters(), 3);
+        // Every blob should be internally consistent: points of the same blob
+        // share a label.
+        for blob in 0..3 {
+            let base = km.labels()[blob * 60];
+            for i in 0..60 {
+                assert_eq!(km.labels()[blob * 60 + i], base, "blob {blob} split");
+            }
+        }
+        // With well separated blobs the mean quantisation error is tiny
+        // relative to the inter-blob distance.
+        assert!(km.inertia() < 2.0, "inertia {} too high", km.inertia());
+    }
+
+    #[test]
+    fn labels_are_nearest_centroids() {
+        let points = blobs(30, 3);
+        let km = KMeans::train(&points, &KMeansConfig::new(4, 9)).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            let (nearest, _) = km.assign_one(p).unwrap();
+            assert_eq!(km.labels()[i], nearest);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let points = blobs(40, 11);
+        let a = KMeans::train(&points, &KMeansConfig::new(5, 1234)).unwrap();
+        let b = KMeans::train(&points, &KMeansConfig::new(5, 1234)).unwrap();
+        assert_eq!(a.centroids(), b.centroids());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn subsampled_training_still_covers_all_points() {
+        let points = blobs(100, 21);
+        let cfg = KMeansConfig {
+            n_clusters: 3,
+            train_subsample: Some(60),
+            ..KMeansConfig::new(3, 5)
+        };
+        let km = KMeans::train(&points, &cfg).unwrap();
+        assert_eq!(km.labels().len(), points.len());
+        assert!(km.labels().iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn handles_k_equal_n() {
+        let points =
+            VectorSet::from_rows(vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        let km = KMeans::train(&points, &KMeansConfig::new(3, 77)).unwrap();
+        assert_eq!(km.n_clusters(), 3);
+        // Each point should become (close to) its own centroid.
+        assert!(km.inertia() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_init() {
+        let points = VectorSet::from_rows(vec![vec![1.0, 1.0]; 10]).unwrap();
+        let km = KMeans::train(&points, &KMeansConfig::new(3, 5)).unwrap();
+        assert_eq!(km.n_clusters(), 3);
+        assert!(km.inertia() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let points = blobs(5, 1);
+        assert!(KMeans::train(&points, &KMeansConfig::new(0, 1)).is_err());
+        assert!(KMeans::train(&points, &KMeansConfig::new(100, 1)).is_err());
+        let empty = VectorSet::new(2).unwrap();
+        assert!(KMeans::train(&empty, &KMeansConfig::new(1, 1)).is_err());
+    }
+
+    #[test]
+    fn assign_one_checks_dimension() {
+        let points = blobs(10, 2);
+        let km = KMeans::train(&points, &KMeansConfig::new(2, 3)).unwrap();
+        assert!(km.assign_one(&[1.0]).is_err());
+        assert!(km.assign_one(&[1.0, 2.0]).is_ok());
+    }
+}

@@ -1,0 +1,30 @@
+//! Quantisation substrate for the JUNO reproduction.
+//!
+//! This crate implements the offline machinery behind the IVFPQ pipeline the
+//! paper analyses (Section 2.1) and builds upon (Sections 4–5):
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ initialisation and empty
+//!   cluster repair. Used for both the coarse (IVF) quantiser and the
+//!   per-subspace "second" clusters that form the PQ codebook.
+//! * [`codebook`] — the per-subspace entry sets (`E` entries of dimension `M`).
+//! * [`pq`] — the [`ProductQuantizer`](pq::ProductQuantizer): training on
+//!   residuals, encoding search points, decoding, and the *dense* L2-LUT
+//!   construction used by the FAISS-style baseline.
+//! * [`ivf`] — the inverted file index: coarse centroids, inverted lists, and
+//!   the filtering stage (choose the `nprobs` closest clusters).
+//!
+//! The JUNO engine (`juno-core`) replaces the dense L2-LUT construction with a
+//! selective, RT-core mapped one, but shares everything else in this crate.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codebook;
+pub mod ivf;
+pub mod kmeans;
+pub mod pq;
+
+pub use codebook::Codebook;
+pub use ivf::{IvfIndex, IvfTrainConfig};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use pq::{EncodedPoints, PqTrainConfig, ProductQuantizer};

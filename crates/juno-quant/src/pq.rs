@@ -1,0 +1,483 @@
+//! Product quantisation (PQ).
+//!
+//! PQ (paper Section 2.1, steps 2–4) splits the `D`-dimensional space into
+//! `D/M` subspaces of dimension `M`, trains `E` clusters in every subspace
+//! over residual projections, and replaces every search point by the `D/M`
+//! entry ids of its projections. A query is compared to encoded points with
+//! the *asymmetric distance computation* (ADC): per-subspace distances between
+//! the query projection and all entries are tabulated into an L2 look-up
+//! table, and the distance to an encoded point is the sum of `D/M` table
+//! lookups.
+
+use crate::codebook::Codebook;
+use crate::kmeans::{KMeans, KMeansConfig};
+use juno_common::error::{Error, Result};
+use juno_common::rng::derive_seed;
+use juno_common::vector::VectorSet;
+use serde::{Deserialize, Serialize};
+
+/// Training configuration for a [`ProductQuantizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PqTrainConfig {
+    /// Number of subspaces (`D/M`); the paper's `PQ48` means 48 subspaces.
+    pub num_subspaces: usize,
+    /// Number of codebook entries per subspace (`E`), typically 256.
+    pub entries_per_subspace: usize,
+    /// k-means iterations for each subspace clustering.
+    pub kmeans_iters: usize,
+    /// Seed for the per-subspace k-means runs.
+    pub seed: u64,
+    /// Optional training subsample per subspace clustering.
+    pub train_subsample: Option<usize>,
+}
+
+impl Default for PqTrainConfig {
+    fn default() -> Self {
+        Self {
+            num_subspaces: 8,
+            entries_per_subspace: 256,
+            kmeans_iters: 20,
+            seed: 0xC0DE,
+            train_subsample: Some(50_000),
+        }
+    }
+}
+
+impl PqTrainConfig {
+    /// Convenience constructor.
+    pub fn new(num_subspaces: usize, entries_per_subspace: usize) -> Self {
+        Self {
+            num_subspaces,
+            entries_per_subspace,
+            ..Self::default()
+        }
+    }
+}
+
+/// Encoded search points: one `u16` entry id per subspace per point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct EncodedPoints {
+    codes: Vec<u16>,
+    num_subspaces: usize,
+}
+
+impl EncodedPoints {
+    /// Number of encoded points.
+    pub fn len(&self) -> usize {
+        if self.num_subspaces == 0 {
+            0
+        } else {
+            self.codes.len() / self.num_subspaces
+        }
+    }
+
+    /// Returns `true` when no point is encoded.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of subspaces per code.
+    pub fn num_subspaces(&self) -> usize {
+        self.num_subspaces
+    }
+
+    /// The code (one entry id per subspace) of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn code(&self, i: usize) -> &[u16] {
+        &self.codes[i * self.num_subspaces..(i + 1) * self.num_subspaces]
+    }
+
+    /// Flat borrow of all codes (row-major, `len × num_subspaces`).
+    pub fn as_flat(&self) -> &[u16] {
+        &self.codes
+    }
+
+    /// Memory footprint of the codes in bytes.
+    pub fn code_bytes(&self) -> usize {
+        self.codes.len() * std::mem::size_of::<u16>()
+    }
+}
+
+/// A trained product quantiser: one [`Codebook`] per subspace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProductQuantizer {
+    codebooks: Vec<Codebook>,
+    dim: usize,
+    sub_dim: usize,
+}
+
+impl ProductQuantizer {
+    /// Trains a product quantiser on (residual) vectors of dimension `D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `D` is not divisible by the
+    /// number of subspaces, when a subspace would be empty, or when `E`
+    /// exceeds `u16::MAX`; k-means errors are propagated.
+    pub fn train(vectors: &VectorSet, config: &PqTrainConfig) -> Result<Self> {
+        if config.num_subspaces == 0 {
+            return Err(Error::invalid_config("num_subspaces must be positive"));
+        }
+        if config.entries_per_subspace == 0 {
+            return Err(Error::invalid_config(
+                "entries_per_subspace must be positive",
+            ));
+        }
+        if config.entries_per_subspace > u16::MAX as usize + 1 {
+            return Err(Error::invalid_config(
+                "entries_per_subspace must fit in a u16 code",
+            ));
+        }
+        let dim = vectors.dim();
+        if dim % config.num_subspaces != 0 {
+            return Err(Error::invalid_config(format!(
+                "dimension {dim} is not divisible by num_subspaces {}",
+                config.num_subspaces
+            )));
+        }
+        if vectors.len() < config.entries_per_subspace {
+            return Err(Error::invalid_config(format!(
+                "training requires at least E={} vectors, got {}",
+                config.entries_per_subspace,
+                vectors.len()
+            )));
+        }
+        let sub_dim = dim / config.num_subspaces;
+        let mut codebooks = Vec::with_capacity(config.num_subspaces);
+        for s in 0..config.num_subspaces {
+            let projections = vectors.subspace(s * sub_dim, sub_dim)?;
+            let km_cfg = KMeansConfig {
+                n_clusters: config.entries_per_subspace,
+                max_iters: config.kmeans_iters,
+                tolerance: 1e-4,
+                seed: derive_seed(config.seed, s as u64),
+                train_subsample: config.train_subsample,
+            };
+            let km = KMeans::train(&projections, &km_cfg)?;
+            codebooks.push(Codebook::new(s, km.into_centroids())?);
+        }
+        Ok(Self {
+            codebooks,
+            dim,
+            sub_dim,
+        })
+    }
+
+    /// Full vector dimension `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Subspace dimension `M`.
+    pub fn sub_dim(&self) -> usize {
+        self.sub_dim
+    }
+
+    /// Number of subspaces `D/M`.
+    pub fn num_subspaces(&self) -> usize {
+        self.codebooks.len()
+    }
+
+    /// Number of entries per subspace `E`.
+    pub fn entries_per_subspace(&self) -> usize {
+        self.codebooks.first().map_or(0, Codebook::num_entries)
+    }
+
+    /// Borrow of all per-subspace codebooks.
+    pub fn codebooks(&self) -> &[Codebook] {
+        &self.codebooks
+    }
+
+    /// Borrow of one subspace codebook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] for an invalid subspace.
+    pub fn codebook(&self, s: usize) -> Result<&Codebook> {
+        self.codebooks
+            .get(s)
+            .ok_or_else(|| Error::IndexOutOfBounds {
+                what: "subspace".into(),
+                index: s,
+                len: self.codebooks.len(),
+            })
+    }
+
+    /// Encodes a set of (residual) vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the vector dimension is not
+    /// `D`.
+    pub fn encode(&self, vectors: &VectorSet) -> Result<EncodedPoints> {
+        if vectors.dim() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: vectors.dim(),
+            });
+        }
+        let m = self.num_subspaces();
+        let mut codes = vec![0u16; vectors.len() * m];
+        let n_threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(vectors.len().max(1));
+        let chunk = vectors.len().div_ceil(n_threads.max(1)).max(1);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u16] = &mut codes;
+            let mut start = 0usize;
+            let mut handles = Vec::new();
+            while start < vectors.len() {
+                let take = chunk.min(vectors.len() - start);
+                let (head, tail) = rest.split_at_mut(take * m);
+                rest = tail;
+                let begin = start;
+                let this = &*self;
+                handles.push(scope.spawn(move || {
+                    for i in 0..take {
+                        let row = vectors.row(begin + i);
+                        for (s, cb) in this.codebooks.iter().enumerate() {
+                            let proj = &row[s * this.sub_dim..(s + 1) * this.sub_dim];
+                            // encode() cannot fail here: proj length == sub_dim.
+                            head[i * m + s] =
+                                cb.encode(proj).expect("projection has subspace dimension") as u16;
+                        }
+                    }
+                }));
+                start += take;
+            }
+            for h in handles {
+                h.join().expect("PQ encode worker panicked");
+            }
+        });
+        Ok(EncodedPoints {
+            codes,
+            num_subspaces: m,
+        })
+    }
+
+    /// Reconstructs (decodes) an encoded point back into a `D`-dimensional
+    /// vector by concatenating its entry centroids.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the code length or any entry id is invalid.
+    pub fn decode(&self, code: &[u16]) -> Result<Vec<f32>> {
+        if code.len() != self.num_subspaces() {
+            return Err(Error::DimensionMismatch {
+                expected: self.num_subspaces(),
+                actual: code.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.dim);
+        for (s, &e) in code.iter().enumerate() {
+            let entry = self.codebooks[s].entry(e as usize)?;
+            out.extend_from_slice(entry);
+        }
+        Ok(out)
+    }
+
+    /// Builds the dense L2-LUT of one query residual: `lut[s][e]` is the
+    /// squared distance between the query's projection on subspace `s` and
+    /// entry `e`. This is the baseline (FAISS-style) LUT construction whose
+    /// cost the paper's Fig. 3(a) attributes ~90 % of query time to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the residual dimension is not
+    /// `D`.
+    pub fn dense_lut(&self, residual: &[f32]) -> Result<Vec<Vec<f32>>> {
+        if residual.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: residual.len(),
+            });
+        }
+        let mut lut = Vec::with_capacity(self.num_subspaces());
+        for (s, cb) in self.codebooks.iter().enumerate() {
+            let proj = &residual[s * self.sub_dim..(s + 1) * self.sub_dim];
+            lut.push(cb.dense_lut_row(proj)?);
+        }
+        Ok(lut)
+    }
+
+    /// Asymmetric distance of one encoded point given a dense LUT: the sum of
+    /// `lut[s][code[s]]` over subspaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` or `lut` have inconsistent shapes (internal misuse).
+    pub fn adc_distance(lut: &[Vec<f32>], code: &[u16]) -> f32 {
+        debug_assert_eq!(lut.len(), code.len());
+        code.iter()
+            .enumerate()
+            .map(|(s, &e)| lut[s][e as usize])
+            .sum()
+    }
+
+    /// Mean squared reconstruction error of an encoding — a quality measure of
+    /// the trained codebooks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors and dimension mismatches.
+    pub fn reconstruction_error(&self, vectors: &VectorSet, codes: &EncodedPoints) -> Result<f64> {
+        if vectors.len() != codes.len() {
+            return Err(Error::invalid_config(format!(
+                "vector count {} does not match code count {}",
+                vectors.len(),
+                codes.len()
+            )));
+        }
+        if vectors.is_empty() {
+            return Ok(0.0);
+        }
+        let mut total = 0.0f64;
+        for i in 0..vectors.len() {
+            let rec = self.decode(codes.code(i))?;
+            total += juno_common::metric::l2_squared(vectors.row(i), &rec) as f64;
+        }
+        Ok(total / vectors.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_common::metric::l2_squared;
+    use juno_common::rng::{normal, seeded};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = seeded(seed);
+        let rows = (0..n)
+            .map(|_| (0..dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+            .collect();
+        VectorSet::from_rows(rows).unwrap()
+    }
+
+    fn small_config() -> PqTrainConfig {
+        PqTrainConfig {
+            num_subspaces: 4,
+            entries_per_subspace: 16,
+            kmeans_iters: 10,
+            seed: 7,
+            train_subsample: None,
+        }
+    }
+
+    #[test]
+    fn shapes_after_training() {
+        let data = random_vectors(400, 8, 1);
+        let pq = ProductQuantizer::train(&data, &small_config()).unwrap();
+        assert_eq!(pq.dim(), 8);
+        assert_eq!(pq.sub_dim(), 2);
+        assert_eq!(pq.num_subspaces(), 4);
+        assert_eq!(pq.entries_per_subspace(), 16);
+        assert_eq!(pq.codebooks().len(), 4);
+        assert!(pq.codebook(4).is_err());
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_with_more_entries() {
+        let data = random_vectors(600, 8, 2);
+        let small = ProductQuantizer::train(
+            &data,
+            &PqTrainConfig {
+                entries_per_subspace: 4,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        let large = ProductQuantizer::train(
+            &data,
+            &PqTrainConfig {
+                entries_per_subspace: 64,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        let err_small = small
+            .reconstruction_error(&data, &small.encode(&data).unwrap())
+            .unwrap();
+        let err_large = large
+            .reconstruction_error(&data, &large.encode(&data).unwrap())
+            .unwrap();
+        assert!(
+            err_large < err_small,
+            "more entries should quantise better: {err_large} vs {err_small}"
+        );
+    }
+
+    #[test]
+    fn adc_matches_decoded_distance() {
+        let data = random_vectors(300, 8, 3);
+        let pq = ProductQuantizer::train(&data, &small_config()).unwrap();
+        let codes = pq.encode(&data).unwrap();
+        let query = data.row(0);
+        let lut = pq.dense_lut(query).unwrap();
+        for i in (0..data.len()).step_by(37) {
+            let adc = ProductQuantizer::adc_distance(&lut, codes.code(i));
+            let decoded = pq.decode(codes.code(i)).unwrap();
+            let exact = l2_squared(query, &decoded);
+            assert!(
+                (adc - exact).abs() < 1e-3,
+                "ADC {adc} != decoded distance {exact} for point {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_points_accessors() {
+        let data = random_vectors(50, 8, 4);
+        let pq = ProductQuantizer::train(&data, &small_config()).unwrap();
+        let codes = pq.encode(&data).unwrap();
+        assert_eq!(codes.len(), 50);
+        assert_eq!(codes.num_subspaces(), 4);
+        assert_eq!(codes.code(0).len(), 4);
+        assert_eq!(codes.as_flat().len(), 200);
+        assert_eq!(codes.code_bytes(), 400);
+        assert!(!codes.is_empty());
+        // Codes address valid entries.
+        assert!(codes
+            .as_flat()
+            .iter()
+            .all(|&c| (c as usize) < pq.entries_per_subspace()));
+    }
+
+    #[test]
+    fn storage_is_compressed_relative_to_float() {
+        let data = random_vectors(200, 8, 5);
+        let pq = ProductQuantizer::train(&data, &small_config()).unwrap();
+        let codes = pq.encode(&data).unwrap();
+        let raw_bytes = data.len() * data.dim() * std::mem::size_of::<f32>();
+        assert!(codes.code_bytes() * 2 < raw_bytes);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let data = random_vectors(100, 10, 6);
+        // 10 not divisible by 4 subspaces.
+        assert!(ProductQuantizer::train(&data, &PqTrainConfig::new(4, 8)).is_err());
+        // Zero subspaces / entries.
+        assert!(ProductQuantizer::train(&data, &PqTrainConfig::new(0, 8)).is_err());
+        let mut cfg = PqTrainConfig::new(2, 0);
+        assert!(ProductQuantizer::train(&data, &cfg).is_err());
+        // More entries than training vectors.
+        cfg = PqTrainConfig::new(2, 512);
+        assert!(ProductQuantizer::train(&data, &cfg).is_err());
+    }
+
+    #[test]
+    fn encode_and_lut_check_dimensions() {
+        let data = random_vectors(100, 8, 7);
+        let pq = ProductQuantizer::train(&data, &small_config()).unwrap();
+        let wrong = random_vectors(5, 6, 8);
+        assert!(pq.encode(&wrong).is_err());
+        assert!(pq.dense_lut(&[0.0; 6]).is_err());
+        assert!(pq.decode(&[0, 1]).is_err());
+        assert!(pq.decode(&[999, 0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! LLM attention scenario (paper Fig. 15): use JUNO as a MIPS engine to pick
+//! the keys each attention query should attend to, and measure how much of
+//! the softmax attention mass survives the truncation.
+//!
+//! Run with: `cargo run --release --example llm_attention`
+
+use juno::common::metric::inner_product;
+use juno::data::attention::{AttentionSpec, AttentionWorkload};
+use juno::prelude::*;
+
+fn main() -> Result<(), juno::common::Error> {
+    let workload = AttentionWorkload::generate(&AttentionSpec {
+        seq_len: 1_024,
+        num_queries: 32,
+        head_dim: 64,
+        concentration: 5.0,
+        seed: 2,
+    })?;
+    println!(
+        "attention workload: {} keys, {} queries, head dim {}",
+        workload.seq_len(),
+        workload.queries().len(),
+        workload.keys().dim()
+    );
+
+    // Exact truncation curve (what the paper plots for Llama-7B).
+    println!("\nexact top-k truncation:");
+    for (fraction, mass, ppl) in workload.sweep(&[1.0, 0.5, 0.2, 0.1, 0.05])? {
+        println!(
+            "  keep {:>5.1}% of keys -> {:>5.1}% of attention mass, pseudo-perplexity {:.3}",
+            fraction * 100.0,
+            mass * 100.0,
+            ppl
+        );
+    }
+
+    // JUNO as the key-retrieval engine.
+    let config = JunoConfig {
+        n_clusters: 16,
+        nprobs: 8,
+        pq_entries: 32,
+        ..JunoConfig::small_test(workload.keys().dim(), Metric::InnerProduct)
+    };
+    let index = JunoIndex::build(workload.keys(), &config)?;
+    println!("\nJUNO-retrieved top-k (MIPS) instead of exact top-k:");
+    for fraction in [0.2f64, 0.1, 0.05] {
+        let k = ((workload.seq_len() as f64 * fraction) as usize).max(1);
+        let mut kept = 0.0;
+        for qi in 0..workload.queries().len() {
+            let q = workload.queries().row(qi);
+            let result = index.search(q, k)?;
+            // Softmax over all keys, then the mass carried by retrieved keys.
+            let logits: Vec<f64> = workload
+                .keys()
+                .iter()
+                .map(|key| inner_product(q, key) as f64)
+                .collect();
+            let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+            let total: f64 = exps.iter().sum();
+            kept += result
+                .neighbors
+                .iter()
+                .map(|n| exps[n.id as usize] / total)
+                .sum::<f64>();
+        }
+        println!(
+            "  keep {:>5.1}% via JUNO -> {:>5.1}% of attention mass",
+            fraction * 100.0,
+            100.0 * kept / workload.queries().len() as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Cross-engine consistency tests: every index implements `AnnIndex`, exact
+//! engines dominate approximate ones in quality, and the MIPS metric is
+//! handled consistently everywhere.
+
+use juno::baseline::ivf_flat::{IvfFlatConfig, IvfFlatIndex};
+use juno::prelude::*;
+
+fn recall_of(index: &dyn AnnIndex, queries: &VectorSet, gt: &GroundTruth, k: usize) -> f64 {
+    let retrieved: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| index.search(q, k).expect("search").ids())
+        .collect();
+    recall_at(&retrieved, gt, 10, k).expect("recall")
+}
+
+#[test]
+fn exact_flat_dominates_all_approximate_engines() {
+    let dataset = DatasetProfile::DeepLike.generate(3_000, 15, 5).unwrap();
+    let gt = dataset.ground_truth(10).unwrap();
+
+    let flat = FlatIndex::new(dataset.points.clone(), dataset.metric()).unwrap();
+    let ivf_flat = IvfFlatIndex::build(
+        dataset.points.clone(),
+        &IvfFlatConfig {
+            n_clusters: 32,
+            nprobs: 4,
+            metric: dataset.metric(),
+            seed: 1,
+        },
+    )
+    .unwrap();
+    let hnsw = HnswIndex::build(
+        dataset.points.clone(),
+        &HnswConfig {
+            metric: dataset.metric(),
+            ..HnswConfig::default()
+        },
+    )
+    .unwrap();
+    let juno = JunoIndex::build(
+        &dataset.points,
+        &JunoConfig {
+            n_clusters: 32,
+            nprobs: 8,
+            pq_entries: 64,
+            ..JunoConfig::small_test(dataset.dim(), dataset.metric())
+        },
+    )
+    .unwrap();
+
+    let engines: Vec<(&str, &dyn AnnIndex)> = vec![
+        ("flat", &flat),
+        ("ivf_flat", &ivf_flat),
+        ("hnsw", &hnsw),
+        ("juno", &juno),
+    ];
+    let flat_recall = recall_of(&flat, &dataset.queries, &gt, 100);
+    assert!((flat_recall - 1.0).abs() < 1e-9);
+    for (name, engine) in &engines {
+        let r = recall_of(*engine, &dataset.queries, &gt, 100);
+        assert!(
+            r <= flat_recall + 1e-9,
+            "{name} cannot beat exact search ({r} vs {flat_recall})"
+        );
+        assert!(r > 0.5, "{name} recall {r} unreasonably low");
+        assert_eq!(engine.len(), dataset.points.len(), "{name} length");
+        assert_eq!(engine.dim(), dataset.dim(), "{name} dim");
+        assert_eq!(engine.metric(), dataset.metric(), "{name} metric");
+        assert!(!engine.name().is_empty());
+    }
+}
+
+#[test]
+fn mips_is_consistent_across_engines() {
+    let dataset = DatasetProfile::TtiLike.generate(2_000, 10, 9).unwrap();
+    assert_eq!(dataset.metric(), Metric::InnerProduct);
+    let gt = dataset.ground_truth(10).unwrap();
+
+    let flat = FlatIndex::new(dataset.points.clone(), Metric::InnerProduct).unwrap();
+    let juno = JunoIndex::build(
+        &dataset.points,
+        &JunoConfig {
+            n_clusters: 16,
+            nprobs: 8,
+            pq_entries: 32,
+            ..JunoConfig::small_test(dataset.dim(), dataset.metric())
+        },
+    )
+    .unwrap();
+
+    // The exact engine must agree with the brute-force ground truth, and the
+    // approximate engine must recover a good share of it.
+    assert!((recall_of(&flat, &dataset.queries, &gt, 10) - 1.0).abs() < 1e-9);
+    let juno_recall = recall_of(&juno, &dataset.queries, &gt, 100);
+    assert!(juno_recall > 0.4, "JUNO MIPS recall {juno_recall}");
+
+    // Raw distances returned under MIPS are inner products, sorted descending.
+    let res = juno.search(dataset.queries.row(0), 5).unwrap();
+    for w in res.neighbors.windows(2) {
+        assert!(w[0].distance >= w[1].distance);
+    }
+}
+
+#[test]
+fn batch_search_matches_single_query_search() {
+    let dataset = DatasetProfile::DeepLike.generate(2_000, 8, 17).unwrap();
+    let juno = JunoIndex::build(
+        &dataset.points,
+        &JunoConfig {
+            n_clusters: 32,
+            nprobs: 4,
+            pq_entries: 32,
+            ..JunoConfig::small_test(dataset.dim(), dataset.metric())
+        },
+    )
+    .unwrap();
+    let batch = juno.search_batch(&dataset.queries, 10).unwrap();
+    assert_eq!(batch.len(), dataset.queries.len());
+    for (qi, q) in dataset.queries.iter().enumerate() {
+        let single = juno.search(q, 10).unwrap();
+        assert_eq!(single.ids(), batch[qi].ids(), "query {qi}");
+    }
+}

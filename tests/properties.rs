@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) on the core invariants of the workspace:
+//! quantisation structures, the RT-scene mapping, top-k selection and the
+//! selective LUT's relationship to the dense one.
+
+use juno::common::metric::{l2_squared, Metric};
+use juno::common::topk::TopK;
+use juno::common::vector::VectorSet;
+use juno::quant::ivf::{IvfIndex, IvfTrainConfig};
+use juno::quant::pq::{PqTrainConfig, ProductQuantizer};
+use juno::rt::ray::Ray;
+use juno::rt::scene::SceneBuilder;
+use juno::rt::sphere::Sphere;
+use proptest::prelude::*;
+
+fn vector_set(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = VectorSet> {
+    prop::collection::vec(prop::collection::vec(-10.0f32..10.0, dim..=dim), n)
+        .prop_map(|rows| VectorSet::from_rows(rows).expect("valid rows"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Top-k selection agrees with a full sort under both metrics.
+    #[test]
+    fn topk_matches_sorting(values in prop::collection::vec(-1e3f32..1e3, 1..200), k in 1usize..20) {
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            let mut topk = TopK::new(k, metric);
+            for (i, &v) in values.iter().enumerate() {
+                topk.push(i as u64, v);
+            }
+            let got: Vec<u64> = topk.into_sorted_vec().iter().map(|n| n.id).collect();
+            let mut expected: Vec<(usize, f32)> = values.iter().cloned().enumerate().collect();
+            expected.sort_by(|a, b| {
+                let sa = metric.raw_to_score(a.1);
+                let sb = metric.raw_to_score(b.1);
+                sa.partial_cmp(&sb).unwrap().then(a.0.cmp(&b.0))
+            });
+            let expected: Vec<u64> = expected.iter().take(k).map(|&(i, _)| i as u64).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// The IVF inverted lists partition the point set exactly, and every point
+    /// sits in the list of its nearest centroid.
+    #[test]
+    fn ivf_partitions_points(points in vector_set(20..120, 8), clusters in 2usize..8) {
+        let ivf = IvfIndex::train(&points, &IvfTrainConfig {
+            n_clusters: clusters.min(points.len()),
+            train_subsample: None,
+            ..IvfTrainConfig::new(clusters.min(points.len()), Metric::L2)
+        }).unwrap();
+        let total: usize = ivf.list_sizes().iter().sum();
+        prop_assert_eq!(total, points.len());
+        for (i, row) in points.iter().enumerate() {
+            let label = ivf.labels()[i];
+            // The assigned centroid must be at least as close as any other.
+            let own = l2_squared(row, ivf.centroid(label).unwrap());
+            for c in 0..ivf.n_clusters() {
+                prop_assert!(own <= l2_squared(row, ivf.centroid(c).unwrap()) + 1e-3);
+            }
+            prop_assert!(ivf.list(label).unwrap().contains(&(i as u32)));
+        }
+    }
+
+    /// PQ decode error is bounded by the per-subspace quantisation error and
+    /// ADC distances equal decoded distances.
+    #[test]
+    fn pq_adc_is_consistent(points in vector_set(40..120, 8)) {
+        let pq = ProductQuantizer::train(&points, &PqTrainConfig {
+            num_subspaces: 4,
+            entries_per_subspace: 8,
+            kmeans_iters: 8,
+            seed: 3,
+            train_subsample: None,
+        }).unwrap();
+        let codes = pq.encode(&points).unwrap();
+        let query = points.row(0);
+        let lut = pq.dense_lut(query).unwrap();
+        for i in 0..points.len().min(20) {
+            let adc = ProductQuantizer::adc_distance(&lut, codes.code(i));
+            let decoded = pq.decode(codes.code(i)).unwrap();
+            let exact = l2_squared(query, &decoded);
+            prop_assert!((adc - exact).abs() <= 1e-2 * exact.max(1.0));
+        }
+    }
+
+    /// Tracing a scene of spheres returns exactly the brute-force hit set and
+    /// hit times equal the analytic entry times.
+    #[test]
+    fn scene_hits_match_brute_force(
+        centers in prop::collection::vec((-5.0f32..5.0, -5.0f32..5.0), 1..60),
+        ox in -5.0f32..5.0,
+        oy in -5.0f32..5.0,
+        radius in 0.05f32..0.9,
+    ) {
+        let mut builder = SceneBuilder::new();
+        for (i, &(x, y)) in centers.iter().enumerate() {
+            builder.add_sphere(Sphere::new([x, y, 1.0], radius, i as u32));
+        }
+        let scene = builder.build();
+        let ray = Ray::axis_aligned_z([ox, oy, 0.0], 1.0);
+        let mut hits = Vec::new();
+        scene.trace(&ray, &mut |h| hits.push((h.primitive_id, h.t_hit)));
+        hits.sort_by_key(|&(id, _)| id);
+
+        let mut expected = Vec::new();
+        for (i, &(x, y)) in centers.iter().enumerate() {
+            let d2 = (x - ox) * (x - ox) + (y - oy) * (y - oy);
+            // Entry time 1 - sqrt(r² - d²) must lie within the ray's budget.
+            if d2 < radius * radius {
+                let t = 1.0 - (radius * radius - d2).sqrt();
+                if t <= 1.0 {
+                    expected.push((i as u32, t));
+                }
+            }
+        }
+        prop_assert_eq!(hits.len(), expected.len());
+        for (got, want) in hits.iter().zip(expected.iter()) {
+            prop_assert_eq!(got.0, want.0);
+            prop_assert!((got.1 - want.1).abs() < 1e-4);
+        }
+    }
+
+    /// Recall helpers are bounded in [0, 1] and monotone in the retrieved set.
+    #[test]
+    fn recall_is_bounded_and_monotone(ids in prop::collection::vec(0u64..50, 1..30)) {
+        use juno::common::recall::{recall_at, GroundTruth};
+        let truth = GroundTruth { truth: vec![(0u64..10).collect()] };
+        let retrieved_small = vec![ids.iter().take(5).cloned().collect::<Vec<_>>()];
+        let retrieved_large = vec![ids.clone()];
+        let r_small = recall_at(&retrieved_small, &truth, 10, 50).unwrap();
+        let r_large = recall_at(&retrieved_large, &truth, 10, 50).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r_small));
+        prop_assert!((0.0..=1.0).contains(&r_large));
+        prop_assert!(r_large >= r_small - 1e-12);
+    }
+}
