@@ -12,9 +12,9 @@ use juno_common::error::{Error, Result};
 use juno_common::index::{AnnIndex, SearchResult, SearchStats};
 use juno_common::metric::Metric;
 use juno_common::rng::seeded;
+use juno_common::rng::Rng;
 use juno_common::topk::TopK;
 use juno_common::vector::VectorSet;
-use rand::Rng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -168,27 +168,37 @@ impl HnswIndex {
                     &mut 0usize,
                 );
                 let max_degree = if level == 0 { config.m * 2 } else { config.m };
-                let selected: Vec<u32> = found.iter().take(config.m).map(|s| s.id).collect();
+                // Diversity heuristic (Malkov & Yashunin Alg. 4): keeping only
+                // the nearest candidates severs clusters on clustered data;
+                // keep a candidate only if it is closer to the new node than
+                // to every already-kept neighbour, so long-range links survive.
+                let selected =
+                    select_neighbors_heuristic(&index.points, index.metric, &found, config.m);
                 for &peer in &selected {
                     neighbors[level][node].push(peer);
                     neighbors[level][peer as usize].push(node as u32);
-                    // Prune the peer's adjacency if it grew too large.
+                    // Prune the peer's adjacency if it grew too large, with the
+                    // same diversity heuristic.
                     if neighbors[level][peer as usize].len() > max_degree {
-                        let peer_vec = index.points.row(peer as usize);
+                        let peer_vec = index.points.row(peer as usize).to_vec();
                         let mut ranked: Vec<Scored> = neighbors[level][peer as usize]
                             .iter()
                             .map(|&nb| Scored {
                                 score: index.metric.raw_to_score(
                                     index
                                         .metric
-                                        .distance(peer_vec, index.points.row(nb as usize)),
+                                        .distance(&peer_vec, index.points.row(nb as usize)),
                                 ),
                                 id: nb,
                             })
                             .collect();
                         ranked.sort();
-                        neighbors[level][peer as usize] =
-                            ranked.into_iter().take(max_degree).map(|s| s.id).collect();
+                        neighbors[level][peer as usize] = select_neighbors_heuristic(
+                            &index.points,
+                            index.metric,
+                            &ranked,
+                            max_degree,
+                        );
                     }
                 }
                 if let Some(best) = found.first() {
@@ -243,6 +253,46 @@ impl HnswIndex {
             .map(|layer| layer.iter().map(Vec::len).max().unwrap_or(0))
             .unwrap_or(0)
     }
+}
+
+/// Selects up to `m` diverse neighbours from `candidates` (sorted best
+/// first): a candidate is kept only if it is closer to `base` than to every
+/// already-kept neighbour (Malkov & Yashunin Alg. 4, without extension). If
+/// fewer than `m` survive, the discarded candidates fill the remainder in
+/// rank order so degree is not wasted.
+fn select_neighbors_heuristic(
+    points: &VectorSet,
+    metric: Metric,
+    candidates: &[Scored],
+    m: usize,
+) -> Vec<u32> {
+    let mut kept: Vec<u32> = Vec::with_capacity(m);
+    let mut discarded: Vec<u32> = Vec::new();
+    for cand in candidates {
+        if kept.len() >= m {
+            break;
+        }
+        let cand_vec = points.row(cand.id as usize);
+        // Every candidate's `score` was computed against the base vector by
+        // the caller, so the base distance needs no recomputation.
+        let to_base = cand.score;
+        let diverse = kept.iter().all(|&kb| {
+            let to_kept = metric.raw_to_score(metric.distance(cand_vec, points.row(kb as usize)));
+            to_base <= to_kept
+        });
+        if diverse {
+            kept.push(cand.id);
+        } else {
+            discarded.push(cand.id);
+        }
+    }
+    for id in discarded {
+        if kept.len() >= m {
+            break;
+        }
+        kept.push(id);
+    }
+    kept
 }
 
 /// Greedy single-step descent used on the upper layers.

@@ -9,10 +9,9 @@
 use juno_common::index::SearchStats;
 use juno_gpu::cost::{dense_lut_cost, distance_calc_cost, filtering_cost};
 use juno_gpu::device::GpuDevice;
-use serde::{Deserialize, Serialize};
 
 /// Parameters describing how simulated times are derived.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
     /// The device the (virtual) search runs on.
     pub device: GpuDevice,

@@ -1,0 +1,73 @@
+//! Batch-QPS benchmark of the parallel query pipeline: the same query batch
+//! through `search_batch_threads` at 1 / 2 / all-cores workers, plus the
+//! ADC-scan accumulation path in isolation. This is the perf bar for the
+//! flat-CSR selective LUT + IVF-contiguous code layout + work-stealing batch
+//! parallelism; record a baseline with
+//! `JUNO_BENCH_JSON=BENCH_prN.json cargo bench --bench batch_qps`.
+
+use juno_bench::harness::{black_box, Harness};
+use juno_bench::setup::{build_fixture, BenchScale};
+use juno_common::index::AnnIndex;
+use juno_common::parallel;
+use juno_core::config::QualityMode;
+use juno_data::profiles::DatasetProfile;
+use std::time::Duration;
+
+fn main() {
+    let scale = BenchScale {
+        points: 20_000,
+        queries: 64,
+    };
+    let profile = DatasetProfile::DeepLike;
+    let mut fixture = build_fixture(profile, scale, 10, 29).expect("fixture");
+    let queries = fixture.dataset.queries.clone();
+    let all_cores = parallel::default_threads();
+    let mut high_counts = vec![1usize, 2, all_cores];
+    high_counts.sort_unstable();
+    high_counts.dedup();
+    let mut low_counts = vec![1usize, all_cores];
+    low_counts.dedup();
+
+    let mut h = Harness::new("batch_qps");
+    {
+        let mut group = h.group("juno_high_batch64");
+        group.sample_time(Duration::from_millis(600)).samples(10);
+        for &threads in &high_counts {
+            let juno = &fixture.juno;
+            group.bench(format!("threads_{threads}"), || {
+                juno.search_batch_threads(black_box(&queries), 100, threads)
+                    .expect("batch search")
+                    .len()
+            });
+        }
+    }
+    fixture.juno.set_quality(QualityMode::Low);
+    {
+        let mut group = h.group("juno_low_batch64");
+        group.sample_time(Duration::from_millis(600)).samples(10);
+        for &threads in &low_counts {
+            let juno = &fixture.juno;
+            group.bench(format!("threads_{threads}"), || {
+                juno.search_batch_threads(black_box(&queries), 100, threads)
+                    .expect("batch search")
+                    .len()
+            });
+        }
+    }
+    fixture.juno.set_quality(QualityMode::High);
+    {
+        // The accumulation stage with scratch reuse: LUT decode buffers are
+        // allocated once and recycled, as the batch workers do per thread.
+        let juno = &fixture.juno;
+        let q = fixture.dataset.queries.row(0).to_vec();
+        let mut scratch = juno.make_scratch();
+        h.group("single_query")
+            .bench("juno_high_scratch_reuse", move || {
+                juno.search_with_scratch(black_box(&q), 100, &mut scratch)
+                    .expect("search")
+                    .neighbors
+                    .len()
+            });
+    }
+    h.finish();
+}

@@ -1,13 +1,13 @@
-//! Criterion benchmarks of the RT-core simulator: BVH construction and ray
-//! traversal throughput.
+//! Benchmarks of the RT-core simulator: BVH construction and ray traversal
+//! throughput.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use juno_common::rng::seeded;
+use juno_bench::harness::{black_box, Harness};
+use juno_common::rng::{seeded, Rng};
 use juno_rt::bvh::Bvh;
 use juno_rt::ray::Ray;
 use juno_rt::scene::SceneBuilder;
 use juno_rt::sphere::Sphere;
-use rand::Rng;
+use std::time::Duration;
 
 fn random_spheres(n: usize, radius: f32, seed: u64) -> Vec<Sphere> {
     let mut rng = seeded(seed);
@@ -26,50 +26,48 @@ fn random_spheres(n: usize, radius: f32, seed: u64) -> Vec<Sphere> {
         .collect()
 }
 
-fn bench_bvh(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bvh_build");
-    group.sample_size(20);
-    for n in [1_000usize, 10_000, 50_000] {
-        let spheres = random_spheres(n, 0.05, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| Bvh::build(black_box(&spheres)))
-        });
-    }
-    group.finish();
-
-    let mut group = c.benchmark_group("ray_trace");
-    for n in [10_000usize, 50_000] {
-        let spheres = random_spheres(n, 0.05, 4);
-        let mut builder = SceneBuilder::new();
-        for s in &spheres {
-            builder.add_sphere(*s);
+fn main() {
+    let mut h = Harness::new("bvh");
+    {
+        let mut group = h.group("bvh_build");
+        group.sample_time(Duration::from_millis(400)).samples(5);
+        for n in [1_000usize, 10_000, 50_000] {
+            let spheres = random_spheres(n, 0.05, 3);
+            group.bench(format!("{n}_spheres"), move || {
+                Bvh::build(black_box(&spheres)).node_count()
+            });
         }
-        let scene = builder.build();
-        let mut rng = seeded(9);
-        let rays: Vec<Ray> = (0..256)
-            .map(|_| {
-                Ray::axis_aligned_z(
-                    [
-                        rng.gen_range(0.0..10.0f32),
-                        rng.gen_range(0.0..10.0f32),
-                        0.0,
-                    ],
-                    2.0,
-                )
-            })
-            .collect();
-        group.bench_with_input(BenchmarkId::new("256_rays", n), &n, |bench, _| {
-            bench.iter(|| {
+    }
+    {
+        let mut group = h.group("ray_trace");
+        for n in [10_000usize, 50_000] {
+            let spheres = random_spheres(n, 0.05, 4);
+            let mut builder = SceneBuilder::new();
+            for s in &spheres {
+                builder.add_sphere(*s);
+            }
+            let scene = builder.build();
+            let mut rng = seeded(9);
+            let rays: Vec<Ray> = (0..256)
+                .map(|_| {
+                    Ray::axis_aligned_z(
+                        [
+                            rng.gen_range(0.0..10.0f32),
+                            rng.gen_range(0.0..10.0f32),
+                            0.0,
+                        ],
+                        2.0,
+                    )
+                })
+                .collect();
+            group.bench(format!("256_rays_{n}_spheres"), move || {
                 let mut hits = 0usize;
                 for ray in &rays {
                     scene.trace(black_box(ray), &mut |_| hits += 1);
                 }
                 hits
-            })
-        });
+            });
+        }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_bvh);
-criterion_main!(benches);

@@ -1,15 +1,15 @@
-//! Criterion benchmark: end-to-end single-query search of the IVFPQ baseline
-//! versus JUNO-H and JUNO-L (CPU wall-clock of the reproduction, complementary
-//! to the simulated-GPU QPS the figure binaries report).
+//! Benchmark: end-to-end single-query search of the IVFPQ baseline versus
+//! JUNO-H and JUNO-L (CPU wall-clock of the reproduction, complementary to
+//! the simulated-GPU QPS the figure binaries report).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use juno_baseline::ivfpq::{IvfPqConfig, IvfPqIndex};
+use juno_bench::harness::{black_box, Harness};
 use juno_bench::setup::{build_fixture, clusters_for, BenchScale};
 use juno_common::index::AnnIndex;
 use juno_core::config::QualityMode;
 use juno_data::profiles::DatasetProfile;
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
     let scale = BenchScale {
         points: 10_000,
         queries: 4,
@@ -30,40 +30,31 @@ fn bench_end_to_end(c: &mut Criterion) {
     .expect("baseline");
     let query = fixture.dataset.queries.row(0).to_vec();
 
-    let mut group = c.benchmark_group("end_to_end_search");
-    group.bench_function("ivfpq_baseline", |bench| {
-        bench.iter(|| {
-            baseline
-                .search(black_box(&query), 100)
-                .unwrap()
-                .neighbors
-                .len()
-        })
-    });
+    let mut h = Harness::new("end_to_end");
+    {
+        let q = query.clone();
+        h.group("end_to_end_search")
+            .bench("ivfpq_baseline", move || {
+                baseline.search(black_box(&q), 100).unwrap().neighbors.len()
+            });
+    }
+    // `Group::bench` measures eagerly, so borrowing the index works and the
+    // mutable `set_quality` between benches needs no deep clones.
     fixture.juno.set_quality(QualityMode::High);
-    group.bench_function("juno_high", |bench| {
-        bench.iter(|| {
-            fixture
-                .juno
-                .search(black_box(&query), 100)
-                .unwrap()
-                .neighbors
-                .len()
-        })
-    });
+    {
+        let juno = &fixture.juno;
+        let q = query.clone();
+        h.group("end_to_end_search").bench("juno_high", move || {
+            juno.search(black_box(&q), 100).unwrap().neighbors.len()
+        });
+    }
     fixture.juno.set_quality(QualityMode::Low);
-    group.bench_function("juno_low", |bench| {
-        bench.iter(|| {
-            fixture
-                .juno
-                .search(black_box(&query), 100)
-                .unwrap()
-                .neighbors
-                .len()
-        })
-    });
-    group.finish();
+    {
+        let juno = &fixture.juno;
+        let q = query;
+        h.group("end_to_end_search").bench("juno_low", move || {
+            juno.search(black_box(&q), 100).unwrap().neighbors.len()
+        });
+    }
+    h.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

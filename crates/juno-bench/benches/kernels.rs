@@ -1,6 +1,6 @@
-//! Criterion microbenchmarks of the distance kernels shared by every engine.
+//! Microbenchmarks of the distance kernels shared by every engine.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use juno_bench::harness::{black_box, Harness};
 use juno_common::metric::{inner_product, l2_squared, Metric};
 use juno_common::rng::{normal, seeded};
 
@@ -9,28 +9,29 @@ fn random_vec(dim: usize, seed: u64) -> Vec<f32> {
     (0..dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("distance_kernels");
-    for dim in [96usize, 128, 200, 960] {
-        let a = random_vec(dim, 1);
-        let b = random_vec(dim, 2);
-        group.bench_with_input(BenchmarkId::new("l2_squared", dim), &dim, |bench, _| {
-            bench.iter(|| l2_squared(black_box(&a), black_box(&b)))
-        });
-        group.bench_with_input(BenchmarkId::new("inner_product", dim), &dim, |bench, _| {
-            bench.iter(|| inner_product(black_box(&a), black_box(&b)))
-        });
+fn main() {
+    let mut h = Harness::new("kernels");
+    {
+        let mut group = h.group("distance_kernels");
+        for dim in [96usize, 128, 200, 960] {
+            let a = random_vec(dim, 1);
+            let b = random_vec(dim, 2);
+            let (a2, b2) = (a.clone(), b.clone());
+            group.bench(format!("l2_squared_{dim}"), move || {
+                l2_squared(black_box(&a), black_box(&b))
+            });
+            group.bench(format!("inner_product_{dim}"), move || {
+                inner_product(black_box(&a2), black_box(&b2))
+            });
+        }
     }
-    group.finish();
-
-    let mut group = c.benchmark_group("batch_scoring");
-    let dim = 96;
-    let points: Vec<f32> = (0..10_000)
-        .flat_map(|i| random_vec(dim, i as u64))
-        .collect();
-    let query = random_vec(dim, 999);
-    group.bench_function("score_10k_points", |bench| {
-        bench.iter(|| {
+    {
+        let dim = 96;
+        let points: Vec<f32> = (0..10_000)
+            .flat_map(|i| random_vec(dim, i as u64))
+            .collect();
+        let query = random_vec(dim, 999);
+        h.group("batch_scoring").bench("score_10k_points", move || {
             let mut out = Vec::new();
             juno_common::metric::batch_distances(
                 Metric::L2,
@@ -39,11 +40,8 @@ fn bench_kernels(c: &mut Criterion) {
                 dim,
                 &mut out,
             );
-            out
-        })
-    });
-    group.finish();
+            out.len()
+        });
+    }
+    h.finish();
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

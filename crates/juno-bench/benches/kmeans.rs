@@ -1,12 +1,14 @@
-//! Criterion benchmarks of the k-means substrate (offline training cost).
+//! Benchmarks of the k-means substrate (offline training cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use juno_bench::harness::Harness;
 use juno_data::synthetic::{generate_clustered, ClusteredSpec};
 use juno_quant::kmeans::{KMeans, KMeansConfig};
+use std::time::Duration;
 
-fn bench_kmeans(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kmeans_train");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("kmeans");
+    let mut group = h.group("kmeans_train");
+    group.sample_time(Duration::from_millis(400)).samples(5);
     for &(n, k) in &[(2_000usize, 16usize), (5_000, 64)] {
         let data = generate_clustered(&ClusteredSpec {
             num_points: n,
@@ -16,26 +18,18 @@ fn bench_kmeans(c: &mut Criterion) {
             ..ClusteredSpec::default()
         })
         .unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("train", format!("{n}pts_{k}clusters")),
-            &(n, k),
-            |bench, &(_, k)| {
-                bench.iter(|| {
-                    KMeans::train(
-                        &data.points,
-                        &KMeansConfig {
-                            n_clusters: k,
-                            max_iters: 10,
-                            ..KMeansConfig::new(k, 7)
-                        },
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        group.bench(format!("train_{n}pts_{k}clusters"), move || {
+            KMeans::train(
+                &data.points,
+                &KMeansConfig {
+                    n_clusters: k,
+                    max_iters: 10,
+                    ..KMeansConfig::new(k, 7)
+                },
+            )
+            .unwrap()
+            .n_clusters()
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_kmeans);
-criterion_main!(benches);

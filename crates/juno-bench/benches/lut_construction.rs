@@ -1,13 +1,15 @@
-//! Criterion benchmark: dense (FAISS-style) vs. selective (JUNO) L2-LUT
-//! construction — the CPU-side cost of the paper's central optimisation.
+//! Benchmark: dense (FAISS-style) vs. selective (JUNO) L2-LUT construction —
+//! the CPU-side cost of the paper's central optimisation — plus the cost of
+//! expanding one selective slot into the dense decode buffer.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use juno_bench::harness::{black_box, Harness};
 use juno_bench::setup::{build_fixture, juno_config_for, BenchScale};
+use juno_core::lut::LutDecodeBuffer;
 use juno_data::profiles::DatasetProfile;
 use juno_quant::ivf::{IvfIndex, IvfTrainConfig};
 use juno_quant::pq::{PqTrainConfig, ProductQuantizer};
 
-fn bench_lut(c: &mut Criterion) {
+fn main() {
     let scale = BenchScale {
         points: 10_000,
         queries: 8,
@@ -32,9 +34,9 @@ fn bench_lut(c: &mut Criterion) {
 
     let query = ds.queries.row(0).to_vec();
 
-    let mut group = c.benchmark_group("lut_construction");
-    group.bench_function("dense_faiss_style", |bench| {
-        bench.iter(|| {
+    let mut h = Harness::new("lut_construction");
+    h.group("lut_construction")
+        .bench("dense_faiss_style", || {
             let filter = ivf.filter(black_box(&query), 8).unwrap();
             let mut total = 0usize;
             for &cluster in &filter.clusters {
@@ -44,15 +46,25 @@ fn bench_lut(c: &mut Criterion) {
             }
             total
         })
-    });
-    group.bench_function("selective_juno_rt", |bench| {
-        bench.iter(|| {
+        .bench("selective_juno_rt", || {
             let (_, lut, _, _) = fixture.juno.build_selective_lut(black_box(&query)).unwrap();
             lut.total_selected()
-        })
-    });
-    group.finish();
-}
+        });
 
-criterion_group!(benches, bench_lut);
-criterion_main!(benches);
+    // Decode-buffer expansion: the per-probe cost the ADC scan pays to turn
+    // sparse CSR rows into O(1)-indexable dense values.
+    let (clusters, lut, _, _) = fixture.juno.build_selective_lut(&query).unwrap();
+    let mut buf = LutDecodeBuffer::new(
+        fixture.juno.pq().num_subspaces(),
+        fixture.juno.pq().entries_per_subspace(),
+    );
+    h.group("decode_buffer").bench("expand_all_slots", move || {
+        let mut touched = 0usize;
+        for slot in 0..clusters.len() {
+            buf.decode_slot(black_box(&lut), slot);
+            touched += buf.as_slice().len();
+        }
+        touched
+    });
+    h.finish();
+}

@@ -8,10 +8,10 @@
 use juno_bench::report::{fmt_f64, Table};
 use juno_bench::setup::BenchScale;
 use juno_common::rng::seeded;
+use juno_common::rng::Rng;
 use juno_rt::ray::Ray;
 use juno_rt::scene::SceneBuilder;
 use juno_rt::sphere::Sphere;
-use rand::Rng;
 
 fn main() {
     let scale = BenchScale::from_env();

@@ -26,7 +26,7 @@ fn main() {
         .ivf()
         .query_residual(q0, filter.clusters[0])
         .expect("residual");
-    let mut decile_usage = vec![0usize; 10];
+    let mut decile_usage = [0usize; 10];
     let subspaces = index.pq().num_subspaces();
     for s in 0..subspaces {
         let proj = &residual[2 * s..2 * s + 2];

@@ -83,9 +83,9 @@ fn main() {
     let mut counts: HashMap<u32, (u32, u32)> = HashMap::new();
     let subspaces = index.pq().num_subspaces();
     for (slot, &cluster) in clusters.iter().enumerate() {
-        for s in 0..subspaces {
-            for &(entry, value) in lut.row(slot, s) {
-                let half = thresholds[slot][s] * 0.5;
+        for (s, &threshold) in thresholds[slot].iter().enumerate().take(subspaces) {
+            for (entry, value) in lut.row(slot, s) {
+                let half = threshold * 0.5;
                 let inner = value <= half * half;
                 for &pid in index
                     .inverted()

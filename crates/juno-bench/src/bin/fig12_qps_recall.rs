@@ -2,6 +2,11 @@
 //! TTI-like datasets: FAISS-style IVFPQ baselines (nprobs sweep), the HNSW
 //! baseline, and JUNO-L/M/H (threshold-scale sweep).
 //!
+//! Every sweep point runs the whole query batch through the engines'
+//! work-stealing parallel batch pipeline (`JUNO_NUM_THREADS` overrides the
+//! worker count), so the reported host QPS reflects batch traffic rather
+//! than a sequential query loop.
+//!
 //! Pass `--summary` to print only the aggregated speed-ups (the §6.2 text
 //! numbers) instead of every sweep point.
 
@@ -78,7 +83,8 @@ fn main() {
         }
 
         if !summary_only {
-            let mut table = Table::new(&["engine", "R1@100", "R100@100", "mean us", "QPS"]);
+            let mut table =
+                Table::new(&["engine", "R1@100", "R100@100", "mean us", "QPS", "host QPS"]);
             for (name, r) in &rows {
                 table.push_row(vec![
                     name.clone(),
@@ -86,6 +92,7 @@ fn main() {
                     fmt_f64(r.recall),
                     fmt_f64(r.mean_us),
                     fmt_f64(r.qps),
+                    fmt_f64(r.host_qps),
                 ]);
             }
             table.print(&format!(

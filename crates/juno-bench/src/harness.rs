@@ -1,0 +1,266 @@
+//! A small wall-clock benchmark harness.
+//!
+//! The workspace builds without external crates, so `criterion` is not
+//! available; this module provides the slice of it the `benches/` targets
+//! need: named groups, automatic iteration-count calibration, warm-up,
+//! multiple samples with mean / median / standard deviation, a plain-text
+//! report and optional JSON output (set `JUNO_BENCH_JSON=/path/out.json`)
+//! so successive PRs can record performance trajectories.
+//!
+//! Benchmark targets use `harness = false` and drive this from `main()`:
+//!
+//! ```no_run
+//! use juno_bench::harness::Harness;
+//!
+//! let mut h = Harness::new("my_bench");
+//! h.group("adds").bench("one_plus_one", || std::hint::black_box(1) + 1);
+//! h.finish();
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimisation barrier benches wrap inputs/outputs in.
+pub use std::hint::black_box;
+
+/// Collected statistics of one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Group the benchmark belongs to.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration in nanoseconds.
+    pub median_ns: f64,
+    /// Standard deviation across samples in nanoseconds.
+    pub stddev_ns: f64,
+    /// Iterations per sample the calibration settled on.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl BenchResult {
+    fn json(&self) -> String {
+        format!(
+            "{{\"group\":\"{}\",\"name\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"stddev_ns\":{:.1},\"iters_per_sample\":{},\"samples\":{}}}",
+            self.group, self.name, self.mean_ns, self.median_ns, self.stddev_ns,
+            self.iters_per_sample, self.samples
+        )
+    }
+}
+
+/// Tuning knobs of the measurement loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchOptions {
+    /// Wall-clock budget per sample; iteration count is calibrated to it.
+    pub sample_time: Duration,
+    /// Number of timed samples per benchmark.
+    pub samples: usize,
+    /// Warm-up budget before sampling starts.
+    pub warmup: Duration,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            sample_time: Duration::from_millis(200),
+            samples: 10,
+            warmup: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Top-level harness: owns the results of every group and renders the report.
+#[derive(Debug)]
+pub struct Harness {
+    name: String,
+    options: BenchOptions,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Creates a harness; `name` heads the report.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            options: BenchOptions::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Replaces the measurement options for subsequently created groups.
+    pub fn with_options(mut self, options: BenchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            name: name.into(),
+            options: self.options,
+            harness: self,
+        }
+    }
+
+    /// Borrow of all results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the report and, when `JUNO_BENCH_JSON` is set, writes the
+    /// results as a JSON array to that path.
+    pub fn finish(self) {
+        println!("\n== bench: {} ==", self.name);
+        println!(
+            "{:<28} {:<28} {:>12} {:>12} {:>10} {:>8}",
+            "group", "bench", "mean", "median", "stddev", "iters"
+        );
+        for r in &self.results {
+            println!(
+                "{:<28} {:<28} {:>12} {:>12} {:>10} {:>8}",
+                r.group,
+                r.name,
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.median_ns),
+                fmt_ns(r.stddev_ns),
+                r.iters_per_sample
+            );
+        }
+        if let Ok(path) = std::env::var("JUNO_BENCH_JSON") {
+            let body: Vec<String> = self.results.iter().map(BenchResult::json).collect();
+            let json = format!(
+                "{{\"bench\":\"{}\",\"results\":[\n  {}\n]}}\n",
+                self.name,
+                body.join(",\n  ")
+            );
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("failed to write {path}: {e}");
+            } else {
+                println!("(results written to {path})");
+            }
+        }
+    }
+}
+
+/// Formats a duration in nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing measurement options.
+#[derive(Debug)]
+pub struct Group<'h> {
+    name: String,
+    options: BenchOptions,
+    harness: &'h mut Harness,
+}
+
+impl Group<'_> {
+    /// Overrides the per-sample time budget for this group (heavy benches).
+    pub fn sample_time(&mut self, d: Duration) -> &mut Self {
+        self.options.sample_time = d;
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn samples(&mut self, n: usize) -> &mut Self {
+        self.options.samples = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count to the sample
+    /// budget, warms up, takes the configured number of samples and records
+    /// the statistics. The closure's return value is passed through
+    /// [`black_box`] so the computation is not optimised away.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self {
+        // Warm-up + cost estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < self.options.warmup || warmup_iters < 3 {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(0.5);
+        let iters =
+            ((self.options.sample_time.as_nanos() as f64 / est_ns) as u64).clamp(1, 1 << 30);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.options.samples);
+        for _ in 0..self.options.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        sample_ns.sort_unstable_by(f64::total_cmp);
+        let n = sample_ns.len();
+        let mean = sample_ns.iter().sum::<f64>() / n as f64;
+        let median = if n.is_multiple_of(2) {
+            (sample_ns[n / 2 - 1] + sample_ns[n / 2]) / 2.0
+        } else {
+            sample_ns[n / 2]
+        };
+        let var = sample_ns
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n as f64;
+
+        self.harness.results.push(BenchResult {
+            group: self.name.clone(),
+            name: name.into(),
+            mean_ns: mean,
+            median_ns: median,
+            stddev_ns: var.sqrt(),
+            iters_per_sample: iters,
+            samples: n,
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_sane_statistics() {
+        let mut h = Harness::new("selftest").with_options(BenchOptions {
+            sample_time: Duration::from_millis(2),
+            samples: 3,
+            warmup: Duration::from_millis(1),
+        });
+        h.group("g").bench("add", || black_box(21u64) * 2);
+        assert_eq!(h.results().len(), 1);
+        let r = &h.results()[0];
+        assert_eq!(r.group, "g");
+        assert_eq!(r.name, "add");
+        assert!(r.mean_ns > 0.0);
+        assert!(r.median_ns > 0.0);
+        assert!(r.iters_per_sample >= 1);
+        assert_eq!(r.samples, 3);
+        assert!(r.json().contains("\"name\":\"add\""));
+    }
+
+    #[test]
+    fn formatting_is_adaptive() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -12,10 +12,14 @@
 //!   batch and reporting recall, simulated latency and QPS.
 //! * [`report`] — plain-text table output mirroring the rows/series of the
 //!   paper's figures.
+//! * [`harness`] — the in-tree wall-clock benchmark harness the `benches/`
+//!   targets run on (the workspace builds without external crates, so
+//!   `criterion` is not available).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod harness;
 pub mod report;
 pub mod setup;
 pub mod sweep;

@@ -18,6 +18,11 @@ pub struct SweepResult {
     pub mean_us: f64,
     /// Simulated queries per second (1e6 / mean_us).
     pub qps: f64,
+    /// Measured wall-clock time of the whole batch in microseconds (host
+    /// CPU, all worker threads included).
+    pub wall_us: f64,
+    /// Measured host queries per second (`queries / wall seconds`).
+    pub host_qps: f64,
     /// Mean per-query work counters.
     pub stats: SearchStats,
 }
@@ -35,11 +40,40 @@ pub fn run_sweep(
     retrieve_k: usize,
     truth_n: usize,
 ) -> Result<SweepResult> {
+    run_sweep_threads(
+        index,
+        queries,
+        ground_truth,
+        retrieve_k,
+        truth_n,
+        juno_common::parallel::default_threads(),
+    )
+}
+
+/// [`run_sweep`] with an explicit worker-thread budget for the batch: the
+/// queries go through [`AnnIndex::search_batch_threads`], so engines with a
+/// parallel batch pipeline (all of them, via the trait default) are measured
+/// under batch traffic rather than a sequential loop. `1` recovers the
+/// sequential sweep exactly.
+///
+/// # Errors
+///
+/// Propagates per-query search errors and recall computation errors.
+pub fn run_sweep_threads(
+    index: &dyn AnnIndex,
+    queries: &VectorSet,
+    ground_truth: &GroundTruth,
+    retrieve_k: usize,
+    truth_n: usize,
+    num_threads: usize,
+) -> Result<SweepResult> {
     let mut retrieved = Vec::with_capacity(queries.len());
     let mut total_us = 0.0;
     let mut stats = SearchStats::default();
-    for q in queries.iter() {
-        let res = index.search(q, retrieve_k)?;
+    let started = std::time::Instant::now();
+    let results = index.search_batch_threads(queries, retrieve_k, num_threads)?;
+    let wall_us = started.elapsed().as_secs_f64() * 1e6;
+    for res in results {
         total_us += res.simulated_us;
         stats.merge(&res.stats);
         retrieved.push(res.ids());
@@ -67,6 +101,12 @@ pub fn run_sweep(
         recall,
         mean_us,
         qps: if mean_us > 0.0 { 1e6 / mean_us } else { 0.0 },
+        wall_us,
+        host_qps: if wall_us > 0.0 {
+            queries.len() as f64 * 1e6 / wall_us
+        } else {
+            0.0
+        },
         stats,
     })
 }

@@ -7,10 +7,9 @@
 use crate::error::Result;
 use crate::metric::Metric;
 use crate::vector::VectorSet;
-use serde::{Deserialize, Serialize};
 
 /// A single retrieved neighbour.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
     /// Identifier of the search point (its row index in the dataset).
     pub id: u64,
@@ -27,7 +26,7 @@ impl Neighbor {
 }
 
 /// The result of searching one query.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SearchResult {
     /// Retrieved neighbours sorted from best to worst.
     pub neighbors: Vec<Neighbor>,
@@ -52,7 +51,7 @@ impl SearchResult {
 ///
 /// These counters drive the paper's breakdown figures (Fig. 3(a), Fig. 11(a))
 /// and the analytic GPU cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SearchStats {
     /// Pairwise distance computations performed during coarse filtering.
     pub filter_distances: usize,
@@ -127,18 +126,36 @@ pub trait AnnIndex: Send + Sync {
 
     /// Searches a batch of queries, returning one result per query.
     ///
-    /// The default implementation simply loops over [`AnnIndex::search`];
-    /// engines with batch-level optimisations override it.
+    /// The default implementation fans the batch out over a work-stealing
+    /// thread pool ([`crate::parallel`]); since `search` takes `&self`, every
+    /// implementation is batch-parallel for free. Engines with per-thread
+    /// scratch state override it (see `JunoIndex`). Results are ordered by
+    /// query and identical to a sequential loop over [`AnnIndex::search`].
     ///
     /// # Errors
     ///
-    /// Propagates the first per-query error encountered.
+    /// Propagates the first per-query error encountered (by query order).
     fn search_batch(&self, queries: &VectorSet, k: usize) -> Result<Vec<SearchResult>> {
-        let mut out = Vec::with_capacity(queries.len());
-        for q in queries.iter() {
-            out.push(self.search(q, k)?);
-        }
-        Ok(out)
+        self.search_batch_threads(queries, k, crate::parallel::default_threads())
+    }
+
+    /// [`AnnIndex::search_batch`] with an explicit worker-thread budget
+    /// (`1` recovers the sequential loop exactly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query error encountered (by query order).
+    fn search_batch_threads(
+        &self,
+        queries: &VectorSet,
+        k: usize,
+        num_threads: usize,
+    ) -> Result<Vec<SearchResult>> {
+        crate::parallel::map(queries.len(), num_threads, |i| {
+            self.search(queries.row(i), k)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// A short human-readable name used in benchmark reports.

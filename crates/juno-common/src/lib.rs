@@ -15,6 +15,8 @@
 //!   JUNO engine and every baseline.
 //! * [`rng`] — deterministic random-number helpers shared by data generators
 //!   and training code.
+//! * [`parallel`] — scoped-thread work-stealing maps used by the batched
+//!   query pipeline and PQ encoding.
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@
 pub mod error;
 pub mod index;
 pub mod metric;
+pub mod parallel;
 pub mod recall;
 pub mod rng;
 pub mod topk;

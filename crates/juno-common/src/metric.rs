@@ -12,10 +12,8 @@
 //! [`Metric::score`] converts both into a uniform "lower is better" value so
 //! that top-k selection code does not need to special-case the metric.
 
-use serde::{Deserialize, Serialize};
-
 /// The similarity metric of a dataset or index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Metric {
     /// Squared Euclidean distance; lower is better.
     #[default]

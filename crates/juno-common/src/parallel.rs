@@ -1,0 +1,182 @@
+//! Work-stealing data parallelism over index ranges.
+//!
+//! The workspace builds without external crates, so this module provides the
+//! small slice of `rayon` the hot paths need: map a function over `0..n` from
+//! a pool of scoped threads, with dynamic (work-stealing) load balancing and
+//! optional per-thread mutable state for scratch buffers.
+//!
+//! Scheduling is a single shared atomic cursor: each worker claims the next
+//! chunk of indices with `fetch_add`, so fast workers automatically steal the
+//! work a slow worker never reached. Results are returned in index order
+//! regardless of which worker computed them, which keeps parallel output
+//! deterministic and bit-identical to a sequential run of the same closure.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads to use by default: the machine's available
+/// parallelism, overridable (mostly for benchmarks and CI) with the
+/// `JUNO_NUM_THREADS` environment variable.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("JUNO_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+}
+
+/// Picks a steal-chunk size that keeps scheduling overhead low while leaving
+/// enough chunks for load balancing (~4 per worker).
+fn auto_chunk(n: usize, threads: usize) -> usize {
+    (n / (threads * 4).max(1)).clamp(1, 64)
+}
+
+/// Maps `f` over `0..n` on up to `num_threads` workers with per-thread state.
+///
+/// `init` runs once per worker to create its state (e.g. a scratch buffer);
+/// `f` receives the state and the item index. `chunk_size = 0` selects an
+/// automatic chunk size. The output is ordered by index.
+///
+/// Falls back to a plain sequential loop when `n` or the thread budget is
+/// too small to be worth spawning for.
+pub fn map_with<S, T, FI, F>(
+    n: usize,
+    num_threads: usize,
+    chunk_size: usize,
+    init: FI,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = num_threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let chunk = if chunk_size == 0 {
+        auto_chunk(n, threads)
+    } else {
+        chunk_size
+    };
+
+    let cursor = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let init = &init;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut state = init();
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        local.push((i, f(&mut state, i)));
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            buckets.push(h.join().expect("parallel map worker panicked"));
+        }
+    });
+
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for bucket in buckets {
+        for (i, v) in bucket {
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// Stateless variant of [`map_with`].
+pub fn map<T, F>(n: usize, num_threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_with(n, num_threads, 0, || (), |(), i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn output_is_in_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = map(1000, threads, |i| i * 3);
+            assert_eq!(out.len(), 1000);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * 3, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = map(257, 4, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn per_thread_state_is_reused_not_shared() {
+        // Each worker's state counts its own items; the sum over all workers
+        // must equal n even though the split is nondeterministic.
+        let totals = map_with(
+            500,
+            4,
+            7,
+            || 0usize,
+            |count, _i| {
+                *count += 1;
+                *count
+            },
+        );
+        // Per-item results are each worker's running count: all ≥ 1 and ≤ n.
+        assert!(totals.iter().all(|&c| (1..=500).contains(&c)));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(map(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(map(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_chunk_sizes_work() {
+        for chunk in [1usize, 3, 64, 1000] {
+            let out = map_with(100, 3, chunk, || (), |(), i| i);
+            assert_eq!(out, (0..100).collect::<Vec<_>>(), "chunk = {chunk}");
+        }
+    }
+}

@@ -6,7 +6,6 @@
 
 use crate::error::{Error, Result};
 use crate::metric::{self, Metric};
-use serde::{Deserialize, Serialize};
 
 /// A dense set of equal-dimension `f32` vectors in row-major layout.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(set.dim(), 2);
 /// assert_eq!(set.row(1), &[3.0, 4.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct VectorSet {
     data: Vec<f32>,
     dim: usize,
@@ -52,7 +51,7 @@ impl VectorSet {
         if dim == 0 {
             return Err(Error::invalid_config("vector dimension must be positive"));
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(Error::invalid_config(format!(
                 "flat buffer of length {} is not a multiple of dim {}",
                 data.len(),
@@ -92,11 +91,7 @@ impl VectorSet {
     /// Number of vectors in the set.
     #[inline]
     pub fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// Returns `true` if the set holds no vectors.

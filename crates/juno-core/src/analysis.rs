@@ -19,10 +19,9 @@ use crate::engine::JunoIndex;
 use juno_common::error::{Error, Result};
 use juno_common::recall::GroundTruth;
 use juno_common::vector::VectorSet;
-use serde::{Deserialize, Serialize};
 
 /// Per-subspace codebook-entry usage ratios (Fig. 4(a) / 5(a)).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct UsageRatios {
     /// Mean (over queries) fraction of entries used by the top-k, per subspace.
     pub mean: Vec<f64>,
@@ -42,7 +41,7 @@ impl UsageRatios {
 }
 
 /// Coverage CDF from closest to farthest entries (Fig. 4(b) / 5(b)).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CoverageCdf {
     /// `cdf[r]` is the mean fraction of top-k points covered when the `r + 1`
     /// closest entries per subspace are considered.
@@ -52,7 +51,7 @@ pub struct CoverageCdf {
 }
 
 /// One sample of the density/threshold relationship (Fig. 7(a)).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DensityThresholdSample {
     /// Region density at the query projection.
     pub density: f32,
@@ -216,10 +215,10 @@ pub fn remaining_vs_threshold(
                 dists.push((dx * dx + dy * dy).sqrt());
             }
             let max_d = dists.iter().cloned().fold(0.0f32, f32::max).max(1e-9);
-            for step in 0..=steps {
+            for (step, slot) in remaining.iter_mut().enumerate() {
                 let thr = max_d * (step as f32 / steps as f32);
                 let frac = dists.iter().filter(|&&d| d <= thr).count() as f64 / dists.len() as f64;
-                remaining[step] += frac;
+                *slot += frac;
             }
             samples += 1;
         }

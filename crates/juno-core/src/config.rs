@@ -11,10 +11,9 @@ use juno_common::error::{Error, Result};
 use juno_common::metric::Metric;
 use juno_gpu::device::GpuDevice;
 use juno_gpu::pipeline::ExecutionMode;
-use serde::{Deserialize, Serialize};
 
 /// The quality/throughput operating mode (paper Section 6.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum QualityMode {
     /// JUNO-L: hit-count-only selection; highest throughput, recall typically
     /// capped around 0.95 on L2 datasets.
@@ -54,7 +53,7 @@ impl std::fmt::Display for QualityMode {
 }
 
 /// Full configuration of a [`crate::engine::JunoIndex`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JunoConfig {
     /// Number of coarse IVF clusters (`C`).
     pub n_clusters: usize,
@@ -187,7 +186,7 @@ impl JunoConfig {
         if self.pq_subspaces == 0 || self.pq_entries == 0 {
             return Err(Error::invalid_config("PQ parameters must be positive"));
         }
-        if dim % self.pq_subspaces != 0 {
+        if !dim.is_multiple_of(self.pq_subspaces) {
             return Err(Error::invalid_config(format!(
                 "dimension {dim} is not divisible by pq_subspaces {}",
                 self.pq_subspaces

@@ -9,13 +9,12 @@
 //! projection to feed the threshold regressor.
 
 use juno_common::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// Default grid resolution used by the paper.
 pub const DEFAULT_GRID: usize = 100;
 
 /// A 2-D density map over one subspace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DensityMap {
     /// Grid resolution per axis.
     grid: usize,

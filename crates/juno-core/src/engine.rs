@@ -20,20 +20,21 @@
 //!    (JUNO-H) or hit counts (JUNO-L/M).
 
 use crate::config::{JunoConfig, QualityMode};
-use crate::hitcount::{HitCountAccumulator, HitCountMode};
+use crate::hitcount::HitCountMode;
 use crate::inverted::SubspaceInvertedIndex;
-use crate::lut::{construct_selective_lut, LutRayRequest, SelectiveLut};
+use crate::lut::{construct_selective_lut, LutDecodeBuffer, LutRayRequest, SelectiveLut};
 use crate::mapping::SceneMapping;
 use crate::pipeline::{QuerySimulator, QueryWork, StageBreakdown};
 use crate::threshold::{ThresholdModel, ThresholdStrategy, ThresholdTrainConfig};
 use juno_common::error::{Error, Result};
 use juno_common::index::{AnnIndex, Neighbor, SearchResult, SearchStats};
 use juno_common::metric::{inner_product, Metric};
+use juno_common::parallel;
 use juno_common::topk::TopK;
 use juno_common::vector::VectorSet;
 use juno_quant::ivf::{IvfIndex, IvfTrainConfig};
+use juno_quant::layout::IvfListCodes;
 use juno_quant::pq::{EncodedPoints, PqTrainConfig, ProductQuantizer};
-use std::collections::HashMap;
 
 /// The JUNO approximate nearest neighbour index.
 #[derive(Debug, Clone)]
@@ -42,11 +43,41 @@ pub struct JunoIndex {
     ivf: IvfIndex,
     pq: ProductQuantizer,
     codes: EncodedPoints,
-    inverted: SubspaceInvertedIndex,
+    /// The same codes reordered IVF-list-contiguously (point-major within a
+    /// list) so the ADC scan over a probed cluster streams memory
+    /// sequentially.
+    list_codes: IvfListCodes,
+    /// Subspace-level inverted index, built lazily on first use: the online
+    /// path scans `list_codes` instead, so only diagnostics (fig11, the
+    /// analysis module) pay its construction time and memory.
+    inverted: std::sync::OnceLock<SubspaceInvertedIndex>,
     threshold_model: ThresholdModel,
     mapping: SceneMapping,
     simulator: QuerySimulator,
     num_points: usize,
+}
+
+/// The output of [`JunoIndex::build_selective_lut`]: the probed clusters in
+/// filter order, the selective LUT over them, the RT traversal work, and the
+/// per-`(slot, subspace)` thresholds used (for miss penalties).
+pub type SelectiveLutParts = (
+    Vec<usize>,
+    SelectiveLut,
+    juno_rt::stats::TraversalStats,
+    Vec<Vec<f32>>,
+);
+
+/// Reusable per-thread scratch state for [`JunoIndex::search_with_scratch`]:
+/// the dense LUT decode buffer plus the accumulation vectors, allocated once
+/// per worker instead of once per query.
+#[derive(Debug, Clone)]
+pub struct SearchScratch {
+    decode: LutDecodeBuffer,
+    /// Squared inner-sphere (half-threshold) bounds per subspace of the
+    /// current slot (hit-count modes).
+    half_sq: Vec<f32>,
+    /// `(point id, score)` pairs collected by the hit-count modes.
+    hit_scores: Vec<(u32, i64)>,
 }
 
 impl JunoIndex {
@@ -94,13 +125,10 @@ impl JunoIndex {
         )?;
         let codes = pq.encode(&residuals)?;
 
-        // 3. Subspace-level inverted index.
-        let inverted = SubspaceInvertedIndex::build(
-            ivf.labels(),
-            &codes,
-            config.n_clusters,
-            config.pq_entries,
-        )?;
+        // 3. The IVF-list-contiguous code layout the ADC scan consumes (the
+        //    subspace-level inverted index is built lazily — diagnostics
+        //    only).
+        let list_codes = IvfListCodes::build(ivf.labels(), &codes, config.n_clusters)?;
 
         // 4. Threshold calibration: per-subspace density maps plus regressors
         //    that map region density to the radius containing the top-k
@@ -151,12 +179,23 @@ impl JunoIndex {
             ivf,
             pq,
             codes,
-            inverted,
+            list_codes,
+            inverted: std::sync::OnceLock::new(),
             threshold_model,
             mapping,
             simulator,
             num_points: points.len(),
         })
+    }
+
+    /// Creates a scratch buffer sized for this index, reusable across
+    /// queries (the batch path keeps one per worker thread).
+    pub fn make_scratch(&self) -> SearchScratch {
+        SearchScratch {
+            decode: LutDecodeBuffer::new(self.pq.num_subspaces(), self.pq.entries_per_subspace()),
+            half_sq: vec![0.0; self.pq.num_subspaces()],
+            hit_scores: Vec::new(),
+        }
     }
 
     /// The engine configuration.
@@ -179,9 +218,23 @@ impl JunoIndex {
         &self.codes
     }
 
-    /// Borrow of the subspace-level inverted index.
+    /// Borrow of the IVF-list-contiguous code layout used by the ADC scan.
+    pub fn list_codes(&self) -> &IvfListCodes {
+        &self.list_codes
+    }
+
+    /// Borrow of the subspace-level inverted index, building it on first
+    /// use (the search path itself scans [`JunoIndex::list_codes`]).
     pub fn inverted(&self) -> &SubspaceInvertedIndex {
-        &self.inverted
+        self.inverted.get_or_init(|| {
+            SubspaceInvertedIndex::build(
+                self.ivf.labels(),
+                &self.codes,
+                self.config.n_clusters,
+                self.config.pq_entries,
+            )
+            .expect("labels and codes were validated when the index was built")
+        })
     }
 
     /// Borrow of the calibrated threshold model.
@@ -239,15 +292,7 @@ impl JunoIndex {
     /// # Errors
     ///
     /// Propagates filtering / mapping errors.
-    pub fn build_selective_lut(
-        &self,
-        query: &[f32],
-    ) -> Result<(
-        Vec<usize>,
-        SelectiveLut,
-        juno_rt::stats::TraversalStats,
-        Vec<Vec<f32>>,
-    )> {
+    pub fn build_selective_lut(&self, query: &[f32]) -> Result<SelectiveLutParts> {
         if query.len() != self.dim() {
             return Err(Error::DimensionMismatch {
                 expected: self.dim(),
@@ -297,6 +342,13 @@ impl JunoIndex {
     }
 
     /// Exact-distance accumulation (JUNO-H).
+    ///
+    /// For each probed cluster the selective LUT slot is expanded into the
+    /// dense decode buffer (`NaN` = unselected), then the cluster's
+    /// IVF-contiguous code block is scanned point-major: per candidate, one
+    /// O(1) indexed load per subspace, no hashing and no binary search. The
+    /// candidate set is identical to the old inverted-index scatter walk —
+    /// exactly the cluster members with at least one selected entry.
     fn search_high(
         &self,
         query: &[f32],
@@ -304,26 +356,19 @@ impl JunoIndex {
         clusters: &[usize],
         lut: &SelectiveLut,
         thresholds: &[Vec<f32>],
+        scratch: &mut SearchScratch,
     ) -> Result<(Vec<Neighbor>, usize, usize)> {
         let subspaces = self.pq.num_subspaces();
+        let entries = self.pq.entries_per_subspace();
         let mut topk = TopK::new(k, self.config.metric);
         let mut accumulations = 0usize;
         let mut total_candidates = 0usize;
 
         for (slot, &cluster) in clusters.iter().enumerate() {
-            // Scatter-accumulate over the inverted index.
-            let mut acc: HashMap<u32, (f32, u32)> = HashMap::new();
-            for s in 0..subspaces {
-                for &(entry, value) in lut.row(slot, s) {
-                    for &pid in self.inverted.points_for(cluster, s, entry as usize)? {
-                        let slot_entry = acc.entry(pid).or_insert((0.0, 0));
-                        slot_entry.0 += value;
-                        slot_entry.1 += 1;
-                        accumulations += 1;
-                    }
-                }
-            }
-            total_candidates += acc.len();
+            scratch.decode.decode_slot(lut, slot);
+            let dense = scratch.decode.as_slice();
+            let ids = self.list_codes.cluster_ids(cluster);
+            let codes = self.list_codes.cluster_codes(cluster);
 
             // Per-cluster constants.
             let centroid_term = match self.config.metric {
@@ -336,7 +381,24 @@ impl JunoIndex {
             let mean_thr_sq: f32 =
                 thresholds[slot].iter().map(|t| t * t).sum::<f32>() / subspaces.max(1) as f32;
 
-            for (pid, (sum, covered)) in acc {
+            for (i, &pid) in ids.iter().enumerate() {
+                let code = &codes[i * subspaces..(i + 1) * subspaces];
+                let mut sum = 0.0f32;
+                let mut covered = 0u32;
+                for (s, &e) in code.iter().enumerate() {
+                    let v = dense[s * entries + e as usize];
+                    // NaN marks "entry not selected"; comparison is false for
+                    // NaN so the branch predictor sees the common case.
+                    if !v.is_nan() {
+                        sum += v;
+                        covered += 1;
+                    }
+                }
+                if covered == 0 {
+                    continue;
+                }
+                accumulations += covered as usize;
+                total_candidates += 1;
                 let missing = (subspaces as u32 - covered) as f32;
                 let raw = match self.config.metric {
                     Metric::L2 => sum + missing * mean_thr_sq * self.config.miss_penalty_factor,
@@ -349,7 +411,10 @@ impl JunoIndex {
         Ok((topk.into_sorted_vec(), accumulations, total_candidates))
     }
 
-    /// Hit-count ranking (JUNO-L / JUNO-M).
+    /// Hit-count ranking (JUNO-L / JUNO-M), over the same dense decode
+    /// buffer + contiguous code scan as [`JunoIndex::search_high`]. A point
+    /// belongs to exactly one IVF cluster, so per-candidate counts need no
+    /// cross-cluster merging.
     fn search_hitcount(
         &self,
         k: usize,
@@ -357,35 +422,61 @@ impl JunoIndex {
         lut: &SelectiveLut,
         thresholds: &[Vec<f32>],
         mode: HitCountMode,
+        scratch: &mut SearchScratch,
     ) -> Result<(Vec<Neighbor>, usize, usize)> {
         let subspaces = self.pq.num_subspaces();
-        let mut acc = HitCountAccumulator::new();
+        let entries = self.pq.entries_per_subspace();
         let mut accumulations = 0usize;
+        scratch.hit_scores.clear();
+
         for (slot, &cluster) in clusters.iter().enumerate() {
-            for s in 0..subspaces {
-                for &(entry, value) in lut.row(slot, s) {
-                    // Inner-sphere membership: within half the threshold. For
-                    // MIPS the exact-value check is skipped (see module docs);
-                    // every hit counts as an outer hit only.
-                    let inner = match self.config.metric {
-                        Metric::L2 => {
-                            let half = thresholds[slot][s] * 0.5;
-                            value <= half * half
+            scratch.decode.decode_slot(lut, slot);
+            let dense = scratch.decode.as_slice();
+            // Inner-sphere membership: within half the threshold. For MIPS
+            // the exact-value check is skipped (see the hitcount module
+            // docs); every hit counts as an outer hit only.
+            let inner_enabled = self.config.metric == Metric::L2;
+            for (s, half) in scratch.half_sq.iter_mut().enumerate() {
+                let h = thresholds[slot][s] * 0.5;
+                *half = h * h;
+            }
+            let ids = self.list_codes.cluster_ids(cluster);
+            let codes = self.list_codes.cluster_codes(cluster);
+            for (i, &pid) in ids.iter().enumerate() {
+                let code = &codes[i * subspaces..(i + 1) * subspaces];
+                let mut outer = 0u32;
+                let mut inner = 0u32;
+                for (s, &e) in code.iter().enumerate() {
+                    let v = dense[s * entries + e as usize];
+                    if !v.is_nan() {
+                        outer += 1;
+                        if inner_enabled && v <= scratch.half_sq[s] {
+                            inner += 1;
                         }
-                        Metric::InnerProduct => false,
-                    };
-                    for &pid in self.inverted.points_for(cluster, s, entry as usize)? {
-                        acc.record(pid, inner);
-                        accumulations += 1;
                     }
                 }
+                if outer == 0 {
+                    continue;
+                }
+                accumulations += outer as usize;
+                let score = match mode {
+                    HitCountMode::CountOnly => outer as i64,
+                    HitCountMode::RewardPenalty => inner as i64 - (subspaces as i64 - outer as i64),
+                };
+                scratch.hit_scores.push((pid, score));
             }
         }
-        let candidates = acc.num_candidates();
-        let neighbors = acc
-            .top_k(k, mode, subspaces)
-            .into_iter()
-            .map(|(pid, score)| Neighbor::new(pid as u64, score as f32))
+        let candidates = scratch.hit_scores.len();
+        // Rank by score (descending), ties by point id — the same order the
+        // hit-count accumulator produced.
+        scratch
+            .hit_scores
+            .sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scratch.hit_scores.truncate(k);
+        let neighbors = scratch
+            .hit_scores
+            .iter()
+            .map(|&(pid, score)| Neighbor::new(pid as u64, score as f32))
             .collect();
         Ok((neighbors, accumulations, candidates))
     }
@@ -396,35 +487,44 @@ impl JunoIndex {
     pub fn simulate_breakdown(&self, work: &QueryWork) -> StageBreakdown {
         self.simulator.simulate(work)
     }
-}
 
-impl AnnIndex for JunoIndex {
-    fn metric(&self) -> Metric {
-        self.config.metric
-    }
-
-    fn dim(&self) -> usize {
-        self.ivf.dim()
-    }
-
-    fn len(&self) -> usize {
-        self.num_points
-    }
-
-    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult> {
+    /// [`AnnIndex::search`] with caller-provided scratch buffers, so batch
+    /// workers amortise the decode-buffer allocation across queries.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AnnIndex::search`].
+    pub fn search_with_scratch(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchResult> {
         if k == 0 {
             return Err(Error::invalid_config("k must be positive"));
         }
         let (clusters, lut, rt_stats, thresholds) = self.build_selective_lut(query)?;
 
         let (neighbors, accumulations, candidates) = match self.config.quality {
-            QualityMode::High => self.search_high(query, k, &clusters, &lut, &thresholds)?,
-            QualityMode::Medium => {
-                self.search_hitcount(k, &clusters, &lut, &thresholds, HitCountMode::RewardPenalty)?
+            QualityMode::High => {
+                self.search_high(query, k, &clusters, &lut, &thresholds, scratch)?
             }
-            QualityMode::Low => {
-                self.search_hitcount(k, &clusters, &lut, &thresholds, HitCountMode::CountOnly)?
-            }
+            QualityMode::Medium => self.search_hitcount(
+                k,
+                &clusters,
+                &lut,
+                &thresholds,
+                HitCountMode::RewardPenalty,
+                scratch,
+            )?,
+            QualityMode::Low => self.search_hitcount(
+                k,
+                &clusters,
+                &lut,
+                &thresholds,
+                HitCountMode::CountOnly,
+                scratch,
+            )?,
         };
 
         let work = QueryWork {
@@ -453,41 +553,51 @@ impl AnnIndex for JunoIndex {
             stats,
         })
     }
+}
 
-    /// Batch search parallelised over queries with scoped threads, mirroring
-    /// how the paper launches whole query batches at once (Section 5.3).
+impl AnnIndex for JunoIndex {
+    fn metric(&self) -> Metric {
+        self.config.metric
+    }
+
+    fn dim(&self) -> usize {
+        self.ivf.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.num_points
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult> {
+        self.search_with_scratch(query, k, &mut self.make_scratch())
+    }
+
+    /// Batch search parallelised over queries with work-stealing scoped
+    /// threads, mirroring how the paper launches whole query batches at once
+    /// (Section 5.3). Each worker keeps one [`SearchScratch`] for its whole
+    /// share of the batch, and fast workers steal chunks a slow worker never
+    /// reached. Results are ordered by query and identical to running
+    /// [`AnnIndex::search`] sequentially.
     fn search_batch(&self, queries: &VectorSet, k: usize) -> Result<Vec<SearchResult>> {
-        if queries.is_empty() {
-            return Ok(Vec::new());
-        }
-        let n_threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-            .min(queries.len());
-        let chunk = queries.len().div_ceil(n_threads);
-        let mut out: Vec<Result<SearchResult>> = Vec::with_capacity(queries.len());
-        out.resize_with(queries.len(), || Err(Error::invalid_config("not computed")));
-        std::thread::scope(|scope| {
-            let mut rest: &mut [Result<SearchResult>] = &mut out;
-            let mut start = 0usize;
-            let mut handles = Vec::new();
-            while start < queries.len() {
-                let take = chunk.min(queries.len() - start);
-                let (head, tail) = rest.split_at_mut(take);
-                rest = tail;
-                let begin = start;
-                handles.push(scope.spawn(move || {
-                    for (i, slot) in head.iter_mut().enumerate() {
-                        *slot = self.search(queries.row(begin + i), k);
-                    }
-                }));
-                start += take;
-            }
-            for h in handles {
-                h.join().expect("JUNO batch-search worker panicked");
-            }
-        });
-        out.into_iter().collect()
+        self.search_batch_threads(queries, k, parallel::default_threads())
+    }
+
+    /// [`AnnIndex::search_batch`] with an explicit worker-thread budget.
+    fn search_batch_threads(
+        &self,
+        queries: &VectorSet,
+        k: usize,
+        num_threads: usize,
+    ) -> Result<Vec<SearchResult>> {
+        parallel::map_with(
+            queries.len(),
+            num_threads,
+            0,
+            || self.make_scratch(),
+            |scratch, i| self.search_with_scratch(queries.row(i), k, scratch),
+        )
+        .into_iter()
+        .collect()
     }
 
     fn name(&self) -> String {

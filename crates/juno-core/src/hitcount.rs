@@ -18,11 +18,10 @@
 //! `inner_hits − misses` score; the accumulator keeps both counts so either
 //! view can be reported.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Which hit-count variant is in use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HitCountMode {
     /// JUNO-L: count outer-sphere hits only.
     CountOnly,

@@ -10,10 +10,9 @@
 
 use juno_common::error::{Error, Result};
 use juno_quant::pq::EncodedPoints;
-use serde::{Deserialize, Serialize};
 
 /// CSR storage of one `(cluster, subspace)` pair.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 struct EntryLists {
     /// `offsets[e]..offsets[e + 1]` indexes `point_ids` for entry `e`.
     offsets: Vec<u32>,
@@ -22,7 +21,7 @@ struct EntryLists {
 }
 
 /// The full inverted index `Map[cluster][subspace][entry] → point ids`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SubspaceInvertedIndex {
     /// `lists[cluster * num_subspaces + subspace]`.
     lists: Vec<EntryLists>,
@@ -218,8 +217,7 @@ mod tests {
         assert_eq!(idx.num_subspaces(), 4);
         assert_eq!(idx.entries_per_subspace(), 8);
         // Forward check: each point appears exactly where its code says.
-        for p in 0..200 {
-            let c = labels[p];
+        for (p, &c) in labels.iter().enumerate() {
             for (s, &e) in codes.code(p).iter().enumerate() {
                 let members = idx.points_for(c, s, e as usize).unwrap();
                 assert!(

@@ -7,18 +7,37 @@
 //! further). The LUT is therefore sparse: per `(probed cluster, subspace)` a
 //! short list of `(entry, value)` pairs, where `value` is the squared L2
 //! distance (or the inner product under MIPS) recovered from `t_hit`.
+//!
+//! # Memory layout
+//!
+//! The rows are stored in one flat CSR structure — a single contiguous
+//! `entries: Vec<u16>` / `values: Vec<f32>` pair indexed by an `offsets`
+//! array over `(slot, subspace)` — instead of a `Vec` of row `Vec`s. One
+//! allocation instead of `slots × subspaces`, and the whole LUT streams
+//! through cache linearly during accumulation.
+//!
+//! For the distance scan itself, [`LutDecodeBuffer`] expands one slot's rows
+//! into a dense `subspaces × E` buffer (`NaN` marking unselected entries) so
+//! the per-candidate inner loop does O(1) indexed loads instead of a binary
+//! search per `(candidate, subspace)`.
 
 use crate::mapping::SceneMapping;
 use juno_common::error::{Error, Result};
 use juno_rt::stats::TraversalStats;
-use serde::{Deserialize, Serialize};
 
-/// A sparse, per-query look-up table of selected entry distances.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A sparse, per-query look-up table of selected entry distances, stored as
+/// one flat CSR structure over `(slot, subspace)` rows.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectiveLut {
-    /// `rows[slot * num_subspaces + subspace]` holds `(entry, value)` pairs
-    /// sorted by entry id. `slot` indexes the probed clusters in filter order.
-    rows: Vec<Vec<(u16, f32)>>,
+    /// `offsets[row]..offsets[row + 1]` indexes `entries` / `values` for
+    /// `row = slot * num_subspaces + subspace`. Length `rows + 1`.
+    offsets: Vec<u32>,
+    /// Selected entry ids, sorted within each row after [`SelectiveLut::finish`].
+    entries: Vec<u16>,
+    /// The value of each selected entry, parallel to `entries`.
+    values: Vec<f32>,
+    /// Insertions staged before `finish` builds the CSR arrays.
+    staging: Vec<(u32, u16, f32)>,
     num_slots: usize,
     num_subspaces: usize,
 }
@@ -28,7 +47,10 @@ impl SelectiveLut {
     /// `num_subspaces` subspaces.
     pub fn new(num_slots: usize, num_subspaces: usize) -> Self {
         Self {
-            rows: vec![Vec::new(); num_slots * num_subspaces],
+            offsets: vec![0; num_slots * num_subspaces + 1],
+            entries: Vec::new(),
+            values: Vec::new(),
+            staging: Vec::new(),
             num_slots,
             num_subspaces,
         }
@@ -45,39 +67,125 @@ impl SelectiveLut {
     }
 
     /// Records one selected entry. Entries may be inserted in any order;
-    /// [`SelectiveLut::finish`] sorts each row.
+    /// [`SelectiveLut::finish`] sorts each row and builds the CSR arrays.
     ///
     /// # Panics
     ///
     /// Panics if `slot` or `subspace` are out of bounds (internal misuse).
     pub fn insert(&mut self, slot: usize, subspace: usize, entry: u16, value: f32) {
         assert!(slot < self.num_slots && subspace < self.num_subspaces);
-        self.rows[slot * self.num_subspaces + subspace].push((entry, value));
+        let row = (slot * self.num_subspaces + subspace) as u32;
+        self.staging.push((row, entry, value));
     }
 
-    /// Sorts every row by entry id (enables binary-search lookups).
+    /// Builds the flat CSR arrays from the staged insertions, each row sorted
+    /// by entry id (enables binary-search lookups and merge-style scans).
+    /// Queries ([`SelectiveLut::row`], [`SelectiveLut::lookup`], …) reflect
+    /// only finished insertions.
     pub fn finish(&mut self) {
-        for row in &mut self.rows {
-            row.sort_unstable_by_key(|&(e, _)| e);
+        if self.staging.is_empty() {
+            return;
         }
+        let rows = self.num_slots * self.num_subspaces;
+        // Merge previously finished content back into the staging list so
+        // repeated insert/finish cycles keep all data (the counting sort
+        // below rebuilds from scratch).
+        if !self.entries.is_empty() {
+            for row in 0..rows {
+                let (start, end) = (self.offsets[row] as usize, self.offsets[row + 1] as usize);
+                for i in start..end {
+                    self.staging
+                        .push((row as u32, self.entries[i], self.values[i]));
+                }
+            }
+        }
+
+        // Counting sort by row, then an entry-id sort within each row.
+        let mut counts = vec![0u32; rows + 1];
+        for &(row, _, _) in &self.staging {
+            counts[row as usize + 1] += 1;
+        }
+        for r in 0..rows {
+            counts[r + 1] += counts[r];
+        }
+        let total = self.staging.len();
+        let mut entries = vec![0u16; total];
+        let mut values = vec![0f32; total];
+        let mut cursors = counts.clone();
+        for &(row, entry, value) in &self.staging {
+            let at = cursors[row as usize] as usize;
+            entries[at] = entry;
+            values[at] = value;
+            cursors[row as usize] += 1;
+        }
+        // Sort each row segment by entry id, keeping values parallel.
+        let mut perm: Vec<u32> = Vec::new();
+        for r in 0..rows {
+            let (start, end) = (counts[r] as usize, counts[r + 1] as usize);
+            if end - start > 1 {
+                perm.clear();
+                perm.extend(start as u32..end as u32);
+                perm.sort_unstable_by_key(|&i| entries[i as usize]);
+                let seg_e: Vec<u16> = perm.iter().map(|&i| entries[i as usize]).collect();
+                let seg_v: Vec<f32> = perm.iter().map(|&i| values[i as usize]).collect();
+                entries[start..end].copy_from_slice(&seg_e);
+                values[start..end].copy_from_slice(&seg_v);
+            }
+        }
+        self.offsets = counts;
+        self.entries = entries;
+        self.values = values;
+        self.staging.clear();
+        self.staging.shrink_to_fit();
     }
 
-    /// The selected `(entry, value)` pairs of one `(slot, subspace)` row.
-    pub fn row(&self, slot: usize, subspace: usize) -> &[(u16, f32)] {
-        &self.rows[slot * self.num_subspaces + subspace]
+    #[inline]
+    fn row_bounds(&self, slot: usize, subspace: usize) -> (usize, usize) {
+        let row = slot * self.num_subspaces + subspace;
+        (self.offsets[row] as usize, self.offsets[row + 1] as usize)
+    }
+
+    /// The selected, entry-sorted ids of one `(slot, subspace)` row.
+    #[inline]
+    pub fn row_entries(&self, slot: usize, subspace: usize) -> &[u16] {
+        let (start, end) = self.row_bounds(slot, subspace);
+        &self.entries[start..end]
+    }
+
+    /// The values of one `(slot, subspace)` row, parallel to
+    /// [`SelectiveLut::row_entries`].
+    #[inline]
+    pub fn row_values(&self, slot: usize, subspace: usize) -> &[f32] {
+        let (start, end) = self.row_bounds(slot, subspace);
+        &self.values[start..end]
+    }
+
+    /// The selected `(entry, value)` pairs of one `(slot, subspace)` row,
+    /// sorted by entry id.
+    pub fn row(
+        &self,
+        slot: usize,
+        subspace: usize,
+    ) -> impl ExactSizeIterator<Item = (u16, f32)> + '_ {
+        let (start, end) = self.row_bounds(slot, subspace);
+        self.entries[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
     }
 
     /// Looks up the value of a specific entry, if it was selected.
     pub fn lookup(&self, slot: usize, subspace: usize, entry: u16) -> Option<f32> {
-        let row = self.row(slot, subspace);
-        row.binary_search_by_key(&entry, |&(e, _)| e)
+        let (start, end) = self.row_bounds(slot, subspace);
+        self.entries[start..end]
+            .binary_search(&entry)
             .ok()
-            .map(|i| row[i].1)
+            .map(|i| self.values[start + i])
     }
 
     /// Total number of selected entries across all rows.
     pub fn total_selected(&self) -> usize {
-        self.rows.iter().map(Vec::len).sum()
+        self.entries.len()
     }
 
     /// The fraction of the dense LUT that was actually materialised
@@ -89,6 +197,82 @@ impl SelectiveLut {
         } else {
             self.total_selected() as f64 / dense as f64
         }
+    }
+}
+
+/// A dense per-probe decode buffer: one slot of a [`SelectiveLut`] expanded
+/// to `subspaces × E` contiguous `f32`s, with `NaN` marking unselected
+/// entries.
+///
+/// The accumulators index it as `buffer[s * E + code]` — one predictable
+/// load per `(candidate, subspace)` instead of a per-candidate binary search
+/// over the sparse row. Clearing between slots touches only the entries the
+/// previous slot selected, so reuse across probes (and across queries, via
+/// the engine's per-thread scratch) costs O(selected), not O(dense).
+#[derive(Debug, Clone)]
+pub struct LutDecodeBuffer {
+    dense: Vec<f32>,
+    /// Flat indices written by the last decode, for sparse clearing.
+    touched: Vec<u32>,
+    entries_per_subspace: usize,
+}
+
+impl LutDecodeBuffer {
+    /// Creates a buffer for `num_subspaces × entries_per_subspace` entries,
+    /// initially all-unselected.
+    pub fn new(num_subspaces: usize, entries_per_subspace: usize) -> Self {
+        Self {
+            dense: vec![f32::NAN; num_subspaces * entries_per_subspace],
+            touched: Vec::new(),
+            entries_per_subspace,
+        }
+    }
+
+    /// Entries per subspace this buffer was sized for.
+    pub fn entries_per_subspace(&self) -> usize {
+        self.entries_per_subspace
+    }
+
+    /// Expands one slot of `lut` into the dense buffer, clearing whatever the
+    /// previous decode wrote first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer shape does not match `lut.num_subspaces() × E`
+    /// (internal misuse) or `slot` is out of bounds.
+    pub fn decode_slot(&mut self, lut: &SelectiveLut, slot: usize) {
+        assert_eq!(
+            self.dense.len(),
+            lut.num_subspaces() * self.entries_per_subspace,
+            "decode buffer shape mismatch"
+        );
+        for &i in &self.touched {
+            self.dense[i as usize] = f32::NAN;
+        }
+        self.touched.clear();
+        for s in 0..lut.num_subspaces() {
+            let base = s * self.entries_per_subspace;
+            let ids = lut.row_entries(slot, s);
+            let vals = lut.row_values(slot, s);
+            for (&e, &v) in ids.iter().zip(vals) {
+                let at = base + e as usize;
+                self.dense[at] = v;
+                self.touched.push(at as u32);
+            }
+        }
+    }
+
+    /// The decoded value at `(subspace, entry)`: the selected value, or `NaN`
+    /// when the entry was not selected.
+    #[inline]
+    pub fn get(&self, subspace: usize, entry: usize) -> f32 {
+        self.dense[subspace * self.entries_per_subspace + entry]
+    }
+
+    /// Borrow of the dense `subspaces × E` buffer (row-major by subspace).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.dense
     }
 }
 
@@ -208,15 +392,14 @@ mod tests {
         let (lut, stats) = construct_selective_lut(&mapping, 1, &requests).unwrap();
         assert_eq!(stats.rays, 2);
         // Subspace 0: entries 0, 1, 2 are within 1.2 of (0.1, 0.1); entry 3 is not.
-        let row0 = lut.row(0, 0);
-        let ids: Vec<u16> = row0.iter().map(|&(e, _)| e).collect();
+        let ids: Vec<u16> = lut.row(0, 0).map(|(e, _)| e).collect();
         assert_eq!(ids, vec![0, 1, 2]);
-        for &(e, v) in row0 {
+        for (e, v) in lut.row(0, 0) {
             let exact = l2_squared(&[0.1, 0.1], cbs[0].entry(e as usize).unwrap());
             assert!((v - exact).abs() < 1e-3);
         }
         // Subspace 1: only entry 0 is within 1.0 of (0.4, 0.4).
-        let ids1: Vec<u16> = lut.row(0, 1).iter().map(|&(e, _)| e).collect();
+        let ids1: Vec<u16> = lut.row(0, 1).map(|(e, _)| e).collect();
         assert_eq!(ids1, vec![0]);
         // Lookups.
         assert!(lut.lookup(0, 0, 1).is_some());
@@ -267,6 +450,51 @@ mod tests {
         assert_eq!(stats.rays, 0);
         assert_eq!(lut.num_slots(), 2);
         assert_eq!(lut.num_subspaces(), 2);
-        assert!(lut.row(1, 1).is_empty());
+        assert_eq!(lut.row(1, 1).len(), 0);
+    }
+
+    #[test]
+    fn rows_are_sorted_and_csr_slices_are_parallel() {
+        let mut lut = SelectiveLut::new(2, 2);
+        // Insert out of order, across rows.
+        lut.insert(1, 0, 7, 0.7);
+        lut.insert(0, 1, 3, 0.3);
+        lut.insert(1, 0, 2, 0.2);
+        lut.insert(0, 1, 9, 0.9);
+        lut.insert(1, 0, 5, 0.5);
+        lut.finish();
+        assert_eq!(lut.row_entries(1, 0), &[2, 5, 7]);
+        assert_eq!(lut.row_values(1, 0), &[0.2, 0.5, 0.7]);
+        assert_eq!(lut.row_entries(0, 1), &[3, 9]);
+        assert_eq!(lut.row_entries(0, 0), &[] as &[u16]);
+        assert_eq!(lut.total_selected(), 5);
+        // Repeated insert/finish cycles keep earlier rows intact.
+        lut.insert(0, 0, 1, 0.1);
+        lut.finish();
+        assert_eq!(lut.row_entries(0, 0), &[1]);
+        assert_eq!(lut.row_entries(1, 0), &[2, 5, 7]);
+        assert_eq!(lut.total_selected(), 6);
+    }
+
+    #[test]
+    fn decode_buffer_expands_and_clears_per_slot() {
+        let mut lut = SelectiveLut::new(2, 2);
+        lut.insert(0, 0, 1, 0.25);
+        lut.insert(0, 1, 2, 0.5);
+        lut.insert(1, 0, 3, 0.75);
+        lut.finish();
+        let mut buf = LutDecodeBuffer::new(2, 4);
+        buf.decode_slot(&lut, 0);
+        assert_eq!(buf.get(0, 1), 0.25);
+        assert_eq!(buf.get(1, 2), 0.5);
+        assert!(buf.get(0, 0).is_nan());
+        assert!(buf.get(0, 3).is_nan());
+        // Re-decoding another slot clears the previous slot's entries.
+        buf.decode_slot(&lut, 1);
+        assert_eq!(buf.get(0, 3), 0.75);
+        assert!(buf.get(0, 1).is_nan());
+        assert!(buf.get(1, 2).is_nan());
+        assert_eq!(buf.as_slice().len(), 8);
+        assert_eq!(buf.entries_per_subspace(), 4);
     }
 }

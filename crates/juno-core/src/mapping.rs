@@ -28,13 +28,12 @@ use juno_quant::codebook::Codebook;
 use juno_rt::ray::Ray;
 use juno_rt::scene::{Hit, Scene, SceneBuilder};
 use juno_rt::sphere::Sphere;
-use serde::{Deserialize, Serialize};
 
 /// Safety margin keeping scene radii strictly below the 1-unit layer spacing.
 const RADIUS_MARGIN: f32 = 0.95;
 
 /// Per-subspace geometric parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct SubspaceGeometry {
     /// Multiplicative scale applied to subspace coordinates before they enter
     /// the scene.
@@ -354,6 +353,7 @@ mod tests {
         assert_eq!(mapping.num_subspaces(), 2);
         assert_eq!(mapping.entries_per_subspace(), 4);
 
+        #[allow(clippy::needless_range_loop)]
         for s in 0..2 {
             let q = [0.4f32, -0.2];
             // Full-radius threshold: everything within the max threshold hits.
@@ -363,7 +363,7 @@ mod tests {
             mapping.scene().trace(&ray, &mut |h| found.push(h));
             assert!(!found.is_empty());
             for hit in &found {
-                let (hs, entry, value) = mapping.decode_hit(q, &hit).unwrap();
+                let (hs, entry, value) = mapping.decode_hit(q, hit).unwrap();
                 assert_eq!(hs, s, "hits must stay within the ray's subspace");
                 let exact = l2_squared(&q, cbs[s].entry(entry).unwrap());
                 assert!(
@@ -442,7 +442,7 @@ mod tests {
             "at full scale some entries must be selected"
         );
         for hit in &found {
-            let (s, entry, value) = mapping.decode_hit(q, &hit).unwrap();
+            let (s, entry, value) = mapping.decode_hit(q, hit).unwrap();
             assert_eq!(s, 0);
             let exact = inner_product(&q, cbs[0].entry(entry).unwrap());
             assert!(

@@ -12,7 +12,6 @@ use juno_gpu::cost::{distance_calc_cost, filtering_cost, tensor_accumulation_cos
 use juno_gpu::device::GpuDevice;
 use juno_gpu::pipeline::{ExecutionMode, PipelineModel, StageTimes};
 use juno_rt::stats::TraversalStats;
-use serde::{Deserialize, Serialize};
 
 /// The work performed by one query, as counted by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -30,7 +29,7 @@ pub struct QueryWork {
 }
 
 /// Per-stage simulated times of one query, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StageBreakdown {
     /// Filtering time.
     pub filter_us: f64,

@@ -12,10 +12,9 @@
 //! transformation is the caller's choice and [`crate::threshold`] applies it.
 
 use juno_common::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// A fitted polynomial `y = c0 + c1·x + c2·x² + ...`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolynomialRegression {
     coefficients: Vec<f64>,
 }

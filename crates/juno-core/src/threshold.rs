@@ -12,8 +12,10 @@
 //!
 //! Calibration follows the paper: sampled search points act as pseudo
 //! queries, their exact top-k neighbours (full dimension) are computed, and
-//! the per-subspace radius is the farthest projection distance among those
-//! neighbours. Density is the input feature, radius the regression target.
+//! the per-subspace radius is a configurable quantile of the projection
+//! distances among those neighbours (the raw maximum is heavy-tailed and
+//! destroys selectivity). Density is the input feature, radius the
+//! regression target.
 
 use crate::density::{DensityMap, DEFAULT_GRID};
 use crate::regression::PolynomialRegression;
@@ -22,10 +24,9 @@ use juno_common::metric::Metric;
 use juno_common::rng::{sample_indices, seeded};
 use juno_common::topk::TopK;
 use juno_common::vector::VectorSet;
-use serde::{Deserialize, Serialize};
 
 /// How the per-query threshold is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ThresholdStrategy {
     /// Density-map + regression dynamic threshold (the paper's choice).
     #[default]
@@ -40,7 +41,7 @@ pub enum ThresholdStrategy {
 }
 
 /// Calibration data of one subspace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct SubspaceThreshold {
     density_map: DensityMap,
     regressor: PolynomialRegression,
@@ -49,13 +50,13 @@ struct SubspaceThreshold {
 }
 
 /// The per-subspace threshold model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdModel {
     subspaces: Vec<SubspaceThreshold>,
 }
 
 /// Training parameters of the threshold model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdTrainConfig {
     /// Number of sampled pseudo queries used to fit the regressors.
     pub samples: usize,
@@ -64,6 +65,12 @@ pub struct ThresholdTrainConfig {
     /// Cap on the number of search points scanned when computing each pseudo
     /// query's exact top-k (keeps calibration sub-quadratic on large sets).
     pub population_cap: usize,
+    /// The quantile of the top-k projection distances the radius must
+    /// contain. The max (`1.0`) is heavy-tailed — one outlier projection per
+    /// subspace inflates the radius and with it the whole selective-LUT
+    /// density — so the default contains the 80th percentile; the JUNO-H
+    /// miss penalty accounts for the remaining tail.
+    pub radius_quantile: f64,
     /// Polynomial degree of the regressor.
     pub degree: usize,
     /// Density-map grid resolution.
@@ -78,6 +85,7 @@ impl Default for ThresholdTrainConfig {
             samples: 256,
             target_k: 100,
             population_cap: 20_000,
+            radius_quantile: 0.80,
             degree: 2,
             grid: DEFAULT_GRID,
             seed: 0x7472,
@@ -103,7 +111,7 @@ impl ThresholdModel {
         if points.is_empty() {
             return Err(Error::empty_input("threshold model requires search points"));
         }
-        if points.dim() % 2 != 0 {
+        if !points.dim().is_multiple_of(2) {
             return Err(Error::invalid_config(
                 "threshold model requires an even dimension (2-D subspaces)",
             ));
@@ -150,16 +158,24 @@ impl ThresholdModel {
                 topk.push(i as u64, metric.distance(anchor, row));
             }
             let neighbours = topk.into_sorted_vec();
+            let quantile = config.radius_quantile.clamp(0.0, 1.0);
             for s in 0..num_subspaces {
                 let ax = anchor[2 * s];
                 let ay = anchor[2 * s + 1];
-                let mut radius = 0.0f32;
-                for n in &neighbours {
-                    let row = population.row(n.id as usize);
-                    let dx = row[2 * s] - ax;
-                    let dy = row[2 * s + 1] - ay;
-                    radius = radius.max((dx * dx + dy * dy).sqrt());
-                }
+                let mut dists: Vec<f32> = neighbours
+                    .iter()
+                    .map(|n| {
+                        let row = population.row(n.id as usize);
+                        let dx = row[2 * s] - ax;
+                        let dy = row[2 * s + 1] - ay;
+                        (dx * dx + dy * dy).sqrt()
+                    })
+                    .collect();
+                dists.sort_unstable_by(f32::total_cmp);
+                let idx = ((dists.len() as f64 * quantile).ceil() as usize)
+                    .saturating_sub(1)
+                    .min(dists.len() - 1);
+                let radius = dists[idx];
                 let density = density_maps[s].density_at(ax, ay);
                 xs[s].push((1.0 + density as f64).ln());
                 ys[s].push(radius as f64);

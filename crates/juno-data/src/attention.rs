@@ -20,14 +20,13 @@
 
 use juno_common::error::{Error, Result};
 use juno_common::metric::inner_product;
+use juno_common::rng::Rng;
 use juno_common::rng::{normal, seeded};
 use juno_common::topk::largest_k_indices;
 use juno_common::vector::VectorSet;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the synthetic attention workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttentionSpec {
     /// Sequence length (number of key/value tokens).
     pub seq_len: usize,

@@ -7,7 +7,6 @@
 //! accept the real datasets when the user provides them, while falling back
 //! to the synthetic profiles otherwise.
 
-use bytes::{Buf, BufMut};
 use juno_common::error::{Error, Result};
 use juno_common::vector::VectorSet;
 use std::fs::File;
@@ -33,11 +32,12 @@ pub fn read_fvecs(path: impl AsRef<Path>) -> Result<VectorSet> {
 /// # Errors
 ///
 /// Same as [`read_fvecs`].
-pub fn parse_fvecs(mut bytes: &[u8]) -> Result<VectorSet> {
+pub fn parse_fvecs(bytes: &[u8]) -> Result<VectorSet> {
+    let mut cursor = LeCursor::new(bytes);
     let mut data = Vec::new();
     let mut dim: Option<usize> = None;
-    while bytes.remaining() >= 4 {
-        let d = bytes.get_u32_le() as usize;
+    while cursor.remaining() >= 4 {
+        let d = cursor.get_u32_le() as usize;
         if d == 0 {
             return Err(Error::invalid_config("fvecs record with zero dimension"));
         }
@@ -51,18 +51,59 @@ pub fn parse_fvecs(mut bytes: &[u8]) -> Result<VectorSet> {
             }
             _ => {}
         }
-        if bytes.remaining() < d * 4 {
+        if cursor.remaining() < d * 4 {
             return Err(Error::invalid_config("truncated fvecs record"));
         }
         for _ in 0..d {
-            data.push(bytes.get_f32_le());
+            data.push(cursor.get_f32_le());
         }
     }
-    if bytes.has_remaining() {
+    if cursor.remaining() > 0 {
         return Err(Error::invalid_config("trailing bytes in fvecs content"));
     }
     let dim = dim.ok_or_else(|| Error::empty_input("fvecs content holds no vectors"))?;
     VectorSet::from_flat(data, dim)
+}
+
+/// A little-endian read cursor over a byte slice (in-tree replacement for the
+/// `bytes::Buf` subset this module needs).
+struct LeCursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> LeCursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Reads the next little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain (callers check `remaining`).
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, tail) = self.bytes.split_at(4);
+        self.bytes = tail;
+        u32::from_le_bytes(head.try_into().expect("split_at(4) yields 4 bytes"))
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+/// Appends a little-endian `u32` (in-tree replacement for `bytes::BufMut`).
+fn put_u32_le(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `f32`.
+fn put_f32_le(out: &mut Vec<u8>, v: f32) {
+    put_u32_le(out, v.to_bits());
 }
 
 /// Writes a [`VectorSet`] as an `fvecs` file.
@@ -82,9 +123,9 @@ pub fn write_fvecs(path: impl AsRef<Path>, vectors: &VectorSet) -> Result<()> {
 pub fn encode_fvecs(vectors: &VectorSet) -> Vec<u8> {
     let mut out = Vec::with_capacity(vectors.len() * (4 + vectors.dim() * 4));
     for row in vectors.iter() {
-        out.put_u32_le(vectors.dim() as u32);
+        put_u32_le(&mut out, vectors.dim() as u32);
         for &v in row {
-            out.put_f32_le(v);
+            put_f32_le(&mut out, v);
         }
     }
     out
@@ -107,20 +148,21 @@ pub fn read_ivecs(path: impl AsRef<Path>) -> Result<Vec<Vec<u32>>> {
 /// # Errors
 ///
 /// Same failure modes as [`parse_fvecs`].
-pub fn parse_ivecs(mut bytes: &[u8]) -> Result<Vec<Vec<u32>>> {
+pub fn parse_ivecs(bytes: &[u8]) -> Result<Vec<Vec<u32>>> {
+    let mut cursor = LeCursor::new(bytes);
     let mut rows = Vec::new();
-    while bytes.remaining() >= 4 {
-        let d = bytes.get_u32_le() as usize;
-        if bytes.remaining() < d * 4 {
+    while cursor.remaining() >= 4 {
+        let d = cursor.get_u32_le() as usize;
+        if cursor.remaining() < d * 4 {
             return Err(Error::invalid_config("truncated ivecs record"));
         }
         let mut row = Vec::with_capacity(d);
         for _ in 0..d {
-            row.push(bytes.get_u32_le());
+            row.push(cursor.get_u32_le());
         }
         rows.push(row);
     }
-    if bytes.has_remaining() {
+    if cursor.remaining() > 0 {
         return Err(Error::invalid_config("trailing bytes in ivecs content"));
     }
     Ok(rows)
@@ -130,9 +172,9 @@ pub fn parse_ivecs(mut bytes: &[u8]) -> Result<Vec<Vec<u32>>> {
 pub fn encode_ivecs(rows: &[Vec<u32>]) -> Vec<u8> {
     let mut out = Vec::new();
     for row in rows {
-        out.put_u32_le(row.len() as u32);
+        put_u32_le(&mut out, row.len() as u32);
         for &v in row {
-            out.put_u32_le(v);
+            put_u32_le(&mut out, v);
         }
     }
     out
@@ -175,8 +217,8 @@ mod tests {
     fn malformed_inputs_are_rejected() {
         // Truncated record.
         let mut bytes = Vec::new();
-        bytes.put_u32_le(3);
-        bytes.put_f32_le(1.0);
+        put_u32_le(&mut bytes, 3);
+        put_f32_le(&mut bytes, 1.0);
         assert!(parse_fvecs(&bytes).is_err());
         // Inconsistent dimension.
         let a = encode_fvecs(&VectorSet::from_rows(vec![vec![1.0, 2.0]]).unwrap());
@@ -186,7 +228,7 @@ mod tests {
         assert!(parse_fvecs(&cat).is_err());
         // Zero dimension.
         let mut zero = Vec::new();
-        zero.put_u32_le(0);
+        put_u32_le(&mut zero, 0);
         assert!(parse_fvecs(&zero).is_err());
         // Empty content.
         assert!(parse_fvecs(&[]).is_err());
@@ -194,8 +236,8 @@ mod tests {
         assert!(read_fvecs("/nonexistent/juno.fvecs").is_err());
         // Truncated ivecs.
         let mut iv = Vec::new();
-        iv.put_u32_le(2);
-        iv.put_u32_le(7);
+        put_u32_le(&mut iv, 2);
+        put_u32_le(&mut iv, 7);
         assert!(parse_ivecs(&iv).is_err());
     }
 }

@@ -10,10 +10,9 @@ use crate::synthetic::{generate_clustered, ClusteredSpec, GeneratedData};
 use juno_common::error::Result;
 use juno_common::metric::Metric;
 use juno_common::recall::GroundTruth;
-use serde::{Deserialize, Serialize};
 
 /// A named dataset profile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetProfile {
     /// SIFT-like: 128-dimensional local image descriptors, L2 metric
     /// (paper configuration `PQ64`, `E = 256`).

@@ -8,13 +8,12 @@
 //! sizes are imbalanced like real data.
 
 use juno_common::error::{Error, Result};
+use juno_common::rng::Rng;
 use juno_common::rng::{normal, seeded};
 use juno_common::vector::VectorSet;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Specification of a clustered synthetic dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusteredSpec {
     /// Number of search points to generate.
     pub num_points: usize,

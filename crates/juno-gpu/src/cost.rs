@@ -9,10 +9,9 @@
 //! model captures, not on absolute microseconds.
 
 use crate::device::GpuDevice;
-use serde::{Deserialize, Serialize};
 
 /// Which execution resource a kernel primarily occupies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelKind {
     /// Ordinary CUDA-core (FP32) kernel.
     Cuda,
@@ -21,7 +20,7 @@ pub enum KernelKind {
 }
 
 /// The resource usage of one kernel launch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelCost {
     /// Floating point operations performed.
     pub flops: f64,

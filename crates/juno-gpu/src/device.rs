@@ -7,10 +7,9 @@
 //! default figures below encode.
 
 use juno_rt::hardware::{RtCoreGeneration, RtCoreModel};
-use serde::{Deserialize, Serialize};
 
 /// An analytic description of one GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuDevice {
     /// Marketing name, used in reports.
     pub name: String,

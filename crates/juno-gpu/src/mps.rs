@@ -8,10 +8,9 @@
 
 use crate::device::GpuDevice;
 use juno_common::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// A two-way fractional split of a device's SMs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MpsPartition {
     /// Fraction of SMs given to the first stage (L2-LUT construction).
     pub lut_fraction: f64,

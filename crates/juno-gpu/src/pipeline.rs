@@ -14,10 +14,9 @@
 //!    latencies plus a small data-movement overhead.
 
 use crate::mps::MpsPartition;
-use serde::{Deserialize, Serialize};
 
 /// Per-batch latencies of the two overlappable stages, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StageTimes {
     /// L2-LUT construction time (RT cores).
     pub lut_us: f64,
@@ -41,7 +40,7 @@ impl StageTimes {
 }
 
 /// How the two stages are scheduled on the GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecutionMode {
     /// Back-to-back execution; no overlap.
     Serial,
@@ -53,7 +52,7 @@ pub enum ExecutionMode {
 }
 
 /// The analytic pipeline model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineModel {
     /// SM partition used in pipelined mode.
     pub partition: MpsPartition,

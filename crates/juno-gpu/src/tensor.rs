@@ -10,10 +10,9 @@
 
 use crate::cost::{tensor_accumulation_cost, KernelCost};
 use juno_common::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// The padded `A` matrix of one accumulation batch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AccumulationMatrix {
     /// Row-major data, `rows × k`.
     data: Vec<f32>,

@@ -8,10 +8,9 @@
 use juno_common::error::{Error, Result};
 use juno_common::metric::l2_squared;
 use juno_common::vector::VectorSet;
-use serde::{Deserialize, Serialize};
 
 /// The codebook of a single PQ subspace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Codebook {
     /// Which subspace this codebook belongs to (0-based).
     subspace: usize,

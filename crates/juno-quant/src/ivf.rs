@@ -12,10 +12,9 @@ use juno_common::error::{Error, Result};
 use juno_common::metric::Metric;
 use juno_common::topk::TopK;
 use juno_common::vector::VectorSet;
-use serde::{Deserialize, Serialize};
 
 /// Training configuration for an [`IvfIndex`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IvfTrainConfig {
     /// Number of coarse clusters (`C`), e.g. 4096 in the paper's DEEP1M setup.
     pub n_clusters: usize,
@@ -64,7 +63,7 @@ pub struct FilterResult {
 }
 
 /// A trained inverted file index.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IvfIndex {
     centroids: VectorSet,
     /// `lists[c]` holds the ids of the points assigned to cluster `c`.
@@ -336,8 +335,8 @@ mod tests {
         // Residual + centroid reconstructs the point.
         for i in (0..points.len()).step_by(17) {
             let c = ivf.centroid(ivf.labels()[i]).unwrap();
-            for d in 0..points.dim() {
-                let rebuilt = res.row(i)[d] + c[d];
+            for (d, &cd) in c.iter().enumerate().take(points.dim()) {
+                let rebuilt = res.row(i)[d] + cd;
                 assert!((rebuilt - points.row(i)[d]).abs() < 1e-5);
             }
         }

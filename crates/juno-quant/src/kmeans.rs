@@ -12,13 +12,12 @@
 
 use juno_common::error::{Error, Result};
 use juno_common::metric::l2_squared;
+use juno_common::rng::Rng;
 use juno_common::rng::{sample_indices, seeded};
 use juno_common::vector::VectorSet;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for a k-means run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KMeansConfig {
     /// Number of clusters (`C` for the coarse quantiser, `E` per subspace).
     pub n_clusters: usize,
@@ -58,7 +57,7 @@ impl KMeansConfig {
 }
 
 /// A trained k-means model: centroids plus the training assignment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KMeans {
     centroids: VectorSet,
     /// Assignment of the training points to centroids (same order as input).

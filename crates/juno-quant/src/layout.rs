@@ -1,0 +1,216 @@
+//! IVF-list-contiguous PQ code layout for cache-friendly ADC scans.
+//!
+//! [`EncodedPoints`](crate::pq::EncodedPoints) stores codes in dataset order,
+//! which is the natural output of encoding but the worst possible order for
+//! the online path: a probe visits the members of *one* coarse cluster, and
+//! in dataset order those members are scattered across the whole code array,
+//! so every candidate is a cache miss.
+//!
+//! [`IvfListCodes`] reorders the codes so that each IVF list is one
+//! contiguous block (CSR over clusters). Within a block the codes stay
+//! point-major (all `D/M` subspace codes of a point adjacent — the
+//! interleaving the per-candidate accumulation consumes left to right), so an
+//! ADC scan over a probed cluster streams memory strictly sequentially.
+
+use crate::pq::EncodedPoints;
+use juno_common::error::{Error, Result};
+
+/// PQ codes grouped contiguously by IVF cluster, with the original point ids
+/// carried alongside.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IvfListCodes {
+    /// `offsets[c]..offsets[c + 1]` indexes `point_ids` (and, scaled by the
+    /// subspace count, `codes`) for cluster `c`. Length `clusters + 1`.
+    offsets: Vec<u32>,
+    /// Original (dataset-order) ids of the points, grouped by cluster.
+    point_ids: Vec<u32>,
+    /// Codes in cluster-grouped, point-major order:
+    /// `codes[(offsets[c] + i) * S + s]` is the subspace-`s` code of the
+    /// `i`-th member of cluster `c`.
+    codes: Vec<u16>,
+    num_subspaces: usize,
+}
+
+impl IvfListCodes {
+    /// Reorders `codes` by IVF cluster label.
+    ///
+    /// `labels[p]` is the IVF cluster of point `p`, exactly as produced by
+    /// `IvfIndex::labels()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when shapes disagree and
+    /// [`Error::IndexOutOfBounds`] for a label `≥ num_clusters`.
+    pub fn build(labels: &[usize], codes: &EncodedPoints, num_clusters: usize) -> Result<Self> {
+        if labels.len() != codes.len() {
+            return Err(Error::invalid_config(format!(
+                "{} labels but {} encoded points",
+                labels.len(),
+                codes.len()
+            )));
+        }
+        if num_clusters == 0 {
+            return Err(Error::invalid_config("cluster count must be positive"));
+        }
+        let s = codes.num_subspaces();
+
+        let mut counts = vec![0u32; num_clusters + 1];
+        for (p, &c) in labels.iter().enumerate() {
+            if c >= num_clusters {
+                return Err(Error::IndexOutOfBounds {
+                    what: "cluster label".into(),
+                    index: c,
+                    len: num_clusters,
+                });
+            }
+            let _ = p;
+            counts[c + 1] += 1;
+        }
+        for c in 0..num_clusters {
+            counts[c + 1] += counts[c];
+        }
+
+        let mut point_ids = vec![0u32; labels.len()];
+        let mut grouped = vec![0u16; labels.len() * s];
+        let mut cursors = counts.clone();
+        for (p, &c) in labels.iter().enumerate() {
+            let at = cursors[c] as usize;
+            point_ids[at] = p as u32;
+            grouped[at * s..(at + 1) * s].copy_from_slice(codes.code(p));
+            cursors[c] += 1;
+        }
+
+        Ok(Self {
+            offsets: counts,
+            point_ids,
+            codes: grouped,
+            num_subspaces: s,
+        })
+    }
+
+    /// Number of clusters covered.
+    pub fn num_clusters(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of subspaces per code.
+    pub fn num_subspaces(&self) -> usize {
+        self.num_subspaces
+    }
+
+    /// Total number of points across all clusters.
+    pub fn len(&self) -> usize {
+        self.point_ids.len()
+    }
+
+    /// Returns `true` when no point is stored.
+    pub fn is_empty(&self) -> bool {
+        self.point_ids.is_empty()
+    }
+
+    /// The original ids of the members of `cluster`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of bounds (internal misuse — the engine
+    /// only passes clusters returned by the filter stage).
+    #[inline]
+    pub fn cluster_ids(&self, cluster: usize) -> &[u32] {
+        let (start, end) = self.bounds(cluster);
+        &self.point_ids[start..end]
+    }
+
+    /// The contiguous point-major code block of `cluster`
+    /// (`cluster_ids(c).len() × num_subspaces` values).
+    #[inline]
+    pub fn cluster_codes(&self, cluster: usize) -> &[u16] {
+        let (start, end) = self.bounds(cluster);
+        &self.codes[start * self.num_subspaces..end * self.num_subspaces]
+    }
+
+    #[inline]
+    fn bounds(&self, cluster: usize) -> (usize, usize) {
+        (
+            self.offsets[cluster] as usize,
+            self.offsets[cluster + 1] as usize,
+        )
+    }
+
+    /// Memory footprint of the reordered codes in bytes (diagnostics).
+    pub fn code_bytes(&self) -> usize {
+        self.codes.len() * std::mem::size_of::<u16>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pq::{PqTrainConfig, ProductQuantizer};
+    use juno_common::rng::{normal, seeded};
+    use juno_common::vector::VectorSet;
+
+    fn trained(n: usize) -> (Vec<usize>, EncodedPoints) {
+        let mut rng = seeded(17);
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..8).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+            .collect();
+        let data = VectorSet::from_rows(rows).unwrap();
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqTrainConfig {
+                num_subspaces: 4,
+                entries_per_subspace: 8,
+                kmeans_iters: 6,
+                seed: 2,
+                train_subsample: None,
+            },
+        )
+        .unwrap();
+        let codes = pq.encode(&data).unwrap();
+        let labels: Vec<usize> = (0..n).map(|i| (i * 7) % 5).collect();
+        (labels, codes)
+    }
+
+    #[test]
+    fn every_point_lands_in_its_cluster_with_its_code() {
+        let (labels, codes) = trained(200);
+        let grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
+        assert_eq!(grouped.num_clusters(), 5);
+        assert_eq!(grouped.num_subspaces(), 4);
+        assert_eq!(grouped.len(), 200);
+        assert!(!grouped.is_empty());
+        let mut seen = 0usize;
+        for c in 0..5 {
+            let ids = grouped.cluster_ids(c);
+            let block = grouped.cluster_codes(c);
+            assert_eq!(block.len(), ids.len() * 4);
+            for (i, &pid) in ids.iter().enumerate() {
+                assert_eq!(labels[pid as usize], c);
+                assert_eq!(&block[i * 4..(i + 1) * 4], codes.code(pid as usize));
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 200);
+    }
+
+    #[test]
+    fn members_keep_dataset_order_within_cluster() {
+        let (labels, codes) = trained(120);
+        let grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
+        for c in 0..5 {
+            let ids = grouped.cluster_ids(c);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (labels, codes) = trained(50);
+        assert!(IvfListCodes::build(&labels[..10], &codes, 5).is_err());
+        assert!(IvfListCodes::build(&labels, &codes, 0).is_err());
+        // Label out of bounds for the declared cluster count.
+        assert!(IvfListCodes::build(&labels, &codes, 3).is_err());
+        let grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
+        assert_eq!(grouped.code_bytes(), 50 * 4 * 2);
+    }
+}

@@ -12,6 +12,9 @@
 //!   construction used by the FAISS-style baseline.
 //! * [`ivf`] — the inverted file index: coarse centroids, inverted lists, and
 //!   the filtering stage (choose the `nprobs` closest clusters).
+//! * [`layout`] — [`IvfListCodes`](layout::IvfListCodes), the PQ codes
+//!   reordered IVF-list-contiguously so the online ADC scan streams memory
+//!   sequentially.
 //!
 //! The JUNO engine (`juno-core`) replaces the dense L2-LUT construction with a
 //! selective, RT-core mapped one, but shares everything else in this crate.
@@ -22,9 +25,11 @@
 pub mod codebook;
 pub mod ivf;
 pub mod kmeans;
+pub mod layout;
 pub mod pq;
 
 pub use codebook::Codebook;
 pub use ivf::{IvfIndex, IvfTrainConfig};
 pub use kmeans::{KMeans, KMeansConfig};
+pub use layout::IvfListCodes;
 pub use pq::{EncodedPoints, PqTrainConfig, ProductQuantizer};

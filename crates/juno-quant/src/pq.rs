@@ -14,10 +14,9 @@ use crate::kmeans::{KMeans, KMeansConfig};
 use juno_common::error::{Error, Result};
 use juno_common::rng::derive_seed;
 use juno_common::vector::VectorSet;
-use serde::{Deserialize, Serialize};
 
 /// Training configuration for a [`ProductQuantizer`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PqTrainConfig {
     /// Number of subspaces (`D/M`); the paper's `PQ48` means 48 subspaces.
     pub num_subspaces: usize,
@@ -55,7 +54,7 @@ impl PqTrainConfig {
 }
 
 /// Encoded search points: one `u16` entry id per subspace per point.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EncodedPoints {
     codes: Vec<u16>,
     num_subspaces: usize,
@@ -64,11 +63,10 @@ pub struct EncodedPoints {
 impl EncodedPoints {
     /// Number of encoded points.
     pub fn len(&self) -> usize {
-        if self.num_subspaces == 0 {
-            0
-        } else {
-            self.codes.len() / self.num_subspaces
-        }
+        self.codes
+            .len()
+            .checked_div(self.num_subspaces)
+            .unwrap_or(0)
     }
 
     /// Returns `true` when no point is encoded.
@@ -102,7 +100,7 @@ impl EncodedPoints {
 }
 
 /// A trained product quantiser: one [`Codebook`] per subspace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProductQuantizer {
     codebooks: Vec<Codebook>,
     dim: usize,
@@ -132,7 +130,7 @@ impl ProductQuantizer {
             ));
         }
         let dim = vectors.dim();
-        if dim % config.num_subspaces != 0 {
+        if !dim.is_multiple_of(config.num_subspaces) {
             return Err(Error::invalid_config(format!(
                 "dimension {dim} is not divisible by num_subspaces {}",
                 config.num_subspaces
@@ -220,39 +218,30 @@ impl ProductQuantizer {
             });
         }
         let m = self.num_subspaces();
-        let mut codes = vec![0u16; vectors.len() * m];
-        let n_threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-            .min(vectors.len().max(1));
-        let chunk = vectors.len().div_ceil(n_threads.max(1)).max(1);
-        std::thread::scope(|scope| {
-            let mut rest: &mut [u16] = &mut codes;
-            let mut start = 0usize;
-            let mut handles = Vec::new();
-            while start < vectors.len() {
-                let take = chunk.min(vectors.len() - start);
-                let (head, tail) = rest.split_at_mut(take * m);
-                rest = tail;
-                let begin = start;
-                let this = &*self;
-                handles.push(scope.spawn(move || {
-                    for i in 0..take {
-                        let row = vectors.row(begin + i);
-                        for (s, cb) in this.codebooks.iter().enumerate() {
-                            let proj = &row[s * this.sub_dim..(s + 1) * this.sub_dim];
-                            // encode() cannot fail here: proj length == sub_dim.
-                            head[i * m + s] =
-                                cb.encode(proj).expect("projection has subspace dimension") as u16;
-                        }
-                    }
-                }));
-                start += take;
+        // Work-stealing over point *ranges* (one allocation per task, not per
+        // point), concatenated in range order at the end.
+        let threads = juno_common::parallel::default_threads();
+        let n = vectors.len();
+        let chunk = n.div_ceil((threads * 4).max(1)).max(1);
+        let num_chunks = n.div_ceil(chunk);
+        let per_chunk: Vec<Vec<u16>> = juno_common::parallel::map(num_chunks, threads, |c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(n);
+            let mut out = Vec::with_capacity((end - start) * m);
+            for i in start..end {
+                let row = vectors.row(i);
+                for (s, cb) in self.codebooks.iter().enumerate() {
+                    let proj = &row[s * self.sub_dim..(s + 1) * self.sub_dim];
+                    // encode() cannot fail here: proj length == sub_dim.
+                    out.push(cb.encode(proj).expect("projection has subspace dimension") as u16);
+                }
             }
-            for h in handles {
-                h.join().expect("PQ encode worker panicked");
-            }
+            out
         });
+        let mut codes = Vec::with_capacity(n * m);
+        for block in per_chunk {
+            codes.extend_from_slice(&block);
+        }
         Ok(EncodedPoints {
             codes,
             num_subspaces: m,

@@ -6,10 +6,9 @@
 //! and converted to time by [`crate::hardware::RtCoreModel`].
 
 use crate::ray::Ray;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned bounding box in 3-D.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
     /// Minimum corner.
     pub min: [f32; 3],

@@ -10,13 +10,12 @@ use crate::aabb::Aabb;
 use crate::ray::Ray;
 use crate::sphere::Sphere;
 use crate::stats::TraversalStats;
-use serde::{Deserialize, Serialize};
 
 /// Maximum number of primitives stored in a leaf node.
 const LEAF_SIZE: usize = 4;
 
 /// One node of the flattened BVH.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum NodeKind {
     /// Interior node with indices of its two children in the node array.
     Interior { left: u32, right: u32 },
@@ -26,14 +25,14 @@ enum NodeKind {
 }
 
 /// A BVH node: bounds plus either children or a primitive range.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Node {
     bounds: Aabb,
     kind: NodeKind,
 }
 
 /// A bounding volume hierarchy over sphere primitives.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Bvh {
     nodes: Vec<Node>,
     /// Primitive indices ordered so that each leaf owns a contiguous range.

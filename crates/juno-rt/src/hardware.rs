@@ -15,10 +15,9 @@
 //! conclusion drawn from the model in the benches is about *ratios*.
 
 use crate::stats::TraversalStats;
-use serde::{Deserialize, Serialize};
 
 /// The RT-core generation of a GPU (or its absence).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RtCoreGeneration {
     /// No RT cores: traversal runs as software on CUDA cores (e.g. A100).
     None,
@@ -50,7 +49,7 @@ impl RtCoreGeneration {
 }
 
 /// An analytic RT-core performance model for one GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RtCoreModel {
     /// Generation of the RT cores.
     pub generation: RtCoreGeneration,

@@ -11,10 +11,8 @@
 //!   the dynamic distance threshold into a per-ray parameter instead of
 //!   rebuilding the scene with smaller spheres.
 
-use serde::{Deserialize, Serialize};
-
 /// A ray with origin, (unit) direction and maximum travel time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ray {
     /// Starting point of the ray.
     pub origin: [f32; 3],

@@ -11,10 +11,9 @@ use crate::bvh::Bvh;
 use crate::ray::Ray;
 use crate::sphere::Sphere;
 use crate::stats::TraversalStats;
-use serde::{Deserialize, Serialize};
 
 /// One reported intersection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hit {
     /// The `primitive_id` of the intersected sphere.
     pub primitive_id: u32,
@@ -76,7 +75,7 @@ impl SceneBuilder {
 }
 
 /// An immutable, traversable scene (spheres + BVH).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Scene {
     spheres: Vec<Sphere>,
     bvh: Bvh,

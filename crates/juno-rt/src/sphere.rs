@@ -9,11 +9,10 @@
 
 use crate::aabb::Aabb;
 use crate::ray::Ray;
-use serde::{Deserialize, Serialize};
 
 /// A sphere primitive. `primitive_id` is opaque user data, used by JUNO to
 /// encode `(subspace, entry)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sphere {
     /// Centre of the sphere.
     pub center: [f32; 3],

@@ -6,10 +6,8 @@
 //! time to [`crate::hardware::RtCoreModel`]. The same counters also feed the
 //! paper's breakdown figures.
 
-use serde::{Deserialize, Serialize};
-
 /// Work performed while tracing one or more rays through a scene.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraversalStats {
     /// Rays traced.
     pub rays: usize,

@@ -9,7 +9,7 @@ use juno::rt::hardware::RtCoreModel;
 use juno::rt::ray::Ray;
 use juno::rt::scene::SceneBuilder;
 use juno::rt::sphere::Sphere;
-use rand::Rng;
+use juno_common::rng::Rng;
 
 fn main() {
     let mut rng = seeded(7);

@@ -1,0 +1,218 @@
+//! Parity tests for the batched query pipeline: the work-stealing parallel
+//! `search_batch` must return **bit-identical** neighbours and scores to a
+//! sequential `search` loop at every thread count, and the flat-CSR
+//! `SelectiveLut` must behave exactly like the nested-row layout it
+//! replaced.
+
+use juno::common::index::AnnIndex;
+use juno::common::rng::{seeded, Rng};
+use juno::core::config::{JunoConfig, QualityMode};
+use juno::core::engine::JunoIndex;
+use juno::core::lut::SelectiveLut;
+use juno::data::profiles::DatasetProfile;
+
+fn assert_bit_identical(
+    sequential: &[juno::common::index::SearchResult],
+    parallel: &[juno::common::index::SearchResult],
+    label: &str,
+) {
+    assert_eq!(sequential.len(), parallel.len(), "{label}: result count");
+    for (q, (s, p)) in sequential.iter().zip(parallel).enumerate() {
+        assert_eq!(
+            s.neighbors.len(),
+            p.neighbors.len(),
+            "{label}: query {q} neighbour count"
+        );
+        for (i, (ns, np)) in s.neighbors.iter().zip(&p.neighbors).enumerate() {
+            assert_eq!(ns.id, np.id, "{label}: query {q} rank {i} id");
+            assert_eq!(
+                ns.distance.to_bits(),
+                np.distance.to_bits(),
+                "{label}: query {q} rank {i} score bits"
+            );
+        }
+        assert_eq!(s.stats, p.stats, "{label}: query {q} work counters");
+    }
+}
+
+#[test]
+fn parallel_batch_matches_sequential_search_all_modes() {
+    let ds = DatasetProfile::DeepLike.generate(3_000, 24, 99).unwrap();
+    let config = JunoConfig {
+        n_clusters: 32,
+        nprobs: 8,
+        pq_entries: 64,
+        ..JunoConfig::small_test(ds.dim(), ds.metric())
+    };
+    let mut index = JunoIndex::build(&ds.points, &config).unwrap();
+
+    for mode in [QualityMode::High, QualityMode::Medium, QualityMode::Low] {
+        index.set_quality(mode);
+        let sequential: Vec<_> = ds
+            .queries
+            .iter()
+            .map(|q| index.search(q, 50).unwrap())
+            .collect();
+        for threads in [1usize, 2, 3, 8] {
+            let parallel = index
+                .search_batch_threads(&ds.queries, 50, threads)
+                .unwrap();
+            assert_bit_identical(&sequential, &parallel, &format!("{mode:?} x{threads}"));
+        }
+        // The default entry point too.
+        let parallel = index.search_batch(&ds.queries, 50).unwrap();
+        assert_bit_identical(&sequential, &parallel, &format!("{mode:?} default"));
+    }
+}
+
+#[test]
+fn parallel_batch_matches_sequential_search_mips() {
+    let ds = DatasetProfile::TtiLike.generate(2_000, 16, 41).unwrap();
+    let config = JunoConfig {
+        n_clusters: 16,
+        nprobs: 8,
+        pq_entries: 32,
+        ..JunoConfig::small_test(ds.dim(), ds.metric())
+    };
+    let index = JunoIndex::build(&ds.points, &config).unwrap();
+    let sequential: Vec<_> = ds
+        .queries
+        .iter()
+        .map(|q| index.search(q, 100).unwrap())
+        .collect();
+    for threads in [2usize, 5] {
+        let parallel = index
+            .search_batch_threads(&ds.queries, 100, threads)
+            .unwrap();
+        assert_bit_identical(&sequential, &parallel, &format!("MIPS x{threads}"));
+    }
+}
+
+#[test]
+fn batch_errors_propagate_from_any_query() {
+    let ds = DatasetProfile::DeepLike.generate(1_000, 4, 7).unwrap();
+    let config = JunoConfig {
+        n_clusters: 16,
+        nprobs: 4,
+        pq_entries: 32,
+        ..JunoConfig::small_test(ds.dim(), ds.metric())
+    };
+    let index = JunoIndex::build(&ds.points, &config).unwrap();
+    // k = 0 fails for every query; the batch must surface the error rather
+    // than panic a worker.
+    assert!(index.search_batch(&ds.queries, 0).is_err());
+}
+
+/// The nested-row layout the flat CSR replaced, kept as executable
+/// documentation of the original semantics.
+struct NestedRowLut {
+    rows: Vec<Vec<(u16, f32)>>,
+    num_slots: usize,
+    num_subspaces: usize,
+}
+
+impl NestedRowLut {
+    fn new(num_slots: usize, num_subspaces: usize) -> Self {
+        Self {
+            rows: vec![Vec::new(); num_slots * num_subspaces],
+            num_slots,
+            num_subspaces,
+        }
+    }
+
+    fn insert(&mut self, slot: usize, subspace: usize, entry: u16, value: f32) {
+        self.rows[slot * self.num_subspaces + subspace].push((entry, value));
+    }
+
+    fn finish(&mut self) {
+        for row in &mut self.rows {
+            row.sort_unstable_by_key(|&(e, _)| e);
+        }
+    }
+
+    fn row(&self, slot: usize, subspace: usize) -> &[(u16, f32)] {
+        &self.rows[slot * self.num_subspaces + subspace]
+    }
+
+    fn lookup(&self, slot: usize, subspace: usize, entry: u16) -> Option<f32> {
+        let row = self.row(slot, subspace);
+        row.binary_search_by_key(&entry, |&(e, _)| e)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    fn total_selected(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    fn density(&self, entries_per_subspace: usize) -> f64 {
+        let dense = self.num_slots * self.num_subspaces * entries_per_subspace;
+        if dense == 0 {
+            0.0
+        } else {
+            self.total_selected() as f64 / dense as f64
+        }
+    }
+}
+
+#[test]
+fn csr_lut_is_equivalent_to_nested_rows() {
+    let mut rng = seeded(4242);
+    for case in 0..20 {
+        let slots = rng.gen_range(1..6usize);
+        let subspaces = rng.gen_range(1..8usize);
+        let entries_per_subspace = rng.gen_range(4..32usize);
+        let inserts = rng.gen_range(0..200usize);
+
+        let mut csr = SelectiveLut::new(slots, subspaces);
+        let mut nested = NestedRowLut::new(slots, subspaces);
+        // Distinct (slot, subspace, entry) triples in random order — the RT
+        // construction reports each selected sphere once per ray.
+        let mut triples: Vec<(usize, usize, u16)> = Vec::new();
+        for slot in 0..slots {
+            for s in 0..subspaces {
+                for e in 0..entries_per_subspace {
+                    triples.push((slot, s, e as u16));
+                }
+            }
+        }
+        // Partial Fisher–Yates to pick `inserts` random distinct triples.
+        let take = inserts.min(triples.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..triples.len());
+            triples.swap(i, j);
+        }
+        for &(slot, s, e) in triples.iter().take(take) {
+            let value = rng.gen_range(0.0f32..10.0);
+            csr.insert(slot, s, e, value);
+            nested.insert(slot, s, e, value);
+        }
+        csr.finish();
+        nested.finish();
+
+        assert_eq!(csr.total_selected(), nested.total_selected(), "case {case}");
+        assert_eq!(
+            csr.density(entries_per_subspace).to_bits(),
+            nested.density(entries_per_subspace).to_bits(),
+            "case {case}"
+        );
+        for slot in 0..slots {
+            for s in 0..subspaces {
+                let flat: Vec<(u16, f32)> = csr.row(slot, s).collect();
+                assert_eq!(flat, nested.row(slot, s).to_vec(), "case {case} row");
+                // CSR slice views agree with the pair iterator.
+                let ids: Vec<u16> = flat.iter().map(|&(e, _)| e).collect();
+                let vals: Vec<f32> = flat.iter().map(|&(_, v)| v).collect();
+                assert_eq!(csr.row_entries(slot, s), &ids[..], "case {case}");
+                assert_eq!(csr.row_values(slot, s), &vals[..], "case {case}");
+                for e in 0..entries_per_subspace as u16 {
+                    assert_eq!(
+                        csr.lookup(slot, s, e),
+                        nested.lookup(slot, s, e),
+                        "case {case} lookup ({slot},{s},{e})"
+                    );
+                }
+            }
+        }
+    }
+}

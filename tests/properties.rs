@@ -1,8 +1,11 @@
-//! Property-based tests (proptest) on the core invariants of the workspace:
-//! quantisation structures, the RT-scene mapping, top-k selection and the
-//! selective LUT's relationship to the dense one.
+//! Randomised property tests on the core invariants of the workspace:
+//! quantisation structures, the RT-scene mapping, top-k selection and recall
+//! helpers. Implemented with the in-tree seeded RNG (the `proptest` crate is
+//! not in the dependency set), so every case is deterministic and
+//! reproducible by seed.
 
 use juno::common::metric::{l2_squared, Metric};
+use juno::common::rng::{seeded, Rng};
 use juno::common::topk::TopK;
 use juno::common::vector::VectorSet;
 use juno::quant::ivf::{IvfIndex, IvfTrainConfig};
@@ -10,19 +13,22 @@ use juno::quant::pq::{PqTrainConfig, ProductQuantizer};
 use juno::rt::ray::Ray;
 use juno::rt::scene::SceneBuilder;
 use juno::rt::sphere::Sphere;
-use proptest::prelude::*;
 
-fn vector_set(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = VectorSet> {
-    prop::collection::vec(prop::collection::vec(-10.0f32..10.0, dim..=dim), n)
-        .prop_map(|rows| VectorSet::from_rows(rows).expect("valid rows"))
+fn random_vector_set(rng: &mut impl Rng, n: usize, dim: usize) -> VectorSet {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-10.0f32..10.0)).collect())
+        .collect();
+    VectorSet::from_rows(rows).expect("valid rows")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Top-k selection agrees with a full sort under both metrics.
-    #[test]
-    fn topk_matches_sorting(values in prop::collection::vec(-1e3f32..1e3, 1..200), k in 1usize..20) {
+/// Top-k selection agrees with a full sort under both metrics.
+#[test]
+fn topk_matches_sorting() {
+    for case in 0..24u64 {
+        let mut rng = seeded(1000 + case);
+        let n = rng.gen_range(1..200usize);
+        let k = rng.gen_range(1..20usize);
+        let values: Vec<f32> = (0..n).map(|_| rng.gen_range(-1e3f32..1e3)).collect();
         for metric in [Metric::L2, Metric::InnerProduct] {
             let mut topk = TopK::new(k, metric);
             for (i, &v) in values.iter().enumerate() {
@@ -36,43 +42,65 @@ proptest! {
                 sa.partial_cmp(&sb).unwrap().then(a.0.cmp(&b.0))
             });
             let expected: Vec<u64> = expected.iter().take(k).map(|&(i, _)| i as u64).collect();
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected, "case {case} metric {metric:?}");
         }
     }
+}
 
-    /// The IVF inverted lists partition the point set exactly, and every point
-    /// sits in the list of its nearest centroid.
-    #[test]
-    fn ivf_partitions_points(points in vector_set(20..120, 8), clusters in 2usize..8) {
-        let ivf = IvfIndex::train(&points, &IvfTrainConfig {
-            n_clusters: clusters.min(points.len()),
-            train_subsample: None,
-            ..IvfTrainConfig::new(clusters.min(points.len()), Metric::L2)
-        }).unwrap();
+/// The IVF inverted lists partition the point set exactly, and every point
+/// sits in the list of its nearest centroid.
+#[test]
+fn ivf_partitions_points() {
+    for case in 0..8u64 {
+        let mut rng = seeded(2000 + case);
+        let n = rng.gen_range(20..120usize);
+        let clusters = rng.gen_range(2..8usize).min(n);
+        let points = random_vector_set(&mut rng, n, 8);
+        let ivf = IvfIndex::train(
+            &points,
+            &IvfTrainConfig {
+                n_clusters: clusters,
+                train_subsample: None,
+                ..IvfTrainConfig::new(clusters, Metric::L2)
+            },
+        )
+        .unwrap();
         let total: usize = ivf.list_sizes().iter().sum();
-        prop_assert_eq!(total, points.len());
+        assert_eq!(total, points.len(), "case {case}");
         for (i, row) in points.iter().enumerate() {
             let label = ivf.labels()[i];
             // The assigned centroid must be at least as close as any other.
             let own = l2_squared(row, ivf.centroid(label).unwrap());
             for c in 0..ivf.n_clusters() {
-                prop_assert!(own <= l2_squared(row, ivf.centroid(c).unwrap()) + 1e-3);
+                assert!(
+                    own <= l2_squared(row, ivf.centroid(c).unwrap()) + 1e-3,
+                    "case {case}: point {i} closer to cluster {c} than to its label {label}"
+                );
             }
-            prop_assert!(ivf.list(label).unwrap().contains(&(i as u32)));
+            assert!(ivf.list(label).unwrap().contains(&(i as u32)));
         }
     }
+}
 
-    /// PQ decode error is bounded by the per-subspace quantisation error and
-    /// ADC distances equal decoded distances.
-    #[test]
-    fn pq_adc_is_consistent(points in vector_set(40..120, 8)) {
-        let pq = ProductQuantizer::train(&points, &PqTrainConfig {
-            num_subspaces: 4,
-            entries_per_subspace: 8,
-            kmeans_iters: 8,
-            seed: 3,
-            train_subsample: None,
-        }).unwrap();
+/// PQ decode error is bounded by the per-subspace quantisation error and
+/// ADC distances equal decoded distances.
+#[test]
+fn pq_adc_is_consistent() {
+    for case in 0..8u64 {
+        let mut rng = seeded(3000 + case);
+        let n = rng.gen_range(40..120usize);
+        let points = random_vector_set(&mut rng, n, 8);
+        let pq = ProductQuantizer::train(
+            &points,
+            &PqTrainConfig {
+                num_subspaces: 4,
+                entries_per_subspace: 8,
+                kmeans_iters: 8,
+                seed: 3,
+                train_subsample: None,
+            },
+        )
+        .unwrap();
         let codes = pq.encode(&points).unwrap();
         let query = points.row(0);
         let lut = pq.dense_lut(query).unwrap();
@@ -80,19 +108,28 @@ proptest! {
             let adc = ProductQuantizer::adc_distance(&lut, codes.code(i));
             let decoded = pq.decode(codes.code(i)).unwrap();
             let exact = l2_squared(query, &decoded);
-            prop_assert!((adc - exact).abs() <= 1e-2 * exact.max(1.0));
+            assert!(
+                (adc - exact).abs() <= 1e-2 * exact.max(1.0),
+                "case {case}: ADC {adc} vs decoded {exact} for point {i}"
+            );
         }
     }
+}
 
-    /// Tracing a scene of spheres returns exactly the brute-force hit set and
-    /// hit times equal the analytic entry times.
-    #[test]
-    fn scene_hits_match_brute_force(
-        centers in prop::collection::vec((-5.0f32..5.0, -5.0f32..5.0), 1..60),
-        ox in -5.0f32..5.0,
-        oy in -5.0f32..5.0,
-        radius in 0.05f32..0.9,
-    ) {
+/// Tracing a scene of spheres returns exactly the brute-force hit set and
+/// hit times equal the analytic entry times.
+#[test]
+fn scene_hits_match_brute_force() {
+    for case in 0..24u64 {
+        let mut rng = seeded(4000 + case);
+        let n = rng.gen_range(1..60usize);
+        let centers: Vec<(f32, f32)> = (0..n)
+            .map(|_| (rng.gen_range(-5.0f32..5.0), rng.gen_range(-5.0f32..5.0)))
+            .collect();
+        let ox = rng.gen_range(-5.0f32..5.0);
+        let oy = rng.gen_range(-5.0f32..5.0);
+        let radius = rng.gen_range(0.05f32..0.9);
+
         let mut builder = SceneBuilder::new();
         for (i, &(x, y)) in centers.iter().enumerate() {
             builder.add_sphere(Sphere::new([x, y, 1.0], radius, i as u32));
@@ -114,24 +151,31 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(hits.len(), expected.len());
+        assert_eq!(hits.len(), expected.len(), "case {case}");
         for (got, want) in hits.iter().zip(expected.iter()) {
-            prop_assert_eq!(got.0, want.0);
-            prop_assert!((got.1 - want.1).abs() < 1e-4);
+            assert_eq!(got.0, want.0, "case {case}");
+            assert!((got.1 - want.1).abs() < 1e-4, "case {case}");
         }
     }
+}
 
-    /// Recall helpers are bounded in [0, 1] and monotone in the retrieved set.
-    #[test]
-    fn recall_is_bounded_and_monotone(ids in prop::collection::vec(0u64..50, 1..30)) {
-        use juno::common::recall::{recall_at, GroundTruth};
-        let truth = GroundTruth { truth: vec![(0u64..10).collect()] };
+/// Recall helpers are bounded in [0, 1] and monotone in the retrieved set.
+#[test]
+fn recall_is_bounded_and_monotone() {
+    use juno::common::recall::{recall_at, GroundTruth};
+    for case in 0..24u64 {
+        let mut rng = seeded(5000 + case);
+        let n = rng.gen_range(1..30usize);
+        let ids: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50u64)).collect();
+        let truth = GroundTruth {
+            truth: vec![(0u64..10).collect()],
+        };
         let retrieved_small = vec![ids.iter().take(5).cloned().collect::<Vec<_>>()];
         let retrieved_large = vec![ids.clone()];
         let r_small = recall_at(&retrieved_small, &truth, 10, 50).unwrap();
         let r_large = recall_at(&retrieved_large, &truth, 10, 50).unwrap();
-        prop_assert!((0.0..=1.0).contains(&r_small));
-        prop_assert!((0.0..=1.0).contains(&r_large));
-        prop_assert!(r_large >= r_small - 1e-12);
+        assert!((0.0..=1.0).contains(&r_small), "case {case}");
+        assert!((0.0..=1.0).contains(&r_large), "case {case}");
+        assert!(r_large >= r_small - 1e-12, "case {case}");
     }
 }
