@@ -12,7 +12,13 @@ use juno_common::index::{AnnIndex, SearchResult, SearchStats};
 use juno_common::metric::Metric;
 use juno_common::topk::TopK;
 use juno_common::vector::VectorSet;
+use juno_core::persist::{get_ivf, put_ivf};
+use juno_data::snapshot::{kind, SectionWriter, Snapshot, SnapshotWriter};
 use juno_quant::ivf::{IvfIndex, IvfTrainConfig};
+use std::path::Path;
+
+/// The engine kind word identifying IVF-Flat baseline snapshots.
+pub const KIND_IVF_FLAT: u32 = kind(*b"IVFL");
 
 /// Build/search configuration of an [`IvfFlatIndex`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +100,73 @@ impl IvfFlatIndex {
     pub fn ivf(&self) -> &IvfIndex {
         &self.ivf
     }
+
+    /// Serialises the index into snapshot bytes (kind [`KIND_IVF_FLAT`]).
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut writer = SnapshotWriter::new(KIND_IVF_FLAT);
+        let mut conf = SectionWriter::new();
+        conf.put_u64(self.nprobs as u64);
+        writer.add_section(*b"CONF", conf);
+        let mut ivfc = SectionWriter::new();
+        put_ivf(&mut ivfc, &self.ivf);
+        writer.add_section(*b"IVFC", ivfc);
+        let mut pnts = SectionWriter::new();
+        pnts.put_vector_set(&self.points);
+        writer.add_section(*b"PNTS", pnts);
+        writer.finish()
+    }
+
+    /// Rebuilds an index from snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] for malformed or mismatched snapshots.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self> {
+        let snap = Snapshot::parse(bytes)?;
+        if snap.kind() != KIND_IVF_FLAT {
+            return Err(Error::corrupted(
+                "snapshot is not an IVF-Flat baseline snapshot",
+            ));
+        }
+        let mut r = snap.section(*b"CONF")?;
+        let nprobs = r.get_usize()?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"IVFC")?;
+        let ivf = get_ivf(&mut r)?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"PNTS")?;
+        let points = r.get_vector_set()?;
+        r.expect_end()?;
+        if nprobs == 0 || points.len() != ivf.labels().len() || points.dim() != ivf.dim() {
+            return Err(Error::corrupted(
+                "IVF-Flat snapshot sections are mutually inconsistent",
+            ));
+        }
+        Ok(Self {
+            ivf,
+            points,
+            nprobs,
+            sim: SimulationConfig::default(),
+        })
+    }
+
+    /// Writes the snapshot to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the file cannot be written.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<()> {
+        juno_data::snapshot::write_snapshot_file(path, &self.to_snapshot_bytes())
+    }
+
+    /// Loads an index from a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and decoding failures.
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Self> {
+        Self::from_snapshot_bytes(&juno_data::snapshot::read_snapshot_file(path)?)
+    }
 }
 
 impl AnnIndex for IvfFlatIndex {
@@ -145,6 +218,19 @@ impl AnnIndex for IvfFlatIndex {
             simulated_us,
             stats,
         })
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>> {
+        Ok(self.to_snapshot_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        *self = IvfFlatIndex::from_snapshot_bytes(bytes)?;
+        Ok(())
     }
 
     fn name(&self) -> String {
@@ -229,6 +315,28 @@ mod tests {
         assert!(index.name().starts_with("IVF32-Flat"));
         assert_eq!(index.nprobs(), 4);
         assert_eq!(index.ivf().n_clusters(), 32);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let (ds, index) = build_small();
+        let bytes = index.to_snapshot_bytes();
+        let restored = IvfFlatIndex::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), index.len());
+        assert_eq!(restored.nprobs(), index.nprobs());
+        for q in ds.queries.iter() {
+            let a = index.search(q, 10).unwrap();
+            let b = restored.search(q, 10).unwrap();
+            assert_eq!(a.ids(), b.ids());
+            for (na, nb) in a.neighbors.iter().zip(&b.neighbors) {
+                assert_eq!(na.distance.to_bits(), nb.distance.to_bits());
+            }
+        }
+        for len in (0..bytes.len()).step_by(257) {
+            assert!(IvfFlatIndex::from_snapshot_bytes(&bytes[..len]).is_err());
+        }
+        assert!(index.supports_snapshot());
+        assert!(IvfFlatIndex::load_snapshot("/nonexistent/x.snap").is_err());
     }
 
     #[test]

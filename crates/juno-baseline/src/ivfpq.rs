@@ -14,8 +14,16 @@ use juno_common::index::{AnnIndex, SearchResult, SearchStats};
 use juno_common::metric::{inner_product, Metric};
 use juno_common::topk::TopK;
 use juno_common::vector::VectorSet;
+use juno_core::persist::{
+    get_codes, get_ivf, get_metric, get_pq, put_codes, put_ivf, put_metric, put_pq,
+};
+use juno_data::snapshot::{kind, SectionWriter, Snapshot, SnapshotWriter};
 use juno_quant::ivf::{IvfIndex, IvfTrainConfig};
 use juno_quant::pq::{EncodedPoints, PqTrainConfig, ProductQuantizer};
+use std::path::Path;
+
+/// The engine kind word identifying IVFPQ baseline snapshots.
+pub const KIND_IVFPQ: u32 = kind(*b"IVPQ");
 
 /// Build/search configuration of an [`IvfPqIndex`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,6 +142,134 @@ impl IvfPqIndex {
         &self.codes
     }
 
+    /// Inserts one vector: coarse-assigns it with the k-means rule, encodes
+    /// its residual with the existing codebooks and appends it to the
+    /// cluster's inverted list. Returns the new id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] for a wrong dimension; validation
+    /// happens before any state is touched.
+    pub fn insert(&mut self, vector: &[f32]) -> Result<u64> {
+        if vector.len() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: vector.len(),
+            });
+        }
+        let cluster = self.ivf.assign(vector)?;
+        let residual = self.ivf.query_residual(vector, cluster)?;
+        let code = self.pq.encode_one(&residual)?;
+        let id = self.ivf.push_assignment(cluster)?;
+        self.codes.push(&code)?;
+        self.num_points += 1;
+        Ok(id as u64)
+    }
+
+    /// Removes the point with the given id by pruning it from its cluster's
+    /// inverted list (the dataset-order code row is retained — ids are
+    /// positions and never renumbered). Returns `Ok(true)` when the id was
+    /// indexed and live.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` for trait conformity.
+    pub fn remove(&mut self, id: u64) -> Result<bool> {
+        let Ok(id32) = u32::try_from(id) else {
+            return Ok(false);
+        };
+        let removed = self.ivf.remove_from_list(id32);
+        if removed {
+            self.num_points -= 1;
+        }
+        Ok(removed)
+    }
+
+    /// Serialises the index into snapshot bytes (kind [`KIND_IVFPQ`]).
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut writer = SnapshotWriter::new(KIND_IVFPQ);
+        let mut conf = SectionWriter::new();
+        put_metric(&mut conf, self.metric);
+        conf.put_u64(self.nprobs as u64);
+        conf.put_u64(self.num_points as u64);
+        writer.add_section(*b"CONF", conf);
+        let mut ivfc = SectionWriter::new();
+        put_ivf(&mut ivfc, &self.ivf);
+        writer.add_section(*b"IVFC", ivfc);
+        let mut pqcb = SectionWriter::new();
+        put_pq(&mut pqcb, &self.pq);
+        writer.add_section(*b"PQCB", pqcb);
+        let mut code = SectionWriter::new();
+        put_codes(&mut code, &self.codes);
+        writer.add_section(*b"CODE", code);
+        writer.finish()
+    }
+
+    /// Rebuilds an index from snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] for malformed or mismatched snapshots.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self> {
+        let snap = Snapshot::parse(bytes)?;
+        if snap.kind() != KIND_IVFPQ {
+            return Err(Error::corrupted(
+                "snapshot is not an IVFPQ baseline snapshot",
+            ));
+        }
+        let mut r = snap.section(*b"CONF")?;
+        let metric = get_metric(&mut r)?;
+        let nprobs = r.get_usize()?;
+        let num_points = r.get_usize()?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"IVFC")?;
+        let ivf = get_ivf(&mut r)?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"PQCB")?;
+        let pq = get_pq(&mut r)?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"CODE")?;
+        let codes = get_codes(&mut r)?;
+        r.expect_end()?;
+        if nprobs == 0
+            || ivf.labels().len() != codes.len()
+            || pq.num_subspaces() != codes.num_subspaces()
+            || ivf.dim() != pq.dim()
+            || num_points > ivf.labels().len()
+        {
+            return Err(Error::corrupted(
+                "IVFPQ snapshot sections are mutually inconsistent",
+            ));
+        }
+        Ok(Self {
+            ivf,
+            pq,
+            codes,
+            metric,
+            nprobs,
+            num_points,
+            sim: SimulationConfig::default(),
+        })
+    }
+
+    /// Writes the snapshot to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the file cannot be written.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<()> {
+        juno_data::snapshot::write_snapshot_file(path, &self.to_snapshot_bytes())
+    }
+
+    /// Loads an index from a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and decoding failures.
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Self> {
+        Self::from_snapshot_bytes(&juno_data::snapshot::read_snapshot_file(path)?)
+    }
+
     /// Builds the per-cluster LUT of a query for one selected cluster.
     ///
     /// For L2 the LUT rows are squared distances between the query *residual*
@@ -230,6 +366,31 @@ impl AnnIndex for IvfPqIndex {
             simulated_us,
             stats,
         })
+    }
+
+    fn supports_mutation(&self) -> bool {
+        true
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn insert(&mut self, vector: &[f32]) -> Result<u64> {
+        IvfPqIndex::insert(self, vector)
+    }
+
+    fn remove(&mut self, id: u64) -> Result<bool> {
+        IvfPqIndex::remove(self, id)
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>> {
+        Ok(self.to_snapshot_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        *self = IvfPqIndex::from_snapshot_bytes(bytes)?;
+        Ok(())
     }
 
     fn name(&self) -> String {
@@ -352,6 +513,60 @@ mod tests {
         for w in res.neighbors.windows(2) {
             assert!(w[0].distance >= w[1].distance);
         }
+    }
+
+    #[test]
+    fn mutation_inserts_and_removes_points() {
+        let (ds, mut index) = build(DatasetProfile::DeepLike, 1_500, 4, deep_cfg());
+        let n0 = index.len();
+        let probe = ds.points.row(7).to_vec();
+        let id = index.insert(&probe).unwrap();
+        assert_eq!(id as usize, n0);
+        assert_eq!(index.len(), n0 + 1);
+        assert!(index.supports_mutation());
+        let res = index.search(&probe, 5).unwrap();
+        assert!(res.ids().contains(&id), "inserted duplicate not retrieved");
+
+        assert!(index.remove(id).unwrap());
+        assert!(!index.remove(id).unwrap());
+        assert!(!index.remove(u64::MAX).unwrap());
+        assert_eq!(index.len(), n0);
+        assert!(!index.search(&probe, 5).unwrap().ids().contains(&id));
+        assert!(index.insert(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical_including_mutation() {
+        let (ds, mut index) = build(DatasetProfile::DeepLike, 1_200, 6, deep_cfg());
+        for i in 0..25 {
+            index.insert(ds.points.row(i * 13)).unwrap();
+        }
+        for id in (0..120u64).step_by(4) {
+            assert!(index.remove(id).unwrap());
+        }
+        let bytes = index.snapshot().unwrap();
+        let restored = IvfPqIndex::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), index.len());
+        for q in ds.queries.iter() {
+            let a = index.search(q, 20).unwrap();
+            let b = restored.search(q, 20).unwrap();
+            assert_eq!(a.ids(), b.ids());
+            for (na, nb) in a.neighbors.iter().zip(&b.neighbors) {
+                assert_eq!(na.distance.to_bits(), nb.distance.to_bits());
+            }
+        }
+        // Corruption and truncation are rejected without panicking.
+        for len in (0..bytes.len()).step_by(131) {
+            assert!(IvfPqIndex::from_snapshot_bytes(&bytes[..len]).is_err());
+        }
+        let mut wrong_kind = bytes.clone();
+        wrong_kind[12] ^= 0xFF;
+        assert!(IvfPqIndex::from_snapshot_bytes(&wrong_kind).is_err());
+        // In-place trait restore.
+        let (_, mut other) = build(DatasetProfile::DeepLike, 800, 2, deep_cfg());
+        other.restore(&bytes).unwrap();
+        assert_eq!(other.len(), index.len());
+        assert!(index.supports_snapshot());
     }
 
     #[test]

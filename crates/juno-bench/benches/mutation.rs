@@ -1,0 +1,139 @@
+//! Write-path benchmark: insert throughput, tombstone deletion, compaction,
+//! and post-compaction query throughput versus a freshly built index. This
+//! extends the perf trajectory (previously query-only, see `batch_qps`) to
+//! the dynamic-mutation subsystem; record a baseline with
+//! `JUNO_BENCH_JSON=BENCH_prN_mutation.json cargo bench --bench mutation`.
+
+use juno_bench::harness::{black_box, Harness};
+use juno_bench::setup::{build_fixture, BenchScale};
+use juno_common::index::AnnIndex;
+use juno_core::engine::JunoIndex;
+use juno_data::profiles::DatasetProfile;
+use std::time::Duration;
+
+fn main() {
+    let scale = BenchScale {
+        points: 10_000,
+        queries: 64,
+    };
+    let profile = DatasetProfile::DeepLike;
+    let fixture = build_fixture(profile, scale, 10, 31).expect("fixture");
+    let queries = fixture.dataset.queries.clone();
+    // A disjoint pool of vectors to insert (same distribution, new seed).
+    let pool = profile.generate(4_096, 1, 131).expect("insert pool").points;
+
+    let mut h = Harness::new("mutation");
+
+    // Single-vector insert: coarse assign + PQ encode + tail append +
+    // density refresh. The index grows during sampling, which is the
+    // realistic steady state of a serving node between compactions.
+    {
+        let mut index = fixture.juno.clone();
+        let mut at = 0usize;
+        let mut group = h.group("write_path");
+        group.sample_time(Duration::from_millis(300)).samples(10);
+        group.bench("insert_one", move || {
+            let row = pool.row(at % pool.len());
+            at += 1;
+            index.insert(black_box(row)).expect("insert")
+        });
+    }
+
+    // Tombstone delete + reinsert pair, keeping the live count stable so
+    // per-iteration work stays comparable across samples.
+    {
+        let mut index = fixture.juno.clone();
+        let pool = fixture.dataset.points.clone();
+        let mut at = 0usize;
+        let mut last: Option<u64> = None;
+        let mut group = h.group("write_path");
+        group.sample_time(Duration::from_millis(300)).samples(10);
+        group.bench("remove_insert_pair", move || {
+            if let Some(id) = last {
+                index.remove(black_box(id)).expect("remove");
+            }
+            let row = pool.row(at % pool.len());
+            at += 1;
+            let id = index.insert(black_box(row)).expect("insert");
+            last = Some(id);
+            id
+        });
+    }
+
+    // Compaction of an index with 10% tombstones + matching tail inserts.
+    // The clone is part of the measured closure (each iteration needs a
+    // fresh dirty index); `clone_baseline` isolates that cost so the true
+    // compaction time is the difference.
+    {
+        let mut dirty = fixture.juno.clone();
+        for id in 0..(scale.points / 10) as u64 {
+            dirty.remove(id * 10).expect("remove");
+        }
+        for i in 0..scale.points / 10 {
+            dirty
+                .insert(fixture.dataset.points.row(i * 10))
+                .expect("insert");
+        }
+        let mut group = h.group("compaction");
+        group.sample_time(Duration::from_millis(400)).samples(10);
+        let d1 = dirty.clone();
+        group.bench("clone_baseline", move || black_box(d1.clone()).len());
+        group.bench("clone_plus_compact_10pct", move || {
+            let mut idx = black_box(dirty.clone());
+            idx.compact().expect("compact");
+            idx.len()
+        });
+    }
+
+    // Post-compaction QPS: the mutated+compacted index must answer batches
+    // at parity with a freshly built one (the scan layout is restored).
+    {
+        let mut mutated = fixture.juno.clone();
+        for id in 0..(scale.points / 10) as u64 {
+            mutated.remove(id * 10).expect("remove");
+        }
+        for i in 0..scale.points / 10 {
+            mutated
+                .insert(fixture.dataset.points.row(i * 10))
+                .expect("insert");
+        }
+        mutated.compact().expect("compact");
+        let fresh = &fixture.juno;
+        let mutated = &mutated;
+        let mut group = h.group("post_compaction_qps");
+        group.sample_time(Duration::from_millis(600)).samples(10);
+        group.bench("fresh_batch64", || {
+            fresh
+                .search_batch(black_box(&queries), 100)
+                .expect("batch")
+                .len()
+        });
+        group.bench("compacted_batch64", || {
+            mutated
+                .search_batch(black_box(&queries), 100)
+                .expect("batch")
+                .len()
+        });
+    }
+
+    // Snapshot save/load round-trip cost (the restart-without-rebuild win).
+    {
+        let index: &JunoIndex = &fixture.juno;
+        let bytes = index.to_snapshot_bytes();
+        println!(
+            "snapshot size for {} points: {:.2} MiB",
+            index.len(),
+            bytes.len() as f64 / (1024.0 * 1024.0)
+        );
+        let mut group = h.group("snapshot");
+        group.sample_time(Duration::from_millis(400)).samples(10);
+        group.bench("serialize", move || index.to_snapshot_bytes().len());
+        group.bench("deserialize", move || {
+            JunoIndex::from_snapshot_bytes(black_box(&bytes))
+                .expect("restore")
+                .len()
+        });
+    }
+
+    h.finish();
+}

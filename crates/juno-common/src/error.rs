@@ -39,6 +39,12 @@ pub enum Error {
     Io(String),
     /// A numeric failure such as a singular matrix during regression fitting.
     Numeric(String),
+    /// The operation (mutation, persistence, ...) is not supported by this
+    /// index implementation.
+    Unsupported(String),
+    /// A persisted artefact (snapshot, dataset file) is malformed: bad magic,
+    /// unknown version, checksum mismatch or truncated section.
+    Corrupted(String),
 }
 
 impl fmt::Display for Error {
@@ -55,6 +61,8 @@ impl fmt::Display for Error {
             }
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
             Error::Numeric(msg) => write!(f, "numeric error: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            Error::Corrupted(msg) => write!(f, "corrupted data: {msg}"),
         }
     }
 }
@@ -87,6 +95,16 @@ impl Error {
     pub fn numeric(msg: impl fmt::Display) -> Self {
         Error::Numeric(msg.to_string())
     }
+
+    /// Builds an [`Error::Unsupported`] from anything displayable.
+    pub fn unsupported(msg: impl fmt::Display) -> Self {
+        Error::Unsupported(msg.to_string())
+    }
+
+    /// Builds an [`Error::Corrupted`] from anything displayable.
+    pub fn corrupted(msg: impl fmt::Display) -> Self {
+        Error::Corrupted(msg.to_string())
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +128,12 @@ mod tests {
         assert!(Error::not_trained("pq").to_string().contains("pq"));
         assert!(Error::empty_input("points").to_string().contains("points"));
         assert!(Error::numeric("singular").to_string().contains("singular"));
+        assert!(Error::unsupported("no mutation")
+            .to_string()
+            .contains("no mutation"));
+        assert!(Error::corrupted("bad checksum")
+            .to_string()
+            .contains("bad checksum"));
         let oob = Error::IndexOutOfBounds {
             what: "cluster".into(),
             index: 7,

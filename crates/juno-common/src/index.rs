@@ -4,7 +4,7 @@
 //! implement [`AnnIndex`], which lets the benchmark harness sweep
 //! configurations and compare engines uniformly.
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::metric::Metric;
 use crate::vector::VectorSet;
 
@@ -99,8 +99,13 @@ impl SearchStats {
 
 /// The interface shared by the JUNO engine and every baseline index.
 ///
-/// Implementations are expected to be immutable once built: `search` takes
-/// `&self` so that query batches can be processed from multiple threads.
+/// `search` takes `&self` so that query batches can be processed from
+/// multiple threads. Indexes that support dynamic mutation additionally
+/// implement [`AnnIndex::insert`] / [`AnnIndex::remove`] /
+/// [`AnnIndex::compact`] (which take `&mut self` and therefore exclude
+/// concurrent searches), and persistent indexes implement
+/// [`AnnIndex::snapshot`] / [`AnnIndex::restore`]. The defaults return
+/// [`Error::Unsupported`] so read-only engines stay trivially conformant.
 pub trait AnnIndex: Send + Sync {
     /// The metric this index ranks with.
     fn metric(&self) -> Metric;
@@ -156,6 +161,92 @@ pub trait AnnIndex: Send + Sync {
         })
         .into_iter()
         .collect()
+    }
+
+    /// Returns `true` when this index supports [`AnnIndex::insert`] /
+    /// [`AnnIndex::remove`] after construction.
+    fn supports_mutation(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` when this index supports [`AnnIndex::snapshot`] /
+    /// [`AnnIndex::restore`].
+    fn supports_snapshot(&self) -> bool {
+        false
+    }
+
+    /// Inserts one vector into the index and returns its assigned id.
+    ///
+    /// Ids are monotonically increasing and never reused, so an id retrieved
+    /// before a mutation stays meaningful afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] for build-once indexes and
+    /// [`Error::DimensionMismatch`] when the vector has the wrong dimension.
+    fn insert(&mut self, vector: &[f32]) -> Result<u64> {
+        let _ = vector;
+        Err(Error::unsupported(format!(
+            "{} does not support dynamic insertion",
+            self.name()
+        )))
+    }
+
+    /// Removes the vector with the given id.
+    ///
+    /// Returns `Ok(true)` when the id was present and is now deleted and
+    /// `Ok(false)` when it was never indexed or already deleted (removal is
+    /// idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] for build-once indexes.
+    fn remove(&mut self, id: u64) -> Result<bool> {
+        let _ = id;
+        Err(Error::unsupported(format!(
+            "{} does not support dynamic deletion",
+            self.name()
+        )))
+    }
+
+    /// Compacts internal storage after deletions (e.g. physically dropping
+    /// tombstoned records and restoring contiguous scan layouts). A no-op for
+    /// indexes without deferred deletion; never changes search results.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; the default never fails.
+    fn compact(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Serialises the full index state into the versioned JUNO snapshot
+    /// format (see `juno-data`'s `snapshot` module for the container layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] for engines without persistence.
+    fn snapshot(&self) -> Result<Vec<u8>> {
+        Err(Error::unsupported(format!(
+            "{} does not support snapshot persistence",
+            self.name()
+        )))
+    }
+
+    /// Replaces this index in place with the state decoded from `bytes`
+    /// (the inverse of [`AnnIndex::snapshot`]). After a successful restore,
+    /// searches are bit-identical to the snapshotted index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] for engines without persistence and
+    /// [`Error::Corrupted`] / [`Error::InvalidConfig`] for malformed bytes.
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        let _ = bytes;
+        Err(Error::unsupported(format!(
+            "{} does not support snapshot persistence",
+            self.name()
+        )))
     }
 
     /// A short human-readable name used in benchmark reports.
@@ -273,5 +364,21 @@ mod tests {
         let idx = toy_index();
         assert_eq!(idx.name(), "Exact");
         assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn mutation_and_persistence_default_to_unsupported() {
+        let mut idx = toy_index();
+        assert!(!idx.supports_mutation());
+        assert!(!idx.supports_snapshot());
+        assert!(matches!(
+            idx.insert(&[0.0, 0.0]),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(idx.remove(0), Err(Error::Unsupported(_))));
+        assert!(matches!(idx.snapshot(), Err(Error::Unsupported(_))));
+        assert!(matches!(idx.restore(&[]), Err(Error::Unsupported(_))));
+        // Compaction is a safe no-op by default.
+        assert!(idx.compact().is_ok());
     }
 }

@@ -75,6 +75,70 @@ impl DensityMap {
         })
     }
 
+    /// Rebuilds a density map from persisted parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when the shapes or bounds are invalid.
+    pub fn from_parts(
+        grid: usize,
+        min: [f32; 2],
+        max: [f32; 2],
+        cells: Vec<f32>,
+        total_points: usize,
+    ) -> Result<Self> {
+        // grid is untrusted snapshot input: checked multiply so a huge value
+        // cannot wrap past the shape check (release) or panic (debug).
+        let expected_cells = grid
+            .checked_mul(grid)
+            .ok_or_else(|| Error::corrupted("density map: grid size overflows"))?;
+        if grid == 0 || cells.len() != expected_cells {
+            return Err(Error::corrupted("density map: cell grid shape mismatch"));
+        }
+        if min
+            .iter()
+            .zip(&max)
+            .any(|(lo, hi)| !lo.is_finite() || !hi.is_finite() || lo >= hi)
+        {
+            return Err(Error::corrupted("density map: degenerate bounds"));
+        }
+        Ok(Self {
+            grid,
+            min,
+            max,
+            cells,
+            total_points,
+        })
+    }
+
+    /// Incrementally accounts for one newly inserted point projection: the
+    /// containing cell's density rises by one point per cell area.
+    /// Projections outside the covered area clamp to the border cells, the
+    /// same treatment queries receive — the map's bounds never move after
+    /// construction.
+    pub fn add_point(&mut self, x: f32, y: f32) {
+        let (i, j) = cell_of(&[x, y], &self.min, &self.max, self.grid);
+        let cell_area = ((self.max[0] - self.min[0]) / self.grid as f32)
+            * ((self.max[1] - self.min[1]) / self.grid as f32);
+        self.cells[i * self.grid + j] += 1.0 / cell_area.max(1e-12);
+        self.total_points += 1;
+    }
+
+    /// Lower corner of the covered area.
+    pub fn min_corner(&self) -> [f32; 2] {
+        self.min
+    }
+
+    /// Upper corner of the covered area.
+    pub fn max_corner(&self) -> [f32; 2] {
+        self.max
+    }
+
+    /// Borrow of the row-major density cells.
+    pub fn cells(&self) -> &[f32] {
+        &self.cells
+    }
+
     /// Grid resolution per axis.
     pub fn grid(&self) -> usize {
         self.grid
@@ -167,6 +231,38 @@ mod tests {
         let map = DensityMap::build(&clustered_projections(1_000, 5), 50).unwrap();
         // Should not panic and should return the border cell's density.
         let _ = map.density_at(1e6, -1e6);
+    }
+
+    #[test]
+    fn add_point_raises_local_density_and_parts_round_trip() {
+        let projections = clustered_projections(1_000, 6);
+        let mut map = DensityMap::build(&projections, 50).unwrap();
+        let before = map.density_at(0.0, 0.0);
+        for _ in 0..10 {
+            map.add_point(0.0, 0.0);
+        }
+        assert!(map.density_at(0.0, 0.0) > before);
+        assert_eq!(map.total_points(), 1_010);
+        // Out-of-range insertions clamp instead of panicking.
+        map.add_point(1e9, -1e9);
+
+        let rebuilt = DensityMap::from_parts(
+            map.grid(),
+            map.min_corner(),
+            map.max_corner(),
+            map.cells().to_vec(),
+            map.total_points(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, map);
+        assert!(DensityMap::from_parts(0, [0.0; 2], [1.0; 2], vec![], 0).is_err());
+        assert!(DensityMap::from_parts(2, [0.0; 2], [1.0; 2], vec![0.0; 3], 0).is_err());
+        assert!(
+            DensityMap::from_parts(2, [1.0; 2], [0.0; 2], vec![0.0; 4], 0).is_err(),
+            "inverted bounds"
+        );
+        // An absurd grid must fail cleanly (no multiply overflow).
+        assert!(DensityMap::from_parts(usize::MAX / 2, [0.0; 2], [1.0; 2], vec![], 0).is_err());
     }
 
     #[test]

@@ -37,24 +37,34 @@ use juno_quant::layout::IvfListCodes;
 use juno_quant::pq::{EncodedPoints, PqTrainConfig, ProductQuantizer};
 
 /// The JUNO approximate nearest neighbour index.
+///
+/// Fields are crate-visible so the persistence layer (`crate::persist`) can
+/// serialise and rebuild the engine without re-training.
 #[derive(Debug, Clone)]
 pub struct JunoIndex {
-    config: JunoConfig,
-    ivf: IvfIndex,
-    pq: ProductQuantizer,
-    codes: EncodedPoints,
+    pub(crate) config: JunoConfig,
+    pub(crate) ivf: IvfIndex,
+    pub(crate) pq: ProductQuantizer,
+    pub(crate) codes: EncodedPoints,
     /// The same codes reordered IVF-list-contiguously (point-major within a
     /// list) so the ADC scan over a probed cluster streams memory
-    /// sequentially.
-    list_codes: IvfListCodes,
+    /// sequentially. Also the source of truth for dynamic mutation: appended
+    /// points live in per-cluster tails, deletions are tombstones, and
+    /// [`JunoIndex::compact`] restores the contiguous layout.
+    pub(crate) list_codes: IvfListCodes,
     /// Subspace-level inverted index, built lazily on first use: the online
     /// path scans `list_codes` instead, so only diagnostics (fig11, the
-    /// analysis module) pay its construction time and memory.
-    inverted: std::sync::OnceLock<SubspaceInvertedIndex>,
-    threshold_model: ThresholdModel,
-    mapping: SceneMapping,
-    simulator: QuerySimulator,
-    num_points: usize,
+    /// analysis module) pay its construction time and memory. Mutations
+    /// invalidate it; it reflects every point ever indexed (including
+    /// tombstoned ones), as labels and codes are retained for dead ids.
+    pub(crate) inverted: std::sync::OnceLock<SubspaceInvertedIndex>,
+    pub(crate) threshold_model: ThresholdModel,
+    pub(crate) mapping: SceneMapping,
+    /// The per-subspace bounds the scene was built with (max thresholds for
+    /// L2, query-norm bounds for MIPS) — retained so a snapshot restore can
+    /// rebuild the identical scene deterministically.
+    pub(crate) scene_bounds: Vec<f32>,
+    pub(crate) simulator: QuerySimulator,
 }
 
 /// The output of [`JunoIndex::build_selective_lut`]: the probed clusters in
@@ -144,14 +154,12 @@ impl JunoIndex {
             },
         )?;
 
-        // 5. The traversable scene.
-        let mapping = match config.metric {
-            Metric::L2 => {
-                let max_thresholds: Vec<f32> = (0..config.pq_subspaces)
-                    .map(|s| threshold_model.max_threshold(s))
-                    .collect::<Result<_>>()?;
-                SceneMapping::build_l2(pq.codebooks(), &max_thresholds)?
-            }
+        // 5. The traversable scene. The bounds vector is retained so a
+        //    snapshot restore can rebuild the identical scene.
+        let scene_bounds: Vec<f32> = match config.metric {
+            Metric::L2 => (0..config.pq_subspaces)
+                .map(|s| threshold_model.max_threshold(s))
+                .collect::<Result<_>>()?,
             Metric::InnerProduct => {
                 // Under MIPS the rays originate at (full) query projections;
                 // bound their squared norm with the search points themselves.
@@ -164,9 +172,10 @@ impl JunoIndex {
                         .fold(0.0f32, f32::max);
                     bounds.push(max_sq.max(1e-6) * 1.5);
                 }
-                SceneMapping::build_mips(pq.codebooks(), &bounds)?
+                bounds
             }
         };
+        let mapping = Self::build_mapping(&pq, config.metric, &scene_bounds)?;
 
         let simulator = QuerySimulator::new(
             config.device.clone(),
@@ -183,9 +192,23 @@ impl JunoIndex {
             inverted: std::sync::OnceLock::new(),
             threshold_model,
             mapping,
+            scene_bounds,
             simulator,
-            num_points: points.len(),
         })
+    }
+
+    /// Builds the RT scene for the given metric and per-subspace bounds —
+    /// deterministic, so build and snapshot-restore produce bit-identical
+    /// traversal behaviour.
+    pub(crate) fn build_mapping(
+        pq: &ProductQuantizer,
+        metric: Metric,
+        scene_bounds: &[f32],
+    ) -> Result<SceneMapping> {
+        match metric {
+            Metric::L2 => SceneMapping::build_l2(pq.codebooks(), scene_bounds),
+            Metric::InnerProduct => SceneMapping::build_mips(pq.codebooks(), scene_bounds),
+        }
     }
 
     /// Creates a scratch buffer sized for this index, reusable across
@@ -286,6 +309,87 @@ impl JunoIndex {
         self.simulator = QuerySimulator::new(device, mode, self.config.batch_size);
     }
 
+    /// Inserts one vector, refreshing the online structures incrementally
+    /// instead of rebuilding:
+    ///
+    /// 1. the coarse assignment replays the k-means rule (nearest centroid);
+    /// 2. the residual is encoded with the **existing** PQ codebooks;
+    /// 3. the code is appended to the IVF-list layout's cluster tail (the
+    ///    selective-LUT scan picks it up through
+    ///    [`IvfListCodes::cluster_segments`]);
+    /// 4. the threshold calibration's density maps account for the new
+    ///    projections ([`ThresholdModel::note_inserted_point`]);
+    /// 5. the lazily built hit-count/inverted diagnostics are invalidated.
+    ///
+    /// Codebooks, regressors and the RT scene are untouched — they are
+    /// trained models, valid as long as the data distribution holds, which
+    /// is what makes insertion O(C·D + S·E) instead of a full rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] for a wrong vector dimension;
+    /// validation happens before any state is touched.
+    pub fn insert(&mut self, vector: &[f32]) -> Result<u64> {
+        if vector.len() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: vector.len(),
+            });
+        }
+        let cluster = self.ivf.assign(vector)?;
+        // PQ codebooks were trained on residuals for both metrics.
+        let residual = self.ivf.query_residual(vector, cluster)?;
+        let code = self.pq.encode_one(&residual)?;
+
+        let id = self.list_codes.append(cluster, &code)?;
+        let ivf_id = self.ivf.push_assignment(cluster)?;
+        debug_assert_eq!(id, ivf_id, "layout and IVF id allocation diverged");
+        self.codes.push(&code)?;
+        self.threshold_model.note_inserted_point(vector)?;
+        self.inverted.take();
+        Ok(id as u64)
+    }
+
+    /// Tombstones the point with the given id; the scan skips it from the
+    /// next query on. Storage is reclaimed by [`JunoIndex::compact`].
+    ///
+    /// Returns `Ok(true)` when the id was live, `Ok(false)` when it was
+    /// never assigned or already deleted.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` for trait conformity.
+    pub fn remove(&mut self, id: u64) -> Result<bool> {
+        let Ok(id32) = u32::try_from(id) else {
+            return Ok(false);
+        };
+        let removed = self.list_codes.remove(id32);
+        if removed {
+            // Deliberately O(1): the coarse inverted lists (and the lazily
+            // built subspace inverted index) are diagnostics-only — the scan
+            // path reads `list_codes` — so they keep the tombstoned id
+            // rather than paying an O(cluster length) list splice per
+            // deletion. Filter with `list_codes.is_deleted` when reading
+            // them for diagnostics.
+            self.inverted.take();
+        }
+        Ok(removed)
+    }
+
+    /// Compacts the IVF-list code layout: merges append tails into the CSR
+    /// base, physically drops tombstoned records and restores id-sorted
+    /// point-major contiguity (and with it full scan locality). Search
+    /// results are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` for trait conformity.
+    pub fn compact(&mut self) -> Result<()> {
+        self.list_codes.compact();
+        self.inverted.take();
+        Ok(())
+    }
+
     /// The selective LUT and its traversal statistics for one query — exposed
     /// for the analysis module and the figure binaries.
     ///
@@ -363,12 +467,14 @@ impl JunoIndex {
         let mut topk = TopK::new(k, self.config.metric);
         let mut accumulations = 0usize;
         let mut total_candidates = 0usize;
+        // Hoisted: after build or compact there are no stored tombstones, so
+        // the never-mutated hot path skips the per-candidate random-access
+        // load into the tombstone bitmap entirely.
+        let check_tombstones = self.list_codes.stored_tombstones() > 0;
 
         for (slot, &cluster) in clusters.iter().enumerate() {
             scratch.decode.decode_slot(lut, slot);
             let dense = scratch.decode.as_slice();
-            let ids = self.list_codes.cluster_ids(cluster);
-            let codes = self.list_codes.cluster_codes(cluster);
 
             // Per-cluster constants.
             let centroid_term = match self.config.metric {
@@ -381,31 +487,40 @@ impl JunoIndex {
             let mean_thr_sq: f32 =
                 thresholds[slot].iter().map(|t| t * t).sum::<f32>() / subspaces.max(1) as f32;
 
-            for (i, &pid) in ids.iter().enumerate() {
-                let code = &codes[i * subspaces..(i + 1) * subspaces];
-                let mut sum = 0.0f32;
-                let mut covered = 0u32;
-                for (s, &e) in code.iter().enumerate() {
-                    let v = dense[s * entries + e as usize];
-                    // NaN marks "entry not selected"; comparison is false for
-                    // NaN so the branch predictor sees the common case.
-                    if !v.is_nan() {
-                        sum += v;
-                        covered += 1;
+            // Up to two contiguous runs per cluster: the CSR base block and
+            // the post-compaction append tail. Tombstoned ids are skipped.
+            for (ids, codes) in self.list_codes.cluster_segments(cluster) {
+                for (i, &pid) in ids.iter().enumerate() {
+                    if check_tombstones && self.list_codes.is_deleted(pid) {
+                        continue;
                     }
+                    let code = &codes[i * subspaces..(i + 1) * subspaces];
+                    let mut sum = 0.0f32;
+                    let mut covered = 0u32;
+                    for (s, &e) in code.iter().enumerate() {
+                        let v = dense[s * entries + e as usize];
+                        // NaN marks "entry not selected"; comparison is false
+                        // for NaN so the branch predictor sees the common
+                        // case.
+                        if !v.is_nan() {
+                            sum += v;
+                            covered += 1;
+                        }
+                    }
+                    if covered == 0 {
+                        continue;
+                    }
+                    accumulations += covered as usize;
+                    total_candidates += 1;
+                    let missing = (subspaces as u32 - covered) as f32;
+                    let raw = match self.config.metric {
+                        Metric::L2 => sum + missing * mean_thr_sq * self.config.miss_penalty_factor,
+                        // Missing subspaces contribute no (positive)
+                        // similarity.
+                        Metric::InnerProduct => centroid_term + sum,
+                    };
+                    topk.push(pid as u64, raw);
                 }
-                if covered == 0 {
-                    continue;
-                }
-                accumulations += covered as usize;
-                total_candidates += 1;
-                let missing = (subspaces as u32 - covered) as f32;
-                let raw = match self.config.metric {
-                    Metric::L2 => sum + missing * mean_thr_sq * self.config.miss_penalty_factor,
-                    // Missing subspaces contribute no (positive) similarity.
-                    Metric::InnerProduct => centroid_term + sum,
-                };
-                topk.push(pid as u64, raw);
             }
         }
         Ok((topk.into_sorted_vec(), accumulations, total_candidates))
@@ -427,6 +542,7 @@ impl JunoIndex {
         let subspaces = self.pq.num_subspaces();
         let entries = self.pq.entries_per_subspace();
         let mut accumulations = 0usize;
+        let check_tombstones = self.list_codes.stored_tombstones() > 0;
         scratch.hit_scores.clear();
 
         for (slot, &cluster) in clusters.iter().enumerate() {
@@ -440,30 +556,35 @@ impl JunoIndex {
                 let h = thresholds[slot][s] * 0.5;
                 *half = h * h;
             }
-            let ids = self.list_codes.cluster_ids(cluster);
-            let codes = self.list_codes.cluster_codes(cluster);
-            for (i, &pid) in ids.iter().enumerate() {
-                let code = &codes[i * subspaces..(i + 1) * subspaces];
-                let mut outer = 0u32;
-                let mut inner = 0u32;
-                for (s, &e) in code.iter().enumerate() {
-                    let v = dense[s * entries + e as usize];
-                    if !v.is_nan() {
-                        outer += 1;
-                        if inner_enabled && v <= scratch.half_sq[s] {
-                            inner += 1;
+            for (ids, codes) in self.list_codes.cluster_segments(cluster) {
+                for (i, &pid) in ids.iter().enumerate() {
+                    if check_tombstones && self.list_codes.is_deleted(pid) {
+                        continue;
+                    }
+                    let code = &codes[i * subspaces..(i + 1) * subspaces];
+                    let mut outer = 0u32;
+                    let mut inner = 0u32;
+                    for (s, &e) in code.iter().enumerate() {
+                        let v = dense[s * entries + e as usize];
+                        if !v.is_nan() {
+                            outer += 1;
+                            if inner_enabled && v <= scratch.half_sq[s] {
+                                inner += 1;
+                            }
                         }
                     }
+                    if outer == 0 {
+                        continue;
+                    }
+                    accumulations += outer as usize;
+                    let score = match mode {
+                        HitCountMode::CountOnly => outer as i64,
+                        HitCountMode::RewardPenalty => {
+                            inner as i64 - (subspaces as i64 - outer as i64)
+                        }
+                    };
+                    scratch.hit_scores.push((pid, score));
                 }
-                if outer == 0 {
-                    continue;
-                }
-                accumulations += outer as usize;
-                let score = match mode {
-                    HitCountMode::CountOnly => outer as i64,
-                    HitCountMode::RewardPenalty => inner as i64 - (subspaces as i64 - outer as i64),
-                };
-                scratch.hit_scores.push((pid, score));
             }
         }
         let candidates = scratch.hit_scores.len();
@@ -565,11 +686,40 @@ impl AnnIndex for JunoIndex {
     }
 
     fn len(&self) -> usize {
-        self.num_points
+        self.list_codes.len()
     }
 
     fn search(&self, query: &[f32], k: usize) -> Result<SearchResult> {
         self.search_with_scratch(query, k, &mut self.make_scratch())
+    }
+
+    fn supports_mutation(&self) -> bool {
+        true
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
+    fn insert(&mut self, vector: &[f32]) -> Result<u64> {
+        JunoIndex::insert(self, vector)
+    }
+
+    fn remove(&mut self, id: u64) -> Result<bool> {
+        JunoIndex::remove(self, id)
+    }
+
+    fn compact(&mut self) -> Result<()> {
+        JunoIndex::compact(self)
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>> {
+        Ok(self.to_snapshot_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        *self = JunoIndex::from_snapshot_bytes(bytes)?;
+        Ok(())
     }
 
     /// Batch search parallelised over queries with work-stealing scoped
@@ -795,6 +945,74 @@ mod tests {
             without_rt > with_rt,
             "A100 software fallback ({without_rt}) must exceed 4090 RT time ({with_rt})"
         );
+    }
+
+    #[test]
+    fn inserted_points_are_retrievable_and_removed_points_vanish() {
+        let ds = deep_dataset(2_000, 5);
+        let mut index = build_high(&ds);
+        assert!(index.supports_mutation());
+        let n0 = index.len();
+
+        // Insert a copy of an existing point: it must be retrievable at the
+        // top of the result list (distance 0 to itself as a query).
+        let probe = ds.points.row(42).to_vec();
+        let new_id = index.insert(&probe).unwrap();
+        assert_eq!(new_id as usize, n0, "ids continue after the build set");
+        assert_eq!(index.len(), n0 + 1);
+        let res = index.search(&probe, 5).unwrap();
+        assert!(
+            res.ids().contains(&new_id),
+            "freshly inserted point not retrieved: {:?}",
+            res.ids()
+        );
+
+        // Remove it again: it must disappear from results immediately.
+        assert!(index.remove(new_id).unwrap());
+        assert!(!index.remove(new_id).unwrap(), "removal is idempotent");
+        assert!(!index.remove(u64::MAX).unwrap());
+        assert_eq!(index.len(), n0);
+        let res = index.search(&probe, 5).unwrap();
+        assert!(!res.ids().contains(&new_id));
+
+        // Dimension mismatches are rejected before any state changes.
+        assert!(index.insert(&[0.0; 3]).is_err());
+        assert_eq!(index.len(), n0);
+    }
+
+    #[test]
+    fn compaction_preserves_search_results_bit_identically() {
+        let ds = deep_dataset(2_500, 10);
+        let mut index = build_high(&ds);
+        // Mutate: delete a slice of the build set, insert some copies.
+        for id in (0..200u64).step_by(3) {
+            assert!(index.remove(id).unwrap());
+        }
+        for i in 0..60 {
+            index.insert(ds.points.row(i * 7)).unwrap();
+        }
+        let before: Vec<_> = ds
+            .queries
+            .iter()
+            .map(|q| index.search(q, 50).unwrap())
+            .collect();
+        index.compact().unwrap();
+        assert_eq!(index.list_codes().stored_tombstones(), 0);
+        let after: Vec<_> = ds
+            .queries
+            .iter()
+            .map(|q| index.search(q, 50).unwrap())
+            .collect();
+        for (qi, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert_eq!(b.ids(), a.ids(), "query {qi} ids changed by compaction");
+            for (nb, na) in b.neighbors.iter().zip(&a.neighbors) {
+                assert_eq!(
+                    nb.distance.to_bits(),
+                    na.distance.to_bits(),
+                    "query {qi} distance bits changed by compaction"
+                );
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   `Map[cluster][subspace][entry] → point ids`.
 //! * [`lut`] — the selective L2-LUT built from RT-core hits.
 //! * [`hitcount`] — the hit-count based aggressive approximation (JUNO-L/M).
+//! * [`persist`] — versioned snapshot save/load of the built engine
+//!   (restart without rebuild; bit-identical search after restore).
 //! * [`pipeline`] — RT + Tensor core stage times and pipelined execution.
 //! * [`analysis`] — the sparsity / locality / threshold studies behind
 //!   Figures 3(b), 4, 5, 6 and 7.
@@ -53,6 +55,7 @@ pub mod hitcount;
 pub mod inverted;
 pub mod lut;
 pub mod mapping;
+pub mod persist;
 pub mod pipeline;
 pub mod regression;
 pub mod threshold;

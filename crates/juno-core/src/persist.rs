@@ -1,0 +1,657 @@
+//! Snapshot persistence for the JUNO engine.
+//!
+//! Serialises a built [`JunoIndex`] into the versioned container format of
+//! [`juno_data::snapshot`] and rebuilds it without re-training. The snapshot
+//! stores every *trained* artefact (coarse centroids, PQ codebooks, code
+//! layout incl. mutation state, threshold calibration, scene bounds, full
+//! configuration); the RT scene and the GPU simulator are **rebuilt
+//! deterministically** from those artefacts on load, which keeps snapshots
+//! small and — because scene construction has no randomness — preserves
+//! bit-identical search results.
+//!
+//! Section layout (engine kind `b"JUNO"`, engine layout version 1 inside
+//! `CONF`):
+//!
+//! | tag    | contents                                                    |
+//! |--------|-------------------------------------------------------------|
+//! | `CONF` | engine layout version + the full [`JunoConfig`]             |
+//! | `IVFC` | coarse centroids, per-point labels, live inverted lists     |
+//! | `PQCB` | per-subspace codebook entry sets                            |
+//! | `CODE` | dataset-order PQ codes (`EncodedPoints`)                    |
+//! | `LAYT` | [`IvfListCodes`] CSR base + append tails + tombstones       |
+//! | `THRM` | per-subspace density maps, regressors, min/max thresholds   |
+//! | `SCNB` | the per-subspace scene bounds the RT scene is rebuilt from  |
+
+use crate::config::JunoConfig;
+use crate::density::DensityMap;
+use crate::engine::JunoIndex;
+use crate::pipeline::QuerySimulator;
+use crate::regression::PolynomialRegression;
+use crate::threshold::{SubspaceThreshold, ThresholdModel, ThresholdStrategy};
+use juno_common::error::{Error, Result};
+use juno_common::metric::Metric;
+use juno_data::snapshot::{
+    kind, read_snapshot_file, write_snapshot_file, SectionReader, SectionWriter, Snapshot,
+    SnapshotWriter,
+};
+use juno_gpu::device::GpuDevice;
+use juno_gpu::pipeline::ExecutionMode;
+use juno_quant::codebook::Codebook;
+use juno_quant::ivf::IvfIndex;
+use juno_quant::layout::{IvfListCodes, IvfListCodesParts};
+use juno_quant::pq::{EncodedPoints, ProductQuantizer};
+use juno_rt::hardware::{RtCoreGeneration, RtCoreModel};
+use std::path::Path;
+
+pub use codec::{get_codes, get_ivf, get_metric, get_pq, put_codes, put_ivf, put_metric, put_pq};
+
+/// The engine kind word identifying JUNO snapshots.
+pub const KIND_JUNO: u32 = kind(*b"JUNO");
+
+/// Version of the JUNO-specific section layout (independent of the container
+/// version; bumped when section contents change incompatibly).
+pub const JUNO_LAYOUT_VERSION: u32 = 1;
+
+/// Shared enum/section codecs for the substrate types (`Metric`,
+/// [`IvfIndex`], [`ProductQuantizer`], [`EncodedPoints`]) — also used by the
+/// baseline engines' snapshot implementations.
+pub mod codec {
+    use super::*;
+
+    /// Encodes a [`Metric`] as one byte.
+    pub fn put_metric(w: &mut SectionWriter, m: Metric) {
+        w.put_u8(match m {
+            Metric::L2 => 0,
+            Metric::InnerProduct => 1,
+        });
+    }
+
+    /// Decodes a [`Metric`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] for an unknown discriminant.
+    pub fn get_metric(r: &mut SectionReader<'_>) -> Result<Metric> {
+        match r.get_u8()? {
+            0 => Ok(Metric::L2),
+            1 => Ok(Metric::InnerProduct),
+            v => Err(Error::corrupted(format!("unknown metric discriminant {v}"))),
+        }
+    }
+
+    /// Writes a trained [`IvfIndex`]: centroids, labels and the (possibly
+    /// pruned) inverted lists.
+    pub fn put_ivf(w: &mut SectionWriter, ivf: &IvfIndex) {
+        put_metric(w, ivf.metric());
+        w.put_vector_set(ivf.centroids());
+        w.put_u64s(&ivf.labels().iter().map(|&c| c as u64).collect::<Vec<_>>());
+        w.put_u64(ivf.n_clusters() as u64);
+        for c in 0..ivf.n_clusters() {
+            w.put_u32s(ivf.list(c).expect("cluster id in range"));
+        }
+    }
+
+    /// Reads an [`IvfIndex`] written by [`put_ivf`], re-validating label and
+    /// list consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] for malformed contents.
+    pub fn get_ivf(r: &mut SectionReader<'_>) -> Result<IvfIndex> {
+        let metric = get_metric(r)?;
+        let centroids = r.get_vector_set()?;
+        let labels: Vec<usize> = r
+            .get_u64s()?
+            .into_iter()
+            .map(|c| usize::try_from(c).map_err(|_| Error::corrupted("label overflows usize")))
+            .collect::<Result<_>>()?;
+        let n_lists = r.get_usize()?;
+        if n_lists != centroids.len() {
+            return Err(Error::corrupted("IVF list count != centroid count"));
+        }
+        let mut lists = Vec::with_capacity(n_lists);
+        for _ in 0..n_lists {
+            lists.push(r.get_u32s()?);
+        }
+        IvfIndex::from_parts_with_lists(centroids, labels, lists, metric)
+    }
+
+    /// Writes a trained [`ProductQuantizer`] as its per-subspace codebooks.
+    pub fn put_pq(w: &mut SectionWriter, pq: &ProductQuantizer) {
+        w.put_u64(pq.num_subspaces() as u64);
+        for cb in pq.codebooks() {
+            w.put_u64(cb.subspace() as u64);
+            w.put_vector_set(cb.entries());
+        }
+    }
+
+    /// Reads a [`ProductQuantizer`] written by [`put_pq`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] for malformed contents.
+    pub fn get_pq(r: &mut SectionReader<'_>) -> Result<ProductQuantizer> {
+        let n = r.get_usize()?;
+        let mut codebooks = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let subspace = r.get_usize()?;
+            let entries = r.get_vector_set()?;
+            codebooks.push(Codebook::new(subspace, entries)?);
+        }
+        ProductQuantizer::from_parts(codebooks)
+    }
+
+    /// Writes dataset-order PQ codes.
+    pub fn put_codes(w: &mut SectionWriter, codes: &EncodedPoints) {
+        w.put_u64(codes.num_subspaces() as u64);
+        w.put_u16s(codes.as_flat());
+    }
+
+    /// Reads dataset-order PQ codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] / [`Error::InvalidConfig`] for malformed
+    /// contents.
+    pub fn get_codes(r: &mut SectionReader<'_>) -> Result<EncodedPoints> {
+        let subspaces = r.get_usize()?;
+        let flat = r.get_u16s()?;
+        EncodedPoints::from_parts(flat, subspaces)
+    }
+}
+
+fn put_device(w: &mut SectionWriter, d: &GpuDevice) {
+    w.put_string(&d.name);
+    w.put_u64(d.sm_count as u64);
+    w.put_u64(d.cuda_cores as u64);
+    w.put_f64(d.fp32_gflops);
+    w.put_f64(d.tensor_gflops);
+    w.put_f64(d.mem_bandwidth_gbs);
+    w.put_f64(d.launch_overhead_us);
+    w.put_u8(match d.rt.generation {
+        RtCoreGeneration::None => 0,
+        RtCoreGeneration::Gen1Turing => 1,
+        RtCoreGeneration::Gen2Ampere => 2,
+        RtCoreGeneration::Gen3Ada => 3,
+    });
+    w.put_u64(d.rt.core_count as u64);
+    w.put_f64(d.rt.box_tests_per_core_us);
+    w.put_f64(d.rt.primitive_tests_per_core_us);
+    w.put_f64(d.rt.launch_overhead_us);
+    w.put_f64(d.rt.hit_shader_ns);
+}
+
+fn get_device(r: &mut SectionReader<'_>) -> Result<GpuDevice> {
+    let name = r.get_string()?;
+    let sm_count = r.get_usize()?;
+    let cuda_cores = r.get_usize()?;
+    let fp32_gflops = r.get_f64()?;
+    let tensor_gflops = r.get_f64()?;
+    let mem_bandwidth_gbs = r.get_f64()?;
+    let launch_overhead_us = r.get_f64()?;
+    let generation = match r.get_u8()? {
+        0 => RtCoreGeneration::None,
+        1 => RtCoreGeneration::Gen1Turing,
+        2 => RtCoreGeneration::Gen2Ampere,
+        3 => RtCoreGeneration::Gen3Ada,
+        v => {
+            return Err(Error::corrupted(format!(
+                "unknown RT generation discriminant {v}"
+            )))
+        }
+    };
+    let rt = RtCoreModel {
+        generation,
+        core_count: r.get_usize()?,
+        box_tests_per_core_us: r.get_f64()?,
+        primitive_tests_per_core_us: r.get_f64()?,
+        launch_overhead_us: r.get_f64()?,
+        hit_shader_ns: r.get_f64()?,
+    };
+    Ok(GpuDevice {
+        name,
+        sm_count,
+        cuda_cores,
+        fp32_gflops,
+        tensor_gflops,
+        mem_bandwidth_gbs,
+        launch_overhead_us,
+        rt,
+    })
+}
+
+fn put_config(w: &mut SectionWriter, c: &JunoConfig) {
+    w.put_u32(JUNO_LAYOUT_VERSION);
+    w.put_u64(c.n_clusters as u64);
+    w.put_u64(c.nprobs as u64);
+    w.put_u64(c.pq_subspaces as u64);
+    w.put_u64(c.pq_entries as u64);
+    put_metric(w, c.metric);
+    w.put_u8(match c.quality {
+        crate::config::QualityMode::Low => 0,
+        crate::config::QualityMode::Medium => 1,
+        crate::config::QualityMode::High => 2,
+    });
+    let (strategy, fixed) = match c.threshold_strategy {
+        ThresholdStrategy::Dynamic => (0u8, 0.0f32),
+        ThresholdStrategy::StaticSmall => (1, 0.0),
+        ThresholdStrategy::StaticLarge => (2, 0.0),
+        ThresholdStrategy::Fixed(v) => (3, v),
+    };
+    w.put_u8(strategy);
+    w.put_f32(fixed);
+    w.put_f32(c.threshold_scale);
+    w.put_f32(c.miss_penalty_factor);
+    w.put_u8(match c.execution_mode {
+        ExecutionMode::Serial => 0,
+        ExecutionMode::NaiveCorun => 1,
+        ExecutionMode::Pipelined => 2,
+    });
+    put_device(w, &c.device);
+    w.put_u64(c.batch_size as u64);
+    w.put_u64(c.seed);
+    w.put_u64(c.threshold_train_samples as u64);
+    w.put_u64(c.threshold_target_k as u64);
+}
+
+fn get_config(r: &mut SectionReader<'_>) -> Result<JunoConfig> {
+    let layout = r.get_u32()?;
+    if layout != JUNO_LAYOUT_VERSION {
+        return Err(Error::corrupted(format!(
+            "unknown JUNO snapshot layout version {layout} (reader supports {JUNO_LAYOUT_VERSION})"
+        )));
+    }
+    let n_clusters = r.get_usize()?;
+    let nprobs = r.get_usize()?;
+    let pq_subspaces = r.get_usize()?;
+    let pq_entries = r.get_usize()?;
+    let metric = get_metric(r)?;
+    let quality = match r.get_u8()? {
+        0 => crate::config::QualityMode::Low,
+        1 => crate::config::QualityMode::Medium,
+        2 => crate::config::QualityMode::High,
+        v => {
+            return Err(Error::corrupted(format!(
+                "unknown quality discriminant {v}"
+            )))
+        }
+    };
+    let strategy_disc = r.get_u8()?;
+    let fixed = r.get_f32()?;
+    let threshold_strategy = match strategy_disc {
+        0 => ThresholdStrategy::Dynamic,
+        1 => ThresholdStrategy::StaticSmall,
+        2 => ThresholdStrategy::StaticLarge,
+        3 => ThresholdStrategy::Fixed(fixed),
+        v => {
+            return Err(Error::corrupted(format!(
+                "unknown threshold strategy discriminant {v}"
+            )))
+        }
+    };
+    let threshold_scale = r.get_f32()?;
+    let miss_penalty_factor = r.get_f32()?;
+    let execution_mode = match r.get_u8()? {
+        0 => ExecutionMode::Serial,
+        1 => ExecutionMode::NaiveCorun,
+        2 => ExecutionMode::Pipelined,
+        v => {
+            return Err(Error::corrupted(format!(
+                "unknown execution mode discriminant {v}"
+            )))
+        }
+    };
+    let device = get_device(r)?;
+    Ok(JunoConfig {
+        n_clusters,
+        nprobs,
+        pq_subspaces,
+        pq_entries,
+        metric,
+        quality,
+        threshold_strategy,
+        threshold_scale,
+        miss_penalty_factor,
+        execution_mode,
+        device,
+        batch_size: r.get_usize()?,
+        seed: r.get_u64()?,
+        threshold_train_samples: r.get_usize()?,
+        threshold_target_k: r.get_usize()?,
+    })
+}
+
+fn put_layout(w: &mut SectionWriter, layout: &IvfListCodes) {
+    let parts = layout.to_parts();
+    w.put_u32s(&parts.offsets);
+    w.put_u32s(&parts.point_ids);
+    w.put_u16s(&parts.codes);
+    w.put_u64(parts.num_subspaces as u64);
+    w.put_u64(parts.extra_ids.len() as u64);
+    for (ids, codes) in parts.extra_ids.iter().zip(&parts.extra_codes) {
+        w.put_u32s(ids);
+        w.put_u16s(codes);
+    }
+    w.put_bools(&parts.deleted);
+    w.put_u32(parts.next_id);
+}
+
+fn get_layout(r: &mut SectionReader<'_>) -> Result<IvfListCodes> {
+    let offsets = r.get_u32s()?;
+    let point_ids = r.get_u32s()?;
+    let codes = r.get_u16s()?;
+    let num_subspaces = r.get_usize()?;
+    let clusters = r.get_usize()?;
+    let mut extra_ids = Vec::with_capacity(clusters.min(1 << 20));
+    let mut extra_codes = Vec::with_capacity(clusters.min(1 << 20));
+    for _ in 0..clusters {
+        extra_ids.push(r.get_u32s()?);
+        extra_codes.push(r.get_u16s()?);
+    }
+    let deleted = r.get_bools()?;
+    let next_id = r.get_u32()?;
+    IvfListCodes::from_parts(IvfListCodesParts {
+        offsets,
+        point_ids,
+        codes,
+        num_subspaces,
+        extra_ids,
+        extra_codes,
+        deleted,
+        next_id,
+    })
+}
+
+fn put_threshold_model(w: &mut SectionWriter, model: &ThresholdModel) {
+    let subspaces = model.subspaces_raw();
+    w.put_u64(subspaces.len() as u64);
+    for sub in subspaces {
+        let map = &sub.density_map;
+        w.put_u64(map.grid() as u64);
+        let min = map.min_corner();
+        let max = map.max_corner();
+        w.put_f32(min[0]);
+        w.put_f32(min[1]);
+        w.put_f32(max[0]);
+        w.put_f32(max[1]);
+        w.put_f32s(map.cells());
+        w.put_u64(map.total_points() as u64);
+        w.put_f64s(sub.regressor.coefficients());
+        w.put_f32(sub.min_threshold);
+        w.put_f32(sub.max_threshold);
+    }
+}
+
+fn get_threshold_model(r: &mut SectionReader<'_>) -> Result<ThresholdModel> {
+    let n = r.get_usize()?;
+    let mut subspaces = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let grid = r.get_usize()?;
+        let min = [r.get_f32()?, r.get_f32()?];
+        let max = [r.get_f32()?, r.get_f32()?];
+        let cells = r.get_f32s()?;
+        let total_points = r.get_usize()?;
+        let density_map = DensityMap::from_parts(grid, min, max, cells, total_points)?;
+        let regressor = PolynomialRegression::from_coefficients(r.get_f64s()?)?;
+        let min_threshold = r.get_f32()?;
+        let max_threshold = r.get_f32()?;
+        subspaces.push(SubspaceThreshold {
+            density_map,
+            regressor,
+            min_threshold,
+            max_threshold,
+        });
+    }
+    ThresholdModel::from_subspaces(subspaces)
+}
+
+impl JunoIndex {
+    /// Serialises the complete engine state into snapshot bytes.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut writer = SnapshotWriter::new(KIND_JUNO);
+
+        let mut conf = SectionWriter::new();
+        put_config(&mut conf, self.config());
+        writer.add_section(*b"CONF", conf);
+
+        let mut ivfc = SectionWriter::new();
+        put_ivf(&mut ivfc, &self.ivf);
+        writer.add_section(*b"IVFC", ivfc);
+
+        let mut pqcb = SectionWriter::new();
+        put_pq(&mut pqcb, &self.pq);
+        writer.add_section(*b"PQCB", pqcb);
+
+        let mut code = SectionWriter::new();
+        put_codes(&mut code, &self.codes);
+        writer.add_section(*b"CODE", code);
+
+        let mut layt = SectionWriter::new();
+        put_layout(&mut layt, &self.list_codes);
+        writer.add_section(*b"LAYT", layt);
+
+        let mut thrm = SectionWriter::new();
+        put_threshold_model(&mut thrm, &self.threshold_model);
+        writer.add_section(*b"THRM", thrm);
+
+        let mut scnb = SectionWriter::new();
+        scnb.put_f32s(&self.scene_bounds);
+        writer.add_section(*b"SCNB", scnb);
+
+        writer.finish()
+    }
+
+    /// Rebuilds an engine from snapshot bytes. The RT scene and the GPU
+    /// simulator are reconstructed deterministically from the restored
+    /// artefacts, so searches are bit-identical to the snapshotted index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] for malformed or cross-inconsistent
+    /// snapshots; never panics on arbitrary input.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self> {
+        let snap = Snapshot::parse(bytes)?;
+        if snap.kind() != KIND_JUNO {
+            return Err(Error::corrupted(format!(
+                "snapshot kind {:#010x} is not a JUNO engine snapshot",
+                snap.kind()
+            )));
+        }
+        let mut r = snap.section(*b"CONF")?;
+        let config = get_config(&mut r)?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"IVFC")?;
+        let ivf = get_ivf(&mut r)?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"PQCB")?;
+        let pq = get_pq(&mut r)?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"CODE")?;
+        let codes = get_codes(&mut r)?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"LAYT")?;
+        let list_codes = get_layout(&mut r)?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"THRM")?;
+        let threshold_model = get_threshold_model(&mut r)?;
+        r.expect_end()?;
+        let mut r = snap.section(*b"SCNB")?;
+        let scene_bounds = r.get_f32s()?;
+        r.expect_end()?;
+
+        // The restored configuration must satisfy the same invariants
+        // JunoIndex::build enforces (positive nprobs, threshold_scale in
+        // (0, 1] and not NaN, ...): a degenerate config must fail the
+        // restore, not produce an index that silently searches nothing.
+        config.validate(ivf.dim())?;
+
+        // Cross-section consistency: a snapshot stitched together from
+        // mismatched sections must be rejected, not searched.
+        if ivf.n_clusters() != config.n_clusters
+            || list_codes.num_clusters() != config.n_clusters
+            || pq.num_subspaces() != config.pq_subspaces
+            || pq.entries_per_subspace() != config.pq_entries
+            || codes.num_subspaces() != config.pq_subspaces
+            || list_codes.num_subspaces() != config.pq_subspaces
+            || threshold_model.num_subspaces() != config.pq_subspaces
+            || scene_bounds.len() != config.pq_subspaces
+            || ivf.dim() != config.pq_subspaces * 2
+            || ivf.labels().len() != codes.len()
+            || ivf.labels().len() != list_codes.next_id() as usize
+        {
+            return Err(Error::corrupted(
+                "snapshot sections are mutually inconsistent",
+            ));
+        }
+
+        let mapping = Self::build_mapping(&pq, config.metric, &scene_bounds)?;
+        let simulator = QuerySimulator::new(
+            config.device.clone(),
+            config.execution_mode,
+            config.batch_size,
+        );
+        Ok(Self {
+            config,
+            ivf,
+            pq,
+            codes,
+            list_codes,
+            inverted: std::sync::OnceLock::new(),
+            threshold_model,
+            mapping,
+            scene_bounds,
+            simulator,
+        })
+    }
+
+    /// Writes the snapshot to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the file cannot be written.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<()> {
+        write_snapshot_file(path, &self.to_snapshot_bytes())
+    }
+
+    /// Loads an engine from a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and [`JunoIndex::from_snapshot_bytes`] failures.
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Self> {
+        Self::from_snapshot_bytes(&read_snapshot_file(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_common::index::AnnIndex;
+    use juno_data::profiles::DatasetProfile;
+
+    fn small_index(seed: u64) -> (juno_data::profiles::Dataset, JunoIndex) {
+        let ds = DatasetProfile::DeepLike.generate(1_200, 6, seed).unwrap();
+        let config = JunoConfig {
+            n_clusters: 16,
+            nprobs: 4,
+            pq_entries: 32,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        };
+        let index = JunoIndex::build(&ds.points, &config).unwrap();
+        (ds, index)
+    }
+
+    fn results_bits(index: &JunoIndex, ds: &juno_data::profiles::Dataset) -> Vec<(u64, u32)> {
+        ds.queries
+            .iter()
+            .flat_map(|q| {
+                index
+                    .search(q, 20)
+                    .unwrap()
+                    .neighbors
+                    .into_iter()
+                    .map(|n| (n.id, n.distance.to_bits()))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let (ds, index) = small_index(11);
+        let bytes = index.to_snapshot_bytes();
+        let restored = JunoIndex::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(results_bits(&index, &ds), results_bits(&restored, &ds));
+        assert_eq!(restored.len(), index.len());
+        assert_eq!(restored.config(), index.config());
+        assert!(index.supports_snapshot());
+    }
+
+    #[test]
+    fn snapshot_round_trip_survives_mutation_and_files() {
+        let (ds, mut index) = small_index(12);
+        for i in 0..30 {
+            index.insert(ds.points.row(i * 11)).unwrap();
+        }
+        for id in (0..300u64).step_by(5) {
+            assert!(index.remove(id).unwrap());
+        }
+        let dir = std::env::temp_dir().join("juno_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snap");
+        index.save_snapshot(&path).unwrap();
+        let restored = JunoIndex::load_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(results_bits(&index, &ds), results_bits(&restored, &ds));
+        assert_eq!(restored.len(), index.len());
+        // Mutation continues seamlessly on the restored engine: fresh ids
+        // pick up exactly where the snapshot stopped.
+        let mut restored = restored;
+        let a = index.insert(ds.points.row(1)).unwrap();
+        let b = restored.insert(ds.points.row(1)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trait_restore_replaces_state_in_place() {
+        let (ds_a, index_a) = small_index(13);
+        let (_, mut index_b) = small_index(14);
+        index_b.restore(&index_a.snapshot().unwrap()).unwrap();
+        assert_eq!(results_bits(&index_a, &ds_a), results_bits(&index_b, &ds_a));
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected_never_panic() {
+        let (_, index) = small_index(15);
+        let bytes = index.to_snapshot_bytes();
+        // Every prefix truncation.
+        for len in (0..bytes.len()).step_by(97) {
+            assert!(JunoIndex::from_snapshot_bytes(&bytes[..len]).is_err());
+        }
+        // Systematic byte corruption across the file.
+        for at in (0..bytes.len()).step_by(211) {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0xFF;
+            let _ = JunoIndex::from_snapshot_bytes(&corrupt); // must not panic
+        }
+        // Wrong engine kind.
+        let mut wrong = bytes.clone();
+        wrong[12] ^= 0xFF;
+        assert!(JunoIndex::from_snapshot_bytes(&wrong).is_err());
+        assert!(JunoIndex::load_snapshot("/nonexistent/juno.snap").is_err());
+    }
+
+    #[test]
+    fn degenerate_restored_configs_are_rejected() {
+        // A snapshot whose sections are individually well-formed but whose
+        // config violates build-time invariants must fail the restore
+        // instead of producing an index that silently searches nothing.
+        let (_, mut index) = small_index(16);
+        index.config.nprobs = 0;
+        assert!(JunoIndex::from_snapshot_bytes(&index.to_snapshot_bytes()).is_err());
+        index.config.nprobs = 4;
+        index.config.threshold_scale = f32::NAN;
+        assert!(JunoIndex::from_snapshot_bytes(&index.to_snapshot_bytes()).is_err());
+        index.config.threshold_scale = 1.0;
+        assert!(JunoIndex::from_snapshot_bytes(&index.to_snapshot_bytes()).is_ok());
+    }
+}

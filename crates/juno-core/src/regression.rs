@@ -65,6 +65,23 @@ impl PolynomialRegression {
         Ok(Self { coefficients })
     }
 
+    /// Rebuilds a fitted polynomial from persisted coefficients (lowest
+    /// degree first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when no coefficients are given or any is
+    /// non-finite.
+    pub fn from_coefficients(coefficients: Vec<f64>) -> Result<Self> {
+        if coefficients.is_empty() {
+            return Err(Error::corrupted("regression: no coefficients"));
+        }
+        if coefficients.iter().any(|c| !c.is_finite()) {
+            return Err(Error::corrupted("regression: non-finite coefficient"));
+        }
+        Ok(Self { coefficients })
+    }
+
     /// The fitted coefficients, lowest degree first.
     pub fn coefficients(&self) -> &[f64] {
         &self.coefficients

@@ -40,13 +40,14 @@ pub enum ThresholdStrategy {
     Fixed(f32),
 }
 
-/// Calibration data of one subspace.
+/// Calibration data of one subspace. Crate-visible so the persistence layer
+/// (`crate::persist`) can serialise and rebuild it field by field.
 #[derive(Debug, Clone, PartialEq)]
-struct SubspaceThreshold {
-    density_map: DensityMap,
-    regressor: PolynomialRegression,
-    min_threshold: f32,
-    max_threshold: f32,
+pub(crate) struct SubspaceThreshold {
+    pub(crate) density_map: DensityMap,
+    pub(crate) regressor: PolynomialRegression,
+    pub(crate) min_threshold: f32,
+    pub(crate) max_threshold: f32,
 }
 
 /// The per-subspace threshold model.
@@ -212,6 +213,49 @@ impl ThresholdModel {
     /// Number of calibrated subspaces.
     pub fn num_subspaces(&self) -> usize {
         self.subspaces.len()
+    }
+
+    /// Incrementally refreshes the calibration for one newly inserted search
+    /// point: its projection is accounted for in every subspace's density
+    /// map, so subsequent queries landing near the insertion see a (slightly)
+    /// higher density and thus a tighter predicted radius. The regressors and
+    /// the min/max clamps — fitted offline over sampled pseudo queries — stay
+    /// as-is until a full rebuild; deletions likewise leave the maps
+    /// untouched (density is a statistical prior, and decrementing would
+    /// require retaining raw coordinates of every indexed point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `point` is not
+    /// `2 × num_subspaces` wide.
+    pub fn note_inserted_point(&mut self, point: &[f32]) -> Result<()> {
+        if point.len() != 2 * self.subspaces.len() {
+            return Err(Error::DimensionMismatch {
+                expected: 2 * self.subspaces.len(),
+                actual: point.len(),
+            });
+        }
+        for (s, sub) in self.subspaces.iter_mut().enumerate() {
+            sub.density_map.add_point(point[2 * s], point[2 * s + 1]);
+        }
+        Ok(())
+    }
+
+    /// Crate-internal borrow of the per-subspace calibration (persistence).
+    pub(crate) fn subspaces_raw(&self) -> &[SubspaceThreshold] {
+        &self.subspaces
+    }
+
+    /// Crate-internal rebuild from persisted per-subspace calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when no subspaces are given.
+    pub(crate) fn from_subspaces(subspaces: Vec<SubspaceThreshold>) -> Result<Self> {
+        if subspaces.is_empty() {
+            return Err(Error::corrupted("threshold model: no subspaces"));
+        }
+        Ok(Self { subspaces })
     }
 
     /// The largest calibrated threshold of a subspace (used to size the RT
@@ -412,6 +456,30 @@ mod tests {
         assert!(model
             .threshold_for(7, 0.0, 0.0, ThresholdStrategy::Dynamic, 1.0)
             .is_err());
+    }
+
+    #[test]
+    fn inserted_points_tighten_dynamic_thresholds() {
+        let points = blobby_points(8);
+        let mut model = ThresholdModel::train(&points, Metric::L2, &small_config()).unwrap();
+        let density_before = model.subspaces_raw()[0].density_map.density_at(15.0, 15.0);
+        for _ in 0..50 {
+            model
+                .note_inserted_point(&[15.0, 15.0, 15.0, 15.0])
+                .unwrap();
+        }
+        let density_after = model.subspaces_raw()[0].density_map.density_at(15.0, 15.0);
+        assert!(
+            density_after > density_before,
+            "insertions must raise local density ({density_before} -> {density_after})"
+        );
+        // The refreshed prediction stays within the calibrated clamp range.
+        let after = model
+            .threshold_for(0, 15.0, 15.0, ThresholdStrategy::Dynamic, 1.0)
+            .unwrap();
+        assert!(after >= model.min_threshold(0).unwrap() - 1e-6);
+        assert!(after <= model.max_threshold(0).unwrap() + 1e-6);
+        assert!(model.note_inserted_point(&[0.0; 3]).is_err());
     }
 
     #[test]

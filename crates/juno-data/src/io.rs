@@ -240,4 +240,65 @@ mod tests {
         put_u32_le(&mut iv, 7);
         assert!(parse_ivecs(&iv).is_err());
     }
+
+    #[test]
+    fn every_truncation_of_fvecs_errs_or_yields_a_prefix() {
+        let vs = VectorSet::from_rows(vec![vec![1.0, 2.0, 3.0]; 4]).unwrap();
+        let bytes = encode_fvecs(&vs);
+        for len in 0..bytes.len() {
+            // Must never panic: either a clean error, or (when the cut lands
+            // exactly on a record boundary) a valid prefix of the records.
+            if let Ok(prefix) = parse_fvecs(&bytes[..len]) {
+                assert_eq!(len % 16, 0, "cut at {len} is not a record boundary");
+                assert_eq!(prefix.len(), len / 16);
+                assert_eq!(prefix.dim(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_ivecs_errs_or_yields_a_prefix() {
+        let rows = vec![vec![1u32, 2, 3], vec![4, 5, 6]];
+        let bytes = encode_ivecs(&rows);
+        for len in 0..bytes.len() {
+            if let Ok(prefix) = parse_ivecs(&bytes[..len]) {
+                assert!(prefix.len() <= rows.len());
+            }
+        }
+    }
+
+    #[test]
+    fn random_corruption_never_panics() {
+        use juno_common::rng::{seeded, Rng};
+        let vs = VectorSet::from_rows(vec![vec![0.5, -0.5], vec![1.5, 2.5]]).unwrap();
+        let clean = encode_fvecs(&vs);
+        let mut rng = seeded(2026);
+        for _ in 0..300 {
+            let mut bytes = clean.clone();
+            let flips = rng.gen_range(1..4usize);
+            for _ in 0..flips {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] ^= 1 << rng.gen_range(0..8usize);
+            }
+            let _ = parse_fvecs(&bytes); // Err or Ok, never a panic
+            let _ = parse_ivecs(&bytes);
+        }
+        // Pure garbage of every small length.
+        for len in 0..64usize {
+            let garbage: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(37)).collect();
+            let _ = parse_fvecs(&garbage);
+            let _ = parse_ivecs(&garbage);
+        }
+    }
+
+    #[test]
+    fn huge_declared_dimensions_fail_cleanly() {
+        // A record header claiming u32::MAX elements must be rejected without
+        // attempting to allocate or read terabytes.
+        let mut bytes = Vec::new();
+        put_u32_le(&mut bytes, u32::MAX);
+        put_u32_le(&mut bytes, 1);
+        assert!(parse_fvecs(&bytes).is_err());
+        assert!(parse_ivecs(&bytes).is_err());
+    }
 }

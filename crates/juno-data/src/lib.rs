@@ -11,6 +11,8 @@
 //!   TTI-like 200-d inner product), at configurable scale;
 //! * [`io`] — readers/writers for the standard `fvecs` / `ivecs` formats, so
 //!   the real datasets can be dropped in when available;
+//! * [`snapshot`] — the versioned, checksummed little-endian container format
+//!   engines persist their state in (save/load instead of rebuild);
 //! * [`attention`] — a synthetic multi-head-attention workload standing in
 //!   for the Llama-7B experiment of Fig. 15.
 
@@ -20,6 +22,7 @@
 pub mod attention;
 pub mod io;
 pub mod profiles;
+pub mod snapshot;
 pub mod synthetic;
 
 pub use profiles::{Dataset, DatasetProfile};

@@ -9,7 +9,7 @@
 
 use crate::kmeans::{KMeans, KMeansConfig};
 use juno_common::error::{Error, Result};
-use juno_common::metric::Metric;
+use juno_common::metric::{l2_squared, Metric};
 use juno_common::topk::TopK;
 use juno_common::vector::VectorSet;
 
@@ -98,6 +98,79 @@ impl IvfIndex {
             lists,
             labels,
             metric: config.metric,
+        })
+    }
+
+    /// Rebuilds an index from persisted parts, recomputing the inverted
+    /// lists from the labels. Use
+    /// [`IvfIndex::from_parts_with_lists`] when the lists have been mutated
+    /// (points removed) and must be restored verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when a label is out of range.
+    pub fn from_parts(centroids: VectorSet, labels: Vec<usize>, metric: Metric) -> Result<Self> {
+        let n_clusters = centroids.len();
+        if n_clusters == 0 {
+            return Err(Error::corrupted("IvfIndex: no centroids"));
+        }
+        let mut lists = vec![Vec::new(); n_clusters];
+        for (i, &c) in labels.iter().enumerate() {
+            let list = lists
+                .get_mut(c)
+                .ok_or_else(|| Error::corrupted("IvfIndex: label out of range"))?;
+            list.push(i as u32);
+        }
+        Ok(Self {
+            centroids,
+            lists,
+            labels,
+            metric,
+        })
+    }
+
+    /// Rebuilds an index from persisted parts including explicit inverted
+    /// lists (which may omit removed points). Every listed id must carry the
+    /// matching label and appear at most once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when labels and lists disagree.
+    pub fn from_parts_with_lists(
+        centroids: VectorSet,
+        labels: Vec<usize>,
+        lists: Vec<Vec<u32>>,
+        metric: Metric,
+    ) -> Result<Self> {
+        let n_clusters = centroids.len();
+        if n_clusters == 0 {
+            return Err(Error::corrupted("IvfIndex: no centroids"));
+        }
+        if lists.len() != n_clusters {
+            return Err(Error::corrupted("IvfIndex: list count != cluster count"));
+        }
+        if labels.iter().any(|&c| c >= n_clusters) {
+            return Err(Error::corrupted("IvfIndex: label out of range"));
+        }
+        let mut seen = vec![false; labels.len()];
+        for (c, list) in lists.iter().enumerate() {
+            for &id in list {
+                let label = labels
+                    .get(id as usize)
+                    .ok_or_else(|| Error::corrupted("IvfIndex: listed id out of range"))?;
+                if *label != c {
+                    return Err(Error::corrupted("IvfIndex: listed id in wrong cluster"));
+                }
+                if std::mem::replace(&mut seen[id as usize], true) {
+                    return Err(Error::corrupted("IvfIndex: duplicate listed id"));
+                }
+            }
+        }
+        Ok(Self {
+            centroids,
+            lists,
+            labels,
+            metric,
         })
     }
 
@@ -200,6 +273,76 @@ impl IvfIndex {
             centroid_distances: ranked.iter().map(|n| n.distance).collect(),
             distance_computations: self.n_clusters(),
         })
+    }
+
+    /// The cluster a new point would be assigned to: the centroid nearest in
+    /// **squared L2** distance, replicating the k-means assignment rule used
+    /// at training time (also under the inner-product metric, where the
+    /// coarse clustering itself is Euclidean).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] for a wrong point dimension.
+    pub fn assign(&self, point: &[f32]) -> Result<usize> {
+        if point.len() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: point.len(),
+            });
+        }
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (c, row) in self.centroids.iter().enumerate() {
+            let d = l2_squared(point, row);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Registers a newly inserted point under `cluster` and returns its id
+    /// (the next position in the label array — ids are monotone and never
+    /// reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] for an invalid cluster and
+    /// [`Error::InvalidConfig`] when the u32 id space is exhausted.
+    pub fn push_assignment(&mut self, cluster: usize) -> Result<u32> {
+        if cluster >= self.n_clusters() {
+            return Err(Error::IndexOutOfBounds {
+                what: "cluster".into(),
+                index: cluster,
+                len: self.n_clusters(),
+            });
+        }
+        let id = u32::try_from(self.labels.len())
+            .map_err(|_| Error::invalid_config("point id space exhausted"))?;
+        if id == u32::MAX {
+            return Err(Error::invalid_config("point id space exhausted"));
+        }
+        self.labels.push(cluster);
+        self.lists[cluster].push(id);
+        Ok(id)
+    }
+
+    /// Removes a point id from its cluster's inverted list (the label entry
+    /// is retained so id → cluster stays resolvable). Returns `true` when
+    /// the id was listed.
+    pub fn remove_from_list(&mut self, id: u32) -> bool {
+        let Some(&c) = self.labels.get(id as usize) else {
+            return false;
+        };
+        let list = &mut self.lists[c];
+        match list.iter().position(|&p| p == id) {
+            Some(pos) => {
+                list.remove(pos);
+                true
+            }
+            None => false,
+        }
     }
 
     /// The residual of a query with respect to cluster `c`'s centroid
@@ -348,6 +491,78 @@ mod tests {
         }
         assert!(ivf.query_residual(&[0.0; 2], 0).is_err());
         assert!(ivf.query_residual(points.row(0), 99).is_err());
+    }
+
+    #[test]
+    fn assign_matches_training_labels() {
+        let (points, ivf) = toy_index();
+        for i in (0..points.len()).step_by(13) {
+            assert_eq!(ivf.assign(points.row(i)).unwrap(), ivf.labels()[i]);
+        }
+        assert!(ivf.assign(&[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn push_assignment_and_list_removal() {
+        let (points, mut ivf) = toy_index();
+        let n = points.len() as u32;
+        let id = ivf.push_assignment(2).unwrap();
+        assert_eq!(id, n);
+        assert_eq!(ivf.labels()[id as usize], 2);
+        assert!(ivf.list(2).unwrap().contains(&id));
+        assert!(ivf.push_assignment(99).is_err());
+
+        assert!(ivf.remove_from_list(id));
+        assert!(!ivf.list(2).unwrap().contains(&id));
+        assert!(!ivf.remove_from_list(id), "second removal is a no-op");
+        assert!(!ivf.remove_from_list(10_000));
+        // The label survives removal so id -> cluster stays resolvable.
+        assert_eq!(ivf.labels()[id as usize], 2);
+    }
+
+    #[test]
+    fn parts_round_trips_and_validation() {
+        let (_, ivf) = toy_index();
+        let rebuilt =
+            IvfIndex::from_parts(ivf.centroids().clone(), ivf.labels().to_vec(), ivf.metric())
+                .unwrap();
+        assert_eq!(rebuilt, ivf);
+        let lists: Vec<Vec<u32>> = (0..ivf.n_clusters())
+            .map(|c| ivf.list(c).unwrap().to_vec())
+            .collect();
+        let rebuilt = IvfIndex::from_parts_with_lists(
+            ivf.centroids().clone(),
+            ivf.labels().to_vec(),
+            lists.clone(),
+            ivf.metric(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, ivf);
+
+        // Bad label.
+        assert!(IvfIndex::from_parts(ivf.centroids().clone(), vec![99; 10], ivf.metric()).is_err());
+        // Wrong-cluster list entry.
+        let mut bad = lists.clone();
+        let moved = bad[0].pop().unwrap();
+        bad[1].push(moved);
+        assert!(IvfIndex::from_parts_with_lists(
+            ivf.centroids().clone(),
+            ivf.labels().to_vec(),
+            bad,
+            ivf.metric()
+        )
+        .is_err());
+        // Duplicate list entry.
+        let mut bad = lists;
+        let dup = bad[0][0];
+        bad[0].push(dup);
+        assert!(IvfIndex::from_parts_with_lists(
+            ivf.centroids().clone(),
+            ivf.labels().to_vec(),
+            bad,
+            ivf.metric()
+        )
+        .is_err());
     }
 
     #[test]

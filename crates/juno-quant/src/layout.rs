@@ -1,4 +1,5 @@
-//! IVF-list-contiguous PQ code layout for cache-friendly ADC scans.
+//! IVF-list-contiguous PQ code layout for cache-friendly ADC scans, with
+//! dynamic mutation support.
 //!
 //! [`EncodedPoints`](crate::pq::EncodedPoints) stores codes in dataset order,
 //! which is the natural output of encoding but the worst possible order for
@@ -11,12 +12,32 @@
 //! point-major (all `D/M` subspace codes of a point adjacent — the
 //! interleaving the per-candidate accumulation consumes left to right), so an
 //! ADC scan over a probed cluster streams memory strictly sequentially.
+//!
+//! # Mutation model
+//!
+//! The CSR base is immutable between compactions; mutations are layered on
+//! top of it so the hot scan stays almost entirely sequential:
+//!
+//! * [`IvfListCodes::append`] pushes new points into a small per-cluster
+//!   *tail* (`extra_ids` / `extra_codes`). A probe scans the base block and
+//!   then the tail — two contiguous runs instead of one.
+//! * [`IvfListCodes::remove`] sets a *tombstone* bit for the point id.
+//!   Tombstoned records stay in storage (removing from the middle of a CSR
+//!   array would be O(N)) and are skipped by the scan via
+//!   [`IvfListCodes::is_deleted`].
+//! * [`IvfListCodes::compact`] rebuilds the CSR base: tails are merged in,
+//!   tombstoned records are physically dropped, and every cluster block is
+//!   restored to id-sorted point-major contiguous order.
+//!
+//! Point ids are monotonically increasing and never reused, so ids handed
+//! out before a mutation stay valid afterwards.
 
 use crate::pq::EncodedPoints;
 use juno_common::error::{Error, Result};
 
 /// PQ codes grouped contiguously by IVF cluster, with the original point ids
-/// carried alongside.
+/// carried alongside, plus the append-tail / tombstone state described in the
+/// [module docs](self).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IvfListCodes {
     /// `offsets[c]..offsets[c + 1]` indexes `point_ids` (and, scaled by the
@@ -29,6 +50,43 @@ pub struct IvfListCodes {
     /// `i`-th member of cluster `c`.
     codes: Vec<u16>,
     num_subspaces: usize,
+    /// Per-cluster ids appended since the last compaction.
+    extra_ids: Vec<Vec<u32>>,
+    /// Per-cluster point-major codes appended since the last compaction.
+    extra_codes: Vec<Vec<u16>>,
+    /// `deleted[id]` — tombstone bit per point id. Monotone: ids of deleted
+    /// points are never reused, so bits stay set across compactions.
+    deleted: Vec<bool>,
+    /// The next id [`IvfListCodes::append`] will hand out.
+    next_id: u32,
+    /// Number of live (stored and not tombstoned) points.
+    live: usize,
+    /// Tombstoned records still physically present in storage (reset to zero
+    /// by compaction).
+    stored_tombstones: usize,
+}
+
+/// The complete serialisable state of an [`IvfListCodes`], used by the
+/// snapshot persistence layer. Produced by [`IvfListCodes::to_parts`] and
+/// validated back by [`IvfListCodes::from_parts`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IvfListCodesParts {
+    /// CSR offsets (length `clusters + 1`).
+    pub offsets: Vec<u32>,
+    /// Base point ids, grouped by cluster.
+    pub point_ids: Vec<u32>,
+    /// Base codes, cluster-grouped point-major.
+    pub codes: Vec<u16>,
+    /// Subspaces per code.
+    pub num_subspaces: usize,
+    /// Per-cluster appended ids.
+    pub extra_ids: Vec<Vec<u32>>,
+    /// Per-cluster appended codes.
+    pub extra_codes: Vec<Vec<u16>>,
+    /// Tombstone bit per id (length `next_id`).
+    pub deleted: Vec<bool>,
+    /// Next id to assign.
+    pub next_id: u32,
 }
 
 impl IvfListCodes {
@@ -52,10 +110,13 @@ impl IvfListCodes {
         if num_clusters == 0 {
             return Err(Error::invalid_config("cluster count must be positive"));
         }
+        if labels.len() > u32::MAX as usize {
+            return Err(Error::invalid_config("point count exceeds u32 id space"));
+        }
         let s = codes.num_subspaces();
 
         let mut counts = vec![0u32; num_clusters + 1];
-        for (p, &c) in labels.iter().enumerate() {
+        for &c in labels.iter() {
             if c >= num_clusters {
                 return Err(Error::IndexOutOfBounds {
                     what: "cluster label".into(),
@@ -63,7 +124,6 @@ impl IvfListCodes {
                     len: num_clusters,
                 });
             }
-            let _ = p;
             counts[c + 1] += 1;
         }
         for c in 0..num_clusters {
@@ -85,6 +145,12 @@ impl IvfListCodes {
             point_ids,
             codes: grouped,
             num_subspaces: s,
+            extra_ids: vec![Vec::new(); num_clusters],
+            extra_codes: vec![Vec::new(); num_clusters],
+            deleted: vec![false; labels.len()],
+            next_id: labels.len() as u32,
+            live: labels.len(),
+            stored_tombstones: 0,
         })
     }
 
@@ -98,17 +164,140 @@ impl IvfListCodes {
         self.num_subspaces
     }
 
-    /// Total number of points across all clusters.
+    /// Number of **live** points (stored and not tombstoned).
     pub fn len(&self) -> usize {
-        self.point_ids.len()
+        self.live
     }
 
-    /// Returns `true` when no point is stored.
+    /// Returns `true` when no live point is stored.
     pub fn is_empty(&self) -> bool {
-        self.point_ids.is_empty()
+        self.live == 0
     }
 
-    /// The original ids of the members of `cluster`, in insertion order.
+    /// The id the next [`IvfListCodes::append`] will assign. Also the length
+    /// of the id space: every id ever assigned is `< next_id`.
+    pub fn next_id(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Number of tombstoned records still occupying storage (zero right
+    /// after a compaction).
+    pub fn stored_tombstones(&self) -> usize {
+        self.stored_tombstones
+    }
+
+    /// Returns `true` when `id` was assigned and later deleted.
+    #[inline]
+    pub fn is_deleted(&self, id: u32) -> bool {
+        self.deleted.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Appends one encoded point to `cluster`'s tail and returns its new id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] for an invalid cluster,
+    /// [`Error::DimensionMismatch`] when `code` does not have
+    /// [`IvfListCodes::num_subspaces`] entries and [`Error::InvalidConfig`]
+    /// when the u32 id space is exhausted.
+    pub fn append(&mut self, cluster: usize, code: &[u16]) -> Result<u32> {
+        if cluster >= self.num_clusters() {
+            return Err(Error::IndexOutOfBounds {
+                what: "cluster".into(),
+                index: cluster,
+                len: self.num_clusters(),
+            });
+        }
+        if code.len() != self.num_subspaces || self.num_subspaces == 0 {
+            return Err(Error::DimensionMismatch {
+                expected: self.num_subspaces,
+                actual: code.len(),
+            });
+        }
+        if self.next_id == u32::MAX {
+            return Err(Error::invalid_config("point id space exhausted"));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.deleted.push(false);
+        self.extra_ids[cluster].push(id);
+        self.extra_codes[cluster].extend_from_slice(code);
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Tombstones the point with the given id.
+    ///
+    /// Returns `true` when the id was live and is now deleted, `false` when
+    /// it was never assigned or already deleted (idempotent).
+    pub fn remove(&mut self, id: u32) -> bool {
+        match self.deleted.get_mut(id as usize) {
+            Some(slot) if !*slot => {
+                *slot = true;
+                self.live -= 1;
+                self.stored_tombstones += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Rebuilds the CSR base: merges the per-cluster tails in, physically
+    /// drops tombstoned records and restores every cluster block to
+    /// id-sorted point-major contiguous order. Scan results are unchanged;
+    /// only the storage layout (and therefore scan locality) improves.
+    pub fn compact(&mut self) {
+        let clusters = self.num_clusters();
+        let s = self.num_subspaces;
+        let mut new_offsets = Vec::with_capacity(clusters + 1);
+        let mut new_ids = Vec::with_capacity(self.live);
+        let mut new_codes = Vec::with_capacity(self.live * s);
+        new_offsets.push(0u32);
+        for c in 0..clusters {
+            // Base members and tail members, both already id-sorted (the base
+            // by construction, the tail because ids are handed out
+            // monotonically), merged and filtered in one ordered pass.
+            let (start, end) = self.bounds(c);
+            let base_ids = &self.point_ids[start..end];
+            let base_codes = &self.codes[start * s..end * s];
+            let tail_ids = &self.extra_ids[c];
+            let tail_codes = &self.extra_codes[c];
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < base_ids.len() || j < tail_ids.len() {
+                let take_base = match (base_ids.get(i), tail_ids.get(j)) {
+                    (Some(&b), Some(&t)) => b < t,
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                let (id, code) = if take_base {
+                    let rec = (base_ids[i], &base_codes[i * s..(i + 1) * s]);
+                    i += 1;
+                    rec
+                } else {
+                    let rec = (tail_ids[j], &tail_codes[j * s..(j + 1) * s]);
+                    j += 1;
+                    rec
+                };
+                if !self.deleted[id as usize] {
+                    new_ids.push(id);
+                    new_codes.extend_from_slice(code);
+                }
+            }
+            new_offsets.push(new_ids.len() as u32);
+        }
+        self.offsets = new_offsets;
+        self.point_ids = new_ids;
+        self.codes = new_codes;
+        for c in 0..clusters {
+            self.extra_ids[c].clear();
+            self.extra_codes[c].clear();
+        }
+        self.stored_tombstones = 0;
+    }
+
+    /// The original ids of the **base-block** members of `cluster`, in
+    /// id-sorted order (appended points live in the tail segment; use
+    /// [`IvfListCodes::cluster_segments`] to scan everything).
     ///
     /// # Panics
     ///
@@ -120,12 +309,30 @@ impl IvfListCodes {
         &self.point_ids[start..end]
     }
 
-    /// The contiguous point-major code block of `cluster`
+    /// The contiguous point-major code block of `cluster`'s base segment
     /// (`cluster_ids(c).len() × num_subspaces` values).
     #[inline]
     pub fn cluster_codes(&self, cluster: usize) -> &[u16] {
         let (start, end) = self.bounds(cluster);
         &self.codes[start * self.num_subspaces..end * self.num_subspaces]
+    }
+
+    /// The stored records of `cluster` as up to two contiguous
+    /// `(ids, point-major codes)` runs: the CSR base block followed by the
+    /// append tail. Tombstoned records are still present — the scan filters
+    /// them with [`IvfListCodes::is_deleted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of bounds.
+    #[inline]
+    pub fn cluster_segments(&self, cluster: usize) -> impl Iterator<Item = (&[u32], &[u16])> {
+        let base = (self.cluster_ids(cluster), self.cluster_codes(cluster));
+        let tail = (
+            self.extra_ids[cluster].as_slice(),
+            self.extra_codes[cluster].as_slice(),
+        );
+        [base, tail].into_iter().filter(|(ids, _)| !ids.is_empty())
     }
 
     #[inline]
@@ -136,9 +343,122 @@ impl IvfListCodes {
         )
     }
 
-    /// Memory footprint of the reordered codes in bytes (diagnostics).
+    /// Memory footprint of the stored codes (base + tails) in bytes
+    /// (diagnostics).
     pub fn code_bytes(&self) -> usize {
-        self.codes.len() * std::mem::size_of::<u16>()
+        let tail: usize = self.extra_codes.iter().map(Vec::len).sum();
+        (self.codes.len() + tail) * std::mem::size_of::<u16>()
+    }
+
+    /// Clones the full state into a serialisable [`IvfListCodesParts`].
+    pub fn to_parts(&self) -> IvfListCodesParts {
+        IvfListCodesParts {
+            offsets: self.offsets.clone(),
+            point_ids: self.point_ids.clone(),
+            codes: self.codes.clone(),
+            num_subspaces: self.num_subspaces,
+            extra_ids: self.extra_ids.clone(),
+            extra_codes: self.extra_codes.clone(),
+            deleted: self.deleted.clone(),
+            next_id: self.next_id,
+        }
+    }
+
+    /// Rebuilds an [`IvfListCodes`] from persisted parts, re-validating every
+    /// structural invariant (shapes, monotone offsets, id uniqueness and
+    /// range) so corrupted snapshots are rejected instead of causing panics
+    /// later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when any invariant is violated.
+    pub fn from_parts(parts: IvfListCodesParts) -> Result<Self> {
+        let IvfListCodesParts {
+            offsets,
+            point_ids,
+            codes,
+            num_subspaces,
+            extra_ids,
+            extra_codes,
+            deleted,
+            next_id,
+        } = parts;
+        let bad = |msg: &str| Error::corrupted(format!("IvfListCodes: {msg}"));
+        if offsets.len() < 2 {
+            return Err(bad("offsets must cover at least one cluster"));
+        }
+        let clusters = offsets.len() - 1;
+        if num_subspaces == 0 {
+            return Err(bad("subspace count must be positive"));
+        }
+        if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(bad("offsets are not monotonically non-decreasing from 0"));
+        }
+        if *offsets.last().expect("len checked") as usize != point_ids.len() {
+            return Err(bad("final offset does not match base id count"));
+        }
+        // num_subspaces is untrusted (it may come from a corrupted snapshot):
+        // multiply checked so neither debug overflow panics nor release
+        // wrap-around can defeat the shape checks.
+        let code_len = |n: usize| -> Result<usize> {
+            n.checked_mul(num_subspaces)
+                .ok_or_else(|| bad("code buffer size overflows"))
+        };
+        if codes.len() != code_len(point_ids.len())? {
+            return Err(bad("base code buffer does not match id count"));
+        }
+        if extra_ids.len() != clusters || extra_codes.len() != clusters {
+            return Err(bad("tail vectors do not match cluster count"));
+        }
+        for (ids, cs) in extra_ids.iter().zip(&extra_codes) {
+            if cs.len() != code_len(ids.len())? {
+                return Err(bad("tail code buffer does not match tail id count"));
+            }
+        }
+        if deleted.len() != next_id as usize {
+            return Err(bad("tombstone bitmap does not match id space"));
+        }
+        // Ids must be unique, in range, and id-sorted within each segment.
+        let mut seen = vec![false; next_id as usize];
+        let mut live = 0usize;
+        let mut stored_tombstones = 0usize;
+        {
+            let all_segments = (0..clusters).flat_map(|c| {
+                let (start, end) = (offsets[c] as usize, offsets[c + 1] as usize);
+                [&point_ids[start..end], extra_ids[c].as_slice()]
+            });
+            for segment in all_segments {
+                if segment.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(bad("segment ids are not strictly increasing"));
+                }
+                for &id in segment {
+                    let slot = seen
+                        .get_mut(id as usize)
+                        .ok_or_else(|| bad("stored id exceeds id space"))?;
+                    if *slot {
+                        return Err(bad("duplicate stored id"));
+                    }
+                    *slot = true;
+                    if deleted[id as usize] {
+                        stored_tombstones += 1;
+                    } else {
+                        live += 1;
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            offsets,
+            point_ids,
+            codes,
+            num_subspaces,
+            extra_ids,
+            extra_codes,
+            deleted,
+            next_id,
+            live,
+            stored_tombstones,
+        })
     }
 }
 
@@ -169,6 +489,20 @@ mod tests {
         let codes = pq.encode(&data).unwrap();
         let labels: Vec<usize> = (0..n).map(|i| (i * 7) % 5).collect();
         (labels, codes)
+    }
+
+    /// Collects the live records of one cluster through the segment API.
+    fn live_members(grouped: &IvfListCodes, cluster: usize) -> Vec<(u32, Vec<u16>)> {
+        let s = grouped.num_subspaces();
+        let mut out = Vec::new();
+        for (ids, codes) in grouped.cluster_segments(cluster) {
+            for (i, &id) in ids.iter().enumerate() {
+                if !grouped.is_deleted(id) {
+                    out.push((id, codes[i * s..(i + 1) * s].to_vec()));
+                }
+            }
+        }
+        out
     }
 
     #[test]
@@ -212,5 +546,121 @@ mod tests {
         assert!(IvfListCodes::build(&labels, &codes, 3).is_err());
         let grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
         assert_eq!(grouped.code_bytes(), 50 * 4 * 2);
+    }
+
+    #[test]
+    fn append_assigns_fresh_ids_and_scans_through_segments() {
+        let (labels, codes) = trained(60);
+        let mut grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
+        assert_eq!(grouped.next_id(), 60);
+        let id_a = grouped.append(2, &[1, 2, 3, 4]).unwrap();
+        let id_b = grouped.append(2, &[5, 6, 7, 8]).unwrap();
+        assert_eq!((id_a, id_b), (60, 61));
+        assert_eq!(grouped.len(), 62);
+        let members = live_members(&grouped, 2);
+        assert!(members.contains(&(60, vec![1, 2, 3, 4])));
+        assert!(members.contains(&(61, vec![5, 6, 7, 8])));
+        // The tail shows up as a second contiguous segment.
+        assert_eq!(grouped.cluster_segments(2).count(), 2);
+        // Invalid appends are rejected.
+        assert!(grouped.append(9, &[0; 4]).is_err());
+        assert!(grouped.append(0, &[0; 3]).is_err());
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_skippable() {
+        let (labels, codes) = trained(40);
+        let mut grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
+        assert!(grouped.remove(7));
+        assert!(!grouped.remove(7), "second removal must be a no-op");
+        assert!(!grouped.remove(999), "unknown ids are not removable");
+        assert_eq!(grouped.len(), 39);
+        assert_eq!(grouped.stored_tombstones(), 1);
+        assert!(grouped.is_deleted(7));
+        assert!(!grouped.is_deleted(8));
+        let c = labels[7];
+        assert!(live_members(&grouped, c).iter().all(|(id, _)| *id != 7));
+    }
+
+    #[test]
+    fn compaction_restores_contiguous_sorted_layout() {
+        let (labels, codes) = trained(100);
+        let mut grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
+        // Mix of deletions and appends.
+        for id in [3u32, 17, 44, 90] {
+            assert!(grouped.remove(id));
+        }
+        let mut appended = Vec::new();
+        for c in 0..5 {
+            appended.push((c, grouped.append(c, &[c as u16; 4]).unwrap()));
+        }
+        assert!(grouped.remove(appended[1].1), "tail records are removable");
+        let before: Vec<Vec<(u32, Vec<u16>)>> = (0..5).map(|c| live_members(&grouped, c)).collect();
+        let live_before = grouped.len();
+
+        grouped.compact();
+
+        assert_eq!(grouped.len(), live_before);
+        assert_eq!(grouped.stored_tombstones(), 0);
+        for (c, want) in before.iter().enumerate() {
+            // Everything is back in the base block, id-sorted, one segment.
+            assert_eq!(grouped.cluster_segments(c).count(), 1);
+            let ids = grouped.cluster_ids(c);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]));
+            let mut want = want.clone();
+            want.sort_by_key(|(id, _)| *id);
+            assert_eq!(live_members(&grouped, c), want, "cluster {c}");
+        }
+        // Ids are still never reused after compaction.
+        let next = grouped.next_id();
+        assert_eq!(grouped.append(0, &[9; 4]).unwrap(), next);
+        assert!(!grouped.remove(appended[1].1), "dead ids stay dead");
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_everything() {
+        let (labels, codes) = trained(80);
+        let mut grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
+        grouped.remove(5);
+        grouped.append(1, &[4, 3, 2, 1]).unwrap();
+        let parts = grouped.to_parts();
+        let rebuilt = IvfListCodes::from_parts(parts).unwrap();
+        assert_eq!(rebuilt, grouped);
+    }
+
+    #[test]
+    fn corrupted_parts_are_rejected() {
+        let (labels, codes) = trained(30);
+        let grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
+        let good = grouped.to_parts();
+
+        let mut p = good.clone();
+        p.offsets[1] = 99; // non-monotone / out of range
+        assert!(IvfListCodes::from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.codes.pop(); // shape mismatch
+        assert!(IvfListCodes::from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.deleted.pop(); // bitmap mismatch
+        assert!(IvfListCodes::from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.point_ids[0] = p.point_ids[1]; // duplicate id
+        assert!(IvfListCodes::from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.extra_ids.pop(); // cluster count mismatch
+        assert!(IvfListCodes::from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.num_subspaces = 0;
+        assert!(IvfListCodes::from_parts(p).is_err());
+
+        // An absurd subspace count must fail cleanly (no multiply overflow).
+        let mut p = good;
+        p.num_subspaces = usize::MAX / 2;
+        assert!(IvfListCodes::from_parts(p).is_err());
     }
 }

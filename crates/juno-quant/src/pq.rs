@@ -61,6 +61,45 @@ pub struct EncodedPoints {
 }
 
 impl EncodedPoints {
+    /// Rebuilds encoded points from a flat code buffer (persistence path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `num_subspaces` is zero or the
+    /// buffer length is not a multiple of it.
+    pub fn from_parts(codes: Vec<u16>, num_subspaces: usize) -> Result<Self> {
+        if num_subspaces == 0 {
+            return Err(Error::invalid_config("num_subspaces must be positive"));
+        }
+        if !codes.len().is_multiple_of(num_subspaces) {
+            return Err(Error::invalid_config(format!(
+                "code buffer of length {} is not a multiple of {num_subspaces} subspaces",
+                codes.len()
+            )));
+        }
+        Ok(Self {
+            codes,
+            num_subspaces,
+        })
+    }
+
+    /// Appends the code of one newly encoded point (dynamic insertion path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when `code` does not have one
+    /// entry per subspace.
+    pub fn push(&mut self, code: &[u16]) -> Result<()> {
+        if code.len() != self.num_subspaces || self.num_subspaces == 0 {
+            return Err(Error::DimensionMismatch {
+                expected: self.num_subspaces,
+                actual: code.len(),
+            });
+        }
+        self.codes.extend_from_slice(code);
+        Ok(())
+    }
+
     /// Number of encoded points.
     pub fn len(&self) -> usize {
         self.codes
@@ -162,6 +201,58 @@ impl ProductQuantizer {
             dim,
             sub_dim,
         })
+    }
+
+    /// Rebuilds a product quantiser from persisted per-subspace codebooks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when no codebooks are given or the
+    /// codebooks disagree on entry count / subspace dimension.
+    pub fn from_parts(codebooks: Vec<Codebook>) -> Result<Self> {
+        let first = codebooks
+            .first()
+            .ok_or_else(|| Error::empty_input("product quantiser requires codebooks"))?;
+        let sub_dim = first.sub_dim();
+        let entries = first.num_entries();
+        for (s, cb) in codebooks.iter().enumerate() {
+            if cb.sub_dim() != sub_dim || cb.num_entries() != entries {
+                return Err(Error::invalid_config(format!(
+                    "codebook {s} shape ({} entries × {}-d) disagrees with subspace 0 \
+                     ({entries} × {sub_dim}-d)",
+                    cb.num_entries(),
+                    cb.sub_dim()
+                )));
+            }
+        }
+        let dim = codebooks.len() * sub_dim;
+        Ok(Self {
+            codebooks,
+            dim,
+            sub_dim,
+        })
+    }
+
+    /// Encodes a single (residual) vector — the dynamic-insertion sibling of
+    /// [`ProductQuantizer::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the vector dimension is not
+    /// `D`.
+    pub fn encode_one(&self, residual: &[f32]) -> Result<Vec<u16>> {
+        if residual.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: residual.len(),
+            });
+        }
+        let mut code = Vec::with_capacity(self.num_subspaces());
+        for (s, cb) in self.codebooks.iter().enumerate() {
+            let proj = &residual[s * self.sub_dim..(s + 1) * self.sub_dim];
+            code.push(cb.encode(proj)? as u16);
+        }
+        Ok(code)
     }
 
     /// Full vector dimension `D`.
@@ -457,6 +548,50 @@ mod tests {
         // More entries than training vectors.
         cfg = PqTrainConfig::new(2, 512);
         assert!(ProductQuantizer::train(&data, &cfg).is_err());
+    }
+
+    #[test]
+    fn encode_one_matches_batch_encoding_and_push_extends() {
+        let data = random_vectors(200, 8, 9);
+        let pq = ProductQuantizer::train(&data, &small_config()).unwrap();
+        let mut codes = pq.encode(&data).unwrap();
+        for i in (0..data.len()).step_by(29) {
+            let one = pq.encode_one(data.row(i)).unwrap();
+            assert_eq!(one.as_slice(), codes.code(i), "point {i}");
+        }
+        let extra = pq.encode_one(data.row(0)).unwrap();
+        codes.push(&extra).unwrap();
+        assert_eq!(codes.len(), 201);
+        assert_eq!(codes.code(200), extra.as_slice());
+        assert!(codes.push(&[0u16; 3]).is_err());
+        assert!(pq.encode_one(&[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let data = random_vectors(150, 8, 10);
+        let pq = ProductQuantizer::train(&data, &small_config()).unwrap();
+        let rebuilt = ProductQuantizer::from_parts(pq.codebooks().to_vec()).unwrap();
+        assert_eq!(rebuilt, pq);
+        assert!(ProductQuantizer::from_parts(vec![]).is_err());
+        // Mismatched codebooks (different subspace dims) are rejected.
+        let other = ProductQuantizer::train(
+            &random_vectors(100, 6, 11),
+            &PqTrainConfig {
+                num_subspaces: 2,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        let mixed = vec![pq.codebooks()[0].clone(), other.codebooks()[0].clone()];
+        assert!(ProductQuantizer::from_parts(mixed).is_err());
+
+        let codes = pq.encode(&data).unwrap();
+        let flat = codes.as_flat().to_vec();
+        let back = EncodedPoints::from_parts(flat, 4).unwrap();
+        assert_eq!(back, codes);
+        assert!(EncodedPoints::from_parts(vec![1, 2, 3], 2).is_err());
+        assert!(EncodedPoints::from_parts(vec![1, 2], 0).is_err());
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Cross-engine conformance suite.
+//!
+//! Every engine in the workspace (flat, IVF-Flat, IVFPQ, HNSW, JUNO) runs
+//! the same seeded dataset through identical query sets; per-engine recall
+//! floors against the brute-force flat baseline pin the Fig. 12-style
+//! quality ordering as an executable contract, so neither the mutation code
+//! nor future engine changes can silently regress the paper's figures.
+//!
+//! The suite also pins the dynamic-mutation contract from the issue: after
+//! 10 % random deletions, reinsertion of the same vectors and a compaction
+//! pass, JUNO's recall@10 must stay within one point of a freshly built
+//! index.
+
+use juno::baseline::ivf_flat::{IvfFlatConfig, IvfFlatIndex};
+use juno::common::rng::{seeded, Rng};
+use juno::prelude::*;
+use std::collections::HashMap;
+
+const POINTS: usize = 4_000;
+const QUERIES: usize = 25;
+const SEED: u64 = 2_026;
+const GT_K: usize = 10;
+const RETRIEVE_K: usize = 100;
+
+fn dataset() -> Dataset {
+    DatasetProfile::DeepLike
+        .generate(POINTS, QUERIES, SEED)
+        .expect("seeded dataset")
+}
+
+/// recall@10 with `RETRIEVE_K` retrieved candidates, mapping retrieved ids
+/// through `alias` first (reinserted points carry fresh ids that stand for
+/// their original dataset row).
+fn recall_with_alias(
+    index: &dyn AnnIndex,
+    ds: &Dataset,
+    gt: &GroundTruth,
+    alias: &HashMap<u64, u64>,
+) -> f64 {
+    let retrieved: Vec<Vec<u64>> = ds
+        .queries
+        .iter()
+        .map(|q| {
+            index
+                .search(q, RETRIEVE_K)
+                .expect("search")
+                .ids()
+                .into_iter()
+                .map(|id| alias.get(&id).copied().unwrap_or(id))
+                .collect()
+        })
+        .collect();
+    recall_at(&retrieved, gt, GT_K, RETRIEVE_K).expect("recall")
+}
+
+fn recall_of(index: &dyn AnnIndex, ds: &Dataset, gt: &GroundTruth) -> f64 {
+    recall_with_alias(index, ds, gt, &HashMap::new())
+}
+
+fn build_juno(ds: &Dataset) -> JunoIndex {
+    JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 32,
+            nprobs: 8,
+            pq_entries: 64,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("juno build")
+}
+
+#[test]
+fn all_engines_clear_their_recall_floors_on_the_shared_dataset() {
+    let ds = dataset();
+    let gt = ds.ground_truth(GT_K).expect("ground truth");
+
+    let flat = FlatIndex::new(ds.points.clone(), ds.metric()).expect("flat");
+    let ivf_flat = IvfFlatIndex::build(
+        ds.points.clone(),
+        &IvfFlatConfig {
+            n_clusters: 32,
+            nprobs: 8,
+            metric: ds.metric(),
+            seed: 1,
+        },
+    )
+    .expect("ivf_flat");
+    let ivfpq = IvfPqIndex::build(
+        &ds.points,
+        &IvfPqConfig {
+            n_clusters: 32,
+            nprobs: 8,
+            pq_subspaces: ds.dim() / 2,
+            pq_entries: 64,
+            metric: ds.metric(),
+            seed: 3,
+        },
+    )
+    .expect("ivfpq");
+    let hnsw = HnswIndex::build(
+        ds.points.clone(),
+        &HnswConfig {
+            metric: ds.metric(),
+            ..HnswConfig::default()
+        },
+    )
+    .expect("hnsw");
+    let juno = build_juno(&ds);
+
+    // Per-engine recall@10 floors (retrieving 100 candidates), calibrated
+    // ~10 points under the observed values so only real regressions trip
+    // them. Exact search must stay exact.
+    let engines: Vec<(&str, &dyn AnnIndex, f64)> = vec![
+        ("flat", &flat, 0.999),
+        ("ivf_flat", &ivf_flat, 0.85),
+        ("ivfpq", &ivfpq, 0.80),
+        ("hnsw", &hnsw, 0.85),
+        ("juno", &juno, 0.80),
+    ];
+    let flat_recall = recall_of(&flat, &ds, &gt);
+    for (name, engine, floor) in &engines {
+        let r = recall_of(*engine, &ds, &gt);
+        println!("conformance recall@{GT_K}@{RETRIEVE_K}: {name} = {r:.4}");
+        assert!(r >= *floor, "{name} recall {r:.4} fell below floor {floor}");
+        assert!(
+            r <= flat_recall + 1e-9,
+            "{name} cannot beat exact search ({r} vs {flat_recall})"
+        );
+        assert_eq!(engine.len(), ds.points.len(), "{name} length");
+        assert_eq!(engine.dim(), ds.dim(), "{name} dim");
+        assert_eq!(engine.metric(), ds.metric(), "{name} metric");
+    }
+}
+
+#[test]
+fn juno_recall_survives_delete_reinsert_compact_within_one_point() {
+    let ds = dataset();
+    let gt = ds.ground_truth(GT_K).expect("ground truth");
+
+    let fresh = build_juno(&ds);
+    let fresh_recall = recall_of(&fresh, &ds, &gt);
+
+    // 10 % random deletions (seeded), then reinsertion of the same vectors.
+    let mut index = fresh.clone();
+    let mut rng = seeded(0xD1CE);
+    let mut victims: Vec<usize> = Vec::new();
+    let mut taken = vec![false; POINTS];
+    while victims.len() < POINTS / 10 {
+        let id = rng.gen_range(0..POINTS);
+        if !taken[id] {
+            taken[id] = true;
+            victims.push(id);
+        }
+    }
+    for &id in &victims {
+        assert!(index.remove(id as u64).expect("remove"), "id {id}");
+    }
+    assert_eq!(index.len(), POINTS - POINTS / 10);
+
+    // Reinserted points get fresh ids; map them back to the original rows so
+    // ground-truth comparison stays meaningful.
+    let mut alias = HashMap::new();
+    for &id in &victims {
+        let new_id = index.insert(ds.points.row(id)).expect("reinsert");
+        alias.insert(new_id, id as u64);
+    }
+    assert_eq!(index.len(), POINTS);
+
+    index.compact().expect("compact");
+    assert_eq!(index.list_codes().stored_tombstones(), 0);
+
+    let mutated_recall = recall_with_alias(&index, &ds, &gt, &alias);
+    println!(
+        "conformance mutation recall@{GT_K}@{RETRIEVE_K}: fresh = {fresh_recall:.4}, \
+         after delete/reinsert/compact = {mutated_recall:.4}"
+    );
+    assert!(
+        mutated_recall >= fresh_recall - 0.01,
+        "recall dropped more than one point after delete/reinsert/compact: \
+         {fresh_recall:.4} -> {mutated_recall:.4}"
+    );
+}
+
+#[test]
+fn mutation_capabilities_are_reported_consistently() {
+    let ds = DatasetProfile::DeepLike.generate(600, 2, 9).expect("ds");
+    let flat = FlatIndex::new(ds.points.clone(), ds.metric()).expect("flat");
+    let juno = JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 8,
+            nprobs: 4,
+            pq_entries: 16,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("juno");
+    // Read-only engines refuse mutation with Unsupported rather than
+    // corrupting state or panicking.
+    assert!(!flat.supports_mutation());
+    let mut flat = flat;
+    assert!(matches!(
+        flat.insert(ds.points.row(0)),
+        Err(juno::common::Error::Unsupported(_))
+    ));
+    assert!(matches!(
+        flat.remove(0),
+        Err(juno::common::Error::Unsupported(_))
+    ));
+    assert!(juno.supports_mutation() && juno.supports_snapshot());
+}

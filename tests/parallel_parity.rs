@@ -89,6 +89,56 @@ fn parallel_batch_matches_sequential_search_mips() {
 }
 
 #[test]
+fn parallel_batch_matches_sequential_after_mutation() {
+    let ds = DatasetProfile::DeepLike.generate(2_500, 16, 123).unwrap();
+    let extra = DatasetProfile::DeepLike.generate(200, 1, 321).unwrap();
+    let config = JunoConfig {
+        n_clusters: 32,
+        nprobs: 8,
+        pq_entries: 64,
+        ..JunoConfig::small_test(ds.dim(), ds.metric())
+    };
+    let mut index = JunoIndex::build(&ds.points, &config).unwrap();
+
+    // Mutate: tombstone a spread of the build set, then append new points
+    // (which land in the clusters' tail segments until compaction).
+    for id in (0..2_500u64).step_by(7) {
+        assert!(index.remove(id).unwrap());
+    }
+    for i in 0..extra.points.len() {
+        index.insert(extra.points.row(i)).unwrap();
+    }
+
+    let check_all_modes = |index: &mut JunoIndex, label: &str| {
+        for mode in [QualityMode::High, QualityMode::Medium, QualityMode::Low] {
+            index.set_quality(mode);
+            let sequential: Vec<_> = ds
+                .queries
+                .iter()
+                .map(|q| index.search(q, 50).unwrap())
+                .collect();
+            for threads in [2usize, 3, 8] {
+                let parallel = index
+                    .search_batch_threads(&ds.queries, 50, threads)
+                    .unwrap();
+                assert_bit_identical(
+                    &sequential,
+                    &parallel,
+                    &format!("{label} {mode:?} x{threads}"),
+                );
+            }
+        }
+        index.set_quality(QualityMode::High);
+    };
+
+    // Parity must hold on the tombstone+tail state and again after the
+    // compaction pass restores the contiguous layout.
+    check_all_modes(&mut index, "mutated");
+    index.compact().unwrap();
+    check_all_modes(&mut index, "compacted");
+}
+
+#[test]
 fn batch_errors_propagate_from_any_query() {
     let ds = DatasetProfile::DeepLike.generate(1_000, 4, 7).unwrap();
     let config = JunoConfig {

@@ -1,0 +1,249 @@
+//! Snapshot persistence contract: save → load yields **bit-identical**
+//! `SearchResult`s (ids and distance bit patterns) for the JUNO engine and
+//! the IVF-PQ baseline, across seeds, metrics, quality modes, and after a
+//! mix of inserts / deletions / compaction. Corrupted snapshot bytes must be
+//! rejected with an `Err`, never a panic.
+
+use juno::baseline::ivf_flat::{IvfFlatConfig, IvfFlatIndex};
+use juno::common::rng::{seeded, Rng};
+use juno::prelude::*;
+
+fn assert_same_results(a: &[SearchResult], b: &[SearchResult], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: result count");
+    for (qi, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            ra.neighbors.len(),
+            rb.neighbors.len(),
+            "{label}: query {qi} neighbour count"
+        );
+        for (i, (na, nb)) in ra.neighbors.iter().zip(&rb.neighbors).enumerate() {
+            assert_eq!(na.id, nb.id, "{label}: query {qi} rank {i} id");
+            assert_eq!(
+                na.distance.to_bits(),
+                nb.distance.to_bits(),
+                "{label}: query {qi} rank {i} distance bits"
+            );
+        }
+    }
+}
+
+fn search_all(index: &dyn AnnIndex, queries: &VectorSet, k: usize) -> Vec<SearchResult> {
+    queries
+        .iter()
+        .map(|q| index.search(q, k).expect("search"))
+        .collect()
+}
+
+#[test]
+fn juno_save_load_is_bit_identical_across_seeds_and_mutations() {
+    for seed in [5u64, 77, 2_024] {
+        let ds = DatasetProfile::DeepLike
+            .generate(1_500, 8, seed)
+            .expect("dataset");
+        let extra = DatasetProfile::DeepLike
+            .generate(120, 1, seed ^ 0xFFFF)
+            .expect("extra");
+        let mut index = JunoIndex::build(
+            &ds.points,
+            &JunoConfig {
+                n_clusters: 16,
+                nprobs: 6,
+                pq_entries: 32,
+                ..JunoConfig::small_test(ds.dim(), ds.metric())
+            },
+        )
+        .expect("build");
+
+        // Fresh index round-trip.
+        let before = search_all(&index, &ds.queries, 25);
+        let restored = JunoIndex::from_snapshot_bytes(&index.snapshot().expect("snapshot"))
+            .expect("restore fresh");
+        assert_same_results(
+            &before,
+            &search_all(&restored, &ds.queries, 25),
+            &format!("seed {seed} fresh"),
+        );
+
+        // Property-style mutation loop: random interleaving of inserts and
+        // deletes, snapshotting after every round.
+        let mut rng = seeded(seed.wrapping_mul(31));
+        let mut inserted = 0usize;
+        for round in 0..3 {
+            for _ in 0..25 {
+                if rng.gen_range(0..2usize) == 0 && inserted < extra.points.len() {
+                    index.insert(extra.points.row(inserted)).expect("insert");
+                    inserted += 1;
+                } else {
+                    let id = rng.gen_range(0..index.ivf().labels().len());
+                    let _ = index.remove(id as u64).expect("remove");
+                }
+            }
+            if round == 2 {
+                index.compact().expect("compact");
+            }
+            let label = format!("seed {seed} round {round}");
+            let before = search_all(&index, &ds.queries, 25);
+            let bytes = index.snapshot().expect("snapshot");
+            let restored = JunoIndex::from_snapshot_bytes(&bytes).expect("restore mutated");
+            assert_same_results(&before, &search_all(&restored, &ds.queries, 25), &label);
+            assert_eq!(restored.len(), index.len(), "{label}: live count");
+        }
+    }
+}
+
+#[test]
+fn juno_save_load_is_bit_identical_under_mips_and_quality_modes() {
+    let ds = DatasetProfile::TtiLike.generate(1_200, 8, 44).expect("ds");
+    let mut index = JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 16,
+            nprobs: 8,
+            pq_entries: 32,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("build");
+    for quality in [QualityMode::High, QualityMode::Medium, QualityMode::Low] {
+        index.set_quality(quality);
+        let before = search_all(&index, &ds.queries, 20);
+        let restored =
+            JunoIndex::from_snapshot_bytes(&index.snapshot().expect("snapshot")).expect("restore");
+        // The quality mode travels inside the snapshot's config section.
+        assert_same_results(
+            &before,
+            &search_all(&restored, &ds.queries, 20),
+            &format!("MIPS {quality:?}"),
+        );
+    }
+}
+
+#[test]
+fn ivfpq_save_load_is_bit_identical_including_mutations() {
+    for seed in [3u64, 91] {
+        let ds = DatasetProfile::DeepLike
+            .generate(1_500, 8, seed)
+            .expect("dataset");
+        let mut index = IvfPqIndex::build(
+            &ds.points,
+            &IvfPqConfig {
+                n_clusters: 32,
+                nprobs: 8,
+                pq_subspaces: ds.dim() / 2,
+                pq_entries: 32,
+                metric: ds.metric(),
+                seed,
+            },
+        )
+        .expect("build");
+
+        let before = search_all(&index, &ds.queries, 25);
+        let restored =
+            IvfPqIndex::from_snapshot_bytes(&index.snapshot().expect("snap")).expect("restore");
+        assert_same_results(
+            &before,
+            &search_all(&restored, &ds.queries, 25),
+            &format!("ivfpq seed {seed} fresh"),
+        );
+
+        let mut rng = seeded(seed);
+        for _ in 0..60 {
+            if rng.gen_range(0..2usize) == 0 {
+                let row = rng.gen_range(0..ds.points.len());
+                index.insert(ds.points.row(row)).expect("insert");
+            } else {
+                let id = rng.gen_range(0..ds.points.len());
+                let _ = index.remove(id as u64).expect("remove");
+            }
+        }
+        let before = search_all(&index, &ds.queries, 25);
+        let restored =
+            IvfPqIndex::from_snapshot_bytes(&index.snapshot().expect("snap")).expect("restore");
+        assert_same_results(
+            &before,
+            &search_all(&restored, &ds.queries, 25),
+            &format!("ivfpq seed {seed} mutated"),
+        );
+    }
+}
+
+#[test]
+fn ivf_flat_save_load_round_trips_through_files() {
+    let ds = DatasetProfile::DeepLike.generate(1_000, 6, 7).expect("ds");
+    let index = IvfFlatIndex::build(
+        ds.points.clone(),
+        &IvfFlatConfig {
+            n_clusters: 16,
+            nprobs: 4,
+            metric: ds.metric(),
+            seed: 2,
+        },
+    )
+    .expect("build");
+    let dir = std::env::temp_dir().join("juno_roundtrip_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("ivf_flat.snap");
+    index.save_snapshot(&path).expect("save");
+    let restored = IvfFlatIndex::load_snapshot(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    assert_same_results(
+        &search_all(&index, &ds.queries, 15),
+        &search_all(&restored, &ds.queries, 15),
+        "ivf_flat file",
+    );
+}
+
+#[test]
+fn corrupted_or_cross_engine_snapshots_error_never_panic() {
+    let ds = DatasetProfile::DeepLike.generate(800, 2, 13).expect("ds");
+    let juno = JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 8,
+            nprobs: 4,
+            pq_entries: 16,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("juno");
+    let ivfpq = IvfPqIndex::build(
+        &ds.points,
+        &IvfPqConfig {
+            n_clusters: 8,
+            nprobs: 4,
+            pq_subspaces: ds.dim() / 2,
+            pq_entries: 16,
+            metric: ds.metric(),
+            seed: 1,
+        },
+    )
+    .expect("ivfpq");
+    let juno_bytes = juno.snapshot().expect("snap");
+    let ivfpq_bytes = ivfpq.snapshot().expect("snap");
+
+    // Engines must reject each other's snapshots by kind.
+    assert!(JunoIndex::from_snapshot_bytes(&ivfpq_bytes).is_err());
+    assert!(IvfPqIndex::from_snapshot_bytes(&juno_bytes).is_err());
+    assert!(IvfFlatIndex::from_snapshot_bytes(&juno_bytes).is_err());
+
+    // Truncations and random byte flips: always Err (or a successful parse
+    // of semantically identical bytes), never a panic.
+    let mut rng = seeded(555);
+    for len in (0..juno_bytes.len()).step_by(47) {
+        assert!(JunoIndex::from_snapshot_bytes(&juno_bytes[..len]).is_err());
+    }
+    for _ in 0..150 {
+        let mut corrupt = juno_bytes.clone();
+        for _ in 0..rng.gen_range(1..4usize) {
+            let at = rng.gen_range(0..corrupt.len());
+            corrupt[at] ^= 1 << rng.gen_range(0..8usize);
+        }
+        let _ = JunoIndex::from_snapshot_bytes(&corrupt);
+    }
+    for _ in 0..150 {
+        let mut corrupt = ivfpq_bytes.clone();
+        let at = rng.gen_range(0..corrupt.len());
+        corrupt[at] ^= 0xFF;
+        let _ = IvfPqIndex::from_snapshot_bytes(&corrupt);
+    }
+}
