@@ -11,6 +11,7 @@
 use crate::sim::SimulationConfig;
 use juno_common::error::{Error, Result};
 use juno_common::index::{AnnIndex, SearchResult, SearchStats};
+use juno_common::kernel::{self, QuantizedLut, BLOCK_LANES};
 use juno_common::metric::{inner_product, Metric};
 use juno_common::topk::TopK;
 use juno_common::vector::VectorSet;
@@ -19,8 +20,10 @@ use juno_core::persist::{
 };
 use juno_data::snapshot::{kind, SectionWriter, Snapshot, SnapshotWriter};
 use juno_quant::ivf::{IvfIndex, IvfTrainConfig};
+use juno_quant::layout::BlockCodes;
 use juno_quant::pq::{EncodedPoints, PqTrainConfig, ProductQuantizer};
 use std::path::Path;
+use std::sync::OnceLock;
 
 /// The engine kind word identifying IVFPQ baseline snapshots.
 pub const KIND_IVFPQ: u32 = kind(*b"IVPQ");
@@ -55,6 +58,44 @@ impl Default for IvfPqConfig {
     }
 }
 
+/// One cluster's scan-ready view: the inverted-list ids in list order, the
+/// matching point-major codes gathered contiguously, and the
+/// block-interleaved view the fast-scan kernel consumes.
+#[derive(Debug, Clone)]
+struct ClusterScan {
+    ids: Vec<u32>,
+    codes: Vec<u8>,
+    blocks: BlockCodes,
+}
+
+/// Lazily built per-cluster scan cache (invalidated by mutation/restore).
+#[derive(Debug, Clone, Default)]
+struct ScanCache {
+    clusters: Vec<ClusterScan>,
+}
+
+impl ScanCache {
+    fn build(ivf: &IvfIndex, codes: &EncodedPoints) -> Self {
+        let subspaces = codes.num_subspaces();
+        let clusters = (0..ivf.n_clusters())
+            .map(|c| {
+                let ids = ivf.list(c).expect("cluster id in range").to_vec();
+                let mut flat = Vec::with_capacity(ids.len() * subspaces);
+                for &pid in &ids {
+                    flat.extend_from_slice(codes.code(pid as usize));
+                }
+                let blocks = BlockCodes::build(&flat, ids.len(), subspaces);
+                ClusterScan {
+                    ids,
+                    codes: flat,
+                    blocks,
+                }
+            })
+            .collect();
+        Self { clusters }
+    }
+}
+
 /// The FAISS-style `IVFx,PQy` index.
 #[derive(Debug, Clone)]
 pub struct IvfPqIndex {
@@ -68,6 +109,12 @@ pub struct IvfPqIndex {
     nprobs: usize,
     num_points: usize,
     sim: SimulationConfig,
+    /// Per-cluster contiguous + block-interleaved code views for the
+    /// fast-scan path, built on first search and dropped on mutation.
+    scan_cache: OnceLock<ScanCache>,
+    /// Whether the quantised prune pass runs (results are bit-identical
+    /// either way; off exposes the dense reference scan).
+    fastscan: bool,
 }
 
 impl IvfPqIndex {
@@ -108,6 +155,8 @@ impl IvfPqIndex {
             nprobs: config.nprobs,
             num_points: points.len(),
             sim: SimulationConfig::default(),
+            scan_cache: OnceLock::new(),
+            fastscan: true,
         })
     }
 
@@ -120,6 +169,17 @@ impl IvfPqIndex {
     /// Changes the number of probed clusters (search-time knob).
     pub fn set_nprobs(&mut self, nprobs: usize) {
         self.nprobs = nprobs.max(1);
+    }
+
+    /// Enables or disables the quantised fast-scan prune pass (final
+    /// results are bit-identical either way).
+    pub fn set_fastscan(&mut self, enabled: bool) {
+        self.fastscan = enabled;
+    }
+
+    /// Whether the fast-scan prune pass is active.
+    pub fn fastscan_enabled(&self) -> bool {
+        self.fastscan
     }
 
     /// The number of probed clusters.
@@ -163,6 +223,7 @@ impl IvfPqIndex {
         let id = self.ivf.push_assignment(cluster)?;
         self.codes.push(&code)?;
         self.num_points += 1;
+        self.scan_cache = OnceLock::new();
         Ok(id as u64)
     }
 
@@ -181,6 +242,7 @@ impl IvfPqIndex {
         let removed = self.ivf.remove_from_list(id32);
         if removed {
             self.num_points -= 1;
+            self.scan_cache = OnceLock::new();
         }
         Ok(removed)
     }
@@ -236,6 +298,13 @@ impl IvfPqIndex {
             || pq.num_subspaces() != codes.num_subspaces()
             || ivf.dim() != pq.dim()
             || num_points > ivf.labels().len()
+            // Every stored code must address a live codebook entry; both
+            // the dense-LUT lookup and the fast-scan kernel index rows
+            // without per-lookup bounds checks.
+            || codes
+                .as_flat()
+                .iter()
+                .any(|&c| (c as usize) >= pq.entries_per_subspace())
         {
             return Err(Error::corrupted(
                 "IVFPQ snapshot sections are mutually inconsistent",
@@ -249,6 +318,8 @@ impl IvfPqIndex {
             nprobs,
             num_points,
             sim: SimulationConfig::default(),
+            scan_cache: OnceLock::new(),
+            fastscan: true,
         })
     }
 
@@ -328,6 +399,30 @@ impl AnnIndex for IvfPqIndex {
 
         let mut topk = TopK::new(k, self.metric);
         let mut candidates = 0usize;
+        let mut pruned_points = 0usize;
+        let mut pruned_blocks = 0usize;
+        let mut pruned_clusters = 0usize;
+        // Fast-scan scratch (same kernel + bound machinery as the JUNO
+        // engine, so cross-engine comparisons measure the same scan).
+        let mut qlut = QuantizedLut::new();
+        let mut svals = vec![
+            0.0f32;
+            if self.fastscan {
+                subspaces * entries
+            } else {
+                0
+            }
+        ];
+        let mut lane_sums = [0u16; BLOCK_LANES];
+        let cache = if self.fastscan {
+            Some(
+                self.scan_cache
+                    .get_or_init(|| ScanCache::build(&self.ivf, &self.codes)),
+            )
+        } else {
+            None
+        };
+
         for &c in &filter.clusters {
             let lut = self.cluster_lut(query, c)?;
             // For MIPS the centroid contribution is constant per cluster.
@@ -335,21 +430,90 @@ impl AnnIndex for IvfPqIndex {
                 Metric::L2 => 0.0,
                 Metric::InnerProduct => inner_product(query, self.ivf.centroid(c)?),
             };
-            for &pid in self.ivf.list(c)? {
-                let code = self.codes.code(pid as usize);
-                let partial = ProductQuantizer::adc_distance(&lut, code);
-                let raw = centroid_term + partial;
-                topk.push(pid as u64, raw);
-                candidates += 1;
+            // The prune pass needs a worst score to prune against and a
+            // cluster large enough to amortise the O(subspaces × E)
+            // quantisation — the same gating as the JUNO engine.
+            let worst0 = topk.worst_score();
+            let scan = cache.map(|cache| &cache.clusters[c]);
+            let prune = match scan {
+                Some(scan) => worst0.is_some() && scan.ids.len() >= kernel::MIN_PRUNE_POINTS,
+                None => false,
+            };
+            if prune {
+                let scan = scan.expect("prune implies cache");
+                // Phase 1: quantised prune pass over the block-interleaved
+                // cluster codes; phase 2: exact dense-LUT re-rank of the
+                // survivors — the identical arithmetic as the plain scan, so
+                // results are bit-identical.
+                for (s, row) in lut.iter().enumerate() {
+                    let dst = &mut svals[s * entries..(s + 1) * entries];
+                    match self.metric {
+                        Metric::L2 => dst.copy_from_slice(row),
+                        Metric::InnerProduct => {
+                            for (d, &v) in dst.iter_mut().zip(row) {
+                                *d = -v;
+                            }
+                        }
+                    }
+                }
+                let const_term = match self.metric {
+                    Metric::L2 => 0.0,
+                    Metric::InnerProduct => -centroid_term,
+                };
+                qlut.build(&svals, subspaces, entries, const_term);
+                if qlut.cluster_bound() >= worst0.expect("prune requires worst") as f64 {
+                    pruned_clusters += 1;
+                    pruned_points += scan.ids.len();
+                    continue;
+                }
+                let topk_ref = &mut topk;
+                let candidates_ref = &mut candidates;
+                let (pp, pb) = scan.blocks.prune_scan(&qlut, &mut lane_sums, worst0, |i| {
+                    let code = &scan.codes[i * subspaces..(i + 1) * subspaces];
+                    let partial = ProductQuantizer::adc_distance(&lut, code);
+                    let raw = centroid_term + partial;
+                    topk_ref.push(scan.ids[i] as u64, raw);
+                    *candidates_ref += 1;
+                    topk_ref.worst_score()
+                });
+                pruned_points += pp;
+                pruned_blocks += pb;
+            } else if let Some(scan) = scan {
+                // Cache built but nothing prunable yet: exact scan over the
+                // cache's contiguous codes (same order as the list walk).
+                for (i, &pid) in scan.ids.iter().enumerate() {
+                    let code = &scan.codes[i * subspaces..(i + 1) * subspaces];
+                    let partial = ProductQuantizer::adc_distance(&lut, code);
+                    let raw = centroid_term + partial;
+                    topk.push(pid as u64, raw);
+                    candidates += 1;
+                }
+            } else {
+                for &pid in self.ivf.list(c)? {
+                    let code = self.codes.code(pid as usize);
+                    let partial = ProductQuantizer::adc_distance(&lut, code);
+                    let raw = centroid_term + partial;
+                    topk.push(pid as u64, raw);
+                    candidates += 1;
+                }
             }
         }
 
+        // Bound-settled points still count as scanned candidates, keeping
+        // the candidate count (and the simulated stage times) independent
+        // of the host-side fast-scan toggle; `accumulations` models the
+        // exact ADC work actually performed.
+        let accumulations = candidates * subspaces;
+        let candidates = candidates + pruned_points;
         let lut_distances = filter.clusters.len() * entries * subspaces;
         let mut stats = SearchStats {
             filter_distances: filter.distance_computations,
             lut_distances,
             candidates,
-            accumulations: candidates * subspaces,
+            accumulations,
+            pruned_points,
+            pruned_blocks,
+            pruned_clusters,
             ..SearchStats::default()
         };
         let simulated_us = self.sim.fill_ivfpq_times(
@@ -484,7 +648,12 @@ mod tests {
         // Dense LUT: nprobs × E × subspaces pairwise distances.
         assert_eq!(res.stats.lut_distances, 8 * 64 * 48);
         assert!(res.stats.candidates > 0);
-        assert_eq!(res.stats.accumulations, res.stats.candidates * 48);
+        // `candidates` counts considered points (incl. bound-pruned ones);
+        // accumulations reflect only the exactly re-ranked remainder.
+        assert_eq!(
+            res.stats.accumulations,
+            (res.stats.candidates - res.stats.pruned_points) * 48
+        );
         assert!(res.stats.lut_us > res.stats.filter_us);
     }
 
@@ -567,6 +736,72 @@ mod tests {
         other.restore(&bytes).unwrap();
         assert_eq!(other.len(), index.len());
         assert!(index.supports_snapshot());
+    }
+
+    #[test]
+    fn fastscan_results_are_bit_identical_to_the_dense_scan() {
+        for (profile, metric, pq_entries) in [
+            (DatasetProfile::DeepLike, Metric::L2, 64),
+            (DatasetProfile::DeepLike, Metric::L2, 16), // nibble-packed path
+            (DatasetProfile::TtiLike, Metric::InnerProduct, 32),
+        ] {
+            let cfg = IvfPqConfig {
+                n_clusters: 24,
+                nprobs: 8,
+                pq_subspaces: 48,
+                pq_entries,
+                metric,
+                seed: 11,
+            };
+            let subspaces = if metric == Metric::InnerProduct {
+                40
+            } else {
+                48
+            };
+            let cfg = IvfPqConfig {
+                pq_subspaces: subspaces,
+                ..cfg
+            };
+            let (ds, mut index) = build(profile, 2_000, 10, cfg);
+            // Mutate so the rebuilt scan cache also covers surgically edited
+            // lists.
+            for id in (0..100u64).step_by(7) {
+                assert!(index.remove(id).unwrap());
+            }
+            for i in 0..20 {
+                index.insert(ds.points.row(i * 31)).unwrap();
+            }
+            assert!(index.fastscan_enabled());
+            let fast: Vec<_> = ds
+                .queries
+                .iter()
+                .map(|q| index.search(q, 50).unwrap())
+                .collect();
+            index.set_fastscan(false);
+            let exact: Vec<_> = ds
+                .queries
+                .iter()
+                .map(|q| index.search(q, 50).unwrap())
+                .collect();
+            let mut total_pruned = 0usize;
+            for (qi, (f, e)) in fast.iter().zip(&exact).enumerate() {
+                assert_eq!(f.ids(), e.ids(), "{metric} E={pq_entries} query {qi}");
+                for (nf, ne) in f.neighbors.iter().zip(&e.neighbors) {
+                    assert_eq!(
+                        nf.distance.to_bits(),
+                        ne.distance.to_bits(),
+                        "{metric} E={pq_entries} query {qi}"
+                    );
+                }
+                total_pruned +=
+                    f.stats.pruned_points + f.stats.pruned_clusters + f.stats.pruned_blocks;
+                assert_eq!(e.stats.pruned_points, 0, "dense path never prunes");
+            }
+            assert!(
+                total_pruned > 0,
+                "{metric} E={pq_entries}: fast-scan never pruned anything"
+            );
+        }
     }
 
     #[test]

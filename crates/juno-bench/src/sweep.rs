@@ -92,6 +92,9 @@ pub fn run_sweep_threads(
         filter_us: stats.filter_us / n,
         lut_us: stats.lut_us / n,
         accumulate_us: stats.accumulate_us / n,
+        pruned_points: (stats.pruned_points as f64 / n) as usize,
+        pruned_blocks: (stats.pruned_blocks as f64 / n) as usize,
+        pruned_clusters: (stats.pruned_clusters as f64 / n) as usize,
     };
     let r1 = recall_at(&retrieved, ground_truth, 1, retrieve_k.min(100))?;
     let recall = recall_at(&retrieved, ground_truth, truth_n, retrieve_k)?;

@@ -59,7 +59,12 @@ pub struct SearchStats {
     pub lut_distances: usize,
     /// LUT lookups + accumulations performed during distance calculation.
     pub accumulations: usize,
-    /// Number of candidate points whose full distance was evaluated.
+    /// Number of candidate points the distance stage considered. For
+    /// fast-scan engines this includes points settled by the quantised
+    /// bound without an exact evaluation (see `pruned_points`), so the
+    /// count — and the simulated stage times derived from it — stays
+    /// essentially independent of the host-side fast-scan toggle;
+    /// `accumulations` reflects the exact work actually performed.
     pub candidates: usize,
     /// RT-core work: bounding-box tests (zero for non-RT engines).
     pub rt_aabb_tests: usize,
@@ -73,6 +78,14 @@ pub struct SearchStats {
     pub lut_us: f64,
     /// Simulated microseconds spent in distance calculation / accumulation.
     pub accumulate_us: f64,
+    /// Candidates discarded by the quantised fast-scan bound without an
+    /// exact distance evaluation (zero for engines without fast-scan).
+    pub pruned_points: usize,
+    /// Code blocks abandoned mid-accumulation by the early-abandon check.
+    pub pruned_blocks: usize,
+    /// Whole probed clusters skipped because the top-k worst score already
+    /// beat the cluster's score lower bound.
+    pub pruned_clusters: usize,
 }
 
 impl SearchStats {
@@ -89,6 +102,9 @@ impl SearchStats {
         self.filter_us += other.filter_us;
         self.lut_us += other.lut_us;
         self.accumulate_us += other.accumulate_us;
+        self.pruned_points += other.pruned_points;
+        self.pruned_blocks += other.pruned_blocks;
+        self.pruned_clusters += other.pruned_clusters;
     }
 
     /// Total simulated time across the three online stages, in microseconds.
@@ -351,11 +367,17 @@ mod tests {
             filter_us: 1.0,
             lut_us: 2.0,
             accumulate_us: 3.0,
+            pruned_points: 8,
+            pruned_blocks: 9,
+            pruned_clusters: 10,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.filter_distances, 2);
         assert_eq!(a.rt_hits, 14);
+        assert_eq!(a.pruned_points, 16);
+        assert_eq!(a.pruned_blocks, 18);
+        assert_eq!(a.pruned_clusters, 20);
         assert!((a.total_us() - 12.0).abs() < 1e-9);
     }
 

@@ -1,0 +1,723 @@
+//! The fast-scan ADC kernel: u8-quantised LUT accumulation over
+//! block-interleaved codes.
+//!
+//! The exact ADC scan does one `f32` load + NaN test + add per
+//! `(candidate, subspace)`. This module implements the *pruning* half of a
+//! two-phase pipeline that replaces most of that work:
+//!
+//! 1. The per-probe LUT is quantised into `u8` ([`QuantizedLut`]) with
+//!    **conservative floor rounding**, so the quantised sum of a candidate
+//!    dequantises to a provable *lower bound* on its exact "lower is better"
+//!    score. A candidate whose bound already loses to the current
+//!    [`TopK`](crate::topk::TopK) worst score can be pruned without ever
+//!    computing its exact distance — the final result set is bit-identical
+//!    to the exact scan by construction.
+//! 2. Codes are consumed in 32-point *blocks*, transposed subspace-major
+//!    (see `juno_quant::layout`), so one LUT row serves 32 contiguous lanes:
+//!    the shape AVX2 `vpshufb` wants, and the shape the autovectoriser can
+//!    at least stream linearly in the scalar fallback.
+//!
+//! The AVX2 path (runtime-detected, `x86_64` only) and the scalar fallback
+//! are **bit-identical at the u8/u16 level**: same saturating `u16` lane
+//! sums, same early-abandon checkpoints. `JUNO_FORCE_SCALAR_KERNEL=1`
+//! forces the fallback (benchmark comparisons, differential tests).
+//!
+//! Two orthogonal pruners layer on top of the quantised pass:
+//!
+//! * [`QuantizedLut::cluster_bound`] — the minimum possible score of *any*
+//!   candidate scored against this LUT slot; when the top-k worst already
+//!   beats it the whole cluster is skipped.
+//! * [`scan_block_with_abandon`] — every [`ABANDON_CHUNK`] subspaces the
+//!   running minimum over the 32 lanes plus the suffix of per-subspace
+//!   minima is tested against the prune threshold; once even the best lane
+//!   cannot recover, the rest of the block is abandoned.
+
+use std::sync::OnceLock;
+
+/// Number of points interleaved per code block.
+pub const BLOCK_LANES: usize = 32;
+
+/// Bytes per subspace row in a nibble-packed block (two codes per byte).
+pub const NIBBLE_ROW_BYTES: usize = 16;
+
+/// Bytes per subspace row in a plain `u8` block.
+pub const U8_ROW_BYTES: usize = 32;
+
+/// Subspaces accumulated between early-abandon checks. Part of the kernel
+/// contract: the scalar and AVX2 paths check at the same boundaries so an
+/// abandoned block is abandoned identically on both.
+pub const ABANDON_CHUNK: usize = 8;
+
+/// Sentinel prune threshold meaning "nothing can be pruned" (the top-k is
+/// not full yet, or the quantisation cannot separate candidates).
+pub const NEVER_PRUNE: u32 = u32::MAX;
+
+/// Minimum cluster size for the prune pass to pay for itself: quantising a
+/// slot costs O(subspaces × E), so tiny clusters are cheaper to scan
+/// exactly. Shared policy for every engine using the kernel.
+pub const MIN_PRUNE_POINTS: usize = 2 * BLOCK_LANES;
+
+/// Bytes per subspace row for the given packing.
+#[inline]
+pub const fn row_bytes(nibble: bool) -> usize {
+    if nibble {
+        NIBBLE_ROW_BYTES
+    } else {
+        U8_ROW_BYTES
+    }
+}
+
+fn detect_avx2() -> bool {
+    if std::env::var_os("JUNO_FORCE_SCALAR_KERNEL").is_some_and(|v| v != "0") {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn use_avx2() -> bool {
+    static USE_AVX2: OnceLock<bool> = OnceLock::new();
+    *USE_AVX2.get_or_init(detect_avx2)
+}
+
+/// The accumulation kernel selected at runtime: `"avx2"` or `"scalar"`.
+pub fn kernel_name() -> &'static str {
+    if use_avx2() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+/// A per-probe LUT quantised to `u8` so candidate sums become cheap integer
+/// arithmetic, with enough book-keeping to convert quantised sums back into
+/// provable score lower bounds.
+///
+/// Input values are *"lower is better" score contributions*: for L2 the LUT
+/// values themselves (with the miss penalty substituted for unselected
+/// entries), for MIPS the *negated* inner products (with `0` for unselected
+/// entries) plus a per-cluster constant term.
+///
+/// Quantisation is per-subspace affine (`q = ⌊(v − lo_s) / Δ⌋`, one global
+/// step `Δ`), rounded **down** and then verified down again against `f32`
+/// rounding, so `lo_s + q·Δ ≤ v` always holds. A candidate's dequantised sum
+/// `base + Δ·Σq − margin` is therefore a lower bound on its exact score; the
+/// `margin` additionally absorbs the worst-case `f32` summation error of the
+/// exact path, making the bound safe against associativity differences.
+#[derive(Debug, Clone, Default)]
+pub struct QuantizedLut {
+    /// Quantised rows, one per subspace, padded to `stride` bytes each so the
+    /// AVX2 table loads never read past the buffer.
+    q: Vec<u8>,
+    stride: usize,
+    subspaces: usize,
+    entries: usize,
+    /// `const_term + Σ_s lo_s`.
+    base: f64,
+    /// Global quantisation step (0 when all values coincide).
+    delta: f64,
+    /// Conservative slack covering quantisation + `f32` rounding.
+    margin: f64,
+    /// `suffix_min[s] = Σ_{s' ≥ s} min_e q[s'][e]`; length `subspaces + 1`.
+    suffix_min: Vec<u32>,
+    /// Per-subspace minima scratch (kept to avoid reallocation).
+    lo: Vec<f32>,
+}
+
+impl QuantizedLut {
+    /// Creates an empty, reusable quantiser (buffers grow on first build).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantises one slot's score contributions. `svals[s * entries + e]` is
+    /// the contribution of entry `e` in subspace `s`; `const_term` is added
+    /// once per candidate (the MIPS centroid term, negated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is inconsistent, `entries` is 0 or exceeds 256,
+    /// or `subspaces` is 0 (internal misuse).
+    pub fn build(&mut self, svals: &[f32], subspaces: usize, entries: usize, const_term: f32) {
+        self.build_impl(svals, subspaces, entries, const_term, |v| v);
+    }
+
+    /// [`QuantizedLut::build`] straight from a dense selective decode buffer
+    /// (`NaN` = unselected): unselected entries take `unselected` as their
+    /// score contribution and, when `negate` is set (MIPS), selected values
+    /// are negated — without materialising an intermediate value buffer.
+    pub fn build_selective(
+        &mut self,
+        dense: &[f32],
+        subspaces: usize,
+        entries: usize,
+        const_term: f32,
+        unselected: f32,
+        negate: bool,
+    ) {
+        if negate {
+            self.build_impl(dense, subspaces, entries, const_term, move |v| {
+                if v.is_nan() {
+                    unselected
+                } else {
+                    -v
+                }
+            });
+        } else {
+            self.build_impl(dense, subspaces, entries, const_term, move |v| {
+                if v.is_nan() {
+                    unselected
+                } else {
+                    v
+                }
+            });
+        }
+    }
+
+    fn build_impl<F: Fn(f32) -> f32 + Copy>(
+        &mut self,
+        svals: &[f32],
+        subspaces: usize,
+        entries: usize,
+        const_term: f32,
+        map: F,
+    ) {
+        assert!(subspaces > 0 && entries > 0 && entries <= 256);
+        assert_eq!(svals.len(), subspaces * entries, "svals shape mismatch");
+        let stride = entries.next_multiple_of(16);
+        self.stride = stride;
+        self.subspaces = subspaces;
+        self.entries = entries;
+        self.q.clear();
+        self.q.resize(subspaces * stride, 0);
+        self.lo.clear();
+        self.lo.resize(subspaces, 0.0);
+
+        let mut span_max = 0f32;
+        let mut lo_sum = 0f64;
+        let mut mag_sum = 0f64;
+        for s in 0..subspaces {
+            let row = &svals[s * entries..(s + 1) * entries];
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &raw in row {
+                let v = map(raw);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            self.lo[s] = lo;
+            span_max = span_max.max(hi - lo);
+            lo_sum += lo as f64;
+            mag_sum += lo.abs().max(hi.abs()) as f64;
+        }
+        // Degenerate spans (all values equal, or non-finite input) quantise
+        // everything to 0; the bound then equals `base` exactly and pruning
+        // simply degrades, never turning unsafe.
+        let delta = if span_max.is_finite() && span_max > 0.0 {
+            span_max / 255.0
+        } else {
+            0.0
+        };
+        self.delta = delta as f64;
+        self.base = const_term as f64 + lo_sum;
+        // One quantisation step of slack plus a generous multiple of the
+        // worst-case relative f32 summation error of the exact path (~S·eps
+        // of the term magnitudes) keeps the bound safe even when the exact
+        // scan's own rounding makes a score a few ulps smaller than real
+        // arithmetic would.
+        self.margin = self.delta + 1e-5 * (mag_sum + const_term.abs() as f64);
+
+        // This loop is the per-probe setup cost of the whole prune pass, so
+        // it must vectorise: multiply by the reciprocal instead of dividing
+        // (one divide per entry dominated the pass) and repair the
+        // estimate's possible one-step overshoot branch-free. The relative
+        // error of two f32 ops is ~3eps — far below one step at 255 levels —
+        // so `trunc(est) ≤ floor((v−lo)/Δ) + 1`, and after the conditional
+        // step-down `lo + q·Δ ≤ v` holds to within the f32 rounding already
+        // absorbed by `margin`: the dequantised sum stays a lower bound.
+        if delta > 0.0 {
+            let inv_delta = 1.0 / delta;
+            for s in 0..subspaces {
+                let lo = self.lo[s];
+                let row = &svals[s * entries..(s + 1) * entries];
+                let out = &mut self.q[s * stride..s * stride + entries];
+                for (e, &raw) in row.iter().enumerate() {
+                    let v = map(raw);
+                    let est = ((v - lo) * inv_delta) as i64;
+                    let over = (lo + est as f32 * delta > v) as i64;
+                    out[e] = (est - over).clamp(0, 255) as u8;
+                }
+            }
+        }
+
+        self.suffix_min.clear();
+        self.suffix_min.resize(subspaces + 1, 0);
+        for s in (0..subspaces).rev() {
+            let row = &self.q[s * stride..s * stride + entries];
+            let m = row.iter().copied().min().unwrap_or(0) as u32;
+            self.suffix_min[s] = self.suffix_min[s + 1] + m;
+        }
+    }
+
+    /// Number of subspaces quantised.
+    #[inline]
+    pub fn subspaces(&self) -> usize {
+        self.subspaces
+    }
+
+    /// Entries per subspace row (codes must be `< entries`).
+    #[inline]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Row stride in bytes (entries rounded up to a multiple of 16).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Borrow of the quantised rows (`subspaces × stride` bytes).
+    #[inline]
+    pub fn rows(&self) -> &[u8] {
+        &self.q
+    }
+
+    /// `Σ_{s' ≥ s}` of the per-subspace minimum quantised values — the best
+    /// any lane can still gain from the remaining subspaces.
+    #[inline]
+    pub fn suffix_min(&self, s: usize) -> u32 {
+        self.suffix_min[s]
+    }
+
+    /// A lower bound on the score of **any** candidate scored against this
+    /// slot. When the current top-k worst score already beats it, the whole
+    /// cluster can be skipped.
+    pub fn cluster_bound(&self) -> f64 {
+        self.base + self.delta * self.suffix_min[0] as f64 - self.margin
+    }
+
+    /// Converts the current top-k worst score into an integer prune
+    /// threshold `T`: a lane with quantised sum `≥ T` provably cannot enter
+    /// the top-k. Returns [`NEVER_PRUNE`] when no pruning is possible (no
+    /// worst score yet, or degenerate quantisation).
+    pub fn prune_threshold(&self, worst: Option<f32>) -> u32 {
+        let Some(w) = worst else {
+            return NEVER_PRUNE;
+        };
+        let w = w as f64;
+        if self.delta <= 0.0 {
+            // All candidates share the bound `base − margin`.
+            return if self.base - self.margin >= w {
+                0
+            } else {
+                NEVER_PRUNE
+            };
+        }
+        let t = ((w - self.base + self.margin) / self.delta).ceil();
+        // A NaN threshold (NaN worst score) must disable pruning, not prune
+        // everything; `t as u32` would silently map it to 0.
+        if t.is_nan() || t >= NEVER_PRUNE as f64 {
+            NEVER_PRUNE
+        } else if t <= 0.0 {
+            0
+        } else {
+            t as u32
+        }
+    }
+}
+
+/// Decodes lane `l` of a block row (scalar reference; also used by the
+/// deinterleave accessor in `juno_quant::layout`).
+#[inline]
+pub fn block_lane_code(row: &[u8], nibble: bool, lane: usize) -> u8 {
+    if nibble {
+        let b = row[lane & 15];
+        if lane < 16 {
+            b & 0x0F
+        } else {
+            b >> 4
+        }
+    } else {
+        row[lane]
+    }
+}
+
+fn accumulate_rows_scalar(
+    qlut: &[u8],
+    stride: usize,
+    rows: &[u8],
+    nibble: bool,
+    s0: usize,
+    s1: usize,
+    acc: &mut [u16; BLOCK_LANES],
+) {
+    let rb = row_bytes(nibble);
+    for s in s0..s1 {
+        let lrow = &qlut[s * stride..(s + 1) * stride];
+        let crow = &rows[s * rb..(s + 1) * rb];
+        if nibble {
+            for l in 0..16 {
+                let b = crow[l];
+                acc[l] = acc[l].saturating_add(lrow[(b & 0x0F) as usize] as u16);
+                acc[l + 16] = acc[l + 16].saturating_add(lrow[(b >> 4) as usize] as u16);
+            }
+        } else {
+            for (l, &c) in crow.iter().enumerate() {
+                acc[l] = acc[l].saturating_add(lrow[c as usize] as u16);
+            }
+        }
+    }
+}
+
+/// # Safety
+///
+/// Requires AVX2. Shape preconditions are checked by [`accumulate_rows`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_rows_avx2(
+    qlut: &[u8],
+    stride: usize,
+    rows: &[u8],
+    nibble: bool,
+    s0: usize,
+    s1: usize,
+    acc: &mut [u16; BLOCK_LANES],
+) {
+    use std::arch::x86_64::*;
+    let mut acc0 = _mm256_loadu_si256(acc.as_ptr() as *const __m256i);
+    let mut acc1 = _mm256_loadu_si256(acc.as_ptr().add(16) as *const __m256i);
+    let lo_mask = _mm256_set1_epi8(0x0F);
+    let tables = stride / 16;
+    for s in s0..s1 {
+        let lrow = qlut.as_ptr().add(s * stride);
+        let vals: __m256i = if nibble {
+            // 32 four-bit codes in 16 bytes: lanes 0..16 in the low nibbles,
+            // lanes 16..32 in the high nibbles. One shuffle = 32 lookups.
+            let packed = _mm_loadu_si128(rows.as_ptr().add(s * NIBBLE_ROW_BYTES) as *const __m128i);
+            let nib = _mm_set1_epi8(0x0F);
+            let lo = _mm_and_si128(packed, nib);
+            let hi = _mm_and_si128(_mm_srli_epi16::<4>(packed), nib);
+            let idx = _mm256_set_m128i(hi, lo);
+            let tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(lrow as *const __m128i));
+            _mm256_shuffle_epi8(tbl, idx)
+        } else {
+            // 8-bit codes: split each code into (table = high nibble, index
+            // = low nibble); every 16-entry table is one shuffle, masked to
+            // the lanes whose code actually selects it. `stride / 16`
+            // tables cover E ≤ 256.
+            let codes = _mm256_loadu_si256(rows.as_ptr().add(s * U8_ROW_BYTES) as *const __m256i);
+            let lo = _mm256_and_si256(codes, lo_mask);
+            let hi = _mm256_and_si256(codes, _mm256_set1_epi8(0xF0u8 as i8));
+            let mut out = _mm256_setzero_si256();
+            for t in 0..tables {
+                let tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                    lrow.add(t * 16) as *const __m128i
+                ));
+                let sel = _mm256_cmpeq_epi8(hi, _mm256_set1_epi8(((t as u8) << 4) as i8));
+                out = _mm256_or_si256(out, _mm256_and_si256(_mm256_shuffle_epi8(tbl, lo), sel));
+            }
+            out
+        };
+        let w0 = _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vals));
+        let w1 = _mm256_cvtepu8_epi16(_mm256_extracti128_si256::<1>(vals));
+        acc0 = _mm256_adds_epu16(acc0, w0);
+        acc1 = _mm256_adds_epu16(acc1, w1);
+    }
+    _mm256_storeu_si256(acc.as_mut_ptr() as *mut __m256i, acc0);
+    _mm256_storeu_si256(acc.as_mut_ptr().add(16) as *mut __m256i, acc1);
+}
+
+/// Accumulates subspaces `s0..s1` of one block into the 32 lane sums
+/// (saturating `u16`), dispatching to AVX2 when available.
+///
+/// `qlut` holds `stride`-padded rows (see [`QuantizedLut::rows`]); `rows`
+/// holds the block's interleaved code rows ([`row_bytes`] each). Codes must
+/// be `< stride`; saturation only ever *lowers* a sum, so downstream bound
+/// comparisons stay safe.
+///
+/// # Panics
+///
+/// Panics when the slices are too short for `s1` subspaces.
+pub fn accumulate_rows(
+    qlut: &[u8],
+    stride: usize,
+    rows: &[u8],
+    nibble: bool,
+    s0: usize,
+    s1: usize,
+    acc: &mut [u16; BLOCK_LANES],
+) {
+    assert!(s0 <= s1);
+    assert!(qlut.len() >= s1 * stride, "quantised LUT too short");
+    assert!(rows.len() >= s1 * row_bytes(nibble), "code block too short");
+    assert!(stride.is_multiple_of(16) && stride > 0);
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 confirmed at runtime; bounds asserted above.
+        unsafe { accumulate_rows_avx2(qlut, stride, rows, nibble, s0, s1, acc) };
+        return;
+    }
+    accumulate_rows_scalar(qlut, stride, rows, nibble, s0, s1, acc);
+}
+
+/// Accumulates **all** subspaces of one block (no early abandon) — the
+/// hit-count path, where every lane's exact integer count is needed.
+pub fn accumulate_block(
+    lut8: &[u8],
+    stride: usize,
+    subspaces: usize,
+    rows: &[u8],
+    nibble: bool,
+    acc: &mut [u16; BLOCK_LANES],
+) {
+    *acc = [0; BLOCK_LANES];
+    accumulate_rows(lut8, stride, rows, nibble, 0, subspaces, acc);
+}
+
+/// The quantised prune pass over one block: accumulates in
+/// [`ABANDON_CHUNK`]-subspace steps and returns `true` (block abandoned —
+/// every lane provably prunable) as soon as even the minimum lane plus the
+/// best-possible remainder reaches `threshold`.
+///
+/// On a `false` return, `acc[l] >= threshold` identifies the individually
+/// prunable lanes; the caller re-ranks the rest exactly. Padded lanes of a
+/// tail block take part in the minimum (their codes are zero), which can
+/// only make abandonment more conservative, never unsafe.
+pub fn scan_block_with_abandon(
+    lut: &QuantizedLut,
+    rows: &[u8],
+    nibble: bool,
+    threshold: u32,
+    acc: &mut [u16; BLOCK_LANES],
+) -> bool {
+    *acc = [0; BLOCK_LANES];
+    let total = lut.subspaces;
+    let mut s0 = 0;
+    while s0 < total {
+        let s1 = (s0 + ABANDON_CHUNK).min(total);
+        accumulate_rows(&lut.q, lut.stride, rows, nibble, s0, s1, acc);
+        s0 = s1;
+        if s0 < total && threshold != NEVER_PRUNE {
+            let best = *acc.iter().min().expect("32 lanes") as u32;
+            if best + lut.suffix_min[s0] >= threshold {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{seeded, Rng};
+
+    fn random_svals(rng: &mut impl Rng, subspaces: usize, entries: usize, lo: f32) -> Vec<f32> {
+        (0..subspaces * entries)
+            .map(|_| lo + rng.gen_range(0.0f32..10.0))
+            .collect()
+    }
+
+    /// Packs point-major codes into interleaved rows the way
+    /// `juno_quant::layout` does, for kernel-level tests.
+    fn interleave(codes: &[u8], n: usize, subspaces: usize, nibble: bool) -> Vec<u8> {
+        let rb = row_bytes(nibble);
+        let mut rows = vec![0u8; subspaces * rb];
+        for i in 0..n {
+            for s in 0..subspaces {
+                let c = codes[i * subspaces + s];
+                if nibble {
+                    let slot = &mut rows[s * rb + (i & 15)];
+                    if i < 16 {
+                        *slot |= c & 0x0F;
+                    } else {
+                        *slot |= (c & 0x0F) << 4;
+                    }
+                } else {
+                    rows[s * rb + i] = c;
+                }
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn quantised_sum_dequantises_to_a_lower_bound() {
+        let mut rng = seeded(7);
+        for case in 0..30u64 {
+            let subspaces = rng.gen_range(1..20usize);
+            let entries = [8usize, 16, 33, 64, 200, 256][case as usize % 6];
+            let lo = if case % 2 == 0 { 0.0 } else { -40.0 };
+            let svals = random_svals(&mut rng, subspaces, entries, lo);
+            let const_term = rng.gen_range(-5.0f32..5.0);
+            let mut q = QuantizedLut::new();
+            q.build(&svals, subspaces, entries, const_term);
+
+            for _ in 0..50 {
+                let code: Vec<u8> = (0..subspaces)
+                    .map(|_| rng.gen_range(0..entries as u32) as u8)
+                    .collect();
+                let exact: f32 = const_term
+                    + code
+                        .iter()
+                        .enumerate()
+                        .map(|(s, &e)| svals[s * entries + e as usize])
+                        .sum::<f32>();
+                let qsum: u32 = code
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &e)| q.rows()[s * q.stride() + e as usize] as u32)
+                    .sum();
+                let bound = q.base + q.delta * qsum as f64 - q.margin;
+                assert!(
+                    bound <= exact as f64 + 1e-6,
+                    "case {case}: bound {bound} exceeds exact {exact}"
+                );
+                // The prune rule itself: if qsum clears the threshold built
+                // from `exact` as the worst score, then the candidate's own
+                // exact value cannot be strictly better than that worst.
+                let t = q.prune_threshold(Some(exact));
+                if qsum >= t {
+                    assert!(
+                        q.base + q.delta * qsum as f64 - q.margin >= exact as f64,
+                        "case {case}: unsafe prune"
+                    );
+                }
+            }
+            assert!(q.cluster_bound() <= q.base + q.delta * 255.0 * subspaces as f64);
+            assert_eq!(q.prune_threshold(None), NEVER_PRUNE);
+        }
+    }
+
+    #[test]
+    fn degenerate_spans_never_prune_unsafely() {
+        let mut q = QuantizedLut::new();
+        // All values identical: delta = 0, every bound equals base − margin
+        // (just under 6 here). A worst score below the bound prunes
+        // everything; a worst score above it prunes nothing.
+        q.build(&[3.0; 2 * 8], 2, 8, 0.0);
+        assert_eq!(q.prune_threshold(Some(2.0)), 0, "everything prunable");
+        assert_eq!(q.prune_threshold(Some(100.0)), NEVER_PRUNE);
+        assert!(q.cluster_bound() <= 6.0 && q.cluster_bound() > 5.9);
+    }
+
+    #[test]
+    fn scalar_and_dispatched_kernels_agree_bit_exactly() {
+        let mut rng = seeded(99);
+        for case in 0..40u64 {
+            let subspaces = rng.gen_range(1..60usize);
+            let nibble = case % 3 == 0;
+            let entries = if nibble {
+                16
+            } else {
+                [17usize, 32, 64, 256][case as usize % 4]
+            };
+            let stride = entries.next_multiple_of(16);
+            let qlut: Vec<u8> = (0..subspaces * stride)
+                .map(|_| rng.gen_range(0..256u32) as u8)
+                .collect();
+            let n = rng.gen_range(1..33usize);
+            let codes: Vec<u8> = (0..n * subspaces)
+                .map(|_| rng.gen_range(0..entries as u32) as u8)
+                .collect();
+            let rows = interleave(&codes, n, subspaces, nibble);
+
+            let mut acc_dispatch = [0u16; BLOCK_LANES];
+            accumulate_rows(
+                &qlut,
+                stride,
+                &rows,
+                nibble,
+                0,
+                subspaces,
+                &mut acc_dispatch,
+            );
+            let mut acc_scalar = [0u16; BLOCK_LANES];
+            accumulate_rows_scalar(&qlut, stride, &rows, nibble, 0, subspaces, &mut acc_scalar);
+            assert_eq!(acc_dispatch, acc_scalar, "case {case} ({})", kernel_name());
+
+            // Reference: direct point-major accumulation for real lanes.
+            for (i, chunk) in codes.chunks(subspaces).enumerate() {
+                let mut want = 0u16;
+                for (s, &c) in chunk.iter().enumerate() {
+                    want = want.saturating_add(qlut[s * stride + c as usize] as u16);
+                }
+                assert_eq!(acc_dispatch[i], want, "case {case} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_keeps_sums_below_true_totals() {
+        // 300 subspaces of value 255 would overflow u16; the kernel must
+        // saturate (a lower sum = weaker bound = safe).
+        let subspaces = 300;
+        let stride = 16;
+        let qlut = vec![255u8; subspaces * stride];
+        let rows = vec![0u8; subspaces * U8_ROW_BYTES];
+        let mut acc = [0u16; BLOCK_LANES];
+        accumulate_rows(&qlut, stride, &rows, false, 0, subspaces, &mut acc);
+        assert!(acc.iter().all(|&a| a == u16::MAX));
+    }
+
+    #[test]
+    fn abandon_fires_only_when_every_lane_is_dead() {
+        let mut rng = seeded(1234);
+        for case in 0..30u64 {
+            let subspaces = rng.gen_range(9..40usize);
+            let entries = 32;
+            let svals = random_svals(&mut rng, subspaces, entries, 0.0);
+            let mut q = QuantizedLut::new();
+            q.build(&svals, subspaces, entries, 0.0);
+            let n = rng.gen_range(1..33usize);
+            let codes: Vec<u8> = (0..n * subspaces)
+                .map(|_| rng.gen_range(0..entries as u32) as u8)
+                .collect();
+            let rows = interleave(&codes, n, subspaces, false);
+
+            let mut full = [0u16; BLOCK_LANES];
+            accumulate_block(q.rows(), q.stride(), subspaces, &rows, false, &mut full);
+
+            for worst in [f32::NEG_INFINITY, 1.0, 50.0, 1e9] {
+                let t = q.prune_threshold(Some(worst));
+                let mut acc = [0u16; BLOCK_LANES];
+                let abandoned = scan_block_with_abandon(&q, &rows, false, t, &mut acc);
+                if abandoned {
+                    // Every lane's *full* sum must clear the threshold.
+                    for (l, &f) in full.iter().enumerate() {
+                        assert!(
+                            f as u32 >= t,
+                            "case {case}: abandoned but lane {l} sum {f} < {t}"
+                        );
+                    }
+                } else {
+                    assert_eq!(acc, full, "case {case}: non-abandoned sums must be full");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_decoding_matches_both_packings() {
+        let mut rng = seeded(5);
+        let codes: Vec<u8> = (0..32).map(|_| rng.gen_range(0..16u32) as u8).collect();
+        for nibble in [false, true] {
+            let rows = interleave(&codes, 32, 1, nibble);
+            for (l, &c) in codes.iter().enumerate() {
+                assert_eq!(block_lane_code(&rows, nibble, l), c, "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_name_reports_a_known_kernel() {
+        assert!(["avx2", "scalar"].contains(&kernel_name()));
+    }
+}

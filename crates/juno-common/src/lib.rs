@@ -17,6 +17,10 @@
 //!   and training code.
 //! * [`parallel`] — scoped-thread work-stealing maps used by the batched
 //!   query pipeline and PQ encoding.
+//! * [`kernel`] — the fast-scan ADC kernel: u8-quantised LUTs, the
+//!   block-interleaved accumulation kernel (AVX2 + scalar) and the
+//!   early-abandon pruning pass shared by the JUNO engine and the IVFPQ
+//!   baseline.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@
 
 pub mod error;
 pub mod index;
+pub mod kernel;
 pub mod metric;
 pub mod parallel;
 pub mod recall;

@@ -119,12 +119,15 @@ impl TopK {
             self.heap.push(HeapEntry { score, id });
             return true;
         }
-        // Heap is full: only insert if better than the current worst.
+        // Heap is full: only insert if better than the current worst. A NaN
+        // worst is displaced by any real score (`<` alone would reject every
+        // candidate once a NaN sneaks in, since comparisons with NaN are
+        // false); a NaN candidate never displaces anything.
         let worst = self
             .heap
             .peek()
             .expect("heap cannot be empty when len == k > 0");
-        if score < worst.score {
+        if score < worst.score || (worst.score.is_nan() && !score.is_nan()) {
             self.heap.pop();
             self.heap.push(HeapEntry { score, id });
             true
@@ -163,38 +166,51 @@ impl TopK {
     }
 }
 
-/// Selects the indices of the `k` smallest values of a slice (ties broken by
-/// index). Convenience wrapper used when the candidate scores already live in
-/// a dense vector, e.g. selecting the `nprobs` closest IVF centroids.
-pub fn smallest_k_indices(values: &[f32], k: usize) -> Vec<usize> {
-    if k == 0 || values.is_empty() {
-        return Vec::new();
-    }
-    let mut selector = TopK::new(k.min(values.len()), Metric::L2);
-    for (i, &v) in values.iter().enumerate() {
-        selector.push_score(i as u64, v);
-    }
-    selector
-        .into_sorted_vec()
-        .into_iter()
-        .map(|n| n.id as usize)
-        .collect()
+/// NaN-safe "lower is better" ordering over values: any NaN ranks strictly
+/// worse than every number, matching the heap selector's semantics.
+#[inline]
+fn score_order(a: f32, b: f32) -> Ordering {
+    a.partial_cmp(&b)
+        .unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            _ => Ordering::Equal,
+        })
 }
 
-/// Selects the indices of the `k` largest values of a slice.
-pub fn largest_k_indices(values: &[f32], k: usize) -> Vec<usize> {
-    if k == 0 || values.is_empty() {
+/// O(n) partial selection of the `k` best indices under `cmp`, returned in
+/// ranked (best-first) order. `select_nth_unstable_by` partitions the k best
+/// to the front in linear time; only those k are then sorted.
+fn select_k_indices(n: usize, k: usize, cmp: impl Fn(usize, usize) -> Ordering) -> Vec<usize> {
+    let k = k.min(n);
+    if k == 0 {
         return Vec::new();
     }
-    let mut selector = TopK::new(k.min(values.len()), Metric::L2);
-    for (i, &v) in values.iter().enumerate() {
-        selector.push_score(i as u64, -v);
+    let mut idx: Vec<usize> = (0..n).collect();
+    if k < n {
+        idx.select_nth_unstable_by(k - 1, |&a, &b| cmp(a, b));
+        idx.truncate(k);
     }
-    selector
-        .into_sorted_vec()
-        .into_iter()
-        .map(|n| n.id as usize)
-        .collect()
+    idx.sort_unstable_by(|&a, &b| cmp(a, b));
+    idx
+}
+
+/// Selects the indices of the `k` smallest values of a slice (ties broken by
+/// index, NaN ranked worst). Convenience wrapper used when the candidate
+/// scores already live in a dense vector, e.g. selecting the `nprobs`
+/// closest IVF centroids — O(n), not O(n log k).
+pub fn smallest_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    select_k_indices(values.len(), k, |a, b| {
+        score_order(values[a], values[b]).then_with(|| a.cmp(&b))
+    })
+}
+
+/// Selects the indices of the `k` largest values of a slice (ties broken by
+/// index, NaN ranked worst) in O(n).
+pub fn largest_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    select_k_indices(values.len(), k, |a, b| {
+        score_order(-values[a], -values[b]).then_with(|| a.cmp(&b))
+    })
 }
 
 #[cfg(test)]
@@ -260,6 +276,76 @@ mod tests {
     #[should_panic(expected = "k > 0")]
     fn zero_k_panics() {
         let _ = TopK::new(0, Metric::L2);
+    }
+
+    /// The heap-based implementation the O(n) selection replaced, kept as
+    /// the behavioural reference (including its tie-by-index and NaN-is-worst
+    /// semantics).
+    fn heap_smallest_k(values: &[f32], k: usize) -> Vec<usize> {
+        if k == 0 || values.is_empty() {
+            return Vec::new();
+        }
+        let mut selector = TopK::new(k.min(values.len()), Metric::L2);
+        for (i, &v) in values.iter().enumerate() {
+            selector.push_score(i as u64, v);
+        }
+        selector
+            .into_sorted_vec()
+            .into_iter()
+            .map(|n| n.id as usize)
+            .collect()
+    }
+
+    fn heap_largest_k(values: &[f32], k: usize) -> Vec<usize> {
+        if k == 0 || values.is_empty() {
+            return Vec::new();
+        }
+        let mut selector = TopK::new(k.min(values.len()), Metric::L2);
+        for (i, &v) in values.iter().enumerate() {
+            selector.push_score(i as u64, -v);
+        }
+        selector
+            .into_sorted_vec()
+            .into_iter()
+            .map(|n| n.id as usize)
+            .collect()
+    }
+
+    #[test]
+    fn selection_matches_heap_reference_including_tie_order() {
+        use crate::rng::{seeded, Rng};
+        let mut rng = seeded(0x5E1);
+        for case in 0..200u64 {
+            let n = rng.gen_range(0..60usize);
+            // Few distinct values => plenty of ties that must break by index.
+            let values: Vec<f32> = (0..n)
+                .map(|_| match rng.gen_range(0..10u32) {
+                    0 => f32::NAN,
+                    1 => 0.0,
+                    2 => -0.0,
+                    v => (v % 4) as f32,
+                })
+                .collect();
+            for k in [0usize, 1, 2, 5, n, n + 3] {
+                assert_eq!(
+                    smallest_k_indices(&values, k),
+                    heap_smallest_k(&values, k),
+                    "case {case} smallest k={k} values={values:?}"
+                );
+                assert_eq!(
+                    largest_k_indices(&values, k),
+                    heap_largest_k(&values, k),
+                    "case {case} largest k={k} values={values:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_values_rank_by_index() {
+        let v = [2.0, 1.0, 2.0, 1.0, 2.0];
+        assert_eq!(smallest_k_indices(&v, 3), vec![1, 3, 0]);
+        assert_eq!(largest_k_indices(&v, 3), vec![0, 2, 4]);
     }
 
     #[test]

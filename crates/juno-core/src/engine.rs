@@ -28,6 +28,7 @@ use crate::pipeline::{QuerySimulator, QueryWork, StageBreakdown};
 use crate::threshold::{ThresholdModel, ThresholdStrategy, ThresholdTrainConfig};
 use juno_common::error::{Error, Result};
 use juno_common::index::{AnnIndex, Neighbor, SearchResult, SearchStats};
+use juno_common::kernel::{self, QuantizedLut, BLOCK_LANES, MIN_PRUNE_POINTS};
 use juno_common::metric::{inner_product, Metric};
 use juno_common::parallel;
 use juno_common::topk::TopK;
@@ -65,6 +66,10 @@ pub struct JunoIndex {
     /// rebuild the identical scene deterministically.
     pub(crate) scene_bounds: Vec<f32>,
     pub(crate) simulator: QuerySimulator,
+    /// Whether the quantised fast-scan prune pass runs ahead of the exact
+    /// ADC re-rank (on by default; results are bit-identical either way).
+    /// Runtime-only — not persisted in snapshots.
+    pub(crate) fastscan: bool,
 }
 
 /// The output of [`JunoIndex::build_selective_lut`]: the probed clusters in
@@ -78,8 +83,8 @@ pub type SelectiveLutParts = (
 );
 
 /// Reusable per-thread scratch state for [`JunoIndex::search_with_scratch`]:
-/// the dense LUT decode buffer plus the accumulation vectors, allocated once
-/// per worker instead of once per query.
+/// the dense LUT decode buffer plus the accumulation vectors and fast-scan
+/// buffers, allocated once per worker instead of once per query.
 #[derive(Debug, Clone)]
 pub struct SearchScratch {
     decode: LutDecodeBuffer,
@@ -88,6 +93,69 @@ pub struct SearchScratch {
     half_sq: Vec<f32>,
     /// `(point id, score)` pairs collected by the hit-count modes.
     hit_scores: Vec<(u32, i64)>,
+    /// The u8-quantised prune LUT of the current slot.
+    qlut: QuantizedLut,
+    /// 0/1 selection-indicator LUT (hit-count outer counts), stride-padded.
+    outer_lut: Vec<u8>,
+    /// 0/1 inner-sphere indicator LUT (hit-count reward mode).
+    inner_lut: Vec<u8>,
+    /// Lane sums of the current block (quantised bounds or outer counts).
+    lane_sums: [u16; BLOCK_LANES],
+    /// Inner-hit lane counts of the current block.
+    lane_inner: [u16; BLOCK_LANES],
+}
+
+/// Work counters of one scan, merged into [`SearchStats`] afterwards.
+#[derive(Debug, Clone, Copy, Default)]
+struct ScanCounters {
+    accumulations: usize,
+    candidates: usize,
+    pruned_points: usize,
+    pruned_blocks: usize,
+    pruned_clusters: usize,
+}
+
+/// Exact ADC evaluation of one candidate — **the** reference arithmetic both
+/// the plain scan and the fast-scan re-rank go through, so the two paths are
+/// bit-identical by construction.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn rank_candidate_exact(
+    metric: Metric,
+    dense: &[f32],
+    entries: usize,
+    code: &[u8],
+    pid: u32,
+    mean_thr_sq: f32,
+    miss_penalty_factor: f32,
+    centroid_term: f32,
+    topk: &mut TopK,
+    ctr: &mut ScanCounters,
+) {
+    let subspaces = code.len();
+    let mut sum = 0.0f32;
+    let mut covered = 0u32;
+    for (s, &e) in code.iter().enumerate() {
+        let v = dense[s * entries + e as usize];
+        // NaN marks "entry not selected"; comparison is false for NaN so the
+        // branch predictor sees the common case.
+        if !v.is_nan() {
+            sum += v;
+            covered += 1;
+        }
+    }
+    if covered == 0 {
+        return;
+    }
+    ctr.accumulations += covered as usize;
+    ctr.candidates += 1;
+    let missing = (subspaces as u32 - covered) as f32;
+    let raw = match metric {
+        Metric::L2 => sum + missing * mean_thr_sq * miss_penalty_factor,
+        // Missing subspaces contribute no (positive) similarity.
+        Metric::InnerProduct => centroid_term + sum,
+    };
+    topk.push(pid as u64, raw);
 }
 
 impl JunoIndex {
@@ -194,6 +262,7 @@ impl JunoIndex {
             mapping,
             scene_bounds,
             simulator,
+            fastscan: true,
         })
     }
 
@@ -214,10 +283,17 @@ impl JunoIndex {
     /// Creates a scratch buffer sized for this index, reusable across
     /// queries (the batch path keeps one per worker thread).
     pub fn make_scratch(&self) -> SearchScratch {
+        let subspaces = self.pq.num_subspaces();
+        let entries = self.pq.entries_per_subspace();
         SearchScratch {
-            decode: LutDecodeBuffer::new(self.pq.num_subspaces(), self.pq.entries_per_subspace()),
-            half_sq: vec![0.0; self.pq.num_subspaces()],
+            decode: LutDecodeBuffer::new(subspaces, entries),
+            half_sq: vec![0.0; subspaces],
             hit_scores: Vec::new(),
+            qlut: QuantizedLut::new(),
+            outer_lut: Vec::new(),
+            inner_lut: Vec::new(),
+            lane_sums: [0; BLOCK_LANES],
+            lane_inner: [0; BLOCK_LANES],
         }
     }
 
@@ -273,6 +349,22 @@ impl JunoIndex {
     /// Changes the quality mode at search time (no rebuild needed).
     pub fn set_quality(&mut self, quality: QualityMode) {
         self.config.quality = quality;
+    }
+
+    /// Enables or disables the quantised fast-scan prune pass at search time.
+    ///
+    /// Final ids and distance bits are identical either way (the fast-scan
+    /// path re-ranks every surviving candidate through the exact ADC
+    /// arithmetic and only prunes candidates that provably cannot enter the
+    /// top-k); disabling it exposes the plain scalar scan for differential
+    /// tests and benchmarks.
+    pub fn set_fastscan(&mut self, enabled: bool) {
+        self.fastscan = enabled;
+    }
+
+    /// Whether the fast-scan prune pass is active.
+    pub fn fastscan_enabled(&self) -> bool {
+        self.fastscan
     }
 
     /// Changes the probe count at search time.
@@ -445,14 +537,19 @@ impl JunoIndex {
         Ok((clusters, lut, rt_stats, thresholds))
     }
 
-    /// Exact-distance accumulation (JUNO-H).
+    /// Exact-distance accumulation (JUNO-H), as a two-phase fast-scan.
     ///
     /// For each probed cluster the selective LUT slot is expanded into the
-    /// dense decode buffer (`NaN` = unselected), then the cluster's
-    /// IVF-contiguous code block is scanned point-major: per candidate, one
-    /// O(1) indexed load per subspace, no hashing and no binary search. The
-    /// candidate set is identical to the old inverted-index scatter walk —
-    /// exactly the cluster members with at least one selected entry.
+    /// dense decode buffer (`NaN` = unselected) and quantised into a `u8`
+    /// prune LUT with conservative rounding. Phase 1 scores the cluster's
+    /// block-interleaved codes against the quantised LUT (AVX2 when
+    /// available), pruning candidates — and whole blocks, via early abandon —
+    /// whose score lower bound cannot enter the top-k; clusters whose global
+    /// bound loses to the current worst are skipped outright. Phase 2
+    /// re-ranks every survivor through [`rank_candidate_exact`], the same
+    /// arithmetic the plain scan uses, so final ids and distance bits are
+    /// identical to the fast-scan-disabled path. The candidate set is the
+    /// cluster members with at least one selected entry, exactly as before.
     fn search_high(
         &self,
         query: &[f32],
@@ -461,12 +558,13 @@ impl JunoIndex {
         lut: &SelectiveLut,
         thresholds: &[Vec<f32>],
         scratch: &mut SearchScratch,
-    ) -> Result<(Vec<Neighbor>, usize, usize)> {
+    ) -> Result<(Vec<Neighbor>, ScanCounters)> {
         let subspaces = self.pq.num_subspaces();
         let entries = self.pq.entries_per_subspace();
-        let mut topk = TopK::new(k, self.config.metric);
-        let mut accumulations = 0usize;
-        let mut total_candidates = 0usize;
+        let metric = self.config.metric;
+        let factor = self.config.miss_penalty_factor;
+        let mut topk = TopK::new(k, metric);
+        let mut ctr = ScanCounters::default();
         // Hoisted: after build or compact there are no stored tombstones, so
         // the never-mutated hot path skips the per-candidate random-access
         // load into the tombstone bitmap entirely.
@@ -474,10 +572,9 @@ impl JunoIndex {
 
         for (slot, &cluster) in clusters.iter().enumerate() {
             scratch.decode.decode_slot(lut, slot);
-            let dense = scratch.decode.as_slice();
 
             // Per-cluster constants.
-            let centroid_term = match self.config.metric {
+            let centroid_term = match metric {
                 Metric::L2 => 0.0,
                 Metric::InnerProduct => inner_product(query, self.ivf.centroid(cluster)?),
             };
@@ -487,49 +584,125 @@ impl JunoIndex {
             let mean_thr_sq: f32 =
                 thresholds[slot].iter().map(|t| t * t).sum::<f32>() / subspaces.max(1) as f32;
 
-            // Up to two contiguous runs per cluster: the CSR base block and
-            // the post-compaction append tail. Tombstoned ids are skipped.
-            for (ids, codes) in self.list_codes.cluster_segments(cluster) {
+            let dense = scratch.decode.as_slice();
+            let ids = self.list_codes.cluster_ids(cluster);
+            let codes = self.list_codes.cluster_codes(cluster);
+
+            // The prune pass only pays for itself once there is a top-k
+            // worst score to prune against and the cluster is large enough
+            // to amortise the O(subspaces × E) quantisation; otherwise the
+            // base segment is scanned exactly (identical results either
+            // way — pruning never changes results, only work).
+            let worst0 = topk.worst_score();
+            let prune = self.fastscan && worst0.is_some() && ids.len() >= MIN_PRUNE_POINTS;
+            if prune {
+                // Quantise this slot's "lower is better" score contributions
+                // straight from the decode buffer: L2 takes LUT values with
+                // the miss penalty substituted for unselected entries; MIPS
+                // negates (score = −IP) and adds the centroid term once per
+                // candidate.
+                let (const_term, unselected, negate) = match metric {
+                    Metric::L2 => (0.0, mean_thr_sq * factor, false),
+                    Metric::InnerProduct => (-centroid_term, 0.0, true),
+                };
+                scratch
+                    .qlut
+                    .build_selective(dense, subspaces, entries, const_term, unselected, negate);
+
+                // Cluster-level pruning: no member (base or tail) can beat
+                // the per-subspace minima bound.
+                if scratch.qlut.cluster_bound() >= worst0.expect("prune requires worst") as f64 {
+                    ctr.pruned_clusters += 1;
+                    ctr.pruned_points += ids.len() + self.list_codes.cluster_tail(cluster).0.len();
+                    continue;
+                }
+
+                let blocks = self.list_codes.cluster_blocks(cluster);
+                let topk_ref = &mut topk;
+                let ctr_ref = &mut ctr;
+                let list_codes = &self.list_codes;
+                let (pp, pb) =
+                    blocks.prune_scan(&scratch.qlut, &mut scratch.lane_sums, worst0, |i| {
+                        let pid = ids[i];
+                        if !(check_tombstones && list_codes.is_deleted(pid)) {
+                            rank_candidate_exact(
+                                metric,
+                                dense,
+                                entries,
+                                &codes[i * subspaces..(i + 1) * subspaces],
+                                pid,
+                                mean_thr_sq,
+                                factor,
+                                centroid_term,
+                                topk_ref,
+                                ctr_ref,
+                            );
+                        }
+                        topk_ref.worst_score()
+                    });
+                ctr.pruned_points += pp;
+                ctr.pruned_blocks += pb;
+            } else {
+                // Plain streaming scan of the base segment.
                 for (i, &pid) in ids.iter().enumerate() {
                     if check_tombstones && self.list_codes.is_deleted(pid) {
                         continue;
                     }
-                    let code = &codes[i * subspaces..(i + 1) * subspaces];
-                    let mut sum = 0.0f32;
-                    let mut covered = 0u32;
-                    for (s, &e) in code.iter().enumerate() {
-                        let v = dense[s * entries + e as usize];
-                        // NaN marks "entry not selected"; comparison is false
-                        // for NaN so the branch predictor sees the common
-                        // case.
-                        if !v.is_nan() {
-                            sum += v;
-                            covered += 1;
-                        }
-                    }
-                    if covered == 0 {
-                        continue;
-                    }
-                    accumulations += covered as usize;
-                    total_candidates += 1;
-                    let missing = (subspaces as u32 - covered) as f32;
-                    let raw = match self.config.metric {
-                        Metric::L2 => sum + missing * mean_thr_sq * self.config.miss_penalty_factor,
-                        // Missing subspaces contribute no (positive)
-                        // similarity.
-                        Metric::InnerProduct => centroid_term + sum,
-                    };
-                    topk.push(pid as u64, raw);
+                    rank_candidate_exact(
+                        metric,
+                        dense,
+                        entries,
+                        &codes[i * subspaces..(i + 1) * subspaces],
+                        pid,
+                        mean_thr_sq,
+                        factor,
+                        centroid_term,
+                        &mut topk,
+                        &mut ctr,
+                    );
                 }
             }
+            // Append-tail records (inserted since the last compaction) have
+            // no block view; scan them exactly, in id order, after the base
+            // — the same global order on every path.
+            let (tail_ids, tail_codes) = self.list_codes.cluster_tail(cluster);
+            for (i, &pid) in tail_ids.iter().enumerate() {
+                if check_tombstones && self.list_codes.is_deleted(pid) {
+                    continue;
+                }
+                rank_candidate_exact(
+                    metric,
+                    dense,
+                    entries,
+                    &tail_codes[i * subspaces..(i + 1) * subspaces],
+                    pid,
+                    mean_thr_sq,
+                    factor,
+                    centroid_term,
+                    &mut topk,
+                    &mut ctr,
+                );
+            }
         }
-        Ok((topk.into_sorted_vec(), accumulations, total_candidates))
+        // Bound-settled points still count as scanned candidates, keeping
+        // the candidate count — and with it the simulated GPU stage times
+        // and the figure outputs — independent of the host-side fast-scan
+        // toggle. (Bound-pruned tombstones / zero-coverage points are
+        // counted although the exact path would skip them: an approximation
+        // in the direction of the pre-fast-scan semantics. `accumulations`
+        // still reflects exactly the f32 work performed.)
+        ctr.candidates += ctr.pruned_points;
+        Ok((topk.into_sorted_vec(), ctr))
     }
 
-    /// Hit-count ranking (JUNO-L / JUNO-M), over the same dense decode
-    /// buffer + contiguous code scan as [`JunoIndex::search_high`]. A point
-    /// belongs to exactly one IVF cluster, so per-candidate counts need no
-    /// cross-cluster merging.
+    /// Hit-count ranking (JUNO-L / JUNO-M). A point belongs to exactly one
+    /// IVF cluster, so per-candidate counts need no cross-cluster merging.
+    ///
+    /// With fast-scan enabled the counts come out of the block kernel: the
+    /// selective LUT slot is expanded into 0/1 indicator LUTs (selected /
+    /// inside the inner half-threshold sphere) and one kernel pass per block
+    /// yields 32 exact integer counts at once — no quantisation error, so
+    /// results are identical to the dense-buffer reference path.
     fn search_hitcount(
         &self,
         k: usize,
@@ -538,16 +711,15 @@ impl JunoIndex {
         thresholds: &[Vec<f32>],
         mode: HitCountMode,
         scratch: &mut SearchScratch,
-    ) -> Result<(Vec<Neighbor>, usize, usize)> {
+    ) -> Result<(Vec<Neighbor>, ScanCounters)> {
         let subspaces = self.pq.num_subspaces();
         let entries = self.pq.entries_per_subspace();
-        let mut accumulations = 0usize;
+        let stride = entries.next_multiple_of(16);
+        let mut ctr = ScanCounters::default();
         let check_tombstones = self.list_codes.stored_tombstones() > 0;
         scratch.hit_scores.clear();
 
         for (slot, &cluster) in clusters.iter().enumerate() {
-            scratch.decode.decode_slot(lut, slot);
-            let dense = scratch.decode.as_slice();
             // Inner-sphere membership: within half the threshold. For MIPS
             // the exact-value check is skipped (see the hitcount module
             // docs); every hit counts as an outer hit only.
@@ -556,38 +728,125 @@ impl JunoIndex {
                 let h = thresholds[slot][s] * 0.5;
                 *half = h * h;
             }
-            for (ids, codes) in self.list_codes.cluster_segments(cluster) {
-                for (i, &pid) in ids.iter().enumerate() {
+            let score_of = |outer: u32, inner: u32| match mode {
+                HitCountMode::CountOnly => outer as i64,
+                HitCountMode::RewardPenalty => inner as i64 - (subspaces as i64 - outer as i64),
+            };
+
+            if self.fastscan {
+                // 0/1 indicator LUTs straight from the sparse rows — the
+                // dense f32 expansion is not needed at all on this path.
+                let want_inner = inner_enabled && mode == HitCountMode::RewardPenalty;
+                scratch.outer_lut.clear();
+                scratch.outer_lut.resize(subspaces * stride, 0);
+                if want_inner {
+                    scratch.inner_lut.clear();
+                    scratch.inner_lut.resize(subspaces * stride, 0);
+                }
+                for s in 0..subspaces {
+                    let row_ids = lut.row_entries(slot, s);
+                    let row_vals = lut.row_values(slot, s);
+                    for (&e, &v) in row_ids.iter().zip(row_vals) {
+                        scratch.outer_lut[s * stride + e as usize] = 1;
+                        if want_inner && v <= scratch.half_sq[s] {
+                            scratch.inner_lut[s * stride + e as usize] = 1;
+                        }
+                    }
+                }
+
+                let ids = self.list_codes.cluster_ids(cluster);
+                let blocks = self.list_codes.cluster_blocks(cluster);
+                let nibble = blocks.nibble_packed();
+                for b in 0..blocks.num_blocks() {
+                    let rows = blocks.block_rows(b);
+                    kernel::accumulate_block(
+                        &scratch.outer_lut,
+                        stride,
+                        subspaces,
+                        rows,
+                        nibble,
+                        &mut scratch.lane_sums,
+                    );
+                    if want_inner {
+                        kernel::accumulate_block(
+                            &scratch.inner_lut,
+                            stride,
+                            subspaces,
+                            rows,
+                            nibble,
+                            &mut scratch.lane_inner,
+                        );
+                    }
+                    for lane in 0..blocks.block_len(b) {
+                        let pid = ids[b * BLOCK_LANES + lane];
+                        if check_tombstones && self.list_codes.is_deleted(pid) {
+                            continue;
+                        }
+                        let outer = scratch.lane_sums[lane] as u32;
+                        if outer == 0 {
+                            continue;
+                        }
+                        ctr.accumulations += outer as usize;
+                        let inner = if want_inner {
+                            scratch.lane_inner[lane] as u32
+                        } else {
+                            0
+                        };
+                        scratch.hit_scores.push((pid, score_of(outer, inner)));
+                    }
+                }
+                // Tail records: the same indicator LUTs, looked up scalar.
+                let (tail_ids, tail_codes) = self.list_codes.cluster_tail(cluster);
+                for (i, &pid) in tail_ids.iter().enumerate() {
                     if check_tombstones && self.list_codes.is_deleted(pid) {
                         continue;
                     }
-                    let code = &codes[i * subspaces..(i + 1) * subspaces];
+                    let code = &tail_codes[i * subspaces..(i + 1) * subspaces];
                     let mut outer = 0u32;
                     let mut inner = 0u32;
                     for (s, &e) in code.iter().enumerate() {
-                        let v = dense[s * entries + e as usize];
-                        if !v.is_nan() {
-                            outer += 1;
-                            if inner_enabled && v <= scratch.half_sq[s] {
-                                inner += 1;
-                            }
+                        outer += scratch.outer_lut[s * stride + e as usize] as u32;
+                        if want_inner {
+                            inner += scratch.inner_lut[s * stride + e as usize] as u32;
                         }
                     }
                     if outer == 0 {
                         continue;
                     }
-                    accumulations += outer as usize;
-                    let score = match mode {
-                        HitCountMode::CountOnly => outer as i64,
-                        HitCountMode::RewardPenalty => {
-                            inner as i64 - (subspaces as i64 - outer as i64)
+                    ctr.accumulations += outer as usize;
+                    scratch.hit_scores.push((pid, score_of(outer, inner)));
+                }
+            } else {
+                // Reference path over the dense f32 decode buffer.
+                scratch.decode.decode_slot(lut, slot);
+                let dense = scratch.decode.as_slice();
+                for (ids, codes) in self.list_codes.cluster_segments(cluster) {
+                    for (i, &pid) in ids.iter().enumerate() {
+                        if check_tombstones && self.list_codes.is_deleted(pid) {
+                            continue;
                         }
-                    };
-                    scratch.hit_scores.push((pid, score));
+                        let code = &codes[i * subspaces..(i + 1) * subspaces];
+                        let mut outer = 0u32;
+                        let mut inner = 0u32;
+                        for (s, &e) in code.iter().enumerate() {
+                            let v = dense[s * entries + e as usize];
+                            if !v.is_nan() {
+                                outer += 1;
+                                if inner_enabled && v <= scratch.half_sq[s] {
+                                    inner += 1;
+                                }
+                            }
+                        }
+                        if outer == 0 {
+                            continue;
+                        }
+                        ctr.accumulations += outer as usize;
+                        scratch.hit_scores.push((pid, score_of(outer, inner)));
+                    }
                 }
             }
         }
-        let candidates = scratch.hit_scores.len();
+        ctr.candidates = scratch.hit_scores.len();
         // Rank by score (descending), ties by point id — the same order the
         // hit-count accumulator produced.
         scratch
@@ -599,7 +858,7 @@ impl JunoIndex {
             .iter()
             .map(|&(pid, score)| Neighbor::new(pid as u64, score as f32))
             .collect();
-        Ok((neighbors, accumulations, candidates))
+        Ok((neighbors, ctr))
     }
 
     /// The per-stage simulated breakdown of the last-run query shape — used
@@ -626,7 +885,7 @@ impl JunoIndex {
         }
         let (clusters, lut, rt_stats, thresholds) = self.build_selective_lut(query)?;
 
-        let (neighbors, accumulations, candidates) = match self.config.quality {
+        let (neighbors, ctr) = match self.config.quality {
             QualityMode::High => {
                 self.search_high(query, k, &clusters, &lut, &thresholds, scratch)?
             }
@@ -652,21 +911,24 @@ impl JunoIndex {
             clusters: self.ivf.n_clusters(),
             dim: self.dim(),
             rt: rt_stats,
-            candidates,
+            candidates: ctr.candidates,
             subspaces: self.pq.num_subspaces(),
         };
         let breakdown = self.simulator.simulate(&work);
         let stats = SearchStats {
             filter_distances: self.ivf.n_clusters(),
             lut_distances: rt_stats.hits,
-            accumulations,
-            candidates,
+            accumulations: ctr.accumulations,
+            candidates: ctr.candidates,
             rt_aabb_tests: rt_stats.aabb_tests,
             rt_primitive_tests: rt_stats.primitive_tests,
             rt_hits: rt_stats.hits,
             filter_us: breakdown.filter_us,
             lut_us: breakdown.lut_us,
             accumulate_us: breakdown.accumulate_us,
+            pruned_points: ctr.pruned_points,
+            pruned_blocks: ctr.pruned_blocks,
+            pruned_clusters: ctr.pruned_clusters,
         };
         Ok(SearchResult {
             neighbors,

@@ -17,10 +17,22 @@
 //! | `CONF` | engine layout version + the full [`JunoConfig`]             |
 //! | `IVFC` | coarse centroids, per-point labels, live inverted lists     |
 //! | `PQCB` | per-subspace codebook entry sets                            |
-//! | `CODE` | dataset-order PQ codes (`EncodedPoints`)                    |
-//! | `LAYT` | [`IvfListCodes`] CSR base + append tails + tombstones       |
+//! | `CODE` | dataset-order PQ codes (`EncodedPoints`), section version 2 |
+//! | `LAYT` | [`IvfListCodes`] CSR base + append tails + tombstones (v2)  |
 //! | `THRM` | per-subspace density maps, regressors, min/max thresholds   |
 //! | `SCNB` | the per-subspace scene bounds the RT scene is rebuilt from  |
+//!
+//! # Code-width compatibility (`CODE` / `LAYT` section version 2)
+//!
+//! Since the fast-scan PR, PQ codes are stored as `u8` (codebooks are capped
+//! at 256 entries). Versioned sections lead with a `u64::MAX` sentinel — a
+//! value the legacy layout (which began with a count) can never produce —
+//! followed by a `u32` section version. Legacy `u16`-code snapshots are
+//! still read: codes are narrowed with validation, and a legacy snapshot
+//! built with more than 256 entries per subspace (never a shipped
+//! configuration) is rejected as corrupt rather than silently truncated.
+//! The block-interleaved fast-scan view is *not* serialised; it is rebuilt
+//! deterministically from the CSR base on load.
 
 use crate::config::JunoConfig;
 use crate::density::DensityMap;
@@ -141,21 +153,64 @@ pub mod codec {
         ProductQuantizer::from_parts(codebooks)
     }
 
-    /// Writes dataset-order PQ codes.
-    pub fn put_codes(w: &mut SectionWriter, codes: &EncodedPoints) {
-        w.put_u64(codes.num_subspaces() as u64);
-        w.put_u16s(codes.as_flat());
+    /// Sentinel heading versioned (v2+) code-carrying payloads. Legacy (v1)
+    /// payloads start with the subspace count instead, which can never be
+    /// `u64::MAX`, so the two framings are unambiguous.
+    pub(super) const CODE_FORMAT_SENTINEL: u64 = u64::MAX;
+
+    /// Version written into `CODE` sections (v2 = `u8` codes; v1, the
+    /// unversioned legacy layout, stored `u16`).
+    pub const CODE_SECTION_VERSION: u32 = 2;
+
+    /// Narrows legacy `u16` codes to the `u8` width, rejecting snapshots
+    /// from configurations (entries per subspace > 256) that are no longer
+    /// buildable.
+    pub(super) fn narrow_codes(wide: Vec<u16>) -> Result<Vec<u8>> {
+        wide.into_iter()
+            .map(|c| {
+                u8::try_from(c).map_err(|_| {
+                    Error::corrupted(
+                        "legacy snapshot stores codes above 255 \
+                         (entries_per_subspace > 256 is no longer supported)",
+                    )
+                })
+            })
+            .collect()
     }
 
-    /// Reads dataset-order PQ codes.
+    /// Writes dataset-order PQ codes (v2: `u8` codes).
+    pub fn put_codes(w: &mut SectionWriter, codes: &EncodedPoints) {
+        w.put_u64(CODE_FORMAT_SENTINEL);
+        w.put_u32(CODE_SECTION_VERSION);
+        w.put_u64(codes.num_subspaces() as u64);
+        w.put_u8s(codes.as_flat());
+    }
+
+    /// Reads dataset-order PQ codes, accepting both the v2 `u8` layout and
+    /// the legacy (pre-fast-scan) `u16` layout.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Corrupted`] / [`Error::InvalidConfig`] for malformed
-    /// contents.
+    /// contents, unknown versions, or legacy codes that do not fit in `u8`.
     pub fn get_codes(r: &mut SectionReader<'_>) -> Result<EncodedPoints> {
+        let mut probe = r.clone();
+        if probe.get_u64()? == CODE_FORMAT_SENTINEL {
+            let version = probe.get_u32()?;
+            if version != CODE_SECTION_VERSION {
+                return Err(Error::corrupted(format!(
+                    "unknown CODE section version {version} \
+                     (reader supports {CODE_SECTION_VERSION} and legacy)"
+                )));
+            }
+            let subspaces = probe.get_usize()?;
+            let flat = probe.get_u8s()?;
+            *r = probe;
+            return EncodedPoints::from_parts(flat, subspaces);
+        }
+        // Legacy layout: subspace count first, u16 codes.
         let subspaces = r.get_usize()?;
-        let flat = r.get_u16s()?;
+        let flat = narrow_codes(r.get_u16s()?)?;
         EncodedPoints::from_parts(flat, subspaces)
     }
 }
@@ -323,30 +378,55 @@ fn get_config(r: &mut SectionReader<'_>) -> Result<JunoConfig> {
 
 fn put_layout(w: &mut SectionWriter, layout: &IvfListCodes) {
     let parts = layout.to_parts();
+    w.put_u64(codec::CODE_FORMAT_SENTINEL);
+    w.put_u32(codec::CODE_SECTION_VERSION);
     w.put_u32s(&parts.offsets);
     w.put_u32s(&parts.point_ids);
-    w.put_u16s(&parts.codes);
+    w.put_u8s(&parts.codes);
     w.put_u64(parts.num_subspaces as u64);
     w.put_u64(parts.extra_ids.len() as u64);
     for (ids, codes) in parts.extra_ids.iter().zip(&parts.extra_codes) {
         w.put_u32s(ids);
-        w.put_u16s(codes);
+        w.put_u8s(codes);
     }
     w.put_bools(&parts.deleted);
     w.put_u32(parts.next_id);
 }
 
 fn get_layout(r: &mut SectionReader<'_>) -> Result<IvfListCodes> {
+    // v2 layouts lead with the code-format sentinel; legacy layouts start
+    // with the length prefix of the offsets array, which cannot be u64::MAX.
+    let mut probe = r.clone();
+    let v2 = probe.get_u64()? == codec::CODE_FORMAT_SENTINEL;
+    if v2 {
+        let version = probe.get_u32()?;
+        if version != codec::CODE_SECTION_VERSION {
+            return Err(Error::corrupted(format!(
+                "unknown LAYT section version {version} \
+                 (reader supports {} and legacy)",
+                codec::CODE_SECTION_VERSION
+            )));
+        }
+        *r = probe;
+    }
     let offsets = r.get_u32s()?;
     let point_ids = r.get_u32s()?;
-    let codes = r.get_u16s()?;
+    let codes = if v2 {
+        r.get_u8s()?
+    } else {
+        codec::narrow_codes(r.get_u16s()?)?
+    };
     let num_subspaces = r.get_usize()?;
     let clusters = r.get_usize()?;
     let mut extra_ids = Vec::with_capacity(clusters.min(1 << 20));
     let mut extra_codes = Vec::with_capacity(clusters.min(1 << 20));
     for _ in 0..clusters {
         extra_ids.push(r.get_u32s()?);
-        extra_codes.push(r.get_u16s()?);
+        extra_codes.push(if v2 {
+            r.get_u8s()?
+        } else {
+            codec::narrow_codes(r.get_u16s()?)?
+        });
     }
     let deleted = r.get_bools()?;
     let next_id = r.get_u32()?;
@@ -503,6 +583,16 @@ impl JunoIndex {
                 "snapshot sections are mutually inconsistent",
             ));
         }
+        // Every stored code must address a live codebook entry; the scan
+        // kernels index LUT rows without per-lookup bounds checks.
+        let code_in_range = |c: Option<u8>| c.is_none_or(|c| (c as usize) < config.pq_entries);
+        if !code_in_range(codes.as_flat().iter().copied().max())
+            || !code_in_range(list_codes.max_code())
+        {
+            return Err(Error::corrupted(
+                "snapshot stores codes outside the codebook entry range",
+            ));
+        }
 
         let mapping = Self::build_mapping(&pq, config.metric, &scene_bounds)?;
         let simulator = QuerySimulator::new(
@@ -521,6 +611,7 @@ impl JunoIndex {
             mapping,
             scene_bounds,
             simulator,
+            fastscan: true,
         })
     }
 

@@ -120,6 +120,18 @@ impl SectionWriter {
         self.buf.extend(vs.iter().map(|&b| b as u8));
     }
 
+    /// Appends a length-prefixed `u8` slice.
+    pub fn put_u8s(&mut self, vs: &[u8]) {
+        self.put_u64(vs.len() as u64);
+        self.buf.extend_from_slice(vs);
+    }
+
+    /// Appends raw bytes verbatim (no length prefix) — container surgery
+    /// such as re-encoding one section of an existing snapshot.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Appends a length-prefixed `u16` slice.
     pub fn put_u16s(&mut self, vs: &[u16]) {
         self.put_u64(vs.len() as u64);
@@ -469,6 +481,22 @@ impl<'a> SectionReader<'a> {
             .collect()
     }
 
+    /// Reads a length-prefixed `u8` slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`SectionReader::get_u8`].
+    pub fn get_u8s(&mut self) -> Result<Vec<u8>> {
+        let n = self.slice_len(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Takes every byte not yet consumed (container surgery — copying a
+    /// section payload verbatim).
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        self.take(self.bytes.len()).expect("length is exact")
+    }
+
     /// Reads a length-prefixed `u16` slice.
     ///
     /// # Errors
@@ -561,6 +589,7 @@ mod tests {
         a.put_string("hello snapshot");
         let mut b = SectionWriter::new();
         b.put_bools(&[true, false, true]);
+        b.put_u8s(&[9, 0, 255]);
         b.put_u16s(&[1, 2, 65535]);
         b.put_u32s(&[10, 20]);
         b.put_u64s(&[u64::MAX]);
@@ -594,6 +623,7 @@ mod tests {
 
         let mut b = snap.section(*b"BBBB").unwrap();
         assert_eq!(b.get_bools().unwrap(), vec![true, false, true]);
+        assert_eq!(b.get_u8s().unwrap(), vec![9, 0, 255]);
         assert_eq!(b.get_u16s().unwrap(), vec![1, 2, 65535]);
         assert_eq!(b.get_u32s().unwrap(), vec![10, 20]);
         assert_eq!(b.get_u64s().unwrap(), vec![u64::MAX]);
@@ -606,6 +636,25 @@ mod tests {
         b.expect_end().unwrap();
 
         assert!(snap.section(*b"ZZZZ").is_err());
+    }
+
+    #[test]
+    fn raw_bytes_and_take_rest_support_container_surgery() {
+        // Copy one section of an existing snapshot verbatim into a new
+        // container (the tool the back-compat tests use to synthesise
+        // legacy-format snapshots).
+        let bytes = sample_snapshot();
+        let snap = Snapshot::parse(&bytes).unwrap();
+        let payload = snap.section(*b"AAAA").unwrap().take_rest().to_vec();
+        let mut copied = SectionWriter::new();
+        copied.put_raw(&payload);
+        let mut w = SnapshotWriter::new(K);
+        w.add_section(*b"AAAA", copied);
+        let rebuilt = w.finish();
+        let snap2 = Snapshot::parse(&rebuilt).unwrap();
+        let mut a = snap2.section(*b"AAAA").unwrap();
+        assert_eq!(a.get_u8().unwrap(), 7);
+        assert_eq!(a.get_u32().unwrap(), 0xDEAD_BEEF);
     }
 
     #[test]

@@ -31,9 +31,25 @@
 //!
 //! Point ids are monotonically increasing and never reused, so ids handed
 //! out before a mutation stay valid afterwards.
+//!
+//! # Block-interleaved fast-scan layout
+//!
+//! Alongside the point-major base block, every cluster keeps a second,
+//! derived view of the same codes: [`BlockCodes`], the base segment
+//! transposed into blocks of [`BLOCK_LANES`](juno_common::kernel::BLOCK_LANES)
+//! (32) points. Within a block the codes are subspace-major — one LUT entry
+//! serves 32 contiguous lanes — which is the shape the quantised fast-scan
+//! kernel (`juno_common::kernel`) consumes; when every code of the cluster
+//! fits in 4 bits the rows are nibble-packed (two lanes per byte). The block
+//! view is rebuilt by [`IvfListCodes::build`], [`IvfListCodes::compact`] and
+//! [`IvfListCodes::from_parts`]; append tails are *not* block-interleaved
+//! (they are scanned by the exact path until the next compaction).
 
 use crate::pq::EncodedPoints;
 use juno_common::error::{Error, Result};
+use juno_common::kernel::{
+    block_lane_code, row_bytes, scan_block_with_abandon, QuantizedLut, BLOCK_LANES, NEVER_PRUNE,
+};
 
 /// PQ codes grouped contiguously by IVF cluster, with the original point ids
 /// carried alongside, plus the append-tail / tombstone state described in the
@@ -48,12 +64,16 @@ pub struct IvfListCodes {
     /// Codes in cluster-grouped, point-major order:
     /// `codes[(offsets[c] + i) * S + s]` is the subspace-`s` code of the
     /// `i`-th member of cluster `c`.
-    codes: Vec<u16>,
+    codes: Vec<u8>,
     num_subspaces: usize,
+    /// The block-interleaved view of every cluster's base segment, consumed
+    /// by the fast-scan prune pass. Derived from `offsets`/`codes`, rebuilt
+    /// on build / compaction / restore.
+    blocks: Vec<BlockCodes>,
     /// Per-cluster ids appended since the last compaction.
     extra_ids: Vec<Vec<u32>>,
     /// Per-cluster point-major codes appended since the last compaction.
-    extra_codes: Vec<Vec<u16>>,
+    extra_codes: Vec<Vec<u8>>,
     /// `deleted[id]` — tombstone bit per point id. Monotone: ids of deleted
     /// points are never reused, so bits stay set across compactions.
     deleted: Vec<bool>,
@@ -76,13 +96,13 @@ pub struct IvfListCodesParts {
     /// Base point ids, grouped by cluster.
     pub point_ids: Vec<u32>,
     /// Base codes, cluster-grouped point-major.
-    pub codes: Vec<u16>,
+    pub codes: Vec<u8>,
     /// Subspaces per code.
     pub num_subspaces: usize,
     /// Per-cluster appended ids.
     pub extra_ids: Vec<Vec<u32>>,
     /// Per-cluster appended codes.
-    pub extra_codes: Vec<Vec<u16>>,
+    pub extra_codes: Vec<Vec<u8>>,
     /// Tombstone bit per id (length `next_id`).
     pub deleted: Vec<bool>,
     /// Next id to assign.
@@ -131,7 +151,7 @@ impl IvfListCodes {
         }
 
         let mut point_ids = vec![0u32; labels.len()];
-        let mut grouped = vec![0u16; labels.len() * s];
+        let mut grouped = vec![0u8; labels.len() * s];
         let mut cursors = counts.clone();
         for (p, &c) in labels.iter().enumerate() {
             let at = cursors[c] as usize;
@@ -140,11 +160,13 @@ impl IvfListCodes {
             cursors[c] += 1;
         }
 
+        let blocks = build_blocks(&counts, &grouped, s);
         Ok(Self {
             offsets: counts,
             point_ids,
             codes: grouped,
             num_subspaces: s,
+            blocks,
             extra_ids: vec![Vec::new(); num_clusters],
             extra_codes: vec![Vec::new(); num_clusters],
             deleted: vec![false; labels.len()],
@@ -200,7 +222,7 @@ impl IvfListCodes {
     /// [`Error::DimensionMismatch`] when `code` does not have
     /// [`IvfListCodes::num_subspaces`] entries and [`Error::InvalidConfig`]
     /// when the u32 id space is exhausted.
-    pub fn append(&mut self, cluster: usize, code: &[u16]) -> Result<u32> {
+    pub fn append(&mut self, cluster: usize, code: &[u8]) -> Result<u32> {
         if cluster >= self.num_clusters() {
             return Err(Error::IndexOutOfBounds {
                 what: "cluster".into(),
@@ -251,7 +273,7 @@ impl IvfListCodes {
         let s = self.num_subspaces;
         let mut new_offsets = Vec::with_capacity(clusters + 1);
         let mut new_ids = Vec::with_capacity(self.live);
-        let mut new_codes = Vec::with_capacity(self.live * s);
+        let mut new_codes: Vec<u8> = Vec::with_capacity(self.live * s);
         new_offsets.push(0u32);
         for c in 0..clusters {
             // Base members and tail members, both already id-sorted (the base
@@ -285,6 +307,7 @@ impl IvfListCodes {
             }
             new_offsets.push(new_ids.len() as u32);
         }
+        self.blocks = build_blocks(&new_offsets, &new_codes, s);
         self.offsets = new_offsets;
         self.point_ids = new_ids;
         self.codes = new_codes;
@@ -312,7 +335,7 @@ impl IvfListCodes {
     /// The contiguous point-major code block of `cluster`'s base segment
     /// (`cluster_ids(c).len() × num_subspaces` values).
     #[inline]
-    pub fn cluster_codes(&self, cluster: usize) -> &[u16] {
+    pub fn cluster_codes(&self, cluster: usize) -> &[u8] {
         let (start, end) = self.bounds(cluster);
         &self.codes[start * self.num_subspaces..end * self.num_subspaces]
     }
@@ -326,13 +349,29 @@ impl IvfListCodes {
     ///
     /// Panics if `cluster` is out of bounds.
     #[inline]
-    pub fn cluster_segments(&self, cluster: usize) -> impl Iterator<Item = (&[u32], &[u16])> {
+    pub fn cluster_segments(&self, cluster: usize) -> impl Iterator<Item = (&[u32], &[u8])> {
         let base = (self.cluster_ids(cluster), self.cluster_codes(cluster));
         let tail = (
             self.extra_ids[cluster].as_slice(),
             self.extra_codes[cluster].as_slice(),
         );
         [base, tail].into_iter().filter(|(ids, _)| !ids.is_empty())
+    }
+
+    /// The append-tail records of `cluster` (ids and point-major codes) —
+    /// empty unless points were inserted since the last compaction. Tail
+    /// records are scanned by the exact path; only the base segment has a
+    /// block-interleaved view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of bounds.
+    #[inline]
+    pub fn cluster_tail(&self, cluster: usize) -> (&[u32], &[u8]) {
+        (
+            self.extra_ids[cluster].as_slice(),
+            self.extra_codes[cluster].as_slice(),
+        )
     }
 
     #[inline]
@@ -343,11 +382,26 @@ impl IvfListCodes {
         )
     }
 
+    /// The largest code value stored (base + tails), or `None` when no code
+    /// is stored. Restore paths cross-check this against the codebook's
+    /// entry count so corrupt snapshots cannot drive out-of-range LUT
+    /// lookups.
+    pub fn max_code(&self) -> Option<u8> {
+        let base = self.codes.iter().copied().max();
+        let tails = self
+            .extra_codes
+            .iter()
+            .filter_map(|c| c.iter().copied().max())
+            .max();
+        base.into_iter().chain(tails).max()
+    }
+
     /// Memory footprint of the stored codes (base + tails) in bytes
     /// (diagnostics).
     pub fn code_bytes(&self) -> usize {
         let tail: usize = self.extra_codes.iter().map(Vec::len).sum();
-        (self.codes.len() + tail) * std::mem::size_of::<u16>()
+        let blocks: usize = self.blocks.iter().map(BlockCodes::data_bytes).sum();
+        self.codes.len() + tail + blocks
     }
 
     /// Clones the full state into a serialisable [`IvfListCodesParts`].
@@ -447,11 +501,13 @@ impl IvfListCodes {
                 }
             }
         }
+        let blocks = build_blocks(&offsets, &codes, num_subspaces);
         Ok(Self {
             offsets,
             point_ids,
             codes,
             num_subspaces,
+            blocks,
             extra_ids,
             extra_codes,
             deleted,
@@ -460,6 +516,199 @@ impl IvfListCodes {
             stored_tombstones,
         })
     }
+
+    /// The block-interleaved view of `cluster`'s base segment, consumed by
+    /// the fast-scan prune pass. Tail (appended) records are not covered —
+    /// scan them through [`IvfListCodes::cluster_segments`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of bounds.
+    #[inline]
+    pub fn cluster_blocks(&self, cluster: usize) -> &BlockCodes {
+        &self.blocks[cluster]
+    }
+}
+
+/// One cluster's base-segment codes transposed into 32-point blocks for the
+/// fast-scan kernel.
+///
+/// Block `b` covers base points `b * 32 .. min((b + 1) * 32, n)`. Within a
+/// block the data is subspace-major: row `s` holds the subspace-`s` codes of
+/// all 32 lanes, so one quantised LUT row is reused across 32 contiguous
+/// candidates. Rows are 32 bytes — or 16 when every code of the cluster
+/// fits in a nibble (`< 16`), in which case lane `l < 16` lives in the low
+/// nibble of byte `l` and lane `l ≥ 16` in the high nibble of byte
+/// `l − 16` (the shape one AVX2 `vpshufb` consumes directly).
+///
+/// Tail blocks shorter than 32 points are zero-padded; the padded lanes
+/// produce garbage sums that callers ignore (`block_len` bounds the loop)
+/// and that only ever make early-abandon checks more conservative.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockCodes {
+    /// `num_blocks × num_subspaces` rows of `row_bytes` each.
+    data: Vec<u8>,
+    num_points: usize,
+    num_subspaces: usize,
+    nibble: bool,
+}
+
+impl BlockCodes {
+    /// Transposes `num_points` point-major codes into block-interleaved
+    /// rows, nibble-packing when every code is `< 16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != num_points * num_subspaces` (internal
+    /// misuse — callers pass exact base-segment slices).
+    pub fn build(codes: &[u8], num_points: usize, num_subspaces: usize) -> Self {
+        assert_eq!(codes.len(), num_points * num_subspaces);
+        let nibble = codes.iter().all(|&c| c < 16);
+        let rb = row_bytes(nibble);
+        let num_blocks = num_points.div_ceil(BLOCK_LANES);
+        let mut data = vec![0u8; num_blocks * num_subspaces * rb];
+        for i in 0..num_points {
+            let (b, lane) = (i / BLOCK_LANES, i % BLOCK_LANES);
+            for s in 0..num_subspaces {
+                let c = codes[i * num_subspaces + s];
+                let at = (b * num_subspaces + s) * rb;
+                if nibble {
+                    data[at + (lane & 15)] |= if lane < 16 { c } else { c << 4 };
+                } else {
+                    data[at + lane] = c;
+                }
+            }
+        }
+        Self {
+            data,
+            num_points,
+            num_subspaces,
+            nibble,
+        }
+    }
+
+    /// Number of points covered (the cluster's base-segment length).
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// Number of 32-lane blocks (`⌈num_points / 32⌉`).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.num_points.div_ceil(BLOCK_LANES)
+    }
+
+    /// Number of subspaces per code.
+    #[inline]
+    pub fn num_subspaces(&self) -> usize {
+        self.num_subspaces
+    }
+
+    /// `true` when rows are nibble-packed (every code `< 16`).
+    #[inline]
+    pub fn nibble_packed(&self) -> bool {
+        self.nibble
+    }
+
+    /// Number of valid lanes in block `b` (32 except for the tail block).
+    #[inline]
+    pub fn block_len(&self, b: usize) -> usize {
+        (self.num_points - b * BLOCK_LANES).min(BLOCK_LANES)
+    }
+
+    /// The `num_subspaces` interleaved rows of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= num_blocks()`.
+    #[inline]
+    pub fn block_rows(&self, b: usize) -> &[u8] {
+        let rb = row_bytes(self.nibble);
+        let stride = self.num_subspaces * rb;
+        &self.data[b * stride..(b + 1) * stride]
+    }
+
+    /// Deinterleaves the subspace-`s` code of base point `i` (tests and
+    /// diagnostics; the hot path hands whole rows to the kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_points()` or `s >= num_subspaces()`.
+    #[inline]
+    pub fn code_at(&self, i: usize, s: usize) -> u8 {
+        assert!(i < self.num_points && s < self.num_subspaces);
+        let (b, lane) = (i / BLOCK_LANES, i % BLOCK_LANES);
+        let rb = row_bytes(self.nibble);
+        let row = &self.block_rows(b)[s * rb..(s + 1) * rb];
+        block_lane_code(row, self.nibble, lane)
+    }
+
+    /// Memory footprint of the interleaved data in bytes.
+    #[inline]
+    pub fn data_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Drives the two-phase prune scan over every block of this view: the
+    /// quantised kernel pass (with early abandon), then the per-lane bound
+    /// check, invoking `survivor` with the base-segment index of every lane
+    /// that cannot be pruned. `survivor` returns the caller's updated top-k
+    /// worst score, so the prune threshold tightens block by block; pass the
+    /// current worst as `worst` to seed it. Returns
+    /// `(pruned_points, pruned_blocks)`.
+    ///
+    /// This is the one shared scan driver — the JUNO engine and the IVFPQ
+    /// baseline both call it, so cross-engine comparisons measure the same
+    /// pruning behaviour.
+    pub fn prune_scan(
+        &self,
+        qlut: &QuantizedLut,
+        lane_sums: &mut [u16; BLOCK_LANES],
+        mut worst: Option<f32>,
+        mut survivor: impl FnMut(usize) -> Option<f32>,
+    ) -> (usize, usize) {
+        let mut pruned_points = 0usize;
+        let mut pruned_blocks = 0usize;
+        for b in 0..self.num_blocks() {
+            let len = self.block_len(b);
+            let threshold = qlut.prune_threshold(worst);
+            if threshold != NEVER_PRUNE
+                && scan_block_with_abandon(
+                    qlut,
+                    self.block_rows(b),
+                    self.nibble,
+                    threshold,
+                    lane_sums,
+                )
+            {
+                pruned_blocks += 1;
+                pruned_points += len;
+                continue;
+            }
+            // With no threshold the kernel did not run and `lane_sums` is
+            // stale; the guard below keeps it unread in that case.
+            for (lane, &sum) in lane_sums.iter().enumerate().take(len) {
+                if threshold != NEVER_PRUNE && sum as u32 >= threshold {
+                    pruned_points += 1;
+                    continue;
+                }
+                worst = survivor(b * BLOCK_LANES + lane);
+            }
+        }
+        (pruned_points, pruned_blocks)
+    }
+}
+
+/// Builds the per-cluster block views of a CSR base (`offsets` over
+/// point-major `codes` with `s` subspaces).
+fn build_blocks(offsets: &[u32], codes: &[u8], s: usize) -> Vec<BlockCodes> {
+    (0..offsets.len().saturating_sub(1))
+        .map(|c| {
+            let (a, b) = (offsets[c] as usize, offsets[c + 1] as usize);
+            BlockCodes::build(&codes[a * s..b * s], b - a, s)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -492,7 +741,7 @@ mod tests {
     }
 
     /// Collects the live records of one cluster through the segment API.
-    fn live_members(grouped: &IvfListCodes, cluster: usize) -> Vec<(u32, Vec<u16>)> {
+    fn live_members(grouped: &IvfListCodes, cluster: usize) -> Vec<(u32, Vec<u8>)> {
         let s = grouped.num_subspaces();
         let mut out = Vec::new();
         for (ids, codes) in grouped.cluster_segments(cluster) {
@@ -545,7 +794,8 @@ mod tests {
         // Label out of bounds for the declared cluster count.
         assert!(IvfListCodes::build(&labels, &codes, 3).is_err());
         let grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
-        assert_eq!(grouped.code_bytes(), 50 * 4 * 2);
+        // Point-major base bytes plus the derived block view.
+        assert!(grouped.code_bytes() >= 50 * 4);
     }
 
     #[test]
@@ -592,10 +842,10 @@ mod tests {
         }
         let mut appended = Vec::new();
         for c in 0..5 {
-            appended.push((c, grouped.append(c, &[c as u16; 4]).unwrap()));
+            appended.push((c, grouped.append(c, &[c as u8; 4]).unwrap()));
         }
         assert!(grouped.remove(appended[1].1), "tail records are removable");
-        let before: Vec<Vec<(u32, Vec<u16>)>> = (0..5).map(|c| live_members(&grouped, c)).collect();
+        let before: Vec<Vec<(u32, Vec<u8>)>> = (0..5).map(|c| live_members(&grouped, c)).collect();
         let live_before = grouped.len();
 
         grouped.compact();
@@ -615,6 +865,55 @@ mod tests {
         let next = grouped.next_id();
         assert_eq!(grouped.append(0, &[9; 4]).unwrap(), next);
         assert!(!grouped.remove(appended[1].1), "dead ids stay dead");
+    }
+
+    #[test]
+    fn block_view_matches_point_major_codes_and_survives_compaction() {
+        let (labels, codes) = trained(173);
+        let mut grouped = IvfListCodes::build(&labels, &codes, 5).unwrap();
+        let check = |g: &IvfListCodes| {
+            for c in 0..5 {
+                let blocks = g.cluster_blocks(c);
+                let base = g.cluster_codes(c);
+                let n = g.cluster_ids(c).len();
+                assert_eq!(blocks.num_points(), n, "cluster {c}");
+                assert_eq!(blocks.num_blocks(), n.div_ceil(32));
+                for i in 0..n {
+                    for s in 0..4 {
+                        assert_eq!(blocks.code_at(i, s), base[i * 4 + s], "cluster {c} pt {i}");
+                    }
+                }
+                // E = 8 here, so every cluster nibble-packs.
+                assert!(blocks.nibble_packed());
+                if blocks.num_blocks() > 0 {
+                    let tail = blocks.num_blocks() - 1;
+                    assert_eq!(blocks.block_len(tail), n - tail * 32);
+                    assert_eq!(blocks.block_rows(tail).len(), 4 * 16);
+                }
+            }
+        };
+        check(&grouped);
+        // Mutate + compact: the block view must track the new base.
+        for id in [1u32, 40, 99] {
+            assert!(grouped.remove(id));
+        }
+        grouped.append(3, &[7, 7, 7, 7]).unwrap();
+        grouped.compact();
+        check(&grouped);
+    }
+
+    #[test]
+    fn wide_codes_use_plain_u8_rows() {
+        // A cluster containing a code ≥ 16 must not nibble-pack.
+        let codes: Vec<u8> = (0..40u8).map(|i| i % 20).collect();
+        let blocks = BlockCodes::build(&codes, 10, 4);
+        assert!(!blocks.nibble_packed());
+        assert_eq!(blocks.block_rows(0).len(), 4 * 32);
+        for i in 0..10 {
+            for s in 0..4 {
+                assert_eq!(blocks.code_at(i, s), codes[i * 4 + s]);
+            }
+        }
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod pq;
 pub use codebook::Codebook;
 pub use ivf::{IvfIndex, IvfTrainConfig};
 pub use kmeans::{KMeans, KMeansConfig};
-pub use layout::IvfListCodes;
+pub use layout::{BlockCodes, IvfListCodes};
 pub use pq::{EncodedPoints, PqTrainConfig, ProductQuantizer};

@@ -53,10 +53,14 @@ impl PqTrainConfig {
     }
 }
 
-/// Encoded search points: one `u16` entry id per subspace per point.
+/// Encoded search points: one `u8` entry id per subspace per point.
+///
+/// Codebooks are capped at 256 entries per subspace (the PQ default and the
+/// paper's configuration), so codes pack into one byte each — half the
+/// memory traffic of the previous `u16` representation on every ADC scan.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EncodedPoints {
-    codes: Vec<u16>,
+    codes: Vec<u8>,
     num_subspaces: usize,
 }
 
@@ -67,7 +71,7 @@ impl EncodedPoints {
     ///
     /// Returns [`Error::InvalidConfig`] when `num_subspaces` is zero or the
     /// buffer length is not a multiple of it.
-    pub fn from_parts(codes: Vec<u16>, num_subspaces: usize) -> Result<Self> {
+    pub fn from_parts(codes: Vec<u8>, num_subspaces: usize) -> Result<Self> {
         if num_subspaces == 0 {
             return Err(Error::invalid_config("num_subspaces must be positive"));
         }
@@ -89,7 +93,7 @@ impl EncodedPoints {
     ///
     /// Returns [`Error::DimensionMismatch`] when `code` does not have one
     /// entry per subspace.
-    pub fn push(&mut self, code: &[u16]) -> Result<()> {
+    pub fn push(&mut self, code: &[u8]) -> Result<()> {
         if code.len() != self.num_subspaces || self.num_subspaces == 0 {
             return Err(Error::DimensionMismatch {
                 expected: self.num_subspaces,
@@ -123,18 +127,18 @@ impl EncodedPoints {
     /// # Panics
     ///
     /// Panics if `i >= self.len()`.
-    pub fn code(&self, i: usize) -> &[u16] {
+    pub fn code(&self, i: usize) -> &[u8] {
         &self.codes[i * self.num_subspaces..(i + 1) * self.num_subspaces]
     }
 
     /// Flat borrow of all codes (row-major, `len × num_subspaces`).
-    pub fn as_flat(&self) -> &[u16] {
+    pub fn as_flat(&self) -> &[u8] {
         &self.codes
     }
 
     /// Memory footprint of the codes in bytes.
     pub fn code_bytes(&self) -> usize {
-        self.codes.len() * std::mem::size_of::<u16>()
+        self.codes.len()
     }
 }
 
@@ -153,7 +157,8 @@ impl ProductQuantizer {
     ///
     /// Returns [`Error::InvalidConfig`] when `D` is not divisible by the
     /// number of subspaces, when a subspace would be empty, or when `E`
-    /// exceeds `u16::MAX`; k-means errors are propagated.
+    /// exceeds 256 (codes must fit in a `u8`); k-means errors are
+    /// propagated.
     pub fn train(vectors: &VectorSet, config: &PqTrainConfig) -> Result<Self> {
         if config.num_subspaces == 0 {
             return Err(Error::invalid_config("num_subspaces must be positive"));
@@ -163,9 +168,9 @@ impl ProductQuantizer {
                 "entries_per_subspace must be positive",
             ));
         }
-        if config.entries_per_subspace > u16::MAX as usize + 1 {
+        if config.entries_per_subspace > 256 {
             return Err(Error::invalid_config(
-                "entries_per_subspace must fit in a u16 code",
+                "entries_per_subspace must fit in a u8 code (at most 256)",
             ));
         }
         let dim = vectors.dim();
@@ -240,7 +245,7 @@ impl ProductQuantizer {
     ///
     /// Returns [`Error::DimensionMismatch`] when the vector dimension is not
     /// `D`.
-    pub fn encode_one(&self, residual: &[f32]) -> Result<Vec<u16>> {
+    pub fn encode_one(&self, residual: &[f32]) -> Result<Vec<u8>> {
         if residual.len() != self.dim {
             return Err(Error::DimensionMismatch {
                 expected: self.dim,
@@ -250,7 +255,7 @@ impl ProductQuantizer {
         let mut code = Vec::with_capacity(self.num_subspaces());
         for (s, cb) in self.codebooks.iter().enumerate() {
             let proj = &residual[s * self.sub_dim..(s + 1) * self.sub_dim];
-            code.push(cb.encode(proj)? as u16);
+            code.push(cb.encode(proj)? as u8);
         }
         Ok(code)
     }
@@ -315,7 +320,7 @@ impl ProductQuantizer {
         let n = vectors.len();
         let chunk = n.div_ceil((threads * 4).max(1)).max(1);
         let num_chunks = n.div_ceil(chunk);
-        let per_chunk: Vec<Vec<u16>> = juno_common::parallel::map(num_chunks, threads, |c| {
+        let per_chunk: Vec<Vec<u8>> = juno_common::parallel::map(num_chunks, threads, |c| {
             let start = c * chunk;
             let end = (start + chunk).min(n);
             let mut out = Vec::with_capacity((end - start) * m);
@@ -324,7 +329,7 @@ impl ProductQuantizer {
                 for (s, cb) in self.codebooks.iter().enumerate() {
                     let proj = &row[s * self.sub_dim..(s + 1) * self.sub_dim];
                     // encode() cannot fail here: proj length == sub_dim.
-                    out.push(cb.encode(proj).expect("projection has subspace dimension") as u16);
+                    out.push(cb.encode(proj).expect("projection has subspace dimension") as u8);
                 }
             }
             out
@@ -345,7 +350,7 @@ impl ProductQuantizer {
     /// # Errors
     ///
     /// Returns an error when the code length or any entry id is invalid.
-    pub fn decode(&self, code: &[u16]) -> Result<Vec<f32>> {
+    pub fn decode(&self, code: &[u8]) -> Result<Vec<f32>> {
         if code.len() != self.num_subspaces() {
             return Err(Error::DimensionMismatch {
                 expected: self.num_subspaces(),
@@ -390,7 +395,7 @@ impl ProductQuantizer {
     /// # Panics
     ///
     /// Panics if `code` or `lut` have inconsistent shapes (internal misuse).
-    pub fn adc_distance(lut: &[Vec<f32>], code: &[u16]) -> f32 {
+    pub fn adc_distance(lut: &[Vec<f32>], code: &[u8]) -> f32 {
         debug_assert_eq!(lut.len(), code.len());
         code.iter()
             .enumerate()
@@ -518,7 +523,7 @@ mod tests {
         assert_eq!(codes.num_subspaces(), 4);
         assert_eq!(codes.code(0).len(), 4);
         assert_eq!(codes.as_flat().len(), 200);
-        assert_eq!(codes.code_bytes(), 400);
+        assert_eq!(codes.code_bytes(), 200);
         assert!(!codes.is_empty());
         // Codes address valid entries.
         assert!(codes
@@ -533,7 +538,7 @@ mod tests {
         let pq = ProductQuantizer::train(&data, &small_config()).unwrap();
         let codes = pq.encode(&data).unwrap();
         let raw_bytes = data.len() * data.dim() * std::mem::size_of::<f32>();
-        assert!(codes.code_bytes() * 2 < raw_bytes);
+        assert!(codes.code_bytes() * 4 < raw_bytes);
     }
 
     #[test]
@@ -563,7 +568,7 @@ mod tests {
         codes.push(&extra).unwrap();
         assert_eq!(codes.len(), 201);
         assert_eq!(codes.code(200), extra.as_slice());
-        assert!(codes.push(&[0u16; 3]).is_err());
+        assert!(codes.push(&[0u8; 3]).is_err());
         assert!(pq.encode_one(&[0.0; 5]).is_err());
     }
 
@@ -602,6 +607,6 @@ mod tests {
         assert!(pq.encode(&wrong).is_err());
         assert!(pq.dense_lut(&[0.0; 6]).is_err());
         assert!(pq.decode(&[0, 1]).is_err());
-        assert!(pq.decode(&[999, 0, 0, 0]).is_err());
+        assert!(pq.decode(&[99, 0, 0, 0]).is_err());
     }
 }

@@ -134,6 +134,31 @@ fn all_engines_clear_their_recall_floors_on_the_shared_dataset() {
 }
 
 #[test]
+fn fastscan_recall_stays_within_one_point_of_the_exact_path() {
+    // The fast-scan contract is actually bit-identity (pinned in
+    // tests/fastscan_parity.rs); this asserts the weaker, user-facing floor
+    // from the issue — recall@10@100 within one point of the exact path on
+    // the seeded conformance dataset — so any future relaxation of the
+    // pruning rule still has a quality gate to clear.
+    let ds = dataset();
+    let gt = ds.ground_truth(GT_K).expect("ground truth");
+    let mut juno = build_juno(&ds);
+    assert!(juno.fastscan_enabled());
+    let fast_recall = recall_of(&juno, &ds, &gt);
+    juno.set_fastscan(false);
+    let exact_recall = recall_of(&juno, &ds, &gt);
+    println!(
+        "conformance fast-scan recall@{GT_K}@{RETRIEVE_K}: \
+         fast = {fast_recall:.4}, exact = {exact_recall:.4}"
+    );
+    assert!(
+        fast_recall >= exact_recall - 0.01,
+        "fast-scan recall {fast_recall:.4} fell more than one point below \
+         the exact path's {exact_recall:.4}"
+    );
+}
+
+#[test]
 fn juno_recall_survives_delete_reinsert_compact_within_one_point() {
     let ds = dataset();
     let gt = ds.ground_truth(GT_K).expect("ground truth");
@@ -175,8 +200,13 @@ fn juno_recall_survives_delete_reinsert_compact_within_one_point() {
         "conformance mutation recall@{GT_K}@{RETRIEVE_K}: fresh = {fresh_recall:.4}, \
          after delete/reinsert/compact = {mutated_recall:.4}"
     );
+    // One point of drift, plus one quantum of measurement granularity —
+    // recall@10 over QUERIES queries moves in steps of 1/(QUERIES·GT_K), so
+    // a boundary-riding drift must not flap with benign numeric changes
+    // (e.g. re-ordering f32 summation in the distance kernels).
+    let quantum = 1.0 / (QUERIES * GT_K) as f64;
     assert!(
-        mutated_recall >= fresh_recall - 0.01,
+        mutated_recall >= fresh_recall - 0.01 - quantum,
         "recall dropped more than one point after delete/reinsert/compact: \
          {fresh_recall:.4} -> {mutated_recall:.4}"
     );

@@ -1,0 +1,163 @@
+//! Differential tests for the fast-scan ADC pipeline: with the quantised
+//! prune pass enabled (the default), search results — ids **and** distance
+//! bits — must be identical to the plain scalar scan, for every quality
+//! mode, both metrics, nibble-packed and plain `u8` block layouts, and
+//! across mutation (tails + tombstones) and compaction.
+//!
+//! The kernel itself (AVX2 vs scalar bit-identity, bound safety) is unit
+//! tested in `juno-common/src/kernel.rs`; this suite pins the end-to-end
+//! contract the engine builds on top of it.
+
+use juno::common::index::{AnnIndex, SearchResult};
+use juno::core::config::{JunoConfig, QualityMode};
+use juno::core::engine::JunoIndex;
+use juno::data::profiles::DatasetProfile;
+
+fn assert_same_results(fast: &[SearchResult], exact: &[SearchResult], label: &str) {
+    assert_eq!(fast.len(), exact.len(), "{label}: result count");
+    for (q, (f, e)) in fast.iter().zip(exact).enumerate() {
+        assert_eq!(
+            f.neighbors.len(),
+            e.neighbors.len(),
+            "{label}: query {q} neighbour count"
+        );
+        for (i, (nf, ne)) in f.neighbors.iter().zip(&e.neighbors).enumerate() {
+            assert_eq!(nf.id, ne.id, "{label}: query {q} rank {i} id");
+            assert_eq!(
+                nf.distance.to_bits(),
+                ne.distance.to_bits(),
+                "{label}: query {q} rank {i} distance bits"
+            );
+        }
+    }
+}
+
+fn run_all(index: &JunoIndex, queries: &juno::common::VectorSet, k: usize) -> Vec<SearchResult> {
+    queries
+        .iter()
+        .map(|q| index.search(q, k).unwrap())
+        .collect()
+}
+
+/// Fast-scan on vs off across quality modes for one built index; returns the
+/// total pruning work observed in High mode so callers can assert the prune
+/// pass actually engages.
+fn check_parity(index: &mut JunoIndex, ds: &juno::data::profiles::Dataset, label: &str) -> usize {
+    let mut pruned_high = 0usize;
+    for mode in [QualityMode::High, QualityMode::Medium, QualityMode::Low] {
+        index.set_quality(mode);
+        index.set_fastscan(true);
+        let fast = run_all(index, &ds.queries, 50);
+        index.set_fastscan(false);
+        let exact = run_all(index, &ds.queries, 50);
+        assert_same_results(&fast, &exact, &format!("{label} {mode:?}"));
+        if mode == QualityMode::High {
+            pruned_high += fast
+                .iter()
+                .map(|r| r.stats.pruned_points + r.stats.pruned_blocks + r.stats.pruned_clusters)
+                .sum::<usize>();
+            // The exact path must never report pruning.
+            assert!(exact.iter().all(|r| r.stats.pruned_points == 0
+                && r.stats.pruned_blocks == 0
+                && r.stats.pruned_clusters == 0));
+        }
+        // Hit-count modes produce identical integer counts on both paths, so
+        // even the work counters must agree there.
+        if mode != QualityMode::High {
+            for (f, e) in fast.iter().zip(&exact) {
+                assert_eq!(
+                    f.stats.accumulations, e.stats.accumulations,
+                    "{label} {mode:?}: hit-count accumulations diverged"
+                );
+                assert_eq!(f.stats.candidates, e.stats.candidates);
+            }
+        }
+    }
+    index.set_quality(QualityMode::High);
+    index.set_fastscan(true);
+    pruned_high
+}
+
+#[test]
+fn fastscan_is_bit_identical_l2_u8_blocks() {
+    // E = 64 -> plain u8 block rows (the 4-table AVX2 path).
+    let ds = DatasetProfile::DeepLike.generate(3_000, 16, 77).unwrap();
+    let config = JunoConfig {
+        n_clusters: 32,
+        nprobs: 8,
+        pq_entries: 64,
+        ..JunoConfig::small_test(ds.dim(), ds.metric())
+    };
+    let mut index = JunoIndex::build(&ds.points, &config).unwrap();
+    let pruned = check_parity(&mut index, &ds, "L2/E64");
+    assert!(pruned > 0, "prune pass never engaged on the u8 path");
+}
+
+#[test]
+fn fastscan_is_bit_identical_l2_nibble_blocks() {
+    // E = 16 -> every code fits a nibble, exercising the packed vpshufb path.
+    let ds = DatasetProfile::DeepLike.generate(2_500, 16, 78).unwrap();
+    let config = JunoConfig {
+        n_clusters: 24,
+        nprobs: 8,
+        pq_entries: 16,
+        ..JunoConfig::small_test(ds.dim(), ds.metric())
+    };
+    let mut index = JunoIndex::build(&ds.points, &config).unwrap();
+    let pruned = check_parity(&mut index, &ds, "L2/E16");
+    assert!(pruned > 0, "prune pass never engaged on the nibble path");
+}
+
+#[test]
+fn fastscan_is_bit_identical_mips() {
+    let ds = DatasetProfile::TtiLike.generate(2_000, 12, 41).unwrap();
+    let config = JunoConfig {
+        n_clusters: 16,
+        nprobs: 8,
+        pq_entries: 32,
+        ..JunoConfig::small_test(ds.dim(), ds.metric())
+    };
+    let mut index = JunoIndex::build(&ds.points, &config).unwrap();
+    check_parity(&mut index, &ds, "MIPS/E32");
+}
+
+#[test]
+fn fastscan_is_bit_identical_across_mutation_and_compaction() {
+    let ds = DatasetProfile::DeepLike.generate(2_500, 12, 123).unwrap();
+    let extra = DatasetProfile::DeepLike.generate(150, 1, 321).unwrap();
+    let config = JunoConfig {
+        n_clusters: 32,
+        nprobs: 8,
+        pq_entries: 64,
+        ..JunoConfig::small_test(ds.dim(), ds.metric())
+    };
+    let mut index = JunoIndex::build(&ds.points, &config).unwrap();
+    // Tombstones + tail appends: blocks still cover the (stale) base, tails
+    // go through the exact path, deleted lanes must vanish from both paths.
+    for id in (0..2_500u64).step_by(9) {
+        assert!(index.remove(id).unwrap());
+    }
+    for i in 0..extra.points.len() {
+        index.insert(extra.points.row(i)).unwrap();
+    }
+    check_parity(&mut index, &ds, "mutated");
+    index.compact().unwrap();
+    check_parity(&mut index, &ds, "compacted");
+}
+
+#[test]
+fn fastscan_toggle_is_reported() {
+    let ds = DatasetProfile::DeepLike.generate(600, 2, 9).unwrap();
+    let config = JunoConfig {
+        n_clusters: 8,
+        nprobs: 4,
+        pq_entries: 16,
+        ..JunoConfig::small_test(ds.dim(), ds.metric())
+    };
+    let mut index = JunoIndex::build(&ds.points, &config).unwrap();
+    assert!(index.fastscan_enabled(), "fast-scan defaults to on");
+    index.set_fastscan(false);
+    assert!(!index.fastscan_enabled());
+    // The selected kernel is one of the two known implementations.
+    assert!(["avx2", "scalar"].contains(&juno::common::kernel::kernel_name()));
+}

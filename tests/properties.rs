@@ -179,3 +179,51 @@ fn recall_is_bounded_and_monotone() {
         assert!(r_large >= r_small - 1e-12, "case {case}");
     }
 }
+
+/// Block interleaving is a pure re-layout: deinterleaving recovers every
+/// code exactly, for both nibble-packed and plain `u8` rows, including tail
+/// blocks shorter than 32 points and the empty cluster.
+#[test]
+fn block_interleave_roundtrips_codes_exactly() {
+    use juno::quant::BlockCodes;
+    for case in 0..60u64 {
+        let mut rng = seeded(7000 + case);
+        let subspaces = rng.gen_range(1..20usize);
+        // Bias sizes toward block-boundary neighbourhoods (tail coverage).
+        let n = match case % 4 {
+            0 => rng.gen_range(0..5usize),
+            1 => rng.gen_range(27..38usize),
+            2 => rng.gen_range(60..70usize),
+            _ => rng.gen_range(0..200usize),
+        };
+        // Half the cases stay below 16 so the nibble packing is exercised.
+        let max_code = if case % 2 == 0 { 16u32 } else { 256 };
+        let codes: Vec<u8> = (0..n * subspaces)
+            .map(|_| rng.gen_range(0..max_code) as u8)
+            .collect();
+        let blocks = BlockCodes::build(&codes, n, subspaces);
+        assert_eq!(blocks.num_points(), n, "case {case}");
+        assert_eq!(blocks.num_blocks(), n.div_ceil(32), "case {case}");
+        assert_eq!(
+            blocks.nibble_packed(),
+            codes.iter().all(|&c| c < 16),
+            "case {case}: packing decision"
+        );
+        let mut lanes_seen = 0usize;
+        for b in 0..blocks.num_blocks() {
+            lanes_seen += blocks.block_len(b);
+            assert!(blocks.block_len(b) <= 32);
+            assert!(!blocks.block_rows(b).is_empty() || subspaces == 0);
+        }
+        assert_eq!(lanes_seen, n, "case {case}: lanes cover every point");
+        for i in 0..n {
+            for s in 0..subspaces {
+                assert_eq!(
+                    blocks.code_at(i, s),
+                    codes[i * subspaces + s],
+                    "case {case}: point {i} subspace {s}"
+                );
+            }
+        }
+    }
+}

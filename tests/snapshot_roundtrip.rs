@@ -247,3 +247,143 @@ fn corrupted_or_cross_engine_snapshots_error_never_panic() {
         let _ = IvfPqIndex::from_snapshot_bytes(&corrupt);
     }
 }
+
+/// Re-encodes a parsed snapshot with `CODE` (and, for JUNO, `LAYT`) written
+/// in the **legacy pre-fast-scan layout** (`u16` codes, no version
+/// sentinel), leaving every other section byte-identical. This synthesises
+/// the snapshots old builds produced so the back-compat readers stay
+/// covered by an executable test.
+fn reencode_with_legacy_code_sections(
+    bytes: &[u8],
+    kind_word: u32,
+    tags: &[[u8; 4]],
+    legacy_code: &[u8],
+    legacy_layout: Option<&[u8]>,
+) -> Vec<u8> {
+    use juno::data::snapshot::{SectionWriter, Snapshot, SnapshotWriter};
+    let snap = Snapshot::parse(bytes).expect("parse v2 snapshot");
+    let mut writer = SnapshotWriter::new(kind_word);
+    for &tag in tags {
+        let mut section = SectionWriter::new();
+        match (&tag, legacy_layout) {
+            (b"CODE", _) => section.put_raw(legacy_code),
+            (b"LAYT", Some(layt)) => section.put_raw(layt),
+            _ => section.put_raw(snap.section(tag).expect("section").take_rest()),
+        }
+        writer.add_section(tag, section);
+    }
+    writer.finish()
+}
+
+/// Legacy CODE payload: subspace count, then `u16` codes.
+fn legacy_code_section(codes: &juno::quant::EncodedPoints) -> Vec<u8> {
+    let mut w = juno::data::snapshot::SectionWriter::new();
+    w.put_u64(codes.num_subspaces() as u64);
+    let wide: Vec<u16> = codes.as_flat().iter().map(|&c| c as u16).collect();
+    w.put_u16s(&wide);
+    w.finish()
+}
+
+#[test]
+fn legacy_u16_snapshots_are_still_readable_bit_identically() {
+    let ds = DatasetProfile::DeepLike
+        .generate(1_200, 8, 404)
+        .expect("ds");
+    let mut juno = JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 16,
+            nprobs: 6,
+            pq_entries: 32,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("juno");
+    // Mutation state (tails + tombstones) must survive the legacy framing
+    // too — old builds persisted it the same way, just with u16 codes.
+    for id in (0..200u64).step_by(11) {
+        assert!(juno.remove(id).expect("remove"));
+    }
+    for i in 0..15 {
+        juno.insert(ds.points.row(i * 17)).expect("insert");
+    }
+
+    // Legacy LAYT payload from the live layout parts.
+    let parts = juno.list_codes().to_parts();
+    let mut layt = juno::data::snapshot::SectionWriter::new();
+    layt.put_u32s(&parts.offsets);
+    layt.put_u32s(&parts.point_ids);
+    layt.put_u16s(&parts.codes.iter().map(|&c| c as u16).collect::<Vec<u16>>());
+    layt.put_u64(parts.num_subspaces as u64);
+    layt.put_u64(parts.extra_ids.len() as u64);
+    for (ids, codes) in parts.extra_ids.iter().zip(&parts.extra_codes) {
+        layt.put_u32s(ids);
+        layt.put_u16s(&codes.iter().map(|&c| c as u16).collect::<Vec<u16>>());
+    }
+    layt.put_bools(&parts.deleted);
+    layt.put_u32(parts.next_id);
+
+    let v2 = juno.snapshot().expect("snapshot");
+    let legacy = reencode_with_legacy_code_sections(
+        &v2,
+        juno::core::persist::KIND_JUNO,
+        &[
+            *b"CONF", *b"IVFC", *b"PQCB", *b"CODE", *b"LAYT", *b"THRM", *b"SCNB",
+        ],
+        &legacy_code_section(juno.codes()),
+        Some(&layt.finish()),
+    );
+    assert_ne!(legacy, v2, "legacy bytes must differ from the v2 framing");
+    let restored = JunoIndex::from_snapshot_bytes(&legacy).expect("legacy restore");
+    assert_same_results(
+        &search_all(&juno, &ds.queries, 25),
+        &search_all(&restored, &ds.queries, 25),
+        "juno legacy snapshot",
+    );
+
+    // IVFPQ: same legacy CODE framing.
+    let ivfpq = IvfPqIndex::build(
+        &ds.points,
+        &IvfPqConfig {
+            n_clusters: 16,
+            nprobs: 6,
+            pq_subspaces: ds.dim() / 2,
+            pq_entries: 32,
+            metric: ds.metric(),
+            seed: 2,
+        },
+    )
+    .expect("ivfpq");
+    let v2 = ivfpq.snapshot().expect("snapshot");
+    let legacy = reencode_with_legacy_code_sections(
+        &v2,
+        juno::baseline::ivfpq::KIND_IVFPQ,
+        &[*b"CONF", *b"IVFC", *b"PQCB", *b"CODE"],
+        &legacy_code_section(ivfpq.codes()),
+        None,
+    );
+    let restored = IvfPqIndex::from_snapshot_bytes(&legacy).expect("legacy ivfpq restore");
+    assert_same_results(
+        &search_all(&ivfpq, &ds.queries, 25),
+        &search_all(&restored, &ds.queries, 25),
+        "ivfpq legacy snapshot",
+    );
+
+    // A legacy snapshot whose codes exceed the u8 range (entries > 256 —
+    // never a shipped configuration) is rejected cleanly, not truncated.
+    let mut bad = juno::data::snapshot::SectionWriter::new();
+    bad.put_u64(juno.codes().num_subspaces() as u64);
+    let mut wide: Vec<u16> = juno.codes().as_flat().iter().map(|&c| c as u16).collect();
+    wide[0] = 300;
+    bad.put_u16s(&wide);
+    let poisoned = reencode_with_legacy_code_sections(
+        &juno.snapshot().expect("snapshot"),
+        juno::core::persist::KIND_JUNO,
+        &[
+            *b"CONF", *b"IVFC", *b"PQCB", *b"CODE", *b"LAYT", *b"THRM", *b"SCNB",
+        ],
+        &bad.finish(),
+        None,
+    );
+    assert!(JunoIndex::from_snapshot_bytes(&poisoned).is_err());
+}
