@@ -548,6 +548,18 @@ impl AnnIndex for IvfPqIndex {
         IvfPqIndex::remove(self, id)
     }
 
+    /// Live ids are exactly the members of the coarse inverted lists
+    /// (removal prunes the list; the code rows of dead ids are retained but
+    /// unreachable).
+    fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = (0..self.ivf.n_clusters())
+            .filter_map(|c| self.ivf.list(c).ok())
+            .flat_map(|list| list.iter().map(|&id| id as u64))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     fn snapshot(&self) -> Result<Vec<u8>> {
         Ok(self.to_snapshot_bytes())
     }

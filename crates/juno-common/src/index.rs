@@ -107,6 +107,22 @@ impl SearchStats {
         self.pruned_clusters += other.pruned_clusters;
     }
 
+    /// Merges the counters of a query answered **concurrently** with this one
+    /// (scatter-gather over shards): work counters sum — every shard really
+    /// did that work — but wall-clock stage times take the maximum, because
+    /// the shard scans ran in parallel and the slowest one bounds the stage.
+    /// Summing the times here would double-count the stages once per shard
+    /// and report an S-shard fleet as S× slower than it is.
+    pub fn merge_scatter(&mut self, other: &SearchStats) {
+        // Delegate the counter sums to `merge` (one field list to maintain
+        // when counters are added), then replace its time sums with maxima.
+        let (filter_us, lut_us, accumulate_us) = (self.filter_us, self.lut_us, self.accumulate_us);
+        self.merge(other);
+        self.filter_us = filter_us.max(other.filter_us);
+        self.lut_us = lut_us.max(other.lut_us);
+        self.accumulate_us = accumulate_us.max(other.accumulate_us);
+    }
+
     /// Total simulated time across the three online stages, in microseconds.
     pub fn total_us(&self) -> f64 {
         self.filter_us + self.lut_us + self.accumulate_us
@@ -265,6 +281,29 @@ pub trait AnnIndex: Send + Sync {
         )))
     }
 
+    /// The direction in which this index's raw [`Neighbor::distance`] values
+    /// rank, used by scatter-gather layers to merge per-shard results into
+    /// one global top-k with [`crate::topk::merge_neighbors`].
+    ///
+    /// The default follows the metric (L2 ascending, inner product
+    /// descending). Engines whose result scores are *not* the metric's raw
+    /// values — e.g. hit-count modes, where larger counts are better even
+    /// under L2 — must override this so merged rankings match their own.
+    fn merge_order(&self) -> crate::topk::ScoreOrder {
+        crate::topk::ScoreOrder::from_metric(self.metric())
+    }
+
+    /// The ids of every live (searchable) vector, in ascending order.
+    ///
+    /// The default assumes the contiguous id space `0..len()`, which is
+    /// correct for every index that has never been mutated (ids are assigned
+    /// densely at build time). Indexes supporting [`AnnIndex::remove`] MUST
+    /// override this to skip dead ids, otherwise shard construction and
+    /// other id-set consumers would resurrect deleted points.
+    fn ids(&self) -> Vec<u64> {
+        (0..self.len() as u64).collect()
+    }
+
     /// A short human-readable name used in benchmark reports.
     fn name(&self) -> String {
         std::any::type_name::<Self>()
@@ -379,6 +418,74 @@ mod tests {
         assert_eq!(a.pruned_blocks, 18);
         assert_eq!(a.pruned_clusters, 20);
         assert!((a.total_us() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_scatter_sums_counters_but_maxes_stage_times() {
+        // The scatter-gather contract: counters add up across shards (the
+        // work really happened on each), wall-clock stage times do NOT —
+        // shards scanned in parallel, so the slowest shard bounds each
+        // stage. This pins the fix for the latent double-count `merge`
+        // would introduce if reused for concurrent shard results.
+        let mut gathered = SearchStats {
+            filter_distances: 10,
+            lut_distances: 20,
+            accumulations: 30,
+            candidates: 40,
+            rt_aabb_tests: 1,
+            rt_primitive_tests: 2,
+            rt_hits: 3,
+            filter_us: 5.0,
+            lut_us: 9.0,
+            accumulate_us: 1.0,
+            pruned_points: 4,
+            pruned_blocks: 5,
+            pruned_clusters: 6,
+        };
+        let other = SearchStats {
+            filter_distances: 1,
+            lut_distances: 2,
+            accumulations: 3,
+            candidates: 4,
+            rt_aabb_tests: 5,
+            rt_primitive_tests: 6,
+            rt_hits: 7,
+            filter_us: 7.0,
+            lut_us: 2.0,
+            accumulate_us: 4.0,
+            pruned_points: 8,
+            pruned_blocks: 9,
+            pruned_clusters: 10,
+        };
+        gathered.merge_scatter(&other);
+        assert_eq!(gathered.filter_distances, 11);
+        assert_eq!(gathered.lut_distances, 22);
+        assert_eq!(gathered.accumulations, 33);
+        assert_eq!(gathered.candidates, 44);
+        assert_eq!(gathered.rt_aabb_tests, 6);
+        assert_eq!(gathered.rt_primitive_tests, 8);
+        assert_eq!(gathered.rt_hits, 10);
+        assert_eq!(gathered.pruned_points, 12);
+        assert_eq!(gathered.pruned_blocks, 14);
+        assert_eq!(gathered.pruned_clusters, 16);
+        // max, not sum: 5+7 would report 12, the double-count.
+        assert_eq!(gathered.filter_us, 7.0);
+        assert_eq!(gathered.lut_us, 9.0);
+        assert_eq!(gathered.accumulate_us, 4.0);
+        assert_eq!(gathered.total_us(), 20.0);
+
+        // Plain `merge` (sequential batch accumulation) still sums times.
+        let mut sequential = other;
+        sequential.merge(&other);
+        assert_eq!(sequential.filter_us, 14.0);
+    }
+
+    #[test]
+    fn default_merge_order_follows_metric_and_ids_are_contiguous() {
+        use crate::topk::ScoreOrder;
+        let idx = toy_index();
+        assert_eq!(idx.merge_order(), ScoreOrder::Ascending);
+        assert_eq!(idx.ids(), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //!   inner product), with scalar and batched kernels.
 //! * [`vector`] — [`VectorSet`](vector::VectorSet), a dense row-major set of
 //!   `f32` vectors used for search points, queries, centroids and codebooks.
-//! * [`topk`] — a bounded top-k selector used by every index implementation.
+//! * [`topk`] — a bounded top-k selector used by every index implementation,
+//!   plus the deterministic tie-by-id merge scatter-gather serving layers
+//!   combine per-shard results with.
 //! * [`recall`] — the paper's search-quality metrics (`R1@100`, `R100@1000`)
 //!   and exact ground-truth computation.
 //! * [`index`] — the [`AnnIndex`](index::AnnIndex) trait implemented by the

@@ -1,10 +1,18 @@
-//! Bounded top-k selection.
+//! Bounded top-k selection and deterministic top-k merging.
 //!
 //! Every ANN index in the workspace ends its search with "keep the k best
 //! candidates seen so far". [`TopK`] implements that with a bounded binary
 //! max-heap over "lower is better" scores (see
 //! [`Metric::raw_to_score`](crate::metric::Metric::raw_to_score)), so both L2
 //! and inner-product searches use the same selector.
+//!
+//! The sharded serving layer additionally needs to combine per-shard result
+//! lists into one global top-k. [`merge_neighbors`] implements that as a
+//! deterministic k-way merge under a **total** order — the raw value mapped
+//! through a [`ScoreOrder`] direction, ties broken by ascending id, NaN
+//! ranked strictly worst — which makes the merge associative and invariant
+//! to the order its inputs arrive in (the contract the scatter-gather path
+//! and its property tests rely on).
 
 use crate::index::Neighbor;
 use crate::metric::Metric;
@@ -164,6 +172,84 @@ impl TopK {
             })
             .collect()
     }
+}
+
+/// The direction in which raw [`Neighbor::distance`] values rank, used by
+/// the scatter-gather merge to compare results coming from different shards.
+///
+/// Engines whose raw values are "lower is better" (L2 distances) merge
+/// [`ScoreOrder::Ascending`]; engines whose raw values are "higher is
+/// better" (inner products, hit-count scores) merge
+/// [`ScoreOrder::Descending`]. See
+/// [`AnnIndex::merge_order`](crate::index::AnnIndex::merge_order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreOrder {
+    /// Smaller raw values are better (L2 squared distances).
+    Ascending,
+    /// Larger raw values are better (inner products, hit counts).
+    Descending,
+}
+
+impl ScoreOrder {
+    /// The order implied by a metric's raw values: L2 ranks ascending,
+    /// inner product ranks descending.
+    pub fn from_metric(metric: Metric) -> Self {
+        match metric {
+            Metric::L2 => ScoreOrder::Ascending,
+            Metric::InnerProduct => ScoreOrder::Descending,
+        }
+    }
+
+    /// Maps a raw value onto the shared "lower is better" key space
+    /// (negation for descending orders; NaN stays NaN and ranks worst).
+    #[inline]
+    pub fn key(self, raw: f32) -> f32 {
+        match self {
+            ScoreOrder::Ascending => raw,
+            ScoreOrder::Descending => -raw,
+        }
+    }
+
+    /// The total order the merge ranks with: key first (NaN strictly worst),
+    /// ties broken by ascending id.
+    #[inline]
+    pub fn cmp_neighbors(self, a: &Neighbor, b: &Neighbor) -> Ordering {
+        score_order(self.key(a.distance), self.key(b.distance)).then_with(|| a.id.cmp(&b.id))
+    }
+}
+
+/// Merges per-shard result lists into the global `k` best under `order`.
+///
+/// Every input list must already be sorted best-first under the same total
+/// order (which [`TopK::into_sorted_vec`] and the engines' hit-count sort
+/// both produce); ids must be unique across lists. Under that contract the
+/// merge is **deterministic, associative and order-invariant**: merging the
+/// lists in any grouping or sequence — including through truncated
+/// intermediate merges of at least `k` — yields bit-identical output, which
+/// is what makes scatter-gather results independent of shard completion
+/// order. Fewer than `k` total candidates simply yield a shorter list.
+pub fn merge_neighbors(lists: &[Vec<Neighbor>], k: usize, order: ScoreOrder) -> Vec<Neighbor> {
+    let mut cursors = vec![0usize; lists.len()];
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(k.min(total));
+    while out.len() < k {
+        let mut best: Option<(usize, &Neighbor)> = None;
+        for (li, list) in lists.iter().enumerate() {
+            let Some(head) = list.get(cursors[li]) else {
+                continue;
+            };
+            best = match best {
+                Some((_, b)) if order.cmp_neighbors(b, head) != Ordering::Greater => best,
+                _ => Some((li, head)),
+            };
+        }
+        let Some((li, head)) = best else {
+            break;
+        };
+        out.push(*head);
+        cursors[li] += 1;
+    }
+    out
 }
 
 /// NaN-safe "lower is better" ordering over values: any NaN ranks strictly
@@ -346,6 +432,75 @@ mod tests {
         let v = [2.0, 1.0, 2.0, 1.0, 2.0];
         assert_eq!(smallest_k_indices(&v, 3), vec![1, 3, 0]);
         assert_eq!(largest_k_indices(&v, 3), vec![0, 2, 4]);
+    }
+
+    fn sorted_under(mut v: Vec<Neighbor>, order: ScoreOrder) -> Vec<Neighbor> {
+        v.sort_by(|a, b| order.cmp_neighbors(a, b));
+        v
+    }
+
+    #[test]
+    fn merge_neighbors_matches_global_sort_both_directions() {
+        use crate::rng::{seeded, Rng};
+        let mut rng = seeded(0x004D_4552u64);
+        for order in [ScoreOrder::Ascending, ScoreOrder::Descending] {
+            for case in 0..50u64 {
+                let lists: Vec<Vec<Neighbor>> = (0..rng.gen_range(1..5usize))
+                    .map(|li| {
+                        sorted_under(
+                            (0..rng.gen_range(0..12usize))
+                                .map(|i| {
+                                    Neighbor::new(
+                                        (li * 1000 + i) as u64,
+                                        (rng.gen_range(0..6u32)) as f32 * 0.5,
+                                    )
+                                })
+                                .collect(),
+                            order,
+                        )
+                    })
+                    .collect();
+                for k in [1usize, 3, 10, 50] {
+                    let merged = merge_neighbors(&lists, k, order);
+                    let mut all: Vec<Neighbor> = lists.iter().flatten().copied().collect();
+                    all = sorted_under(all, order);
+                    all.truncate(k);
+                    assert_eq!(merged, all, "case {case} k={k} order={order:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_ranks_nan_strictly_worst_and_ties_by_id() {
+        let a = vec![Neighbor::new(7, 1.0), Neighbor::new(8, f32::NAN)];
+        let b = vec![Neighbor::new(3, 1.0), Neighbor::new(4, 2.0)];
+        let merged = merge_neighbors(&[a, b], 4, ScoreOrder::Ascending);
+        let ids: Vec<u64> = merged.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 7, 4, 8], "tie 1.0 breaks by id, NaN last");
+    }
+
+    #[test]
+    fn merge_handles_empty_and_short_inputs() {
+        assert!(merge_neighbors(&[], 5, ScoreOrder::Ascending).is_empty());
+        assert!(merge_neighbors(&[vec![], vec![]], 5, ScoreOrder::Descending).is_empty());
+        let one = vec![Neighbor::new(1, 0.5)];
+        assert_eq!(
+            merge_neighbors(std::slice::from_ref(&one), 5, ScoreOrder::Ascending),
+            one
+        );
+    }
+
+    #[test]
+    fn score_order_from_metric_and_key() {
+        assert_eq!(ScoreOrder::from_metric(Metric::L2), ScoreOrder::Ascending);
+        assert_eq!(
+            ScoreOrder::from_metric(Metric::InnerProduct),
+            ScoreOrder::Descending
+        );
+        assert_eq!(ScoreOrder::Ascending.key(2.0), 2.0);
+        assert_eq!(ScoreOrder::Descending.key(2.0), -2.0);
+        assert!(ScoreOrder::Descending.key(f32::NAN).is_nan());
     }
 
     #[test]

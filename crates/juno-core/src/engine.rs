@@ -963,6 +963,26 @@ impl AnnIndex for JunoIndex {
         true
     }
 
+    /// JUNO-H ranks by the metric's raw values; the hit-count modes
+    /// (JUNO-L/M) rank by counts, where larger is better regardless of the
+    /// metric — a scatter-gather merge must follow the active mode.
+    fn merge_order(&self) -> juno_common::topk::ScoreOrder {
+        use juno_common::topk::ScoreOrder;
+        match self.config.quality {
+            QualityMode::High => ScoreOrder::from_metric(self.config.metric),
+            QualityMode::Medium | QualityMode::Low => ScoreOrder::Descending,
+        }
+    }
+
+    /// Live ids only — tombstoned ids stay dead even after compaction
+    /// (the deletion bitmap spans every id ever assigned).
+    fn ids(&self) -> Vec<u64> {
+        (0..self.list_codes.next_id())
+            .filter(|&id| !self.list_codes.is_deleted(id))
+            .map(u64::from)
+            .collect()
+    }
+
     fn insert(&mut self, vector: &[f32]) -> Result<u64> {
         JunoIndex::insert(self, vector)
     }

@@ -1,0 +1,536 @@
+//! The JUNO serving layer: a sharded, concurrently readable index fleet.
+//!
+//! The single-index engines ([`juno_common::AnnIndex`] implementors) answer
+//! one process's queries from one monolithic structure with exclusive write
+//! access. This crate scales that to a serving tier:
+//!
+//! * [`ShardedIndex`] — `S` shards behind per-shard epoch pointers.
+//!   Readers pin a [`FleetReader`] (snapshot isolation, no locks held while
+//!   searching); writers clone-and-publish per shard, so reads never block
+//!   on insert / remove / compaction.
+//! * [`ShardRouter`] — deterministic id → shard ownership (hash or modulo).
+//! * Scatter-gather search — per-shard top-k lists merge through the
+//!   deterministic tie-by-id merge in [`juno_common::topk::merge_neighbors`];
+//!   in global-id mode the merged ids and distance bits are identical to
+//!   the monolithic index (the `tests/shard_parity.rs` contract).
+//! * [`BackgroundCompactor`] — periodic per-shard compaction off the read
+//!   path.
+//! * `SHRD` snapshots ([`KIND_SHARD`]) — whole-fleet persistence framing
+//!   each shard engine's own snapshot, with legacy unsharded snapshots
+//!   restoring into a single-shard fleet.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod persist;
+pub mod router;
+pub mod shard;
+
+pub use persist::KIND_SHARD;
+pub use router::{ShardRouter, MAX_SHARDS};
+pub use shard::{BackgroundCompactor, FleetReader, ShardState, ShardedIndex};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use juno_common::error::{Error, Result};
+    use juno_common::index::{AnnIndex, SearchResult, SearchStats};
+    use juno_common::metric::Metric;
+    use juno_common::topk::TopK;
+    use juno_common::vector::VectorSet;
+    use juno_data::snapshot::{kind, SectionWriter, Snapshot, SnapshotWriter};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const KIND_MINI: u32 = kind(*b"MINI");
+
+    /// A minimal exhaustive engine with tombstone mutation and snapshot
+    /// support, used to exercise the generic fleet machinery without pulling
+    /// the real engines into this crate.
+    #[derive(Debug, Clone)]
+    struct MiniIndex {
+        dim: usize,
+        rows: Vec<Vec<f32>>,
+        dead: Vec<bool>,
+    }
+
+    impl MiniIndex {
+        fn new(rows: Vec<Vec<f32>>) -> Self {
+            let dim = rows.first().map(|r| r.len()).unwrap_or(1);
+            let dead = vec![false; rows.len()];
+            Self { dim, rows, dead }
+        }
+    }
+
+    impl AnnIndex for MiniIndex {
+        fn metric(&self) -> Metric {
+            Metric::L2
+        }
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn len(&self) -> usize {
+            self.dead.iter().filter(|&&d| !d).count()
+        }
+        fn search(&self, query: &[f32], k: usize) -> Result<SearchResult> {
+            if query.len() != self.dim {
+                return Err(Error::DimensionMismatch {
+                    expected: self.dim,
+                    actual: query.len(),
+                });
+            }
+            let mut topk = TopK::new(k, Metric::L2);
+            for (id, row) in self.rows.iter().enumerate() {
+                if !self.dead[id] {
+                    topk.push(id as u64, Metric::L2.distance(query, row));
+                }
+            }
+            Ok(SearchResult {
+                neighbors: topk.into_sorted_vec(),
+                simulated_us: 1.5,
+                stats: SearchStats {
+                    candidates: self.len(),
+                    filter_us: 2.0,
+                    ..SearchStats::default()
+                },
+            })
+        }
+        fn supports_mutation(&self) -> bool {
+            true
+        }
+        fn supports_snapshot(&self) -> bool {
+            true
+        }
+        fn insert(&mut self, vector: &[f32]) -> Result<u64> {
+            if vector.len() != self.dim {
+                return Err(Error::DimensionMismatch {
+                    expected: self.dim,
+                    actual: vector.len(),
+                });
+            }
+            self.rows.push(vector.to_vec());
+            self.dead.push(false);
+            Ok((self.rows.len() - 1) as u64)
+        }
+        fn remove(&mut self, id: u64) -> Result<bool> {
+            match self.dead.get_mut(id as usize) {
+                Some(slot) if !*slot => {
+                    *slot = true;
+                    Ok(true)
+                }
+                _ => Ok(false),
+            }
+        }
+        fn snapshot(&self) -> Result<Vec<u8>> {
+            let mut w = SnapshotWriter::new(KIND_MINI);
+            let mut s = SectionWriter::new();
+            s.put_u64(self.dim as u64);
+            s.put_u64(self.rows.len() as u64);
+            for row in &self.rows {
+                s.put_f32s(row);
+            }
+            s.put_bools(&self.dead);
+            w.add_section(*b"MINI", s);
+            Ok(w.finish())
+        }
+        fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+            let snap = Snapshot::parse(bytes)?;
+            if snap.kind() != KIND_MINI {
+                return Err(Error::corrupted("not a MiniIndex snapshot"));
+            }
+            let mut r = snap.section(*b"MINI")?;
+            let dim = r.get_usize()?;
+            let n = r.get_usize()?;
+            let rows = (0..n).map(|_| r.get_f32s()).collect::<Result<Vec<_>>>()?;
+            let dead = r.get_bools()?;
+            if dead.len() != n || rows.iter().any(|row| row.len() != dim) {
+                return Err(Error::corrupted("inconsistent MiniIndex snapshot"));
+            }
+            r.expect_end()?;
+            *self = Self { dim, rows, dead };
+            Ok(())
+        }
+        fn ids(&self) -> Vec<u64> {
+            (0..self.rows.len() as u64)
+                .filter(|&id| !self.dead[id as usize])
+                .collect()
+        }
+    }
+
+    fn grid_rows(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| vec![(i % 17) as f32, (i / 17) as f32])
+            .collect()
+    }
+
+    fn assert_bit_identical(a: &SearchResult, b: &SearchResult, label: &str) {
+        assert_eq!(a.neighbors.len(), b.neighbors.len(), "{label}: lengths");
+        for (ra, rb) in a.neighbors.iter().zip(&b.neighbors) {
+            assert_eq!(ra.id, rb.id, "{label}: ids");
+            assert_eq!(
+                ra.distance.to_bits(),
+                rb.distance.to_bits(),
+                "{label}: distance bits"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_matches_monolith_and_survives_mutation() {
+        let monolith = MiniIndex::new(grid_rows(120));
+        for shards in [1usize, 2, 4, 7] {
+            for router in [ShardRouter::Hash { seed: 3 }, ShardRouter::Modulo] {
+                let mut mono = monolith.clone();
+                let fleet = ShardedIndex::from_monolith(monolith.clone(), shards, router).unwrap();
+                assert_eq!(fleet.len(), mono.len());
+                assert_eq!(fleet.ids(), mono.ids());
+                for q in [[0.0f32, 0.0], [3.5, 2.0], [16.0, 6.0]] {
+                    assert_bit_identical(
+                        &fleet.search(&q, 9).unwrap(),
+                        &mono.search(&q, 9).unwrap(),
+                        &format!("S={shards} {router:?} fresh"),
+                    );
+                }
+                // Identical mutation sequence on both sides.
+                for i in 0..20 {
+                    let v = [(i as f32) * 0.37, 1.0 + (i % 5) as f32];
+                    assert_eq!(fleet.insert_shared(&v).unwrap(), mono.insert(&v).unwrap());
+                }
+                for id in [0u64, 7, 121, 125, 9_999] {
+                    assert_eq!(
+                        fleet.remove_shared(id).unwrap(),
+                        mono.remove(id).unwrap(),
+                        "remove {id}"
+                    );
+                }
+                fleet.compact_all_shared().unwrap();
+                mono.compact().unwrap();
+                assert_eq!(fleet.len(), mono.len());
+                assert_eq!(fleet.ids(), mono.ids());
+                for q in [[0.2f32, 0.9], [5.0, 5.0]] {
+                    assert_bit_identical(
+                        &fleet.search(&q, 13).unwrap(),
+                        &mono.search(&q, 13).unwrap(),
+                        &format!("S={shards} {router:?} mutated"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_search_gathers_stats_without_time_double_count() {
+        let fleet =
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(90)), 3, ShardRouter::Modulo)
+                .unwrap();
+        let queries = VectorSet::from_rows(vec![vec![1.0, 1.0], vec![8.0, 3.0]]).unwrap();
+        let results = fleet.search_batch_threads(&queries, 5, 2).unwrap();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            // Counters sum across the three shards (90 live points total)…
+            assert_eq!(r.stats.candidates, 90);
+            // …but per-stage wall clock takes the max, not 3 × 2.0.
+            assert_eq!(r.stats.filter_us, 2.0);
+            assert_eq!(r.simulated_us, 1.5);
+            assert_eq!(r.neighbors.len(), 5);
+        }
+    }
+
+    #[test]
+    fn pinned_reader_is_isolated_from_writers_and_epochs_advance() {
+        let fleet = Arc::new(
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(60)), 2, ShardRouter::Modulo)
+                .unwrap(),
+        );
+        let reader = fleet.reader();
+        let before = reader.search(&[4.0, 1.0], 6).unwrap();
+        let epochs0 = reader.epochs();
+
+        let id = fleet.insert_shared(&[4.0, 1.0]).unwrap();
+        fleet.remove_shared(0).unwrap();
+        fleet.compact_all_shared().unwrap();
+
+        // The pinned reader still answers from its epoch, bit-identically.
+        let after = reader.search(&[4.0, 1.0], 6).unwrap();
+        assert_bit_identical(&before, &after, "pinned reader");
+        assert_eq!(reader.epochs(), epochs0, "pinned epochs are immutable");
+
+        // A fresh reader observes the new epochs and the new point.
+        let fresh = fleet.reader();
+        for (old, new) in epochs0.iter().zip(fresh.epochs()) {
+            assert!(*old < new, "epochs advance monotonically");
+        }
+        assert!(fresh.search(&[4.0, 1.0], 6).unwrap().ids().contains(&id));
+        assert!(!fresh.search(&[0.0, 0.0], 60).unwrap().ids().contains(&0));
+    }
+
+    #[test]
+    fn fleet_snapshot_round_trips_and_legacy_restores_to_one_shard() {
+        let fleet = ShardedIndex::from_monolith(
+            MiniIndex::new(grid_rows(80)),
+            4,
+            ShardRouter::Hash { seed: 9 },
+        )
+        .unwrap();
+        fleet.insert_shared(&[2.5, 2.5]).unwrap();
+        fleet.remove_shared(3).unwrap();
+        let bytes = fleet.to_snapshot_bytes().unwrap();
+
+        let restored =
+            ShardedIndex::from_snapshot_bytes(MiniIndex::new(vec![vec![0.0, 0.0]]), &bytes)
+                .unwrap();
+        assert_eq!(restored.num_shards(), 4);
+        assert_eq!(restored.router(), ShardRouter::Hash { seed: 9 });
+        assert_eq!(restored.ids(), fleet.ids());
+        assert_bit_identical(
+            &restored.search(&[2.5, 2.5], 10).unwrap(),
+            &fleet.search(&[2.5, 2.5], 10).unwrap(),
+            "fleet snapshot",
+        );
+
+        // Legacy unsharded engine snapshot → single-shard fleet.
+        let mono = MiniIndex::new(grid_rows(40));
+        let legacy = mono.snapshot().unwrap();
+        let mut fleet2 = fleet;
+        fleet2.restore_from_bytes(&legacy).unwrap();
+        assert_eq!(fleet2.num_shards(), 1);
+        assert_bit_identical(
+            &fleet2.search(&[1.0, 0.0], 5).unwrap(),
+            &mono.search(&[1.0, 0.0], 5).unwrap(),
+            "legacy restore",
+        );
+    }
+
+    #[test]
+    fn corrupt_fleet_snapshots_error_and_leave_the_fleet_intact() {
+        let mut fleet =
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(50)), 2, ShardRouter::Modulo)
+                .unwrap();
+        let good = fleet.to_snapshot_bytes().unwrap();
+        let reference = fleet.search(&[3.0, 1.0], 7).unwrap();
+        for at in (0..good.len()).step_by(11) {
+            let mut corrupt = good.clone();
+            corrupt[at] ^= 0x20;
+            if fleet.restore_from_bytes(&corrupt).is_err() {
+                assert_bit_identical(
+                    &fleet.search(&[3.0, 1.0], 7).unwrap(),
+                    &reference,
+                    "failed restore must not disturb the fleet",
+                );
+            }
+            // Either rejected, or the flip hit an uninterpreted byte — in
+            // which case the restore is semantically identical. Re-restore
+            // the good bytes to keep the loop's reference valid.
+            fleet.restore_from_bytes(&good).unwrap();
+        }
+        for len in (0..good.len()).step_by(13) {
+            assert!(fleet.restore_from_bytes(&good[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn mapped_fleets_translate_ids_and_reject_mutation() {
+        let rows = grid_rows(30);
+        // Shard by parity of the global id; each shard's rows ascend in
+        // global id, as the parity contract requires.
+        let mut parts: Vec<(Vec<Vec<f32>>, Vec<u64>)> = vec![(vec![], vec![]); 2];
+        for (id, row) in rows.iter().enumerate() {
+            let s = id % 2;
+            parts[s].0.push(row.clone());
+            parts[s].1.push(id as u64);
+        }
+        let fleet = ShardedIndex::from_prebuilt(
+            parts
+                .into_iter()
+                .map(|(rows, map)| (MiniIndex::new(rows), map))
+                .collect(),
+            ShardRouter::Modulo,
+        )
+        .unwrap();
+        let mono = MiniIndex::new(rows);
+        assert_bit_identical(
+            &fleet.search(&[2.0, 1.0], 8).unwrap(),
+            &mono.search(&[2.0, 1.0], 8).unwrap(),
+            "mapped parity",
+        );
+        assert_eq!(fleet.ids(), mono.ids());
+        assert!(!fleet.supports_mutation());
+        assert!(matches!(
+            fleet.insert_shared(&[0.0, 0.0]),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(fleet.remove_shared(1), Err(Error::Unsupported(_))));
+        // Mapped fleets snapshot and restore with their id maps.
+        let bytes = fleet.to_snapshot_bytes().unwrap();
+        let restored =
+            ShardedIndex::from_snapshot_bytes(MiniIndex::new(vec![vec![0.0, 0.0]]), &bytes)
+                .unwrap();
+        assert_eq!(restored.ids(), mono.ids());
+        assert!(!restored.supports_mutation());
+    }
+
+    #[test]
+    fn construction_errors_are_reported() {
+        let mono = MiniIndex::new(grid_rows(10));
+        assert!(matches!(
+            ShardedIndex::from_monolith(mono.clone(), 0, ShardRouter::Modulo),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ShardedIndex::from_monolith(mono.clone(), MAX_SHARDS + 1, ShardRouter::Modulo),
+            Err(Error::InvalidConfig(_))
+        ));
+        // Colliding global ids across prebuilt shards.
+        assert!(matches!(
+            ShardedIndex::from_prebuilt(
+                vec![
+                    (MiniIndex::new(grid_rows(3)), vec![0, 1, 2]),
+                    (MiniIndex::new(grid_rows(3)), vec![2, 3, 4]),
+                ],
+                ShardRouter::Modulo,
+            ),
+            Err(Error::InvalidConfig(_))
+        ));
+        // Map length mismatch.
+        assert!(matches!(
+            ShardedIndex::from_prebuilt(
+                vec![(MiniIndex::new(grid_rows(3)), vec![0, 1])],
+                ShardRouter::Modulo,
+            ),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(ShardedIndex::<MiniIndex>::from_prebuilt(vec![], ShardRouter::Modulo).is_err());
+    }
+
+    #[test]
+    fn background_compactor_sweeps_dirty_shards_only_and_stops() {
+        let fleet = Arc::new(
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(40)), 2, ShardRouter::Modulo)
+                .unwrap(),
+        );
+        let compactor = BackgroundCompactor::spawn(fleet.clone(), Duration::from_millis(2));
+        let wait_for_runs = |target: u64| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while compactor.runs() < target && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert!(compactor.runs() >= target, "compactor stalled");
+        };
+
+        // Fresh replicas start dirty, so the first sweep publishes each
+        // shard exactly once; later sweeps skip the now-clean shards
+        // without cloning or bumping epochs.
+        wait_for_runs(3);
+        assert_eq!(fleet.shard_epochs(), vec![1, 1], "clean shards republished");
+
+        // A mutation re-dirties its owner (id 0 → shard 0 under Modulo):
+        // the write publishes epoch 2 and the next sweep compacts to 3,
+        // while the untouched shard stays at its first-sweep epoch.
+        assert!(fleet.remove_shared(0).unwrap());
+        let after_remove = compactor.runs() + 2;
+        wait_for_runs(after_remove);
+        let epochs = fleet.shard_epochs();
+        assert_eq!(epochs[0], 3, "dirty shard swept once after the remove");
+        assert_eq!(epochs[1], 1, "clean shard untouched by the sweep");
+
+        drop(compactor);
+        assert_eq!(fleet.search(&[1.0, 1.0], 3).unwrap().neighbors.len(), 3);
+    }
+
+    #[test]
+    fn mapped_snapshots_with_colliding_id_maps_are_rejected() {
+        // A valid two-shard mapped fleet snapshot…
+        let fleet = ShardedIndex::from_prebuilt(
+            vec![
+                (MiniIndex::new(grid_rows(3)), vec![0, 1, 2]),
+                (MiniIndex::new(grid_rows(3)), vec![3, 4, 5]),
+            ],
+            ShardRouter::Modulo,
+        )
+        .unwrap();
+        let good = fleet.to_snapshot_bytes().unwrap();
+        // …re-framed with shard 1's id map overlapping shard 0's (checksums
+        // recomputed, so only the new cross-shard validation can catch it).
+        let snap = Snapshot::parse(&good).unwrap();
+        let mut writer = SnapshotWriter::new(KIND_SHARD);
+        let mut mani = SectionWriter::new();
+        mani.put_raw(snap.section(*b"MANI").unwrap().take_rest());
+        writer.add_section(*b"MANI", mani);
+        let mut imap = SectionWriter::new();
+        imap.put_u64(2);
+        imap.put_u64s(&[0, 1, 2]);
+        imap.put_u64s(&[2, 3, 4]); // id 2 owned twice
+        writer.add_section(*b"IMAP", imap);
+        for tag in [*b"S000", *b"S001"] {
+            let mut section = SectionWriter::new();
+            section.put_raw(snap.section(tag).unwrap().take_rest());
+            writer.add_section(tag, section);
+        }
+        let poisoned = writer.finish();
+
+        let mut target = fleet;
+        assert!(matches!(
+            target.restore_from_bytes(&poisoned),
+            Err(Error::Corrupted(_))
+        ));
+        // The good bytes still restore.
+        target.restore_from_bytes(&good).unwrap();
+        assert_eq!(target.ids(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn global_snapshots_with_misrouted_ids_are_rejected() {
+        // Container surgery: duplicate shard 0's engine payload into shard
+        // 1's section with a consistent manifest. Checksums are all valid,
+        // per-shard lengths match — only the live-id routing validation can
+        // catch that every id would now be live in two shards.
+        let fleet =
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(20)), 2, ShardRouter::Modulo)
+                .unwrap();
+        let good = fleet.to_snapshot_bytes().unwrap();
+        let snap = Snapshot::parse(&good).unwrap();
+        let shard0_payload = snap.section(*b"S000").unwrap().take_rest().to_vec();
+        let n0 = fleet.reader().shard(0).index().len() as u64;
+
+        let mut writer = SnapshotWriter::new(KIND_SHARD);
+        let mut mani = SectionWriter::new();
+        mani.put_u32(1); // manifest version
+        mani.put_u8(0); // global-id mode
+        ShardRouter::Modulo.encode(&mut mani);
+        mani.put_u64(2);
+        mani.put_u64s(&[n0, n0]);
+        writer.add_section(*b"MANI", mani);
+        for tag in [*b"S000", *b"S001"] {
+            let mut section = SectionWriter::new();
+            section.put_raw(&shard0_payload);
+            writer.add_section(tag, section);
+        }
+        let poisoned = writer.finish();
+
+        let mut target =
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(4)), 1, ShardRouter::Modulo)
+                .unwrap();
+        assert!(matches!(
+            target.restore_from_bytes(&poisoned),
+            Err(Error::Corrupted(_))
+        ));
+        target.restore_from_bytes(&good).unwrap();
+        assert_eq!(target.ids(), fleet.ids());
+    }
+
+    #[test]
+    fn fleet_name_and_capabilities_reflect_the_inner_engine() {
+        let fleet =
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(12)), 3, ShardRouter::Modulo)
+                .unwrap();
+        assert!(fleet.name().starts_with("Sharded3x["));
+        assert!(fleet.supports_mutation());
+        assert!(fleet.supports_snapshot());
+        assert_eq!(fleet.metric(), Metric::L2);
+        assert_eq!(fleet.dim(), 2);
+        assert_eq!(
+            fleet.merge_order(),
+            juno_common::topk::ScoreOrder::Ascending
+        );
+    }
+}

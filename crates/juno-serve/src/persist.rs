@@ -1,0 +1,230 @@
+//! Whole-fleet persistence: the `SHRD` snapshot container.
+//!
+//! A fleet snapshot reuses the PR 2 container format (`juno-data`'s
+//! `snapshot` module) with engine kind [`KIND_SHARD`]:
+//!
+//! * a `MANI` manifest section — format version, ownership mode (global-id
+//!   vs mapped), the [`ShardRouter`], the shard count and the per-shard live
+//!   counts (validated on restore);
+//! * for mapped fleets, an `IMAP` section with the per-shard local→global
+//!   id maps;
+//! * one `S000`, `S001`, … section per shard, each holding that shard
+//!   engine's **own** snapshot bytes verbatim (so every engine keeps its
+//!   established format, checksums and back-compat story — the fleet layer
+//!   only frames them).
+//!
+//! Restore accepts a second shape: bytes whose container kind is *not*
+//! `SHRD` are treated as a legacy unsharded engine snapshot and restore
+//! into a single-shard fleet — old single-index deployments upgrade to the
+//! serving layer without a migration step.
+
+use crate::router::{ShardRouter, MAX_SHARDS};
+use crate::shard::{shard_state, state_id_map, FleetReader, ShardState};
+use juno_common::error::{Error, Result};
+use juno_common::index::AnnIndex;
+use juno_data::snapshot::{kind, SectionWriter, Snapshot, SnapshotWriter};
+use std::sync::Arc;
+
+/// The engine-kind word of fleet snapshots.
+pub const KIND_SHARD: u32 = kind(*b"SHRD");
+
+/// The manifest layout version written inside `MANI`.
+const MANIFEST_VERSION: u32 = 1;
+
+/// The per-shard section tag: `S` followed by three decimal digits.
+fn shard_tag(s: usize) -> [u8; 4] {
+    debug_assert!(s < MAX_SHARDS);
+    [
+        b'S',
+        b'0' + (s / 100) as u8,
+        b'0' + ((s / 10) % 10) as u8,
+        b'0' + (s % 10) as u8,
+    ]
+}
+
+/// Serialises a pinned fleet view into `SHRD` container bytes.
+pub(crate) fn encode_fleet<I: AnnIndex>(
+    reader: &FleetReader<I>,
+    router: ShardRouter,
+) -> Result<Vec<u8>> {
+    let num_shards = reader.num_shards();
+    let mapped = state_id_map(reader.shard(0)).is_some();
+    let mut writer = SnapshotWriter::new(KIND_SHARD);
+
+    let mut mani = SectionWriter::new();
+    mani.put_u32(MANIFEST_VERSION);
+    mani.put_u8(mapped as u8);
+    router.encode(&mut mani);
+    mani.put_u64(num_shards as u64);
+    let lens: Vec<u64> = (0..num_shards)
+        .map(|s| reader.shard(s).index().len() as u64)
+        .collect();
+    mani.put_u64s(&lens);
+    writer.add_section(*b"MANI", mani);
+
+    if mapped {
+        let mut imap = SectionWriter::new();
+        imap.put_u64(num_shards as u64);
+        for s in 0..num_shards {
+            let map = state_id_map(reader.shard(s))
+                .ok_or_else(|| Error::invalid_config("fleet mixes mapped and global-id shards"))?;
+            imap.put_u64s(map);
+        }
+        writer.add_section(*b"IMAP", imap);
+    }
+
+    for s in 0..num_shards {
+        let sub = reader.shard(s).index().snapshot()?;
+        let mut section = SectionWriter::new();
+        section.put_u8s(&sub);
+        writer.add_section(shard_tag(s), section);
+    }
+    Ok(writer.finish())
+}
+
+/// The outcome of decoding fleet bytes: the shard states to publish and the
+/// router recorded in the manifest (`None` for legacy unsharded snapshots,
+/// where the caller keeps its current router).
+pub(crate) struct DecodedFleet<I> {
+    pub states: Vec<ShardState<I>>,
+    pub router: Option<ShardRouter>,
+}
+
+fn corrupted(msg: impl std::fmt::Display) -> Error {
+    Error::corrupted(format!("sharded snapshot: {msg}"))
+}
+
+/// Decodes `SHRD` container bytes (or a legacy unsharded engine snapshot)
+/// into shard states, restoring each shard into a clone of `prototype`.
+/// Fully validates before returning, so a caller can swap its state
+/// atomically: on error nothing has been published.
+pub(crate) fn decode_fleet<I: AnnIndex + Clone>(
+    bytes: &[u8],
+    prototype: &I,
+    base_epoch: u64,
+) -> Result<DecodedFleet<I>> {
+    let snap = Snapshot::parse(bytes)?;
+    if snap.kind() != KIND_SHARD {
+        // Legacy unsharded engine snapshot → a single-shard fleet. The
+        // engine's own restore validates the kind word and payload.
+        let mut engine = prototype.clone();
+        engine.restore(bytes)?;
+        return Ok(DecodedFleet {
+            states: vec![shard_state(engine, base_epoch, None)],
+            router: None,
+        });
+    }
+
+    let mut mani = snap.section(*b"MANI")?;
+    let version = mani.get_u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(corrupted(format!(
+            "unknown manifest version {version} (reader supports {MANIFEST_VERSION})"
+        )));
+    }
+    let mapped = match mani.get_u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(corrupted(format!("invalid ownership-mode byte {other}"))),
+    };
+    let router = ShardRouter::decode(&mut mani)?;
+    let num_shards = mani.get_usize()?;
+    if num_shards == 0 || num_shards > MAX_SHARDS {
+        return Err(corrupted(format!("invalid shard count {num_shards}")));
+    }
+    let lens = mani.get_u64s()?;
+    if lens.len() != num_shards {
+        return Err(corrupted(
+            "per-shard length table does not match shard count",
+        ));
+    }
+    mani.expect_end()?;
+
+    let id_maps: Option<Vec<Arc<Vec<u64>>>> = if mapped {
+        let mut imap = snap.section(*b"IMAP")?;
+        let count = imap.get_usize()?;
+        if count != num_shards {
+            return Err(corrupted("id-map table does not match shard count"));
+        }
+        let maps = (0..num_shards)
+            .map(|_| imap.get_u64s().map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        imap.expect_end()?;
+        // The same invariant `from_prebuilt` enforces: a global id may be
+        // owned by at most one shard, or merged result sets would contain
+        // duplicates.
+        let mut all_ids: Vec<u64> = maps.iter().flat_map(|m| m.iter().copied()).collect();
+        all_ids.sort_unstable();
+        if all_ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(corrupted("global ids collide across shard id maps"));
+        }
+        Some(maps)
+    } else {
+        None
+    };
+
+    let mut states = Vec::with_capacity(num_shards);
+    for s in 0..num_shards {
+        let mut section = snap.section(shard_tag(s))?;
+        let sub = section.get_u8s()?;
+        section.expect_end()?;
+        let mut engine = prototype.clone();
+        engine.restore(&sub)?;
+        if engine.len() as u64 != lens[s] {
+            return Err(corrupted(format!(
+                "shard {s} restored {} live vectors, manifest recorded {}",
+                engine.len(),
+                lens[s]
+            )));
+        }
+        let id_map = id_maps.as_ref().map(|maps| maps[s].clone());
+        if let Some(map) = &id_map {
+            if map.len() != engine.len() {
+                return Err(corrupted(format!(
+                    "shard {s} id map covers {} ids for {} vectors",
+                    map.len(),
+                    engine.len()
+                )));
+            }
+        } else {
+            // Global-id fleets maintain the invariant that every live id is
+            // owned by the shard the router assigns it to (construction and
+            // every insert/remove preserve it). A checksum-valid snapshot
+            // violating it — e.g. one shard's payload duplicated into
+            // another's section — would serve duplicate results and ids
+            // that `remove` can never reach, so reject it here. This also
+            // guarantees cross-shard live-id disjointness.
+            for id in engine.ids() {
+                let owner = router.route(id, num_shards);
+                if owner != s {
+                    return Err(corrupted(format!(
+                        "shard {s} holds live id {id}, which the router assigns to \
+                         shard {owner}"
+                    )));
+                }
+            }
+        }
+        states.push(shard_state(engine, base_epoch, id_map));
+    }
+    Ok(DecodedFleet {
+        states,
+        router: Some(router),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_tags_are_unique_three_digit_ascii() {
+        assert_eq!(&shard_tag(0), b"S000");
+        assert_eq!(&shard_tag(7), b"S007");
+        assert_eq!(&shard_tag(42), b"S042");
+        assert_eq!(&shard_tag(998), b"S998");
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..MAX_SHARDS {
+            assert!(seen.insert(shard_tag(s)), "duplicate tag for shard {s}");
+        }
+    }
+}

@@ -1,0 +1,784 @@
+//! The sharded, concurrently readable serving index.
+//!
+//! [`ShardedIndex`] wraps `S` replicas of an [`AnnIndex`] behind per-shard
+//! **epoch pointers**: each shard publishes its current state as an
+//! `Arc<ShardState<I>>` guarded by an `RwLock` that is only ever held for
+//! the duration of a pointer clone or swap. Readers pin a whole-fleet
+//! snapshot ([`FleetReader`]) in O(S) pointer clones and then search without
+//! taking any lock at all; writers mutate a **clone** of a shard's state and
+//! publish it with a pointer swap (clone-and-publish), so readers never
+//! block on insert / remove / compaction, and a pinned reader keeps
+//! observing its epoch bit-identically for as long as it lives.
+//!
+//! # Ownership and bit-parity
+//!
+//! The fleet has two construction modes with different guarantees:
+//!
+//! * **Global-id mode** ([`ShardedIndex::from_monolith`]) — every shard is a
+//!   full replica of the monolithic index in which the points *not* owned by
+//!   the shard (per the [`ShardRouter`]) are tombstoned. All replicas share
+//!   the monolith's trained state (coarse centroids, PQ codebooks, threshold
+//!   density maps), and every insert is applied to **every** replica — then
+//!   tombstoned on the non-owners within the same atomic publish — so the
+//!   id allocators and the density calibration stay in lockstep with a
+//!   monolith receiving the same operations. Because each live point is
+//!   scored by exactly one shard with exactly the monolith's arithmetic, the
+//!   deterministic tie-by-id merge
+//!   ([`juno_common::topk::merge_neighbors`]) reconstructs the monolith's
+//!   ids and distance **bits** — the contract `tests/shard_parity.rs` pins.
+//! * **Mapped mode** ([`ShardedIndex::from_prebuilt`]) — pre-partitioned
+//!   sub-indexes with a local→global id map per shard, for engines without
+//!   mutation support (Flat, HNSW, IVF-Flat). Such fleets are read-only;
+//!   exact engines (Flat) still merge bit-identically to the monolith when
+//!   each shard's rows ascend in global id.
+//!
+//! Searches gather per-shard results with
+//! [`SearchStats::merge_scatter`] (work counters sum, wall-clock stage
+//! times take the max — the shard scans ran concurrently).
+
+use crate::persist;
+use crate::router::{ShardRouter, MAX_SHARDS};
+use juno_common::error::{Error, Result};
+use juno_common::index::{AnnIndex, SearchResult, SearchStats};
+use juno_common::parallel;
+use juno_common::topk::{merge_neighbors, ScoreOrder};
+use juno_common::vector::VectorSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// One published shard state: the index, the epoch that published it, and
+/// (mapped fleets only) the local→global id translation.
+#[derive(Debug, Clone)]
+pub struct ShardState<I> {
+    index: I,
+    epoch: u64,
+    id_map: Option<Arc<Vec<u64>>>,
+}
+
+impl<I: AnnIndex> ShardState<I> {
+    /// The shard's index at this epoch.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// The epoch counter this state was published at (starts at 0, bumps on
+    /// every publish).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// A shard slot: the lock is held only to clone or swap the `Arc`, never
+/// across a search or a mutation.
+#[derive(Debug)]
+struct Shard<I> {
+    slot: RwLock<Arc<ShardState<I>>>,
+    /// Set by mutations (tails / tombstones may exist), cleared by a
+    /// compaction sweep: lets [`ShardedIndex::compact_all_shared`] skip the
+    /// clone-and-publish of shards with nothing to compact. Atomic so
+    /// writers flag it under the fleet writer lock without touching `slot`.
+    dirty: AtomicBool,
+}
+
+impl<I> Shard<I> {
+    /// `dirty` starts `true` for shards whose engine may hold uncompacted
+    /// state (fresh replicas, restored global-id shards) and `false` for
+    /// read-only mapped shards, which never have anything to compact.
+    fn new(state: ShardState<I>, dirty: bool) -> Self {
+        Self {
+            slot: RwLock::new(Arc::new(state)),
+            dirty: AtomicBool::new(dirty),
+        }
+    }
+}
+
+/// A pinned, immutable point-in-time view of the whole fleet.
+///
+/// Pinning is O(S) `Arc` clones; afterwards every search on the reader runs
+/// lock-free against exactly the pinned epochs — concurrent writers publish
+/// new epochs without disturbing it (snapshot isolation). Re-running a
+/// search on the same reader is bit-identical no matter what the writers
+/// did in between.
+#[derive(Debug, Clone)]
+pub struct FleetReader<I: AnnIndex> {
+    states: Vec<Arc<ShardState<I>>>,
+}
+
+impl<I: AnnIndex> FleetReader<I> {
+    /// Number of shards pinned.
+    pub fn num_shards(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The pinned epoch of every shard, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.states.iter().map(|s| s.epoch).collect()
+    }
+
+    /// Borrow of one pinned shard state.
+    pub fn shard(&self, s: usize) -> &ShardState<I> {
+        &self.states[s]
+    }
+
+    /// Total live vectors across all pinned shards.
+    pub fn len(&self) -> usize {
+        self.states.iter().map(|s| s.index.len()).sum()
+    }
+
+    /// Returns `true` when no shard holds a live vector.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remaps a shard's neighbours into the global id space and re-sorts
+    /// under the merge order (mapped shards only; a no-op for global-id
+    /// shards, whose lists already arrive merge-ordered).
+    fn globalise(&self, s: usize, result: &mut SearchResult, order: ScoreOrder) {
+        if let Some(map) = &self.states[s].id_map {
+            for n in &mut result.neighbors {
+                n.id = map[n.id as usize];
+            }
+            result.neighbors.sort_by(|a, b| order.cmp_neighbors(a, b));
+        }
+    }
+
+    /// Gathers per-shard results for one query into the global top-k.
+    fn gather(
+        &self,
+        mut per_shard: Vec<SearchResult>,
+        k: usize,
+        order: ScoreOrder,
+    ) -> SearchResult {
+        let mut stats = SearchStats::default();
+        let mut simulated_us = 0.0f64;
+        let mut lists = Vec::with_capacity(per_shard.len());
+        for (s, result) in per_shard.iter_mut().enumerate() {
+            self.globalise(s, result, order);
+            stats.merge_scatter(&result.stats);
+            simulated_us = simulated_us.max(result.simulated_us);
+            lists.push(std::mem::take(&mut result.neighbors));
+        }
+        SearchResult {
+            neighbors: merge_neighbors(&lists, k, order),
+            simulated_us,
+            stats,
+        }
+    }
+
+    /// Scatter-gather search of one query: the shard scans fan out across
+    /// the work-stealing pool (one task per shard, up to the default thread
+    /// budget) and the per-shard top-k lists merge deterministically (tie by
+    /// id) into the global top-k. Results are identical to a sequential
+    /// shard loop — the scheduling only changes latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error (dimension mismatch etc.).
+    pub fn search(&self, query: &[f32], k: usize) -> Result<SearchResult> {
+        let order = self.states[0].index.merge_order();
+        let workers = self.states.len().min(parallel::default_threads());
+        let per_shard = parallel::map(self.states.len(), workers, |s| {
+            self.states[s].index.search(query, k)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
+        Ok(self.gather(per_shard, k, order))
+    }
+
+    /// Scatter-gather batch search with an explicit worker-thread budget:
+    /// the thread budget is split across the shards — up to `S` outer
+    /// workers scan shards concurrently, each fanning its shard's batch
+    /// across the remaining budget through the engine's own batched path
+    /// (retaining its per-worker scratch reuse) — then per-query results
+    /// merge across shards. `num_threads = 1` recovers the sequential
+    /// shard-by-shard loop; results are identical for every budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-shard error encountered.
+    pub fn search_batch_threads(
+        &self,
+        queries: &VectorSet,
+        k: usize,
+        num_threads: usize,
+    ) -> Result<Vec<SearchResult>> {
+        let order = self.states[0].index.merge_order();
+        let outer = num_threads.clamp(1, self.states.len());
+        let inner = (num_threads / outer).max(1);
+        let mut shard_batches = parallel::map(self.states.len(), outer, |s| {
+            self.states[s].index.search_batch_threads(queries, k, inner)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
+        let mut out = Vec::with_capacity(queries.len());
+        for qi in 0..queries.len() {
+            let per_shard: Vec<SearchResult> = shard_batches
+                .iter_mut()
+                .map(|batch| std::mem::take(&mut batch[qi]))
+                .collect();
+            out.push(self.gather(per_shard, k, order));
+        }
+        Ok(out)
+    }
+
+    /// [`FleetReader::search_batch_threads`] with the default thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-shard error encountered.
+    pub fn search_batch(&self, queries: &VectorSet, k: usize) -> Result<Vec<SearchResult>> {
+        self.search_batch_threads(queries, k, parallel::default_threads())
+    }
+}
+
+/// A sharded ANN index with snapshot-isolated concurrent reads and
+/// clone-and-publish writes. See the [module docs](self) for the concurrency
+/// and parity model.
+#[derive(Debug)]
+pub struct ShardedIndex<I: AnnIndex> {
+    shards: Vec<Shard<I>>,
+    router: ShardRouter,
+    /// Serialises writers (and fleet-consistent snapshots). Readers never
+    /// take it.
+    writer: Mutex<()>,
+}
+
+impl<I: AnnIndex> ShardedIndex<I> {
+    /// Number of shards in the fleet.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The id router partitioning ownership across shards.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    fn load(&self, s: usize) -> Arc<ShardState<I>> {
+        self.shards[s]
+            .slot
+            .read()
+            .expect("shard slot lock poisoned")
+            .clone()
+    }
+
+    fn publish(&self, s: usize, state: ShardState<I>) {
+        *self.shards[s]
+            .slot
+            .write()
+            .expect("shard slot lock poisoned") = Arc::new(state);
+    }
+
+    /// Pins a point-in-time view of the fleet (O(S) pointer clones; never
+    /// blocks behind an in-flight mutation). Per shard the view is exactly
+    /// one published epoch; a writer publishing between two shard pins can
+    /// skew epochs *across* shards, which is harmless because every point is
+    /// live in at most one shard at every published epoch.
+    pub fn reader(&self) -> FleetReader<I> {
+        FleetReader {
+            states: (0..self.shards.len()).map(|s| self.load(s)).collect(),
+        }
+    }
+
+    /// The current published epoch of every shard.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        (0..self.shards.len()).map(|s| self.load(s).epoch).collect()
+    }
+
+    /// Builds a read-only fleet from pre-partitioned sub-indexes, each with
+    /// a local→global id map (`map[local_id] = global_id`). This is the mode
+    /// for engines without mutation support; searches translate ids before
+    /// the merge. For boundary-tie parity with a monolith, each shard's rows
+    /// should ascend in global id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `parts` is empty or oversized,
+    /// the shards disagree on dim/metric, a map's length does not match its
+    /// index, or global ids collide across shards.
+    pub fn from_prebuilt(parts: Vec<(I, Vec<u64>)>, router: ShardRouter) -> Result<Self> {
+        if parts.is_empty() {
+            return Err(Error::invalid_config("a fleet needs at least one shard"));
+        }
+        if parts.len() > MAX_SHARDS {
+            return Err(Error::invalid_config(format!(
+                "at most {MAX_SHARDS} shards are supported"
+            )));
+        }
+        let dim = parts[0].0.dim();
+        let metric = parts[0].0.metric();
+        let mut all_ids: Vec<u64> = Vec::new();
+        for (s, (index, map)) in parts.iter().enumerate() {
+            if index.dim() != dim || index.metric() != metric {
+                return Err(Error::invalid_config(format!(
+                    "shard {s} disagrees on dim/metric with shard 0"
+                )));
+            }
+            if index.len() != map.len() {
+                return Err(Error::invalid_config(format!(
+                    "shard {s}: id map covers {} ids for {} indexed vectors",
+                    map.len(),
+                    index.len()
+                )));
+            }
+            all_ids.extend_from_slice(map);
+        }
+        all_ids.sort_unstable();
+        if all_ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(Error::invalid_config(
+                "global ids collide across prebuilt shards",
+            ));
+        }
+        let shards = parts
+            .into_iter()
+            .map(|(index, map)| {
+                Shard::new(
+                    ShardState {
+                        index,
+                        epoch: 0,
+                        id_map: Some(Arc::new(map)),
+                    },
+                    false,
+                )
+            })
+            .collect();
+        Ok(Self {
+            shards,
+            router,
+            writer: Mutex::new(()),
+        })
+    }
+
+    /// Returns an error unless the fleet is in global-id mode (mutation is
+    /// undefined for mapped, pre-partitioned fleets).
+    fn ensure_global(&self) -> Result<()> {
+        if self.load(0).id_map.is_some() {
+            return Err(Error::unsupported(
+                "mapped (pre-partitioned) sharded fleets are read-only",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<I: AnnIndex + Clone> ShardedIndex<I> {
+    /// Builds a global-id fleet by replicating a monolithic index and
+    /// tombstoning, in each replica, every id the router assigns elsewhere
+    /// (followed by a per-shard compaction, so each shard physically scans
+    /// only its own points). All replicas share the monolith's trained
+    /// state, which is what makes scatter-gather results bit-identical to
+    /// the monolith.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a shard count of 0 or above
+    /// [`MAX_SHARDS`], [`Error::Unsupported`] when `num_shards > 1` and the
+    /// engine cannot tombstone, and propagates engine removal errors.
+    pub fn from_monolith(monolith: I, num_shards: usize, router: ShardRouter) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(Error::invalid_config("a fleet needs at least one shard"));
+        }
+        if num_shards > MAX_SHARDS {
+            return Err(Error::invalid_config(format!(
+                "at most {MAX_SHARDS} shards are supported"
+            )));
+        }
+        if num_shards > 1 && !monolith.supports_mutation() {
+            return Err(Error::unsupported(format!(
+                "{} cannot tombstone, so it shards via ShardedIndex::from_prebuilt only",
+                monolith.name()
+            )));
+        }
+        let ids = monolith.ids();
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut monolith = Some(monolith);
+        for s in 0..num_shards {
+            let mut replica = if s + 1 == num_shards {
+                monolith.take().expect("monolith consumed once")
+            } else {
+                monolith.as_ref().expect("monolith live").clone()
+            };
+            if num_shards > 1 {
+                for &id in &ids {
+                    if router.route(id, num_shards) != s {
+                        replica.remove(id)?;
+                    }
+                }
+                replica.compact()?;
+            }
+            shards.push(Shard::new(
+                ShardState {
+                    index: replica,
+                    epoch: 0,
+                    id_map: None,
+                },
+                true,
+            ));
+        }
+        Ok(Self {
+            shards,
+            router,
+            writer: Mutex::new(()),
+        })
+    }
+
+    /// Restores a fleet from snapshot bytes, using `prototype` as the engine
+    /// to decode per-shard state into (any instance of the right engine
+    /// type). Accepts both `SHRD` fleet snapshots and legacy unsharded
+    /// engine snapshots (which restore into a single-shard fleet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] for malformed bytes; never panics.
+    pub fn from_snapshot_bytes(prototype: I, bytes: &[u8]) -> Result<Self> {
+        let mut fleet = Self::from_monolith(prototype, 1, ShardRouter::Hash { seed: 0 })?;
+        fleet.restore_from_bytes(bytes)?;
+        Ok(fleet)
+    }
+
+    /// Inserts one vector, routed to its owning shard. See
+    /// [`ShardedIndex::insert_batch_shared`] for the publication semantics
+    /// (a single-element batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine insertion errors; rejects mapped fleets with
+    /// [`Error::Unsupported`].
+    pub fn insert_shared(&self, vector: &[f32]) -> Result<u64> {
+        let batch = VectorSet::from_rows(vec![vector.to_vec()])?;
+        Ok(self.insert_batch_shared(&batch)?[0])
+    }
+
+    /// Inserts a batch of vectors through the clone-and-publish write path.
+    ///
+    /// Every replica receives every insert (keeping id allocation and the
+    /// engines' distribution state — e.g. JUNO's threshold density maps — in
+    /// lockstep with a monolith), and each vector is tombstoned on every
+    /// non-owning replica **within the same publish**, so at any published
+    /// epoch a point is live in at most one shard: readers can never observe
+    /// a duplicate or a vanishing id mid-operation. Each shard is cloned
+    /// once per batch; the whole batch either publishes on every shard or —
+    /// on error — on none.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (e.g. dimension mismatch) without publishing
+    /// anything; rejects mapped fleets with [`Error::Unsupported`].
+    pub fn insert_batch_shared(&self, vectors: &VectorSet) -> Result<Vec<u64>> {
+        let _writer = self.writer.lock().expect("fleet writer lock poisoned");
+        self.ensure_global()?;
+        if vectors.is_empty() {
+            return Ok(Vec::new());
+        }
+        let num_shards = self.num_shards();
+        let mut ids: Vec<u64> = Vec::with_capacity(vectors.len());
+        let mut staged: Vec<ShardState<I>> = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let current = self.load(s);
+            let mut next = ShardState {
+                index: current.index.clone(),
+                epoch: current.epoch + 1,
+                id_map: None,
+            };
+            for (vi, vector) in vectors.iter().enumerate() {
+                let id = next.index.insert(vector)?;
+                if s == 0 {
+                    ids.push(id);
+                } else if ids[vi] != id {
+                    return Err(Error::invalid_config(format!(
+                        "shard {s} allocated id {id} where shard 0 allocated {}; \
+                         replicas have diverged",
+                        ids[vi]
+                    )));
+                }
+                if self.router.route(id, num_shards) != s {
+                    next.index.remove(id)?;
+                }
+            }
+            staged.push(next);
+        }
+        for (s, state) in staged.into_iter().enumerate() {
+            self.publish(s, state);
+            // Every replica gained a tail record (non-owners also a
+            // tombstone), so every shard now has something to compact.
+            self.shards[s].dirty.store(true, Ordering::Relaxed);
+        }
+        Ok(ids)
+    }
+
+    /// Removes the point with the given id from its owning shard
+    /// (clone-and-publish; the other shards already hold it as a tombstone).
+    /// Returns `Ok(true)` when the id was live.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine removal errors; rejects mapped fleets with
+    /// [`Error::Unsupported`].
+    pub fn remove_shared(&self, id: u64) -> Result<bool> {
+        let _writer = self.writer.lock().expect("fleet writer lock poisoned");
+        self.ensure_global()?;
+        let owner = self.router.route(id, self.num_shards());
+        let current = self.load(owner);
+        let mut next = ShardState {
+            index: current.index.clone(),
+            epoch: current.epoch + 1,
+            id_map: None,
+        };
+        let removed = next.index.remove(id)?;
+        if removed {
+            self.publish(owner, next);
+            self.shards[owner].dirty.store(true, Ordering::Relaxed);
+        }
+        Ok(removed)
+    }
+
+    /// Compacts every shard that has seen a mutation since its last sweep,
+    /// one clone-and-publish at a time. Clean shards (including every shard
+    /// of a read-only mapped fleet) are skipped without cloning, so a
+    /// [`BackgroundCompactor`] on an idle fleet costs nothing and publishes
+    /// no epochs. Readers keep serving the pre-compaction epochs until each
+    /// shard's swap; results are unchanged (compaction is bit-invisible per
+    /// the engine contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine compaction errors (the failing shard is left
+    /// flagged dirty so the next sweep retries it).
+    pub fn compact_all_shared(&self) -> Result<()> {
+        let _writer = self.writer.lock().expect("fleet writer lock poisoned");
+        for s in 0..self.num_shards() {
+            if !self.shards[s].dirty.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            let current = self.load(s);
+            let mut next = (*current).clone();
+            next.epoch += 1;
+            if let Err(err) = next.index.compact() {
+                self.shards[s].dirty.store(true, Ordering::Relaxed);
+                return Err(err);
+            }
+            self.publish(s, next);
+        }
+        Ok(())
+    }
+
+    /// Serialises the whole fleet into the `SHRD` snapshot container:
+    /// a manifest section plus one sub-snapshot section per shard. The
+    /// writer lock is held so the per-shard states are cross-consistent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine snapshot errors ([`Error::Unsupported`] for
+    /// engines without persistence).
+    pub fn to_snapshot_bytes(&self) -> Result<Vec<u8>> {
+        let _writer = self.writer.lock().expect("fleet writer lock poisoned");
+        persist::encode_fleet(&self.reader(), self.router)
+    }
+
+    /// Replaces this fleet with the state decoded from `bytes` — the
+    /// inverse of [`ShardedIndex::to_snapshot_bytes`]. Legacy unsharded
+    /// engine snapshots are accepted and restore into a single-shard fleet
+    /// (the router is kept). On any error the fleet is left untouched;
+    /// epochs continue monotonically across a successful restore.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] for malformed bytes and propagates
+    /// engine restore errors.
+    pub fn restore_from_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        let base_epoch = self
+            .shard_epochs()
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1);
+        // Borrow the prototype from the current shard 0 — the decoder only
+        // clones it per shard after the container has validated, so a
+        // malformed snapshot is rejected without paying any engine clone.
+        let current = self.load(0);
+        let decoded = persist::decode_fleet(bytes, &current.index, base_epoch)?;
+        drop(current);
+        if let Some(router) = decoded.router {
+            self.router = router;
+        }
+        self.shards = decoded
+            .states
+            .into_iter()
+            .map(|state| {
+                // Restored global-id shards may carry tails / tombstones
+                // from their snapshotted lifecycle; mapped shards are
+                // read-only and never need a sweep.
+                let dirty = state.id_map.is_none();
+                Shard::new(state, dirty)
+            })
+            .collect();
+        Ok(())
+    }
+}
+
+/// Internal constructor used by the persistence decoder.
+pub(crate) fn shard_state<I>(index: I, epoch: u64, id_map: Option<Arc<Vec<u64>>>) -> ShardState<I> {
+    ShardState {
+        index,
+        epoch,
+        id_map,
+    }
+}
+
+/// Internal accessor used by the persistence encoder.
+pub(crate) fn state_id_map<I>(state: &ShardState<I>) -> Option<&Arc<Vec<u64>>> {
+    state.id_map.as_ref()
+}
+
+impl<I: AnnIndex + Clone> AnnIndex for ShardedIndex<I> {
+    fn metric(&self) -> juno_common::Metric {
+        self.load(0).index.metric()
+    }
+
+    fn dim(&self) -> usize {
+        self.load(0).index.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.reader().len()
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<SearchResult> {
+        self.reader().search(query, k)
+    }
+
+    fn search_batch(&self, queries: &VectorSet, k: usize) -> Result<Vec<SearchResult>> {
+        self.reader().search_batch(queries, k)
+    }
+
+    fn search_batch_threads(
+        &self,
+        queries: &VectorSet,
+        k: usize,
+        num_threads: usize,
+    ) -> Result<Vec<SearchResult>> {
+        self.reader().search_batch_threads(queries, k, num_threads)
+    }
+
+    fn supports_mutation(&self) -> bool {
+        let first = self.load(0);
+        first.id_map.is_none() && first.index.supports_mutation()
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        self.load(0).index.supports_snapshot()
+    }
+
+    fn insert(&mut self, vector: &[f32]) -> Result<u64> {
+        self.insert_shared(vector)
+    }
+
+    fn remove(&mut self, id: u64) -> Result<bool> {
+        self.remove_shared(id)
+    }
+
+    fn compact(&mut self) -> Result<()> {
+        self.compact_all_shared()
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>> {
+        self.to_snapshot_bytes()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        self.restore_from_bytes(bytes)
+    }
+
+    fn merge_order(&self) -> ScoreOrder {
+        self.load(0).index.merge_order()
+    }
+
+    fn ids(&self) -> Vec<u64> {
+        let reader = self.reader();
+        let mut ids: Vec<u64> = Vec::with_capacity(reader.len());
+        for s in 0..reader.num_shards() {
+            let state = reader.shard(s);
+            match &state.id_map {
+                Some(map) => ids.extend_from_slice(map),
+                None => ids.extend(state.index.ids()),
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Sharded{}x[{}]",
+            self.num_shards(),
+            self.load(0).index.name()
+        )
+    }
+}
+
+/// A background thread that periodically compacts every shard of a fleet
+/// (clone-and-publish, so readers are never blocked). The thread stops and
+/// joins when the guard is dropped.
+#[derive(Debug)]
+pub struct BackgroundCompactor {
+    stop: Arc<AtomicBool>,
+    runs: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BackgroundCompactor {
+    /// Spawns the compaction thread, waking every `interval` (clamped to at
+    /// least 100µs so a zero interval cannot busy-spin on the writer lock).
+    pub fn spawn<I>(fleet: Arc<ShardedIndex<I>>, interval: Duration) -> Self
+    where
+        I: AnnIndex + Clone + 'static,
+    {
+        let interval = interval.max(Duration::from_micros(100));
+        let stop = Arc::new(AtomicBool::new(false));
+        let runs = Arc::new(AtomicU64::new(0));
+        let (stop_flag, run_counter) = (stop.clone(), runs.clone());
+        let handle = std::thread::spawn(move || {
+            let slice = Duration::from_millis(1).min(interval);
+            loop {
+                // Sleep in small slices so Drop returns promptly.
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if stop_flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Compaction failures are engine-specific and transient at
+                // worst; the next tick retries. (No engine in the workspace
+                // fails compaction today.)
+                if fleet.compact_all_shared().is_ok() {
+                    run_counter.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        Self {
+            stop,
+            runs,
+            handle: Some(handle),
+        }
+    }
+
+    /// Number of completed compaction sweeps so far.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for BackgroundCompactor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`gpu`] — the analytic GPU cost and pipelining model.
 //! * [`data`] — synthetic dataset profiles, fvecs I/O and the attention
 //!   workload.
+//! * [`serve`] — the sharded concurrent serving layer (scatter-gather
+//!   search, epoch-published shards, whole-fleet snapshots).
 //! * [`common`] — shared metrics, vectors, top-k selection and recall.
 //!
 //! # Quick start
@@ -40,6 +42,7 @@ pub use juno_data as data;
 pub use juno_gpu as gpu;
 pub use juno_quant as quant;
 pub use juno_rt as rt;
+pub use juno_serve as serve;
 
 /// Commonly used items, importable with `use juno::prelude::*`.
 pub mod prelude {
@@ -55,6 +58,7 @@ pub mod prelude {
     pub use juno_data::profiles::{Dataset, DatasetProfile};
     pub use juno_gpu::device::GpuDevice;
     pub use juno_gpu::pipeline::ExecutionMode;
+    pub use juno_serve::{BackgroundCompactor, FleetReader, ShardRouter, ShardedIndex};
 }
 
 #[cfg(test)]

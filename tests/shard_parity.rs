@@ -1,0 +1,364 @@
+//! Shard-parity differential suite: scatter-gather search over a
+//! [`ShardedIndex`] must return ids **and distance bits** identical to the
+//! monolithic index on the same data — at S ∈ {1, 2, 4, 7}, across both
+//! routers, both metrics, every quality mode, fast-scan on/off, and after
+//! interleaved insert / remove / compaction applied identically to fleet
+//! and monolith.
+//!
+//! Why this holds: global-id fleets are replicas sharing the monolith's
+//! trained state (centroids, codebooks, threshold density maps) with
+//! non-owned ids tombstoned, every insert lands on every replica (non-owners
+//! tombstone it in the same publish), and per-shard top-k lists merge under
+//! the deterministic tie-by-id total order. Engines that cannot tombstone
+//! (Flat, HNSW, IVF-Flat) shard via pre-partitioned mapped fleets: exact
+//! engines stay bit-identical, approximate ones are held to recall floors.
+
+use juno::baseline::ivf_flat::{IvfFlatConfig, IvfFlatIndex};
+use juno::common::recall::recall_at;
+use juno::common::rng::{seeded, Rng};
+use juno::prelude::*;
+use juno::serve::{ShardRouter, ShardedIndex};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn assert_same_results(a: &[SearchResult], b: &[SearchResult], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: result count");
+    for (qi, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            ra.neighbors.len(),
+            rb.neighbors.len(),
+            "{label}: query {qi} neighbour count"
+        );
+        for (i, (na, nb)) in ra.neighbors.iter().zip(&rb.neighbors).enumerate() {
+            assert_eq!(na.id, nb.id, "{label}: query {qi} rank {i} id");
+            assert_eq!(
+                na.distance.to_bits(),
+                nb.distance.to_bits(),
+                "{label}: query {qi} rank {i} distance bits"
+            );
+        }
+    }
+}
+
+fn search_all(index: &dyn AnnIndex, queries: &VectorSet, k: usize) -> Vec<SearchResult> {
+    queries
+        .iter()
+        .map(|q| index.search(q, k).expect("search"))
+        .collect()
+}
+
+fn build_juno(ds: &juno::data::profiles::Dataset) -> JunoIndex {
+    JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 16,
+            nprobs: 6,
+            pq_entries: 32,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("juno build")
+}
+
+#[test]
+fn juno_sharded_search_is_bit_identical_across_shard_counts_and_routers() {
+    let ds = DatasetProfile::DeepLike
+        .generate(1_500, 8, 2_027)
+        .expect("ds");
+    let monolith = build_juno(&ds);
+    let reference = search_all(&monolith, &ds.queries, 25);
+    for shards in SHARD_COUNTS {
+        for router in [ShardRouter::Hash { seed: 11 }, ShardRouter::Modulo] {
+            let fleet =
+                ShardedIndex::from_monolith(monolith.clone(), shards, router).expect("fleet");
+            assert_eq!(fleet.len(), monolith.len(), "S={shards} live count");
+            assert_same_results(
+                &reference,
+                &search_all(&fleet, &ds.queries, 25),
+                &format!("juno S={shards} {router:?}"),
+            );
+            // The batched scatter-gather path is the single-query path.
+            assert_same_results(
+                &reference,
+                &fleet.search_batch(&ds.queries, 25).expect("batch"),
+                &format!("juno batch S={shards} {router:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn juno_sharded_parity_covers_quality_modes_and_fastscan_toggle() {
+    let ds = DatasetProfile::DeepLike
+        .generate(1_400, 6, 501)
+        .expect("ds");
+    let base = build_juno(&ds);
+    for quality in [QualityMode::High, QualityMode::Medium, QualityMode::Low] {
+        for fastscan in [true, false] {
+            let mut monolith = base.clone();
+            monolith.set_quality(quality);
+            monolith.set_fastscan(fastscan);
+            let fleet =
+                ShardedIndex::from_monolith(monolith.clone(), 2, ShardRouter::Hash { seed: 4 })
+                    .expect("fleet");
+            assert_same_results(
+                &search_all(&monolith, &ds.queries, 20),
+                &search_all(&fleet, &ds.queries, 20),
+                &format!("juno {quality:?} fastscan={fastscan}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn juno_sharded_parity_holds_under_mips() {
+    let ds = DatasetProfile::TtiLike.generate(1_200, 6, 77).expect("ds");
+    let monolith = build_juno(&ds);
+    for shards in [2usize, 7] {
+        let fleet = ShardedIndex::from_monolith(monolith.clone(), shards, ShardRouter::Modulo)
+            .expect("fleet");
+        assert_same_results(
+            &search_all(&monolith, &ds.queries, 20),
+            &search_all(&fleet, &ds.queries, 20),
+            &format!("juno MIPS S={shards}"),
+        );
+    }
+}
+
+#[test]
+fn juno_sharded_parity_survives_interleaved_mutation_and_compaction() {
+    let ds = DatasetProfile::DeepLike
+        .generate(1_500, 8, 900)
+        .expect("ds");
+    let extra = DatasetProfile::DeepLike
+        .generate(150, 1, 900 ^ 0xFFFF)
+        .expect("extra");
+    let mut monolith = build_juno(&ds);
+    let fleet = ShardedIndex::from_monolith(monolith.clone(), 4, ShardRouter::Hash { seed: 21 })
+        .expect("fleet");
+
+    let mut rng = seeded(0x5AFE);
+    let mut inserted = 0usize;
+    for round in 0..3 {
+        for _ in 0..30 {
+            if rng.gen_range(0..2usize) == 0 && inserted < extra.points.len() {
+                let v = extra.points.row(inserted);
+                inserted += 1;
+                let fleet_id = fleet.insert_shared(v).expect("fleet insert");
+                let mono_id = monolith.insert(v).expect("mono insert");
+                assert_eq!(fleet_id, mono_id, "id allocation must stay in lockstep");
+            } else {
+                let id = rng.gen_range(0..(ds.points.len() + inserted)) as u64;
+                assert_eq!(
+                    fleet.remove_shared(id).expect("fleet remove"),
+                    monolith.remove(id).expect("mono remove"),
+                    "remove({id})"
+                );
+            }
+        }
+        if round == 1 {
+            fleet.compact_all_shared().expect("fleet compact");
+            monolith.compact().expect("mono compact");
+        }
+        assert_eq!(fleet.len(), monolith.len(), "round {round} live count");
+        assert_same_results(
+            &search_all(&monolith, &ds.queries, 25),
+            &search_all(&fleet, &ds.queries, 25),
+            &format!("juno mutated round {round}"),
+        );
+    }
+}
+
+#[test]
+fn ivfpq_sharded_search_is_bit_identical_including_mutation_and_fastscan() {
+    let ds = DatasetProfile::DeepLike.generate(1_500, 8, 31).expect("ds");
+    let mut monolith = IvfPqIndex::build(
+        &ds.points,
+        &IvfPqConfig {
+            n_clusters: 32,
+            nprobs: 8,
+            pq_subspaces: ds.dim() / 2,
+            pq_entries: 32,
+            metric: ds.metric(),
+            seed: 31,
+        },
+    )
+    .expect("ivfpq build");
+
+    for shards in SHARD_COUNTS {
+        let fleet = ShardedIndex::from_monolith(monolith.clone(), shards, ShardRouter::Modulo)
+            .expect("fleet");
+        assert_same_results(
+            &search_all(&monolith, &ds.queries, 25),
+            &search_all(&fleet, &ds.queries, 25),
+            &format!("ivfpq S={shards}"),
+        );
+    }
+
+    // Fast-scan off → same reference path on both sides.
+    let mut exact = monolith.clone();
+    exact.set_fastscan(false);
+    let fleet = ShardedIndex::from_monolith(exact.clone(), 4, ShardRouter::Hash { seed: 8 })
+        .expect("fleet");
+    assert_same_results(
+        &search_all(&exact, &ds.queries, 25),
+        &search_all(&fleet, &ds.queries, 25),
+        "ivfpq fastscan off",
+    );
+
+    // Interleaved mutation applied identically to fleet and monolith.
+    let fleet = ShardedIndex::from_monolith(monolith.clone(), 3, ShardRouter::Hash { seed: 5 })
+        .expect("fleet");
+    let mut rng = seeded(404);
+    for _ in 0..60 {
+        if rng.gen_range(0..2usize) == 0 {
+            let v = ds.points.row(rng.gen_range(0..ds.points.len()));
+            assert_eq!(
+                fleet.insert_shared(v).expect("fleet insert"),
+                monolith.insert(v).expect("mono insert")
+            );
+        } else {
+            let id = rng.gen_range(0..ds.points.len()) as u64;
+            assert_eq!(
+                fleet.remove_shared(id).expect("fleet remove"),
+                monolith.remove(id).expect("mono remove")
+            );
+        }
+    }
+    assert_same_results(
+        &search_all(&monolith, &ds.queries, 25),
+        &search_all(&fleet, &ds.queries, 25),
+        "ivfpq mutated",
+    );
+}
+
+/// Partitions dataset rows into `shards` sub-indexes by hash of the global
+/// id, each shard's rows ascending in global id (the mapped-mode parity
+/// precondition).
+fn partition_rows(
+    points: &VectorSet,
+    shards: usize,
+    router: ShardRouter,
+) -> Vec<(Vec<Vec<f32>>, Vec<u64>)> {
+    let mut parts: Vec<(Vec<Vec<f32>>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); shards];
+    for (id, row) in points.iter().enumerate() {
+        let s = router.route(id as u64, shards);
+        parts[s].0.push(row.to_vec());
+        parts[s].1.push(id as u64);
+    }
+    parts
+}
+
+#[test]
+fn flat_mapped_fleets_are_bit_identical_to_the_monolith() {
+    let ds = DatasetProfile::DeepLike.generate(1_200, 8, 64).expect("ds");
+    let monolith = FlatIndex::new(ds.points.clone(), ds.metric()).expect("flat");
+    let reference = search_all(&monolith, &ds.queries, 30);
+    for shards in SHARD_COUNTS {
+        let router = ShardRouter::Hash { seed: 2 };
+        let parts = partition_rows(&ds.points, shards, router)
+            .into_iter()
+            .map(|(rows, map)| {
+                let set = VectorSet::from_rows(rows).expect("rows");
+                (FlatIndex::new(set, ds.metric()).expect("flat shard"), map)
+            })
+            .collect();
+        let fleet = ShardedIndex::from_prebuilt(parts, router).expect("fleet");
+        assert_eq!(fleet.len(), monolith.len());
+        assert_same_results(
+            &reference,
+            &search_all(&fleet, &ds.queries, 30),
+            &format!("flat S={shards}"),
+        );
+    }
+}
+
+#[test]
+fn mapped_fleets_of_approximate_engines_hold_their_recall_floors() {
+    // IVF-Flat and HNSW cannot tombstone, so their shards are trained
+    // independently on the partition — no bit-parity contract, but the
+    // union-of-shards search must not lose recall against the monolith
+    // (it probes proportionally more of each sub-index).
+    let ds = DatasetProfile::DeepLike
+        .generate(2_000, 10, 12)
+        .expect("ds");
+    let gt = ds.ground_truth(10).expect("gt");
+    let router = ShardRouter::Modulo;
+
+    let recall_of = |index: &dyn AnnIndex| {
+        let retrieved: Vec<Vec<u64>> = ds
+            .queries
+            .iter()
+            .map(|q| index.search(q, 100).expect("search").ids())
+            .collect();
+        recall_at(&retrieved, &gt, 10, 100).expect("recall")
+    };
+
+    let mono_ivf = IvfFlatIndex::build(
+        ds.points.clone(),
+        &IvfFlatConfig {
+            n_clusters: 32,
+            nprobs: 8,
+            metric: ds.metric(),
+            seed: 1,
+        },
+    )
+    .expect("ivf_flat");
+    let ivf_parts = partition_rows(&ds.points, 4, router)
+        .into_iter()
+        .map(|(rows, map)| {
+            let set = VectorSet::from_rows(rows).expect("rows");
+            let shard = IvfFlatIndex::build(
+                set,
+                &IvfFlatConfig {
+                    n_clusters: 8,
+                    nprobs: 2,
+                    metric: ds.metric(),
+                    seed: 1,
+                },
+            )
+            .expect("ivf_flat shard");
+            (shard, map)
+        })
+        .collect();
+    let ivf_fleet = ShardedIndex::from_prebuilt(ivf_parts, router).expect("ivf fleet");
+    let (mono_r, fleet_r) = (recall_of(&mono_ivf), recall_of(&ivf_fleet));
+    println!("sharded ivf_flat recall@10@100: monolith = {mono_r:.4}, fleet = {fleet_r:.4}");
+    assert!(fleet_r >= mono_r - 0.05, "sharded ivf_flat lost recall");
+    assert!(fleet_r >= 0.80, "sharded ivf_flat below absolute floor");
+
+    let mono_hnsw = HnswIndex::build(
+        ds.points.clone(),
+        &HnswConfig {
+            metric: ds.metric(),
+            ..HnswConfig::default()
+        },
+    )
+    .expect("hnsw");
+    let hnsw_parts = partition_rows(&ds.points, 4, router)
+        .into_iter()
+        .map(|(rows, map)| {
+            let set = VectorSet::from_rows(rows).expect("rows");
+            let shard = HnswIndex::build(
+                set,
+                &HnswConfig {
+                    metric: ds.metric(),
+                    ..HnswConfig::default()
+                },
+            )
+            .expect("hnsw shard");
+            (shard, map)
+        })
+        .collect();
+    let hnsw_fleet = ShardedIndex::from_prebuilt(hnsw_parts, router).expect("hnsw fleet");
+    let (mono_r, fleet_r) = (recall_of(&mono_hnsw), recall_of(&hnsw_fleet));
+    println!("sharded hnsw recall@10@100: monolith = {mono_r:.4}, fleet = {fleet_r:.4}");
+    assert!(fleet_r >= mono_r - 0.05, "sharded hnsw lost recall");
+    assert!(fleet_r >= 0.80, "sharded hnsw below absolute floor");
+
+    // Engines without tombstoning cannot form global-id fleets at S > 1.
+    assert!(matches!(
+        ShardedIndex::from_monolith(mono_hnsw, 2, router),
+        Err(juno::common::Error::Unsupported(_))
+    ));
+}

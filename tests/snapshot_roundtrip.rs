@@ -7,6 +7,7 @@
 use juno::baseline::ivf_flat::{IvfFlatConfig, IvfFlatIndex};
 use juno::common::rng::{seeded, Rng};
 use juno::prelude::*;
+use juno::serve::{ShardRouter, ShardedIndex};
 
 fn assert_same_results(a: &[SearchResult], b: &[SearchResult], label: &str) {
     assert_eq!(a.len(), b.len(), "{label}: result count");
@@ -386,4 +387,196 @@ fn legacy_u16_snapshots_are_still_readable_bit_identically() {
         None,
     );
     assert!(JunoIndex::from_snapshot_bytes(&poisoned).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded (`SHRD`) fleet snapshots.
+// ---------------------------------------------------------------------------
+
+fn build_mutated_fleet(seed: u64) -> (ShardedIndex<JunoIndex>, Dataset) {
+    let ds = DatasetProfile::DeepLike
+        .generate(1_200, 8, seed)
+        .expect("ds");
+    let monolith = JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 16,
+            nprobs: 6,
+            pq_entries: 32,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("build");
+    let fleet =
+        ShardedIndex::from_monolith(monolith, 3, ShardRouter::Hash { seed: 17 }).expect("fleet");
+    // Leave the fleet mid-lifecycle: tails, tombstones, uneven shards.
+    let mut rng = seeded(seed ^ 0xF1EE7);
+    for _ in 0..40 {
+        if rng.gen_range(0..2usize) == 0 {
+            let row = rng.gen_range(0..ds.points.len());
+            fleet.insert_shared(ds.points.row(row)).expect("insert");
+        } else {
+            let id = rng.gen_range(0..ds.points.len()) as u64;
+            let _ = fleet.remove_shared(id).expect("remove");
+        }
+    }
+    (fleet, ds)
+}
+
+#[test]
+fn sharded_fleet_snapshot_round_trips_bit_identically() {
+    let (fleet, ds) = build_mutated_fleet(606);
+    let before = search_all(&fleet, &ds.queries, 25);
+    let bytes = fleet.to_snapshot_bytes().expect("fleet snapshot");
+
+    // Restore into a prototype built over unrelated data: the snapshot is
+    // the single source of truth for shard count, router and contents.
+    let other = DatasetProfile::DeepLike
+        .generate(700, 1, 1)
+        .expect("proto ds");
+    let prototype = JunoIndex::build(
+        &other.points,
+        &JunoConfig {
+            n_clusters: 8,
+            nprobs: 4,
+            pq_entries: 16,
+            ..JunoConfig::small_test(other.dim(), other.metric())
+        },
+    )
+    .expect("proto");
+    let restored = ShardedIndex::from_snapshot_bytes(prototype, &bytes).expect("restore");
+    assert_eq!(restored.num_shards(), 3);
+    assert_eq!(restored.router(), ShardRouter::Hash { seed: 17 });
+    assert_eq!(restored.len(), fleet.len());
+    assert_eq!(restored.ids(), fleet.ids());
+    assert_same_results(
+        &before,
+        &search_all(&restored, &ds.queries, 25),
+        "sharded roundtrip",
+    );
+
+    // And the restored fleet keeps serving writes consistently: the same
+    // insert lands on the same id on both fleets.
+    assert_eq!(
+        restored.insert_shared(ds.points.row(0)).expect("insert"),
+        fleet.insert_shared(ds.points.row(0)).expect("insert"),
+    );
+}
+
+#[test]
+fn sharded_snapshot_corruption_errors_cleanly_and_leaves_the_fleet_intact() {
+    let (fleet, ds) = build_mutated_fleet(909);
+    let mut fleet = fleet;
+    let bytes = fleet.to_snapshot_bytes().expect("fleet snapshot");
+    let reference = search_all(&fleet, &ds.queries, 20);
+
+    // Truncations: always Err, never a panic. The container is multiple
+    // megabytes, so sample a spread of cut points (every header/framing
+    // boundary lives in the first few hundred bytes, the rest exercises
+    // mid-payload cuts) rather than sweeping every offset.
+    let cuts = (0..24)
+        .map(|i| i * 13)
+        .chain((1..=24).map(|i| i * (bytes.len() / 25)));
+    for len in cuts {
+        let err = fleet
+            .restore_from_bytes(&bytes[..len])
+            .expect_err("truncated");
+        assert!(
+            matches!(err, juno::common::Error::Corrupted(_)),
+            "truncation to {len} produced {err:?}, expected Corrupted"
+        );
+    }
+
+    // Per-shard corruption fuzzing: random byte flips all across the
+    // container (headers, manifest, shard payloads). Every flip must either
+    // be rejected as Corrupted or — when it lands on an uninterpreted byte —
+    // restore a semantically identical fleet; a failed restore must leave
+    // the serving fleet untouched (spot-checked with a full search sweep,
+    // which is the expensive part of the loop).
+    let mut rng = seeded(0xBAD5EED);
+    for round in 0..120 {
+        let mut corrupt = bytes.clone();
+        for _ in 0..rng.gen_range(1..4usize) {
+            let at = rng.gen_range(0..corrupt.len());
+            corrupt[at] ^= 1 << rng.gen_range(0..8usize);
+        }
+        match fleet.restore_from_bytes(&corrupt) {
+            Err(err) => {
+                assert!(
+                    matches!(err, juno::common::Error::Corrupted(_)),
+                    "corrupted fleet snapshot produced {err:?}, expected Corrupted"
+                );
+                if round % 20 == 0 {
+                    assert_same_results(
+                        &reference,
+                        &search_all(&fleet, &ds.queries, 20),
+                        "failed restore must not disturb the fleet",
+                    );
+                }
+            }
+            Ok(()) => {
+                assert_same_results(
+                    &reference,
+                    &search_all(&fleet, &ds.queries, 20),
+                    "surviving flip must be semantically identical",
+                );
+            }
+        }
+    }
+
+    // Flips concentrated inside one shard's sub-snapshot payload are caught
+    // by the container checksum before the engine decoder ever runs.
+    let shard_payload_at = bytes.len() - 64;
+    let mut corrupt = bytes.clone();
+    corrupt[shard_payload_at] ^= 0xFF;
+    assert!(matches!(
+        fleet.restore_from_bytes(&corrupt),
+        Err(juno::common::Error::Corrupted(_))
+    ));
+}
+
+#[test]
+fn legacy_unsharded_snapshot_restores_into_a_single_shard_fleet() {
+    let ds = DatasetProfile::DeepLike
+        .generate(1_000, 8, 321)
+        .expect("ds");
+    let mut monolith = JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 16,
+            nprobs: 6,
+            pq_entries: 32,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("build");
+    for id in (0..120u64).step_by(7) {
+        assert!(monolith.remove(id).expect("remove"));
+    }
+    // A pre-serving-layer deployment's snapshot: plain engine bytes with the
+    // JUNO kind word, no SHRD framing.
+    let legacy = monolith.snapshot().expect("legacy snapshot");
+
+    let (fleet, _) = build_mutated_fleet(11);
+    let mut fleet = fleet;
+    assert_eq!(fleet.num_shards(), 3);
+    fleet.restore_from_bytes(&legacy).expect("legacy restore");
+    assert_eq!(
+        fleet.num_shards(),
+        1,
+        "legacy snapshots restore to one shard"
+    );
+    assert_eq!(fleet.len(), monolith.len());
+    assert_same_results(
+        &search_all(&monolith, &ds.queries, 25),
+        &search_all(&fleet, &ds.queries, 25),
+        "legacy unsharded restore",
+    );
+    // The single-shard fleet remains fully serviceable (mutation + snapshot).
+    let id = fleet.insert_shared(ds.points.row(5)).expect("insert");
+    assert_eq!(id, monolith.insert(ds.points.row(5)).expect("insert"));
+    let resharded = fleet.to_snapshot_bytes().expect("resnapshot");
+    let restored =
+        ShardedIndex::from_snapshot_bytes(monolith.clone(), &resharded).expect("re-restore");
+    assert_eq!(restored.len(), fleet.len());
 }
