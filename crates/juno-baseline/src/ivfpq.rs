@@ -10,9 +10,13 @@
 
 use crate::sim::SimulationConfig;
 use juno_common::error::{Error, Result};
-use juno_common::index::{AnnIndex, SearchResult, SearchStats};
-use juno_common::kernel::{self, QuantizedLut, BLOCK_LANES};
+use juno_common::group::GroupSchedule;
+use juno_common::index::{AnnIndex, Neighbor, SearchResult, SearchStats};
+use juno_common::kernel::{
+    self, QuantizedLut, BLOCK_LANES, GROUP_CHUNK_WORK, GROUP_TILE, MIN_GROUP_QUERIES,
+};
 use juno_common::metric::{inner_product, Metric};
+use juno_common::parallel;
 use juno_common::topk::TopK;
 use juno_common::vector::VectorSet;
 use juno_core::persist::{
@@ -20,7 +24,7 @@ use juno_core::persist::{
 };
 use juno_data::snapshot::{kind, SectionWriter, Snapshot, SnapshotWriter};
 use juno_quant::ivf::{IvfIndex, IvfTrainConfig};
-use juno_quant::layout::BlockCodes;
+use juno_quant::layout::{BlockCodes, GroupLane};
 use juno_quant::pq::{EncodedPoints, PqTrainConfig, ProductQuantizer};
 use std::path::Path;
 use std::sync::OnceLock;
@@ -341,32 +345,611 @@ impl IvfPqIndex {
         Self::from_snapshot_bytes(&juno_data::snapshot::read_snapshot_file(path)?)
     }
 
-    /// Builds the per-cluster LUT of a query for one selected cluster.
+    /// Builds the per-cluster LUT of a query for one selected cluster into a
+    /// flat `subspaces × E` buffer (resized in place, allocation reused).
     ///
     /// For L2 the LUT rows are squared distances between the query *residual*
     /// projection and the codebook entries; for MIPS they are inner products
     /// between the query projection and the entries.
-    fn cluster_lut(&self, query: &[f32], cluster: usize) -> Result<Vec<Vec<f32>>> {
+    fn cluster_flat_lut(&self, query: &[f32], cluster: usize, out: &mut Vec<f32>) -> Result<()> {
         match self.metric {
             Metric::L2 => {
                 let residual = self.ivf.query_residual(query, cluster)?;
-                self.pq.dense_lut(&residual)
+                self.pq.dense_lut_into(&residual, out)
             }
             Metric::InnerProduct => {
                 let sub_dim = self.pq.sub_dim();
-                let mut lut = Vec::with_capacity(self.pq.num_subspaces());
+                let entries = self.pq.entries_per_subspace();
+                out.clear();
+                out.resize(self.pq.num_subspaces() * entries, 0.0);
                 for (s, cb) in self.pq.codebooks().iter().enumerate() {
                     let proj = &query[s * sub_dim..(s + 1) * sub_dim];
-                    lut.push(
-                        cb.entries()
-                            .iter()
-                            .map(|e| inner_product(proj, e))
-                            .collect(),
-                    );
+                    let row = &mut out[s * entries..(s + 1) * entries];
+                    for (o, e) in row.iter_mut().zip(cb.entries().iter()) {
+                        *o = inner_product(proj, e);
+                    }
                 }
-                Ok(lut)
+                Ok(())
             }
         }
+    }
+
+    /// Quantises a flat cluster LUT into the prune LUT: L2 takes the values
+    /// as-is ("lower is better"), MIPS negates them and folds the negated
+    /// centroid term into the constant — the same score space as the JUNO
+    /// engine's prune pass.
+    fn build_cluster_qlut(&self, flat: &[f32], centroid_term: f32, qlut: &mut QuantizedLut) {
+        let subspaces = self.pq.num_subspaces();
+        let entries = self.pq.entries_per_subspace();
+        match self.metric {
+            Metric::L2 => qlut.build(flat, subspaces, entries, 0.0),
+            Metric::InnerProduct => {
+                qlut.build_selective(flat, subspaces, entries, -centroid_term, 0.0, true);
+            }
+        }
+    }
+
+    /// Scans one probed cluster for one query — build the flat LUT, run the
+    /// two-phase prune scan (when the cache and a prune bar are available)
+    /// or the exact scan, and push candidates into `topk`. The per-cluster
+    /// unit the query-major [`AnnIndex::search`] drives; the grouped batch
+    /// executor runs the same arithmetic cluster-major.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_cluster_single(
+        &self,
+        query: &[f32],
+        cluster: usize,
+        scan: Option<&ClusterScan>,
+        flat: &mut Vec<f32>,
+        qlut: &mut QuantizedLut,
+        lane_sums: &mut [u16; BLOCK_LANES],
+        topk: &mut TopK,
+        ctr: &mut PqCounters,
+    ) -> Result<()> {
+        let subspaces = self.pq.num_subspaces();
+        let entries = self.pq.entries_per_subspace();
+        self.cluster_flat_lut(query, cluster, flat)?;
+        ctr.lut_builds += 1;
+        // For MIPS the centroid contribution is constant per cluster.
+        let centroid_term = match self.metric {
+            Metric::L2 => 0.0,
+            Metric::InnerProduct => inner_product(query, self.ivf.centroid(cluster)?),
+        };
+        let list_len = match scan {
+            Some(scan) => scan.ids.len(),
+            None => self.ivf.list(cluster)?.len(),
+        };
+        // Every list record is streamed: the invariant candidate count.
+        ctr.streamed += list_len;
+        // The prune pass needs a worst score to prune against and a
+        // cluster large enough to amortise the O(subspaces × E)
+        // quantisation — the same gating as the JUNO engine.
+        let worst0 = topk.worst_score();
+        let prune = scan.is_some() && worst0.is_some() && list_len >= kernel::MIN_PRUNE_POINTS;
+        let flat_ref: &[f32] = flat;
+        if prune {
+            let scan = scan.expect("prune implies cache");
+            self.build_cluster_qlut(flat_ref, centroid_term, qlut);
+            if qlut.cluster_bound() >= worst0.expect("prune requires worst") as f64 {
+                ctr.pruned_clusters += 1;
+                ctr.pruned_points += list_len;
+                return Ok(());
+            }
+            let ctr_ref = &mut *ctr;
+            let topk_ref = &mut *topk;
+            let (pp, pb) = scan.blocks.prune_scan(qlut, lane_sums, worst0, |i| {
+                let code = &scan.codes[i * subspaces..(i + 1) * subspaces];
+                let raw =
+                    centroid_term + ProductQuantizer::adc_distance_flat(flat_ref, entries, code);
+                topk_ref.push(scan.ids[i] as u64, raw);
+                ctr_ref.exact += 1;
+                topk_ref.worst_score()
+            });
+            ctr.pruned_points += pp;
+            ctr.pruned_blocks += pb;
+            // The exact re-rank reused the flat LUT built for the prune pass.
+            ctr.lut_reuses += 1;
+        } else if let Some(scan) = scan {
+            // Cache built but nothing prunable yet: exact scan over the
+            // cache's contiguous codes (same order as the list walk).
+            for (i, &pid) in scan.ids.iter().enumerate() {
+                let code = &scan.codes[i * subspaces..(i + 1) * subspaces];
+                let raw =
+                    centroid_term + ProductQuantizer::adc_distance_flat(flat_ref, entries, code);
+                topk.push(pid as u64, raw);
+                ctr.exact += 1;
+            }
+        } else {
+            for &pid in self.ivf.list(cluster)? {
+                let code = self.codes.code(pid as usize);
+                let raw =
+                    centroid_term + ProductQuantizer::adc_distance_flat(flat_ref, entries, code);
+                topk.push(pid as u64, raw);
+                ctr.exact += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles the final [`SearchResult`] from a query's filter output and
+    /// scan counters — one shared assembly for the query-major and grouped
+    /// executors, so stats and simulated times are derived identically.
+    fn finish_result(
+        &self,
+        filter_clusters: usize,
+        filter_distances: usize,
+        neighbors: Vec<Neighbor>,
+        ctr: &PqCounters,
+    ) -> SearchResult {
+        let subspaces = self.pq.num_subspaces();
+        let entries = self.pq.entries_per_subspace();
+        // `streamed` counts every considered record (incl. bound-settled
+        // ones) — invariant to pruning order and execution strategy;
+        // `accumulations` models the exact ADC work actually performed.
+        let accumulations = ctr.exact * subspaces;
+        let candidates = ctr.streamed;
+        let lut_distances = filter_clusters * entries * subspaces;
+        let mut stats = SearchStats {
+            filter_distances,
+            lut_distances,
+            candidates,
+            accumulations,
+            pruned_points: ctr.pruned_points,
+            pruned_blocks: ctr.pruned_blocks,
+            pruned_clusters: ctr.pruned_clusters,
+            lut_builds: ctr.lut_builds,
+            lut_reuses: ctr.lut_reuses,
+            ..SearchStats::default()
+        };
+        let simulated_us = self.sim.fill_ivfpq_times(
+            &mut stats,
+            self.ivf.n_clusters(),
+            self.dim(),
+            lut_distances,
+            self.pq.sub_dim(),
+            candidates,
+            subspaces,
+        );
+        SearchResult {
+            neighbors,
+            simulated_us,
+            stats,
+        }
+    }
+}
+
+/// Work counters of one IVFPQ scan.
+#[derive(Debug, Clone, Copy, Default)]
+struct PqCounters {
+    /// List records streamed (the invariant `candidates` count).
+    streamed: usize,
+    /// Candidates exactly re-ranked through the flat ADC sum.
+    exact: usize,
+    pruned_points: usize,
+    pruned_blocks: usize,
+    pruned_clusters: usize,
+    lut_builds: usize,
+    lut_reuses: usize,
+}
+
+impl PqCounters {
+    fn merge(&mut self, other: &PqCounters) {
+        self.streamed += other.streamed;
+        self.exact += other.exact;
+        self.pruned_points += other.pruned_points;
+        self.pruned_blocks += other.pruned_blocks;
+        self.pruned_clusters += other.pruned_clusters;
+        self.lut_builds += other.lut_builds;
+        self.lut_reuses += other.lut_reuses;
+    }
+}
+
+/// One tile slot's per-(query, cluster) constants during a grouped visit.
+#[derive(Debug, Clone, Copy, Default)]
+struct PqTileMeta {
+    query: u32,
+    centroid_term: f32,
+    /// The query's seed-pass bound, combined with the chunk-local worst via
+    /// [`kernel::tighter_worst`] for pruning.
+    seed: Option<f32>,
+    prune: bool,
+    done: bool,
+}
+
+/// Per-query accumulation slot of the grouped scan's batch arena.
+#[derive(Debug)]
+struct PqQuerySlot {
+    topk: TopK,
+    ctr: PqCounters,
+    touched: bool,
+}
+
+/// Reusable per-worker state of the IVFPQ grouped batch executor: a
+/// [`GROUP_TILE`]-slot tile of flat LUTs + quantised prune LUTs, and one
+/// per-query slot per batch query. Allocated once per worker; steady-state
+/// batches reuse it without per-query allocation.
+///
+/// NOTE: this arena and the plan → seed → schedule → grouped-scan → gather
+/// flow below deliberately mirror the JUNO engine's executor
+/// (`GroupScratch` / `search_batch_grouped` in `juno-core/src/engine.rs`) —
+/// the two differ in what a "LUT" is (dense flat rows here vs selective
+/// decode + thresholds there, plus tails/tombstones/hit-count modes), which
+/// is why only the block driver (`BlockCodes::prune_scan_group`), the
+/// schedule (`juno_common::group`) and the bound combinator
+/// (`kernel::tighter_worst`) are shared. A semantic change to the
+/// touch/reset, seeding or partial-merge contract in either executor MUST
+/// be mirrored in the other; `tests/group_parity.rs` covers both.
+#[derive(Debug)]
+struct PqGroupScratch {
+    tile_luts: Vec<Vec<f32>>,
+    tile_qluts: Vec<QuantizedLut>,
+    tile_meta: Vec<PqTileMeta>,
+    slots: Vec<PqQuerySlot>,
+    touched: Vec<u32>,
+}
+
+impl PqGroupScratch {
+    fn begin_chunk(&mut self, num_queries: usize, k: usize, metric: Metric) {
+        if self.slots.len() < num_queries {
+            self.slots.resize_with(num_queries, || PqQuerySlot {
+                topk: TopK::new(k, metric),
+                ctr: PqCounters::default(),
+                touched: false,
+            });
+        }
+        for i in 0..self.touched.len() {
+            self.slots[self.touched[i] as usize].touched = false;
+        }
+        self.touched.clear();
+    }
+
+    fn touch(&mut self, query: u32, k: usize, metric: Metric) {
+        let slot = &mut self.slots[query as usize];
+        if !slot.touched {
+            slot.touched = true;
+            slot.topk.reset(k, metric);
+            slot.ctr = PqCounters::default();
+            self.touched.push(query);
+        }
+    }
+}
+
+/// A query's seed-pass output: drained top-k entries, the prune bound (the
+/// k-th best score, when the top-k filled) and the counters observed.
+type PqSeed = (Vec<(u64, f32)>, Option<f32>, PqCounters);
+
+/// One chunk's contribution to one query of a grouped IVFPQ batch.
+struct PqPartial {
+    query: u32,
+    top: Vec<(u64, f32)>,
+    ctr: PqCounters,
+}
+
+impl IvfPqIndex {
+    fn make_group_scratch(&self) -> PqGroupScratch {
+        PqGroupScratch {
+            tile_luts: (0..GROUP_TILE).map(|_| Vec::new()).collect(),
+            tile_qluts: (0..GROUP_TILE).map(|_| QuantizedLut::new()).collect(),
+            tile_meta: vec![PqTileMeta::default(); GROUP_TILE],
+            slots: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Scans one cluster-group chunk in cluster storage order, tiles of
+    /// [`GROUP_TILE`] queries at a time, and returns the per-query partials.
+    fn scan_group_chunk(
+        &self,
+        queries: &VectorSet,
+        k: usize,
+        sched: &GroupSchedule,
+        chunk: usize,
+        seed_bounds: &[Option<f32>],
+        scratch: &mut PqGroupScratch,
+    ) -> Vec<PqPartial> {
+        let subspaces = self.pq.num_subspaces();
+        let entries = self.pq.entries_per_subspace();
+        let metric = self.metric;
+        scratch.begin_chunk(queries.len(), k, metric);
+        let cache = if self.fastscan {
+            Some(
+                self.scan_cache
+                    .get_or_init(|| ScanCache::build(&self.ivf, &self.codes)),
+            )
+        } else {
+            None
+        };
+
+        for (cluster, group) in sched.chunk(chunk) {
+            let scan = cache.map(|cache| &cache.clusters[cluster]);
+            let list_len = match scan {
+                Some(scan) => scan.ids.len(),
+                None => self
+                    .ivf
+                    .list(cluster)
+                    .expect("cluster comes from the filter stage")
+                    .len(),
+            };
+            let centroid = match metric {
+                Metric::L2 => &[][..],
+                Metric::InnerProduct => self
+                    .ivf
+                    .centroid(cluster)
+                    .expect("cluster comes from the filter stage"),
+            };
+
+            for tile_entries in group.chunks(GROUP_TILE) {
+                // Phase A: build each tile query's flat LUT (+ prune LUT)
+                // once for the whole cluster visit.
+                for (ti, &(q, _slot)) in tile_entries.iter().enumerate() {
+                    scratch.touch(q, k, metric);
+                    let qi = q as usize;
+                    let query = queries.row(qi);
+                    self.cluster_flat_lut(query, cluster, &mut scratch.tile_luts[ti])
+                        .expect("batch dimensions validated up front");
+                    let seed = seed_bounds.get(qi).copied().flatten();
+                    let worst0 = {
+                        let qs = &mut scratch.slots[qi];
+                        qs.ctr.streamed += list_len;
+                        qs.ctr.lut_builds += 1;
+                        kernel::tighter_worst(qs.topk.worst_score(), seed)
+                    };
+                    let centroid_term = match metric {
+                        Metric::L2 => 0.0,
+                        Metric::InnerProduct => inner_product(query, centroid),
+                    };
+                    let prune =
+                        scan.is_some() && worst0.is_some() && list_len >= kernel::MIN_PRUNE_POINTS;
+                    let mut done = false;
+                    if prune {
+                        self.build_cluster_qlut(
+                            &scratch.tile_luts[ti],
+                            centroid_term,
+                            &mut scratch.tile_qluts[ti],
+                        );
+                        done = scratch.tile_qluts[ti].cluster_bound()
+                            >= worst0.expect("prune requires worst") as f64;
+                        if done {
+                            let ctr = &mut scratch.slots[qi].ctr;
+                            ctr.pruned_clusters += 1;
+                            ctr.pruned_points += list_len;
+                        }
+                    }
+                    scratch.tile_meta[ti] = PqTileMeta {
+                        query: q,
+                        centroid_term,
+                        seed,
+                        prune,
+                        done,
+                    };
+                }
+                let tile_len = tile_entries.len();
+                let PqGroupScratch {
+                    tile_luts,
+                    tile_qluts,
+                    tile_meta,
+                    slots,
+                    ..
+                } = scratch;
+                let tile_meta = &tile_meta[..tile_len];
+
+                // Phase B: the multi-query prune pass — the tile's quantised
+                // LUTs held against each block, survivors re-ranked exactly
+                // through the same flat ADC sum as the query-major path.
+                let mut lane_map = [0usize; GROUP_TILE];
+                let mut lanes_n = 0usize;
+                for (ti, meta) in tile_meta.iter().enumerate() {
+                    if meta.prune && !meta.done {
+                        lane_map[lanes_n] = ti;
+                        lanes_n += 1;
+                    }
+                }
+                if lanes_n > 0 {
+                    let scan = scan.expect("prune implies cache");
+                    let mut lanes = [GroupLane::new(&tile_qluts[lane_map[0]], None); GROUP_TILE];
+                    for (li, &ti) in lane_map.iter().enumerate().take(lanes_n) {
+                        let meta = tile_meta[ti];
+                        lanes[li] = GroupLane::new(
+                            &tile_qluts[ti],
+                            kernel::tighter_worst(
+                                slots[meta.query as usize].topk.worst_score(),
+                                meta.seed,
+                            ),
+                        );
+                    }
+                    scan.blocks
+                        .prune_scan_group(&mut lanes[..lanes_n], |li, i| {
+                            let ti = lane_map[li];
+                            let meta = tile_meta[ti];
+                            let qs = &mut slots[meta.query as usize];
+                            let code = &scan.codes[i * subspaces..(i + 1) * subspaces];
+                            let raw = meta.centroid_term
+                                + ProductQuantizer::adc_distance_flat(
+                                    &tile_luts[ti],
+                                    entries,
+                                    code,
+                                );
+                            qs.topk.push(scan.ids[i] as u64, raw);
+                            qs.ctr.exact += 1;
+                            kernel::tighter_worst(qs.topk.worst_score(), meta.seed)
+                        });
+                    for (li, &ti) in lane_map.iter().enumerate().take(lanes_n) {
+                        let ctr = &mut slots[tile_meta[ti].query as usize].ctr;
+                        ctr.pruned_points += lanes[li].pruned_points;
+                        ctr.pruned_blocks += lanes[li].pruned_blocks;
+                        ctr.lut_reuses += 1;
+                    }
+                }
+
+                // Phase C: queries without a prune bar scan the freshly
+                // streamed cluster exactly.
+                for (ti, meta) in tile_meta.iter().enumerate() {
+                    if meta.prune || meta.done {
+                        continue;
+                    }
+                    let qs = &mut slots[meta.query as usize];
+                    let flat = &tile_luts[ti];
+                    if let Some(scan) = scan {
+                        for (i, &pid) in scan.ids.iter().enumerate() {
+                            let code = &scan.codes[i * subspaces..(i + 1) * subspaces];
+                            let raw = meta.centroid_term
+                                + ProductQuantizer::adc_distance_flat(flat, entries, code);
+                            qs.topk.push(pid as u64, raw);
+                            qs.ctr.exact += 1;
+                        }
+                    } else {
+                        for &pid in self
+                            .ivf
+                            .list(cluster)
+                            .expect("cluster comes from the filter stage")
+                        {
+                            let code = self.codes.code(pid as usize);
+                            let raw = meta.centroid_term
+                                + ProductQuantizer::adc_distance_flat(flat, entries, code);
+                            qs.topk.push(pid as u64, raw);
+                            qs.ctr.exact += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(scratch.touched.len());
+        for i in 0..scratch.touched.len() {
+            let q = scratch.touched[i];
+            let qs = &mut scratch.slots[q as usize];
+            let mut top = Vec::new();
+            qs.topk.drain_entries(&mut top);
+            out.push(PqPartial {
+                query: q,
+                top,
+                ctr: qs.ctr,
+            });
+        }
+        out
+    }
+
+    /// Cluster-major grouped batch search (see the `search_batch_threads`
+    /// override): plan → schedule → grouped scan → per-query gather, bit-
+    /// identical to a sequential [`AnnIndex::search`] loop.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AnnIndex::search`].
+    pub fn search_batch_grouped(
+        &self,
+        queries: &VectorSet,
+        k: usize,
+        num_threads: usize,
+    ) -> Result<Vec<SearchResult>> {
+        if k == 0 {
+            return Err(Error::invalid_config("k must be positive"));
+        }
+        let nq = queries.len();
+        if nq == 0 {
+            return Ok(Vec::new());
+        }
+        if queries.dim() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                actual: queries.dim(),
+            });
+        }
+        let filters = parallel::map(nq, num_threads, |i| {
+            self.ivf.filter(queries.row(i), self.nprobs)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
+
+        // Seed pass: each query scans its nearest probe query-major, so the
+        // cluster-major pass starts from a tight (and provably safe) prune
+        // bound instead of filling top-ks with far-cluster candidates.
+        let cache = if self.fastscan {
+            Some(
+                self.scan_cache
+                    .get_or_init(|| ScanCache::build(&self.ivf, &self.codes)),
+            )
+        } else {
+            None
+        };
+        let metric = self.metric;
+        let seed_results = parallel::map_with(
+            nq,
+            num_threads,
+            0,
+            || (Vec::new(), QuantizedLut::new(), [0u16; BLOCK_LANES]),
+            |(flat, qlut, lane_sums), qi| -> Result<PqSeed> {
+                let mut topk = TopK::new(k, metric);
+                let mut ctr = PqCounters::default();
+                if let Some(&c) = filters[qi].clusters.first() {
+                    self.scan_cluster_single(
+                        queries.row(qi),
+                        c,
+                        cache.map(|cache| &cache.clusters[c]),
+                        flat,
+                        qlut,
+                        lane_sums,
+                        &mut topk,
+                        &mut ctr,
+                    )?;
+                }
+                let bound = topk.worst_score();
+                let mut top = Vec::new();
+                topk.drain_entries(&mut top);
+                Ok((top, bound, ctr))
+            },
+        )
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
+        let seed_bounds: Vec<Option<f32>> = seed_results.iter().map(|s| s.1).collect();
+
+        let probe_lists: Vec<&[usize]> = filters
+            .iter()
+            .map(|f| &f.clusters[1.min(f.clusters.len())..])
+            .collect();
+        let sched = GroupSchedule::build(
+            self.ivf.n_clusters(),
+            &probe_lists,
+            1,
+            |c| self.ivf.list(c).map_or(0, <[u32]>::len),
+            GROUP_CHUNK_WORK,
+        );
+        let partial_lists = parallel::map_with(
+            sched.num_chunks(),
+            num_threads,
+            1,
+            || self.make_group_scratch(),
+            |scratch, ci| self.scan_group_chunk(queries, k, &sched, ci, &seed_bounds, scratch),
+        );
+
+        let mut per_query: Vec<Vec<PqPartial>> = (0..nq).map(|_| Vec::new()).collect();
+        for list in partial_lists {
+            for partial in list {
+                per_query[partial.query as usize].push(partial);
+            }
+        }
+        let mut out = Vec::with_capacity(nq);
+        for ((qi, filter), (seed_top, _, seed_ctr)) in filters.iter().enumerate().zip(&seed_results)
+        {
+            let mut ctr = *seed_ctr;
+            let mut topk = TopK::new(k, self.metric);
+            for &(id, score) in seed_top {
+                topk.push_score(id, score);
+            }
+            for partial in &per_query[qi] {
+                ctr.merge(&partial.ctr);
+                for &(id, score) in &partial.top {
+                    topk.push_score(id, score);
+                }
+            }
+            out.push(self.finish_result(
+                filter.clusters.len(),
+                filter.distance_computations,
+                topk.into_sorted_vec(),
+                &ctr,
+            ));
+        }
+        Ok(out)
     }
 }
 
@@ -394,25 +977,13 @@ impl AnnIndex for IvfPqIndex {
             });
         }
         let filter = self.ivf.filter(query, self.nprobs)?;
-        let subspaces = self.pq.num_subspaces();
-        let entries = self.pq.entries_per_subspace();
 
         let mut topk = TopK::new(k, self.metric);
-        let mut candidates = 0usize;
-        let mut pruned_points = 0usize;
-        let mut pruned_blocks = 0usize;
-        let mut pruned_clusters = 0usize;
+        let mut ctr = PqCounters::default();
         // Fast-scan scratch (same kernel + bound machinery as the JUNO
         // engine, so cross-engine comparisons measure the same scan).
+        let mut flat: Vec<f32> = Vec::new();
         let mut qlut = QuantizedLut::new();
-        let mut svals = vec![
-            0.0f32;
-            if self.fastscan {
-                subspaces * entries
-            } else {
-                0
-            }
-        ];
         let mut lane_sums = [0u16; BLOCK_LANES];
         let cache = if self.fastscan {
             Some(
@@ -424,112 +995,46 @@ impl AnnIndex for IvfPqIndex {
         };
 
         for &c in &filter.clusters {
-            let lut = self.cluster_lut(query, c)?;
-            // For MIPS the centroid contribution is constant per cluster.
-            let centroid_term = match self.metric {
-                Metric::L2 => 0.0,
-                Metric::InnerProduct => inner_product(query, self.ivf.centroid(c)?),
-            };
-            // The prune pass needs a worst score to prune against and a
-            // cluster large enough to amortise the O(subspaces × E)
-            // quantisation — the same gating as the JUNO engine.
-            let worst0 = topk.worst_score();
-            let scan = cache.map(|cache| &cache.clusters[c]);
-            let prune = match scan {
-                Some(scan) => worst0.is_some() && scan.ids.len() >= kernel::MIN_PRUNE_POINTS,
-                None => false,
-            };
-            if prune {
-                let scan = scan.expect("prune implies cache");
-                // Phase 1: quantised prune pass over the block-interleaved
-                // cluster codes; phase 2: exact dense-LUT re-rank of the
-                // survivors — the identical arithmetic as the plain scan, so
-                // results are bit-identical.
-                for (s, row) in lut.iter().enumerate() {
-                    let dst = &mut svals[s * entries..(s + 1) * entries];
-                    match self.metric {
-                        Metric::L2 => dst.copy_from_slice(row),
-                        Metric::InnerProduct => {
-                            for (d, &v) in dst.iter_mut().zip(row) {
-                                *d = -v;
-                            }
-                        }
-                    }
-                }
-                let const_term = match self.metric {
-                    Metric::L2 => 0.0,
-                    Metric::InnerProduct => -centroid_term,
-                };
-                qlut.build(&svals, subspaces, entries, const_term);
-                if qlut.cluster_bound() >= worst0.expect("prune requires worst") as f64 {
-                    pruned_clusters += 1;
-                    pruned_points += scan.ids.len();
-                    continue;
-                }
-                let topk_ref = &mut topk;
-                let candidates_ref = &mut candidates;
-                let (pp, pb) = scan.blocks.prune_scan(&qlut, &mut lane_sums, worst0, |i| {
-                    let code = &scan.codes[i * subspaces..(i + 1) * subspaces];
-                    let partial = ProductQuantizer::adc_distance(&lut, code);
-                    let raw = centroid_term + partial;
-                    topk_ref.push(scan.ids[i] as u64, raw);
-                    *candidates_ref += 1;
-                    topk_ref.worst_score()
-                });
-                pruned_points += pp;
-                pruned_blocks += pb;
-            } else if let Some(scan) = scan {
-                // Cache built but nothing prunable yet: exact scan over the
-                // cache's contiguous codes (same order as the list walk).
-                for (i, &pid) in scan.ids.iter().enumerate() {
-                    let code = &scan.codes[i * subspaces..(i + 1) * subspaces];
-                    let partial = ProductQuantizer::adc_distance(&lut, code);
-                    let raw = centroid_term + partial;
-                    topk.push(pid as u64, raw);
-                    candidates += 1;
-                }
-            } else {
-                for &pid in self.ivf.list(c)? {
-                    let code = self.codes.code(pid as usize);
-                    let partial = ProductQuantizer::adc_distance(&lut, code);
-                    let raw = centroid_term + partial;
-                    topk.push(pid as u64, raw);
-                    candidates += 1;
-                }
-            }
+            self.scan_cluster_single(
+                query,
+                c,
+                cache.map(|cache| &cache.clusters[c]),
+                &mut flat,
+                &mut qlut,
+                &mut lane_sums,
+                &mut topk,
+                &mut ctr,
+            )?;
         }
+        Ok(self.finish_result(
+            filter.clusters.len(),
+            filter.distance_computations,
+            topk.into_sorted_vec(),
+            &ctr,
+        ))
+    }
 
-        // Bound-settled points still count as scanned candidates, keeping
-        // the candidate count (and the simulated stage times) independent
-        // of the host-side fast-scan toggle; `accumulations` models the
-        // exact ADC work actually performed.
-        let accumulations = candidates * subspaces;
-        let candidates = candidates + pruned_points;
-        let lut_distances = filter.clusters.len() * entries * subspaces;
-        let mut stats = SearchStats {
-            filter_distances: filter.distance_computations,
-            lut_distances,
-            candidates,
-            accumulations,
-            pruned_points,
-            pruned_blocks,
-            pruned_clusters,
-            ..SearchStats::default()
-        };
-        let simulated_us = self.sim.fill_ivfpq_times(
-            &mut stats,
-            self.ivf.n_clusters(),
-            self.dim(),
-            lut_distances,
-            self.pq.sub_dim(),
-            candidates,
-            subspaces,
-        );
-        Ok(SearchResult {
-            neighbors: topk.into_sorted_vec(),
-            simulated_us,
-            stats,
-        })
+    /// Batch search, cluster-major: plans the batch (probe selection per
+    /// query, parallel), builds the shared cluster→query-group schedule and
+    /// scans clusters in storage order — each cluster's codes stream once
+    /// per [`GROUP_TILE`]-query tile through the same multi-query prune
+    /// kernel the JUNO engine uses. Bit-identical (ids and distance bits) to
+    /// a sequential [`AnnIndex::search`] loop; tiny batches fall back to the
+    /// query-major default.
+    fn search_batch_threads(
+        &self,
+        queries: &VectorSet,
+        k: usize,
+        num_threads: usize,
+    ) -> Result<Vec<SearchResult>> {
+        if queries.len() < MIN_GROUP_QUERIES {
+            return parallel::map(queries.len(), num_threads, |i| {
+                self.search(queries.row(i), k)
+            })
+            .into_iter()
+            .collect();
+        }
+        self.search_batch_grouped(queries, k, num_threads)
     }
 
     fn supports_mutation(&self) -> bool {

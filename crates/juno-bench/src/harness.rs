@@ -179,6 +179,23 @@ impl Group<'_> {
         self
     }
 
+    /// Records a pre-computed scalar metric as a result row (zero samples,
+    /// value stored in the mean/median fields) so modelled quantities —
+    /// e.g. bytes streamed by a scan strategy — land in the JSON artifact
+    /// alongside the timings and can be gated by CI.
+    pub fn record(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.harness.results.push(BenchResult {
+            group: self.name.clone(),
+            name: name.into(),
+            mean_ns: value,
+            median_ns: value,
+            stddev_ns: 0.0,
+            iters_per_sample: 0,
+            samples: 0,
+        });
+        self
+    }
+
     /// Runs one benchmark: calibrates an iteration count to the sample
     /// budget, warms up, takes the configured number of samples and records
     /// the statistics. The closure's return value is passed through

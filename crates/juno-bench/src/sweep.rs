@@ -95,6 +95,8 @@ pub fn run_sweep_threads(
         pruned_points: (stats.pruned_points as f64 / n) as usize,
         pruned_blocks: (stats.pruned_blocks as f64 / n) as usize,
         pruned_clusters: (stats.pruned_clusters as f64 / n) as usize,
+        lut_builds: (stats.lut_builds as f64 / n) as usize,
+        lut_reuses: (stats.lut_reuses as f64 / n) as usize,
     };
     let r1 = recall_at(&retrieved, ground_truth, 1, retrieve_k.min(100))?;
     let recall = recall_at(&retrieved, ground_truth, truth_n, retrieve_k)?;

@@ -60,10 +60,12 @@ pub struct SearchStats {
     /// LUT lookups + accumulations performed during distance calculation.
     pub accumulations: usize,
     /// Number of candidate points the distance stage considered. For
-    /// fast-scan engines this includes points settled by the quantised
-    /// bound without an exact evaluation (see `pruned_points`), so the
-    /// count — and the simulated stage times derived from it — stays
-    /// essentially independent of the host-side fast-scan toggle;
+    /// fast-scan engines this counts every record the scan *streamed* in the
+    /// probed clusters (including points settled by the quantised bound
+    /// without an exact evaluation — see `pruned_points`), so the count —
+    /// and the simulated stage times derived from it — is **invariant** to
+    /// the host-side fast-scan toggle, to the cluster visit order, and to
+    /// query-major vs cluster-major (grouped) batch execution;
     /// `accumulations` reflects the exact work actually performed.
     pub candidates: usize,
     /// RT-core work: bounding-box tests (zero for non-RT engines).
@@ -86,6 +88,14 @@ pub struct SearchStats {
     /// Whole probed clusters skipped because the top-k worst score already
     /// beat the cluster's score lower bound.
     pub pruned_clusters: usize,
+    /// Per-(query, probe) quantised-LUT / decode-buffer builds performed by
+    /// the distance stage (zero for engines without fast-scan).
+    pub lut_builds: usize,
+    /// Scan passes served from an already-built per-(query, probe) LUT
+    /// without rebuilding it — e.g. the exact re-rank and tail scans reusing
+    /// the decode rows the prune pass expanded (the grouped batch executor's
+    /// batch arena caches them per cluster visit).
+    pub lut_reuses: usize,
 }
 
 impl SearchStats {
@@ -105,14 +115,25 @@ impl SearchStats {
         self.pruned_points += other.pruned_points;
         self.pruned_blocks += other.pruned_blocks;
         self.pruned_clusters += other.pruned_clusters;
+        self.lut_builds += other.lut_builds;
+        self.lut_reuses += other.lut_reuses;
     }
 
     /// Merges the counters of a query answered **concurrently** with this one
     /// (scatter-gather over shards): work counters sum — every shard really
-    /// did that work — but wall-clock stage times take the maximum, because
-    /// the shard scans ran in parallel and the slowest one bounds the stage.
-    /// Summing the times here would double-count the stages once per shard
-    /// and report an S-shard fleet as S× slower than it is.
+    /// did that work — but the wall-clock stage times (`filter_us`,
+    /// `lut_us`, `accumulate_us`) take the **maximum**, because the shard
+    /// scans ran in parallel and the slowest one bounds the stage. Summing
+    /// the times here would double-count the stages once per shard and
+    /// report an S-shard fleet as S× slower than it is (the PR 4 fix this
+    /// rustdoc pins).
+    ///
+    /// MAX applies to *every* simulated stage-time field and to nothing
+    /// else: any future per-stage timer (e.g. timers emitted per
+    /// cluster-group by the grouped batch executor, which aggregate into
+    /// these same three fields before the scatter merge sees them) must be
+    /// added to the max-list below, while plain work counters are covered
+    /// automatically by the delegation to [`SearchStats::merge`].
     pub fn merge_scatter(&mut self, other: &SearchStats) {
         // Delegate the counter sums to `merge` (one field list to maintain
         // when counters are added), then replace its time sums with maxima.
@@ -409,6 +430,8 @@ mod tests {
             pruned_points: 8,
             pruned_blocks: 9,
             pruned_clusters: 10,
+            lut_builds: 11,
+            lut_reuses: 12,
         };
         let b = a;
         a.merge(&b);
@@ -417,6 +440,8 @@ mod tests {
         assert_eq!(a.pruned_points, 16);
         assert_eq!(a.pruned_blocks, 18);
         assert_eq!(a.pruned_clusters, 20);
+        assert_eq!(a.lut_builds, 22);
+        assert_eq!(a.lut_reuses, 24);
         assert!((a.total_us() - 12.0).abs() < 1e-9);
     }
 
@@ -441,6 +466,8 @@ mod tests {
             pruned_points: 4,
             pruned_blocks: 5,
             pruned_clusters: 6,
+            lut_builds: 7,
+            lut_reuses: 8,
         };
         let other = SearchStats {
             filter_distances: 1,
@@ -456,6 +483,8 @@ mod tests {
             pruned_points: 8,
             pruned_blocks: 9,
             pruned_clusters: 10,
+            lut_builds: 1,
+            lut_reuses: 2,
         };
         gathered.merge_scatter(&other);
         assert_eq!(gathered.filter_distances, 11);
@@ -468,6 +497,10 @@ mod tests {
         assert_eq!(gathered.pruned_points, 12);
         assert_eq!(gathered.pruned_blocks, 14);
         assert_eq!(gathered.pruned_clusters, 16);
+        // New counters (incl. the grouped executor's LUT build/reuse pair)
+        // flow through the shared `merge` delegation: summed, never maxed.
+        assert_eq!(gathered.lut_builds, 8);
+        assert_eq!(gathered.lut_reuses, 10);
         // max, not sum: 5+7 would report 12, the double-count.
         assert_eq!(gathered.filter_us, 7.0);
         assert_eq!(gathered.lut_us, 9.0);

@@ -57,6 +57,25 @@ pub const NEVER_PRUNE: u32 = u32::MAX;
 /// exactly. Shared policy for every engine using the kernel.
 pub const MIN_PRUNE_POINTS: usize = 2 * BLOCK_LANES;
 
+/// Queries per register-tile of the multi-query (cluster-major) grouped
+/// scan: how many quantised LUTs are held against each 32-point block before
+/// the scan moves to the next block. Small enough that a tile's LUTs and
+/// decode buffers stay cache-resident, large enough that one pass over a
+/// block's code rows serves several queries. Shared policy for every engine
+/// using the grouped executor.
+pub const GROUP_TILE: usize = 4;
+
+/// Batches smaller than this skip the group scheduler and run query-major —
+/// the planning/scheduling overhead cannot amortise, mirroring how
+/// [`MIN_PRUNE_POINTS`] gates the per-cluster quantisation.
+pub const MIN_GROUP_QUERIES: usize = 2;
+
+/// Target `stored records × queries` work units per cluster-group task of
+/// the grouped executor (see `juno_common::group`): tasks scale with the
+/// batch's scan work, not with the thread count, keeping the schedule — and
+/// the per-query statistics it produces — independent of the worker budget.
+pub const GROUP_CHUNK_WORK: usize = 8_192;
+
 /// Bytes per subspace row for the given packing.
 #[inline]
 pub const fn row_bytes(nibble: bool) -> usize {
@@ -84,6 +103,43 @@ fn detect_avx2() -> bool {
 fn use_avx2() -> bool {
     static USE_AVX2: OnceLock<bool> = OnceLock::new();
     *USE_AVX2.get_or_init(detect_avx2)
+}
+
+/// Hints the hardware prefetcher at a byte range that is about to be
+/// streamed — the grouped scan issues this for the *next* 32-point code
+/// block while the current one is accumulated against a tile of query LUTs,
+/// hiding the memory latency of the block stream behind the kernel work.
+///
+/// One `prefetcht0` per 64-byte cache line on `x86_64`; a no-op elsewhere.
+/// Purely a performance hint: results are unaffected.
+#[inline]
+pub fn prefetch_rows(rows: &[u8]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let mut at = 0usize;
+        while at < rows.len() {
+            // SAFETY: `at` is in bounds; prefetch has no memory effects.
+            unsafe { _mm_prefetch::<_MM_HINT_T0>(rows.as_ptr().add(at) as *const i8) };
+            at += 64;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = rows;
+}
+
+/// The tighter (smaller, "lower is better") of two optional prune bounds.
+/// Both inputs must be valid upper bounds on the final top-k worst score —
+/// e.g. a chunk-local top-k worst and a seed-pass bound — so their minimum
+/// is one too; pruning against it stays provably safe. `f32::min` ignores a
+/// NaN operand, matching the kernel's NaN-disables-pruning convention.
+#[inline]
+pub fn tighter_worst(a: Option<f32>, b: Option<f32>) -> Option<f32> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) => Some(x),
+        (None, y) => y,
+    }
 }
 
 /// The accumulation kernel selected at runtime: `"avx2"` or `"scalar"`.
@@ -230,8 +286,12 @@ impl QuantizedLut {
         // worst-case relative f32 summation error of the exact path (~S·eps
         // of the term magnitudes) keeps the bound safe even when the exact
         // scan's own rounding makes a score a few ulps smaller than real
-        // arithmetic would.
-        self.margin = self.delta + 1e-5 * (mag_sum + const_term.abs() as f64);
+        // arithmetic would. The floor keeps the margin strictly positive
+        // even for all-zero degenerate spans: "bound ≥ worst" must imply the
+        // candidate's exact score is *strictly* worse, because top-k
+        // boundary ties break by id and a pruned tie could otherwise have
+        // displaced a larger-id incumbent.
+        self.margin = (self.delta + 1e-5 * (mag_sum + const_term.abs() as f64)).max(1e-30);
 
         // This loop is the per-probe setup cost of the whole prune pass, so
         // it must vectorise: multiply by the reciprocal instead of dividing

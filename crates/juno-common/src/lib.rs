@@ -44,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod error;
+pub mod group;
 pub mod index;
 pub mod kernel;
 pub mod metric;

@@ -13,6 +13,16 @@
 //! ranked strictly worst — which makes the merge associative and invariant
 //! to the order its inputs arrive in (the contract the scatter-gather path
 //! and its property tests rely on).
+//!
+//! [`TopK`] ranks under the *same* strict total order (score, then ascending
+//! id, NaN worst): a candidate tied with the current worst on score but
+//! carrying a smaller id displaces it. With unique ids the kept set is
+//! therefore a pure function of the candidate *set* — *insertion-order
+//! invariant* — which is what lets the cluster-major grouped batch executor
+//! visit a query's probed clusters in storage order (and merge per-chunk
+//! partial top-ks) while staying bit-identical to the sequential per-query
+//! scan, and what makes the boundary-tie behaviour agree with
+//! [`merge_neighbors`].
 
 use crate::index::Neighbor;
 use crate::metric::Metric;
@@ -121,27 +131,57 @@ impl TopK {
     }
 
     /// Pushes a candidate given an already-converted "lower is better" score.
+    ///
+    /// Boundary comparisons use the full `(score, id)` total order (NaN
+    /// strictly worst): a candidate that ties the current worst on score but
+    /// has a smaller id displaces it. This keeps the kept set
+    /// insertion-order invariant (ids are unique), so any scan order — and
+    /// any merge of partial selections — produces the same k best.
     #[inline]
     pub fn push_score(&mut self, id: u64, score: f32) -> bool {
+        let candidate = HeapEntry { score, id };
         if self.heap.len() < self.k {
-            self.heap.push(HeapEntry { score, id });
+            self.heap.push(candidate);
             return true;
         }
-        // Heap is full: only insert if better than the current worst. A NaN
-        // worst is displaced by any real score (`<` alone would reject every
-        // candidate once a NaN sneaks in, since comparisons with NaN are
-        // false); a NaN candidate never displaces anything.
+        // Heap is full: insert only when strictly better than the worst
+        // under the total order. The order ranks NaN worst, so a NaN worst
+        // is displaced by any real score while a NaN candidate never
+        // displaces a real one.
         let worst = self
             .heap
             .peek()
             .expect("heap cannot be empty when len == k > 0");
-        if score < worst.score || (worst.score.is_nan() && !score.is_nan()) {
+        if candidate < *worst {
             self.heap.pop();
-            self.heap.push(HeapEntry { score, id });
+            self.heap.push(candidate);
             true
         } else {
             false
         }
+    }
+
+    /// Resets the selector for reuse (e.g. the per-query slots of a batch
+    /// arena), keeping the heap's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize, metric: Metric) {
+        assert!(k > 0, "top-k selector requires k > 0");
+        self.k = k;
+        self.metric = metric;
+        self.heap.clear();
+    }
+
+    /// Drains the held candidates as `(id, "lower is better" score)` pairs in
+    /// unspecified order, leaving the selector empty but its allocation
+    /// intact. Feeding every drained pair of several selectors into one fresh
+    /// selector via [`TopK::push_score`] reconstructs the global k best
+    /// (selection is insertion-order invariant), which is how the grouped
+    /// batch executor merges per-chunk partial results.
+    pub fn drain_entries(&mut self, out: &mut Vec<(u64, f32)>) {
+        out.extend(self.heap.drain().map(|e| (e.id, e.score)));
     }
 
     /// Current worst kept score, or `None` if fewer than `k` candidates have
@@ -347,6 +387,87 @@ mod tests {
         topk.push(2, f32::NAN);
         let ids: Vec<u64> = topk.into_sorted_vec().iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn boundary_ties_break_by_id_like_the_merge_order() {
+        // A tie with the current worst on score is decided by id — the same
+        // total order merge_neighbors ranks with — so the kept set does not
+        // depend on which tied candidate arrived first.
+        let mut early = TopK::new(2, Metric::L2);
+        for (id, v) in [(9, 3.0), (1, 1.0), (5, 3.0)] {
+            early.push(id, v);
+        }
+        let mut late = TopK::new(2, Metric::L2);
+        for (id, v) in [(5, 3.0), (1, 1.0), (9, 3.0)] {
+            late.push(id, v);
+        }
+        let ids = |t: TopK| t.into_sorted_vec().iter().map(|n| n.id).collect::<Vec<_>>();
+        assert_eq!(ids(early), vec![1, 5]);
+        assert_eq!(ids(late), vec![1, 5]);
+    }
+
+    #[test]
+    fn selection_is_insertion_order_invariant() {
+        use crate::rng::{seeded, Rng};
+        let mut rng = seeded(0x0D3A);
+        for case in 0..100u64 {
+            let n = rng.gen_range(1..40usize);
+            let k = rng.gen_range(1..12usize);
+            // Few distinct values force boundary ties.
+            let scores: Vec<f32> = (0..n).map(|_| (rng.gen_range(0..5u32)) as f32).collect();
+            let forward = {
+                let mut t = TopK::new(k, Metric::L2);
+                for (i, &s) in scores.iter().enumerate() {
+                    t.push_score(i as u64, s);
+                }
+                t.into_sorted_vec()
+            };
+            // A deterministic shuffle of the insertion order.
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in 0..n {
+                let j = rng.gen_range(i..n);
+                order.swap(i, j);
+            }
+            let shuffled = {
+                let mut t = TopK::new(k, Metric::L2);
+                for &i in &order {
+                    t.push_score(i as u64, scores[i]);
+                }
+                t.into_sorted_vec()
+            };
+            assert_eq!(forward, shuffled, "case {case} scores={scores:?}");
+            // Partial selections merged through drain_entries reconstruct
+            // the same global k best (the grouped executor's merge step).
+            let cut = rng.gen_range(0..=n);
+            let mut merged = TopK::new(k, Metric::L2);
+            let mut buf = Vec::new();
+            for part in [&order[..cut], &order[cut..]] {
+                let mut partial = TopK::new(k, Metric::L2);
+                for &i in part {
+                    partial.push_score(i as u64, scores[i]);
+                }
+                buf.clear();
+                partial.drain_entries(&mut buf);
+                for &(id, s) in &buf {
+                    merged.push_score(id, s);
+                }
+            }
+            assert_eq!(forward, merged.into_sorted_vec(), "case {case} merge");
+        }
+    }
+
+    #[test]
+    fn reset_reuses_the_selector() {
+        let mut topk = TopK::new(3, Metric::L2);
+        topk.push(1, 4.0);
+        topk.push(2, 2.0);
+        topk.reset(2, Metric::InnerProduct);
+        assert!(topk.is_empty());
+        assert_eq!(topk.k(), 2);
+        assert_eq!(topk.metric(), Metric::InnerProduct);
+        topk.push(7, 0.5);
+        assert_eq!(topk.into_sorted_vec()[0].id, 7);
     }
 
     #[test]

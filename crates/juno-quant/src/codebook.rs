@@ -110,6 +110,33 @@ impl Codebook {
             .collect())
     }
 
+    /// [`Codebook::dense_lut_row`] into a caller-provided buffer of exactly
+    /// `len()` slots — the same values (same arithmetic, bit-identical), no
+    /// allocation. Used by the grouped batch scan's reusable LUT arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the projection dimension is
+    /// not `M` or `out` does not hold exactly one slot per entry.
+    pub fn dense_lut_row_into(&self, projection: &[f32], out: &mut [f32]) -> Result<()> {
+        if projection.len() != self.sub_dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.sub_dim(),
+                actual: projection.len(),
+            });
+        }
+        if out.len() != self.num_entries() {
+            return Err(Error::DimensionMismatch {
+                expected: self.num_entries(),
+                actual: out.len(),
+            });
+        }
+        for (o, row) in out.iter_mut().zip(self.entries.iter()) {
+            *o = l2_squared(projection, row);
+        }
+        Ok(())
+    }
+
     /// Entry ids sorted by distance to a query projection (closest first).
     ///
     /// Used by the sparsity / locality analysis (Figs. 3(b), 4, 5): the paper

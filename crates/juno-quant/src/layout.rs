@@ -48,7 +48,8 @@
 use crate::pq::EncodedPoints;
 use juno_common::error::{Error, Result};
 use juno_common::kernel::{
-    block_lane_code, row_bytes, scan_block_with_abandon, QuantizedLut, BLOCK_LANES, NEVER_PRUNE,
+    block_lane_code, prefetch_rows, row_bytes, scan_block_with_abandon, QuantizedLut, BLOCK_LANES,
+    NEVER_PRUNE,
 };
 
 /// PQ codes grouped contiguously by IVF cluster, with the original point ids
@@ -658,45 +659,108 @@ impl BlockCodes {
     /// current worst as `worst` to seed it. Returns
     /// `(pruned_points, pruned_blocks)`.
     ///
-    /// This is the one shared scan driver — the JUNO engine and the IVFPQ
-    /// baseline both call it, so cross-engine comparisons measure the same
-    /// pruning behaviour.
+    /// This is the single-query form of [`BlockCodes::prune_scan_group`] (a
+    /// one-lane group) — the JUNO engine's and the IVFPQ baseline's
+    /// per-query paths both call it, so cross-engine comparisons measure the
+    /// same pruning behaviour.
     pub fn prune_scan(
         &self,
         qlut: &QuantizedLut,
         lane_sums: &mut [u16; BLOCK_LANES],
-        mut worst: Option<f32>,
+        worst: Option<f32>,
         mut survivor: impl FnMut(usize) -> Option<f32>,
     ) -> (usize, usize) {
-        let mut pruned_points = 0usize;
-        let mut pruned_blocks = 0usize;
+        let mut lanes = [GroupLane::new(qlut, worst)];
+        self.prune_scan_group(&mut lanes, |_, i| survivor(i));
+        *lane_sums = lanes[0].sums;
+        (lanes[0].pruned_points, lanes[0].pruned_blocks)
+    }
+
+    /// The **multi-query** (cluster-major) prune scan: holds one quantised
+    /// LUT per lane — a small register-tile of queries probing this cluster —
+    /// against each 32-point block before moving on, so the block's code rows
+    /// are streamed through the cache **once per query group** instead of
+    /// once per query. The next block is software-prefetched while the
+    /// current one is accumulated.
+    ///
+    /// Per lane the semantics are *exactly* those of
+    /// [`BlockCodes::prune_scan`]: the prune threshold is re-derived from the
+    /// lane's evolving `worst` before every block, whole blocks abandon via
+    /// the suffix-min check, surviving candidates are handed to
+    /// `survivor(lane_index, point_index)` (which returns the lane's updated
+    /// top-k worst), and a lane whose threshold is [`NEVER_PRUNE`] skips the
+    /// kernel and passes every candidate through — so each query's results
+    /// and per-lane prune counters are bit-identical to scanning the cluster
+    /// for that query alone with the same entry `worst`.
+    pub fn prune_scan_group(
+        &self,
+        lanes: &mut [GroupLane<'_>],
+        mut survivor: impl FnMut(usize, usize) -> Option<f32>,
+    ) {
         for b in 0..self.num_blocks() {
-            let len = self.block_len(b);
-            let threshold = qlut.prune_threshold(worst);
-            if threshold != NEVER_PRUNE
-                && scan_block_with_abandon(
-                    qlut,
-                    self.block_rows(b),
-                    self.nibble,
-                    threshold,
-                    lane_sums,
-                )
-            {
-                pruned_blocks += 1;
-                pruned_points += len;
-                continue;
+            let rows = self.block_rows(b);
+            if b + 1 < self.num_blocks() {
+                prefetch_rows(self.block_rows(b + 1));
             }
-            // With no threshold the kernel did not run and `lane_sums` is
-            // stale; the guard below keeps it unread in that case.
-            for (lane, &sum) in lane_sums.iter().enumerate().take(len) {
-                if threshold != NEVER_PRUNE && sum as u32 >= threshold {
-                    pruned_points += 1;
+            let len = self.block_len(b);
+            for (li, lane) in lanes.iter_mut().enumerate() {
+                let threshold = lane.qlut.prune_threshold(lane.worst);
+                if threshold != NEVER_PRUNE
+                    && scan_block_with_abandon(
+                        lane.qlut,
+                        rows,
+                        self.nibble,
+                        threshold,
+                        &mut lane.sums,
+                    )
+                {
+                    lane.pruned_blocks += 1;
+                    lane.pruned_points += len;
                     continue;
                 }
-                worst = survivor(b * BLOCK_LANES + lane);
+                // With no threshold the kernel did not run and the lane sums
+                // are stale; the guard below keeps them unread in that case.
+                for (l, &sum) in lane.sums.iter().enumerate().take(len) {
+                    if threshold != NEVER_PRUNE && sum as u32 >= threshold {
+                        lane.pruned_points += 1;
+                        continue;
+                    }
+                    lane.worst = survivor(li, b * BLOCK_LANES + l);
+                }
             }
         }
-        (pruned_points, pruned_blocks)
+    }
+}
+
+/// One query's lane in a multi-query prune scan
+/// ([`BlockCodes::prune_scan_group`]): its quantised LUT for this cluster's
+/// slot, its evolving top-k worst score, the kernel lane sums of the current
+/// block, and the pruning work observed on the query's behalf.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupLane<'a> {
+    /// The query's quantised prune LUT for this cluster.
+    pub qlut: &'a QuantizedLut,
+    /// The query's current top-k worst score (`None` = top-k not full, no
+    /// pruning possible yet); updated from the `survivor` callback.
+    pub worst: Option<f32>,
+    /// Lane sums of the most recent non-abandoned block (scratch).
+    pub sums: [u16; BLOCK_LANES],
+    /// Candidates settled by the quantised bound without an exact evaluation.
+    pub pruned_points: usize,
+    /// Whole blocks abandoned mid-accumulation by the suffix-min check.
+    pub pruned_blocks: usize,
+}
+
+impl<'a> GroupLane<'a> {
+    /// Creates a lane seeded with the query's current top-k worst score.
+    pub fn new(qlut: &'a QuantizedLut, worst: Option<f32>) -> Self {
+        Self {
+            qlut,
+            worst,
+            sums: [0; BLOCK_LANES],
+            pruned_points: 0,
+            pruned_blocks: 0,
+        }
     }
 }
 
@@ -912,6 +976,79 @@ mod tests {
         for i in 0..10 {
             for s in 0..4 {
                 assert_eq!(blocks.code_at(i, s), codes[i * 4 + s]);
+            }
+        }
+    }
+
+    #[test]
+    fn group_scan_matches_per_query_scan_bit_exactly() {
+        use juno_common::rng::Rng;
+        let mut rng = seeded(0x6709);
+        for case in 0..12u64 {
+            let subspaces = rng.gen_range(2..10usize);
+            let entries = [8usize, 16, 40][case as usize % 3];
+            let n = rng.gen_range(1..140usize);
+            let codes: Vec<u8> = (0..n * subspaces)
+                .map(|_| rng.gen_range(0..entries as u32) as u8)
+                .collect();
+            let blocks = BlockCodes::build(&codes, n, subspaces);
+
+            // A few queries with distinct quantised LUTs and distinct
+            // (sometimes absent) prune bars.
+            let tile = rng.gen_range(1..6usize);
+            let qluts: Vec<QuantizedLut> = (0..tile)
+                .map(|_| {
+                    let svals: Vec<f32> = (0..subspaces * entries)
+                        .map(|_| rng.gen_range(0.0f32..8.0))
+                        .collect();
+                    let mut q = QuantizedLut::new();
+                    q.build(&svals, subspaces, entries, 0.0);
+                    q
+                })
+                .collect();
+            let worsts: Vec<Option<f32>> = (0..tile)
+                .map(|qi| {
+                    if qi % 3 == 2 {
+                        None
+                    } else {
+                        Some(rng.gen_range(0.0f32..8.0) * subspaces as f32)
+                    }
+                })
+                .collect();
+            // The survivor callback tightens the worst deterministically as
+            // a function of the call count, so both drivers see identical
+            // threshold evolution per query.
+            let evolve =
+                |worst: Option<f32>, seen: usize| worst.map(|w| w - 0.01 * seen.min(40) as f32);
+
+            // Reference: each query scanned alone.
+            let mut want: Vec<(Vec<usize>, usize, usize)> = Vec::new();
+            for qi in 0..tile {
+                let mut sums = [0u16; BLOCK_LANES];
+                let mut survivors = Vec::new();
+                let (pp, pb) = blocks.prune_scan(&qluts[qi], &mut sums, worsts[qi], |i| {
+                    survivors.push(i);
+                    evolve(worsts[qi], survivors.len())
+                });
+                want.push((survivors, pp, pb));
+            }
+
+            // The multi-query group scan over the same cluster.
+            let mut lanes: Vec<GroupLane> = (0..tile)
+                .map(|qi| GroupLane::new(&qluts[qi], worsts[qi]))
+                .collect();
+            let mut got: Vec<Vec<usize>> = vec![Vec::new(); tile];
+            blocks.prune_scan_group(&mut lanes, |li, i| {
+                got[li].push(i);
+                evolve(worsts[li], got[li].len())
+            });
+            for qi in 0..tile {
+                assert_eq!(got[qi], want[qi].0, "case {case} query {qi} survivors");
+                assert_eq!(
+                    (lanes[qi].pruned_points, lanes[qi].pruned_blocks),
+                    (want[qi].1, want[qi].2),
+                    "case {case} query {qi} prune counters"
+                );
             }
         }
     }

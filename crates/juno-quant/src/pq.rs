@@ -403,6 +403,49 @@ impl ProductQuantizer {
             .sum()
     }
 
+    /// [`ProductQuantizer::dense_lut`] into a caller-provided flat
+    /// `subspaces × E` buffer (`out[s * E + e]`, resized in place) — the
+    /// identical values with no per-query allocation, which is what the
+    /// cluster-major grouped batch scan rebuilds once per (query, probe)
+    /// from its reusable LUT arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the residual dimension is
+    /// not `D`.
+    pub fn dense_lut_into(&self, residual: &[f32], out: &mut Vec<f32>) -> Result<()> {
+        if residual.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: residual.len(),
+            });
+        }
+        let entries = self.entries_per_subspace();
+        out.clear();
+        out.resize(self.num_subspaces() * entries, 0.0);
+        for (s, cb) in self.codebooks.iter().enumerate() {
+            let proj = &residual[s * self.sub_dim..(s + 1) * self.sub_dim];
+            cb.dense_lut_row_into(proj, &mut out[s * entries..(s + 1) * entries])?;
+        }
+        Ok(())
+    }
+
+    /// [`ProductQuantizer::adc_distance`] over a flat `subspaces × E` LUT
+    /// buffer (the [`ProductQuantizer::dense_lut_into`] layout). The
+    /// summation order matches the nested form exactly, so given equal LUT
+    /// values the two are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is too short for `code` (internal misuse).
+    #[inline]
+    pub fn adc_distance_flat(flat: &[f32], entries: usize, code: &[u8]) -> f32 {
+        code.iter()
+            .enumerate()
+            .map(|(s, &e)| flat[s * entries + e as usize])
+            .sum()
+    }
+
     /// Mean squared reconstruction error of an encoding — a quality measure of
     /// the trained codebooks.
     ///
@@ -451,6 +494,32 @@ mod tests {
             seed: 7,
             train_subsample: None,
         }
+    }
+
+    #[test]
+    fn flat_dense_lut_and_adc_match_the_nested_form_bit_exactly() {
+        let data = random_vectors(400, 8, 9);
+        let pq = ProductQuantizer::train(&data, &small_config()).unwrap();
+        let codes = pq.encode(&data).unwrap();
+        let entries = pq.entries_per_subspace();
+        let mut flat = Vec::new();
+        for qi in 0..8 {
+            let residual = data.row(qi * 17);
+            let nested = pq.dense_lut(residual).unwrap();
+            pq.dense_lut_into(residual, &mut flat).unwrap();
+            assert_eq!(flat.len(), pq.num_subspaces() * entries);
+            for (s, row) in nested.iter().enumerate() {
+                for (e, &v) in row.iter().enumerate() {
+                    assert_eq!(v.to_bits(), flat[s * entries + e].to_bits());
+                }
+            }
+            for i in (0..data.len()).step_by(31) {
+                let a = ProductQuantizer::adc_distance(&nested, codes.code(i));
+                let b = ProductQuantizer::adc_distance_flat(&flat, entries, codes.code(i));
+                assert_eq!(a.to_bits(), b.to_bits(), "query {qi} point {i}");
+            }
+        }
+        assert!(pq.dense_lut_into(&[0.0; 3], &mut flat).is_err());
     }
 
     #[test]

@@ -189,10 +189,15 @@ impl<I: AnnIndex> FleetReader<I> {
     /// Scatter-gather batch search with an explicit worker-thread budget:
     /// the thread budget is split across the shards — up to `S` outer
     /// workers scan shards concurrently, each fanning its shard's batch
-    /// across the remaining budget through the engine's own batched path
-    /// (retaining its per-worker scratch reuse) — then per-query results
-    /// merge across shards. `num_threads = 1` recovers the sequential
-    /// shard-by-shard loop; results are identical for every budget.
+    /// through the engine's own batched path with the remaining budget.
+    /// For JUNO and IVFPQ shards that path is the **cluster-major grouped
+    /// executor**: each shard plans its local batch, routes it into a
+    /// cluster→query-group schedule and streams every probed cluster's code
+    /// blocks once per query group (with the per-worker batch arena reused
+    /// across the whole shard batch). Per-query results then merge across
+    /// shards under the usual deterministic order. `num_threads = 1`
+    /// recovers the sequential shard-by-shard loop; results are identical —
+    /// ids and distance bits — for every budget and execution strategy.
     ///
     /// # Errors
     ///

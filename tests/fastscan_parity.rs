@@ -51,6 +51,18 @@ fn check_parity(index: &mut JunoIndex, ds: &juno::data::profiles::Dataset, label
         index.set_fastscan(false);
         let exact = run_all(index, &ds.queries, 50);
         assert_same_results(&fast, &exact, &format!("{label} {mode:?}"));
+        // The cluster-major grouped batch executor must land on the same
+        // bits as the sequential scan with the prune pass both on and off.
+        index.set_fastscan(true);
+        let grouped = index.search_batch_threads(&ds.queries, 50, 3).unwrap();
+        assert_same_results(&grouped, &fast, &format!("{label} {mode:?} grouped"));
+        index.set_fastscan(false);
+        let grouped_exact = index.search_batch_threads(&ds.queries, 50, 3).unwrap();
+        assert_same_results(
+            &grouped_exact,
+            &exact,
+            &format!("{label} {mode:?} grouped exact"),
+        );
         if mode == QualityMode::High {
             pruned_high += fast
                 .iter()

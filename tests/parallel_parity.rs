@@ -1,8 +1,17 @@
-//! Parity tests for the batched query pipeline: the work-stealing parallel
-//! `search_batch` must return **bit-identical** neighbours and scores to a
-//! sequential `search` loop at every thread count, and the flat-CSR
-//! `SelectiveLut` must behave exactly like the nested-row layout it
-//! replaced.
+//! Parity tests for the batched query pipeline: the batch entry points —
+//! the query-major path (one task per query) **and** the cluster-major
+//! grouped executor that now backs `search_batch` — must return
+//! **bit-identical** neighbours and scores to a sequential `search` loop at
+//! every thread count, and the flat-CSR `SelectiveLut` must behave exactly
+//! like the nested-row layout it replaced.
+//!
+//! The grouped executor visits a query's probed clusters in storage order
+//! instead of filter order, so its *prune trajectory* (pruned_points /
+//! pruned_blocks / pruned_clusters, and with them `accumulations` and
+//! `lut_reuses`) may legitimately differ from the sequential scan — results
+//! stay bit-identical because pruning only ever discards provably-losing
+//! candidates. Everything else (`candidates`, planning counters, RT work,
+//! simulated stage times) is invariant and asserted exactly.
 
 use juno::common::index::AnnIndex;
 use juno::common::rng::{seeded, Rng};
@@ -11,6 +20,27 @@ use juno::core::engine::JunoIndex;
 use juno::core::lut::SelectiveLut;
 use juno::data::profiles::DatasetProfile;
 
+fn assert_same_neighbors(
+    s: &juno::common::index::SearchResult,
+    p: &juno::common::index::SearchResult,
+    q: usize,
+    label: &str,
+) {
+    assert_eq!(
+        s.neighbors.len(),
+        p.neighbors.len(),
+        "{label}: query {q} neighbour count"
+    );
+    for (i, (ns, np)) in s.neighbors.iter().zip(&p.neighbors).enumerate() {
+        assert_eq!(ns.id, np.id, "{label}: query {q} rank {i} id");
+        assert_eq!(
+            ns.distance.to_bits(),
+            np.distance.to_bits(),
+            "{label}: query {q} rank {i} score bits"
+        );
+    }
+}
+
 fn assert_bit_identical(
     sequential: &[juno::common::index::SearchResult],
     parallel: &[juno::common::index::SearchResult],
@@ -18,20 +48,45 @@ fn assert_bit_identical(
 ) {
     assert_eq!(sequential.len(), parallel.len(), "{label}: result count");
     for (q, (s, p)) in sequential.iter().zip(parallel).enumerate() {
-        assert_eq!(
-            s.neighbors.len(),
-            p.neighbors.len(),
-            "{label}: query {q} neighbour count"
-        );
-        for (i, (ns, np)) in s.neighbors.iter().zip(&p.neighbors).enumerate() {
-            assert_eq!(ns.id, np.id, "{label}: query {q} rank {i} id");
-            assert_eq!(
-                ns.distance.to_bits(),
-                np.distance.to_bits(),
-                "{label}: query {q} rank {i} score bits"
-            );
-        }
+        assert_same_neighbors(s, p, q, label);
         assert_eq!(s.stats, p.stats, "{label}: query {q} work counters");
+    }
+}
+
+/// Grouped-executor parity: neighbours (and their distance bits) must be
+/// identical; the execution-invariant statistics must match exactly; only
+/// the prune-trajectory counters may differ.
+fn assert_grouped_identical(
+    sequential: &[juno::common::index::SearchResult],
+    grouped: &[juno::common::index::SearchResult],
+    label: &str,
+) {
+    assert_eq!(sequential.len(), grouped.len(), "{label}: result count");
+    for (q, (s, g)) in sequential.iter().zip(grouped).enumerate() {
+        assert_same_neighbors(s, g, q, label);
+        assert_eq!(
+            s.stats.candidates, g.stats.candidates,
+            "{label}: query {q} candidates must be execution-invariant"
+        );
+        assert_eq!(s.stats.filter_distances, g.stats.filter_distances);
+        assert_eq!(s.stats.lut_distances, g.stats.lut_distances);
+        assert_eq!(s.stats.rt_aabb_tests, g.stats.rt_aabb_tests);
+        assert_eq!(s.stats.rt_primitive_tests, g.stats.rt_primitive_tests);
+        assert_eq!(s.stats.rt_hits, g.stats.rt_hits);
+        assert_eq!(s.stats.lut_builds, g.stats.lut_builds);
+        // Stage times derive from planning work + candidates only, so they
+        // must be bit-equal even though the prune trajectory may differ.
+        assert_eq!(s.stats.filter_us.to_bits(), g.stats.filter_us.to_bits());
+        assert_eq!(s.stats.lut_us.to_bits(), g.stats.lut_us.to_bits());
+        assert_eq!(
+            s.stats.accumulate_us.to_bits(),
+            g.stats.accumulate_us.to_bits()
+        );
+        assert_eq!(
+            s.simulated_us.to_bits(),
+            g.simulated_us.to_bits(),
+            "{label}: query {q} simulated time"
+        );
     }
 }
 
@@ -54,14 +109,29 @@ fn parallel_batch_matches_sequential_search_all_modes() {
             .map(|q| index.search(q, 50).unwrap())
             .collect();
         for threads in [1usize, 2, 3, 8] {
-            let parallel = index
+            // The query-major path: full stats equality at every budget.
+            let query_major = index
+                .search_batch_query_major(&ds.queries, 50, threads)
+                .unwrap();
+            assert_bit_identical(
+                &sequential,
+                &query_major,
+                &format!("{mode:?} qm x{threads}"),
+            );
+            // The grouped executor (what search_batch_threads dispatches
+            // to): bit-identical results, invariant stats subset; hit-count
+            // modes have no pruning, so even their full stats must match.
+            let grouped = index
                 .search_batch_threads(&ds.queries, 50, threads)
                 .unwrap();
-            assert_bit_identical(&sequential, &parallel, &format!("{mode:?} x{threads}"));
+            assert_grouped_identical(&sequential, &grouped, &format!("{mode:?} grp x{threads}"));
+            if mode != QualityMode::High {
+                assert_bit_identical(&sequential, &grouped, &format!("{mode:?} grp x{threads}"));
+            }
         }
         // The default entry point too.
         let parallel = index.search_batch(&ds.queries, 50).unwrap();
-        assert_bit_identical(&sequential, &parallel, &format!("{mode:?} default"));
+        assert_grouped_identical(&sequential, &parallel, &format!("{mode:?} default"));
     }
 }
 
@@ -81,10 +151,14 @@ fn parallel_batch_matches_sequential_search_mips() {
         .map(|q| index.search(q, 100).unwrap())
         .collect();
     for threads in [2usize, 5] {
-        let parallel = index
+        let query_major = index
+            .search_batch_query_major(&ds.queries, 100, threads)
+            .unwrap();
+        assert_bit_identical(&sequential, &query_major, &format!("MIPS qm x{threads}"));
+        let grouped = index
             .search_batch_threads(&ds.queries, 100, threads)
             .unwrap();
-        assert_bit_identical(&sequential, &parallel, &format!("MIPS x{threads}"));
+        assert_grouped_identical(&sequential, &grouped, &format!("MIPS grp x{threads}"));
     }
 }
 
@@ -118,13 +192,21 @@ fn parallel_batch_matches_sequential_after_mutation() {
                 .map(|q| index.search(q, 50).unwrap())
                 .collect();
             for threads in [2usize, 3, 8] {
-                let parallel = index
-                    .search_batch_threads(&ds.queries, 50, threads)
+                let query_major = index
+                    .search_batch_query_major(&ds.queries, 50, threads)
                     .unwrap();
                 assert_bit_identical(
                     &sequential,
-                    &parallel,
-                    &format!("{label} {mode:?} x{threads}"),
+                    &query_major,
+                    &format!("{label} {mode:?} qm x{threads}"),
+                );
+                let grouped = index
+                    .search_batch_threads(&ds.queries, 50, threads)
+                    .unwrap();
+                assert_grouped_identical(
+                    &sequential,
+                    &grouped,
+                    &format!("{label} {mode:?} grp x{threads}"),
                 );
             }
         }
