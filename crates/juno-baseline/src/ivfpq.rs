@@ -857,7 +857,7 @@ impl IvfPqIndex {
         }
         let filters = parallel::map(nq, num_threads, |i| {
             self.ivf.filter(queries.row(i), self.nprobs)
-        })
+        })?
         .into_iter()
         .collect::<Result<Vec<_>>>()?;
 
@@ -898,7 +898,7 @@ impl IvfPqIndex {
                 topk.drain_entries(&mut top);
                 Ok((top, bound, ctr))
             },
-        )
+        )?
         .into_iter()
         .collect::<Result<Vec<_>>>()?;
         let seed_bounds: Vec<Option<f32>> = seed_results.iter().map(|s| s.1).collect();
@@ -920,7 +920,7 @@ impl IvfPqIndex {
             1,
             || self.make_group_scratch(),
             |scratch, ci| self.scan_group_chunk(queries, k, &sched, ci, &seed_bounds, scratch),
-        );
+        )?;
 
         let mut per_query: Vec<Vec<PqPartial>> = (0..nq).map(|_| Vec::new()).collect();
         for list in partial_lists {
@@ -1030,7 +1030,7 @@ impl AnnIndex for IvfPqIndex {
         if queries.len() < MIN_GROUP_QUERIES {
             return parallel::map(queries.len(), num_threads, |i| {
                 self.search(queries.row(i), k)
-            })
+            })?
             .into_iter()
             .collect();
         }

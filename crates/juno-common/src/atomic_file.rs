@@ -1,0 +1,181 @@
+//! Crash-safe snapshot files: write-temp + fsync + atomic rename, with a
+//! rotated previous generation for torn-write recovery.
+//!
+//! # File contract
+//!
+//! [`write_atomic`] publishes `bytes` at `path` such that a crash at any
+//! point leaves a readable snapshot on disk:
+//!
+//! 1. the bytes are written to `path.tmp` and **fsync**'d — the new
+//!    generation is durable before it becomes visible;
+//! 2. the current `path` (if any) is renamed to `path.prev` — the previous
+//!    generation survives as the fallback;
+//! 3. `path.tmp` is renamed to `path` — on POSIX filesystems a rename is
+//!    atomic, so `path` always refers to either the old or the new complete
+//!    file, never a mixture;
+//! 4. the parent directory is fsync'd so both renames are durable.
+//!
+//! A reader ([`read_candidates`]) therefore tries `path` first and falls
+//! back to `path.prev`: if the machine died mid-step-1 (torn temp file) the
+//! live `path` is untouched; if it died between steps 2 and 3, `path` is
+//! missing but `path.prev` holds the last good generation; if the *newest*
+//! file is later corrupted in place (bit rot, operator accident), the caller
+//! validates it — every JUNO snapshot is checksummed — rejects it, and
+//! restores from `path.prev` instead. Validation is deliberately left to the
+//! caller: this module moves bytes, the snapshot layer knows what "valid"
+//! means.
+
+use crate::error::{Error, Result};
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Suffix of the in-flight temp file (step 1 of the protocol).
+const TMP_SUFFIX: &str = "tmp";
+/// Suffix of the rotated previous generation (step 2 of the protocol).
+const PREV_SUFFIX: &str = "prev";
+
+fn with_suffix(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".");
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// The path of the rotated previous snapshot generation next to `path`
+/// (`<path>.prev`).
+pub fn prev_path(path: &Path) -> PathBuf {
+    with_suffix(path, PREV_SUFFIX)
+}
+
+/// The path of the in-flight temp file next to `path` (`<path>.tmp`).
+pub fn tmp_path(path: &Path) -> PathBuf {
+    with_suffix(path, TMP_SUFFIX)
+}
+
+fn io_err(what: &str, path: &Path, err: std::io::Error) -> Error {
+    Error::Io(format!("{what} {}: {err}", path.display()))
+}
+
+/// Durably publishes `bytes` at `path` under the crash-safe protocol
+/// described in the [module docs](self). The previous contents of `path`
+/// (if any) are preserved at [`prev_path`].
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] when any filesystem step fails; a failed write
+/// never leaves `path` truncated or half-written (the worst case is a stale
+/// `.tmp` file, which the next successful write simply overwrites).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut file = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        file.write_all(bytes)
+            .map_err(|e| io_err("write", &tmp, e))?;
+        file.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+    }
+    if path.exists() {
+        let prev = prev_path(path);
+        fs::rename(path, &prev).map_err(|e| io_err("rotate to", &prev, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err("publish", path, e))?;
+    // Make the renames durable. Directory fsync is best-effort on platforms
+    // where opening a directory for sync is not supported.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The recovery candidates for `path`, newest first: the live file, then the
+/// rotated previous generation. Only existing files are returned; an empty
+/// vector means nothing has ever been persisted (or everything was deleted).
+///
+/// Callers validate candidates in order and keep the first one that parses —
+/// that is what turns the `.prev` rotation into torn-write recovery.
+pub fn read_candidates(path: &Path) -> Vec<(PathBuf, Vec<u8>)> {
+    let mut out = Vec::new();
+    for candidate in [path.to_path_buf(), prev_path(path)] {
+        if let Ok(bytes) = fs::read(&candidate) {
+            out.push((candidate, bytes));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("juno_atomic_file_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join("snap.bin");
+        write_atomic(&path, b"generation-1").unwrap();
+        let got = read_candidates(&path);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, b"generation-1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewrite_rotates_the_previous_generation() {
+        let dir = scratch_dir("rotate");
+        let path = dir.join("snap.bin");
+        write_atomic(&path, b"old").unwrap();
+        write_atomic(&path, b"new").unwrap();
+        let got = read_candidates(&path);
+        assert_eq!(got.len(), 2, "live + prev");
+        assert_eq!(got[0].1, b"new", "newest first");
+        assert_eq!(got[1].1, b"old", "previous generation preserved");
+        assert!(!tmp_path(&path).exists(), "temp file consumed by rename");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_live_file_falls_back_to_prev() {
+        // Simulates a crash between the rotate and publish renames.
+        let dir = scratch_dir("fallback");
+        let path = dir.join("snap.bin");
+        write_atomic(&path, b"old").unwrap();
+        write_atomic(&path, b"new").unwrap();
+        fs::remove_file(&path).unwrap();
+        let got = read_candidates(&path);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, b"old");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nothing_persisted_yields_no_candidates() {
+        let dir = scratch_dir("empty");
+        assert!(read_candidates(&dir.join("never-written.bin")).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_overwritten_not_served() {
+        let dir = scratch_dir("staletmp");
+        let path = dir.join("snap.bin");
+        // A torn write died after creating the temp file…
+        fs::write(tmp_path(&path), b"torn half-writ").unwrap();
+        // …the live file is untouched, and the next write succeeds.
+        write_atomic(&path, b"good").unwrap();
+        let got = read_candidates(&path);
+        assert_eq!(got[0].1, b"good");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

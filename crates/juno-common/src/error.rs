@@ -45,6 +45,14 @@ pub enum Error {
     /// A persisted artefact (snapshot, dataset file) is malformed: bad magic,
     /// unknown version, checksum mismatch or truncated section.
     Corrupted(String),
+    /// A parallel worker panicked. The panic was caught at the pool boundary
+    /// (the process survives and the pool stays usable); the payload message
+    /// is carried for diagnostics.
+    WorkerPanicked(String),
+    /// A component (shard, replica, remote peer) is temporarily or
+    /// persistently unable to serve the operation — it timed out, its circuit
+    /// breaker is open, or a fault was injected by a chaos plan.
+    Unavailable(String),
 }
 
 impl fmt::Display for Error {
@@ -63,6 +71,8 @@ impl fmt::Display for Error {
             Error::Numeric(msg) => write!(f, "numeric error: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             Error::Corrupted(msg) => write!(f, "corrupted data: {msg}"),
+            Error::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }
@@ -105,6 +115,26 @@ impl Error {
     pub fn corrupted(msg: impl fmt::Display) -> Self {
         Error::Corrupted(msg.to_string())
     }
+
+    /// Builds an [`Error::WorkerPanicked`] from anything displayable.
+    pub fn worker_panicked(msg: impl fmt::Display) -> Self {
+        Error::WorkerPanicked(msg.to_string())
+    }
+
+    /// Builds an [`Error::Unavailable`] from anything displayable.
+    pub fn unavailable(msg: impl fmt::Display) -> Self {
+        Error::Unavailable(msg.to_string())
+    }
+
+    /// Returns `true` for failures that a bounded retry may clear: the
+    /// component was unavailable (timeout, injected fault, open breaker
+    /// probe) or a worker panicked while computing — as opposed to
+    /// deterministic request errors (dimension mismatch, invalid config,
+    /// unsupported operation, corrupted bytes), which fail identically on
+    /// every attempt and must not burn retry budget.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Unavailable(_) | Error::Io(_))
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +164,12 @@ mod tests {
         assert!(Error::corrupted("bad checksum")
             .to_string()
             .contains("bad checksum"));
+        assert!(Error::worker_panicked("index out of bounds")
+            .to_string()
+            .contains("worker panicked"));
+        assert!(Error::unavailable("shard 2 timed out")
+            .to_string()
+            .contains("unavailable"));
         let oob = Error::IndexOutOfBounds {
             what: "cluster".into(),
             index: 7,
@@ -148,6 +184,20 @@ mod tests {
         let err: Error = io.into();
         assert!(matches!(err, Error::Io(_)));
         assert!(err.to_string().contains("missing file"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(Error::unavailable("shard stalled").is_retryable());
+        assert!(Error::Io("disk hiccup".into()).is_retryable());
+        assert!(!Error::worker_panicked("boom").is_retryable());
+        assert!(!Error::invalid_config("k = 0").is_retryable());
+        assert!(!Error::corrupted("bad magic").is_retryable());
+        assert!(!Error::DimensionMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .is_retryable());
     }
 
     #[test]

@@ -211,7 +211,7 @@ pub trait AnnIndex: Send + Sync {
     ) -> Result<Vec<SearchResult>> {
         crate::parallel::map(queries.len(), num_threads, |i| {
             self.search(queries.row(i), k)
-        })
+        })?
         .into_iter()
         .collect()
     }
@@ -300,6 +300,58 @@ pub trait AnnIndex: Send + Sync {
             "{} does not support snapshot persistence",
             self.name()
         )))
+    }
+
+    /// Persists the index snapshot at `path` under the crash-safe protocol
+    /// of [`crate::atomic_file`]: write-temp + fsync + atomic rename, with
+    /// the previous on-disk generation rotated to `<path>.prev`. A crash at
+    /// any point leaves a loadable snapshot for
+    /// [`AnnIndex::load_from_path`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] for engines without persistence and
+    /// [`Error::Io`] when the filesystem fails.
+    fn save_to_path(&self, path: &std::path::Path) -> Result<()> {
+        let bytes = self.snapshot()?;
+        crate::atomic_file::write_atomic(path, &bytes)
+    }
+
+    /// Restores this index from the snapshot at `path`, with torn-write
+    /// recovery: when the newest file is truncated or corrupted (it fails
+    /// the snapshot layer's checksum / structure validation in
+    /// [`AnnIndex::restore`]), the rotated previous generation at
+    /// `<path>.prev` is tried next — so a crash mid-save, or damage to the
+    /// newest file, silently falls back to the last good snapshot instead
+    /// of failing the restart. Never panics on malformed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when no candidate file exists, and the last
+    /// candidate's validation error when every on-disk generation is
+    /// rejected. On error the index is unchanged (engine restores are
+    /// all-or-nothing by contract).
+    fn load_from_path(&mut self, path: &std::path::Path) -> Result<()> {
+        let candidates = crate::atomic_file::read_candidates(path);
+        if candidates.is_empty() {
+            return Err(Error::Io(format!(
+                "no snapshot found at {} (nor a .prev generation)",
+                path.display()
+            )));
+        }
+        let mut last_err = None;
+        for (candidate, bytes) in candidates {
+            match self.restore(&bytes) {
+                Ok(()) => return Ok(()),
+                // An engine without persistence fails every candidate the
+                // same way; report that directly, not as file corruption.
+                Err(err @ Error::Unsupported(_)) => return Err(err),
+                Err(err) => {
+                    last_err = Some(Error::corrupted(format!("{}: {err}", candidate.display())));
+                }
+            }
+        }
+        Err(last_err.expect("at least one candidate was tried"))
     }
 
     /// The direction in which this index's raw [`Neighbor::distance`] values

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod atomic_file;
 pub mod error;
 pub mod group;
 pub mod index;
@@ -51,6 +52,7 @@ pub mod metric;
 pub mod parallel;
 pub mod recall;
 pub mod rng;
+pub mod testing;
 pub mod topk;
 pub mod vector;
 

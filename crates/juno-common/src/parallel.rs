@@ -10,7 +10,19 @@
 //! work a slow worker never reached. Results are returned in index order
 //! regardless of which worker computed them, which keeps parallel output
 //! deterministic and bit-identical to a sequential run of the same closure.
+//!
+//! # Panic isolation
+//!
+//! Workers run under [`std::panic::catch_unwind`]: a panicking closure does
+//! **not** poison the pool or unwind into the caller — [`map`] / [`map_with`]
+//! return [`Error::WorkerPanicked`] carrying the panic payload's message, the
+//! remaining workers drain the cursor and join normally, and the process
+//! survives. This is the foundation the fault-tolerant serving layer builds
+//! on: an injected (or real) panic in one shard's scan surfaces as an error
+//! the scatter-gather can degrade around instead of aborting the batch.
 
+use crate::error::{Error, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The number of worker threads to use by default: the machine's available
@@ -35,6 +47,19 @@ fn auto_chunk(n: usize, threads: usize) -> usize {
     (n / (threads * 4).max(1)).clamp(1, 64)
 }
 
+/// Renders a caught panic payload as a human-readable message (`&str` and
+/// `String` payloads verbatim — the overwhelmingly common cases — anything
+/// else as an opaque marker).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Maps `f` over `0..n` on up to `num_threads` workers with per-thread state.
 ///
 /// `init` runs once per worker to create its state (e.g. a scratch buffer);
@@ -43,13 +68,20 @@ fn auto_chunk(n: usize, threads: usize) -> usize {
 ///
 /// Falls back to a plain sequential loop when `n` or the thread budget is
 /// too small to be worth spawning for.
+///
+/// # Errors
+///
+/// Returns [`Error::WorkerPanicked`] when `init` or `f` panicked on any
+/// worker (or on the caller in the sequential fallback). The panic is caught
+/// at the pool boundary — no worker thread unwinds into the caller, and the
+/// other workers finish their claimed chunks normally.
 pub fn map_with<S, T, FI, F>(
     n: usize,
     num_threads: usize,
     chunk_size: usize,
     init: FI,
     f: F,
-) -> Vec<T>
+) -> Result<Vec<T>>
 where
     T: Send,
     FI: Fn() -> S + Sync,
@@ -57,8 +89,11 @@ where
 {
     let threads = num_threads.max(1).min(n.max(1));
     if threads <= 1 || n <= 1 {
-        let mut state = init();
-        return (0..n).map(|i| f(&mut state, i)).collect();
+        return catch_unwind(AssertUnwindSafe(|| {
+            let mut state = init();
+            (0..n).map(|i| f(&mut state, i)).collect()
+        }))
+        .map_err(|payload| worker_panicked(&*payload));
     }
     let chunk = if chunk_size == 0 {
         auto_chunk(n, threads)
@@ -68,6 +103,7 @@ where
 
     let cursor = AtomicUsize::new(0);
     let mut buckets: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
+    let mut panic: Option<Error> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -75,25 +111,42 @@ where
             let init = &init;
             let f = &f;
             handles.push(scope.spawn(move || {
-                let mut state = init();
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
+                // The catch covers the worker's whole life (state init
+                // included). On a panic the worker's claimed-but-unfinished
+                // chunk is simply abandoned; the cursor has already moved
+                // past it, so no other worker re-runs those indices — the
+                // caller discards everything and reports the panic instead.
+                catch_unwind(AssertUnwindSafe(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for i in start..end {
+                            local.push((i, f(&mut state, i)));
+                        }
                     }
-                    let end = (start + chunk).min(n);
-                    for i in start..end {
-                        local.push((i, f(&mut state, i)));
-                    }
-                }
-                local
+                    local
+                }))
             }));
         }
         for h in handles {
-            buckets.push(h.join().expect("parallel map worker panicked"));
+            match h.join().expect("worker catch_unwind cannot itself panic") {
+                Ok(bucket) => buckets.push(bucket),
+                Err(payload) => {
+                    // Record the first panic; keep joining so the scope
+                    // exits cleanly and no thread is leaked mid-scan.
+                    panic.get_or_insert_with(|| worker_panicked(&*payload));
+                }
+            }
         }
     });
+    if let Some(err) = panic {
+        return Err(err);
+    }
 
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
@@ -102,13 +155,22 @@ where
             out[i] = Some(v);
         }
     }
-    out.into_iter()
+    Ok(out
+        .into_iter()
         .map(|v| v.expect("every index is claimed exactly once"))
-        .collect()
+        .collect())
+}
+
+fn worker_panicked(payload: &(dyn std::any::Any + Send)) -> Error {
+    Error::worker_panicked(format!("parallel map worker: {}", panic_message(payload)))
 }
 
 /// Stateless variant of [`map_with`].
-pub fn map<T, F>(n: usize, num_threads: usize, f: F) -> Vec<T>
+///
+/// # Errors
+///
+/// Returns [`Error::WorkerPanicked`] when `f` panicked on any worker.
+pub fn map<T, F>(n: usize, num_threads: usize, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -124,7 +186,7 @@ mod tests {
     #[test]
     fn output_is_in_index_order() {
         for threads in [1, 2, 4, 7] {
-            let out = map(1000, threads, |i| i * 3);
+            let out = map(1000, threads, |i| i * 3).unwrap();
             assert_eq!(out.len(), 1000);
             for (i, v) in out.iter().enumerate() {
                 assert_eq!(*v, i * 3, "threads = {threads}");
@@ -138,7 +200,8 @@ mod tests {
         let out = map(257, 4, |i| {
             counter.fetch_add(1, Ordering::Relaxed);
             i
-        });
+        })
+        .unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 257);
         assert_eq!(out.len(), 257);
     }
@@ -156,15 +219,16 @@ mod tests {
                 *count += 1;
                 *count
             },
-        );
+        )
+        .unwrap();
         // Per-item results are each worker's running count: all ≥ 1 and ≤ n.
         assert!(totals.iter().all(|&c| (1..=500).contains(&c)));
     }
 
     #[test]
     fn empty_and_tiny_inputs() {
-        assert_eq!(map(0, 8, |i| i), Vec::<usize>::new());
-        assert_eq!(map(1, 8, |i| i + 1), vec![1]);
+        assert_eq!(map(0, 8, |i| i).unwrap(), Vec::<usize>::new());
+        assert_eq!(map(1, 8, |i| i + 1).unwrap(), vec![1]);
     }
 
     #[test]
@@ -175,8 +239,85 @@ mod tests {
     #[test]
     fn explicit_chunk_sizes_work() {
         for chunk in [1usize, 3, 64, 1000] {
-            let out = map_with(100, 3, chunk, || (), |(), i| i);
+            let out = map_with(100, 3, chunk, || (), |(), i| i).unwrap();
             assert_eq!(out, (0..100).collect::<Vec<_>>(), "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_caught_and_reported() {
+        crate::testing::silence_panics();
+        for threads in [1usize, 2, 4] {
+            let result = map(100, threads, |i| {
+                if i == 57 {
+                    panic!("[injected-fault] injected panic at {i}");
+                }
+                i
+            });
+            match result {
+                Err(Error::WorkerPanicked(msg)) => {
+                    assert!(
+                        msg.contains("injected panic at 57"),
+                        "threads {threads}: {msg}"
+                    );
+                }
+                other => panic!("threads {threads}: expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panic_in_one_worker_does_not_stop_the_others() {
+        crate::testing::silence_panics();
+        // Every index except the panicking one must still run: the surviving
+        // workers drain the cursor to completion even after a peer died.
+        let ran = AtomicUsize::new(0);
+        let result = map_with(
+            400,
+            4,
+            1,
+            || (),
+            |(), i| {
+                if i == 3 {
+                    panic!("[injected-fault] die early");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
+        assert!(matches!(result, Err(Error::WorkerPanicked(_))));
+        assert!(
+            ran.load(Ordering::Relaxed) >= 396,
+            "surviving workers abandoned the range: only {} of 399 ran",
+            ran.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn panic_in_init_is_caught() {
+        crate::testing::silence_panics();
+        let result: Result<Vec<usize>> = map_with(
+            64,
+            4,
+            0,
+            || -> usize { panic!("[injected-fault] state allocation failed") },
+            |_, i| i,
+        );
+        assert!(matches!(result, Err(Error::WorkerPanicked(_))));
+    }
+
+    #[test]
+    fn non_string_panic_payloads_are_survivable() {
+        crate::testing::silence_panics();
+        let result = map(16, 2, |i| {
+            if i == 0 {
+                std::panic::panic_any(42u32);
+            }
+            i
+        });
+        match result {
+            Err(Error::WorkerPanicked(msg)) => assert!(msg.contains("non-string")),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
         }
     }
 }

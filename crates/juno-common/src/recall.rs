@@ -55,6 +55,10 @@ impl GroundTruth {
             return Ok(Self { truth });
         }
         let chunk = queries.len().div_ceil(n_threads);
+        // Same panic-isolation contract as `parallel::map_with`: a worker
+        // panic is caught at the scope boundary and surfaced as
+        // `Error::WorkerPanicked` instead of unwinding through the caller.
+        let mut panicked: Option<Error> = None;
         std::thread::scope(|scope| {
             let mut slots: &mut [Vec<u64>] = &mut truth;
             let mut start = 0usize;
@@ -65,21 +69,33 @@ impl GroundTruth {
                 slots = rest;
                 let qstart = start;
                 handles.push(scope.spawn(move || {
-                    for (i, slot) in head.iter_mut().enumerate() {
-                        let q = queries.row(qstart + i);
-                        let mut topk = TopK::new(k, metric);
-                        for (id, row) in points.iter().enumerate() {
-                            topk.push(id as u64, metric.distance(q, row));
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        for (i, slot) in head.iter_mut().enumerate() {
+                            let q = queries.row(qstart + i);
+                            let mut topk = TopK::new(k, metric);
+                            for (id, row) in points.iter().enumerate() {
+                                topk.push(id as u64, metric.distance(q, row));
+                            }
+                            *slot = topk.into_sorted_vec().into_iter().map(|n| n.id).collect();
                         }
-                        *slot = topk.into_sorted_vec().into_iter().map(|n| n.id).collect();
-                    }
+                    }))
                 }));
                 start += take;
             }
             for h in handles {
-                h.join().expect("ground-truth worker panicked");
+                if let Err(payload) = h.join().expect("catch_unwind cannot itself panic") {
+                    panicked.get_or_insert_with(|| {
+                        Error::worker_panicked(format!(
+                            "ground-truth worker: {}",
+                            crate::parallel::panic_message(&*payload)
+                        ))
+                    });
+                }
             }
         });
+        if let Some(err) = panicked {
+            return Err(err);
+        }
         Ok(Self { truth })
     }
 

@@ -1,0 +1,54 @@
+//! Test-support utilities shared by the chaos / fault-injection suites.
+//!
+//! Fault plans deliberately panic workers to prove the serving layer
+//! isolates them. Those panics are *expected*, but the default panic hook
+//! prints a backtrace banner for every one, drowning real failures in noise.
+//! [`silence_panics`] installs (once, process-wide) a filtering hook that
+//! swallows panics whose message carries [`INJECTED_PANIC_MARKER`] and
+//! forwards everything else — a genuine assertion failure still prints.
+
+use std::sync::Once;
+
+/// Marker substring identifying deliberately injected panics. Panics whose
+/// message contains it are suppressed by the [`silence_panics`] hook; the
+/// fault-injection plane embeds it in every panic it raises.
+pub const INJECTED_PANIC_MARKER: &str = "[injected-fault]";
+
+static INSTALL: Once = Once::new();
+
+/// Installs a process-wide panic hook that suppresses the print-out of
+/// panics marked with [`INJECTED_PANIC_MARKER`] and delegates all other
+/// panics to the previously installed hook. Idempotent and thread-safe;
+/// call it at the top of any test that injects panics on purpose.
+pub fn silence_panics() {
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned());
+            if let Some(msg) = &msg {
+                if msg.contains(INJECTED_PANIC_MARKER) {
+                    return;
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marked_panics_are_still_catchable() {
+        silence_panics();
+        let caught = std::panic::catch_unwind(|| {
+            panic!("{INJECTED_PANIC_MARKER} drill, not a real failure");
+        });
+        assert!(caught.is_err(), "the hook must not swallow the unwind");
+    }
+}

@@ -1524,7 +1524,7 @@ impl JunoIndex {
         }
         let plans: Vec<QueryPlan> = parallel::map(nq, num_threads, |i| {
             self.build_selective_lut(queries.row(i))
-        })
+        })?
         .into_iter()
         .collect::<Result<Vec<_>>>()?;
         let metric = self.config.metric;
@@ -1554,7 +1554,7 @@ impl JunoIndex {
                     let probes = &plan.0[..plan.0.len().min(1)];
                     self.search_high(queries.row(qi), k, probes, &plan.1, &plan.3, scratch)
                 },
-            )
+            )?
             .into_iter()
             .collect::<Result<Vec<_>>>()?;
             seeds.reserve(nq);
@@ -1584,7 +1584,7 @@ impl JunoIndex {
             |scratch, ci| {
                 self.scan_group_chunk(queries, k, &plans, &sched, ci, &seed_bounds, scratch)
             },
-        );
+        )?;
 
         let mut per_query: Vec<Vec<QueryPartial>> = (0..nq).map(|_| Vec::new()).collect();
         for list in partial_lists {
@@ -1653,7 +1653,7 @@ impl JunoIndex {
             0,
             || self.make_scratch(),
             |scratch, i| self.search_with_scratch(queries.row(i), k, scratch),
-        )
+        )?
         .into_iter()
         .collect()
     }

@@ -333,7 +333,7 @@ impl ProductQuantizer {
                 }
             }
             out
-        });
+        })?;
         let mut codes = Vec::with_capacity(n * m);
         for block in per_chunk {
             codes.extend_from_slice(&block);

@@ -1,0 +1,363 @@
+//! Shard health tracking: per-shard circuit breakers and bounded retry.
+//!
+//! The degraded read path ([`crate::FleetReader::search_deadline`]) treats a
+//! slow or failing shard as *absent*, not fatal — but re-discovering the same
+//! dead shard on every query would spend the whole deadline budget timing it
+//! out again. A [`CircuitBreaker`] per shard remembers recent outcomes:
+//!
+//! ```text
+//!            consecutive failures ≥ threshold
+//!   Closed ──────────────────────────────────▶ Open
+//!     ▲                                         │ backoff elapses
+//!     │ probe succeeds                          ▼
+//!     └───────────────────────────────────── HalfOpen
+//!                 probe fails: reopen with a longer (jittered) backoff
+//! ```
+//!
+//! * **Closed** — requests flow; consecutive failures are counted and any
+//!   success resets the count.
+//! * **Open** — requests are skipped outright (status `SkippedOpen`) until
+//!   the backoff deadline passes. The backoff is *decorrelated jitter*
+//!   (`sleep = uniform(base, prev_sleep * 3)`, capped), which spreads probe
+//!   storms across shards while still backing off exponentially in
+//!   expectation; the jitter RNG is seeded per shard so runs replay.
+//! * **HalfOpen** — exactly one probe request is let through; success closes
+//!   the breaker, failure re-opens it with the next backoff.
+//!
+//! Transient errors (`Error::is_retryable`) additionally get a bounded
+//! in-request retry loop ([`RetryPolicy`]) before they count as a failure —
+//! a shard that hiccups once should not surface in `DegradedResult` at all.
+
+use juno_common::rng::{derive_seed, seeded, Rng, StdRng};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Smallest open-state backoff (and the floor of every jitter draw).
+    pub base_backoff: Duration,
+    /// Largest open-state backoff the jitter can reach.
+    pub max_backoff: Duration,
+    /// Seed for the decorrelated-jitter RNG (derived per shard), so chaos
+    /// tests replay bit-identically.
+    pub seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+            seed: 0x6A75_6E6F_6272_6B72, // "junobrkr"
+        }
+    }
+}
+
+/// Observable state of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are skipped until the backoff deadline.
+    Open,
+    /// Probing: one request is in flight to test recovery.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// When the open state expires (meaningful while `Open`).
+    open_until: Instant,
+    /// The most recent backoff, feeding the next decorrelated-jitter draw.
+    backoff: Duration,
+    rng: StdRng,
+}
+
+/// A per-shard circuit breaker. See the [module docs](self) for the state
+/// machine. All methods take `&self`; the breaker is internally locked and
+/// shared freely between readers.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker for shard `shard` (the shard id only seeds the
+    /// jitter RNG stream).
+    pub fn new(config: BreakerConfig, shard: usize) -> Self {
+        Self {
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                open_until: Instant::now(),
+                backoff: config.base_backoff,
+                rng: seeded(derive_seed(config.seed, shard as u64)),
+            }),
+            config,
+        }
+    }
+
+    /// Whether a request may proceed right now. An expired open state
+    /// transitions to half-open and admits exactly one probe; callers that
+    /// get `false` should report the shard as `SkippedOpen` without touching
+    /// it.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false, // a probe is already in flight
+            BreakerState::Open => {
+                if Instant::now() >= inner.open_until {
+                    inner.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful request: closes the breaker and resets the
+    /// failure count and backoff.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.backoff = self.config.base_backoff;
+    }
+
+    /// Records a failed (or timed-out) request. While closed, trips the
+    /// breaker once the consecutive-failure threshold is reached; a failed
+    /// half-open probe re-opens immediately with the next jittered backoff.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let trip = match inner.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => inner.consecutive_failures >= self.config.failure_threshold,
+            BreakerState::Open => false, // late failure from before the trip
+        };
+        if trip {
+            // Decorrelated jitter: sleep = uniform(base, prev * 3), capped.
+            let base = self.config.base_backoff.as_secs_f64();
+            let hi = (inner.backoff.as_secs_f64() * 3.0).max(base * (1.0 + 1e-9));
+            let drawn = inner.rng.gen_range(base..hi);
+            inner.backoff = Duration::from_secs_f64(drawn).min(self.config.max_backoff);
+            inner.open_until = Instant::now() + inner.backoff;
+            inner.state = BreakerState::Open;
+        }
+    }
+
+    /// The breaker's current state (transitions lazily: an expired `Open`
+    /// still reads `Open` until the next [`CircuitBreaker::allow`]).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker lock").state
+    }
+
+    /// The current open-state backoff (the most recent jitter draw).
+    pub fn current_backoff(&self) -> Duration {
+        self.inner.lock().expect("breaker lock").backoff
+    }
+}
+
+/// Bounded retry-with-backoff for transient shard errors, applied inside a
+/// single degraded-path request before the failure is reported to the
+/// breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retry).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles each retry.
+    pub base_backoff: Duration,
+    /// Cap on the per-retry sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (1-based): exponential
+    /// doubling from the base, capped.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// Per-shard health state shared between a fleet and its pinned readers.
+#[derive(Debug)]
+pub struct HealthTracker {
+    breakers: Vec<CircuitBreaker>,
+    retry: RetryPolicy,
+}
+
+impl HealthTracker {
+    /// Fresh (all-closed) health state for `num_shards` shards.
+    pub fn new(num_shards: usize, breaker: BreakerConfig, retry: RetryPolicy) -> Self {
+        Self {
+            breakers: (0..num_shards)
+                .map(|s| CircuitBreaker::new(breaker, s))
+                .collect(),
+            retry,
+        }
+    }
+
+    /// The breaker guarding shard `shard`.
+    pub fn breaker(&self, shard: usize) -> &CircuitBreaker {
+        &self.breakers[shard]
+    }
+
+    /// Number of shards tracked.
+    pub fn num_shards(&self) -> usize {
+        self.breakers.len()
+    }
+
+    /// The in-request retry policy for transient errors.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Snapshot of every shard's breaker state, indexed by shard.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.breakers.iter().map(|b| b.state()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(fast_config(), 0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(), "open breaker skips requests");
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = CircuitBreaker::new(fast_config(), 0);
+        for _ in 0..10 {
+            b.record_failure();
+            b.record_failure();
+            b.record_success(); // never three in a row
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_and_reopens_on_failure() {
+        let b = CircuitBreaker::new(fast_config(), 0);
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Wait out the (jittered, ≤ 50ms) backoff.
+        std::thread::sleep(b.current_backoff() + Duration::from_millis(1));
+        assert!(b.allow(), "expired open state admits a probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "only one probe at a time");
+        // Probe fails → straight back to open.
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(b.current_backoff() + Duration::from_millis(1));
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn backoff_is_jittered_within_bounds_and_replayable() {
+        let trip = |seed: u64| -> Vec<Duration> {
+            let b = CircuitBreaker::new(
+                BreakerConfig {
+                    seed,
+                    ..fast_config()
+                },
+                3,
+            );
+            let mut out = Vec::new();
+            for _ in 0..6 {
+                for _ in 0..3 {
+                    b.record_failure();
+                }
+                out.push(b.current_backoff());
+                // Re-arm without waiting: success closes the breaker.
+                b.record_success();
+            }
+            out
+        };
+        let cfg = fast_config();
+        let a = trip(7);
+        assert_eq!(a, trip(7), "same seed, same jitter sequence");
+        for d in &a {
+            assert!(*d >= cfg.base_backoff, "below base: {d:?}");
+            assert!(*d <= cfg.max_backoff, "above cap: {d:?}");
+        }
+    }
+
+    #[test]
+    fn retry_backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(6),
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_millis(1));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(4), Duration::from_millis(6), "capped");
+        assert_eq!(p.backoff_for(40), Duration::from_millis(6), "shift clamped");
+    }
+
+    #[test]
+    fn tracker_exposes_per_shard_breakers() {
+        let t = HealthTracker::new(3, fast_config(), RetryPolicy::default());
+        assert_eq!(t.num_shards(), 3);
+        for _ in 0..3 {
+            t.breaker(1).record_failure();
+        }
+        assert_eq!(
+            t.breaker_states(),
+            vec![
+                BreakerState::Closed,
+                BreakerState::Open,
+                BreakerState::Closed
+            ]
+        );
+        assert_eq!(t.retry().max_retries, RetryPolicy::default().max_retries);
+    }
+}

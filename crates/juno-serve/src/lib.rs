@@ -14,21 +14,37 @@
 //!   in global-id mode the merged ids and distance bits are identical to
 //!   the monolithic index (the `tests/shard_parity.rs` contract).
 //! * [`BackgroundCompactor`] — periodic per-shard compaction off the read
-//!   path.
+//!   path, surviving (counting, logging, backing off from) sweep failures.
 //! * `SHRD` snapshots ([`KIND_SHARD`]) — whole-fleet persistence framing
 //!   each shard engine's own snapshot, with legacy unsharded snapshots
-//!   restoring into a single-shard fleet.
+//!   restoring into a single-shard fleet; `save_to_path` /
+//!   [`ShardedIndex::from_snapshot_path`] add the crash-safe on-disk
+//!   protocol (write-temp + fsync + atomic rename, with a rotated `.prev`
+//!   generation for torn-write recovery).
+//! * **Fault tolerance** — [`FleetReader::search_deadline`] degrades around
+//!   stalled, failing, or panicking shards inside a latency budget
+//!   ([`DegradedResult`]), guided by per-shard circuit breakers
+//!   ([`health`]); [`fault::FaultPlan`] injects deterministic, replayable
+//!   faults at every search / insert / publish / compact / restore point for
+//!   chaos testing.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
+pub mod health;
 pub mod persist;
 pub mod router;
 pub mod shard;
 
+pub use fault::{FaultKind, FaultOp, FaultPlan, FaultRule};
+pub use health::{BreakerConfig, BreakerState, CircuitBreaker, HealthTracker, RetryPolicy};
 pub use persist::KIND_SHARD;
 pub use router::{ShardRouter, MAX_SHARDS};
-pub use shard::{BackgroundCompactor, FleetReader, ShardState, ShardedIndex};
+pub use shard::{
+    BackgroundCompactor, DegradedBatch, DegradedResult, FleetReader, ShardState, ShardStatus,
+    ShardedIndex,
+};
 
 #[cfg(test)]
 mod tests {
@@ -532,5 +548,569 @@ mod tests {
             fleet.merge_order(),
             juno_common::topk::ScoreOrder::Ascending
         );
+    }
+
+    // ---- fault tolerance -------------------------------------------------
+
+    use crate::fault::{FaultKind, FaultOp, FaultPlan, FaultRule};
+    use crate::health::{BreakerConfig, BreakerState, RetryPolicy};
+    use crate::shard::ShardStatus;
+    use std::time::Instant;
+
+    fn four_shard_fleet(n: usize) -> ShardedIndex<MiniIndex> {
+        ShardedIndex::from_monolith(
+            MiniIndex::new(grid_rows(n)),
+            4,
+            ShardRouter::Hash { seed: 5 },
+        )
+        .unwrap()
+    }
+
+    /// A rule firing forever on `(shard, op)` starting at op counter 0.
+    fn always(shard: usize, op: FaultOp, kind: FaultKind) -> FaultRule {
+        FaultRule {
+            shard,
+            op,
+            from_op: 0,
+            until_op: None,
+            kind,
+        }
+    }
+
+    /// A rule firing only for the first `n` hits of `(shard, op)`.
+    fn first_n(shard: usize, op: FaultOp, n: u64, kind: FaultKind) -> FaultRule {
+        FaultRule {
+            shard,
+            op,
+            from_op: 0,
+            until_op: Some(n),
+            kind,
+        }
+    }
+
+    #[test]
+    fn zero_fault_deadline_search_is_bit_identical_to_plain_search() {
+        let fleet = four_shard_fleet(130);
+        let reader = fleet.reader();
+        for q in [[0.0f32, 0.0], [4.5, 2.5], [16.0, 7.0]] {
+            let exact = reader.search(&q, 11).unwrap();
+            let degraded = reader
+                .search_deadline(&q, 11, Duration::from_secs(10))
+                .unwrap();
+            assert!(degraded.is_complete());
+            assert_eq!(degraded.coverage, 1.0);
+            assert!(degraded.shards.iter().all(ShardStatus::is_ok));
+            assert_bit_identical(&exact, &degraded.result, "zero-fault deadline");
+        }
+        // Batch variant against the plain batch path.
+        let queries =
+            VectorSet::from_rows(vec![vec![1.0, 1.0], vec![9.0, 4.0], vec![0.5, 6.0]]).unwrap();
+        let exact = reader.search_batch(&queries, 7).unwrap();
+        let degraded = reader
+            .search_batch_deadline(&queries, 7, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(degraded.coverage, 1.0);
+        for (e, d) in exact.iter().zip(&degraded.results) {
+            assert_bit_identical(e, d, "zero-fault deadline batch");
+        }
+    }
+
+    #[test]
+    fn stalled_shard_degrades_coverage_and_merges_healthy_shards_exactly() {
+        let fleet = four_shard_fleet(130);
+        let plan = Arc::new(FaultPlan::new(4).with_rule(always(
+            1,
+            FaultOp::Search,
+            FaultKind::Stall(Duration::from_secs(30)),
+        )));
+        fleet.set_fault_plan(Some(plan));
+        let reader = fleet.reader();
+        let budget = Duration::from_millis(300);
+        let q = [3.0f32, 2.0];
+
+        let started = Instant::now();
+        let degraded = reader.search_deadline(&q, 9, budget).unwrap();
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < budget * 2,
+            "degraded search took {elapsed:?} for a {budget:?} budget"
+        );
+        assert_eq!(degraded.coverage, 0.75, "3 of 4 shards answered");
+        for (s, status) in degraded.shards.iter().enumerate() {
+            if s == 1 {
+                assert_eq!(*status, ShardStatus::TimedOut, "stalled shard");
+            } else {
+                assert!(status.is_ok(), "healthy shard {s}: {status:?}");
+            }
+        }
+        // The merged result is bit-identical to querying the healthy shards
+        // alone and merging their lists.
+        let lists: Vec<Vec<juno_common::index::Neighbor>> = [0usize, 2, 3]
+            .iter()
+            .map(|&s| reader.shard(s).index().search(&q, 9).unwrap().neighbors)
+            .collect();
+        let expect =
+            juno_common::topk::merge_neighbors(&lists, 9, juno_common::topk::ScoreOrder::Ascending);
+        assert_eq!(degraded.result.neighbors.len(), expect.len());
+        for (got, want) in degraded.result.neighbors.iter().zip(&expect) {
+            assert_eq!(got.id, want.id, "healthy-shard merge ids");
+            assert_eq!(
+                got.distance.to_bits(),
+                want.distance.to_bits(),
+                "healthy-shard merge distance bits"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_search_errors_are_retried_to_full_coverage() {
+        let fleet = four_shard_fleet(80);
+        // Shard 2's first search attempt fails; the in-request retry's
+        // second attempt (op counter 1) passes.
+        let plan = Arc::new(FaultPlan::new(4).with_rule(first_n(
+            2,
+            FaultOp::Search,
+            1,
+            FaultKind::Transient,
+        )));
+        fleet.set_fault_plan(Some(plan.clone()));
+        let reader = fleet.reader();
+        let degraded = reader
+            .search_deadline(&[2.0, 2.0], 8, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(degraded.coverage, 1.0, "retry hid the transient fault");
+        assert!(degraded.is_complete());
+        assert!(
+            plan.op_count(2, FaultOp::Search) >= 2,
+            "the shard really was attempted twice"
+        );
+        assert_bit_identical(
+            &reader.search(&[2.0, 2.0], 8).unwrap(),
+            &degraded.result,
+            "post-retry result",
+        );
+    }
+
+    #[test]
+    fn panicking_search_worker_is_isolated_and_reported() {
+        juno_common::testing::silence_panics();
+        let fleet = four_shard_fleet(80);
+        let plan =
+            Arc::new(FaultPlan::new(4).with_rule(always(3, FaultOp::Search, FaultKind::Panic)));
+        fleet.set_fault_plan(Some(plan));
+        let reader = fleet.reader();
+        let degraded = reader
+            .search_deadline(&[1.0, 1.0], 6, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(degraded.coverage, 0.75);
+        match &degraded.shards[3] {
+            ShardStatus::Failed(Error::WorkerPanicked(msg)) => {
+                assert!(msg.contains("injected panic"), "panic message: {msg}")
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The process (and the fleet) survive: clearing the plan restores
+        // exact service.
+        fleet.set_fault_plan(None);
+        let clean = fleet.reader();
+        let after = clean
+            .search_deadline(&[1.0, 1.0], 6, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(after.coverage, 1.0);
+    }
+
+    #[test]
+    fn plain_search_surfaces_engine_panics_as_worker_panicked() {
+        juno_common::testing::silence_panics();
+        /// A MiniIndex whose searches always panic — exercises panic
+        /// isolation on the *plain* (non-deadline) scatter path, where the
+        /// panic unwinds inside a `parallel::map` worker mid-batch.
+        #[derive(Debug, Clone)]
+        struct PanicMini(MiniIndex);
+        impl AnnIndex for PanicMini {
+            fn metric(&self) -> Metric {
+                self.0.metric()
+            }
+            fn dim(&self) -> usize {
+                self.0.dim()
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn search(&self, _query: &[f32], _k: usize) -> Result<SearchResult> {
+                panic!("[injected-fault] engine panic mid-batch");
+            }
+            fn supports_mutation(&self) -> bool {
+                true
+            }
+            fn insert(&mut self, vector: &[f32]) -> Result<u64> {
+                self.0.insert(vector)
+            }
+            fn remove(&mut self, id: u64) -> Result<bool> {
+                self.0.remove(id)
+            }
+            fn ids(&self) -> Vec<u64> {
+                self.0.ids()
+            }
+        }
+        let fleet = ShardedIndex::from_monolith(
+            PanicMini(MiniIndex::new(grid_rows(40))),
+            2,
+            ShardRouter::Modulo,
+        )
+        .unwrap();
+        match fleet.search(&[1.0, 1.0], 4) {
+            Err(Error::WorkerPanicked(msg)) => {
+                assert!(msg.contains("engine panic mid-batch"), "{msg}")
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The fleet object is still usable for non-search operations: the
+        // panic never poisoned a lock.
+        assert_eq!(fleet.num_shards(), 2);
+        assert!(fleet.insert_shared(&[0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn persistent_failures_trip_the_breaker_and_recovery_closes_it() {
+        let mut fleet = four_shard_fleet(80);
+        fleet.configure_health(
+            BreakerConfig {
+                failure_threshold: 3,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(20),
+                seed: 11,
+            },
+            RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+        );
+        let plan =
+            Arc::new(FaultPlan::new(4).with_rule(always(2, FaultOp::Search, FaultKind::Fail)));
+        fleet.set_fault_plan(Some(plan.clone()));
+        let reader = fleet.reader();
+        let budget = Duration::from_secs(5);
+
+        // Three consecutive failures trip shard 2's breaker…
+        for i in 0..3 {
+            let d = reader.search_deadline(&[1.0, 1.0], 5, budget).unwrap();
+            assert!(
+                matches!(d.shards[2], ShardStatus::Failed(_)),
+                "attempt {i}: {:?}",
+                d.shards[2]
+            );
+        }
+        assert_eq!(fleet.breaker_states()[2], BreakerState::Open);
+        // …after which the shard is skipped without being touched.
+        let hits_before = plan.op_count(2, FaultOp::Search);
+        let d = reader.search_deadline(&[1.0, 1.0], 5, budget).unwrap();
+        assert_eq!(d.shards[2], ShardStatus::SkippedOpen);
+        assert_eq!(d.coverage, 0.75);
+        assert_eq!(
+            plan.op_count(2, FaultOp::Search),
+            hits_before,
+            "open breaker spends nothing on the dead shard"
+        );
+
+        // The fault clears; the half-open probe closes the breaker and
+        // coverage returns to 1.0.
+        plan.disarm();
+        let recovered = Instant::now() + Duration::from_secs(10);
+        loop {
+            let d = reader.search_deadline(&[1.0, 1.0], 5, budget).unwrap();
+            if d.coverage == 1.0 {
+                break;
+            }
+            assert!(Instant::now() < recovered, "breaker never closed");
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        assert_eq!(fleet.breaker_states()[2], BreakerState::Closed);
+    }
+
+    #[test]
+    fn mid_publish_failure_rolls_every_shard_back_to_its_pre_op_state() {
+        let fleet = four_shard_fleet(100);
+        // Advance past the fresh state so the pre-op epochs are non-trivial.
+        fleet.insert_shared(&[7.0, 7.0]).unwrap();
+        let epochs_before = fleet.shard_epochs();
+        let ids_before = fleet.ids();
+        let reference = fleet.search(&[3.0, 3.0], 9).unwrap();
+
+        // The publish of shard 2 fails once: shards 0 and 1 have already
+        // published the new epoch when the kill fires.
+        let plan =
+            Arc::new(FaultPlan::new(4).with_rule(first_n(2, FaultOp::Publish, 1, FaultKind::Fail)));
+        fleet.set_fault_plan(Some(plan));
+        let err = fleet.insert_batch_shared(
+            &VectorSet::from_rows(vec![vec![8.0, 8.0], vec![9.0, 9.0]]).unwrap(),
+        );
+        assert!(matches!(err, Err(Error::Unavailable(_))), "{err:?}");
+
+        // Every shard is back on its exact pre-op epoch and id set.
+        assert_eq!(fleet.shard_epochs(), epochs_before, "pre-op epochs");
+        assert_eq!(fleet.ids(), ids_before, "pre-op id set");
+        assert_bit_identical(
+            &fleet.search(&[3.0, 3.0], 9).unwrap(),
+            &reference,
+            "post-rollback search",
+        );
+
+        // The fault window has passed: the retried batch applies cleanly and
+        // epochs advance from the rolled-back baseline.
+        let ids = fleet
+            .insert_batch_shared(&VectorSet::from_rows(vec![vec![8.0, 8.0]]).unwrap())
+            .unwrap();
+        assert_eq!(ids.len(), 1);
+        for (before, after) in epochs_before.iter().zip(fleet.shard_epochs()) {
+            assert_eq!(after, before + 1, "retry publishes exactly one epoch");
+        }
+        assert!(fleet.ids().contains(&ids[0]));
+    }
+
+    #[test]
+    fn writer_panic_mid_publish_rolls_back_and_surfaces_worker_panicked() {
+        juno_common::testing::silence_panics();
+        let fleet = four_shard_fleet(60);
+        let epochs_before = fleet.shard_epochs();
+        let ids_before = fleet.ids();
+        let plan = Arc::new(FaultPlan::new(4).with_rule(first_n(
+            1,
+            FaultOp::Publish,
+            1,
+            FaultKind::Panic,
+        )));
+        fleet.set_fault_plan(Some(plan));
+        match fleet.insert_shared(&[5.0, 5.0]) {
+            Err(Error::WorkerPanicked(msg)) => assert!(msg.contains("injected panic"), "{msg}"),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert_eq!(fleet.shard_epochs(), epochs_before);
+        assert_eq!(fleet.ids(), ids_before);
+        // The writer lock is not poisoned: the next insert succeeds.
+        assert!(fleet.insert_shared(&[5.0, 5.0]).is_ok());
+    }
+
+    #[test]
+    fn staging_faults_and_remove_faults_leave_the_fleet_untouched() {
+        let fleet = four_shard_fleet(60);
+        let epochs_before = fleet.shard_epochs();
+        let ids_before = fleet.ids();
+        let plan =
+            Arc::new(FaultPlan::new(4).with_rule(first_n(3, FaultOp::Insert, 1, FaultKind::Fail)));
+        fleet.set_fault_plan(Some(plan));
+        // Staging shard 3 fails before anything is published.
+        assert!(fleet.insert_shared(&[4.0, 4.0]).is_err());
+        assert_eq!(fleet.shard_epochs(), epochs_before);
+        assert_eq!(fleet.ids(), ids_before);
+        // Remove path: fault the owner's publish once.
+        let id = 7u64;
+        let owner = fleet.router().route(id, 4);
+        let plan = Arc::new(FaultPlan::new(4).with_rule(first_n(
+            owner,
+            FaultOp::Publish,
+            1,
+            FaultKind::Fail,
+        )));
+        fleet.set_fault_plan(Some(plan));
+        assert!(fleet.remove_shared(id).is_err());
+        assert_eq!(fleet.shard_epochs(), epochs_before);
+        assert!(fleet.ids().contains(&id), "failed remove keeps the id live");
+        // Window passed: the retry removes it.
+        assert!(fleet.remove_shared(id).unwrap());
+        assert!(!fleet.ids().contains(&id));
+    }
+
+    #[test]
+    fn compaction_faults_keep_the_shard_dirty_and_surface() {
+        let fleet = four_shard_fleet(60);
+        fleet.compact_all_shared().unwrap(); // clear construction dirt
+        let epochs_clean = fleet.shard_epochs();
+        // Dirty shard 0's owner via a remove, then fail its next compaction.
+        let id = fleet.ids()[0];
+        let owner = fleet.router().route(id, 4);
+        fleet.remove_shared(id).unwrap();
+        let plan = Arc::new(FaultPlan::new(4).with_rule(first_n(
+            owner,
+            FaultOp::Compact,
+            1,
+            FaultKind::Fail,
+        )));
+        fleet.set_fault_plan(Some(plan));
+        assert!(matches!(
+            fleet.compact_all_shared(),
+            Err(Error::Unavailable(_))
+        ));
+        // The shard kept its post-remove state and stayed dirty, so the
+        // next sweep (past the fault window) compacts it.
+        fleet.compact_all_shared().unwrap();
+        let epochs = fleet.shard_epochs();
+        assert_eq!(
+            epochs[owner],
+            epochs_clean[owner] + 2,
+            "remove + one successful sweep"
+        );
+        fleet.compact_all_shared().unwrap();
+        assert_eq!(fleet.shard_epochs(), epochs, "clean fleet stays put");
+    }
+
+    #[test]
+    fn background_compactor_survives_faults_and_counts_errors() {
+        let fleet = Arc::new(four_shard_fleet(40));
+        // Every shard starts dirty; shard 0's first two sweeps fail.
+        let plan =
+            Arc::new(FaultPlan::new(4).with_rule(first_n(0, FaultOp::Compact, 2, FaultKind::Fail)));
+        fleet.set_fault_plan(Some(plan));
+        let compactor = BackgroundCompactor::spawn(fleet.clone(), Duration::from_millis(2));
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while (compactor.errors() < 2 || compactor.runs() < 1) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            compactor.errors() >= 2,
+            "compactor saw {} errors",
+            compactor.errors()
+        );
+        assert!(
+            compactor.runs() >= 1,
+            "compactor never recovered: {} runs",
+            compactor.runs()
+        );
+        drop(compactor);
+        // All shards eventually swept clean despite the faults.
+        assert_eq!(fleet.shard_epochs(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn restore_faults_leave_the_live_fleet_untouched() {
+        juno_common::testing::silence_panics();
+        let mut fleet = four_shard_fleet(50);
+        let bytes = fleet.to_snapshot_bytes().unwrap();
+        let epochs_before = fleet.shard_epochs();
+        let reference = fleet.search(&[2.0, 2.0], 6).unwrap();
+        for kind in [FaultKind::Fail, FaultKind::Panic] {
+            let plan = Arc::new(FaultPlan::new(4).with_rule(first_n(1, FaultOp::Restore, 1, kind)));
+            fleet.set_fault_plan(Some(plan));
+            assert!(fleet.restore_from_bytes(&bytes).is_err(), "{kind:?}");
+            assert_eq!(fleet.shard_epochs(), epochs_before, "{kind:?}");
+            assert_bit_identical(
+                &fleet.search(&[2.0, 2.0], 6).unwrap(),
+                &reference,
+                "post-restore-fault search",
+            );
+        }
+        // Past the windows the restore applies.
+        fleet.set_fault_plan(None);
+        fleet.restore_from_bytes(&bytes).unwrap();
+        assert_eq!(fleet.num_shards(), 4);
+    }
+
+    #[test]
+    fn snapshot_files_round_trip_and_recover_from_torn_writes() {
+        let dir = std::env::temp_dir().join(format!("juno_serve_snap_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.snap");
+
+        // Generation 1: the fresh fleet.
+        let fleet = four_shard_fleet(70);
+        fleet.save_to_path(&path).unwrap();
+        let gen1_ids = fleet.ids();
+        // Generation 2: after a mutation.
+        let id = fleet.insert_shared(&[6.5, 6.5]).unwrap();
+        fleet.save_to_path(&path).unwrap();
+
+        // Clean load restores generation 2.
+        let restored =
+            ShardedIndex::from_snapshot_path(MiniIndex::new(vec![vec![0.0, 0.0]]), &path).unwrap();
+        assert_eq!(restored.ids(), fleet.ids());
+        assert!(restored.ids().contains(&id));
+
+        // Corrupt the newest generation in place: load falls back to the
+        // rotated previous generation without panicking.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        bytes[mid + 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let recovered =
+            ShardedIndex::from_snapshot_path(MiniIndex::new(vec![vec![0.0, 0.0]]), &path).unwrap();
+        assert_eq!(recovered.ids(), gen1_ids, "fell back to generation 1");
+
+        // Truncate the newest generation: same recovery.
+        let full = std::fs::read(&path).unwrap();
+        for frac in [0, full.len() / 3, full.len() - 1] {
+            std::fs::write(&path, &full[..frac]).unwrap();
+            let recovered =
+                ShardedIndex::from_snapshot_path(MiniIndex::new(vec![vec![0.0, 0.0]]), &path)
+                    .unwrap();
+            assert_eq!(recovered.ids(), gen1_ids, "truncated to {frac} bytes");
+        }
+
+        // Both generations gone → a clean Io error, never a panic.
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(juno_common::atomic_file::prev_path(&path)).unwrap();
+        assert!(matches!(
+            ShardedIndex::from_snapshot_path(MiniIndex::new(vec![vec![0.0, 0.0]]), &path),
+            Err(Error::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_level_path_persistence_round_trips() {
+        let dir = std::env::temp_dir().join(format!("juno_mini_snap_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.snap");
+        let mini = MiniIndex::new(grid_rows(25));
+        mini.save_to_path(&path).unwrap();
+        let mut loaded = MiniIndex::new(vec![vec![0.0, 0.0]]);
+        loaded.load_from_path(&path).unwrap();
+        assert_eq!(loaded.ids(), mini.ids());
+        assert_bit_identical(
+            &loaded.search(&[1.5, 0.5], 5).unwrap(),
+            &mini.search(&[1.5, 0.5], 5).unwrap(),
+            "engine path round-trip",
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_plans_drive_the_fleet_without_hanging_or_poisoning() {
+        juno_common::testing::silence_panics();
+        // A fixed-seed smoke version of the full chaos suite: attach a
+        // generated plan, hammer reads and writes, assert the fleet always
+        // either serves or errors cleanly — and recovers once disarmed.
+        for seed in [1u64, 2, 3] {
+            let fleet = four_shard_fleet(60);
+            let plan = Arc::new(FaultPlan::chaos(seed, 4, Duration::from_millis(5)));
+            fleet.set_fault_plan(Some(plan.clone()));
+            for i in 0..12 {
+                let v = [i as f32, (i % 3) as f32];
+                let _ = fleet.insert_shared(&v); // may fault; must not wedge
+                let _ = fleet.compact_all_shared();
+                let reader = fleet.reader();
+                let d = reader
+                    .search_deadline(&[1.0, 1.0], 5, Duration::from_millis(100))
+                    .unwrap();
+                assert!((0.0..=1.0).contains(&d.coverage), "seed {seed}");
+            }
+            plan.disarm();
+            let recovered = Instant::now() + Duration::from_secs(10);
+            loop {
+                let d = fleet
+                    .reader()
+                    .search_deadline(&[1.0, 1.0], 5, Duration::from_secs(5))
+                    .unwrap();
+                if d.coverage == 1.0 {
+                    break;
+                }
+                assert!(Instant::now() < recovered, "seed {seed}: never recovered");
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            // Writers recovered too.
+            fleet.insert_shared(&[9.0, 9.0]).unwrap();
+        }
     }
 }

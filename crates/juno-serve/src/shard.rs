@@ -35,7 +35,28 @@
 //! Searches gather per-shard results with
 //! [`SearchStats::merge_scatter`] (work counters sum, wall-clock stage
 //! times take the max — the shard scans ran concurrently).
+//!
+//! # Failure model
+//!
+//! The exact paths above treat any shard error as fatal to the request. The
+//! **degraded read path** ([`FleetReader::search_deadline`] /
+//! [`FleetReader::search_batch_deadline`]) instead treats shards as
+//! independently failable: each shard scan runs on its own detached worker,
+//! transient errors are retried per [`crate::health::RetryPolicy`], shards
+//! whose [`crate::health::CircuitBreaker`] is open are skipped outright, and
+//! whatever has not answered by the deadline is abandoned. The caller gets a
+//! [`DegradedResult`]: the merged top-k over the responsive shards, a
+//! [`ShardStatus`] per shard, and the covered fraction. With every shard
+//! healthy the merged output is bit-identical to [`FleetReader::search`].
+//!
+//! Writer paths degrade differently — they roll back: a failure (or worker
+//! panic) anywhere in a multi-shard insert republishes every shard's pre-op
+//! state, so readers never observe a half-applied batch. All failure points
+//! are instrumented for deterministic chaos testing via
+//! [`crate::fault::FaultPlan`].
 
+use crate::fault::{FaultOp, FaultPlan};
+use crate::health::{BreakerConfig, BreakerState, HealthTracker, RetryPolicy};
 use crate::persist;
 use crate::router::{ShardRouter, MAX_SHARDS};
 use juno_common::error::{Error, Result};
@@ -43,9 +64,10 @@ use juno_common::index::{AnnIndex, SearchResult, SearchStats};
 use juno_common::parallel;
 use juno_common::topk::{merge_neighbors, ScoreOrder};
 use juno_common::vector::VectorSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// One published shard state: the index, the epoch that published it, and
 /// (mapped fleets only) the local→global id translation.
@@ -103,6 +125,119 @@ impl<I> Shard<I> {
 #[derive(Debug, Clone)]
 pub struct FleetReader<I: AnnIndex> {
     states: Vec<Arc<ShardState<I>>>,
+    /// Shared with the fleet (and every other reader): breaker decisions
+    /// made by one reader's degraded searches benefit the next.
+    health: Arc<HealthTracker>,
+    /// The fault plan pinned when the reader was created (chaos testing
+    /// only; `None` in production).
+    fault: Option<Arc<FaultPlan>>,
+}
+
+/// Per-shard outcome of a deadline-aware degraded search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardStatus {
+    /// The shard answered within the deadline; its candidates are merged.
+    Ok,
+    /// The shard did not answer before the deadline; its worker was
+    /// abandoned (it finishes in the background and is discarded).
+    TimedOut,
+    /// The shard's scan failed (after exhausting transient-error retries)
+    /// or its worker panicked; the error is preserved verbatim.
+    Failed(Error),
+    /// The shard's circuit breaker was open, so it was skipped without
+    /// being touched (and without spending deadline budget on it).
+    SkippedOpen,
+}
+
+impl ShardStatus {
+    /// `true` when the shard contributed candidates to the merged result.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ShardStatus::Ok)
+    }
+}
+
+/// The outcome of [`FleetReader::search_deadline`]: the merged top-k over
+/// every responsive shard plus an account of who responded.
+#[derive(Debug, Clone)]
+pub struct DegradedResult {
+    /// Merged top-k from the responsive shards (bit-identical to
+    /// [`FleetReader::search`] when `coverage == 1.0`).
+    pub result: SearchResult,
+    /// Outcome per shard, indexed by shard id.
+    pub shards: Vec<ShardStatus>,
+    /// Fraction of shards that contributed: `Ok` shards / total shards.
+    pub coverage: f64,
+}
+
+impl DegradedResult {
+    /// `true` when every shard contributed (the result is exact, not
+    /// degraded).
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(ShardStatus::is_ok)
+    }
+}
+
+/// The outcome of [`FleetReader::search_batch_deadline`]. The whole batch
+/// shares one scatter: each shard scans the full batch on its worker, so the
+/// per-shard statuses and coverage apply to every query in the batch.
+#[derive(Debug, Clone)]
+pub struct DegradedBatch {
+    /// Merged per-query top-k lists, indexed by query.
+    pub results: Vec<SearchResult>,
+    /// Outcome per shard, indexed by shard id.
+    pub shards: Vec<ShardStatus>,
+    /// Fraction of shards that contributed: `Ok` shards / total shards.
+    pub coverage: f64,
+}
+
+impl DegradedBatch {
+    /// `true` when every shard contributed.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(ShardStatus::is_ok)
+    }
+}
+
+/// One shard's scan on the degraded path: fault injection, panic isolation,
+/// and bounded retry for transient errors — everything that runs *on the
+/// worker thread*, so a stall or panic here never touches the caller.
+fn scan_shard_guarded<I: AnnIndex>(
+    state: &ShardState<I>,
+    s: usize,
+    queries: &VectorSet,
+    k: usize,
+    deadline: Instant,
+    fault: Option<&FaultPlan>,
+    retry: RetryPolicy,
+) -> Result<Vec<SearchResult>> {
+    let mut attempt = 0u32;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<SearchResult>> {
+            if let Some(plan) = fault {
+                plan.inject(s, FaultOp::Search)?;
+            }
+            // Inner thread budget 1: the scatter already gave this shard a
+            // dedicated worker, and engine results are thread-invariant.
+            state.index.search_batch_threads(queries, k, 1)
+        }));
+        let result = outcome.unwrap_or_else(|payload| {
+            Err(Error::worker_panicked(format!(
+                "shard {s} search worker: {}",
+                parallel::panic_message(&*payload)
+            )))
+        });
+        match result {
+            Ok(batch) => return Ok(batch),
+            Err(err) if err.is_retryable() && attempt < retry.max_retries => {
+                attempt += 1;
+                let sleep = retry.backoff_for(attempt);
+                if Instant::now() + sleep >= deadline {
+                    return Err(err); // no budget left to retry in
+                }
+                std::thread::sleep(sleep);
+            }
+            Err(err) => return Err(err),
+        }
+    }
 }
 
 impl<I: AnnIndex> FleetReader<I> {
@@ -143,27 +278,36 @@ impl<I: AnnIndex> FleetReader<I> {
         }
     }
 
-    /// Gathers per-shard results for one query into the global top-k.
-    fn gather(
+    /// Gathers per-shard results for one query into the global top-k. Each
+    /// entry carries its true shard index so a degraded gather (a subset of
+    /// shards) still translates mapped ids correctly; the merge itself is
+    /// order-independent (deterministic tie by id), so merging a subset is
+    /// bit-identical to a fleet that only contained those shards.
+    fn gather_indexed(
         &self,
-        mut per_shard: Vec<SearchResult>,
+        per_shard: Vec<(usize, SearchResult)>,
         k: usize,
         order: ScoreOrder,
     ) -> SearchResult {
         let mut stats = SearchStats::default();
         let mut simulated_us = 0.0f64;
         let mut lists = Vec::with_capacity(per_shard.len());
-        for (s, result) in per_shard.iter_mut().enumerate() {
-            self.globalise(s, result, order);
+        for (s, mut result) in per_shard {
+            self.globalise(s, &mut result, order);
             stats.merge_scatter(&result.stats);
             simulated_us = simulated_us.max(result.simulated_us);
-            lists.push(std::mem::take(&mut result.neighbors));
+            lists.push(result.neighbors);
         }
         SearchResult {
             neighbors: merge_neighbors(&lists, k, order),
             simulated_us,
             stats,
         }
+    }
+
+    /// Gathers a full (every-shard) scatter for one query.
+    fn gather(&self, per_shard: Vec<SearchResult>, k: usize, order: ScoreOrder) -> SearchResult {
+        self.gather_indexed(per_shard.into_iter().enumerate().collect(), k, order)
     }
 
     /// Scatter-gather search of one query: the shard scans fan out across
@@ -180,7 +324,7 @@ impl<I: AnnIndex> FleetReader<I> {
         let workers = self.states.len().min(parallel::default_threads());
         let per_shard = parallel::map(self.states.len(), workers, |s| {
             self.states[s].index.search(query, k)
-        })
+        })?
         .into_iter()
         .collect::<Result<Vec<_>>>()?;
         Ok(self.gather(per_shard, k, order))
@@ -213,7 +357,7 @@ impl<I: AnnIndex> FleetReader<I> {
         let inner = (num_threads / outer).max(1);
         let mut shard_batches = parallel::map(self.states.len(), outer, |s| {
             self.states[s].index.search_batch_threads(queries, k, inner)
-        })
+        })?
         .into_iter()
         .collect::<Result<Vec<_>>>()?;
         let mut out = Vec::with_capacity(queries.len());
@@ -235,6 +379,142 @@ impl<I: AnnIndex> FleetReader<I> {
     pub fn search_batch(&self, queries: &VectorSet, k: usize) -> Result<Vec<SearchResult>> {
         self.search_batch_threads(queries, k, parallel::default_threads())
     }
+
+    /// Snapshot of every pinned shard's circuit-breaker state (shared with
+    /// the fleet — breakers outlive any single reader).
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.health.breaker_states()
+    }
+}
+
+impl<I: AnnIndex + 'static> FleetReader<I> {
+    /// Deadline-aware degraded search of one query: scatter to every shard
+    /// whose breaker admits it, gather whatever answers within `budget`, and
+    /// merge that into a best-effort top-k. Never fails the whole query
+    /// because one shard stalled, errored, or panicked — the loss shows up
+    /// as `coverage < 1.0` and a non-`Ok` [`ShardStatus`] instead.
+    ///
+    /// With no faults, no open breakers, and the deadline met by every
+    /// shard, the merged result is **bit-identical** (ids and distance bits)
+    /// to [`FleetReader::search`].
+    ///
+    /// `I: 'static` because slow shards are *abandoned*, not cancelled: each
+    /// scan runs on a detached worker holding its own `Arc` of the pinned
+    /// shard state, so a straggler finishing after the deadline (even after
+    /// this reader is dropped) writes into a disconnected channel and frees
+    /// the state — never a use-after-free, never a blocked caller.
+    ///
+    /// # Errors
+    ///
+    /// Never fails per-shard; errors surface as [`ShardStatus::Failed`].
+    /// Only query construction itself (e.g. a ragged query) can error.
+    pub fn search_deadline(
+        &self,
+        query: &[f32],
+        k: usize,
+        budget: Duration,
+    ) -> Result<DegradedResult> {
+        let queries = VectorSet::from_rows(vec![query.to_vec()])?;
+        let mut batch = self.search_batch_deadline(&queries, k, budget)?;
+        let result = batch.results.pop().expect("one query in, one result out");
+        Ok(DegradedResult {
+            result,
+            shards: batch.shards,
+            coverage: batch.coverage,
+        })
+    }
+
+    /// Batch variant of [`FleetReader::search_deadline`]: one deadline and
+    /// one scatter for the whole batch (each responsive shard scans all
+    /// queries; the per-shard statuses apply batch-wide).
+    ///
+    /// # Errors
+    ///
+    /// Never fails per-shard; see [`FleetReader::search_deadline`].
+    pub fn search_batch_deadline(
+        &self,
+        queries: &VectorSet,
+        k: usize,
+        budget: Duration,
+    ) -> Result<DegradedBatch> {
+        let total = self.states.len();
+        let deadline = Instant::now() + budget;
+        let order = self.states[0].index.merge_order();
+        let (tx, rx) = mpsc::channel::<(usize, Result<Vec<SearchResult>>)>();
+        let mut statuses: Vec<ShardStatus> = Vec::with_capacity(total);
+        let mut outstanding = 0usize;
+        for s in 0..total {
+            if !self.health.breaker(s).allow() {
+                statuses.push(ShardStatus::SkippedOpen);
+                continue;
+            }
+            // Provisional: overwritten when (if) the worker reports in.
+            statuses.push(ShardStatus::TimedOut);
+            outstanding += 1;
+            let state = self.states[s].clone();
+            let queries = queries.clone();
+            let fault = self.fault.clone();
+            let retry = self.health.retry();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let out =
+                    scan_shard_guarded(&state, s, &queries, k, deadline, fault.as_deref(), retry);
+                // A send after the deadline hits a disconnected receiver;
+                // the straggler's work is simply discarded.
+                let _ = tx.send((s, out));
+            });
+        }
+        drop(tx);
+
+        let mut shard_batches: Vec<Option<Vec<SearchResult>>> = (0..total).map(|_| None).collect();
+        while outstanding > 0 {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(wait) {
+                Ok((s, Ok(batch))) => {
+                    self.health.breaker(s).record_success();
+                    shard_batches[s] = Some(batch);
+                    statuses[s] = ShardStatus::Ok;
+                    outstanding -= 1;
+                }
+                Ok((s, Err(err))) => {
+                    self.health.breaker(s).record_failure();
+                    statuses[s] = ShardStatus::Failed(err);
+                    outstanding -= 1;
+                }
+                // Deadline reached (or, with zero spawns, channel closed):
+                // whatever has not answered stays `TimedOut`.
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Stragglers (still provisional after the deadline) count against
+        // their breakers just like explicit failures.
+        for (s, status) in statuses.iter().enumerate() {
+            if matches!(status, ShardStatus::TimedOut) {
+                self.health.breaker(s).record_failure();
+            }
+        }
+
+        let ok = statuses.iter().filter(|s| s.is_ok()).count();
+        let coverage = ok as f64 / total.max(1) as f64;
+        let mut results = Vec::with_capacity(queries.len());
+        for qi in 0..queries.len() {
+            let per_shard: Vec<(usize, SearchResult)> = shard_batches
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(s, slot)| {
+                    slot.as_mut()
+                        .map(|batch| (s, std::mem::take(&mut batch[qi])))
+                })
+                .collect();
+            results.push(self.gather_indexed(per_shard, k, order));
+        }
+        Ok(DegradedBatch {
+            results,
+            shards: statuses,
+            coverage,
+        })
+    }
 }
 
 /// A sharded ANN index with snapshot-isolated concurrent reads and
@@ -247,9 +527,39 @@ pub struct ShardedIndex<I: AnnIndex> {
     /// Serialises writers (and fleet-consistent snapshots). Readers never
     /// take it.
     writer: Mutex<()>,
+    /// Per-shard circuit breakers + retry policy, shared with every reader.
+    health: Arc<HealthTracker>,
+    /// Breaker tuning, kept so a restore that changes the shard count can
+    /// rebuild the tracker with the same configuration.
+    breaker_config: BreakerConfig,
+    /// Retry tuning, kept for the same reason.
+    retry_policy: RetryPolicy,
+    /// Chaos-testing fault plan (`None` in production). Behind its own lock
+    /// so tests can attach/detach plans without a writer handle.
+    fault: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl<I: AnnIndex> ShardedIndex<I> {
+    /// Assembles a fleet around validated shards with default health tuning.
+    fn assemble(shards: Vec<Shard<I>>, router: ShardRouter) -> Self {
+        let breaker_config = BreakerConfig::default();
+        let retry_policy = RetryPolicy::default();
+        let health = Arc::new(HealthTracker::new(
+            shards.len(),
+            breaker_config,
+            retry_policy,
+        ));
+        Self {
+            shards,
+            router,
+            writer: Mutex::new(()),
+            health,
+            breaker_config,
+            retry_policy,
+            fault: RwLock::new(None),
+        }
+    }
+
     /// Number of shards in the fleet.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -258,6 +568,36 @@ impl<I: AnnIndex> ShardedIndex<I> {
     /// The id router partitioning ownership across shards.
     pub fn router(&self) -> ShardRouter {
         self.router
+    }
+
+    /// Attaches (or with `None`, detaches) a chaos-testing fault plan. New
+    /// readers pin the plan current at [`ShardedIndex::reader`] time; writer
+    /// paths consult the live plan per operation.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault.write().expect("fault plan lock poisoned") = plan;
+    }
+
+    /// The currently attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault.read().expect("fault plan lock poisoned").clone()
+    }
+
+    /// The shared health tracker (per-shard breakers + retry policy).
+    pub fn health(&self) -> Arc<HealthTracker> {
+        self.health.clone()
+    }
+
+    /// Snapshot of every shard's circuit-breaker state.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.health.breaker_states()
+    }
+
+    /// Replaces the health tuning with a fresh (all-closed) tracker.
+    /// Existing readers keep the tracker they pinned.
+    pub fn configure_health(&mut self, breaker: BreakerConfig, retry: RetryPolicy) {
+        self.breaker_config = breaker;
+        self.retry_policy = retry;
+        self.health = Arc::new(HealthTracker::new(self.shards.len(), breaker, retry));
     }
 
     fn load(&self, s: usize) -> Arc<ShardState<I>> {
@@ -269,10 +609,16 @@ impl<I: AnnIndex> ShardedIndex<I> {
     }
 
     fn publish(&self, s: usize, state: ShardState<I>) {
+        self.publish_arc(s, Arc::new(state));
+    }
+
+    /// Publishes an already-shared state — the rollback path, which must
+    /// restore the exact pre-op state (epoch included), not a bumped copy.
+    fn publish_arc(&self, s: usize, state: Arc<ShardState<I>>) {
         *self.shards[s]
             .slot
             .write()
-            .expect("shard slot lock poisoned") = Arc::new(state);
+            .expect("shard slot lock poisoned") = state;
     }
 
     /// Pins a point-in-time view of the fleet (O(S) pointer clones; never
@@ -283,6 +629,8 @@ impl<I: AnnIndex> ShardedIndex<I> {
     pub fn reader(&self) -> FleetReader<I> {
         FleetReader {
             states: (0..self.shards.len()).map(|s| self.load(s)).collect(),
+            health: self.health.clone(),
+            fault: self.fault_plan(),
         }
     }
 
@@ -348,11 +696,7 @@ impl<I: AnnIndex> ShardedIndex<I> {
                 )
             })
             .collect();
-        Ok(Self {
-            shards,
-            router,
-            writer: Mutex::new(()),
-        })
+        Ok(Self::assemble(shards, router))
     }
 
     /// Returns an error unless the fleet is in global-id mode (mutation is
@@ -421,11 +765,7 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
                 true,
             ));
         }
-        Ok(Self {
-            shards,
-            router,
-            writer: Mutex::new(()),
-        })
+        Ok(Self::assemble(shards, router))
     }
 
     /// Restores a fleet from snapshot bytes, using `prototype` as the engine
@@ -468,48 +808,80 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
     ///
     /// # Errors
     ///
-    /// Propagates engine errors (e.g. dimension mismatch) without publishing
-    /// anything; rejects mapped fleets with [`Error::Unsupported`].
+    /// Propagates engine errors (e.g. dimension mismatch) without leaving a
+    /// partial batch behind: any failure — including a failure or injected
+    /// kill *between per-shard publishes* — rolls every shard back to its
+    /// exact pre-op state (same epoch, same `Arc`). A panic anywhere in the
+    /// staging or publish loop is caught, rolled back the same way, and
+    /// surfaced as [`Error::WorkerPanicked`] (the writer lock is released
+    /// unpoisoned). Rejects mapped fleets with [`Error::Unsupported`].
     pub fn insert_batch_shared(&self, vectors: &VectorSet) -> Result<Vec<u64>> {
         let _writer = self.writer.lock().expect("fleet writer lock poisoned");
         self.ensure_global()?;
         if vectors.is_empty() {
             return Ok(Vec::new());
         }
+        let plan = self.fault_plan();
         let num_shards = self.num_shards();
-        let mut ids: Vec<u64> = Vec::with_capacity(vectors.len());
-        let mut staged: Vec<ShardState<I>> = Vec::with_capacity(num_shards);
-        for s in 0..num_shards {
-            let current = self.load(s);
-            let mut next = ShardState {
-                index: current.index.clone(),
-                epoch: current.epoch + 1,
-                id_map: None,
-            };
-            for (vi, vector) in vectors.iter().enumerate() {
-                let id = next.index.insert(vector)?;
-                if s == 0 {
-                    ids.push(id);
-                } else if ids[vi] != id {
-                    return Err(Error::invalid_config(format!(
-                        "shard {s} allocated id {id} where shard 0 allocated {}; \
-                         replicas have diverged",
-                        ids[vi]
-                    )));
+        // Pin every shard's pre-op state (under the writer lock nothing else
+        // can publish): this is the rollback target if anything below fails.
+        let pre_op: Vec<Arc<ShardState<I>>> = (0..num_shards).map(|s| self.load(s)).collect();
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<u64>> {
+            let mut ids: Vec<u64> = Vec::with_capacity(vectors.len());
+            let mut staged: Vec<ShardState<I>> = Vec::with_capacity(num_shards);
+            for (s, current) in pre_op.iter().enumerate() {
+                if let Some(plan) = &plan {
+                    plan.inject(s, FaultOp::Insert)?;
                 }
-                if self.router.route(id, num_shards) != s {
-                    next.index.remove(id)?;
+                let mut next = ShardState {
+                    index: current.index.clone(),
+                    epoch: current.epoch + 1,
+                    id_map: None,
+                };
+                for (vi, vector) in vectors.iter().enumerate() {
+                    let id = next.index.insert(vector)?;
+                    if s == 0 {
+                        ids.push(id);
+                    } else if ids[vi] != id {
+                        return Err(Error::invalid_config(format!(
+                            "shard {s} allocated id {id} where shard 0 allocated {}; \
+                             replicas have diverged",
+                            ids[vi]
+                        )));
+                    }
+                    if self.router.route(id, num_shards) != s {
+                        next.index.remove(id)?;
+                    }
                 }
+                staged.push(next);
             }
-            staged.push(next);
+            for (s, state) in staged.into_iter().enumerate() {
+                if let Some(plan) = &plan {
+                    // The mid-publish kill point: shards 0..s are already
+                    // live on the new epoch when this fires.
+                    plan.inject(s, FaultOp::Publish)?;
+                }
+                self.publish(s, state);
+                // Every replica gained a tail record (non-owners also a
+                // tombstone), so every shard now has something to compact.
+                self.shards[s].dirty.store(true, Ordering::Relaxed);
+            }
+            Ok(ids)
+        }));
+        let outcome = attempt.unwrap_or_else(|payload| {
+            Err(Error::worker_panicked(format!(
+                "fleet insert writer: {}",
+                parallel::panic_message(&*payload)
+            )))
+        });
+        if outcome.is_err() {
+            // Republish the pinned pre-op states: every shard returns to its
+            // exact pre-op epoch, erasing any partially published shards.
+            for (s, state) in pre_op.into_iter().enumerate() {
+                self.publish_arc(s, state);
+            }
         }
-        for (s, state) in staged.into_iter().enumerate() {
-            self.publish(s, state);
-            // Every replica gained a tail record (non-owners also a
-            // tombstone), so every shard now has something to compact.
-            self.shards[s].dirty.store(true, Ordering::Relaxed);
-        }
-        Ok(ids)
+        outcome
     }
 
     /// Removes the point with the given id from its owning shard
@@ -523,19 +895,41 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
     pub fn remove_shared(&self, id: u64) -> Result<bool> {
         let _writer = self.writer.lock().expect("fleet writer lock poisoned");
         self.ensure_global()?;
+        let plan = self.fault_plan();
         let owner = self.router.route(id, self.num_shards());
-        let current = self.load(owner);
-        let mut next = ShardState {
-            index: current.index.clone(),
-            epoch: current.epoch + 1,
-            id_map: None,
-        };
-        let removed = next.index.remove(id)?;
-        if removed {
-            self.publish(owner, next);
-            self.shards[owner].dirty.store(true, Ordering::Relaxed);
+        let pre_op = self.load(owner);
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<bool> {
+            if let Some(plan) = &plan {
+                plan.inject(owner, FaultOp::Insert)?;
+            }
+            let mut next = ShardState {
+                index: pre_op.index.clone(),
+                epoch: pre_op.epoch + 1,
+                id_map: None,
+            };
+            let removed = next.index.remove(id)?;
+            if removed {
+                if let Some(plan) = &plan {
+                    plan.inject(owner, FaultOp::Publish)?;
+                }
+                self.publish(owner, next);
+                self.shards[owner].dirty.store(true, Ordering::Relaxed);
+            }
+            Ok(removed)
+        }));
+        let outcome = attempt.unwrap_or_else(|payload| {
+            Err(Error::worker_panicked(format!(
+                "fleet remove writer: {}",
+                parallel::panic_message(&*payload)
+            )))
+        });
+        if outcome.is_err() {
+            // A single-shard op publishes atomically, so the rollback is a
+            // republish of the unchanged pre-op state (harmless if nothing
+            // was published; exact if the failure hit mid-operation).
+            self.publish_arc(owner, pre_op);
         }
-        Ok(removed)
+        outcome
     }
 
     /// Compacts every shard that has seen a mutation since its last sweep,
@@ -548,22 +942,38 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
     ///
     /// # Errors
     ///
-    /// Propagates engine compaction errors (the failing shard is left
-    /// flagged dirty so the next sweep retries it).
+    /// Propagates engine compaction errors, and surfaces a compaction panic
+    /// as [`Error::WorkerPanicked`]; either way the failing shard keeps its
+    /// pre-sweep state, is left flagged dirty so the next sweep retries it,
+    /// and the writer lock is released unpoisoned.
     pub fn compact_all_shared(&self) -> Result<()> {
         let _writer = self.writer.lock().expect("fleet writer lock poisoned");
+        let plan = self.fault_plan();
         for s in 0..self.num_shards() {
             if !self.shards[s].dirty.swap(false, Ordering::Relaxed) {
                 continue;
             }
-            let current = self.load(s);
-            let mut next = (*current).clone();
-            next.epoch += 1;
-            if let Err(err) = next.index.compact() {
+            let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+                if let Some(plan) = &plan {
+                    plan.inject(s, FaultOp::Compact)?;
+                }
+                let current = self.load(s);
+                let mut next = (*current).clone();
+                next.epoch += 1;
+                next.index.compact()?;
+                self.publish(s, next);
+                Ok(())
+            }));
+            let step = attempt.unwrap_or_else(|payload| {
+                Err(Error::worker_panicked(format!(
+                    "shard {s} compaction: {}",
+                    parallel::panic_message(&*payload)
+                )))
+            });
+            if let Err(err) = step {
                 self.shards[s].dirty.store(true, Ordering::Relaxed);
                 return Err(err);
             }
-            self.publish(s, next);
         }
         Ok(())
     }
@@ -604,9 +1014,26 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
         let current = self.load(0);
         let decoded = persist::decode_fleet(bytes, &current.index, base_epoch)?;
         drop(current);
+        // Injection point: everything above is read-only, so a restore fault
+        // (error or panic) leaves the live fleet untouched.
+        if let Some(plan) = self.fault_plan() {
+            let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+                for s in 0..decoded.states.len() {
+                    plan.inject(s, FaultOp::Restore)?;
+                }
+                Ok(())
+            }));
+            attempt.unwrap_or_else(|payload| {
+                Err(Error::worker_panicked(format!(
+                    "fleet restore: {}",
+                    parallel::panic_message(&*payload)
+                )))
+            })?;
+        }
         if let Some(router) = decoded.router {
             self.router = router;
         }
+        let num_shards = decoded.states.len();
         self.shards = decoded
             .states
             .into_iter()
@@ -618,7 +1045,31 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
                 Shard::new(state, dirty)
             })
             .collect();
+        if self.health.num_shards() != num_shards {
+            // The restored fleet has a different shape: rebuild the breakers
+            // (all closed) with the configured tuning.
+            self.health = Arc::new(HealthTracker::new(
+                num_shards,
+                self.breaker_config,
+                self.retry_policy,
+            ));
+        }
         Ok(())
+    }
+
+    /// Restores a fleet from a crash-safe snapshot *file* written by
+    /// [`AnnIndex::save_to_path`] — the path-level counterpart of
+    /// [`ShardedIndex::from_snapshot_bytes`], including the fallback to the
+    /// rotated `.prev` generation when the newest file is torn or corrupt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when no snapshot generation exists at `path`,
+    /// and [`Error::Corrupted`] when none of the generations validates.
+    pub fn from_snapshot_path(prototype: I, path: &std::path::Path) -> Result<Self> {
+        let mut fleet = Self::from_monolith(prototype, 1, ShardRouter::Hash { seed: 0 })?;
+        fleet.load_from_path(path)?;
+        Ok(fleet)
     }
 }
 
@@ -725,10 +1176,17 @@ impl<I: AnnIndex + Clone> AnnIndex for ShardedIndex<I> {
 /// A background thread that periodically compacts every shard of a fleet
 /// (clone-and-publish, so readers are never blocked). The thread stops and
 /// joins when the guard is dropped.
+///
+/// Compaction failures do not kill the thread: each failure is counted
+/// ([`BackgroundCompactor::errors`]), logged to stderr, and retried on the
+/// next tick with a capped exponential backoff (up to 32× the interval), so
+/// a persistently failing shard cannot turn the compactor into a hot loop —
+/// and a shard that recovers is swept again at the normal cadence.
 #[derive(Debug)]
 pub struct BackgroundCompactor {
     stop: Arc<AtomicBool>,
     runs: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -742,13 +1200,19 @@ impl BackgroundCompactor {
         let interval = interval.max(Duration::from_micros(100));
         let stop = Arc::new(AtomicBool::new(false));
         let runs = Arc::new(AtomicU64::new(0));
-        let (stop_flag, run_counter) = (stop.clone(), runs.clone());
+        let errors = Arc::new(AtomicU64::new(0));
+        let (stop_flag, run_counter, error_counter) = (stop.clone(), runs.clone(), errors.clone());
         let handle = std::thread::spawn(move || {
             let slice = Duration::from_millis(1).min(interval);
+            let mut consecutive_failures: u32 = 0;
             loop {
+                // After failures, back off exponentially (capped at 32x) so
+                // a broken shard is retried, not hammered.
+                let factor = 1u32 << consecutive_failures.min(5);
+                let wait = interval.saturating_mul(factor);
                 // Sleep in small slices so Drop returns promptly.
                 let mut slept = Duration::ZERO;
-                while slept < interval {
+                while slept < wait {
                     if stop_flag.load(Ordering::Relaxed) {
                         return;
                     }
@@ -758,17 +1222,26 @@ impl BackgroundCompactor {
                 if stop_flag.load(Ordering::Relaxed) {
                     return;
                 }
-                // Compaction failures are engine-specific and transient at
-                // worst; the next tick retries. (No engine in the workspace
-                // fails compaction today.)
-                if fleet.compact_all_shared().is_ok() {
-                    run_counter.fetch_add(1, Ordering::Relaxed);
+                match fleet.compact_all_shared() {
+                    Ok(()) => {
+                        consecutive_failures = 0;
+                        run_counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(err) => {
+                        consecutive_failures = consecutive_failures.saturating_add(1);
+                        error_counter.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "[juno-serve] background compaction failed \
+                             ({consecutive_failures} consecutive), backing off: {err}"
+                        );
+                    }
                 }
             }
         });
         Self {
             stop,
             runs,
+            errors,
             handle: Some(handle),
         }
     }
@@ -776,6 +1249,11 @@ impl BackgroundCompactor {
     /// Number of completed compaction sweeps so far.
     pub fn runs(&self) -> u64 {
         self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Number of failed compaction sweeps so far (the thread survives them).
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
     }
 }
 

@@ -58,7 +58,11 @@ pub mod prelude {
     pub use juno_data::profiles::{Dataset, DatasetProfile};
     pub use juno_gpu::device::GpuDevice;
     pub use juno_gpu::pipeline::ExecutionMode;
-    pub use juno_serve::{BackgroundCompactor, FleetReader, ShardRouter, ShardedIndex};
+    pub use juno_serve::{
+        BackgroundCompactor, BreakerConfig, BreakerState, DegradedBatch, DegradedResult, FaultKind,
+        FaultOp, FaultPlan, FaultRule, FleetReader, HealthTracker, RetryPolicy, ShardRouter,
+        ShardStatus, ShardedIndex,
+    };
 }
 
 #[cfg(test)]

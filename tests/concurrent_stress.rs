@@ -13,13 +13,21 @@
 //!   order-invariant (the algebra scatter-gather relies on to be
 //!   independent of shard completion order).
 
+//! * A seeded chaos scenario: the same reader/writer race run under a
+//!   [`FaultPlan`] that stalls, fails, and panics shards at deterministic
+//!   points, asserting that pinned readers stay bit-stable, degraded results
+//!   never surface ids from non-responsive shards, writers roll back cleanly
+//!   (the quiescent replay still matches a monolith), and the fleet returns
+//!   to full coverage once the faults clear. Seeded via `JUNO_CHAOS_SEED`
+//!   (printed, so any failure replays exactly).
+
 use juno::common::index::Neighbor;
 use juno::common::rng::{seeded, Rng};
 use juno::common::topk::{merge_neighbors, ScoreOrder};
 use juno::prelude::*;
 use juno::serve::{BackgroundCompactor, ShardRouter, ShardedIndex};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Stress: readers racing writers and compaction on epoch-published shards.
@@ -335,4 +343,233 @@ fn single_query_and_batch_scatter_paths_agree_under_concurrency() {
         assert_bitwise_equal(&batch, &singles, "batch vs single scatter");
     }
     drop(compactor);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: the reader/writer race re-run under a seeded fault plan.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_faults_degrade_gracefully_and_the_fleet_recovers() {
+    juno::common::testing::silence_panics();
+    let seed: u64 = std::env::var("JUNO_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC4A0_5EED);
+    println!("chaos seed: {seed} (set JUNO_CHAOS_SEED={seed} to replay this run)");
+
+    const POINTS: usize = 500;
+    const SHARDS: usize = 4;
+    const WRITERS: usize = 2;
+    const OPS_PER_WRITER: usize = 16;
+
+    let ds = DatasetProfile::DeepLike
+        .generate(POINTS, 6, seed ^ 0xC4A0)
+        .expect("dataset");
+    let pool = DatasetProfile::DeepLike
+        .generate(WRITERS * OPS_PER_WRITER, 1, seed ^ 0x900D)
+        .expect("insert pool")
+        .points;
+    let monolith = JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 8,
+            nprobs: 4,
+            pq_entries: 16,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("build");
+
+    let fleet = Arc::new(
+        ShardedIndex::from_monolith(monolith.clone(), SHARDS, ShardRouter::Hash { seed: 13 })
+            .expect("fleet"),
+    );
+    let router = fleet.router();
+
+    // Seed-derived chaos rules over every shard and op, plus three pinned
+    // rules so every run — whatever the chaos draw produced — exercises a
+    // stalled search shard, a failed mid-fleet publish, and a panicking
+    // writer.
+    let stall_shard = (seed % SHARDS as u64) as usize;
+    let plan = Arc::new(
+        FaultPlan::chaos(seed, SHARDS, Duration::from_millis(4))
+            .with_rule(FaultRule {
+                shard: stall_shard,
+                op: FaultOp::Search,
+                from_op: 0,
+                until_op: None,
+                kind: FaultKind::Stall(Duration::from_secs(30)),
+            })
+            .with_rule(FaultRule {
+                shard: ((seed >> 8) % SHARDS as u64) as usize,
+                op: FaultOp::Publish,
+                from_op: 1,
+                until_op: Some(3),
+                kind: FaultKind::Fail,
+            })
+            .with_rule(FaultRule {
+                shard: ((seed >> 16) % SHARDS as u64) as usize,
+                op: FaultOp::Insert,
+                from_op: 2,
+                until_op: Some(4),
+                kind: FaultKind::Panic,
+            }),
+    );
+    fleet.set_fault_plan(Some(plan.clone()));
+    let compactor = BackgroundCompactor::spawn(fleet.clone(), Duration::from_millis(5));
+
+    // As in the fault-free stress test, writers serialise on the log mutex so
+    // the log records the exact order the fleet applied operations in — but
+    // here an op may be killed mid-flight by the plan, in which case it rolls
+    // back and is deliberately NOT logged: the quiescent replay then proves
+    // the rollback really was total.
+    let log: Mutex<Vec<Op>> = Mutex::new(Vec::new());
+    let queries = &ds.queries;
+    let fleet_ref = &fleet;
+    let log_ref = &log;
+    let pool_ref = &pool;
+    let plan_ref = &plan;
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            scope.spawn(move || {
+                let mut rng = seeded(seed ^ (0xB0B + w as u64));
+                for i in 0..OPS_PER_WRITER {
+                    let mut log = log_ref.lock().expect("log lock");
+                    if rng.gen_range(0..3usize) < 2 {
+                        let row = w * OPS_PER_WRITER + i;
+                        // Injected faults (Fail / Panic) surface as errors
+                        // after a full rollback, so a failed op is simply not
+                        // part of the history.
+                        if let Ok(id) = fleet_ref.insert_shared(pool_ref.row(row)) {
+                            log.push(Op::Insert { row, id });
+                        }
+                    } else {
+                        let id = rng.gen_range(0..POINTS + WRITERS * OPS_PER_WRITER) as u64;
+                        if fleet_ref.remove_shared(id).is_ok() {
+                            log.push(Op::Remove { id });
+                        }
+                    }
+                    drop(log);
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        for r in 0..3usize {
+            scope.spawn(move || {
+                for round in 0..8 {
+                    // Pinned plain reads are the bit-identity reference: the
+                    // plain scatter path is uninstrumented, so whatever the
+                    // plan does to writers and deadline readers, a pinned
+                    // view must keep answering bit-identically.
+                    let reader = fleet_ref.reader();
+                    let first = reader
+                        .search_batch(queries, 10)
+                        .expect("pinned chaos search");
+                    std::thread::yield_now();
+                    let second = reader
+                        .search_batch(queries, 10)
+                        .expect("pinned chaos re-search");
+                    assert_bitwise_equal(
+                        &first,
+                        &second,
+                        &format!("chaos reader {r} round {round} pinned isolation"),
+                    );
+
+                    // Degraded reads must never surface an id owned by a
+                    // shard that did not respond in time: every returned id
+                    // routes to a shard whose status for THIS call is Ok.
+                    let degraded = reader
+                        .search_deadline(
+                            queries.row(round % queries.len()),
+                            10,
+                            Duration::from_millis(150),
+                        )
+                        .expect("degraded chaos search");
+                    assert!(
+                        (0.0..=1.0).contains(&degraded.coverage),
+                        "coverage out of range: {}",
+                        degraded.coverage
+                    );
+                    for id in degraded.result.ids() {
+                        let owner = router.route(id, SHARDS);
+                        assert!(
+                            degraded.shards[owner].is_ok(),
+                            "chaos reader {r} round {round}: id {id} surfaced from \
+                             non-responsive shard {owner} ({:?})",
+                            degraded.shards[owner]
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    drop(compactor);
+    assert!(
+        plan_ref.op_count(stall_shard, FaultOp::Search) > 0,
+        "the pinned stall rule never fired — the chaos run was degenerate"
+    );
+
+    // Faults clear: the fleet must return to full coverage (the stalled
+    // shard's breaker half-opens, the probe succeeds, the breaker closes).
+    plan.disarm();
+    let recovery_deadline = Instant::now() + Duration::from_secs(30);
+    let mut recovered = false;
+    while Instant::now() < recovery_deadline {
+        let degraded = fleet
+            .reader()
+            .search_deadline(ds.queries.row(0), 10, Duration::from_millis(500))
+            .expect("recovery search");
+        if degraded.is_complete() {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        recovered,
+        "coverage did not return to 1.0 within 30s of the fault plan disarming"
+    );
+
+    // Quiescent differential check: the logged (i.e. successful) operations
+    // replayed into a monolith must reproduce the fleet bit-identically —
+    // killed ops left no trace, down to id allocation.
+    let mut replayed = monolith;
+    for op in log.into_inner().expect("log") {
+        match op {
+            Op::Insert { row, id } => {
+                let mono_id = replayed.insert(pool.row(row)).expect("replay insert");
+                assert_eq!(
+                    mono_id, id,
+                    "fleet and monolith id allocation diverged across rollbacks"
+                );
+            }
+            Op::Remove { id } => {
+                replayed.remove(id).expect("replay remove");
+            }
+        }
+    }
+    assert_eq!(
+        fleet.len(),
+        replayed.len(),
+        "live counts after chaos replay"
+    );
+    let fleet_results: Vec<SearchResult> = ds
+        .queries
+        .iter()
+        .map(|q| fleet.search(q, 20).expect("fleet search"))
+        .collect();
+    let mono_results: Vec<SearchResult> = ds
+        .queries
+        .iter()
+        .map(|q| replayed.search(q, 20).expect("mono search"))
+        .collect();
+    assert_bitwise_equal(
+        &fleet_results,
+        &mono_results,
+        "chaos quiescent replay parity",
+    );
 }
