@@ -15,11 +15,14 @@
 //! * [`harness`] — the in-tree wall-clock benchmark harness the `benches/`
 //!   targets run on (the workspace builds without external crates, so
 //!   `criterion` is not available).
+//! * [`loadgen`] — seeded open-loop (Poisson arrivals, Zipfian targets) and
+//!   closed-loop traffic generation for the online serving front-end.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod harness;
+pub mod loadgen;
 pub mod report;
 pub mod setup;
 pub mod sweep;

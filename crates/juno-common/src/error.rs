@@ -53,6 +53,11 @@ pub enum Error {
     /// persistently unable to serve the operation — it timed out, its circuit
     /// breaker is open, or a fault was injected by a chaos plan.
     Unavailable(String),
+    /// The serving front-end refused admission: its ingress queue is at the
+    /// configured depth. Unlike [`Error::Unavailable`] this is not retryable
+    /// by the serving layer itself — blindly retrying an overloaded server
+    /// only deepens the overload; callers should shed or back off.
+    Overloaded(String),
 }
 
 impl fmt::Display for Error {
@@ -73,6 +78,7 @@ impl fmt::Display for Error {
             Error::Corrupted(msg) => write!(f, "corrupted data: {msg}"),
             Error::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
             Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            Error::Overloaded(msg) => write!(f, "overloaded: {msg}"),
         }
     }
 }
@@ -126,6 +132,11 @@ impl Error {
         Error::Unavailable(msg.to_string())
     }
 
+    /// Builds an [`Error::Overloaded`] from anything displayable.
+    pub fn overloaded(msg: impl fmt::Display) -> Self {
+        Error::Overloaded(msg.to_string())
+    }
+
     /// Returns `true` for failures that a bounded retry may clear: the
     /// component was unavailable (timeout, injected fault, open breaker
     /// probe) or a worker panicked while computing — as opposed to
@@ -170,6 +181,9 @@ mod tests {
         assert!(Error::unavailable("shard 2 timed out")
             .to_string()
             .contains("unavailable"));
+        assert!(Error::overloaded("queue full at depth 256")
+            .to_string()
+            .contains("overloaded"));
         let oob = Error::IndexOutOfBounds {
             what: "cluster".into(),
             index: 7,
@@ -193,6 +207,7 @@ mod tests {
         assert!(!Error::worker_panicked("boom").is_retryable());
         assert!(!Error::invalid_config("k = 0").is_retryable());
         assert!(!Error::corrupted("bad magic").is_retryable());
+        assert!(!Error::overloaded("queue full").is_retryable());
         assert!(!Error::DimensionMismatch {
             expected: 4,
             actual: 2

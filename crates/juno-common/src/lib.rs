@@ -49,6 +49,7 @@ pub mod group;
 pub mod index;
 pub mod kernel;
 pub mod metric;
+pub mod metrics;
 pub mod parallel;
 pub mod recall;
 pub mod rng;

@@ -27,20 +27,31 @@
 //!   ([`health`]); [`fault::FaultPlan`] injects deterministic, replayable
 //!   faults at every search / insert / publish / compact / restore point for
 //!   chaos testing.
+//! * [`Server`] — the online front-end: many client threads submit single
+//!   queries through a bounded ingress queue with admission control
+//!   ([`juno_common::error::Error::Overloaded`]), a size-or-deadline trigger
+//!   coalesces them into batches ([`batcher`]), batches execute through the
+//!   degraded read path, and every reply carries per-request QoS stats
+//!   ([`ServeStats`]) with aggregate histograms via
+//!   [`Server::metrics_snapshot`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batcher;
 pub mod fault;
 pub mod health;
 pub mod persist;
 pub mod router;
+pub mod server;
 pub mod shard;
 
+pub use batcher::{Batcher, BatcherConfig, Pending};
 pub use fault::{FaultKind, FaultOp, FaultPlan, FaultRule};
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker, HealthTracker, RetryPolicy};
 pub use persist::KIND_SHARD;
 pub use router::{ShardRouter, MAX_SHARDS};
+pub use server::{ServeResponse, ServeStats, Server, ServerConfig};
 pub use shard::{
     BackgroundCompactor, DegradedBatch, DegradedResult, FleetReader, ShardState, ShardStatus,
     ShardedIndex,
@@ -453,6 +464,49 @@ mod tests {
         assert_eq!(fleet.search(&[1.0, 1.0], 3).unwrap().neighbors.len(), 3);
     }
 
+    /// Shutdown latency must be bounded by the condvar handoff (plus at most
+    /// one in-flight sweep), *not* by the configured interval: a compactor
+    /// on a 10-second cadence tears down in well under a second.
+    #[test]
+    fn background_compactor_shutdown_is_prompt_despite_a_long_interval() {
+        let fleet = Arc::new(
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(40)), 2, ShardRouter::Modulo)
+                .unwrap(),
+        );
+        let compactor = BackgroundCompactor::spawn(fleet, Duration::from_secs(10));
+        // Give the thread time to enter its (10 s) wait.
+        std::thread::sleep(Duration::from_millis(20));
+        let started = std::time::Instant::now();
+        drop(compactor); // joins the thread
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "shutdown took {:?}, bounded by the interval instead of the \
+             stop signal",
+            started.elapsed()
+        );
+    }
+
+    /// A zero interval is clamped (to 100µs) rather than busy-spinning on
+    /// the writer lock: the compactor still ticks, but the sweep count over
+    /// a fixed window stays far below what a hot loop would produce.
+    #[test]
+    fn background_compactor_zero_interval_does_not_busy_spin() {
+        let fleet = Arc::new(
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(40)), 2, ShardRouter::Modulo)
+                .unwrap(),
+        );
+        let compactor = BackgroundCompactor::spawn(fleet, Duration::ZERO);
+        let window = Duration::from_millis(50);
+        std::thread::sleep(window);
+        let runs = compactor.runs();
+        assert!(runs >= 1, "clamped interval still ticks");
+        // 50ms / 100µs = 500 wakeups maximum; a busy spin would manage
+        // orders of magnitude more sweeps of an all-clean fleet.
+        let ceiling = (window.as_micros() / 100) as u64 + 50;
+        assert!(runs <= ceiling, "{runs} sweeps in {window:?}: busy spin");
+        drop(compactor);
+    }
+
     #[test]
     fn mapped_snapshots_with_colliding_id_maps_are_rejected() {
         // A valid two-shard mapped fleet snapshot…
@@ -780,6 +834,7 @@ mod tests {
                 base_backoff: Duration::from_millis(2),
                 max_backoff: Duration::from_millis(20),
                 seed: 11,
+                ..BreakerConfig::default()
             },
             RetryPolicy {
                 max_retries: 0,
@@ -1112,5 +1167,248 @@ mod tests {
             // Writers recovered too.
             fleet.insert_shared(&[9.0, 9.0]).unwrap();
         }
+    }
+
+    // ---- online serving front-end ----------------------------------------
+
+    use crate::server::{Server, ServerConfig};
+
+    #[test]
+    fn server_serves_concurrent_clients_with_correct_results_and_stats() {
+        let fleet = Arc::new(four_shard_fleet(60));
+        let server = Arc::new(
+            Server::spawn(
+                fleet.clone(),
+                ServerConfig {
+                    max_batch: 4,
+                    max_delay: Duration::from_millis(2),
+                    queue_depth: 64,
+                    search_budget: Duration::from_secs(5),
+                    dispatchers: 2,
+                },
+            )
+            .unwrap(),
+        );
+        let clients = 16;
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let server = server.clone();
+                let fleet = fleet.clone();
+                scope.spawn(move || {
+                    let q = [c as f32 * 0.37, (c % 5) as f32 * 0.61];
+                    let served = server.query(&q, 5).unwrap();
+                    let direct = fleet.search(&q, 5).unwrap();
+                    assert_eq!(
+                        served.result.neighbors, direct.neighbors,
+                        "client {c}: batched result differs from direct search"
+                    );
+                    assert!(served.stats.batch_size >= 1);
+                    assert_eq!(served.stats.coverage, 1.0);
+                    assert_eq!(served.stats.shards.len(), 4);
+                    assert!(served.stats.shards.iter().all(ShardStatus::is_ok));
+                });
+            }
+        });
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("serve.admitted"), clients);
+        assert_eq!(snap.counter("serve.rejected"), 0);
+        assert_eq!(snap.histograms["serve.latency_ns"].count, clients);
+        assert_eq!(snap.histograms["serve.queue_wait_ns"].count, clients);
+        let sizes = &snap.histograms["serve.batch_size"];
+        assert_eq!(sizes.sum, clients, "every request rode exactly one batch");
+        assert!(sizes.max <= 4, "batch exceeded max_batch");
+        assert!(snap.counter("serve.dispatched_batches") >= clients / 4);
+        assert_eq!(snap.gauge("serve.queue_depth"), 0);
+    }
+
+    #[test]
+    fn server_rejects_beyond_queue_depth_and_flushes_admitted_work_on_drop() {
+        let fleet = Arc::new(four_shard_fleet(40));
+        // max_batch is far above what we enqueue and max_delay is huge, so
+        // the lone admitted request sits in the queue deterministically
+        // until shutdown flushes it.
+        let server = Arc::new(
+            Server::spawn(
+                fleet,
+                ServerConfig {
+                    max_batch: 64,
+                    max_delay: Duration::from_secs(60),
+                    queue_depth: 1,
+                    search_budget: Duration::from_secs(5),
+                    dispatchers: 1,
+                },
+            )
+            .unwrap(),
+        );
+        let first = {
+            let server = server.clone();
+            std::thread::spawn(move || server.query(&[1.0, 1.0], 3))
+        };
+        // Wait until the first request occupies the queue's only slot. The
+        // admitted counter is bumped after the enqueue becomes visible, so
+        // polling it (not queue_depth) also orders this thread after the
+        // client's metric update — the snapshot asserts below would otherwise
+        // race it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.metrics_snapshot().counter("serve.admitted") < 1 {
+            assert!(Instant::now() < deadline, "first request never enqueued");
+            std::thread::yield_now();
+        }
+        assert_eq!(server.queue_depth(), 1);
+        let rejected = server.query(&[2.0, 2.0], 3);
+        assert!(
+            matches!(rejected, Err(juno_common::Error::Overloaded(_))),
+            "expected Overloaded, got {rejected:?}"
+        );
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("serve.rejected"), 1);
+        assert_eq!(snap.counter("serve.admitted"), 1);
+        // Shutdown flushes the admitted request rather than dropping it.
+        // (The blocked client thread holds an Arc clone, so Drop alone
+        // would wait for it — close ingress explicitly first.)
+        server.shutdown();
+        let response = first.join().unwrap().unwrap();
+        assert_eq!(response.result.neighbors.len(), 3);
+        assert_eq!(response.stats.batch_size, 1);
+        assert!(matches!(
+            server.query(&[3.0, 3.0], 3),
+            Err(juno_common::Error::Unavailable(_))
+        ));
+        drop(server);
+    }
+
+    #[test]
+    fn server_validates_requests_before_admission() {
+        let fleet = Arc::new(four_shard_fleet(20));
+        let server = Server::spawn(fleet, ServerConfig::default()).unwrap();
+        assert!(matches!(
+            server.query(&[1.0, 2.0, 3.0], 5),
+            Err(juno_common::Error::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+        assert!(matches!(
+            server.query(&[1.0, 2.0], 0),
+            Err(juno_common::Error::InvalidConfig(_))
+        ));
+        let snap = server.metrics_snapshot();
+        assert_eq!(
+            snap.counter("serve.admitted"),
+            0,
+            "bad requests never queue"
+        );
+    }
+
+    #[test]
+    fn server_mixed_k_batch_truncates_each_request_exactly() {
+        let fleet = Arc::new(four_shard_fleet(60));
+        let server = Arc::new(
+            Server::spawn(
+                fleet.clone(),
+                ServerConfig {
+                    max_batch: 3,
+                    max_delay: Duration::from_secs(60), // size trigger only
+                    queue_depth: 16,
+                    search_budget: Duration::from_secs(5),
+                    dispatchers: 1,
+                },
+            )
+            .unwrap(),
+        );
+        let ks = [2usize, 5, 9];
+        std::thread::scope(|scope| {
+            for (i, k) in ks.into_iter().enumerate() {
+                let server = server.clone();
+                let fleet = fleet.clone();
+                scope.spawn(move || {
+                    let q = [i as f32, 1.0 - i as f32];
+                    let served = server.query(&q, k).unwrap();
+                    assert_eq!(served.stats.batch_size, 3, "size trigger formed the batch");
+                    let direct = fleet.search(&q, k).unwrap();
+                    assert_eq!(
+                        served.result.neighbors, direct.neighbors,
+                        "k={k}: truncation from k_max broke the prefix property"
+                    );
+                });
+            }
+        });
+    }
+
+    /// End-to-end QoS under a seeded stall: a stalled shard costs coverage,
+    /// never the deadline — p999 stays inside the configured budget — and
+    /// after `disarm()` the probe deadline lets the breaker recover to full
+    /// coverage even though the abandoned probes never reported.
+    #[test]
+    fn server_p999_holds_under_stall_and_coverage_recovers_after_disarm() {
+        let mut raw = four_shard_fleet(60);
+        raw.configure_health(
+            BreakerConfig {
+                failure_threshold: 2,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(10),
+                probe_timeout: Duration::from_millis(30),
+                seed: 13,
+            },
+            RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+        );
+        let fleet = Arc::new(raw);
+        let budget = Duration::from_millis(40);
+        let server = Server::spawn(
+            fleet.clone(),
+            ServerConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                queue_depth: 64,
+                search_budget: budget,
+                dispatchers: 1,
+            },
+        )
+        .unwrap();
+        // Shard 2 stalls on every search, well past the batch budget.
+        let plan = Arc::new(FaultPlan::new(4).with_rule(always(
+            2,
+            FaultOp::Search,
+            FaultKind::Stall(Duration::from_millis(400)),
+        )));
+        fleet.set_fault_plan(Some(plan.clone()));
+        let mut saw_degraded = false;
+        for i in 0..30 {
+            let served = server.query(&[i as f32 * 0.1, 0.5], 5).unwrap();
+            if served.stats.coverage < 1.0 {
+                saw_degraded = true;
+            }
+        }
+        assert!(saw_degraded, "the stall never surfaced as lost coverage");
+        let p999 = server.metrics_snapshot().histograms["serve.latency_ns"].p999();
+        // End-to-end tail ≤ queueing (max_delay) + batch budget + slack for
+        // merge and reply plumbing; far below the 400ms stall.
+        let ceiling = (budget + Duration::from_millis(1) + Duration::from_millis(60)).as_nanos();
+        assert!(
+            u128::from(p999) <= ceiling,
+            "p999 {p999}ns exceeds deadline ceiling {ceiling}ns"
+        );
+        // Disarm and keep querying: the probe deadline re-admits probes that
+        // the stall swallowed, so the breaker closes and coverage returns.
+        plan.disarm();
+        let recovered_by = Instant::now() + Duration::from_secs(10);
+        loop {
+            let served = server.query(&[0.3, 0.3], 5).unwrap();
+            if served.stats.coverage == 1.0 {
+                break;
+            }
+            assert!(
+                Instant::now() < recovered_by,
+                "coverage never recovered after disarm: {:?}",
+                server.breaker_states()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snap = server.metrics_snapshot();
+        assert!(snap.counter("serve.degraded_batches") >= 1);
+        assert!(snap.gauge("serve.breaker_transitions") >= 2);
     }
 }

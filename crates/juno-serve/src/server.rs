@@ -1,0 +1,340 @@
+//! The online serving front-end: single-query ingress, dynamic batching,
+//! deadline-aware scatter-gather execution, per-request QoS accounting.
+//!
+//! ```text
+//!  client threads                 dispatcher threads          shard fleet
+//!  ─────────────                  ──────────────────          ───────────
+//!  query() ──┐                      ┌─ next_batch() ─┐
+//!  query() ──┼─▶ Batcher (bounded, ─┤                ├─▶ FleetReader::
+//!  query() ──┘   size-or-deadline)  └─ next_batch() ─┘   search_batch_deadline
+//!      ▲                                   │                    │
+//!      └────────── per-request reply ◀─────┴─ truncate to k ◀───┘
+//! ```
+//!
+//! A [`Server`] owns a sharded fleet and a pool of dispatcher threads. Client
+//! threads call [`Server::query`] concurrently; each call is admitted into
+//! the bounded [`Batcher`] (or rejected with [`Error::Overloaded`]), coalesced
+//! into a batch by the size-or-deadline trigger, executed through the
+//! degraded read path (so a stalled shard costs coverage, not the deadline),
+//! and answered with the merged result plus per-request [`ServeStats`].
+//!
+//! Mixed-`k` batches execute at the largest requested `k` and truncate per
+//! request: the fleet's merge is a total order over (score, id), so the
+//! top-`k` list is a prefix of the top-`k_max` list and truncation is exact —
+//! a request batched with strangers gets bit-identical neighbours to one
+//! served alone.
+//!
+//! QoS is observable two ways: per-request ([`ServeStats`]: queue wait,
+//! batch size, coverage, shard statuses) and aggregate
+//! ([`Server::metrics_snapshot`]: latency/queue-wait/batch-size histograms
+//! with p50/p99/p999, queue depth, admission rejections, breaker state
+//! flips).
+
+use crate::batcher::{Batcher, BatcherConfig};
+use crate::health::BreakerState;
+use crate::shard::{ShardStatus, ShardedIndex};
+use juno_common::error::{Error, Result};
+use juno_common::index::{AnnIndex, SearchResult};
+use juno_common::metrics::{Registry, RegistrySnapshot};
+use juno_common::vector::VectorSet;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Dispatch a batch as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Dispatch once the oldest pending request has waited this long.
+    pub max_delay: Duration,
+    /// Ingress bound: requests beyond this many pending are rejected with
+    /// [`Error::Overloaded`].
+    pub queue_depth: usize,
+    /// Latency budget handed to
+    /// [`FleetReader::search_batch_deadline`](crate::FleetReader::search_batch_deadline)
+    /// for each batch; shards that miss it cost coverage, not time.
+    pub search_budget: Duration,
+    /// Dispatcher threads pulling batches off the ingress queue. One is
+    /// enough unless batch execution should overlap with batch formation.
+    pub dispatchers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay: Duration::from_millis(1),
+            queue_depth: 1024,
+            search_budget: Duration::from_millis(50),
+            dispatchers: 1,
+        }
+    }
+}
+
+/// Per-request QoS accounting, returned alongside every result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Time between admission and the dispatcher picking the batch up.
+    pub queue_wait: Duration,
+    /// Number of requests in the batch this request rode in.
+    pub batch_size: usize,
+    /// Fraction of shards that contributed (1.0 = exact result).
+    pub coverage: f64,
+    /// Outcome per shard for this request's batch, indexed by shard id.
+    pub shards: Vec<ShardStatus>,
+}
+
+/// A completed request: the merged search result plus its QoS stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// Merged top-k (already truncated to the request's own `k`).
+    pub result: SearchResult,
+    /// How the request was served.
+    pub stats: ServeStats,
+}
+
+/// One queued request: the query, its `k`, and the reply channel its client
+/// blocks on.
+#[derive(Debug)]
+struct Request {
+    query: Vec<f32>,
+    k: usize,
+    reply: mpsc::Sender<Result<ServeResponse>>,
+}
+
+/// The online serving front-end. See the [module docs](self).
+///
+/// Dropping the server closes ingress (new [`Server::query`] calls fail
+/// with [`Error::Unavailable`]), flushes every admitted request through a
+/// final batch, and joins the dispatcher threads — admitted work is never
+/// silently dropped.
+#[derive(Debug)]
+pub struct Server<I: AnnIndex + 'static> {
+    fleet: Arc<ShardedIndex<I>>,
+    batcher: Arc<Batcher<Request>>,
+    metrics: Arc<Registry>,
+    dim: usize,
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<I: AnnIndex + 'static> Server<I> {
+    /// Spawns the dispatcher threads and opens ingress.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when `max_batch`, `queue_depth` or
+    /// `dispatchers` is zero.
+    pub fn spawn(fleet: Arc<ShardedIndex<I>>, config: ServerConfig) -> Result<Self> {
+        if config.dispatchers == 0 {
+            return Err(Error::invalid_config("server needs ≥ 1 dispatcher"));
+        }
+        let batcher = Arc::new(Batcher::new(BatcherConfig {
+            max_batch: config.max_batch,
+            max_delay: config.max_delay,
+            queue_depth: config.queue_depth,
+        })?);
+        let metrics = Arc::new(Registry::new());
+        let dim = fleet.reader().shard(0).index().dim();
+        let dispatchers = (0..config.dispatchers)
+            .map(|d| {
+                let fleet = fleet.clone();
+                let batcher = batcher.clone();
+                let metrics = metrics.clone();
+                std::thread::Builder::new()
+                    .name(format!("juno-serve-dispatch-{d}"))
+                    .spawn(move || dispatch_loop(&fleet, &batcher, &metrics, config.search_budget))
+                    .expect("spawn dispatcher")
+            })
+            .collect();
+        Ok(Self {
+            fleet,
+            batcher,
+            metrics,
+            dim,
+            dispatchers,
+        })
+    }
+
+    /// Serves one query: admits it, waits for its batch to execute, returns
+    /// the merged top-`k` plus [`ServeStats`].
+    ///
+    /// Safe to call from any number of threads concurrently; the calling
+    /// thread blocks until the reply (bounded by roughly
+    /// `max_delay + search_budget` plus queueing).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Overloaded`] — ingress queue at `queue_depth`; shed or
+    ///   back off.
+    /// * [`Error::DimensionMismatch`] / [`Error::InvalidConfig`] — malformed
+    ///   request (checked before admission; a bad request never occupies a
+    ///   queue slot).
+    /// * [`Error::Unavailable`] — server shutting down.
+    pub fn query(&self, query: &[f32], k: usize) -> Result<ServeResponse> {
+        if query.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        if k == 0 {
+            return Err(Error::invalid_config("k must be ≥ 1"));
+        }
+        let started = Instant::now();
+        let (reply, response) = mpsc::channel();
+        let admit = self.batcher.push(Request {
+            query: query.to_vec(),
+            k,
+            reply,
+        });
+        if let Err(err) = admit {
+            if matches!(err, Error::Overloaded(_)) {
+                self.metrics.counter("serve.rejected").inc();
+            }
+            return Err(err);
+        }
+        self.metrics.counter("serve.admitted").inc();
+        self.metrics
+            .histogram("serve.ingress_depth")
+            .record(self.batcher.len() as u64);
+        let out = response
+            .recv()
+            .map_err(|_| Error::unavailable("server shut down before replying"))?;
+        if out.is_ok() {
+            self.metrics
+                .histogram("serve.latency_ns")
+                .record_duration(started.elapsed());
+        }
+        out
+    }
+
+    /// Point-in-time aggregate QoS metrics: `serve.latency_ns`,
+    /// `serve.queue_wait_ns` and `serve.batch_size` histograms (p50/p99/p999
+    /// via [`juno_common::metrics::HistogramSnapshot`]), admission counters
+    /// (`serve.admitted` / `serve.rejected`), dispatch counters, the current
+    /// `serve.queue_depth` gauge and cumulative `serve.breaker_transitions`.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.metrics
+            .gauge("serve.queue_depth")
+            .set(self.batcher.len() as i64);
+        self.metrics
+            .gauge("serve.breaker_transitions")
+            .set(self.fleet.health().total_transitions() as i64);
+        self.metrics.snapshot()
+    }
+
+    /// Every shard breaker's current state (for dashboards and tests).
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.fleet.breaker_states()
+    }
+
+    /// The fleet this server fronts.
+    pub fn fleet(&self) -> &Arc<ShardedIndex<I>> {
+        &self.fleet
+    }
+
+    /// Current ingress queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.batcher.len()
+    }
+
+    /// Closes ingress: subsequent [`Server::query`] calls fail with
+    /// [`Error::Unavailable`], while already-admitted requests are flushed
+    /// through a final batch and answered. Idempotent. [`Drop`] calls this
+    /// too and then joins the dispatcher threads, so an explicit call is
+    /// only needed to stop admitting before the last handle goes away
+    /// (e.g. while other threads still hold clones of the server's `Arc`).
+    pub fn shutdown(&self) {
+        self.batcher.close();
+    }
+}
+
+impl<I: AnnIndex + 'static> Drop for Server<I> {
+    fn drop(&mut self) {
+        self.batcher.close();
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One dispatcher: pull batches until ingress is closed and drained, execute
+/// each through the degraded read path, reply per request.
+fn dispatch_loop<I: AnnIndex + 'static>(
+    fleet: &ShardedIndex<I>,
+    batcher: &Batcher<Request>,
+    metrics: &Registry,
+    search_budget: Duration,
+) {
+    let queue_wait = metrics.histogram("serve.queue_wait_ns");
+    let batch_sizes = metrics.histogram("serve.batch_size");
+    let coverage_pct = metrics.histogram("serve.coverage_pct");
+    let batches = metrics.counter("serve.dispatched_batches");
+    let degraded = metrics.counter("serve.degraded_batches");
+    let failed = metrics.counter("serve.failed_batches");
+    while let Some(mut batch) = batcher.next_batch() {
+        let picked_at = Instant::now();
+        let batch_size = batch.len();
+        batches.inc();
+        batch_sizes.record(batch_size as u64);
+        for pending in &batch {
+            queue_wait.record_duration(picked_at.duration_since(pending.enqueued));
+        }
+        // Execute at the largest requested k; per-request truncation below
+        // is exact because the merged list is totally ordered by (score, id)
+        // — top-k is a prefix of top-k_max.
+        let k_max = batch.iter().map(|p| p.item.k).max().unwrap_or(1);
+        let rows: Vec<Vec<f32>> = batch
+            .iter_mut()
+            .map(|p| std::mem::take(&mut p.item.query))
+            .collect();
+        let executed = VectorSet::from_rows(rows).and_then(|queries| {
+            fleet
+                .reader()
+                .search_batch_deadline(&queries, k_max, search_budget)
+        });
+        match executed {
+            Ok(degraded_batch) => {
+                coverage_pct.record((degraded_batch.coverage * 100.0).round() as u64);
+                if degraded_batch.coverage < 1.0 {
+                    degraded.inc();
+                }
+                let shards = degraded_batch.shards;
+                let coverage = degraded_batch.coverage;
+                for (pending, mut result) in batch.into_iter().zip(degraded_batch.results) {
+                    result.neighbors.truncate(pending.item.k);
+                    let response = ServeResponse {
+                        result,
+                        stats: ServeStats {
+                            queue_wait: picked_at.duration_since(pending.enqueued),
+                            batch_size,
+                            coverage,
+                            shards: shards.clone(),
+                        },
+                    };
+                    // A client that gave up (dropped the receiver) is fine.
+                    let _ = pending.item.reply.send(Ok(response));
+                }
+            }
+            Err(err) => {
+                failed.inc();
+                for pending in batch {
+                    let _ = pending.item.reply.send(Err(err.clone()));
+                }
+            }
+        }
+    }
+}
+
+// Compile-time proof that a server can be shared across client threads for
+// any engine: `AnnIndex: Send + Sync` must propagate through every field
+// (the reply senders live inside the batcher mutex, which restores `Sync`).
+const _: () = {
+    #[allow(dead_code)]
+    fn assert_send_sync<T: Send + Sync>() {}
+    #[allow(dead_code)]
+    fn check<I: AnnIndex + 'static>() {
+        assert_send_sync::<Server<I>>();
+        assert_send_sync::<Batcher<Request>>();
+    }
+};

@@ -66,7 +66,7 @@ use juno_common::topk::{merge_neighbors, ScoreOrder};
 use juno_common::vector::VectorSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// One published shard state: the index, the epoch that published it, and
@@ -442,12 +442,17 @@ impl<I: AnnIndex + 'static> FleetReader<I> {
         let order = self.states[0].index.merge_order();
         let (tx, rx) = mpsc::channel::<(usize, Result<Vec<SearchResult>>)>();
         let mut statuses: Vec<ShardStatus> = Vec::with_capacity(total);
+        // Breaker generation each shard's request was admitted under; every
+        // outcome (including the straggler sweep) reports with its stamp so
+        // the breaker can ignore outcomes that pre-date a state flip.
+        let mut admit_gens: Vec<u64> = vec![0; total];
         let mut outstanding = 0usize;
-        for s in 0..total {
-            if !self.health.breaker(s).allow() {
+        for (s, gen_slot) in admit_gens.iter_mut().enumerate() {
+            let Some(admit_gen) = self.health.breaker(s).admit() else {
                 statuses.push(ShardStatus::SkippedOpen);
                 continue;
-            }
+            };
+            *gen_slot = admit_gen;
             // Provisional: overwritten when (if) the worker reports in.
             statuses.push(ShardStatus::TimedOut);
             outstanding += 1;
@@ -471,13 +476,13 @@ impl<I: AnnIndex + 'static> FleetReader<I> {
             let wait = deadline.saturating_duration_since(Instant::now());
             match rx.recv_timeout(wait) {
                 Ok((s, Ok(batch))) => {
-                    self.health.breaker(s).record_success();
+                    self.health.breaker(s).record_success(admit_gens[s]);
                     shard_batches[s] = Some(batch);
                     statuses[s] = ShardStatus::Ok;
                     outstanding -= 1;
                 }
                 Ok((s, Err(err))) => {
-                    self.health.breaker(s).record_failure();
+                    self.health.breaker(s).record_failure(admit_gens[s]);
                     statuses[s] = ShardStatus::Failed(err);
                     outstanding -= 1;
                 }
@@ -491,7 +496,7 @@ impl<I: AnnIndex + 'static> FleetReader<I> {
         // their breakers just like explicit failures.
         for (s, status) in statuses.iter().enumerate() {
             if matches!(status, ShardStatus::TimedOut) {
-                self.health.breaker(s).record_failure();
+                self.health.breaker(s).record_failure(admit_gens[s]);
             }
         }
 
@@ -1182,9 +1187,14 @@ impl<I: AnnIndex + Clone> AnnIndex for ShardedIndex<I> {
 /// next tick with a capped exponential backoff (up to 32× the interval), so
 /// a persistently failing shard cannot turn the compactor into a hot loop —
 /// and a shard that recovers is swept again at the normal cadence.
+///
+/// Shutdown is condvar-driven: dropping the guard notifies the sleeping
+/// thread directly, so shutdown latency is one lock handoff (plus at most
+/// one in-flight sweep), independent of the configured interval — a 10 s
+/// cadence does not cost 10 s (or even 1 ms of slicing) to tear down.
 #[derive(Debug)]
 pub struct BackgroundCompactor {
-    stop: Arc<AtomicBool>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
     runs: Arc<AtomicU64>,
     errors: Arc<AtomicU64>,
     handle: Option<std::thread::JoinHandle<()>>,
@@ -1198,30 +1208,38 @@ impl BackgroundCompactor {
         I: AnnIndex + Clone + 'static,
     {
         let interval = interval.max(Duration::from_micros(100));
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let runs = Arc::new(AtomicU64::new(0));
         let errors = Arc::new(AtomicU64::new(0));
-        let (stop_flag, run_counter, error_counter) = (stop.clone(), runs.clone(), errors.clone());
+        let (stop_pair, run_counter, error_counter) = (stop.clone(), runs.clone(), errors.clone());
         let handle = std::thread::spawn(move || {
-            let slice = Duration::from_millis(1).min(interval);
+            let (stop_flag, stop_signal) = &*stop_pair;
             let mut consecutive_failures: u32 = 0;
             loop {
                 // After failures, back off exponentially (capped at 32x) so
                 // a broken shard is retried, not hammered.
                 let factor = 1u32 << consecutive_failures.min(5);
                 let wait = interval.saturating_mul(factor);
-                // Sleep in small slices so Drop returns promptly.
-                let mut slept = Duration::ZERO;
-                while slept < wait {
-                    if stop_flag.load(Ordering::Relaxed) {
+                // Wait on the condvar so Drop wakes us immediately instead
+                // of us polling a flag: shutdown latency is a lock handoff,
+                // not a sleep slice. Deadline-based loop guards against
+                // spurious wakeups without extending the cadence.
+                let deadline = Instant::now() + wait;
+                let mut stopped = stop_flag.lock().expect("compactor stop lock");
+                loop {
+                    if *stopped {
                         return;
                     }
-                    std::thread::sleep(slice);
-                    slept += slice;
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    let (guard, _timeout) = stop_signal
+                        .wait_timeout(stopped, remaining)
+                        .expect("compactor stop lock");
+                    stopped = guard;
                 }
-                if stop_flag.load(Ordering::Relaxed) {
-                    return;
-                }
+                drop(stopped);
                 match fleet.compact_all_shared() {
                     Ok(()) => {
                         consecutive_failures = 0;
@@ -1259,7 +1277,9 @@ impl BackgroundCompactor {
 
 impl Drop for BackgroundCompactor {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        let (stop_flag, stop_signal) = &*self.stop;
+        *stop_flag.lock().expect("compactor stop lock") = true;
+        stop_signal.notify_all();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }

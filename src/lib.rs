@@ -51,6 +51,7 @@ pub mod prelude {
     pub use juno_baseline::ivfpq::{IvfPqConfig, IvfPqIndex};
     pub use juno_common::index::{AnnIndex, Neighbor, SearchResult};
     pub use juno_common::metric::Metric;
+    pub use juno_common::metrics::{HistogramSnapshot, LogHistogram, Registry, RegistrySnapshot};
     pub use juno_common::recall::{r1_at_100, recall_at, GroundTruth};
     pub use juno_common::vector::VectorSet;
     pub use juno_core::config::{JunoConfig, QualityMode, ThresholdStrategy};
@@ -60,8 +61,8 @@ pub mod prelude {
     pub use juno_gpu::pipeline::ExecutionMode;
     pub use juno_serve::{
         BackgroundCompactor, BreakerConfig, BreakerState, DegradedBatch, DegradedResult, FaultKind,
-        FaultOp, FaultPlan, FaultRule, FleetReader, HealthTracker, RetryPolicy, ShardRouter,
-        ShardStatus, ShardedIndex,
+        FaultOp, FaultPlan, FaultRule, FleetReader, HealthTracker, RetryPolicy, ServeResponse,
+        ServeStats, Server, ServerConfig, ShardRouter, ShardStatus, ShardedIndex,
     };
 }
 
