@@ -1,0 +1,202 @@
+//! Durability-plane overhead benchmark: what does the write-ahead log cost
+//! an acknowledged insert under each fsync policy, how expensive are
+//! checkpoint and crash recovery, and what does serving-shaped mixed
+//! traffic (80% reads) look like with the log attached?
+//!
+//! The CI gate reads group `insert_gate`: with `FsyncPolicy::OsBuffered`
+//! (append + page cache, no fsync on the hot path) insert throughput must
+//! stay ≥ 0.9× the no-WAL fleet — the log's CPU cost (encode + checksum +
+//! buffered write) is bounded, and everything beyond it is the explicit
+//! price of fsync, paid only under `EveryN`/`Always`. Record a baseline
+//! with `JUNO_BENCH_JSON=BENCH_pr8_wal.json cargo bench --bench
+//! wal_overhead`.
+
+use juno_bench::harness::{black_box, Harness};
+use juno_bench::loadgen::{run_mixed, MixedPlan};
+use juno_bench::setup::{build_fixture, BenchScale};
+use juno_common::index::AnnIndex;
+use juno_common::wal::{FsyncPolicy, WalOptions};
+use juno_core::engine::JunoIndex;
+use juno_data::profiles::DatasetProfile;
+use juno_serve::{DurabilityConfig, ShardRouter, ShardedIndex};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const SHARDS: usize = 3;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("juno_wal_bench_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn fleet_with(
+    engine: &JunoIndex,
+    policy: Option<FsyncPolicy>,
+    tag: &str,
+) -> (ShardedIndex<JunoIndex>, Option<PathBuf>) {
+    let fleet = ShardedIndex::from_monolith(engine.clone(), SHARDS, ShardRouter::Hash { seed: 13 })
+        .expect("fleet");
+    match policy {
+        None => (fleet, None),
+        Some(policy) => {
+            let dir = scratch(tag);
+            let config = DurabilityConfig {
+                wal: WalOptions {
+                    policy,
+                    ..WalOptions::default()
+                },
+                ..DurabilityConfig::default()
+            };
+            fleet.enable_wal(&dir, config).expect("enable_wal");
+            (fleet, Some(dir))
+        }
+    }
+}
+
+fn main() {
+    let scale = BenchScale {
+        points: 10_000,
+        queries: 64,
+    };
+    let profile = DatasetProfile::DeepLike;
+    let fixture = build_fixture(profile, scale, 10, 31).expect("fixture");
+    let queries = fixture.dataset.queries.clone();
+    // A disjoint pool of vectors to insert (same distribution, new seed).
+    let pool = profile.generate(4_096, 1, 131).expect("insert pool").points;
+
+    let mut h = Harness::new("wal_overhead");
+    let mut dirs: Vec<PathBuf> = Vec::new();
+
+    // Acked-insert cost per durability configuration. The no-WAL and
+    // OsBuffered rows form the CI gate; EveryN amortises the fsync over a
+    // window; Always pays one fsync per acknowledgement (the device flush
+    // dominates, which is exactly the point of measuring it).
+    let configs: [(&str, Option<FsyncPolicy>); 4] = [
+        ("no_wal", None),
+        ("os_buffered", Some(FsyncPolicy::OsBuffered)),
+        ("fsync_every64", Some(FsyncPolicy::EveryN(64))),
+        ("fsync_always", Some(FsyncPolicy::Always)),
+    ];
+    for (name, policy) in configs {
+        let (fleet, dir) = fleet_with(&fixture.juno, policy, name);
+        dirs.extend(dir);
+        let pool = pool.clone();
+        let mut at = 0usize;
+        let mut group = h.group(
+            if policy.is_none() || policy == Some(FsyncPolicy::OsBuffered) {
+                "insert_gate"
+            } else {
+                "insert_fsync"
+            },
+        );
+        group.sample_time(Duration::from_millis(300)).samples(10);
+        group.bench(name, move || {
+            let row = pool.row(at % pool.len());
+            at += 1;
+            fleet.insert_shared(black_box(row)).expect("insert")
+        });
+    }
+
+    // Checkpoint cost (snapshot encode + atomic write + rotate + prune) on
+    // a fleet with a logged backlog, and recovery cost (newest snapshot +
+    // replay of a 512-insert suffix) — the restart-path numbers.
+    {
+        let (fleet, dir) = fleet_with(&fixture.juno, Some(FsyncPolicy::OsBuffered), "ckpt");
+        let ckpt_dir = dir.expect("durable dir");
+        for i in 0..256 {
+            fleet
+                .insert_shared(pool.row(i % pool.len()))
+                .expect("insert");
+        }
+        let mut group = h.group("restart_path");
+        group.sample_time(Duration::from_millis(600)).samples(10);
+        {
+            let fleet = &fleet;
+            let pool = &pool;
+            let mut at = 0usize;
+            group.bench("checkpoint_10k_points", move || {
+                // One mutation between checkpoints so every iteration has a
+                // fresh (small) suffix to cover, like a live system would.
+                fleet
+                    .insert_shared(pool.row(at % pool.len()))
+                    .expect("insert");
+                at += 1;
+                fleet.checkpoint().expect("checkpoint").covered_lsn
+            });
+        }
+        dirs.push(ckpt_dir);
+
+        let (fleet, dir) = fleet_with(&fixture.juno, Some(FsyncPolicy::OsBuffered), "recover");
+        let rec_dir = dir.expect("durable dir");
+        for i in 0..512 {
+            fleet
+                .insert_shared(pool.row(i % pool.len()))
+                .expect("insert");
+        }
+        let proto = fixture.juno.clone();
+        let rec_from = rec_dir.clone();
+        group.bench("recover_512_op_suffix", move || {
+            let (recovered, report) = ShardedIndex::recover_from_dir(
+                proto.clone(),
+                black_box(&rec_from),
+                DurabilityConfig::default(),
+            )
+            .expect("recover");
+            assert_eq!(report.replayed_ops, 512);
+            recovered.len()
+        });
+        dirs.push(rec_dir);
+    }
+
+    // Serving-shaped traffic: one seeded 256-op mixed plan (80% Zipf reads,
+    // writes 2:1 insert:remove) replayed per iteration against a bare fleet
+    // and a WAL-attached one — the overhead as a share of *blended* work,
+    // which is what a serving node actually feels.
+    {
+        let plan = MixedPlan::seeded(
+            256,
+            0.8,
+            scale.queries,
+            1.0,
+            (scale.points + 4_096) as u64,
+            77,
+        );
+        println!("mixed plan: {} ops, {} inserts", plan.len(), plan.inserts());
+        for (name, policy) in [
+            ("no_wal", None),
+            ("os_buffered", Some(FsyncPolicy::OsBuffered)),
+        ] {
+            let (fleet, dir) = fleet_with(&fixture.juno, policy, &format!("mixed_{name}"));
+            dirs.extend(dir);
+            let plan = plan.clone();
+            let pool = profile.generate(4_096, 1, 131).expect("insert pool").points;
+            let queries = queries.clone();
+            let mut group = h.group("mixed_256ops");
+            group.sample_time(Duration::from_millis(600)).samples(10);
+            group.bench(name, move || {
+                let report = run_mixed(
+                    &plan,
+                    |t| {
+                        fleet.search(queries.row(t), 10).expect("query");
+                    },
+                    |row| {
+                        fleet
+                            .insert_shared(pool.row(row % pool.len()))
+                            .expect("insert");
+                    },
+                    |id| {
+                        fleet.remove_shared(black_box(id)).expect("remove");
+                    },
+                );
+                report.query_ns.len() + report.insert_ns.len() + report.remove_ns.len()
+            });
+        }
+    }
+
+    h.finish();
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -14,6 +14,10 @@
 //! * **Closed loop** ([`run_closed_loop`]) — a fixed pool of synchronous
 //!   clients issue back-to-back requests; throughput at saturation, the
 //!   classical QPS number.
+//! * **Mixed read/write** ([`run_mixed`]) — a seeded interleaving of
+//!   queries, inserts and removes ([`MixedPlan`]), so write-path costs
+//!   (WAL appends, fsyncs, recovery replay) are measured under
+//!   serving-shaped traffic instead of a tight insert loop.
 //!
 //! The schedules are plain data (`Vec<Duration>`, `Vec<usize>`), so tests
 //! can pin them bit-for-bit and benches can replay identical traffic against
@@ -225,6 +229,154 @@ where
     }
 }
 
+/// One operation in a mixed read/write schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixedOp {
+    /// A search aimed at the given query-target index (Zipf-skewed over the
+    /// plan's query universe, like [`OpenLoopPlan`] targets).
+    Query(usize),
+    /// An insert of the given row of the caller's vector pool. Rows are
+    /// issued sequentially from 0, so a pool of [`MixedPlan::inserts`] rows
+    /// replays the whole plan without reuse.
+    Insert(usize),
+    /// A removal of the given id (drawn from the plan's id universe; ids
+    /// that turn out dead at replay time are expected and must be cheap).
+    Remove(u64),
+}
+
+/// A seeded mixed read/insert/remove schedule — serving-shaped traffic for
+/// write-path measurements (WAL overhead, recovery replay), replayable
+/// bit-for-bit like [`OpenLoopPlan`]. The op sequence is plain data, so the
+/// identical interleaving can be driven against different fleet
+/// configurations (no WAL, each fsync policy) and the deltas attributed to
+/// the configuration alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedPlan {
+    /// The operations, in issue order.
+    pub ops: Vec<MixedOp>,
+}
+
+impl MixedPlan {
+    /// `count` ops: a `read_fraction` share of queries (Zipf exponent
+    /// `zipf_s` over `query_universe` targets), with the write remainder
+    /// split 2:1 insert:remove; remove ids are drawn from
+    /// `0..id_universe`. Deterministic for a given argument tuple.
+    pub fn seeded(
+        count: usize,
+        read_fraction: f64,
+        query_universe: usize,
+        zipf_s: f64,
+        id_universe: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction must be in [0, 1]"
+        );
+        assert!(id_universe > 0, "remove id universe must be non-empty");
+        let mut rng = seeded(derive_seed(seed, 0x4D49_584F)); // "MIXO"
+        let mut next_row = 0usize;
+        let mut queries = 0usize;
+        let mut ops: Vec<MixedOp> = (0..count)
+            .map(|_| {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                if u < read_fraction {
+                    queries += 1;
+                    MixedOp::Query(0) // target filled in below
+                } else if rng.gen_range(0..3usize) < 2 {
+                    let row = next_row;
+                    next_row += 1;
+                    MixedOp::Insert(row)
+                } else {
+                    MixedOp::Remove(rng.gen_range(0..id_universe))
+                }
+            })
+            .collect();
+        // Zipf-skew the query targets with the shared generator so the read
+        // side of the mix matches what `OpenLoopPlan` aims at a server.
+        let targets = zipf_targets(
+            query_universe,
+            queries,
+            zipf_s,
+            derive_seed(seed, 0x4D49_5851), // "MIXQ"
+        );
+        let mut at = 0usize;
+        for op in &mut ops {
+            if let MixedOp::Query(t) = op {
+                *t = targets[at];
+                at += 1;
+            }
+        }
+        Self { ops }
+    }
+
+    /// Number of operations in the plan.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of Insert ops — equivalently, the pool rows a full replay
+    /// consumes (rows are sequential from 0).
+    pub fn inserts(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, MixedOp::Insert(_)))
+            .count()
+    }
+}
+
+/// Per-class latencies one [`run_mixed`] replay observed.
+#[derive(Debug, Clone, Default)]
+pub struct MixedReport {
+    /// Query latencies, in issue order.
+    pub query_ns: Vec<u64>,
+    /// Insert latencies, in issue order.
+    pub insert_ns: Vec<u64>,
+    /// Remove latencies, in issue order.
+    pub remove_ns: Vec<u64>,
+}
+
+/// Replays `plan` sequentially (writes on a fleet serialise on the writer
+/// lock anyway), timing each op into its class bucket. The callbacks
+/// receive the op payloads; `remove` may hit ids that were never inserted —
+/// a realistic serving condition the callee should treat as a cheap no-op.
+pub fn run_mixed<Q, I, R>(
+    plan: &MixedPlan,
+    mut query: Q,
+    mut insert: I,
+    mut remove: R,
+) -> MixedReport
+where
+    Q: FnMut(usize),
+    I: FnMut(usize),
+    R: FnMut(u64),
+{
+    let mut report = MixedReport::default();
+    for op in &plan.ops {
+        let started = Instant::now();
+        match op {
+            MixedOp::Query(t) => {
+                query(*t);
+                report.query_ns.push(duration_to_ns(started.elapsed()));
+            }
+            MixedOp::Insert(row) => {
+                insert(*row);
+                report.insert_ns.push(duration_to_ns(started.elapsed()));
+            }
+            MixedOp::Remove(id) => {
+                remove(*id);
+                report.remove_ns.push(duration_to_ns(started.elapsed()));
+            }
+        }
+    }
+    report
+}
+
 fn duration_to_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
@@ -330,5 +482,73 @@ mod tests {
         assert_eq!(report.completed + report.rejected, 200);
         assert_eq!(report.rejected, 20);
         assert!(report.qps() > 0.0);
+    }
+
+    #[test]
+    fn mixed_plan_is_deterministic_with_the_requested_shape() {
+        let plan = MixedPlan::seeded(10_000, 0.8, 64, 1.0, 500, 21);
+        assert_eq!(
+            plan,
+            MixedPlan::seeded(10_000, 0.8, 64, 1.0, 500, 21),
+            "same seed, same plan"
+        );
+        assert_ne!(
+            plan,
+            MixedPlan::seeded(10_000, 0.8, 64, 1.0, 500, 22),
+            "seed matters"
+        );
+        let (mut queries, mut removes) = (0usize, 0usize);
+        let mut rows = Vec::new();
+        for op in &plan.ops {
+            match op {
+                MixedOp::Query(t) => {
+                    assert!(*t < 64);
+                    queries += 1;
+                }
+                MixedOp::Insert(row) => rows.push(*row),
+                MixedOp::Remove(id) => {
+                    assert!(*id < 500);
+                    removes += 1;
+                }
+            }
+        }
+        // 80% reads, writes split 2:1 insert:remove — generous bands, the
+        // draw is random.
+        assert!(
+            (0.77..=0.83).contains(&(queries as f64 / plan.len() as f64)),
+            "read share off: {queries}/10000"
+        );
+        let writes = plan.len() - queries;
+        assert!(
+            (0.25..=0.42).contains(&(removes as f64 / writes as f64)),
+            "remove share of writes off: {removes}/{writes}"
+        );
+        // Insert rows are sequential from 0: a pool of `inserts()` rows
+        // replays the plan with no gaps or reuse.
+        assert_eq!(rows, (0..plan.inserts()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_replay_preserves_order_and_buckets_latencies() {
+        let plan = MixedPlan {
+            ops: vec![
+                MixedOp::Insert(0),
+                MixedOp::Query(3),
+                MixedOp::Remove(7),
+                MixedOp::Insert(1),
+            ],
+        };
+        assert_eq!(plan.inserts(), 2);
+        let trace = std::cell::RefCell::new(Vec::new());
+        let report = run_mixed(
+            &plan,
+            |t| trace.borrow_mut().push(format!("q{t}")),
+            |row| trace.borrow_mut().push(format!("i{row}")),
+            |id| trace.borrow_mut().push(format!("r{id}")),
+        );
+        assert_eq!(trace.into_inner(), ["i0", "q3", "r7", "i1"]);
+        assert_eq!(report.query_ns.len(), 1);
+        assert_eq!(report.insert_ns.len(), 2);
+        assert_eq!(report.remove_ns.len(), 1);
     }
 }

@@ -29,11 +29,17 @@ use crate::error::{Error, Result};
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Suffix of the in-flight temp file (step 1 of the protocol).
 const TMP_SUFFIX: &str = "tmp";
 /// Suffix of the rotated previous generation (step 2 of the protocol).
 const PREV_SUFFIX: &str = "prev";
+
+/// Per-process sequence number making concurrent writers' temp files
+/// distinct; combined with the pid so writers in different processes never
+/// collide either.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 fn with_suffix(path: &Path, suffix: &str) -> PathBuf {
     let mut name = path
@@ -51,9 +57,17 @@ pub fn prev_path(path: &Path) -> PathBuf {
     with_suffix(path, PREV_SUFFIX)
 }
 
-/// The path of the in-flight temp file next to `path` (`<path>.tmp`).
+/// A fresh in-flight temp path next to `path`
+/// (`<path>.<pid>.<seq>.tmp`). Every call returns a distinct name: the pid
+/// separates concurrent processes and the per-process sequence number
+/// separates concurrent threads, so two writers racing on the same `path`
+/// can never clobber each other's half-written temp file. Stale temp files
+/// left behind by crashed writers are inert — readers only ever look at
+/// `path` and `path.prev`.
 pub fn tmp_path(path: &Path) -> PathBuf {
-    with_suffix(path, TMP_SUFFIX)
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    with_suffix(path, &format!("{pid}.{seq}.{TMP_SUFFIX}"))
 }
 
 fn io_err(what: &str, path: &Path, err: std::io::Error) -> Error {
@@ -77,9 +91,15 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
             .map_err(|e| io_err("write", &tmp, e))?;
         file.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
     }
-    if path.exists() {
-        let prev = prev_path(path);
-        fs::rename(path, &prev).map_err(|e| io_err("rotate to", &prev, e))?;
+    // Rotate unconditionally and tolerate a missing source: either nothing
+    // was ever published at `path`, or a concurrent writer rotated it
+    // between our rename and theirs. (A `path.exists()` check would be a
+    // TOCTOU race under concurrent writers.)
+    let prev = prev_path(path);
+    match fs::rename(path, &prev) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(io_err("rotate to", &prev, e)),
     }
     fs::rename(&tmp, path).map_err(|e| io_err("publish", path, e))?;
     // Make the renames durable. Directory fsync is best-effort on platforms
@@ -98,14 +118,27 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
 ///
 /// Callers validate candidates in order and keep the first one that parses —
 /// that is what turns the `.prev` rotation into torn-write recovery.
-pub fn read_candidates(path: &Path) -> Vec<(PathBuf, Vec<u8>)> {
+///
+/// # Errors
+///
+/// A missing candidate is normal and simply skipped, but any *other* read
+/// failure (permissions, I/O error, `path` is a directory, …) is surfaced
+/// as [`Error::Io`]: treating "could not read" as "nothing persisted" would
+/// make a transient fault indistinguishable from data loss.
+pub fn read_candidates(path: &Path) -> Result<Vec<(PathBuf, Vec<u8>)>> {
     let mut out = Vec::new();
     for candidate in [path.to_path_buf(), prev_path(path)] {
-        if let Ok(bytes) = fs::read(&candidate) {
-            out.push((candidate, bytes));
+        match fs::read(&candidate) {
+            Ok(bytes) => out.push((candidate, bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            // `fs::read` on a directory reports IsADirectory on most
+            // platforms at `read()` time, but some report it at `open()`
+            // time with other kinds; either way it is not NotFound and
+            // lands here.
+            Err(e) => return Err(io_err("read candidate", &candidate, e)),
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -120,12 +153,24 @@ mod tests {
         dir
     }
 
+    fn tmp_files_in(dir: &Path) -> Vec<PathBuf> {
+        fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".tmp"))
+            })
+            .collect()
+    }
+
     #[test]
     fn write_then_read_round_trips() {
         let dir = scratch_dir("roundtrip");
         let path = dir.join("snap.bin");
         write_atomic(&path, b"generation-1").unwrap();
-        let got = read_candidates(&path);
+        let got = read_candidates(&path).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].1, b"generation-1");
         let _ = fs::remove_dir_all(&dir);
@@ -137,11 +182,14 @@ mod tests {
         let path = dir.join("snap.bin");
         write_atomic(&path, b"old").unwrap();
         write_atomic(&path, b"new").unwrap();
-        let got = read_candidates(&path);
+        let got = read_candidates(&path).unwrap();
         assert_eq!(got.len(), 2, "live + prev");
         assert_eq!(got[0].1, b"new", "newest first");
         assert_eq!(got[1].1, b"old", "previous generation preserved");
-        assert!(!tmp_path(&path).exists(), "temp file consumed by rename");
+        assert!(
+            tmp_files_in(&dir).is_empty(),
+            "temp files consumed by rename"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -153,7 +201,7 @@ mod tests {
         write_atomic(&path, b"old").unwrap();
         write_atomic(&path, b"new").unwrap();
         fs::remove_file(&path).unwrap();
-        let got = read_candidates(&path);
+        let got = read_candidates(&path).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].1, b"old");
         let _ = fs::remove_dir_all(&dir);
@@ -162,20 +210,71 @@ mod tests {
     #[test]
     fn nothing_persisted_yields_no_candidates() {
         let dir = scratch_dir("empty");
-        assert!(read_candidates(&dir.join("never-written.bin")).is_empty());
+        assert!(read_candidates(&dir.join("never-written.bin"))
+            .unwrap()
+            .is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn stale_tmp_files_are_overwritten_not_served() {
+    fn stale_tmp_files_are_ignored_not_served() {
         let dir = scratch_dir("staletmp");
         let path = dir.join("snap.bin");
-        // A torn write died after creating the temp file…
+        // A torn write died after creating its unique temp file…
         fs::write(tmp_path(&path), b"torn half-writ").unwrap();
-        // …the live file is untouched, and the next write succeeds.
+        // …the live file is untouched, the next write succeeds, and the
+        // stale temp is never served to readers.
         write_atomic(&path, b"good").unwrap();
-        let got = read_candidates(&path);
+        let got = read_candidates(&path).unwrap();
+        assert_eq!(got.len(), 1);
         assert_eq!(got[0].1, b"good");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_candidate_is_an_error_not_nothing_persisted() {
+        let dir = scratch_dir("unreadable");
+        let path = dir.join("snap.bin");
+        // A directory squatting on the snapshot path cannot be `fs::read`;
+        // that must surface as an error, not as "nothing persisted".
+        fs::create_dir(&path).unwrap();
+        let err = read_candidates(&path).unwrap_err();
+        assert!(matches!(err, Error::Io(_)), "want Error::Io, got {err:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_clobber_each_other() {
+        let dir = scratch_dir("concurrent");
+        let path = dir.join("snap.bin");
+        let payloads: Vec<Vec<u8>> = (0..8u8)
+            .map(|i| vec![i; 4096]) // big enough that a torn mix would show
+            .collect();
+        std::thread::scope(|scope| {
+            for payload in &payloads {
+                let path = path.clone();
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        write_atomic(&path, payload).unwrap();
+                    }
+                });
+            }
+        });
+        // Every candidate (live and rotated) must be exactly one writer's
+        // payload — never an interleaving of two.
+        let got = read_candidates(&path).unwrap();
+        assert!(!got.is_empty());
+        for (who, bytes) in &got {
+            assert!(
+                payloads.iter().any(|p| p == bytes),
+                "{} holds a torn mix of payloads",
+                who.display()
+            );
+        }
+        assert!(
+            tmp_files_in(&dir).is_empty(),
+            "all temp files consumed despite the race"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

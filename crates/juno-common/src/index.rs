@@ -327,12 +327,14 @@ pub trait AnnIndex: Send + Sync {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] when no candidate file exists, and the last
+    /// Returns [`Error::Io`] when no candidate file exists *or* when a
+    /// candidate exists but cannot be read (permissions, I/O failure — a
+    /// transient fault is not "nothing persisted"), and the last
     /// candidate's validation error when every on-disk generation is
     /// rejected. On error the index is unchanged (engine restores are
     /// all-or-nothing by contract).
     fn load_from_path(&mut self, path: &std::path::Path) -> Result<()> {
-        let candidates = crate::atomic_file::read_candidates(path);
+        let candidates = crate::atomic_file::read_candidates(path)?;
         if candidates.is_empty() {
             return Err(Error::Io(format!(
                 "no snapshot found at {} (nor a .prev generation)",

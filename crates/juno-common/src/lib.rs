@@ -23,6 +23,10 @@
 //!   block-interleaved accumulation kernel (AVX2 + scalar) and the
 //!   early-abandon pruning pass shared by the JUNO engine and the IVFPQ
 //!   baseline.
+//! * [`atomic_file`] / [`wal`] — the durability plane: crash-safe snapshot
+//!   publication (write-temp + fsync + atomic rename) and the append-only
+//!   write-ahead log (checksummed LSN-stamped records, segment rotation,
+//!   torn-tail-tolerant recovery) the serving layer logs mutations to.
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@ pub mod rng;
 pub mod testing;
 pub mod topk;
 pub mod vector;
+pub mod wal;
 
 pub use error::{Error, Result};
 pub use index::{AnnIndex, Neighbor, SearchResult};

@@ -362,6 +362,28 @@ impl RegistrySnapshot {
     pub fn gauge(&self, name: &str) -> i64 {
         self.gauges.get(name).copied().unwrap_or(0)
     }
+
+    /// Folds `other` into `self`: counters add, histograms merge
+    /// bucket-wise, and gauges from `other` overwrite same-named gauges
+    /// (a gauge is a level, not a flow — summing two levels of the same
+    /// instrument is meaningless). Lets a front-end publish one combined
+    /// view over instruments that live in separate registries (e.g. the
+    /// server's `serve.*` plus the WAL's `wal.*`).
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            if let Some(existing) = self.histograms.get_mut(name) {
+                existing.merge(hist);
+            } else {
+                self.histograms.insert(name.clone(), hist.clone());
+            }
+        }
+    }
 }
 
 #[cfg(test)]

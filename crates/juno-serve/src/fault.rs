@@ -29,9 +29,22 @@
 //! * [`FaultOp::Compact`] — per shard, before a compaction clone-and-publish.
 //! * [`FaultOp::Restore`] — per restored shard, after validation but before
 //!   the fleet swaps any state in.
+//! * [`FaultOp::WalAppend`] — on the durability plane (shard 0 counters),
+//!   after a mutation's WAL records are appended but **before** they are
+//!   fsync'd: the post-append/pre-sync crash window.
+//! * [`FaultOp::Checkpoint`] — after the checkpoint snapshot file is
+//!   durably published but before the Checkpoint record is stamped into
+//!   the log: the mid-checkpoint crash window.
+//! * [`FaultOp::Rotate`] — after the WAL rotates to a fresh segment during
+//!   a checkpoint but before sealed segments are pruned: the mid-rotation
+//!   crash window.
 //!
 //! Injected panics carry [`juno_common::testing::INJECTED_PANIC_MARKER`] so
 //! chaos suites can silence their print-out while real panics stay loud.
+//! [`FaultKind::Crash`] aborts the whole process at the injection point —
+//! it exists for subprocess crash harnesses (the parent spawns a child with
+//! a Crash rule, waits for the abort, then recovers from the child's WAL
+//! directory) and is therefore never drawn by [`FaultPlan::chaos`].
 
 use juno_common::error::{Error, Result};
 use juno_common::rng::{derive_seed, seeded, Rng};
@@ -52,10 +65,19 @@ pub enum FaultOp {
     Compact,
     /// Restoring one shard from snapshot bytes.
     Restore,
+    /// A mutation's WAL records were appended but not yet fsync'd
+    /// (post-append/pre-sync). Fleet-level: counted on shard 0.
+    WalAppend,
+    /// A checkpoint snapshot was published but its Checkpoint record not
+    /// yet logged (mid-checkpoint). Fleet-level: counted on shard 0.
+    Checkpoint,
+    /// The WAL rotated to a fresh segment but sealed segments were not yet
+    /// pruned (mid-rotation). Fleet-level: counted on shard 0.
+    Rotate,
 }
 
 /// Number of distinct [`FaultOp`] values (sizing the counter table).
-const NUM_OPS: usize = 5;
+const NUM_OPS: usize = 8;
 
 impl FaultOp {
     fn index(self) -> usize {
@@ -65,11 +87,29 @@ impl FaultOp {
             FaultOp::Publish => 2,
             FaultOp::Compact => 3,
             FaultOp::Restore => 4,
+            FaultOp::WalAppend => 5,
+            FaultOp::Checkpoint => 6,
+            FaultOp::Rotate => 7,
         }
     }
 
     /// All instrumented operations, in counter-table order.
     pub const ALL: [FaultOp; NUM_OPS] = [
+        FaultOp::Search,
+        FaultOp::Insert,
+        FaultOp::Publish,
+        FaultOp::Compact,
+        FaultOp::Restore,
+        FaultOp::WalAppend,
+        FaultOp::Checkpoint,
+        FaultOp::Rotate,
+    ];
+
+    /// The operations [`FaultPlan::chaos`] draws rules over. The durability
+    /// kill-points are excluded on purpose: chaos plans run against fleets
+    /// with or without a WAL attached, and keeping the draw space fixed
+    /// preserves seed-for-seed replayability of existing chaos suites.
+    const CHAOS_OPS: [FaultOp; 5] = [
         FaultOp::Search,
         FaultOp::Insert,
         FaultOp::Publish,
@@ -95,6 +135,12 @@ pub enum FaultKind {
     /// Panic the calling worker (the message carries the injected-fault
     /// marker). Exercises the `catch_unwind` isolation boundaries.
     Panic,
+    /// Abort the whole process at the injection point (`std::process::abort`
+    /// — no unwinding, no destructors, no flushing). This is the kill
+    /// switch of subprocess crash harnesses: the child dies mid-protocol
+    /// and the parent asserts that recovery from the surviving on-disk
+    /// state is exact. Never drawn by [`FaultPlan::chaos`].
+    Crash,
 }
 
 /// One fault rule: fires for the window `from_op..until_op` (exclusive end;
@@ -168,7 +214,7 @@ impl FaultPlan {
             let mut rng = seeded(derive_seed(seed, shard as u64));
             let num_rules = rng.gen_range(0..=2usize);
             for _ in 0..num_rules {
-                let op = FaultOp::ALL[rng.gen_range(0..NUM_OPS)];
+                let op = FaultOp::CHAOS_OPS[rng.gen_range(0..FaultOp::CHAOS_OPS.len())];
                 let from_op = rng.gen_range(0..6u64);
                 let width = rng.gen_range(1..4u64);
                 // Persistent (unbounded) faults are rare draws; most chaos
@@ -245,7 +291,8 @@ impl FaultPlan {
     /// # Panics
     ///
     /// Panics (deliberately — the caller's `catch_unwind` boundary is the
-    /// thing under test) for [`FaultKind::Panic`] rules.
+    /// thing under test) for [`FaultKind::Panic`] rules, and **aborts the
+    /// process** for [`FaultKind::Crash`] rules.
     pub fn inject(&self, shard: usize, op: FaultOp) -> Result<()> {
         let Some(counter) = self.counters.get(shard * NUM_OPS + op.index()) else {
             return Ok(());
@@ -270,6 +317,12 @@ impl FaultPlan {
             ))),
             FaultKind::Panic => {
                 panic!("{INJECTED_PANIC_MARKER} injected panic: shard {shard} {op:?} op {at}")
+            }
+            FaultKind::Crash => {
+                // Flush nothing, unwind nothing: die exactly like a SIGKILL
+                // mid-protocol would. The line below is the only trace.
+                eprintln!("[injected-fault] crash: shard {shard} {op:?} op {at}");
+                std::process::abort();
             }
         }
     }
@@ -355,6 +408,21 @@ mod tests {
         assert_ne!(a.rules(), c.rules(), "different seeds draw different plans");
         // All generated rules stay inside the fleet.
         assert!(a.rules().iter().all(|r| r.shard < 5));
+    }
+
+    #[test]
+    fn chaos_never_draws_crash_or_durability_kill_points() {
+        for seed in 0..64u64 {
+            let plan = FaultPlan::chaos(seed, 6, Duration::from_millis(5));
+            for rule in plan.rules() {
+                assert_ne!(rule.kind, FaultKind::Crash, "seed {seed}");
+                assert!(
+                    FaultOp::CHAOS_OPS.contains(&rule.op),
+                    "seed {seed}: chaos drew durability op {:?}",
+                    rule.op
+                );
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   ([`health`]); [`fault::FaultPlan`] injects deterministic, replayable
 //!   faults at every search / insert / publish / compact / restore point for
 //!   chaos testing.
+//! * **Durability** ([`durability`]) — an attachable write-ahead log
+//!   ([`juno_common::wal`]): every acknowledged mutation is appended (and
+//!   fsync'd per policy) *before* its epoch publish, checkpoints snapshot
+//!   the fleet and prune covered segments, and
+//!   [`ShardedIndex::recover_from_dir`] rebuilds a crashed fleet
+//!   bit-identically from snapshot + WAL suffix.
 //! * [`Server`] — the online front-end: many client threads submit single
 //!   queries through a bounded ingress queue with admission control
 //!   ([`juno_common::error::Error::Overloaded`]), a size-or-deadline trigger
@@ -39,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batcher;
+pub mod durability;
 pub mod fault;
 pub mod health;
 pub mod persist;
@@ -47,6 +54,7 @@ pub mod server;
 pub mod shard;
 
 pub use batcher::{Batcher, BatcherConfig, Pending};
+pub use durability::{CheckpointReport, DurabilityConfig, RecoveryReport};
 pub use fault::{FaultKind, FaultOp, FaultPlan, FaultRule};
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker, HealthTracker, RetryPolicy};
 pub use persist::KIND_SHARD;
@@ -1410,5 +1418,258 @@ mod tests {
         let snap = server.metrics_snapshot();
         assert!(snap.counter("serve.degraded_batches") >= 1);
         assert!(snap.gauge("serve.breaker_transitions") >= 2);
+    }
+
+    // ---- durability plane -------------------------------------------------
+
+    use crate::durability::DurabilityConfig;
+    use juno_common::wal::{FsyncPolicy, WalOptions};
+
+    fn wal_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("juno_wal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The recovered fleet and the original must agree on ids, search bits,
+    /// and — via a probe insert applied to both — id-allocator state.
+    fn assert_fleet_equivalent(
+        recovered: &ShardedIndex<MiniIndex>,
+        reference: &ShardedIndex<MiniIndex>,
+        label: &str,
+    ) {
+        assert_eq!(recovered.ids(), reference.ids(), "{label}: ids");
+        for q in [[0.0f32, 0.0], [3.7, 1.1], [16.0, 6.0]] {
+            assert_bit_identical(
+                &recovered.search(&q, 12).unwrap(),
+                &reference.search(&q, 12).unwrap(),
+                &format!("{label}: search"),
+            );
+        }
+        let probe = [123.0f32, -45.0];
+        assert_eq!(
+            recovered.insert_shared(&probe).unwrap(),
+            reference.insert_shared(&probe).unwrap(),
+            "{label}: id allocator diverged"
+        );
+    }
+
+    #[test]
+    fn wal_recovery_is_bit_identical_to_the_surviving_op_history() {
+        let dir = wal_dir("roundtrip");
+        // The reference fleet sees the same ops but never crashes.
+        let reference = ShardedIndex::from_monolith(
+            MiniIndex::new(grid_rows(40)),
+            4,
+            ShardRouter::Hash { seed: 5 },
+        )
+        .unwrap();
+        let durable = ShardedIndex::from_monolith(
+            MiniIndex::new(grid_rows(40)),
+            4,
+            ShardRouter::Hash { seed: 5 },
+        )
+        .unwrap();
+        let report = durable
+            .enable_wal(&dir, DurabilityConfig::default())
+            .unwrap();
+        assert_eq!(report.covered_lsn, 0, "baseline checkpoint covers nothing");
+        assert!(durable.wal_enabled());
+
+        for i in 0..25 {
+            let v = [i as f32 * 0.31, (i % 7) as f32];
+            assert_eq!(
+                durable.insert_shared(&v).unwrap(),
+                reference.insert_shared(&v).unwrap()
+            );
+        }
+        for id in [3u64, 41, 44, 9_999] {
+            assert_eq!(
+                durable.remove_shared(id).unwrap(),
+                reference.remove_shared(id).unwrap()
+            );
+        }
+        durable.compact_all_shared().unwrap();
+        reference.compact_all_shared().unwrap();
+        let batch =
+            VectorSet::from_rows(vec![vec![50.0, 1.0], vec![51.0, 2.0], vec![52.0, 3.0]]).unwrap();
+        assert_eq!(
+            durable.insert_batch_shared(&batch).unwrap(),
+            reference.insert_batch_shared(&batch).unwrap()
+        );
+        // Baseline Checkpoint record + 25 + 3 inserts + 3 live removes
+        // + 1 compact = 33 records.
+        assert_eq!(durable.wal_last_lsn(), Some(33));
+
+        // "Crash": drop the fleet without checkpointing, recover from disk.
+        drop(durable);
+        let (recovered, report) = ShardedIndex::recover_from_dir(
+            MiniIndex::new(vec![vec![0.0, 0.0]]),
+            &dir,
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.checkpoint_lsn, 0);
+        assert_eq!(report.last_lsn, 33);
+        assert_eq!(report.replayed_ops, 32, "checkpoint marker is not an op");
+        assert_eq!(report.skipped_aborted, 0);
+        assert_eq!(report.checkpoints_tried, 1);
+        assert!(recovered.wal_enabled(), "recovery re-attaches the WAL");
+        assert_fleet_equivalent(&recovered, &reference, "no-checkpoint recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_prunes_covered_segments_and_recovery_replays_the_suffix() {
+        let dir = wal_dir("ckpt");
+        let reference =
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(30)), 2, ShardRouter::Modulo)
+                .unwrap();
+        let durable =
+            ShardedIndex::from_monolith(MiniIndex::new(grid_rows(30)), 2, ShardRouter::Modulo)
+                .unwrap();
+        // Tiny segments force rotation so the checkpoint has sealed
+        // segments to prune.
+        durable
+            .enable_wal(
+                &dir,
+                DurabilityConfig {
+                    wal: WalOptions {
+                        policy: FsyncPolicy::Always,
+                        segment_bytes: 256,
+                    },
+                    keep_checkpoints: 2,
+                },
+            )
+            .unwrap();
+        for i in 0..12 {
+            let v = [i as f32, 1.0];
+            durable.insert_shared(&v).unwrap();
+            reference.insert_shared(&v).unwrap();
+        }
+        let report = durable.checkpoint().unwrap();
+        // Baseline Checkpoint record (LSN 1) + 12 inserts.
+        assert_eq!(report.covered_lsn, 13);
+        assert!(report.pruned_segments > 0, "tiny segments should rotate");
+
+        for i in 12..18 {
+            let v = [i as f32, 2.0];
+            durable.insert_shared(&v).unwrap();
+            reference.insert_shared(&v).unwrap();
+        }
+        durable.remove_shared(2).unwrap();
+        reference.remove_shared(2).unwrap();
+
+        drop(durable);
+        let (recovered, report) = ShardedIndex::recover_from_dir(
+            MiniIndex::new(vec![vec![0.0, 0.0]]),
+            &dir,
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        // The mid-test Checkpoint record itself occupies LSN 14; the
+        // replayed suffix = 6 inserts + 1 remove.
+        assert_eq!(report.checkpoint_lsn, 13);
+        assert_eq!(report.replayed_ops, 7);
+        assert_fleet_equivalent(&recovered, &reference, "checkpoint + suffix");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rolled_back_writes_are_aborted_on_the_log_and_skipped_by_replay() {
+        let dir = wal_dir("abort");
+        let reference = four_shard_fleet(40);
+        let durable = four_shard_fleet(40);
+        durable
+            .enable_wal(&dir, DurabilityConfig::default())
+            .unwrap();
+        for i in 0..6 {
+            let v = [i as f32, 0.5];
+            durable.insert_shared(&v).unwrap();
+            reference.insert_shared(&v).unwrap();
+        }
+        // A publish fault *after* the WAL append: the op is on the log but
+        // was never acknowledged, and the fleet rolled back. The Abort
+        // record must keep replay (and the id allocator) in lockstep with
+        // the rolled-back reference.
+        let plan =
+            Arc::new(FaultPlan::new(4).with_rule(first_n(2, FaultOp::Publish, 1, FaultKind::Fail)));
+        durable.set_fault_plan(Some(plan));
+        let batch = VectorSet::from_rows(vec![vec![90.0, 90.0], vec![91.0, 91.0]]).unwrap();
+        assert!(durable.insert_batch_shared(&batch).is_err());
+        durable.set_fault_plan(None);
+
+        // Both sides continue with identical acknowledged histories.
+        for i in 6..10 {
+            let v = [i as f32, 0.25];
+            assert_eq!(
+                durable.insert_shared(&v).unwrap(),
+                reference.insert_shared(&v).unwrap(),
+                "post-rollback id lockstep"
+            );
+        }
+        drop(durable);
+        let (recovered, report) = ShardedIndex::recover_from_dir(
+            MiniIndex::new(vec![vec![0.0, 0.0]]),
+            &dir,
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.skipped_aborted, 2, "the aborted batch is skipped");
+        assert_fleet_equivalent(&recovered, &reference, "abort-aware replay");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durability_misuse_is_rejected_cleanly() {
+        let dir = wal_dir("misuse");
+        let fleet = four_shard_fleet(20);
+        // Checkpoint without a WAL.
+        assert!(matches!(fleet.checkpoint(), Err(Error::InvalidConfig(_))));
+        fleet.enable_wal(&dir, DurabilityConfig::default()).unwrap();
+        // Double attach.
+        assert!(matches!(
+            fleet.enable_wal(&dir, DurabilityConfig::default()),
+            Err(Error::InvalidConfig(_))
+        ));
+        // Recovering from a directory that is not a durability dir.
+        let empty = wal_dir("misuse_empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(matches!(
+            ShardedIndex::recover_from_dir(
+                MiniIndex::new(vec![vec![0.0, 0.0]]),
+                &empty,
+                DurabilityConfig::default(),
+            ),
+            Err(Error::Io(_))
+        ));
+        // restore_from_bytes detaches the WAL (the log no longer describes
+        // the fleet's history).
+        let mut fleet = fleet;
+        let bytes = fleet.to_snapshot_bytes().unwrap();
+        fleet.restore_from_bytes(&bytes).unwrap();
+        assert!(!fleet.wal_enabled(), "restore must detach the WAL");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&empty);
+    }
+
+    #[test]
+    fn server_passthroughs_log_durably_and_merge_wal_metrics() {
+        let dir = wal_dir("server");
+        let fleet = Arc::new(four_shard_fleet(30));
+        fleet.enable_wal(&dir, DurabilityConfig::default()).unwrap();
+        let server = Server::spawn(fleet.clone(), ServerConfig::default()).unwrap();
+        let id = server.insert(&[7.5, 7.5]).unwrap();
+        assert!(server.remove(id).unwrap());
+        server.query(&[1.0, 1.0], 3).unwrap();
+        let report = server.checkpoint().unwrap();
+        // Baseline Checkpoint record + insert + remove.
+        assert_eq!(report.covered_lsn, 3, "insert + remove were logged");
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("wal.records"), 4, "2 ckpts + 2 mutations");
+        assert!(snap.histograms.contains_key("wal.append_ns"));
+        assert!(snap.histograms.contains_key("serve.latency_ns"));
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -213,6 +213,8 @@ impl<I: AnnIndex + 'static> Server<I> {
     /// via [`juno_common::metrics::HistogramSnapshot`]), admission counters
     /// (`serve.admitted` / `serve.rejected`), dispatch counters, the current
     /// `serve.queue_depth` gauge and cumulative `serve.breaker_transitions`.
+    /// When the fleet has a WAL attached, the durability plane's `wal.*`
+    /// counters and histograms are folded into the same snapshot.
     pub fn metrics_snapshot(&self) -> RegistrySnapshot {
         self.metrics
             .gauge("serve.queue_depth")
@@ -220,7 +222,9 @@ impl<I: AnnIndex + 'static> Server<I> {
         self.metrics
             .gauge("serve.breaker_transitions")
             .set(self.fleet.health().total_transitions() as i64);
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.merge(&self.fleet.wal_metrics());
+        snap
     }
 
     /// Every shard breaker's current state (for dashboards and tests).
@@ -246,6 +250,32 @@ impl<I: AnnIndex + 'static> Server<I> {
     /// (e.g. while other threads still hold clones of the server's `Arc`).
     pub fn shutdown(&self) {
         self.batcher.close();
+    }
+}
+
+/// Mutation passthroughs, available when the fleet's engine supports the
+/// clone-and-publish write path. When the fleet has a WAL attached (see
+/// [`ShardedIndex::enable_wal`]), each acknowledged call here is durable per
+/// the configured [`FsyncPolicy`](juno_common::wal::FsyncPolicy) — the record
+/// is on the log *before* concurrent queries can observe the new state.
+impl<I: AnnIndex + Clone + 'static> Server<I> {
+    /// Inserts one vector through the fleet write path; returns its global
+    /// id. Concurrent queries keep serving their pinned epoch.
+    pub fn insert(&self, vector: &[f32]) -> Result<u64> {
+        self.fleet.insert_shared(vector)
+    }
+
+    /// Removes `id`; `Ok(false)` when it was not live.
+    pub fn remove(&self, id: u64) -> Result<bool> {
+        self.fleet.remove_shared(id)
+    }
+
+    /// Checkpoints the fleet's durability plane (see
+    /// [`ShardedIndex::checkpoint`]): snapshots the fleet, stamps the WAL,
+    /// prunes covered segments. Errors with
+    /// [`Error::InvalidConfig`] when no WAL is attached.
+    pub fn checkpoint(&self) -> Result<crate::durability::CheckpointReport> {
+        self.fleet.checkpoint()
     }
 }
 

@@ -55,15 +55,18 @@
 //! are instrumented for deterministic chaos testing via
 //! [`crate::fault::FaultPlan`].
 
+use crate::durability::{CheckpointReport, Durability, DurabilityConfig, RecoveryReport};
 use crate::fault::{FaultOp, FaultPlan};
 use crate::health::{BreakerConfig, BreakerState, HealthTracker, RetryPolicy};
 use crate::persist;
 use crate::router::{ShardRouter, MAX_SHARDS};
 use juno_common::error::{Error, Result};
 use juno_common::index::{AnnIndex, SearchResult, SearchStats};
+use juno_common::metrics::{Registry, RegistrySnapshot};
 use juno_common::parallel;
 use juno_common::topk::{merge_neighbors, ScoreOrder};
 use juno_common::vector::VectorSet;
+use juno_common::wal::{self, Wal, WalRecord};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
@@ -542,6 +545,11 @@ pub struct ShardedIndex<I: AnnIndex> {
     /// Chaos-testing fault plan (`None` in production). Behind its own lock
     /// so tests can attach/detach plans without a writer handle.
     fault: RwLock<Option<Arc<FaultPlan>>>,
+    /// The durability plane (`None` until [`ShardedIndex::enable_wal`] or
+    /// [`ShardedIndex::recover_from_dir`] attaches one). Mutations consult
+    /// it under the writer lock; the `RwLock` only exists so attachment
+    /// does not need `&mut self`.
+    durability: RwLock<Option<Arc<Durability>>>,
 }
 
 impl<I: AnnIndex> ShardedIndex<I> {
@@ -562,6 +570,7 @@ impl<I: AnnIndex> ShardedIndex<I> {
             breaker_config,
             retry_policy,
             fault: RwLock::new(None),
+            durability: RwLock::new(None),
         }
     }
 
@@ -585,6 +594,39 @@ impl<I: AnnIndex> ShardedIndex<I> {
     /// The currently attached fault plan, if any.
     pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
         self.fault.read().expect("fault plan lock poisoned").clone()
+    }
+
+    fn durability_handle(&self) -> Option<Arc<Durability>> {
+        self.durability
+            .read()
+            .expect("durability lock poisoned")
+            .clone()
+    }
+
+    /// Whether a write-ahead log is attached (mutations are durable).
+    pub fn wal_enabled(&self) -> bool {
+        self.durability_handle().is_some()
+    }
+
+    /// The WAL's metrics registry (`wal.append_ns` / `wal.fsync_ns`
+    /// histograms, byte/record/segment/checkpoint counters), when a WAL is
+    /// attached. Share-able with a serving front-end's own registry via
+    /// [`RegistrySnapshot::merge`](juno_common::metrics::RegistrySnapshot::merge).
+    pub fn wal_registry(&self) -> Option<Arc<Registry>> {
+        self.durability_handle().map(|d| Arc::clone(d.registry()))
+    }
+
+    /// Point-in-time snapshot of the `wal.*` metrics; empty when no WAL is
+    /// attached.
+    pub fn wal_metrics(&self) -> RegistrySnapshot {
+        self.wal_registry()
+            .map(|r| r.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// The LSN of the last appended WAL record (`None` without a WAL).
+    pub fn wal_last_lsn(&self) -> Option<u64> {
+        self.durability_handle().map(|d| d.wal.last_lsn())
     }
 
     /// The shared health tracker (per-shard breakers + retry policy).
@@ -820,17 +862,40 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
     /// staging or publish loop is caught, rolled back the same way, and
     /// surfaced as [`Error::WorkerPanicked`] (the writer lock is released
     /// unpoisoned). Rejects mapped fleets with [`Error::Unsupported`].
+    ///
+    /// # Durability
+    ///
+    /// With a WAL attached ([`ShardedIndex::enable_wal`]), one Insert
+    /// record per vector is appended — and fsync'd per the configured
+    /// [`FsyncPolicy`](juno_common::wal::FsyncPolicy) — **before** any
+    /// shard publishes, so an acknowledged batch is always recoverable. If
+    /// the publish loop then fails in-process, the rollback appends an
+    /// Abort record covering the batch's LSNs so replay skips them.
     pub fn insert_batch_shared(&self, vectors: &VectorSet) -> Result<Vec<u64>> {
+        self.insert_batch_inner(vectors, true)
+    }
+
+    /// `durable: false` is the recovery replay path: identical mutation
+    /// semantics, no re-logging of records that are already in the WAL.
+    fn insert_batch_inner(&self, vectors: &VectorSet, durable: bool) -> Result<Vec<u64>> {
         let _writer = self.writer.lock().expect("fleet writer lock poisoned");
         self.ensure_global()?;
         if vectors.is_empty() {
             return Ok(Vec::new());
         }
         let plan = self.fault_plan();
+        let durability = if durable {
+            self.durability_handle()
+        } else {
+            None
+        };
         let num_shards = self.num_shards();
         // Pin every shard's pre-op state (under the writer lock nothing else
         // can publish): this is the rollback target if anything below fails.
         let pre_op: Vec<Arc<ShardState<I>>> = (0..num_shards).map(|s| self.load(s)).collect();
+        // LSN range appended for this batch, visible to the rollback path
+        // (which must compensate for records whose publish never happened).
+        let wal_range = std::cell::Cell::new(None::<(u64, u64)>);
         let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<u64>> {
             let mut ids: Vec<u64> = Vec::with_capacity(vectors.len());
             let mut staged: Vec<ShardState<I>> = Vec::with_capacity(num_shards);
@@ -860,10 +925,33 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
                 }
                 staged.push(next);
             }
+            // Write-ahead: the whole batch is logged (and synced per
+            // policy) before the first shard publishes. Staging above ran
+            // first so an invalid batch is rejected without log garbage.
+            if let Some(d) = &durability {
+                let mut first = 0u64;
+                let mut last = 0u64;
+                for vector in vectors.iter() {
+                    let lsn = d.wal.append_unsynced(&WalRecord::Insert {
+                        vector: vector.to_vec(),
+                    })?;
+                    if first == 0 {
+                        first = lsn;
+                    }
+                    last = lsn;
+                }
+                wal_range.set(Some((first, last)));
+                if let Some(plan) = &plan {
+                    // The post-append/pre-sync kill point (fleet-level:
+                    // shard 0 counters).
+                    plan.inject(0, FaultOp::WalAppend)?;
+                }
+                d.wal.maybe_sync()?;
+            }
             for (s, state) in staged.into_iter().enumerate() {
                 if let Some(plan) = &plan {
-                    // The mid-publish kill point: shards 0..s are already
-                    // live on the new epoch when this fires.
+                    // The post-sync/pre-publish kill point: shards 0..s are
+                    // already live on the new epoch when this fires.
                     plan.inject(s, FaultOp::Publish)?;
                 }
                 self.publish(s, state);
@@ -885,8 +973,35 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
             for (s, state) in pre_op.into_iter().enumerate() {
                 self.publish_arc(s, state);
             }
+            self.compensate_rollback(durability.as_deref(), wal_range.get());
         }
         outcome
+    }
+
+    /// After a rollback, records already in the WAL describe ops the live
+    /// fleet never acknowledged: stamp an Abort record (always fsync'd)
+    /// covering them so a later replay skips the range instead of
+    /// resurrecting the rolled-back mutation. Best-effort: if the WAL
+    /// itself is failing, the original error already tells the caller the
+    /// fleet is in trouble, and the un-acknowledged records are allowed to
+    /// survive a crash under the durability contract.
+    fn compensate_rollback(&self, durability: Option<&Durability>, range: Option<(u64, u64)>) {
+        let (Some(d), Some((from_lsn, until_lsn))) = (durability, range) else {
+            return;
+        };
+        let aborted = d
+            .wal
+            .append_unsynced(&WalRecord::Abort {
+                from_lsn,
+                until_lsn,
+            })
+            .and_then(|_| d.wal.sync());
+        if let Err(err) = aborted {
+            eprintln!(
+                "juno-serve: failed to log rollback of WAL records \
+                 {from_lsn}..={until_lsn}: {err}"
+            );
+        }
     }
 
     /// Removes the point with the given id from its owning shard
@@ -896,13 +1011,25 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
     /// # Errors
     ///
     /// Propagates engine removal errors; rejects mapped fleets with
-    /// [`Error::Unsupported`].
+    /// [`Error::Unsupported`]. With a WAL attached, a Remove record is
+    /// appended (and synced per policy) before the publish; a removal of a
+    /// dead id mutates nothing and logs nothing.
     pub fn remove_shared(&self, id: u64) -> Result<bool> {
+        self.remove_inner(id, true)
+    }
+
+    fn remove_inner(&self, id: u64, durable: bool) -> Result<bool> {
         let _writer = self.writer.lock().expect("fleet writer lock poisoned");
         self.ensure_global()?;
         let plan = self.fault_plan();
+        let durability = if durable {
+            self.durability_handle()
+        } else {
+            None
+        };
         let owner = self.router.route(id, self.num_shards());
         let pre_op = self.load(owner);
+        let wal_range = std::cell::Cell::new(None::<(u64, u64)>);
         let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<bool> {
             if let Some(plan) = &plan {
                 plan.inject(owner, FaultOp::Insert)?;
@@ -914,6 +1041,14 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
             };
             let removed = next.index.remove(id)?;
             if removed {
+                if let Some(d) = &durability {
+                    let lsn = d.wal.append_unsynced(&WalRecord::Remove { id })?;
+                    wal_range.set(Some((lsn, lsn)));
+                    if let Some(plan) = &plan {
+                        plan.inject(0, FaultOp::WalAppend)?;
+                    }
+                    d.wal.maybe_sync()?;
+                }
                 if let Some(plan) = &plan {
                     plan.inject(owner, FaultOp::Publish)?;
                 }
@@ -933,6 +1068,7 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
             // republish of the unchanged pre-op state (harmless if nothing
             // was published; exact if the failure hit mid-operation).
             self.publish_arc(owner, pre_op);
+            self.compensate_rollback(durability.as_deref(), wal_range.get());
         }
         outcome
     }
@@ -951,9 +1087,20 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
     /// as [`Error::WorkerPanicked`]; either way the failing shard keeps its
     /// pre-sweep state, is left flagged dirty so the next sweep retries it,
     /// and the writer lock is released unpoisoned.
+    ///
+    /// With a WAL attached, one fleet-level Compact record is appended
+    /// (and synced per policy) after a sweep that compacted at least one
+    /// shard. Because compaction is bit-invisible, a crash that loses the
+    /// record only costs the replayed fleet a redundant sweep — never
+    /// parity.
     pub fn compact_all_shared(&self) -> Result<()> {
+        self.compact_inner(true)
+    }
+
+    fn compact_inner(&self, durable: bool) -> Result<()> {
         let _writer = self.writer.lock().expect("fleet writer lock poisoned");
         let plan = self.fault_plan();
+        let mut any_compacted = false;
         for s in 0..self.num_shards() {
             if !self.shards[s].dirty.swap(false, Ordering::Relaxed) {
                 continue;
@@ -979,6 +1126,13 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
                 self.shards[s].dirty.store(true, Ordering::Relaxed);
                 return Err(err);
             }
+            any_compacted = true;
+        }
+        if any_compacted && durable {
+            if let Some(d) = self.durability_handle() {
+                d.wal.append_unsynced(&WalRecord::Compact)?;
+                d.wal.maybe_sync()?;
+            }
         }
         Ok(())
     }
@@ -1001,6 +1155,12 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
     /// engine snapshots are accepted and restore into a single-shard fleet
     /// (the router is kept). On any error the fleet is left untouched;
     /// epochs continue monotonically across a successful restore.
+    ///
+    /// A successful restore **detaches** any attached WAL: the restored
+    /// state has no relationship to the log's op history, so continuing to
+    /// append would make recovery replay nonsense. Re-attach with
+    /// [`ShardedIndex::enable_wal`], which re-baselines via a fresh
+    /// checkpoint.
     ///
     /// # Errors
     ///
@@ -1059,6 +1219,9 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
                 self.retry_policy,
             ));
         }
+        // The log no longer describes this fleet's history; see the doc
+        // comment. (`recover_from_dir` re-attaches after its replay.)
+        *self.durability.write().expect("durability lock poisoned") = None;
         Ok(())
     }
 
@@ -1075,6 +1238,303 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
         let mut fleet = Self::from_monolith(prototype, 1, ShardRouter::Hash { seed: 0 })?;
         fleet.load_from_path(path)?;
         Ok(fleet)
+    }
+
+    /// Attaches a write-ahead log rooted at `dir` and writes a **baseline
+    /// checkpoint** of the current fleet state, so the directory is
+    /// immediately recoverable. From this call on, every acknowledged
+    /// mutation appends its record(s) — fsync'd per
+    /// `config.wal.policy` — *before* its epoch publish.
+    ///
+    /// The directory may be fresh or hold a previous incarnation's files;
+    /// either way the baseline checkpoint written here is the new recovery
+    /// root (surviving older records are covered by it and pruned on the
+    /// next [`ShardedIndex::checkpoint`]). To *continue* a previous
+    /// incarnation instead, use [`ShardedIndex::recover_from_dir`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when a WAL is already attached, the fleet
+    /// is mapped (read-only), or the options are invalid; [`Error::Io`] on
+    /// filesystem failure; [`Error::Unsupported`] for engines without
+    /// snapshot support (checkpoints need [`AnnIndex::snapshot`]).
+    pub fn enable_wal(
+        &self,
+        dir: &std::path::Path,
+        config: DurabilityConfig,
+    ) -> Result<CheckpointReport> {
+        let _writer = self.writer.lock().expect("fleet writer lock poisoned");
+        self.ensure_global()?;
+        if self.durability_handle().is_some() {
+            return Err(Error::invalid_config(
+                "a WAL is already attached to this fleet",
+            ));
+        }
+        let registry = Arc::new(Registry::new());
+        let wal = Wal::open(dir, config.wal, registry)?;
+        let durability = Arc::new(Durability {
+            wal,
+            dir: dir.to_path_buf(),
+            keep_checkpoints: config.keep_checkpoints.max(1),
+        });
+        let report = self.checkpoint_locked(&durability)?;
+        *self.durability.write().expect("durability lock poisoned") = Some(durability);
+        Ok(report)
+    }
+
+    /// Writes a checkpoint: publishes a fleet snapshot via
+    /// [`juno_common::atomic_file`], stamps a Checkpoint record into a
+    /// freshly rotated segment (always fsync'd), then prunes the sealed
+    /// segments and old checkpoint generations the snapshot covers.
+    /// Recovery cost after this call is O(snapshot) + O(ops since).
+    ///
+    /// A crash at *any* point inside this protocol is recoverable: the
+    /// snapshot file publishes atomically, the Checkpoint record is just a
+    /// marker (replay filters by the snapshot's covered LSN, so
+    /// not-yet-pruned segments are harmless), and pruning is pure garbage
+    /// collection.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when no WAL is attached; otherwise
+    /// propagates snapshot/filesystem errors. A failed checkpoint never
+    /// corrupts the previous recovery point.
+    pub fn checkpoint(&self) -> Result<CheckpointReport> {
+        let _writer = self.writer.lock().expect("fleet writer lock poisoned");
+        let durability = self.durability_handle().ok_or_else(|| {
+            Error::invalid_config("no WAL attached; call enable_wal or recover_from_dir first")
+        })?;
+        self.checkpoint_locked(&durability)
+    }
+
+    /// The checkpoint protocol body; the caller holds the writer lock.
+    fn checkpoint_locked(&self, d: &Durability) -> Result<CheckpointReport> {
+        let plan = self.fault_plan();
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<CheckpointReport> {
+            let bytes = persist::encode_fleet(&self.reader(), self.router)?;
+            let covered_lsn = d.wal.last_lsn();
+            juno_common::atomic_file::write_atomic(
+                &wal::checkpoint_path(&d.dir, covered_lsn),
+                &bytes,
+            )?;
+            let registry = d.registry();
+            registry.counter("wal.checkpoints").inc();
+            registry
+                .counter("wal.checkpoint_bytes")
+                .add(bytes.len() as u64);
+            if let Some(plan) = &plan {
+                // Mid-checkpoint kill point: the snapshot is durable but
+                // its Checkpoint record is not yet logged.
+                plan.inject(0, FaultOp::Checkpoint)?;
+            }
+            d.wal.rotate()?;
+            d.wal
+                .append_unsynced(&WalRecord::Checkpoint { covered_lsn })?;
+            d.wal.sync()?;
+            if let Some(plan) = &plan {
+                // Mid-rotation kill point: the fresh segment (holding the
+                // Checkpoint record) exists, the covered segments are not
+                // yet pruned.
+                plan.inject(0, FaultOp::Rotate)?;
+            }
+            let pruned_segments = d.wal.prune_sealed_up_to(covered_lsn)?;
+            let pruned_checkpoints = wal::prune_checkpoints(&d.dir, d.keep_checkpoints)?;
+            Ok(CheckpointReport {
+                covered_lsn,
+                snapshot_bytes: bytes.len() as u64,
+                pruned_segments,
+                pruned_checkpoints,
+            })
+        }));
+        attempt.unwrap_or_else(|payload| {
+            Err(Error::worker_panicked(format!(
+                "fleet checkpoint: {}",
+                parallel::panic_message(&*payload)
+            )))
+        })
+    }
+
+    /// Recovers a fleet from a durability directory: restores the **newest
+    /// parseable checkpoint generation** (falling back through rotated and
+    /// older generations when the newest is torn or corrupt), replays the
+    /// WAL suffix after its covered LSN (skipping aborted ranges), and
+    /// re-attaches the WAL so the recovered fleet keeps logging.
+    ///
+    /// The recovered fleet is **bit-identical** — ids, distance bits,
+    /// id-allocator state — to a quiescent replay of the surviving op
+    /// prefix, which under [`FsyncPolicy::Always`](juno_common::wal::FsyncPolicy)
+    /// is every acknowledged mutation. Torn WAL tails are truncated, never
+    /// fatal.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when `dir` holds no checkpoint at all (an empty or
+    /// foreign directory is not silently treated as an empty fleet);
+    /// [`Error::Corrupted`] when no checkpoint generation restores;
+    /// propagates engine replay errors.
+    pub fn recover_from_dir(
+        prototype: I,
+        dir: &std::path::Path,
+        config: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        // Opening first truncates torn tails, so replay below reads only
+        // intact records.
+        let registry = Arc::new(Registry::new());
+        let wal = Wal::open(dir, config.wal, registry)?;
+        let torn_bytes = wal.registry().snapshot().counter("wal.torn_bytes");
+
+        let checkpoints = wal::list_checkpoints(dir)?;
+        if checkpoints.is_empty() {
+            return Err(Error::Io(format!(
+                "no checkpoint found in {} (not a durability directory?)",
+                dir.display()
+            )));
+        }
+        let mut restored = None;
+        let mut checkpoints_tried = 0;
+        let mut last_err = None;
+        for (covered_lsn, path) in checkpoints.iter().rev() {
+            checkpoints_tried += 1;
+            // Each checkpoint generation has a live file and possibly a
+            // rotated `.prev`; `read_candidates` surfaces real IO errors
+            // while a missing file just moves on.
+            let candidates = match juno_common::atomic_file::read_candidates(path) {
+                Ok(c) => c,
+                Err(err) => {
+                    last_err = Some(err);
+                    continue;
+                }
+            };
+            for (candidate, bytes) in candidates {
+                match Self::from_snapshot_bytes(prototype.clone(), &bytes) {
+                    Ok(fleet) => {
+                        // Continuity check: replay is only sound when the
+                        // surviving log continues exactly where this
+                        // snapshot stops. A newer checkpoint may already
+                        // have pruned the segments between an *older*
+                        // generation and the present log — silently
+                        // restoring that older generation would skip the
+                        // pruned ops, so such a generation is rejected
+                        // rather than replayed across the gap. (An empty
+                        // suffix is fine: the snapshot alone is the state.)
+                        let suffix = wal.read_records_after(*covered_lsn)?;
+                        match suffix.first() {
+                            Some((first_lsn, _)) if *first_lsn != covered_lsn + 1 => {
+                                last_err = Some(Error::corrupted(format!(
+                                    "{}: WAL resumes at LSN {first_lsn}, not {} — the \
+                                     records between were pruned by a newer checkpoint",
+                                    candidate.display(),
+                                    covered_lsn + 1,
+                                )));
+                            }
+                            _ => {
+                                restored = Some((fleet, *covered_lsn, suffix));
+                                break;
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        last_err =
+                            Some(Error::corrupted(format!("{}: {err}", candidate.display())));
+                    }
+                }
+            }
+            if restored.is_some() {
+                break;
+            }
+        }
+        let Some((fleet, checkpoint_lsn, records)) = restored else {
+            return Err(last_err.unwrap_or_else(|| {
+                Error::corrupted(format!(
+                    "no checkpoint generation in {} restored",
+                    dir.display()
+                ))
+            }));
+        };
+
+        // Replay the suffix. Abort records mark ranges whose publish was
+        // rolled back in the previous incarnation: collect them first so a
+        // skipped insert still burns no id. Consecutive live inserts are
+        // grouped into batches — batch staging applies them sequentially
+        // per shard clone, so the result is state-identical to replaying
+        // one by one, at a fraction of the clone cost.
+        let aborted_ranges: Vec<(u64, u64)> = records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                WalRecord::Abort {
+                    from_lsn,
+                    until_lsn,
+                } => Some((*from_lsn, *until_lsn)),
+                _ => None,
+            })
+            .collect();
+        let is_aborted = |lsn: u64| aborted_ranges.iter().any(|&(a, b)| lsn >= a && lsn <= b);
+        let mut replayed_ops = 0u64;
+        let mut skipped_aborted = 0u64;
+        let mut pending: Vec<Vec<f32>> = Vec::new();
+        let flush = |fleet: &Self, pending: &mut Vec<Vec<f32>>| -> Result<()> {
+            if pending.is_empty() {
+                return Ok(());
+            }
+            let batch = VectorSet::from_rows(std::mem::take(pending))?;
+            fleet.insert_batch_inner(&batch, false)?;
+            Ok(())
+        };
+        for (lsn, record) in &records {
+            match record {
+                WalRecord::Insert { vector } => {
+                    if is_aborted(*lsn) {
+                        skipped_aborted += 1;
+                    } else {
+                        pending.push(vector.clone());
+                        replayed_ops += 1;
+                    }
+                }
+                WalRecord::Remove { id } => {
+                    flush(&fleet, &mut pending)?;
+                    if is_aborted(*lsn) {
+                        skipped_aborted += 1;
+                    } else {
+                        fleet.remove_inner(*id, false)?;
+                        replayed_ops += 1;
+                    }
+                }
+                WalRecord::Compact => {
+                    flush(&fleet, &mut pending)?;
+                    if is_aborted(*lsn) {
+                        skipped_aborted += 1;
+                    } else {
+                        // Bit-invisible; replaying keeps the physical
+                        // layout (and the dirty flags) close to the
+                        // pre-crash fleet.
+                        fleet.compact_inner(false)?;
+                        replayed_ops += 1;
+                    }
+                }
+                // Markers for the pruning protocol; no state to replay.
+                WalRecord::Checkpoint { .. } | WalRecord::Abort { .. } => {}
+            }
+        }
+        flush(&fleet, &mut pending)?;
+
+        let last_lsn = wal.last_lsn();
+        let durability = Arc::new(Durability {
+            wal,
+            dir: dir.to_path_buf(),
+            keep_checkpoints: config.keep_checkpoints.max(1),
+        });
+        *fleet.durability.write().expect("durability lock poisoned") = Some(durability);
+        Ok((
+            fleet,
+            RecoveryReport {
+                checkpoint_lsn,
+                last_lsn,
+                replayed_ops,
+                skipped_aborted,
+                checkpoints_tried,
+                torn_bytes,
+            },
+        ))
     }
 }
 

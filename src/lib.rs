@@ -54,15 +54,17 @@ pub mod prelude {
     pub use juno_common::metrics::{HistogramSnapshot, LogHistogram, Registry, RegistrySnapshot};
     pub use juno_common::recall::{r1_at_100, recall_at, GroundTruth};
     pub use juno_common::vector::VectorSet;
+    pub use juno_common::wal::{FsyncPolicy, WalOptions};
     pub use juno_core::config::{JunoConfig, QualityMode, ThresholdStrategy};
     pub use juno_core::engine::JunoIndex;
     pub use juno_data::profiles::{Dataset, DatasetProfile};
     pub use juno_gpu::device::GpuDevice;
     pub use juno_gpu::pipeline::ExecutionMode;
     pub use juno_serve::{
-        BackgroundCompactor, BreakerConfig, BreakerState, DegradedBatch, DegradedResult, FaultKind,
-        FaultOp, FaultPlan, FaultRule, FleetReader, HealthTracker, RetryPolicy, ServeResponse,
-        ServeStats, Server, ServerConfig, ShardRouter, ShardStatus, ShardedIndex,
+        BackgroundCompactor, BreakerConfig, BreakerState, CheckpointReport, DegradedBatch,
+        DegradedResult, DurabilityConfig, FaultKind, FaultOp, FaultPlan, FaultRule, FleetReader,
+        HealthTracker, RecoveryReport, RetryPolicy, ServeResponse, ServeStats, Server,
+        ServerConfig, ShardRouter, ShardStatus, ShardedIndex,
     };
 }
 

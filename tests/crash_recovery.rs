@@ -1,0 +1,571 @@
+//! Kill-point crash harness for the durability plane.
+//!
+//! The only honest way to test crash consistency is to actually crash: each
+//! scenario here spawns **this test binary as a subprocess** (the
+//! `crash_child_entry` test, armed via the `JUNO_CRASH_CHILD` env var),
+//! drives a seeded op plan against a WAL-attached JUNO fleet, and kills the
+//! child with `std::process::abort()` at a deterministic kill point via
+//! [`FaultKind::Crash`]:
+//!
+//! * `wal_append` — after the op's records are appended, before the fsync;
+//! * `publish`    — after append + fsync, before the epoch publish;
+//! * `checkpoint` — mid-checkpoint: snapshot published, Checkpoint record
+//!   not yet logged;
+//! * `rotate`     — mid-rotation: Checkpoint record logged in the fresh
+//!   segment, covered segments not yet pruned;
+//! * `torn`       — a `wal_append` crash whose tail the parent then
+//!   truncates at every byte offset, emulating a power loss that tore the
+//!   final (unsynced) batch.
+//!
+//! The child prints `acked <i>` after every acknowledged op, so the parent
+//! knows the exact surviving prefix. It rebuilds that prefix quiescently on
+//! a reference fleet (no WAL, no crash) and asserts the recovered fleet is
+//! **bit-identical**: same ids, same search distance bits, and — via a probe
+//! insert applied to both — the same id-allocator state.
+//!
+//! Seeded like the chaos suite: fixed seeds always run, plus one from
+//! `JUNO_CRASH_SEED` (printed, so any CI failure replays exactly).
+//!
+//! Two in-process tests at the bottom pin down checkpoint-generation
+//! fallback: a bogus newest generation falls back to the previous one, but
+//! a fallback that would replay across *pruned* segments is rejected as
+//! corrupt rather than silently recovering the wrong state.
+
+use juno::common::error::Error;
+use juno::common::rng::{seeded, Rng};
+use juno::common::wal;
+use juno::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+const DIM_SEED: u64 = 0x0D0C_5EED;
+const BASE_POINTS: usize = 160;
+const POOL_ROWS: usize = 128;
+const SHARDS: usize = 3;
+const N_OPS: usize = 32;
+const CKPT_AT: usize = 16;
+
+// ---------------------------------------------------------------------------
+// The seeded world: base fleet, insert pool, op plan. Parent and child both
+// derive these from the seed alone, so they agree without any other channel.
+// ---------------------------------------------------------------------------
+
+fn build_world(seed: u64) -> (ShardedIndex<JunoIndex>, Dataset, VectorSet) {
+    let ds = DatasetProfile::DeepLike
+        .generate(BASE_POINTS, 8, DIM_SEED ^ seed)
+        .expect("dataset");
+    let pool = DatasetProfile::DeepLike
+        .generate(POOL_ROWS, 1, DIM_SEED ^ seed ^ 0xFFFF)
+        .expect("pool")
+        .points;
+    let engine = JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 8,
+            nprobs: 4,
+            pq_entries: 16,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("build");
+    let fleet =
+        ShardedIndex::from_monolith(engine, SHARDS, ShardRouter::Hash { seed: 13 }).expect("fleet");
+    (fleet, ds, pool)
+}
+
+#[derive(Debug, Clone)]
+enum PlanOp {
+    /// Insert pool row `i`.
+    Insert(usize),
+    /// Batch-insert three consecutive pool rows starting at `i`.
+    Batch(usize),
+    Remove(u64),
+    Compact,
+    /// `ShardedIndex::checkpoint` on the durable fleet; a no-op on the
+    /// reference (checkpoints never change logical state).
+    Checkpoint,
+}
+
+fn op_plan(scenario: &str, seed: u64) -> Vec<PlanOp> {
+    if scenario == "torn" {
+        // Ten acked singles, then one in-flight batch for the parent to
+        // tear apart byte by byte.
+        let mut ops: Vec<PlanOp> = (0..10).map(PlanOp::Insert).collect();
+        ops.push(PlanOp::Batch(10));
+        return ops;
+    }
+    let mut rng = seeded(seed ^ 0x5EED);
+    let mut next_row = 0usize;
+    let mut ops = Vec::with_capacity(N_OPS);
+    for i in 0..N_OPS {
+        if i == CKPT_AT {
+            ops.push(PlanOp::Checkpoint);
+            continue;
+        }
+        match rng.gen_range(0..10usize) {
+            0..=5 => {
+                ops.push(PlanOp::Insert(next_row));
+                next_row += 1;
+            }
+            6..=7 => {
+                ops.push(PlanOp::Remove(
+                    rng.gen_range(0..BASE_POINTS + POOL_ROWS) as u64
+                ));
+            }
+            8 => {
+                ops.push(PlanOp::Batch(next_row));
+                next_row += 3;
+            }
+            _ => ops.push(PlanOp::Compact),
+        }
+    }
+    ops
+}
+
+fn apply_op(fleet: &ShardedIndex<JunoIndex>, pool: &VectorSet, op: &PlanOp, durable: bool) {
+    match op {
+        PlanOp::Insert(row) => {
+            fleet.insert_shared(pool.row(*row)).expect("insert");
+        }
+        PlanOp::Batch(start) => {
+            let rows = (*start..start + 3).map(|r| pool.row(r).to_vec()).collect();
+            let batch = VectorSet::from_rows(rows).expect("batch rows");
+            fleet.insert_batch_shared(&batch).expect("batch insert");
+        }
+        PlanOp::Remove(id) => {
+            fleet.remove_shared(*id).expect("remove");
+        }
+        PlanOp::Compact => fleet.compact_all_shared().expect("compact"),
+        PlanOp::Checkpoint => {
+            if durable {
+                fleet.checkpoint().expect("checkpoint");
+            }
+        }
+    }
+}
+
+/// The kill switch: a single `Crash` rule at the scenario's kill point.
+/// Fleet-level ops (`WalAppend`, `Checkpoint`, `Rotate`) count on shard 0;
+/// `Publish` is genuinely per-shard, so shard 0's publishes are the clock.
+fn crash_rule(scenario: &str, seed: u64) -> FaultRule {
+    let (op, from_op) = match scenario {
+        "wal_append" => (FaultOp::WalAppend, seed % 8),
+        "publish" => (FaultOp::Publish, seed % 3),
+        "checkpoint" => (FaultOp::Checkpoint, 0),
+        "rotate" => (FaultOp::Rotate, 0),
+        "torn" => (FaultOp::WalAppend, 10),
+        other => panic!("unknown crash scenario {other}"),
+    };
+    FaultRule {
+        shard: 0,
+        op,
+        from_op,
+        until_op: None,
+        kind: FaultKind::Crash,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The child: re-entered via `current_exe()` with JUNO_CRASH_CHILD set.
+// ---------------------------------------------------------------------------
+
+/// No-op in a normal test run. As a subprocess it attaches a WAL, arms the
+/// crash plan, and drives the seeded ops until the kill point aborts the
+/// process mid-protocol.
+#[test]
+fn crash_child_entry() {
+    let Ok(spec) = std::env::var("JUNO_CRASH_CHILD") else {
+        return;
+    };
+    let mut parts = spec.splitn(3, ':');
+    let scenario = parts.next().expect("scenario").to_string();
+    let seed: u64 = parts.next().expect("seed").parse().expect("seed u64");
+    let dir = PathBuf::from(parts.next().expect("dir"));
+
+    let (fleet, _ds, pool) = build_world(seed);
+    fleet
+        .enable_wal(&dir, DurabilityConfig::default())
+        .expect("enable_wal");
+    let plan = Arc::new(FaultPlan::new(SHARDS).with_rule(crash_rule(&scenario, seed)));
+    fleet.set_fault_plan(Some(plan));
+    for (i, op) in op_plan(&scenario, seed).iter().enumerate() {
+        apply_op(&fleet, &pool, op, true);
+        println!("acked {i}");
+    }
+    panic!("crash plan never fired — the harness is not testing anything");
+}
+
+// ---------------------------------------------------------------------------
+// The parent side.
+// ---------------------------------------------------------------------------
+
+fn crash_seeds() -> Vec<u64> {
+    let mut seeds = vec![0xC0A5, 0x51AB];
+    if let Ok(raw) = std::env::var("JUNO_CRASH_SEED") {
+        seeds.push(raw.parse().expect("JUNO_CRASH_SEED must be a u64"));
+    }
+    seeds
+}
+
+fn scratch_dir(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("juno_crash_{tag}_{seed}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Runs the child to its death and returns the index of the last
+/// acknowledged op (None when it died inside op 0).
+fn spawn_child_to_death(scenario: &str, seed: u64, dir: &Path) -> Option<usize> {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = Command::new(exe)
+        .args(["crash_child_entry", "--exact", "--nocapture"])
+        .env(
+            "JUNO_CRASH_CHILD",
+            format!("{scenario}:{seed}:{}", dir.display()),
+        )
+        .output()
+        .expect("spawn child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "{scenario}/{seed:#x}: child survived its crash plan\n\
+         --- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    assert!(
+        stderr.contains("[injected-fault] crash"),
+        "{scenario}/{seed:#x}: child died, but not at the kill point\n\
+         --- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    // Not `strip_prefix`: under `--nocapture` libtest prints the
+    // "test crash_child_entry ... " banner without a newline, so the
+    // child's first ack arrives glued to it mid-line.
+    stdout
+        .lines()
+        .filter_map(|l| l.split("acked ").nth(1))
+        .filter_map(|s| s.trim().parse::<usize>().ok())
+        .max()
+}
+
+/// Recovered vs reference: ids, search bits on every dataset query, and —
+/// when `probe` is set — the id allocator, probed by inserting one more
+/// vector into both. The probe mutates the reference, so reusing a
+/// reference across several recoveries must probe only on its last use.
+fn assert_recovered_equivalent(
+    recovered: &ShardedIndex<JunoIndex>,
+    reference: &ShardedIndex<JunoIndex>,
+    ds: &Dataset,
+    probe: bool,
+    label: &str,
+) {
+    assert_eq!(recovered.len(), reference.len(), "{label}: len");
+    assert_eq!(recovered.ids(), reference.ids(), "{label}: ids");
+    for qi in 0..ds.queries.len() {
+        let q = ds.queries.row(qi);
+        let got = recovered.search(q, 10).expect("recovered search");
+        let want = reference.search(q, 10).expect("reference search");
+        assert_eq!(got.ids(), want.ids(), "{label}: query {qi} ids");
+        for (g, w) in got.neighbors.iter().zip(&want.neighbors) {
+            assert_eq!(
+                g.distance.to_bits(),
+                w.distance.to_bits(),
+                "{label}: query {qi} distance bits"
+            );
+        }
+    }
+    if probe {
+        let probe: Vec<f32> = (0..ds.dim()).map(|d| 0.25 + d as f32 * 0.125).collect();
+        assert_eq!(
+            recovered.insert_shared(&probe).expect("recovered probe"),
+            reference.insert_shared(&probe).expect("reference probe"),
+            "{label}: id allocator diverged"
+        );
+    }
+}
+
+fn run_crash_scenario(scenario: &str, seed: u64) {
+    eprintln!(
+        "crash-recovery scenario {scenario} seed {seed:#x} \
+         (replay: JUNO_CRASH_SEED={seed})"
+    );
+    let dir = scratch_dir(scenario, seed);
+    let last_acked = spawn_child_to_death(scenario, seed, &dir);
+
+    // Rebuild the acknowledged prefix quiescently. For the two mutation
+    // kill points the in-flight op's records reached the log before the
+    // crash (append precedes both kill points), so recovery replays it:
+    // the reference applies it too. For the checkpoint-protocol kill
+    // points nothing logical was in flight.
+    let (reference, ds, pool) = build_world(seed);
+    // A pristine engine clone for the restore prototype, taken before the
+    // reference mutates (building a whole second world is expensive).
+    let proto_engine = reference.reader().shard(0).index().clone();
+    let plan = op_plan(scenario, seed);
+    let acked_end = last_acked.map_or(0, |i| i + 1);
+    for op in &plan[..acked_end] {
+        apply_op(&reference, &pool, op, false);
+    }
+    if matches!(scenario, "wal_append" | "publish" | "torn") {
+        let in_flight = plan.get(acked_end).expect("crash fired past the plan");
+        apply_op(&reference, &pool, in_flight, false);
+    } else {
+        // The checkpoint/rotate kill points fire inside the plan's
+        // Checkpoint op, so the surviving prefix is exactly everything
+        // before it.
+        assert_eq!(acked_end, CKPT_AT, "{scenario}: crash fired off-protocol");
+    }
+
+    let (recovered, report) =
+        ShardedIndex::recover_from_dir(proto_engine, &dir, DurabilityConfig::default())
+            .expect("recovery");
+    assert_eq!(
+        report.checkpoints_tried, 1,
+        "{scenario}: newest generation restores"
+    );
+    if matches!(scenario, "checkpoint" | "rotate") {
+        assert!(
+            report.checkpoint_lsn > 0,
+            "{scenario}: recovery must use the mid-crash checkpoint"
+        );
+        assert_eq!(
+            report.replayed_ops, 0,
+            "{scenario}: the crashed checkpoint covered every op"
+        );
+    }
+    assert_recovered_equivalent(
+        &recovered,
+        &reference,
+        &ds,
+        true,
+        &format!("{scenario}/{seed:#x}"),
+    );
+
+    // The recovered fleet is a first-class durable fleet: it checkpoints
+    // (completing the protocol its predecessor died inside) and keeps
+    // serving.
+    recovered.checkpoint().expect("post-recovery checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_post_append_pre_sync_recovers_bit_identically() {
+    for seed in crash_seeds() {
+        run_crash_scenario("wal_append", seed);
+    }
+}
+
+#[test]
+fn crash_post_sync_pre_publish_recovers_bit_identically() {
+    for seed in crash_seeds() {
+        run_crash_scenario("publish", seed);
+    }
+}
+
+#[test]
+fn crash_mid_checkpoint_recovers_bit_identically() {
+    for seed in crash_seeds() {
+        run_crash_scenario("checkpoint", seed);
+    }
+}
+
+#[test]
+fn crash_mid_rotation_recovers_bit_identically() {
+    for seed in crash_seeds() {
+        run_crash_scenario("rotate", seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Torn tails: crash, then shear the unsynced suffix at every byte offset.
+// ---------------------------------------------------------------------------
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("copy target");
+    for entry in std::fs::read_dir(from).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copy file");
+    }
+}
+
+/// After a post-append/pre-sync crash the final batch's three records are
+/// exactly the unsynced tail. A power loss may persist any byte-prefix of
+/// them; recovery must keep precisely the whole records and never panic.
+///
+/// Cut offsets cover every byte inside the final record plus both sides of
+/// every record boundary (the per-byte exhaustive sweep over *arbitrary*
+/// logs lives in the WAL unit tests; this one proves the property through
+/// the full fleet recovery stack on a real crash artifact).
+#[test]
+fn torn_tail_after_crash_recovers_an_exact_record_prefix() {
+    let seed = 0x70A2;
+    let dir = scratch_dir("torn", seed);
+    let last_acked = spawn_child_to_death("torn", seed, &dir);
+    assert_eq!(last_acked, Some(9), "torn plan acks its ten singles");
+
+    let (pristine, ds, pool) = build_world(seed);
+    let proto_engine = pristine.reader().shard(0).index().clone();
+    drop(pristine);
+    // One insert record on disk: header + tag + dim + the f32 payload.
+    let record = wal::RECORD_HEADER + 1 + 4 + 4 * ds.dim();
+    let tail = 3 * record;
+    let (_, seg_path) = wal::list_segments(&dir)
+        .expect("segments")
+        .into_iter()
+        .next_back()
+        .expect("a segment exists");
+    let full_len = std::fs::metadata(&seg_path).expect("segment meta").len() as usize;
+    assert!(full_len > tail, "segment must hold more than the torn tail");
+
+    // Group cuts by how many whole batch records survive, so one reference
+    // fleet serves every cut in its class.
+    let mut cuts: Vec<usize> = (1..=record).collect();
+    cuts.extend([
+        record + 1,
+        2 * record - 1,
+        2 * record,
+        2 * record + 1,
+        3 * record - 1,
+        3 * record,
+    ]);
+    let mut by_class: [Vec<usize>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for cut in cuts {
+        by_class[(tail - cut) / record].push(cut);
+    }
+
+    for (survived, class) in by_class.iter().enumerate() {
+        let (reference, _, _) = build_world(seed);
+        for op in &op_plan("torn", seed)[..10] {
+            apply_op(&reference, &pool, op, false);
+        }
+        for r in 10..10 + survived {
+            reference.insert_shared(pool.row(r)).expect("survived row");
+        }
+        for (k, &cut) in class.iter().enumerate() {
+            let work = scratch_dir("torn_cut", seed ^ cut as u64);
+            copy_dir(&dir, &work);
+            let torn_seg = work.join(seg_path.file_name().expect("segment name"));
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&torn_seg)
+                .expect("open torn segment");
+            file.set_len((full_len - cut) as u64).expect("truncate");
+            drop(file);
+
+            let (recovered, report) = ShardedIndex::recover_from_dir(
+                proto_engine.clone(),
+                &work,
+                DurabilityConfig::default(),
+            )
+            .expect("torn recovery");
+            assert_eq!(
+                report.torn_bytes,
+                ((tail - cut) % record) as u64,
+                "cut {cut}: garbage truncated"
+            );
+            assert_recovered_equivalent(
+                &recovered,
+                &reference,
+                &ds,
+                k + 1 == class.len(),
+                &format!("torn cut {cut}"),
+            );
+            let _ = std::fs::remove_dir_all(&work);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// In-process checkpoint-generation fallback semantics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bogus_newest_checkpoint_falls_back_to_the_previous_generation() {
+    let seed = 0xFA11;
+    let dir = scratch_dir("fallback", seed);
+    let (fleet, ds, pool) = build_world(seed);
+    fleet
+        .enable_wal(&dir, DurabilityConfig::default())
+        .expect("enable_wal");
+    let (reference, _, _) = build_world(seed);
+    let proto_engine = reference.reader().shard(0).index().clone();
+    for r in 0..8 {
+        fleet.insert_shared(pool.row(r)).expect("insert");
+        reference.insert_shared(pool.row(r)).expect("ref insert");
+    }
+    let good = fleet.checkpoint().expect("good checkpoint");
+    for r in 8..12 {
+        fleet.insert_shared(pool.row(r)).expect("insert");
+        reference.insert_shared(pool.row(r)).expect("ref insert");
+    }
+    let last = fleet.wal_last_lsn().expect("wal attached");
+    drop(fleet);
+
+    // A rotted "newer" generation that never finished meaningfully: its
+    // covered LSN sorts it first, its bytes parse as nothing.
+    std::fs::write(wal::checkpoint_path(&dir, last + 1), b"rotted snapshot")
+        .expect("forge bogus checkpoint");
+
+    let (recovered, report) =
+        ShardedIndex::recover_from_dir(proto_engine, &dir, DurabilityConfig::default())
+            .expect("fallback recovery");
+    assert_eq!(report.checkpoints_tried, 2, "bogus generation was skipped");
+    assert_eq!(report.checkpoint_lsn, good.covered_lsn);
+    assert_eq!(report.replayed_ops, 4, "the post-checkpoint inserts replay");
+    assert_recovered_equivalent(&recovered, &reference, &ds, true, "checkpoint fallback");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The dangerous case: the newest checkpoint is corrupt **and** its
+/// predecessor's WAL suffix was already pruned. Falling back would silently
+/// skip the pruned ops, so recovery must refuse with `Corrupted` instead of
+/// returning a wrong (stale) fleet.
+#[test]
+fn fallback_across_pruned_segments_is_rejected_not_silently_stale() {
+    let seed = 0xDEAD;
+    let dir = scratch_dir("pruned_gap", seed);
+    let (fleet, _ds, pool) = build_world(seed);
+    let proto_engine = fleet.reader().shard(0).index().clone();
+    fleet
+        .enable_wal(
+            &dir,
+            DurabilityConfig {
+                wal: WalOptions {
+                    policy: FsyncPolicy::Always,
+                    // Tiny segments so checkpoints really prune history.
+                    segment_bytes: 128,
+                },
+                keep_checkpoints: 2,
+            },
+        )
+        .expect("enable_wal");
+    for r in 0..6 {
+        fleet.insert_shared(pool.row(r)).expect("insert");
+    }
+    fleet.checkpoint().expect("checkpoint A");
+    for r in 6..12 {
+        fleet.insert_shared(pool.row(r)).expect("insert");
+    }
+    let report_b = fleet.checkpoint().expect("checkpoint B");
+    assert!(
+        report_b.pruned_segments > 0,
+        "checkpoint B must prune the A..B history for this test to bite"
+    );
+    drop(fleet);
+
+    // Rot checkpoint B in place. Generation A still parses, but the ops
+    // between A and B are gone from the log.
+    let b_path = wal::checkpoint_path(&dir, report_b.covered_lsn);
+    let len = std::fs::metadata(&b_path).expect("ckpt B meta").len();
+    std::fs::write(&b_path, vec![0xA5u8; len as usize]).expect("rot ckpt B");
+
+    let err = ShardedIndex::recover_from_dir(proto_engine, &dir, DurabilityConfig::default())
+        .expect_err("recovery across a pruned gap must refuse");
+    assert!(
+        matches!(err, Error::Corrupted(_)),
+        "expected Corrupted, got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
