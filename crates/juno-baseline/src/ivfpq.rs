@@ -327,22 +327,41 @@ impl IvfPqIndex {
         })
     }
 
-    /// Writes the snapshot to a file.
+    /// Writes the snapshot to a file **atomically** (temp file + fsync +
+    /// rename, rotating the previous snapshot to a `.prev` generation), so a
+    /// crash mid-save can never leave a torn snapshot as the only copy.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Io`] when the file cannot be written.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<()> {
-        juno_data::snapshot::write_snapshot_file(path, &self.to_snapshot_bytes())
+        juno_common::atomic_file::write_atomic(path.as_ref(), &self.to_snapshot_bytes())
     }
 
-    /// Loads an index from a snapshot file.
+    /// Loads an index from a snapshot file, falling back to the `.prev`
+    /// generation when the newest file is torn.
     ///
     /// # Errors
     ///
-    /// Propagates I/O and decoding failures.
+    /// Propagates I/O errors and the decoding failure of the newest
+    /// readable candidate.
     pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Self> {
-        Self::from_snapshot_bytes(&juno_data::snapshot::read_snapshot_file(path)?)
+        let path = path.as_ref();
+        let mut last_err = None;
+        for (candidate, bytes) in juno_common::atomic_file::read_candidates(path)? {
+            match Self::from_snapshot_bytes(&bytes) {
+                Ok(index) => return Ok(index),
+                Err(err) => {
+                    last_err = Some(Error::corrupted(format!("{}: {err}", candidate.display())))
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            Error::Io(format!(
+                "no snapshot found at {} (nor a .prev generation)",
+                path.display()
+            ))
+        }))
     }
 
     /// Builds the per-cluster LUT of a query for one selected cluster into a

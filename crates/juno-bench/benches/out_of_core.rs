@@ -1,0 +1,168 @@
+//! Out-of-core serving benchmark: what does mmap-served zero-copy restore
+//! buy over the copy path, what do cold faults cost, and how does QPS decay
+//! as the residency budget shrinks below the index's footprint?
+//!
+//! The CI gates read two contracts out of this file:
+//!
+//! * group `restore`: `mmap_restore` (map + validate, hot sections lazy)
+//!   must be ≥ 10x faster than `copy_restore` (full decode + checksum +
+//!   per-cluster block rebuild) — the tentpole's O(1)-restore claim;
+//! * group `qps`: `mapped_warm_batch64` must keep ≥ 0.95x the throughput of
+//!   `ram_batch64` — once resident, the mapped fleet serves at RAM speed.
+//!
+//! The budgeted rows (`budget50`/`budget25`) price eviction-and-refault
+//! churn when the index is 2x/4x its residency budget; they are recorded
+//! for trajectory, not gated (the cost is the workload's page-locality,
+//! not a code property). Record a baseline with
+//! `JUNO_BENCH_JSON=BENCH_pr9_mmap.json cargo bench --bench out_of_core`.
+
+use juno_bench::harness::{black_box, Harness};
+use juno_bench::setup::{build_fixture, BenchScale};
+use juno_common::index::AnnIndex;
+use juno_common::mmap::ResidencyConfig;
+use juno_core::engine::JunoIndex;
+use juno_data::profiles::DatasetProfile;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("juno_ooc_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn main() {
+    let scale = BenchScale {
+        points: 32_000,
+        queries: 64,
+    };
+    let fixture = build_fixture(DatasetProfile::DeepLike, scale, 10, 31).expect("fixture");
+    let queries = fixture.dataset.queries.clone();
+    let dir = scratch();
+    let path = dir.join("engine.snap");
+    fixture.juno.save_snapshot(&path).expect("save snapshot");
+    let snap_bytes = std::fs::metadata(&path).expect("snapshot meta").len();
+
+    let mut h = Harness::new("out_of_core");
+
+    // Restore cost: the copy path decodes, checksums and rebuilds every
+    // cluster up front; the mapped path validates the container and maps
+    // the hot sections lazily. This asymmetry is the whole point of the v3
+    // layout, so it is gated hard (>= 10x) in CI.
+    {
+        let mut group = h.group("restore");
+        group.sample_time(Duration::from_millis(500)).samples(10);
+        let from = path.clone();
+        group.bench("copy_restore", move || {
+            JunoIndex::load_snapshot(black_box(&from))
+                .expect("copy restore")
+                .len()
+        });
+        let from = path.clone();
+        group.bench("mmap_restore", move || {
+            JunoIndex::load_snapshot_mapped(black_box(&from), &ResidencyConfig::default())
+                .expect("mmap restore")
+                .len()
+        });
+        group.record("snapshot_bytes", snap_bytes as f64);
+    }
+
+    // Probe latency: a cold probe pays restore + first-touch verification
+    // of every cluster the query probes; a warm probe is pure search. The
+    // RAM row is the same search on a copy-restored engine.
+    {
+        let ram = JunoIndex::load_snapshot(&path).expect("ram engine");
+        let warm =
+            JunoIndex::load_snapshot_mapped(&path, &ResidencyConfig::default()).expect("warm");
+        let _ = warm.search_batch(&queries, 10).expect("prewarm");
+
+        let mut group = h.group("probe_latency");
+        group.sample_time(Duration::from_millis(400)).samples(10);
+        let from = path.clone();
+        let q = queries.clone();
+        let mut at = 0usize;
+        group.bench("cold_probe_q1", move || {
+            let idx = JunoIndex::load_snapshot_mapped(&from, &ResidencyConfig::default())
+                .expect("cold load");
+            let r = idx.search(q.row(at % q.len()), 10).expect("cold probe");
+            at += 1;
+            r.neighbors.len()
+        });
+        {
+            let q = queries.clone();
+            let warm = &warm;
+            let mut at = 0usize;
+            group.bench("warm_probe_q1", move || {
+                let r = warm.search(q.row(at % q.len()), 10).expect("warm probe");
+                at += 1;
+                r.neighbors.len()
+            });
+        }
+        let q = queries.clone();
+        let mut at = 0usize;
+        group.bench("ram_probe_q1", move || {
+            let r = ram.search(q.row(at % q.len()), 10).expect("ram probe");
+            at += 1;
+            r.neighbors.len()
+        });
+    }
+
+    // Batch-64 throughput: RAM-resident vs mapped at descending residency
+    // budgets. 100% = unlimited (everything stays resident after warm-up);
+    // 50%/25% cap the budget at half/a quarter of the measured footprint,
+    // so the clock hand is evicting and refaulting continuously.
+    {
+        let ram = JunoIndex::load_snapshot(&path).expect("ram engine");
+        let warm =
+            JunoIndex::load_snapshot_mapped(&path, &ResidencyConfig::default()).expect("warm");
+        let _ = warm.search_batch(&queries, 10).expect("prewarm");
+        let footprint = warm.residency_stats().expect("stats").resident_bytes;
+
+        let mut group = h.group("qps");
+        group.sample_time(Duration::from_millis(600)).samples(10);
+        group.record("resident_bytes_100pct", footprint as f64);
+        {
+            let q = queries.clone();
+            let ram = &ram;
+            group.bench("ram_batch64", move || {
+                ram.search_batch(black_box(&q), 10)
+                    .expect("ram batch")
+                    .len()
+            });
+        }
+        {
+            let q = queries.clone();
+            let warm = &warm;
+            group.bench("mapped_warm_batch64", move || {
+                warm.search_batch(black_box(&q), 10)
+                    .expect("warm batch")
+                    .len()
+            });
+        }
+        for (name, denom) in [
+            ("mapped_budget50_batch64", 2),
+            ("mapped_budget25_batch64", 4),
+        ] {
+            let capped = JunoIndex::load_snapshot_mapped(
+                &path,
+                &ResidencyConfig {
+                    budget_bytes: footprint / denom,
+                    pin_bytes: 0,
+                },
+            )
+            .expect("capped");
+            let q = queries.clone();
+            group.bench(name, move || {
+                capped
+                    .search_batch(black_box(&q), 10)
+                    .expect("capped batch")
+                    .len()
+            });
+            // (`capped` is dropped with the closure when the group ends.)
+        }
+    }
+
+    h.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -302,6 +302,39 @@ pub trait AnnIndex: Send + Sync {
         )))
     }
 
+    /// Replaces this index in place with state restored from the byte range
+    /// `offset..offset + len` of a mapped snapshot file — the out-of-core
+    /// sibling of [`AnnIndex::restore`]. Engines that can serve their hot
+    /// arrays zero-copy out of the mapping override this (and
+    /// [`AnnIndex::supports_mapped_restore`]) and honour `residency` as
+    /// their paging budget; the default simply copies the region out of the
+    /// mapping and delegates to [`AnnIndex::restore`], so every persistent
+    /// engine accepts mapped restores with unchanged semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when the range is out of bounds or the
+    /// bytes fail validation, plus everything [`AnnIndex::restore`] can
+    /// return.
+    fn restore_mapped(
+        &mut self,
+        map: &std::sync::Arc<crate::mmap::Mmap>,
+        offset: usize,
+        len: usize,
+        residency: &crate::mmap::ResidencyConfig,
+    ) -> Result<()> {
+        let _ = residency;
+        let bytes = crate::mmap::MappedBytes::new(map.clone(), offset, len)?;
+        self.restore(bytes.as_slice())
+    }
+
+    /// Returns `true` when [`AnnIndex::restore_mapped`] serves index data
+    /// zero-copy out of the mapping (rather than falling back to the
+    /// copying default).
+    fn supports_mapped_restore(&self) -> bool {
+        false
+    }
+
     /// Persists the index snapshot at `path` under the crash-safe protocol
     /// of [`crate::atomic_file`]: write-temp + fsync + atomic rename, with
     /// the previous on-disk generation rotated to `<path>.prev`. A crash at

@@ -54,6 +54,7 @@ pub mod index;
 pub mod kernel;
 pub mod metric;
 pub mod metrics;
+pub mod mmap;
 pub mod parallel;
 pub mod recall;
 pub mod rng;

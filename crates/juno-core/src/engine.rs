@@ -342,10 +342,27 @@ impl JunoIndex {
         &self.list_codes
     }
 
+    /// Whether this index serves its hot sections zero-copy from an mmap'd
+    /// snapshot (built via [`JunoIndex::load_snapshot_mapped`]).
+    pub fn is_mapped(&self) -> bool {
+        self.list_codes.is_mapped() || self.codes.is_mapped()
+    }
+
+    /// Residency counters of the mapped code layout (`None` when the index
+    /// is fully RAM-resident).
+    pub fn residency_stats(&self) -> Option<juno_quant::ResidencyStats> {
+        self.list_codes.residency_stats()
+    }
+
     /// Borrow of the subspace-level inverted index, building it on first
     /// use (the search path itself scans [`JunoIndex::list_codes`]).
     pub fn inverted(&self) -> &SubspaceInvertedIndex {
         self.inverted.get_or_init(|| {
+            // Mapped codes defer content verification; this diagnostics-only
+            // view reads them all, so force the check first.
+            self.codes
+                .ensure_verified()
+                .expect("mapped codes failed verification; verify before diagnostics");
             SubspaceInvertedIndex::build(
                 self.ivf.labels(),
                 &self.codes,
@@ -495,8 +512,13 @@ impl JunoIndex {
     ///
     /// # Errors
     ///
-    /// Infallible today; `Result` for trait conformity.
+    /// Returns [`Error::Corrupted`] when a mapped cluster fails its
+    /// deferred content verification while being pulled in for the rewrite.
     pub fn compact(&mut self) -> Result<()> {
+        // Compaction rewrites every cluster into owned storage; verify all
+        // mapped content first so a corrupt backing file cannot be folded
+        // into a "clean" compacted layout.
+        self.list_codes.ensure_resident_all()?;
         self.list_codes.compact();
         self.inverted.take();
         Ok(())
@@ -591,6 +613,9 @@ impl JunoIndex {
         let check_tombstones = self.list_codes.stored_tombstones() > 0;
 
         for (slot, &cluster) in clusters.iter().enumerate() {
+            // Fault the cluster in (and verify it) before its slices are
+            // scanned; a no-op once resident or for owned layouts.
+            self.list_codes.touch_cluster(cluster)?;
             scratch.decode.decode_slot(lut, slot);
             ctr.lut_builds += 1;
 
@@ -748,6 +773,8 @@ impl JunoIndex {
         let mut hits = std::mem::take(&mut scratch.hit_scores);
         hits.clear();
         for (slot, &cluster) in clusters.iter().enumerate() {
+            // Fault + verify before the (infallible) scan unit reads slices.
+            self.list_codes.touch_cluster(cluster)?;
             self.hitcount_cluster(
                 cluster, slot, lut, thresholds, mode, scratch, &mut hits, &mut ctr,
             );
@@ -1576,6 +1603,16 @@ impl JunoIndex {
         }
 
         let sched = self.build_group_schedule(&plans, first_slot);
+        // Fault in (and verify) every scheduled cluster up front: the
+        // grouped-scan workers are infallible, so residency faults must be
+        // taken — sequentially, in schedule order — before the fan-out.
+        // Advisory eviction keeps already-verified slices readable, so the
+        // workers stay safe even under a tight residency budget.
+        for ci in 0..sched.num_chunks() {
+            for (cluster, _) in sched.chunk(ci) {
+                self.list_codes.touch_cluster(cluster)?;
+            }
+        }
         let partial_lists = parallel::map_with(
             sched.num_chunks(),
             num_threads,
@@ -1717,12 +1754,31 @@ impl AnnIndex for JunoIndex {
     }
 
     fn snapshot(&self) -> Result<Vec<u8>> {
+        // A mapped index defers content verification; force it before the
+        // bytes are re-serialised as a fresh snapshot.
+        self.codes.ensure_verified()?;
+        self.list_codes.ensure_resident_all()?;
         Ok(self.to_snapshot_bytes())
     }
 
     fn restore(&mut self, bytes: &[u8]) -> Result<()> {
         *self = JunoIndex::from_snapshot_bytes(bytes)?;
         Ok(())
+    }
+
+    fn restore_mapped(
+        &mut self,
+        map: &std::sync::Arc<juno_common::mmap::Mmap>,
+        offset: usize,
+        len: usize,
+        residency: &juno_common::mmap::ResidencyConfig,
+    ) -> Result<()> {
+        *self = JunoIndex::from_mapped(map, offset, len, residency)?;
+        Ok(())
+    }
+
+    fn supports_mapped_restore(&self) -> bool {
+        true
     }
 
     /// Batch search, **cluster-major**: the batch is planned (probe routing

@@ -47,6 +47,12 @@ pub const MAGIC: [u8; 8] = *b"JUNOSNAP";
 /// The container format version this module writes and accepts.
 pub const FORMAT_VERSION: u32 = 1;
 
+/// Byte length of the container header (magic + version + kind + count).
+pub const CONTAINER_HEADER_LEN: usize = 20;
+
+/// Byte length of the per-section prefix (tag + payload length + checksum).
+pub const SECTION_PREFIX_LEN: usize = 16;
+
 /// Builds the `u32` engine-kind word from four ASCII bytes.
 pub const fn kind(tag: [u8; 4]) -> u32 {
     u32::from_le_bytes(tag)
@@ -61,6 +67,27 @@ pub fn fnv1a(bytes: &[u8]) -> u32 {
         hash = hash.wrapping_mul(0x0100_0193);
     }
     hash
+}
+
+/// Word-wise FNV-1a: 64-bit state fed 8 input bytes per multiply, folded to
+/// 32 bits. About an order of magnitude faster than the byte-serial
+/// [`fnv1a`], at the same tamper-detection (not cryptographic) strength.
+/// **Not interchangeable** with `fnv1a` — it exists for payloads whose
+/// verification sits on the mapped-restore fast path, where the byte-serial
+/// dependency chain would dominate an otherwise O(1) restore.
+pub fn fnv1a_w64(bytes: &[u8]) -> u32 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        hash ^= u64::from_le_bytes(w.try_into().expect("chunks_exact(8) yields 8 bytes"));
+        hash = hash.wrapping_mul(PRIME);
+    }
+    for &b in words.remainder() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    (hash ^ (hash >> 32)) as u32
 }
 
 fn corrupted(msg: impl std::fmt::Display) -> Error {
@@ -130,6 +157,17 @@ impl SectionWriter {
     /// such as re-encoding one section of an existing snapshot.
     pub fn put_raw(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// Current payload length in bytes — what writers computing absolute
+    /// file offsets (e.g. for alignment-sensitive mapped sections) add up.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` when nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
     }
 
     /// Appends a length-prefixed `u16` slice.
@@ -229,17 +267,31 @@ impl SnapshotWriter {
     }
 }
 
-/// Writes snapshot bytes to a file.
+/// Writes snapshot bytes to a file through the crash-safe
+/// [`atomic_file::write_atomic`](juno_common::atomic_file::write_atomic)
+/// protocol (temp + fsync + rename, previous generation rotated to
+/// `<path>.prev`).
+///
+/// Deprecated: call `write_atomic` directly — this wrapper survives only so
+/// old call sites keep compiling, and no longer offers anything over it.
+/// Before it delegated, a crash mid-write corrupted the only copy on disk,
+/// which is why every save helper now routes through the atomic protocol.
 ///
 /// # Errors
 ///
 /// Returns [`Error::Io`] when the file cannot be written.
+#[deprecated(note = "use juno_common::atomic_file::write_atomic directly")]
 pub fn write_snapshot_file(path: impl AsRef<Path>, bytes: &[u8]) -> Result<()> {
-    std::fs::write(path.as_ref(), bytes)?;
-    Ok(())
+    juno_common::atomic_file::write_atomic(path.as_ref(), bytes)
 }
 
 /// Reads snapshot bytes from a file.
+///
+/// Reads only the live generation at `path`; restore paths that want
+/// torn-write recovery iterate
+/// [`atomic_file::read_candidates`](juno_common::atomic_file::read_candidates)
+/// instead, falling back to `<path>.prev` when the live file is missing or
+/// fails validation.
 ///
 /// # Errors
 ///
@@ -294,13 +346,17 @@ impl<'a> Snapshot<'a> {
                     String::from_utf8_lossy(&tag)
                 )));
             }
-            if sections.iter().any(|(t, _)| *t == tag) {
-                return Err(corrupted("duplicate section tag"));
-            }
             sections.push((tag, payload));
         }
         if !cur.bytes.is_empty() {
             return Err(corrupted("trailing bytes after final section"));
+        }
+        // Sort the table once so lookups are O(log n) and duplicates become
+        // adjacent — with per-cluster section tables (out-of-core layout) a
+        // linear `any()` per insert is O(n²) in the section count.
+        sections.sort_unstable_by_key(|&(tag, _)| tag);
+        if sections.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(corrupted("duplicate section tag"));
         }
         Ok(Self { kind, sections })
     }
@@ -315,22 +371,182 @@ impl<'a> Snapshot<'a> {
         self.sections.len()
     }
 
-    /// Opens the section with the given tag for reading.
+    /// Opens the section with the given tag for reading (binary search over
+    /// the tag-sorted table built by [`Snapshot::parse`]).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Corrupted`] when the section is absent.
     pub fn section(&self, tag: [u8; 4]) -> Result<SectionReader<'a>> {
         self.sections
-            .iter()
-            .find(|(t, _)| *t == tag)
-            .map(|&(_, bytes)| SectionReader { bytes })
-            .ok_or_else(|| {
+            .binary_search_by_key(&tag, |&(t, _)| t)
+            .map(|i| SectionReader {
+                bytes: self.sections[i].1,
+            })
+            .map_err(|_| {
                 corrupted(format!(
                     "missing section {:?}",
                     String::from_utf8_lossy(&tag)
                 ))
             })
+    }
+}
+
+/// A snapshot parsed *in place* over a shared [`Mmap`] region — the
+/// zero-copy twin of [`Snapshot::parse`].
+///
+/// [`Snapshot::parse`] checksums every payload, which touches every byte
+/// and would fault the whole file into memory — the opposite of what an
+/// out-of-core restore wants. `MappedSnapshot` walks the same framing and
+/// validates the header, section table, bounds and tag uniqueness, but
+/// checksums only the sections its `is_lazy` predicate rejects. Lazy
+/// sections (the big CODE/LAYT payloads, fleet shard sections) record their
+/// absolute payload range and expected checksum instead; their consumers
+/// either carry finer-grained per-cluster checksums verified on first touch
+/// or call [`MappedSnapshot::verify_section`] before copying.
+#[derive(Debug)]
+pub struct MappedSnapshot {
+    map: std::sync::Arc<juno_common::mmap::Mmap>,
+    kind: u32,
+    /// `(tag, absolute payload offset, payload length, stored checksum)`,
+    /// sorted by tag.
+    sections: Vec<([u8; 4], usize, usize, u32)>,
+}
+
+impl MappedSnapshot {
+    /// Parses the snapshot container at `map[off..off + len]`, checksumming
+    /// every section except those `is_lazy` claims.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] for any malformed framing, out-of-range
+    /// section, duplicate tag or eager-section checksum mismatch.
+    pub fn parse(
+        map: std::sync::Arc<juno_common::mmap::Mmap>,
+        off: usize,
+        len: usize,
+        is_lazy: impl Fn(&[u8; 4]) -> bool,
+    ) -> Result<Self> {
+        let end = off
+            .checked_add(len)
+            .filter(|&e| e <= map.len())
+            .ok_or_else(|| corrupted("snapshot range exceeds the mapped file"))?;
+        let bytes = &map.as_slice()[off..end];
+        let mut cur = SectionReader { bytes };
+        if cur.take(8)? != MAGIC {
+            return Err(corrupted("bad magic"));
+        }
+        let version = cur.get_u32()?;
+        if version != FORMAT_VERSION {
+            return Err(corrupted(format!(
+                "unknown container version {version} (reader supports {FORMAT_VERSION})"
+            )));
+        }
+        let kind = cur.get_u32()?;
+        let count = cur.get_u32()? as usize;
+        let mut sections: Vec<([u8; 4], usize, usize, u32)> = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let tag: [u8; 4] = cur.take(4)?.try_into().expect("take(4) yields 4 bytes");
+            let sec_len = usize::try_from(cur.get_u64()?)
+                .map_err(|_| corrupted("section length exceeds address space"))?;
+            let checksum = cur.get_u32()?;
+            // The payload's absolute offset is recoverable from how much of
+            // `bytes` the cursor has consumed so far.
+            let consumed = bytes.len() - cur.bytes.len();
+            let payload = cur.take(sec_len)?;
+            if !is_lazy(&tag) && fnv1a(payload) != checksum {
+                return Err(corrupted(format!(
+                    "checksum mismatch in section {:?}",
+                    String::from_utf8_lossy(&tag)
+                )));
+            }
+            sections.push((tag, off + consumed, sec_len, checksum));
+        }
+        if !cur.bytes.is_empty() {
+            return Err(corrupted("trailing bytes after final section"));
+        }
+        sections.sort_unstable_by_key(|&(tag, ..)| tag);
+        if sections.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(corrupted("duplicate section tag"));
+        }
+        Ok(Self {
+            map,
+            kind,
+            sections,
+        })
+    }
+
+    /// The engine kind stored in the header.
+    pub fn kind(&self) -> u32 {
+        self.kind
+    }
+
+    /// Number of sections.
+    pub fn num_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// The shared mapping this snapshot was parsed from.
+    pub fn map(&self) -> &std::sync::Arc<juno_common::mmap::Mmap> {
+        &self.map
+    }
+
+    /// Tags of all sections, sorted.
+    pub fn tags(&self) -> impl Iterator<Item = [u8; 4]> + '_ {
+        self.sections.iter().map(|&(tag, ..)| tag)
+    }
+
+    fn entry(&self, tag: [u8; 4]) -> Result<&([u8; 4], usize, usize, u32)> {
+        self.sections
+            .binary_search_by_key(&tag, |&(t, ..)| t)
+            .map(|i| &self.sections[i])
+            .map_err(|_| {
+                corrupted(format!(
+                    "missing section {:?}",
+                    String::from_utf8_lossy(&tag)
+                ))
+            })
+    }
+
+    /// The absolute `(offset, length)` of a section's payload within the
+    /// mapping — what the zero-copy decoders slice their views from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when the section is absent.
+    pub fn section_range(&self, tag: [u8; 4]) -> Result<(usize, usize)> {
+        self.entry(tag).map(|&(_, off, len, _)| (off, len))
+    }
+
+    /// Opens a section for cursor-based reading, borrowing from the mapping
+    /// (no copy; reading faults pages in as it goes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when the section is absent.
+    pub fn section_reader(&self, tag: [u8; 4]) -> Result<SectionReader<'_>> {
+        let &(_, off, len, _) = self.entry(tag)?;
+        Ok(SectionReader {
+            bytes: &self.map.as_slice()[off..off + len],
+        })
+    }
+
+    /// Checksums a (lazy) section in full — the copy-path fallback uses
+    /// this before deserializing a section it will not verify lazily.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when the section is absent or its
+    /// checksum does not match.
+    pub fn verify_section(&self, tag: [u8; 4]) -> Result<()> {
+        let &(_, off, len, checksum) = self.entry(tag)?;
+        if fnv1a(&self.map.as_slice()[off..off + len]) != checksum {
+            return Err(corrupted(format!(
+                "checksum mismatch in section {:?}",
+                String::from_utf8_lossy(&tag)
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -343,6 +559,13 @@ pub struct SectionReader<'a> {
 }
 
 impl<'a> SectionReader<'a> {
+    /// Opens a cursor over raw payload bytes the caller already framed and
+    /// verified — e.g. the body of a sentinel-versioned section after its
+    /// own header and checksum have been peeled off.
+    pub fn over(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.bytes.len() < n {
             return Err(corrupted(format!(
@@ -603,6 +826,85 @@ mod tests {
     }
 
     #[test]
+    fn mapped_parse_matches_copy_parse() {
+        let bytes = sample_snapshot();
+        let map = juno_common::mmap::Mmap::from_bytes(bytes.clone());
+        let snap = MappedSnapshot::parse(map, 0, bytes.len(), |_| false).unwrap();
+        assert_eq!(snap.kind(), K);
+        assert_eq!(snap.num_sections(), 2);
+        let mut a = snap.section_reader(*b"AAAA").unwrap();
+        assert_eq!(a.get_u8().unwrap(), 7);
+        assert_eq!(a.get_u32().unwrap(), 0xDEAD_BEEF);
+        let (off, len) = snap.section_range(*b"BBBB").unwrap();
+        assert!(off > 0 && off + len <= bytes.len());
+        assert!(snap.section_range(*b"ZZZZ").is_err());
+    }
+
+    #[test]
+    fn mapped_parse_at_nonzero_offset() {
+        // An engine snapshot embedded inside a larger file (a fleet
+        // S-section) parses from its sub-range.
+        let inner = sample_snapshot();
+        let mut file = vec![0xABu8; 100];
+        file.extend_from_slice(&inner);
+        file.extend_from_slice(&[0xCD; 7]);
+        let map = juno_common::mmap::Mmap::from_bytes(file);
+        let snap = MappedSnapshot::parse(map, 100, inner.len(), |_| false).unwrap();
+        assert_eq!(snap.kind(), K);
+        let (off, _) = snap.section_range(*b"AAAA").unwrap();
+        assert!(off >= 100 + 20, "absolute offset includes the base");
+        // Ranges that spill outside the file are corruption, not a panic.
+        let map2 = snap.map().clone();
+        assert!(MappedSnapshot::parse(map2.clone(), 100, inner.len() + 8, |_| false).is_err());
+        assert!(MappedSnapshot::parse(map2, usize::MAX, 8, |_| false).is_err());
+    }
+
+    #[test]
+    fn lazy_sections_skip_checksum_until_verified() {
+        let mut bytes = sample_snapshot();
+        let cheap = Snapshot::parse(&bytes).unwrap();
+        drop(cheap);
+        // Flip one byte inside BBBB's payload (last byte of the file is
+        // payload data of the final section).
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        // Eager parse rejects it…
+        assert!(Snapshot::parse(&bytes).is_err());
+        let map = juno_common::mmap::Mmap::from_bytes(bytes);
+        // …mapped parse with BBBB lazy defers the check…
+        let snap = MappedSnapshot::parse(map.clone(), 0, n, |tag| tag == b"BBBB").unwrap();
+        // …and verify_section catches it on demand.
+        assert!(snap.verify_section(*b"BBBB").is_err());
+        assert!(snap.verify_section(*b"AAAA").is_ok());
+        // With nothing lazy the parse itself rejects the flip.
+        assert!(MappedSnapshot::parse(map, 0, n, |_| false).is_err());
+    }
+
+    #[test]
+    fn mapped_parse_never_panics_on_truncation_or_garbage() {
+        let bytes = sample_snapshot();
+        for len in 0..bytes.len() {
+            let map = juno_common::mmap::Mmap::from_bytes(bytes[..len].to_vec());
+            assert!(
+                MappedSnapshot::parse(map, 0, len, |_| true).is_err(),
+                "truncation to {len} bytes must be rejected"
+            );
+        }
+        let mut rng = 0x1234_5678_u64;
+        for _ in 0..200 {
+            let len = (rng % 256) as usize;
+            let garbage: Vec<u8> = (0..len)
+                .map(|_| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (rng >> 33) as u8
+                })
+                .collect();
+            let map = juno_common::mmap::Mmap::from_bytes(garbage);
+            let _ = MappedSnapshot::parse(map, 0, len, |_| true);
+        }
+    }
+
+    #[test]
     fn round_trip_preserves_every_type() {
         let bytes = sample_snapshot();
         let snap = Snapshot::parse(&bytes).unwrap();
@@ -658,6 +960,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the wrapper must keep working until it is removed
     fn file_round_trip() {
         let dir = std::env::temp_dir().join("juno_snapshot_test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -46,46 +46,83 @@
 //! (they are scanned by the exact path until the next compaction).
 
 use crate::pq::EncodedPoints;
+use crate::residency::{ResidencySet, ResidencyStats};
 use juno_common::error::{Error, Result};
 use juno_common::kernel::{
     block_lane_code, prefetch_rows, row_bytes, scan_block_with_abandon, QuantizedLut, BLOCK_LANES,
     NEVER_PRUNE,
 };
+use juno_common::mmap::{ByteStore, MappedBytes, U32Store};
+use std::sync::Arc;
 
 /// PQ codes grouped contiguously by IVF cluster, with the original point ids
 /// carried alongside, plus the append-tail / tombstone state described in the
 /// [module docs](self).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// The CSR base (`point_ids`, `codes`, the block views) is either owned
+/// (RAM-resident path) or a set of zero-copy views into a mapped snapshot
+/// (out-of-core path, [`crate::mapped::map_layout_v3`]); mutation state
+/// (tails, tombstones) is always owned. Equality compares logical content,
+/// so a mapped index equals its RAM-resident twin.
+#[derive(Debug, Clone, Default)]
 pub struct IvfListCodes {
     /// `offsets[c]..offsets[c + 1]` indexes `point_ids` (and, scaled by the
     /// subspace count, `codes`) for cluster `c`. Length `clusters + 1`.
-    offsets: Vec<u32>,
+    /// Always owned — it is tiny and consulted on every probe.
+    pub(crate) offsets: Vec<u32>,
     /// Original (dataset-order) ids of the points, grouped by cluster.
-    point_ids: Vec<u32>,
+    pub(crate) point_ids: U32Store,
     /// Codes in cluster-grouped, point-major order:
     /// `codes[(offsets[c] + i) * S + s]` is the subspace-`s` code of the
     /// `i`-th member of cluster `c`.
-    codes: Vec<u8>,
-    num_subspaces: usize,
+    pub(crate) codes: ByteStore,
+    pub(crate) num_subspaces: usize,
     /// The block-interleaved view of every cluster's base segment, consumed
     /// by the fast-scan prune pass. Derived from `offsets`/`codes`, rebuilt
-    /// on build / compaction / restore.
-    blocks: Vec<BlockCodes>,
+    /// on build / compaction / restore (or mapped in place).
+    pub(crate) blocks: Vec<BlockCodes>,
     /// Per-cluster ids appended since the last compaction.
-    extra_ids: Vec<Vec<u32>>,
+    pub(crate) extra_ids: Vec<Vec<u32>>,
     /// Per-cluster point-major codes appended since the last compaction.
-    extra_codes: Vec<Vec<u8>>,
+    pub(crate) extra_codes: Vec<Vec<u8>>,
     /// `deleted[id]` — tombstone bit per point id. Monotone: ids of deleted
     /// points are never reused, so bits stay set across compactions.
-    deleted: Vec<bool>,
+    pub(crate) deleted: Vec<bool>,
     /// The next id [`IvfListCodes::append`] will hand out.
-    next_id: u32,
+    pub(crate) next_id: u32,
     /// Number of live (stored and not tombstoned) points.
-    live: usize,
+    pub(crate) live: usize,
     /// Tombstoned records still physically present in storage (reset to zero
     /// by compaction).
-    stored_tombstones: usize,
+    pub(crate) stored_tombstones: usize,
+    /// Per-cluster residency tracking for the mapped path (`None` when the
+    /// base is owned). First touch of a cluster verifies its checksum and
+    /// faults it in; a budget evicts cold clusters.
+    pub(crate) residency: Option<Arc<ResidencySet>>,
+    /// Writer-recorded maximum base code of a mapped layout, so the restore
+    /// range check does not have to fault every code page in.
+    pub(crate) mapped_max_code: Option<u8>,
 }
+
+impl PartialEq for IvfListCodes {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical content only: residency bookkeeping (and whether the base
+        // is mapped or owned) is serving state, not index state.
+        self.offsets == other.offsets
+            && self.point_ids == other.point_ids
+            && self.codes == other.codes
+            && self.num_subspaces == other.num_subspaces
+            && self.blocks == other.blocks
+            && self.extra_ids == other.extra_ids
+            && self.extra_codes == other.extra_codes
+            && self.deleted == other.deleted
+            && self.next_id == other.next_id
+            && self.live == other.live
+            && self.stored_tombstones == other.stored_tombstones
+    }
+}
+
+impl Eq for IvfListCodes {}
 
 /// The complete serialisable state of an [`IvfListCodes`], used by the
 /// snapshot persistence layer. Produced by [`IvfListCodes::to_parts`] and
@@ -164,8 +201,8 @@ impl IvfListCodes {
         let blocks = build_blocks(&counts, &grouped, s);
         Ok(Self {
             offsets: counts,
-            point_ids,
-            codes: grouped,
+            point_ids: point_ids.into(),
+            codes: grouped.into(),
             num_subspaces: s,
             blocks,
             extra_ids: vec![Vec::new(); num_clusters],
@@ -174,6 +211,8 @@ impl IvfListCodes {
             next_id: labels.len() as u32,
             live: labels.len(),
             stored_tombstones: 0,
+            residency: None,
+            mapped_max_code: None,
         })
     }
 
@@ -281,7 +320,7 @@ impl IvfListCodes {
             // by construction, the tail because ids are handed out
             // monotonically), merged and filtered in one ordered pass.
             let (start, end) = self.bounds(c);
-            let base_ids = &self.point_ids[start..end];
+            let base_ids = &self.point_ids.as_slice()[start..end];
             let base_codes = &self.codes[start * s..end * s];
             let tail_ids = &self.extra_ids[c];
             let tail_codes = &self.extra_codes[c];
@@ -310,13 +349,17 @@ impl IvfListCodes {
         }
         self.blocks = build_blocks(&new_offsets, &new_codes, s);
         self.offsets = new_offsets;
-        self.point_ids = new_ids;
-        self.codes = new_codes;
+        self.point_ids = new_ids.into();
+        self.codes = new_codes.into();
         for c in 0..clusters {
             self.extra_ids[c].clear();
             self.extra_codes[c].clear();
         }
         self.stored_tombstones = 0;
+        // Compaction rebuilds the base in RAM, so the index is no longer
+        // serving out of the snapshot file.
+        self.residency = None;
+        self.mapped_max_code = None;
     }
 
     /// The original ids of the **base-block** members of `cluster`, in
@@ -330,7 +373,7 @@ impl IvfListCodes {
     #[inline]
     pub fn cluster_ids(&self, cluster: usize) -> &[u32] {
         let (start, end) = self.bounds(cluster);
-        &self.point_ids[start..end]
+        &self.point_ids.as_slice()[start..end]
     }
 
     /// The contiguous point-major code block of `cluster`'s base segment
@@ -387,8 +430,16 @@ impl IvfListCodes {
     /// is stored. Restore paths cross-check this against the codebook's
     /// entry count so corrupt snapshots cannot drive out-of-range LUT
     /// lookups.
+    ///
+    /// On the mapped path the base contribution is the writer-recorded
+    /// maximum (itself covered by the per-cluster checksums verified on
+    /// first touch) rather than a scan — scanning would fault the entire
+    /// code region in and defeat the out-of-core restore.
     pub fn max_code(&self) -> Option<u8> {
-        let base = self.codes.iter().copied().max();
+        let base = match self.mapped_max_code {
+            Some(max) => (!self.codes.is_empty()).then_some(max),
+            None => self.codes.iter().copied().max(),
+        };
         let tails = self
             .extra_codes
             .iter()
@@ -405,12 +456,13 @@ impl IvfListCodes {
         self.codes.len() + tail + blocks
     }
 
-    /// Clones the full state into a serialisable [`IvfListCodesParts`].
+    /// Clones the full state into a serialisable [`IvfListCodesParts`]
+    /// (copying the base out of the mapping on the out-of-core path).
     pub fn to_parts(&self) -> IvfListCodesParts {
         IvfListCodesParts {
             offsets: self.offsets.clone(),
-            point_ids: self.point_ids.clone(),
-            codes: self.codes.clone(),
+            point_ids: self.point_ids.as_slice().to_vec(),
+            codes: self.codes.to_vec(),
             num_subspaces: self.num_subspaces,
             extra_ids: self.extra_ids.clone(),
             extra_codes: self.extra_codes.clone(),
@@ -505,8 +557,8 @@ impl IvfListCodes {
         let blocks = build_blocks(&offsets, &codes, num_subspaces);
         Ok(Self {
             offsets,
-            point_ids,
-            codes,
+            point_ids: point_ids.into(),
+            codes: codes.into(),
             num_subspaces,
             blocks,
             extra_ids,
@@ -515,7 +567,51 @@ impl IvfListCodes {
             next_id,
             live,
             stored_tombstones,
+            residency: None,
+            mapped_max_code: None,
         })
+    }
+
+    /// Ensures `cluster`'s base segment is resident and verified before a
+    /// probe reads it. A no-op on the owned (RAM-resident) path; on the
+    /// mapped path the first touch checks the cluster's checksum and
+    /// structural invariants, faults its pages in, and may evict cold
+    /// clusters to stay inside the residency budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when the mapped cluster fails
+    /// verification — the caller surfaces it instead of serving garbage.
+    #[inline]
+    pub fn touch_cluster(&self, cluster: usize) -> Result<()> {
+        match &self.residency {
+            Some(residency) => residency.touch(cluster),
+            None => Ok(()),
+        }
+    }
+
+    /// Touches (verifies + faults in) every cluster — the gate mutating
+    /// operations use before reading the whole mapped base, and the
+    /// warm-every-page tool of the parity tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when any cluster fails verification.
+    pub fn ensure_resident_all(&self) -> Result<()> {
+        for c in 0..self.num_clusters() {
+            self.touch_cluster(c)?;
+        }
+        Ok(())
+    }
+
+    /// `true` when the base is served zero-copy from a mapped snapshot.
+    pub fn is_mapped(&self) -> bool {
+        self.residency.is_some()
+    }
+
+    /// Residency counters of the mapped path (`None` when owned).
+    pub fn residency_stats(&self) -> Option<ResidencyStats> {
+        self.residency.as_ref().map(|r| r.stats())
     }
 
     /// The block-interleaved view of `cluster`'s base segment, consumed by
@@ -547,8 +643,9 @@ impl IvfListCodes {
 /// and that only ever make early-abandon checks more conservative.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BlockCodes {
-    /// `num_blocks × num_subspaces` rows of `row_bytes` each.
-    data: Vec<u8>,
+    /// `num_blocks × num_subspaces` rows of `row_bytes` each — owned when
+    /// built in RAM, or a zero-copy view into a mapped snapshot.
+    data: ByteStore,
     num_points: usize,
     num_subspaces: usize,
     nibble: bool,
@@ -581,11 +678,49 @@ impl BlockCodes {
             }
         }
         Self {
-            data,
+            data: data.into(),
             num_points,
             num_subspaces,
             nibble,
         }
+    }
+
+    /// The exact interleaved-data length `build` produces for this shape —
+    /// what a mapped snapshot's claimed block region is validated against.
+    pub(crate) fn expected_data_len(
+        num_points: usize,
+        num_subspaces: usize,
+        nibble: bool,
+    ) -> usize {
+        num_points.div_ceil(BLOCK_LANES) * num_subspaces * row_bytes(nibble)
+    }
+
+    /// Wraps a mapped region as the block view of a cluster (zero-copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] when the region length does not match
+    /// the shape — the kernels index rows by shape, so a mismatch would be
+    /// out-of-bounds later.
+    pub(crate) fn from_mapped(
+        data: MappedBytes,
+        num_points: usize,
+        num_subspaces: usize,
+        nibble: bool,
+    ) -> Result<Self> {
+        let want = Self::expected_data_len(num_points, num_subspaces, nibble);
+        if data.len() != want {
+            return Err(Error::corrupted(format!(
+                "block view of {} bytes does not match its shape ({num_points} pts × {num_subspaces} subspaces, want {want})",
+                data.len()
+            )));
+        }
+        Ok(Self {
+            data: ByteStore::Mapped(data),
+            num_points,
+            num_subspaces,
+            nibble,
+        })
     }
 
     /// Number of points covered (the cluster's base-segment length).
@@ -649,6 +784,13 @@ impl BlockCodes {
     #[inline]
     pub fn data_bytes(&self) -> usize {
         self.data.len()
+    }
+
+    /// Raw interleaved bytes — what the v3 snapshot writer persists and
+    /// what residency verification compares against a fresh rebuild.
+    #[inline]
+    pub(crate) fn data(&self) -> &[u8] {
+        &self.data
     }
 
     /// Drives the two-phase prune scan over every block of this view: the

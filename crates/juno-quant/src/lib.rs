@@ -26,10 +26,13 @@ pub mod codebook;
 pub mod ivf;
 pub mod kmeans;
 pub mod layout;
+pub mod mapped;
 pub mod pq;
+pub mod residency;
 
 pub use codebook::Codebook;
 pub use ivf::{IvfIndex, IvfTrainConfig};
 pub use kmeans::{KMeans, KMeansConfig};
 pub use layout::{BlockCodes, IvfListCodes};
 pub use pq::{EncodedPoints, PqTrainConfig, ProductQuantizer};
+pub use residency::ResidencyStats;

@@ -12,8 +12,10 @@
 use crate::codebook::Codebook;
 use crate::kmeans::{KMeans, KMeansConfig};
 use juno_common::error::{Error, Result};
+use juno_common::mmap::ByteStore;
 use juno_common::rng::derive_seed;
 use juno_common::vector::VectorSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Training configuration for a [`ProductQuantizer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,16 +55,56 @@ impl PqTrainConfig {
     }
 }
 
+/// Deferred integrity metadata of mapped (zero-copy) codes: the search
+/// path never reads dataset-order codes, so their checksum is only
+/// verified when something actually consumes them (mutation, diagnostics,
+/// re-snapshot) — see [`EncodedPoints::ensure_verified`].
+#[derive(Debug)]
+pub(crate) struct LazyCodeMeta {
+    /// FNV-1a over the flat code bytes, from the v3 section header.
+    pub(crate) checksum: u32,
+    /// Claimed maximum code value, from the v3 section header.
+    pub(crate) max_code: u8,
+    /// Set once the bytes have been checked against the metadata above.
+    pub(crate) verified: AtomicBool,
+}
+
+impl Clone for LazyCodeMeta {
+    fn clone(&self) -> Self {
+        Self {
+            checksum: self.checksum,
+            max_code: self.max_code,
+            verified: AtomicBool::new(self.verified.load(Ordering::Acquire)),
+        }
+    }
+}
+
 /// Encoded search points: one `u8` entry id per subspace per point.
 ///
 /// Codebooks are capped at 256 entries per subspace (the PQ default and the
 /// paper's configuration), so codes pack into one byte each — half the
 /// memory traffic of the previous `u16` representation on every ADC scan.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// The code bytes live in a [`ByteStore`]: owned when built by
+/// [`ProductQuantizer::encode`], and a zero-copy view into a mapped
+/// snapshot on the out-of-core restore path (with checksum verification
+/// deferred to first use, since searches never touch dataset-order codes).
+#[derive(Debug, Clone, Default)]
 pub struct EncodedPoints {
-    codes: Vec<u8>,
-    num_subspaces: usize,
+    pub(crate) codes: ByteStore,
+    pub(crate) num_subspaces: usize,
+    pub(crate) lazy: Option<LazyCodeMeta>,
 }
+
+impl PartialEq for EncodedPoints {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical content only — where the bytes live (and whether their
+        // checksum has been verified yet) is not part of the value.
+        self.num_subspaces == other.num_subspaces && self.codes == other.codes
+    }
+}
+
+impl Eq for EncodedPoints {}
 
 impl EncodedPoints {
     /// Rebuilds encoded points from a flat code buffer (persistence path).
@@ -82,17 +124,23 @@ impl EncodedPoints {
             )));
         }
         Ok(Self {
-            codes,
+            codes: codes.into(),
             num_subspaces,
+            lazy: None,
         })
     }
 
     /// Appends the code of one newly encoded point (dynamic insertion path).
     ///
+    /// Mapped codes are checksum-verified (and copied out of the mapping)
+    /// before the first mutation, so a corrupt snapshot can never be
+    /// extended in place.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] when `code` does not have one
-    /// entry per subspace.
+    /// entry per subspace, and [`Error::Corrupted`] when mapped codes fail
+    /// their deferred verification.
     pub fn push(&mut self, code: &[u8]) -> Result<()> {
         if code.len() != self.num_subspaces || self.num_subspaces == 0 {
             return Err(Error::DimensionMismatch {
@@ -100,8 +148,55 @@ impl EncodedPoints {
                 actual: code.len(),
             });
         }
-        self.codes.extend_from_slice(code);
+        self.ensure_verified()?;
+        // The stored checksum describes the pre-mutation bytes only.
+        self.lazy = None;
+        self.codes.make_mut().extend_from_slice(code);
         Ok(())
+    }
+
+    /// Verifies mapped codes against their snapshot metadata (checksum and
+    /// claimed maximum code), once; owned codes are trivially verified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] on a mismatch.
+    pub fn ensure_verified(&self) -> Result<()> {
+        let Some(lazy) = &self.lazy else {
+            return Ok(());
+        };
+        if lazy.verified.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        if crate::mapped::fnv1a_chain(&[&self.codes]) != lazy.checksum {
+            return Err(Error::corrupted("mapped codes: checksum mismatch"));
+        }
+        if self.codes.iter().any(|&c| c > lazy.max_code) {
+            return Err(Error::corrupted(
+                "mapped codes: code exceeds recorded maximum",
+            ));
+        }
+        lazy.verified.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// The maximum code value, without forcing verification: mapped codes
+    /// answer from their (checksummed-section) header claim, owned codes by
+    /// scanning. `None` when empty.
+    pub fn claimed_max_code(&self) -> Option<u8> {
+        if self.codes.is_empty() {
+            return None;
+        }
+        match &self.lazy {
+            Some(lazy) => Some(lazy.max_code),
+            None => self.codes.iter().copied().max(),
+        }
+    }
+
+    /// Returns `true` when the code bytes are served zero-copy from a
+    /// mapped snapshot.
+    pub fn is_mapped(&self) -> bool {
+        self.codes.is_mapped()
     }
 
     /// Number of encoded points.
@@ -339,8 +434,9 @@ impl ProductQuantizer {
             codes.extend_from_slice(&block);
         }
         Ok(EncodedPoints {
-            codes,
+            codes: codes.into(),
             num_subspaces: m,
+            lazy: None,
         })
     }
 

@@ -13,6 +13,14 @@
 //!   established format, checksums and back-compat story — the fleet layer
 //!   only frames them).
 //!
+//! Shard sections are framed (framing v2) as a `u64::MAX` sentinel, a
+//! `u32` framing version and a `u32` pad length followed by that many zero
+//! bytes, placing the engine bytes at a 64-byte-aligned absolute file
+//! offset — the alignment the engines' own mapped (v3) hot sections assume,
+//! so a fleet snapshot can be served zero-copy from an mmap'd file
+//! ([`decode_fleet_mapped`]). Legacy length-prefixed shard sections are
+//! still decoded.
+//!
 //! Restore accepts a second shape: bytes whose container kind is *not*
 //! `SHRD` are treated as a legacy unsharded engine snapshot and restore
 //! into a single-shard fleet — old single-index deployments upgrade to the
@@ -22,7 +30,12 @@ use crate::router::{ShardRouter, MAX_SHARDS};
 use crate::shard::{shard_state, state_id_map, FleetReader, ShardState};
 use juno_common::error::{Error, Result};
 use juno_common::index::AnnIndex;
-use juno_data::snapshot::{kind, SectionWriter, Snapshot, SnapshotWriter};
+use juno_common::mmap::{Mmap, ResidencyConfig};
+use juno_data::snapshot::{
+    kind, MappedSnapshot, SectionReader, SectionWriter, Snapshot, SnapshotWriter,
+    CONTAINER_HEADER_LEN, SECTION_PREFIX_LEN,
+};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// The engine-kind word of fleet snapshots.
@@ -30,6 +43,20 @@ pub const KIND_SHARD: u32 = kind(*b"SHRD");
 
 /// The manifest layout version written inside `MANI`.
 const MANIFEST_VERSION: u32 = 1;
+
+/// Sentinel leading framed (v2) shard sections; the legacy framing starts
+/// with a `u64` length prefix, which can never be `u64::MAX`.
+const SHARD_SECTION_SENTINEL: u64 = u64::MAX;
+
+/// Version of the aligned shard-section framing.
+const SHARD_SECTION_VERSION: u32 = 2;
+
+/// Bytes of the v2 framing header (sentinel + version + pad length).
+const SHARD_FRAME_HEADER: usize = 16;
+
+/// Alignment of the embedded engine bytes within the fleet file — matches
+/// the alignment the engines' mapped hot sections are encoded against.
+const SHARD_ALIGN: usize = 64;
 
 /// The per-shard section tag: `S` followed by three decimal digits.
 fn shard_tag(s: usize) -> [u8; 4] {
@@ -50,6 +77,9 @@ pub(crate) fn encode_fleet<I: AnnIndex>(
     let num_shards = reader.num_shards();
     let mapped = state_id_map(reader.shard(0)).is_some();
     let mut writer = SnapshotWriter::new(KIND_SHARD);
+    // The shard-section padding depends on each payload's absolute file
+    // offset, so the running offset is tracked section by section.
+    let mut abs = CONTAINER_HEADER_LEN;
 
     let mut mani = SectionWriter::new();
     mani.put_u32(MANIFEST_VERSION);
@@ -60,6 +90,7 @@ pub(crate) fn encode_fleet<I: AnnIndex>(
         .map(|s| reader.shard(s).index().len() as u64)
         .collect();
     mani.put_u64s(&lens);
+    abs += SECTION_PREFIX_LEN + mani.len();
     writer.add_section(*b"MANI", mani);
 
     if mapped {
@@ -70,16 +101,56 @@ pub(crate) fn encode_fleet<I: AnnIndex>(
                 .ok_or_else(|| Error::invalid_config("fleet mixes mapped and global-id shards"))?;
             imap.put_u64s(map);
         }
+        abs += SECTION_PREFIX_LEN + imap.len();
         writer.add_section(*b"IMAP", imap);
     }
 
     for s in 0..num_shards {
         let sub = reader.shard(s).index().snapshot()?;
         let mut section = SectionWriter::new();
-        section.put_u8s(&sub);
+        // Pad so the engine bytes land 64-byte-aligned in the fleet file,
+        // preserving the alignment their own mapped sections were encoded
+        // against (an engine snapshot always starts at offset 0 of its own
+        // file, which is aligned by definition).
+        let payload_abs = abs + SECTION_PREFIX_LEN;
+        let pad = (SHARD_ALIGN - (payload_abs + SHARD_FRAME_HEADER) % SHARD_ALIGN) % SHARD_ALIGN;
+        section.put_u64(SHARD_SECTION_SENTINEL);
+        section.put_u32(SHARD_SECTION_VERSION);
+        section.put_u32(pad as u32);
+        section.put_raw(&vec![0u8; pad]);
+        section.put_raw(&sub);
+        abs += SECTION_PREFIX_LEN + section.len();
         writer.add_section(shard_tag(s), section);
     }
     Ok(writer.finish())
+}
+
+/// Extracts the embedded engine snapshot bytes from one shard section,
+/// accepting both the aligned sentinel framing (v2) and the legacy `u64`
+/// length prefix.
+fn shard_engine_bytes<'a>(s: usize, r: &mut SectionReader<'a>) -> Result<Cow<'a, [u8]>> {
+    let mut probe = r.clone();
+    if probe.get_u64()? == SHARD_SECTION_SENTINEL {
+        let fmt = probe.get_u32()?;
+        if fmt != SHARD_SECTION_VERSION {
+            return Err(corrupted(format!(
+                "unknown shard section framing {fmt} \
+                 (reader supports {SHARD_SECTION_VERSION} and legacy)"
+            )));
+        }
+        let pad = probe.get_u32()? as usize;
+        let rest = probe.take_rest();
+        if pad > rest.len() {
+            return Err(corrupted(format!(
+                "shard {s} section padding overruns the payload"
+            )));
+        }
+        *r = probe;
+        return Ok(Cow::Borrowed(&rest[pad..]));
+    }
+    let sub = r.get_u8s()?;
+    r.expect_end()?;
+    Ok(Cow::Owned(sub))
 }
 
 /// The outcome of decoding fleet bytes: the shard states to publish and the
@@ -116,6 +187,136 @@ pub(crate) fn decode_fleet<I: AnnIndex + Clone>(
     }
 
     let mut mani = snap.section(*b"MANI")?;
+    let manifest = parse_manifest(&mut mani)?;
+    let id_maps: Option<Vec<Arc<Vec<u64>>>> = if manifest.mapped {
+        let mut imap = snap.section(*b"IMAP")?;
+        Some(parse_id_maps(&mut imap, manifest.num_shards)?)
+    } else {
+        None
+    };
+
+    let mut states = Vec::with_capacity(manifest.num_shards);
+    for s in 0..manifest.num_shards {
+        let mut section = snap.section(shard_tag(s))?;
+        let sub = shard_engine_bytes(s, &mut section)?;
+        let mut engine = prototype.clone();
+        engine.restore(&sub)?;
+        let id_map = id_maps.as_ref().map(|maps| maps[s].clone());
+        validate_shard(s, &engine, &manifest, id_map.as_deref())?;
+        states.push(shard_state(engine, base_epoch, id_map));
+    }
+    Ok(DecodedFleet {
+        states,
+        router: Some(manifest.router),
+    })
+}
+
+/// Decodes a fleet snapshot **in place** from an mmap'd file: the manifest
+/// and id maps are parsed and checksum-verified eagerly, while the shard
+/// sections stay lazy — each shard engine restores zero-copy from its
+/// aligned region of the map via [`AnnIndex::restore_mapped`] (engines
+/// without mapped support transparently copy). Bytes whose container kind
+/// is not `SHRD` restore as a legacy unsharded engine snapshot into a
+/// single-shard fleet, also mapped.
+///
+/// Fully validates before returning, exactly like [`decode_fleet`]: on
+/// error nothing has been published.
+pub(crate) fn decode_fleet_mapped<I: AnnIndex + Clone>(
+    map: &Arc<Mmap>,
+    prototype: &I,
+    base_epoch: u64,
+    residency: &ResidencyConfig,
+) -> Result<DecodedFleet<I>> {
+    let bytes = map.as_slice();
+    // Peek the container kind before parsing: a legacy unsharded engine
+    // snapshot must be handed to the engine whole, with the engine's own
+    // notion of which sections stay lazy.
+    let file_kind = (bytes.len() >= CONTAINER_HEADER_LEN
+        && bytes[..8] == juno_data::snapshot::MAGIC)
+        .then(|| u32::from_le_bytes(bytes[12..16].try_into().expect("4-byte slice")));
+    if file_kind != Some(KIND_SHARD) {
+        let mut engine = prototype.clone();
+        engine.restore_mapped(map, 0, map.len(), residency)?;
+        return Ok(DecodedFleet {
+            states: vec![shard_state(engine, base_epoch, None)],
+            router: None,
+        });
+    }
+
+    let is_shard_section =
+        |tag: &[u8; 4]| tag[0] == b'S' && tag[1..].iter().all(u8::is_ascii_digit);
+    let snap = MappedSnapshot::parse(map.clone(), 0, map.len(), is_shard_section)?;
+    let mut mani = snap.section_reader(*b"MANI")?;
+    let manifest = parse_manifest(&mut mani)?;
+    let id_maps: Option<Vec<Arc<Vec<u64>>>> = if manifest.mapped {
+        let mut imap = snap.section_reader(*b"IMAP")?;
+        Some(parse_id_maps(&mut imap, manifest.num_shards)?)
+    } else {
+        None
+    };
+
+    let mut states = Vec::with_capacity(manifest.num_shards);
+    for s in 0..manifest.num_shards {
+        let tag = shard_tag(s);
+        let (off, len) = snap.section_range(tag)?;
+        let slice = &map.as_slice()[off..off + len];
+        let (engine_off, engine_len) = if slice.len() >= SHARD_FRAME_HEADER
+            && slice[..8] == SHARD_SECTION_SENTINEL.to_le_bytes()
+        {
+            let fmt = u32::from_le_bytes(slice[8..12].try_into().expect("4-byte slice"));
+            if fmt != SHARD_SECTION_VERSION {
+                return Err(corrupted(format!(
+                    "unknown shard section framing {fmt} \
+                     (reader supports {SHARD_SECTION_VERSION} and legacy)"
+                )));
+            }
+            let pad = u32::from_le_bytes(slice[12..16].try_into().expect("4-byte slice")) as usize;
+            if pad > slice.len() - SHARD_FRAME_HEADER {
+                return Err(corrupted(format!(
+                    "shard {s} section padding overruns the payload"
+                )));
+            }
+            (
+                off + SHARD_FRAME_HEADER + pad,
+                len - SHARD_FRAME_HEADER - pad,
+            )
+        } else {
+            // Legacy length-prefixed framing predates the mapped engine
+            // sections, so there is nothing lazily verifiable inside;
+            // checksum the section like the copy path would.
+            snap.verify_section(tag)?;
+            if slice.len() < 8 {
+                return Err(corrupted(format!("shard {s} section too short")));
+            }
+            let n = u64::from_le_bytes(slice[..8].try_into().expect("8-byte slice"));
+            if n != (slice.len() - 8) as u64 {
+                return Err(corrupted(format!(
+                    "shard {s} section length prefix does not match the payload"
+                )));
+            }
+            (off + 8, len - 8)
+        };
+        let mut engine = prototype.clone();
+        engine.restore_mapped(map, engine_off, engine_len, residency)?;
+        let id_map = id_maps.as_ref().map(|maps| maps[s].clone());
+        validate_shard(s, &engine, &manifest, id_map.as_deref())?;
+        states.push(shard_state(engine, base_epoch, id_map));
+    }
+    Ok(DecodedFleet {
+        states,
+        router: Some(manifest.router),
+    })
+}
+
+/// The decoded `MANI` section.
+struct Manifest {
+    mapped: bool,
+    router: ShardRouter,
+    num_shards: usize,
+    lens: Vec<u64>,
+}
+
+fn parse_manifest(mani: &mut SectionReader<'_>) -> Result<Manifest> {
     let version = mani.get_u32()?;
     if version != MANIFEST_VERSION {
         return Err(corrupted(format!(
@@ -127,7 +328,7 @@ pub(crate) fn decode_fleet<I: AnnIndex + Clone>(
         1 => true,
         other => return Err(corrupted(format!("invalid ownership-mode byte {other}"))),
     };
-    let router = ShardRouter::decode(&mut mani)?;
+    let router = ShardRouter::decode(mani)?;
     let num_shards = mani.get_usize()?;
     if num_shards == 0 || num_shards > MAX_SHARDS {
         return Err(corrupted(format!("invalid shard count {num_shards}")));
@@ -139,77 +340,75 @@ pub(crate) fn decode_fleet<I: AnnIndex + Clone>(
         ));
     }
     mani.expect_end()?;
+    Ok(Manifest {
+        mapped,
+        router,
+        num_shards,
+        lens,
+    })
+}
 
-    let id_maps: Option<Vec<Arc<Vec<u64>>>> = if mapped {
-        let mut imap = snap.section(*b"IMAP")?;
-        let count = imap.get_usize()?;
-        if count != num_shards {
-            return Err(corrupted("id-map table does not match shard count"));
-        }
-        let maps = (0..num_shards)
-            .map(|_| imap.get_u64s().map(Arc::new))
-            .collect::<Result<Vec<_>>>()?;
-        imap.expect_end()?;
-        // The same invariant `from_prebuilt` enforces: a global id may be
-        // owned by at most one shard, or merged result sets would contain
-        // duplicates.
-        let mut all_ids: Vec<u64> = maps.iter().flat_map(|m| m.iter().copied()).collect();
-        all_ids.sort_unstable();
-        if all_ids.windows(2).any(|w| w[0] == w[1]) {
-            return Err(corrupted("global ids collide across shard id maps"));
-        }
-        Some(maps)
-    } else {
-        None
-    };
+fn parse_id_maps(imap: &mut SectionReader<'_>, num_shards: usize) -> Result<Vec<Arc<Vec<u64>>>> {
+    let count = imap.get_usize()?;
+    if count != num_shards {
+        return Err(corrupted("id-map table does not match shard count"));
+    }
+    let maps = (0..num_shards)
+        .map(|_| imap.get_u64s().map(Arc::new))
+        .collect::<Result<Vec<_>>>()?;
+    imap.expect_end()?;
+    // The same invariant `from_prebuilt` enforces: a global id may be
+    // owned by at most one shard, or merged result sets would contain
+    // duplicates.
+    let mut all_ids: Vec<u64> = maps.iter().flat_map(|m| m.iter().copied()).collect();
+    all_ids.sort_unstable();
+    if all_ids.windows(2).any(|w| w[0] == w[1]) {
+        return Err(corrupted("global ids collide across shard id maps"));
+    }
+    Ok(maps)
+}
 
-    let mut states = Vec::with_capacity(num_shards);
-    for s in 0..num_shards {
-        let mut section = snap.section(shard_tag(s))?;
-        let sub = section.get_u8s()?;
-        section.expect_end()?;
-        let mut engine = prototype.clone();
-        engine.restore(&sub)?;
-        if engine.len() as u64 != lens[s] {
+/// Cross-checks one restored shard engine against the manifest.
+fn validate_shard<I: AnnIndex>(
+    s: usize,
+    engine: &I,
+    manifest: &Manifest,
+    id_map: Option<&Vec<u64>>,
+) -> Result<()> {
+    if engine.len() as u64 != manifest.lens[s] {
+        return Err(corrupted(format!(
+            "shard {s} restored {} live vectors, manifest recorded {}",
+            engine.len(),
+            manifest.lens[s]
+        )));
+    }
+    if let Some(map) = id_map {
+        if map.len() != engine.len() {
             return Err(corrupted(format!(
-                "shard {s} restored {} live vectors, manifest recorded {}",
-                engine.len(),
-                lens[s]
+                "shard {s} id map covers {} ids for {} vectors",
+                map.len(),
+                engine.len()
             )));
         }
-        let id_map = id_maps.as_ref().map(|maps| maps[s].clone());
-        if let Some(map) = &id_map {
-            if map.len() != engine.len() {
+    } else {
+        // Global-id fleets maintain the invariant that every live id is
+        // owned by the shard the router assigns it to (construction and
+        // every insert/remove preserve it). A checksum-valid snapshot
+        // violating it — e.g. one shard's payload duplicated into
+        // another's section — would serve duplicate results and ids
+        // that `remove` can never reach, so reject it here. This also
+        // guarantees cross-shard live-id disjointness.
+        for id in engine.ids() {
+            let owner = manifest.router.route(id, manifest.num_shards);
+            if owner != s {
                 return Err(corrupted(format!(
-                    "shard {s} id map covers {} ids for {} vectors",
-                    map.len(),
-                    engine.len()
+                    "shard {s} holds live id {id}, which the router assigns to \
+                     shard {owner}"
                 )));
             }
-        } else {
-            // Global-id fleets maintain the invariant that every live id is
-            // owned by the shard the router assigns it to (construction and
-            // every insert/remove preserve it). A checksum-valid snapshot
-            // violating it — e.g. one shard's payload duplicated into
-            // another's section — would serve duplicate results and ids
-            // that `remove` can never reach, so reject it here. This also
-            // guarantees cross-shard live-id disjointness.
-            for id in engine.ids() {
-                let owner = router.route(id, num_shards);
-                if owner != s {
-                    return Err(corrupted(format!(
-                        "shard {s} holds live id {id}, which the router assigns to \
-                         shard {owner}"
-                    )));
-                }
-            }
         }
-        states.push(shard_state(engine, base_epoch, id_map));
     }
-    Ok(DecodedFleet {
-        states,
-        router: Some(router),
-    })
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1167,18 +1167,54 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
     /// Returns [`Error::Corrupted`] for malformed bytes and propagates
     /// engine restore errors.
     pub fn restore_from_bytes(&mut self, bytes: &[u8]) -> Result<()> {
-        let base_epoch = self
-            .shard_epochs()
-            .into_iter()
-            .max()
-            .unwrap_or(0)
-            .saturating_add(1);
+        let base_epoch = self.restore_base_epoch();
         // Borrow the prototype from the current shard 0 — the decoder only
         // clones it per shard after the container has validated, so a
         // malformed snapshot is rejected without paying any engine clone.
         let current = self.load(0);
         let decoded = persist::decode_fleet(bytes, &current.index, base_epoch)?;
         drop(current);
+        self.install_decoded(decoded)
+    }
+
+    /// [`ShardedIndex::restore_from_bytes`] over an mmap'd snapshot file:
+    /// shard engines restore **zero-copy** from their aligned regions of
+    /// the map ([`juno_common::index::AnnIndex::restore_mapped`]), with hot
+    /// sections faulted in lazily under `residency`. Legacy unsharded
+    /// engine snapshots restore into a single-shard fleet, also mapped.
+    /// On any error the fleet is left untouched; a successful restore
+    /// detaches any attached WAL, exactly like the byte-level restore.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupted`] for malformed files and propagates
+    /// engine restore errors.
+    pub fn restore_from_mapped(
+        &mut self,
+        map: &Arc<juno_common::mmap::Mmap>,
+        residency: &juno_common::mmap::ResidencyConfig,
+    ) -> Result<()> {
+        let base_epoch = self.restore_base_epoch();
+        let current = self.load(0);
+        let decoded = persist::decode_fleet_mapped(map, &current.index, base_epoch, residency)?;
+        drop(current);
+        self.install_decoded(decoded)
+    }
+
+    /// The epoch restored shard states start from: past every live epoch,
+    /// so readers never observe a restored state as stale.
+    fn restore_base_epoch(&self) -> u64 {
+        self.shard_epochs()
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1)
+    }
+
+    /// Publishes a fully validated decode: the shared tail of
+    /// [`ShardedIndex::restore_from_bytes`] and
+    /// [`ShardedIndex::restore_from_mapped`].
+    fn install_decoded(&mut self, decoded: persist::DecodedFleet<I>) -> Result<()> {
         // Injection point: everything above is read-only, so a restore fault
         // (error or panic) leaves the live fleet untouched.
         if let Some(plan) = self.fault_plan() {
@@ -1238,6 +1274,47 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
         let mut fleet = Self::from_monolith(prototype, 1, ShardRouter::Hash { seed: 0 })?;
         fleet.load_from_path(path)?;
         Ok(fleet)
+    }
+
+    /// [`ShardedIndex::from_snapshot_path`] serving the snapshot **out of
+    /// core**: the file is mmap'd and each shard engine restores zero-copy
+    /// from its aligned region, faulting hot sections in lazily under
+    /// `residency` (see [`ShardedIndex::restore_from_mapped`]). Falls back
+    /// to the rotated `.prev` generation when the newest file is torn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when no snapshot generation exists at `path`,
+    /// and [`Error::Corrupted`] when none of the generations validates.
+    pub fn from_snapshot_path_mapped(
+        prototype: I,
+        path: &std::path::Path,
+        residency: &juno_common::mmap::ResidencyConfig,
+    ) -> Result<Self> {
+        let mut fleet = Self::from_monolith(prototype, 1, ShardRouter::Hash { seed: 0 })?;
+        let mut last_err = None;
+        for candidate in [
+            path.to_path_buf(),
+            juno_common::atomic_file::prev_path(path),
+        ] {
+            if !candidate.exists() {
+                continue;
+            }
+            let attempt = juno_common::mmap::Mmap::open(&candidate)
+                .and_then(|map| fleet.restore_from_mapped(&map, residency));
+            match attempt {
+                Ok(()) => return Ok(fleet),
+                Err(err) => {
+                    last_err = Some(Error::corrupted(format!("{}: {err}", candidate.display())))
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            Error::Io(format!(
+                "no snapshot found at {} (nor a .prev generation)",
+                path.display()
+            ))
+        }))
     }
 
     /// Attaches a write-ahead log rooted at `dir` and writes a **baseline

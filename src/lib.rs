@@ -52,6 +52,7 @@ pub mod prelude {
     pub use juno_common::index::{AnnIndex, Neighbor, SearchResult};
     pub use juno_common::metric::Metric;
     pub use juno_common::metrics::{HistogramSnapshot, LogHistogram, Registry, RegistrySnapshot};
+    pub use juno_common::mmap::{Mmap, ResidencyConfig};
     pub use juno_common::recall::{r1_at_100, recall_at, GroundTruth};
     pub use juno_common::vector::VectorSet;
     pub use juno_common::wal::{FsyncPolicy, WalOptions};

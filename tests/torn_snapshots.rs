@@ -1,0 +1,350 @@
+//! Torn-write kill-point sweep for the engine snapshot save paths.
+//!
+//! PR 9's headline bugfix routes every save entry point — `JunoIndex`'s
+//! `save_snapshot` and `AnnIndex::save_to_path`, plus the `IvfFlatIndex`
+//! and `IvfPqIndex` save helpers — through `atomic_file::write_atomic`
+//! (write-temp + fsync + rename, previous generation rotated to `.prev`).
+//! This harness proves that end to end the same way `crash_recovery.rs`
+//! does: by actually dying.
+//!
+//! The child (this test binary re-entered via `torn_child_entry`, armed by
+//! `JUNO_TORN_CHILD=kind:seed:dir:kill`) builds a deterministic index,
+//! saves generation after generation to the *same* path, acks each save,
+//! drops a half-written temp file for the next generation — the on-disk
+//! shape of a writer dying inside step 1 of the protocol — and aborts.
+//!
+//! The parent then attacks the crash artifact:
+//!
+//! * the untouched dir loads the last acked generation (the stale temp is
+//!   never served);
+//! * the newest file truncated at a sweep of offsets — a torn rename-target
+//!   on a weaker-than-POSIX disk — always falls back to the previous
+//!   generation, bit-identically, and never panics;
+//! * the newest file with a flipped byte loads either generation (the flip
+//!   may land outside any checksummed payload), never a torn mixture.
+//!
+//! Generations are pure functions of (kind, seed, g), so the parent
+//! rebuilds reference snapshot bytes without any channel to the child
+//! beyond the acks.
+
+use juno::baseline::ivf_flat::{IvfFlatConfig, IvfFlatIndex};
+use juno::common::atomic_file;
+use juno::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const GENERATIONS: usize = 3;
+const SEED: u64 = 0x70C4;
+
+fn dataset(seed: u64) -> Dataset {
+    DatasetProfile::DeepLike
+        .generate(600, 4, seed)
+        .expect("dataset")
+}
+
+fn juno_config(ds: &Dataset) -> JunoConfig {
+    JunoConfig {
+        n_clusters: 8,
+        nprobs: 4,
+        pq_entries: 16,
+        ..JunoConfig::small_test(ds.dim(), ds.metric())
+    }
+}
+
+/// Generation `g` of `kind`'s index state — a pure function of the seed, so
+/// parent and child agree on every generation's exact snapshot bytes.
+fn generation_bytes(kind: &str, ds: &Dataset, g: usize) -> Vec<u8> {
+    match kind {
+        "engine" | "trait" => {
+            let mut idx = JunoIndex::build(&ds.points, &juno_config(ds)).expect("build");
+            for gen in 1..=g {
+                for i in 0..6 {
+                    idx.insert(ds.points.row(gen * 31 + i)).expect("insert");
+                }
+                assert!(idx.remove((gen * 17) as u64).expect("remove"));
+            }
+            idx.to_snapshot_bytes()
+        }
+        "ivf_flat" => {
+            // IVF-Flat is build-only, so generations differ by corpus size.
+            let rows = (0..400 + g * 50)
+                .map(|i| ds.points.row(i).to_vec())
+                .collect();
+            let points = VectorSet::from_rows(rows).expect("rows");
+            IvfFlatIndex::build(
+                points,
+                &IvfFlatConfig {
+                    n_clusters: 8,
+                    nprobs: 4,
+                    metric: ds.metric(),
+                    seed: 0x1F5F,
+                },
+            )
+            .expect("build ivf_flat")
+            .to_snapshot_bytes()
+        }
+        "ivfpq" => {
+            let mut idx = IvfPqIndex::build(
+                &ds.points,
+                &IvfPqConfig {
+                    n_clusters: 8,
+                    nprobs: 4,
+                    pq_subspaces: ds.dim() / 2,
+                    pq_entries: 16,
+                    metric: ds.metric(),
+                    seed: 0xFA15,
+                },
+            )
+            .expect("build ivfpq");
+            for gen in 1..=g {
+                for i in 0..6 {
+                    idx.insert(ds.points.row(gen * 31 + i)).expect("insert");
+                }
+            }
+            idx.to_snapshot_bytes()
+        }
+        other => panic!("unknown torn kind {other}"),
+    }
+}
+
+/// Saves generation bytes through the *real* entry point under test (not
+/// `write_atomic` directly — the whole point is that every save helper now
+/// routes through it).
+fn save_generation(kind: &str, ds: &Dataset, g: usize, path: &Path) {
+    match kind {
+        "engine" => {
+            let idx = JunoIndex::from_snapshot_bytes(&generation_bytes(kind, ds, g))
+                .expect("restore gen");
+            idx.save_snapshot(path).expect("save_snapshot");
+        }
+        "trait" => {
+            let idx = JunoIndex::from_snapshot_bytes(&generation_bytes(kind, ds, g))
+                .expect("restore gen");
+            AnnIndex::save_to_path(&idx, path).expect("save_to_path");
+        }
+        "ivf_flat" => {
+            let idx = IvfFlatIndex::from_snapshot_bytes(&generation_bytes(kind, ds, g))
+                .expect("restore gen");
+            idx.save_snapshot(path).expect("ivf_flat save");
+        }
+        "ivfpq" => {
+            let idx = IvfPqIndex::from_snapshot_bytes(&generation_bytes(kind, ds, g))
+                .expect("restore gen");
+            idx.save_snapshot(path).expect("ivfpq save");
+        }
+        other => panic!("unknown torn kind {other}"),
+    }
+}
+
+/// Loads through the matching entry point and re-serialises, so the parent
+/// can compare *bytes* against a reference generation regardless of kind.
+fn load_roundtrip(kind: &str, ds: &Dataset, path: &Path) -> Result<Vec<u8>, String> {
+    match kind {
+        "engine" => JunoIndex::load_snapshot(path)
+            .map(|idx| idx.to_snapshot_bytes())
+            .map_err(|e| e.to_string()),
+        "trait" => {
+            let mut idx =
+                JunoIndex::from_snapshot_bytes(&generation_bytes(kind, ds, 0)).expect("proto");
+            idx.load_from_path(path)
+                .and_then(|()| idx.snapshot())
+                .map_err(|e| e.to_string())
+        }
+        "ivf_flat" => IvfFlatIndex::load_snapshot(path)
+            .map(|idx| idx.to_snapshot_bytes())
+            .map_err(|e| e.to_string()),
+        "ivfpq" => IvfPqIndex::load_snapshot(path)
+            .map(|idx| idx.to_snapshot_bytes())
+            .map_err(|e| e.to_string()),
+        other => panic!("unknown torn kind {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The child.
+// ---------------------------------------------------------------------------
+
+/// No-op in a normal run. As a subprocess it saves generations 0..=kill to
+/// one path, acks each, fakes the next save dying mid-temp-write, and
+/// aborts.
+#[test]
+fn torn_child_entry() {
+    let Ok(spec) = std::env::var("JUNO_TORN_CHILD") else {
+        return;
+    };
+    let mut parts = spec.splitn(4, ':');
+    let kind = parts.next().expect("kind").to_string();
+    let seed: u64 = parts.next().expect("seed").parse().expect("seed u64");
+    let dir = PathBuf::from(parts.next().expect("dir"));
+    let kill: usize = parts.next().expect("kill").parse().expect("kill usize");
+
+    let ds = dataset(seed);
+    let path = dir.join("snap.bin");
+    for g in 0..=kill {
+        save_generation(&kind, &ds, g, &path);
+        println!("acked {g}");
+    }
+    // The next save's temp file, torn mid-write: a prefix of the real next
+    // generation, under the unique temp name `write_atomic` would use.
+    let next = generation_bytes(&kind, &ds, kill + 1);
+    std::fs::write(atomic_file::tmp_path(&path), &next[..next.len() / 3]).expect("torn temp");
+    eprintln!("[torn-harness] crash mid-save");
+    std::process::abort();
+}
+
+// ---------------------------------------------------------------------------
+// The parent.
+// ---------------------------------------------------------------------------
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("juno_torn_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn spawn_child_to_death(kind: &str, seed: u64, dir: &Path, kill: usize) -> Option<usize> {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = Command::new(exe)
+        .args(["torn_child_entry", "--exact", "--nocapture"])
+        .env(
+            "JUNO_TORN_CHILD",
+            format!("{kind}:{seed}:{}:{kill}", dir.display()),
+        )
+        .output()
+        .expect("spawn child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "{kind}/kill {kill}: child survived its abort\n\
+         --- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    assert!(
+        stderr.contains("[torn-harness] crash"),
+        "{kind}/kill {kill}: child died early\n\
+         --- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    stdout
+        .lines()
+        .filter_map(|l| l.split("acked ").nth(1))
+        .filter_map(|s| s.trim().parse::<usize>().ok())
+        .max()
+}
+
+fn run_kill_point(kind: &str, kill: usize, full_sweep: bool) {
+    let dir = scratch_dir(&format!("{kind}_{kill}"));
+    let last_acked = spawn_child_to_death(kind, SEED, &dir, kill);
+    assert_eq!(last_acked, Some(kill), "{kind}: all saves acked");
+
+    let ds = dataset(SEED);
+    let newest = generation_bytes(kind, &ds, kill);
+    let prev = (kill > 0).then(|| generation_bytes(kind, &ds, kill - 1));
+    let path = dir.join("snap.bin");
+
+    // The crash artifact holds the stale torn temp…
+    let stale_tmps = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter(|e| {
+            e.as_ref()
+                .expect("entry")
+                .path()
+                .to_string_lossy()
+                .ends_with(".tmp")
+        })
+        .count();
+    assert_eq!(stale_tmps, 1, "{kind}: torn temp survived the crash");
+    // …but loads serve exactly the last acked generation.
+    assert_eq!(
+        std::fs::read(&path).expect("newest on disk"),
+        newest,
+        "{kind}: on-disk newest is the acked generation, byte for byte"
+    );
+    assert_eq!(
+        load_roundtrip(kind, &ds, &path).expect("untouched load"),
+        newest,
+        "{kind}: untouched load"
+    );
+    if let Some(prev) = &prev {
+        assert_eq!(
+            &std::fs::read(atomic_file::prev_path(&path)).expect("prev on disk"),
+            prev,
+            "{kind}: rotated previous generation intact"
+        );
+    }
+
+    // Tear the newest file — a rename target on a disk that lied about
+    // durability. Every cut must fall back to the previous generation (or
+    // fail cleanly when there is none); no cut may panic.
+    let cuts: Vec<usize> = if full_sweep {
+        let stride = (newest.len() / 40).max(1);
+        (0..newest.len()).step_by(stride).collect()
+    } else {
+        vec![0, newest.len() / 2, newest.len() - 1]
+    };
+    for &cut in &cuts {
+        std::fs::write(&path, &newest[..cut]).expect("tear newest");
+        match (load_roundtrip(kind, &ds, &path), &prev) {
+            (Ok(got), Some(prev)) => {
+                assert_eq!(&got, prev, "{kind}/cut {cut}: fell back to prev")
+            }
+            (Ok(got), None) => panic!(
+                "{kind}/cut {cut}: a torn first generation has no fallback, \
+                 yet load produced {} bytes",
+                got.len()
+            ),
+            (Err(_), Some(_)) => panic!("{kind}/cut {cut}: fallback generation rejected"),
+            (Err(_), None) => {} // clean failure: nothing valid ever persisted
+        }
+    }
+
+    // Flip single bytes of the newest file: the load may serve the newest
+    // generation (flip landed outside checksummed payload) or fall back,
+    // but never a torn mixture and never a panic.
+    if full_sweep {
+        let stride = (newest.len() / 40).max(1);
+        for at in (0..newest.len()).step_by(stride) {
+            let mut corrupt = newest.clone();
+            corrupt[at] ^= 0x5A;
+            std::fs::write(&path, &corrupt).expect("corrupt newest");
+            if let Ok(got) = load_roundtrip(kind, &ds, &path) {
+                let ok = got == newest || prev.as_ref() == Some(&got);
+                assert!(ok, "{kind}/flip {at}: load served a torn mixture");
+            } else {
+                assert!(
+                    prev.is_none(),
+                    "{kind}/flip {at}: fallback generation rejected"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn engine_save_snapshot_survives_torn_write_sweep() {
+    for kill in 0..GENERATIONS {
+        run_kill_point("engine", kill, kill == GENERATIONS - 1);
+    }
+}
+
+#[test]
+fn ann_index_save_to_path_survives_torn_write_sweep() {
+    for kill in 0..GENERATIONS {
+        run_kill_point("trait", kill, kill == GENERATIONS - 1);
+    }
+}
+
+#[test]
+fn ivf_flat_save_snapshot_survives_torn_write_sweep() {
+    for kill in 0..GENERATIONS {
+        run_kill_point("ivf_flat", kill, kill == GENERATIONS - 1);
+    }
+}
+
+#[test]
+fn ivfpq_save_snapshot_survives_torn_write_sweep() {
+    for kill in 0..GENERATIONS {
+        run_kill_point("ivfpq", kill, kill == GENERATIONS - 1);
+    }
+}
