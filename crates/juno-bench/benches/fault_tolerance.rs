@@ -83,7 +83,7 @@ fn main() {
         let mut group = h.group("degraded_scatter");
         group.sample_time(Duration::from_millis(400)).samples(5);
         for stalled in 0..=2usize {
-            let mut fleet = ShardedIndex::from_monolith(
+            let fleet = ShardedIndex::from_monolith(
                 monolith.clone(),
                 SHARDS,
                 ShardRouter::Hash { seed: 3 },

@@ -72,7 +72,7 @@ fn main() {
     };
     let fixture = build_fixture(DatasetProfile::DeepLike, scale, K, SEED).expect("fixture");
     let queries = Arc::new(fixture.dataset.queries.clone());
-    let mut fleet =
+    let fleet =
         ShardedIndex::from_monolith(fixture.juno.clone(), SHARDS, ShardRouter::Hash { seed: 3 })
             .expect("fleet");
     fleet.configure_health(

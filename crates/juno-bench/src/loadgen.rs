@@ -244,16 +244,52 @@ pub enum MixedOp {
     Remove(u64),
 }
 
+/// One distribution regime inside a drifting [`MixedPlan`]: from op
+/// `start_op` (inclusive, until the next segment's start) every inserted
+/// vector is the caller's pool row transformed per-coordinate as
+/// `x * scale + shift`. Segment parameters are seeded plan data, so a
+/// drifting workload replays bit-for-bit like everything else here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSegment {
+    /// First op index (into [`MixedPlan::ops`]) this regime governs.
+    pub start_op: usize,
+    /// Per-coordinate multiplier for inserts issued under this regime.
+    pub scale: f32,
+    /// Per-coordinate offset for inserts issued under this regime.
+    pub shift: f32,
+}
+
+impl DriftSegment {
+    /// `true` when the regime leaves vectors untouched.
+    pub fn is_identity(&self) -> bool {
+        self.scale == 1.0 && self.shift == 0.0
+    }
+
+    /// Applies the regime to one pool row.
+    pub fn apply(&self, row: &[f32]) -> Vec<f32> {
+        row.iter().map(|&x| x * self.scale + self.shift).collect()
+    }
+}
+
 /// A seeded mixed read/insert/remove schedule — serving-shaped traffic for
 /// write-path measurements (WAL overhead, recovery replay), replayable
 /// bit-for-bit like [`OpenLoopPlan`]. The op sequence is plain data, so the
 /// identical interleaving can be driven against different fleet
 /// configurations (no WAL, each fsync policy) and the deltas attributed to
 /// the configuration alone.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Plans built with [`MixedPlan::seeded_with_drift`] additionally carry
+/// distribution-drift [`segments`](DriftSegment): windows of the op
+/// sequence whose inserts come from a shifted/rescaled regime, so drift
+/// detectors and background refresh can be measured under replayable
+/// serving-shaped traffic instead of a hand-rolled shift loop.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixedPlan {
     /// The operations, in issue order.
     pub ops: Vec<MixedOp>,
+    /// Distribution regimes by op window, ordered by `start_op` (empty for
+    /// non-drifting plans — every insert is the raw pool row).
+    pub segments: Vec<DriftSegment>,
 }
 
 impl MixedPlan {
@@ -307,7 +343,83 @@ impl MixedPlan {
                 at += 1;
             }
         }
-        Self { ops }
+        Self {
+            ops,
+            segments: Vec::new(),
+        }
+    }
+
+    /// A drifting plan: the op sequence of [`MixedPlan::seeded`] split into
+    /// `num_segments` equal windows, the first under the identity regime
+    /// (the build distribution) and each later one under a seeded
+    /// scale-and-shift regime drawn from `scale ∈ [0.5, 1.5)`,
+    /// `shift ∈ [-2.5, 2.5)`. Deterministic for a given argument tuple;
+    /// the same tuple with `num_segments = 1` is exactly the non-drifting
+    /// plan plus one identity segment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn seeded_with_drift(
+        count: usize,
+        read_fraction: f64,
+        query_universe: usize,
+        zipf_s: f64,
+        id_universe: u64,
+        num_segments: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_segments > 0, "a drifting plan needs ≥ 1 segment");
+        assert!(
+            count >= num_segments,
+            "more segments than operations to put them in"
+        );
+        let mut plan = Self::seeded(
+            count,
+            read_fraction,
+            query_universe,
+            zipf_s,
+            id_universe,
+            seed,
+        );
+        let mut rng = seeded(derive_seed(seed, 0x4452_4654)); // "DRFT"
+        plan.segments = (0..num_segments)
+            .map(|i| {
+                let (scale, shift) = if i == 0 {
+                    (1.0, 0.0)
+                } else {
+                    (
+                        rng.gen_range(0.5f64..1.5) as f32,
+                        rng.gen_range(-2.5f64..2.5) as f32,
+                    )
+                };
+                DriftSegment {
+                    start_op: i * count / num_segments,
+                    scale,
+                    shift,
+                }
+            })
+            .collect();
+        plan
+    }
+
+    /// The drift regime governing op `op_index`, or `None` for a
+    /// non-drifting plan (treat as identity).
+    pub fn regime_at(&self, op_index: usize) -> Option<&DriftSegment> {
+        match self
+            .segments
+            .partition_point(|seg| seg.start_op <= op_index)
+        {
+            0 => None,
+            n => Some(&self.segments[n - 1]),
+        }
+    }
+
+    /// The vector op `op_index` inserts, given the caller's raw pool row:
+    /// the row transformed by the op's drift regime (or untouched when the
+    /// plan does not drift).
+    pub fn insert_vector(&self, op_index: usize, row: &[f32]) -> Vec<f32> {
+        match self.regime_at(op_index) {
+            Some(seg) => seg.apply(row),
+            None => row.to_vec(),
+        }
     }
 
     /// Number of operations in the plan.
@@ -529,6 +641,70 @@ mod tests {
     }
 
     #[test]
+    fn drifting_mixed_plan_is_deterministic_with_well_formed_segments() {
+        let plan = MixedPlan::seeded_with_drift(8_000, 0.7, 64, 1.0, 500, 4, 33);
+        assert_eq!(
+            plan,
+            MixedPlan::seeded_with_drift(8_000, 0.7, 64, 1.0, 500, 4, 33),
+            "same seed, same plan"
+        );
+        assert_ne!(
+            plan,
+            MixedPlan::seeded_with_drift(8_000, 0.7, 64, 1.0, 500, 4, 34),
+            "seed matters"
+        );
+        // The op sequence is the non-drifting plan's: drift only changes
+        // which vectors the inserts carry, never the interleaving.
+        assert_eq!(
+            plan.ops,
+            MixedPlan::seeded(8_000, 0.7, 64, 1.0, 500, 33).ops,
+            "drift must not perturb the op sequence"
+        );
+        // Segments tile the plan: first at op 0 under the identity regime,
+        // starts strictly increasing, every later regime a real change.
+        assert_eq!(plan.segments.len(), 4);
+        assert_eq!(plan.segments[0].start_op, 0);
+        assert!(plan.segments[0].is_identity());
+        for w in plan.segments.windows(2) {
+            assert!(w[0].start_op < w[1].start_op, "segment starts must rise");
+        }
+        for seg in &plan.segments[1..] {
+            assert!(seg.start_op < plan.len());
+            assert!(!seg.is_identity(), "drawn regime degenerated: {seg:?}");
+            assert!((0.5..1.5).contains(&seg.scale), "scale out of band");
+            assert!((-2.5..2.5).contains(&seg.shift), "shift out of band");
+        }
+    }
+
+    #[test]
+    fn drift_regimes_govern_their_window_and_transform_inserts() {
+        let plan = MixedPlan::seeded_with_drift(100, 0.5, 16, 1.0, 50, 4, 9);
+        let row = [1.0f32, -2.0, 0.5];
+        for (i, _) in plan.ops.iter().enumerate() {
+            let seg = plan.regime_at(i).expect("drifting plan covers every op");
+            assert!(seg.start_op <= i, "regime window must contain the op");
+            let got = plan.insert_vector(i, &row);
+            let want: Vec<f32> = row.iter().map(|&x| x * seg.scale + seg.shift).collect();
+            assert_eq!(
+                got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "op {i} transform mismatch"
+            );
+        }
+        // Ops 0..25 sit in the identity window: the insert vector is the
+        // raw pool row, bit for bit.
+        assert_eq!(plan.insert_vector(3, &row), row.to_vec());
+        // A non-drifting plan has no regimes and passes rows through.
+        let flat = MixedPlan::seeded(100, 0.5, 16, 1.0, 50, 9);
+        assert!(flat.regime_at(50).is_none());
+        assert_eq!(flat.insert_vector(50, &row), row.to_vec());
+        // One-segment drift is the identity workload.
+        let one = MixedPlan::seeded_with_drift(100, 0.5, 16, 1.0, 50, 1, 9);
+        assert_eq!(one.ops, flat.ops);
+        assert!(one.regime_at(99).expect("covered").is_identity());
+    }
+
+    #[test]
     fn mixed_replay_preserves_order_and_buckets_latencies() {
         let plan = MixedPlan {
             ops: vec![
@@ -537,6 +713,7 @@ mod tests {
                 MixedOp::Remove(7),
                 MixedOp::Insert(1),
             ],
+            segments: Vec::new(),
         };
         assert_eq!(plan.inserts(), 2);
         let trace = std::cell::RefCell::new(Vec::new());

@@ -150,6 +150,38 @@ impl SearchStats {
     }
 }
 
+/// A point-in-time reading of how far the insert stream has drifted from
+/// the distribution the index's trained structures (codebooks, coarse
+/// centroids, threshold regressors) were fitted on.
+///
+/// Produced by [`AnnIndex::drift_report`] for engines that track drift.
+/// The two signals are complementary: `drift_ratio` rises when inserted
+/// vectors land ever farther from their assigned centroids (the codebooks
+/// no longer describe the data), while the tail-fill ratios rise when
+/// inserts pile into append tails faster than compaction folds them in
+/// (the coarse partitioning no longer balances the data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftReport {
+    /// Mean squared assignment (residual) distance over the build corpus —
+    /// the frozen reference the EWMA is compared against.
+    pub baseline_mean_sq: f64,
+    /// Exponentially weighted moving average of the squared assignment
+    /// distance of inserted vectors (equals the baseline until the first
+    /// insert).
+    pub ewma_sq: f64,
+    /// `ewma_sq / baseline_mean_sq` — `1.0` means inserts look like the
+    /// training distribution; sustained values well above `1.0` mean the
+    /// frozen codebooks have gone stale.
+    pub drift_ratio: f64,
+    /// Number of inserts folded into the EWMA since the last (re)build.
+    pub inserts_tracked: u64,
+    /// Largest per-cluster tail-fill ratio (`tail / (base + tail)` records)
+    /// across non-empty clusters.
+    pub max_tail_fill: f64,
+    /// Mean per-cluster tail-fill ratio across non-empty clusters.
+    pub mean_tail_fill: f64,
+}
+
 /// The interface shared by the JUNO engine and every baseline index.
 ///
 /// `search` takes `&self` so that query batches can be processed from
@@ -226,6 +258,59 @@ pub trait AnnIndex: Send + Sync {
     /// [`AnnIndex::restore`].
     fn supports_snapshot(&self) -> bool {
         false
+    }
+
+    /// Returns `true` when this index supports the lifecycle operations
+    /// [`AnnIndex::rebuild_for_live`] / [`AnnIndex::with_live_ids`] and
+    /// reports drift through [`AnnIndex::drift_report`].
+    fn supports_rebuild(&self) -> bool {
+        false
+    }
+
+    /// A point-in-time drift reading (see [`DriftReport`]), or `None` for
+    /// indexes that do not track drift.
+    fn drift_report(&self) -> Option<DriftReport> {
+        None
+    }
+
+    /// Retrains the index's learned structures (codebooks, coarse
+    /// centroids, calibration) over exactly the vectors in `live` and
+    /// re-encodes them, while preserving the id allocator: `live` ids keep
+    /// their ids, every other id ever allocated stays burnt, and the ids
+    /// handed out after the rebuild continue the original sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] unless [`AnnIndex::supports_rebuild`];
+    /// implementations propagate training errors.
+    fn rebuild_for_live(&self, live: &[u64]) -> Result<Self>
+    where
+        Self: Sized,
+    {
+        let _ = live;
+        Err(Error::unsupported(format!(
+            "{} does not support background rebuild",
+            self.name()
+        )))
+    }
+
+    /// Derives a sibling index restricted to the `live` ids **without**
+    /// retraining: trained structures are shared verbatim, non-listed ids
+    /// are dropped from the scan layout, and the id allocator is preserved.
+    /// The surgery primitive behind shard split/merge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] unless [`AnnIndex::supports_rebuild`].
+    fn with_live_ids(&self, live: &[u64]) -> Result<Self>
+    where
+        Self: Sized,
+    {
+        let _ = live;
+        Err(Error::unsupported(format!(
+            "{} does not support live-set surgery",
+            self.name()
+        )))
     }
 
     /// Inserts one vector into the index and returns its assigned id.
@@ -629,5 +714,16 @@ mod tests {
         assert!(matches!(idx.restore(&[]), Err(Error::Unsupported(_))));
         // Compaction is a safe no-op by default.
         assert!(idx.compact().is_ok());
+        // Lifecycle operations default to unsupported, drift to untracked.
+        assert!(!idx.supports_rebuild());
+        assert!(idx.drift_report().is_none());
+        assert!(matches!(
+            idx.rebuild_for_live(&[0]),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            idx.with_live_ids(&[0]),
+            Err(Error::Unsupported(_))
+        ));
     }
 }

@@ -64,7 +64,7 @@ pub mod vector;
 pub mod wal;
 
 pub use error::{Error, Result};
-pub use index::{AnnIndex, Neighbor, SearchResult};
+pub use index::{AnnIndex, DriftReport, Neighbor, SearchResult};
 pub use metric::Metric;
 pub use topk::TopK;
 pub use vector::VectorSet;

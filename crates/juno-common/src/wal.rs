@@ -148,6 +148,15 @@ pub enum WalRecord {
         /// Last rolled-back LSN (inclusive).
         until_lsn: u64,
     },
+    /// A background rebuild (codebook refresh or shard split/merge) was
+    /// durably published: a post-rebuild checkpoint covering every record
+    /// with LSN ≤ `covered_lsn` is on disk. Recovery treats this as a
+    /// marker — the fleet lands on the new lineage iff the checkpoint that
+    /// accompanied this record survived, never on a hybrid.
+    RebuildPublish {
+        /// Highest LSN folded into the rebuilt fleet.
+        covered_lsn: u64,
+    },
 }
 
 const TAG_INSERT: u8 = 1;
@@ -155,6 +164,7 @@ const TAG_REMOVE: u8 = 2;
 const TAG_COMPACT: u8 = 3;
 const TAG_CHECKPOINT: u8 = 4;
 const TAG_ABORT: u8 = 5;
+const TAG_REBUILD_PUBLISH: u8 = 6;
 
 impl WalRecord {
     fn encode_payload(&self) -> Vec<u8> {
@@ -189,6 +199,12 @@ impl WalRecord {
                 out.push(TAG_ABORT);
                 out.extend_from_slice(&from_lsn.to_le_bytes());
                 out.extend_from_slice(&until_lsn.to_le_bytes());
+                out
+            }
+            WalRecord::RebuildPublish { covered_lsn } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_REBUILD_PUBLISH);
+                out.extend_from_slice(&covered_lsn.to_le_bytes());
                 out
             }
         }
@@ -236,6 +252,14 @@ impl WalRecord {
                 Some(WalRecord::Abort {
                     from_lsn: u64::from_le_bytes(rest[..8].try_into().ok()?),
                     until_lsn: u64::from_le_bytes(rest[8..].try_into().ok()?),
+                })
+            }
+            TAG_REBUILD_PUBLISH => {
+                if rest.len() != 8 {
+                    return None;
+                }
+                Some(WalRecord::RebuildPublish {
+                    covered_lsn: u64::from_le_bytes(rest.try_into().ok()?),
                 })
             }
             _ => None,
@@ -806,6 +830,7 @@ mod tests {
                 from_lsn: 2,
                 until_lsn: 3,
             },
+            WalRecord::RebuildPublish { covered_lsn: 6 },
             WalRecord::Insert { vector: vec![9.5] },
             WalRecord::Remove { id: u64::MAX },
         ]
@@ -833,7 +858,7 @@ mod tests {
         }
         // Suffix reads skip covered records.
         let suffix = wal.read_records_after(6).unwrap();
-        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix.len(), records.len() - 6);
         assert_eq!(suffix[0].0, 7);
         let _ = fs::remove_dir_all(&dir);
     }

@@ -89,6 +89,12 @@ pub struct JunoConfig {
     /// The `k` (top-k) the threshold regressor is calibrated to contain
     /// (the paper uses the top-100 search points).
     pub threshold_target_k: usize,
+    /// Retain raw vectors alongside the codes (one dense `f32` row per id
+    /// ever allocated, tombstoned ids included). Costs `4·dim` bytes per
+    /// point but lets [`crate::engine::JunoIndex::rebuild_for_live`] retrain
+    /// codebooks from exact data instead of PQ reconstructions — the
+    /// lifecycle plane's background refresh wants this on.
+    pub retain_vectors: bool,
 }
 
 impl Default for JunoConfig {
@@ -109,6 +115,7 @@ impl Default for JunoConfig {
             seed: 0x1040,
             threshold_train_samples: 256,
             threshold_target_k: 100,
+            retain_vectors: false,
         }
     }
 }
@@ -161,6 +168,13 @@ impl JunoConfig {
     /// Returns the configuration with a different execution mode.
     pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
         self.execution_mode = mode;
+        self
+    }
+
+    /// Returns the configuration with raw-vector retention toggled (see
+    /// [`JunoConfig::retain_vectors`]).
+    pub fn with_retained_vectors(mut self, retain: bool) -> Self {
+        self.retain_vectors = retain;
         self
     }
 

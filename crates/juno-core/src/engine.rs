@@ -20,6 +20,7 @@
 //!    (JUNO-H) or hit counts (JUNO-L/M).
 
 use crate::config::{JunoConfig, QualityMode};
+use crate::drift::DriftTracker;
 use crate::hitcount::HitCountMode;
 use crate::inverted::SubspaceInvertedIndex;
 use crate::lut::{construct_selective_lut, LutDecodeBuffer, LutRayRequest, SelectiveLut};
@@ -28,7 +29,7 @@ use crate::pipeline::{QuerySimulator, QueryWork, StageBreakdown};
 use crate::threshold::{ThresholdModel, ThresholdStrategy, ThresholdTrainConfig};
 use juno_common::error::{Error, Result};
 use juno_common::group::GroupSchedule;
-use juno_common::index::{AnnIndex, Neighbor, SearchResult, SearchStats};
+use juno_common::index::{AnnIndex, DriftReport, Neighbor, SearchResult, SearchStats};
 use juno_common::kernel::{
     self, tighter_worst, QuantizedLut, BLOCK_LANES, GROUP_CHUNK_WORK, GROUP_TILE,
     MIN_GROUP_QUERIES, MIN_PRUNE_POINTS,
@@ -74,6 +75,15 @@ pub struct JunoIndex {
     /// ADC re-rank (on by default; results are bit-identical either way).
     /// Runtime-only — not persisted in snapshots.
     pub(crate) fastscan: bool,
+    /// Raw vectors retained for re-training ([`JunoConfig::retain_vectors`]):
+    /// one dense row per id ever allocated — tombstoned ids included, so
+    /// replicated shards stay in lockstep — letting
+    /// [`JunoIndex::rebuild_for_live`] retrain from exact data instead of PQ
+    /// reconstructions. `None` when retention is off.
+    pub(crate) raw: Option<VectorSet>,
+    /// EWMA drift tracker over insert assignment distances (see
+    /// [`crate::drift`]).
+    pub(crate) drift: DriftTracker,
 }
 
 /// The output of [`JunoIndex::build_selective_lut`]: the probed clusters in
@@ -210,8 +220,15 @@ impl JunoIndex {
             },
         )?;
 
-        // 2. PQ codebooks over residual projections.
+        // 2. PQ codebooks over residual projections. The mean squared
+        //    residual norm doubles as the drift baseline: inserts whose
+        //    assignment distance drifts away from it signal that these
+        //    codebooks no longer describe the data.
         let residuals = ivf.point_residuals(points)?;
+        let baseline_mean_sq = {
+            let norms = residuals.squared_norms();
+            norms.iter().map(|&x| x as f64).sum::<f64>() / norms.len().max(1) as f64
+        };
         let pq = ProductQuantizer::train(
             &residuals,
             &PqTrainConfig {
@@ -283,6 +300,8 @@ impl JunoIndex {
             scene_bounds,
             simulator,
             fastscan: true,
+            raw: config.retain_vectors.then(|| points.clone()),
+            drift: DriftTracker::from_baseline(baseline_mean_sq),
         })
     }
 
@@ -474,7 +493,12 @@ impl JunoIndex {
         let ivf_id = self.ivf.push_assignment(cluster)?;
         debug_assert_eq!(id, ivf_id, "layout and IVF id allocation diverged");
         self.codes.push(&code)?;
+        if let Some(raw) = &mut self.raw {
+            raw.push(vector)?;
+        }
         self.threshold_model.note_inserted_point(vector)?;
+        self.drift
+            .note_insert(residual.iter().map(|&x| x as f64 * x as f64).sum::<f64>());
         self.inverted.take();
         Ok(id as u64)
     }
@@ -522,6 +546,213 @@ impl JunoIndex {
         self.list_codes.compact();
         self.inverted.take();
         Ok(())
+    }
+
+    /// The drift tracker state (EWMA of insert assignment distances) — used
+    /// by the persistence layer and the serving-side `Rebuilder`.
+    pub fn drift_tracker(&self) -> &DriftTracker {
+        &self.drift
+    }
+
+    /// Raw vectors retained when [`JunoConfig::retain_vectors`] is on: one
+    /// dense row per id ever allocated, tombstoned ids included.
+    pub fn raw_vectors(&self) -> Option<&VectorSet> {
+        self.raw.as_ref()
+    }
+
+    /// A point-in-time drift reading: the EWMA-vs-baseline assignment
+    /// distance ratio plus structural tail-fill ratios of the scan layout
+    /// (see [`DriftReport`] for signal semantics).
+    pub fn drift_report(&self) -> DriftReport {
+        let lc = &self.list_codes;
+        let mut max_fill = 0.0f64;
+        let mut sum_fill = 0.0f64;
+        let mut counted = 0u64;
+        for c in 0..lc.num_clusters() {
+            let base = lc.cluster_ids(c).len();
+            let tail = lc.cluster_tail(c).0.len();
+            let total = base + tail;
+            if total == 0 {
+                continue;
+            }
+            let fill = tail as f64 / total as f64;
+            max_fill = max_fill.max(fill);
+            sum_fill += fill;
+            counted += 1;
+        }
+        DriftReport {
+            baseline_mean_sq: self.drift.baseline_mean_sq(),
+            ewma_sq: self.drift.ewma_sq(),
+            drift_ratio: self.drift.drift_ratio(),
+            inserts_tracked: self.drift.inserts(),
+            max_tail_fill: max_fill,
+            mean_tail_fill: if counted == 0 {
+                0.0
+            } else {
+                sum_fill / counted as f64
+            },
+        }
+    }
+
+    /// Validates, sorts and deduplicates a caller-supplied live-id set
+    /// against the id allocator.
+    fn sorted_live(live: &[u64], next_id: u32) -> Result<Vec<u32>> {
+        let mut out = Vec::with_capacity(live.len());
+        for &id in live {
+            let id32 = u32::try_from(id)
+                .ok()
+                .filter(|&i| i < next_id)
+                .ok_or_else(|| {
+                    Error::invalid_config(format!(
+                        "live id {id} is beyond the id allocator ({next_id})"
+                    ))
+                })?;
+            out.push(id32);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// The (exact or reconstructed) vectors of the given live ids, in the
+    /// given order. Uses retained raw rows when available, else decodes
+    /// `centroid + PQ(residual code)` — lossy, but distribution-faithful
+    /// enough to retrain on.
+    fn gather_live_vectors(&self, live: &[u32]) -> Result<VectorSet> {
+        if let Some(raw) = &self.raw {
+            return raw.select(&live.iter().map(|&i| i as usize).collect::<Vec<_>>());
+        }
+        self.codes.ensure_verified()?;
+        let dim = self.dim();
+        let mut flat = Vec::with_capacity(live.len() * dim);
+        for &id in live {
+            let cluster = self.ivf.labels()[id as usize];
+            let centroid = self.ivf.centroid(cluster)?;
+            let residual = self.pq.decode(self.codes.code(id as usize))?;
+            flat.extend(centroid.iter().zip(&residual).map(|(&c, &r)| c + r));
+        }
+        VectorSet::from_flat(flat, dim)
+    }
+
+    /// Retrains every learned structure (coarse centroids, PQ codebooks,
+    /// threshold calibration, RT scene) over exactly the `live` ids and
+    /// re-encodes them, **preserving the id allocator**: live ids keep
+    /// their ids, dead ids stay burnt (they get a tombstoned filler record,
+    /// exactly like a removed insert), and post-rebuild inserts continue
+    /// the original id sequence. The drift baseline is re-anchored on the
+    /// fresh training run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for an empty or out-of-range live
+    /// set and propagates training errors (e.g. fewer live points than
+    /// clusters).
+    pub fn rebuild_for_live(&self, live: &[u64]) -> Result<Self> {
+        let next_id = self.list_codes.next_id();
+        let live = Self::sorted_live(live, next_id)?;
+        if live.is_empty() {
+            return Err(Error::invalid_config(
+                "rebuild_for_live: the live set is empty",
+            ));
+        }
+        let vectors = self.gather_live_vectors(&live)?;
+        let fresh = Self::build(&vectors, &self.config)?;
+
+        // Remap the fresh dense build (ids 0..live.len()) onto the original
+        // id space. Dead ids keep a filler record (cluster 0, zero code)
+        // in the dense arrays and a tombstone in the scan layout, so every
+        // id ever allocated stays representable and the allocator resumes
+        // where it left off.
+        let n_total = next_id as usize;
+        let n_clusters = fresh.ivf.n_clusters();
+        let subspaces = fresh.codes.num_subspaces();
+        let mut labels_full = vec![0usize; n_total];
+        let mut flat = vec![0u8; n_total * subspaces];
+        let mut live_mark = vec![false; n_total];
+        for (new_idx, &id) in live.iter().enumerate() {
+            labels_full[id as usize] = fresh.ivf.labels()[new_idx];
+            flat[id as usize * subspaces..(id as usize + 1) * subspaces]
+                .copy_from_slice(fresh.codes.code(new_idx));
+            live_mark[id as usize] = true;
+        }
+        let codes_full = EncodedPoints::from_parts(flat, subspaces)?;
+        let mut list_codes = IvfListCodes::build(&labels_full, &codes_full, n_clusters)?;
+        for id in 0..next_id {
+            if !live_mark[id as usize] {
+                list_codes.remove(id);
+            }
+        }
+        list_codes.compact();
+        let ivf = IvfIndex::from_parts(
+            fresh.ivf.centroids().clone(),
+            labels_full,
+            self.config.metric,
+        )?;
+
+        Ok(Self {
+            config: fresh.config,
+            ivf,
+            pq: fresh.pq,
+            codes: codes_full,
+            list_codes,
+            inverted: std::sync::OnceLock::new(),
+            threshold_model: fresh.threshold_model,
+            mapping: fresh.mapping,
+            scene_bounds: fresh.scene_bounds,
+            simulator: fresh.simulator,
+            fastscan: self.fastscan,
+            // The retained rows already cover the full id space (dead rows
+            // included); the fresh build's copy covers only live rows under
+            // remapped ids, so keep the original.
+            raw: self.raw.clone(),
+            drift: fresh.drift,
+        })
+    }
+
+    /// Derives a sibling engine restricted to the `live` ids **without**
+    /// retraining: all trained state is shared verbatim and the scan layout
+    /// is rebuilt from the dense per-id arrays (which retain every id ever
+    /// allocated) with non-listed ids tombstoned away. The id allocator is
+    /// preserved. This is the surgery primitive behind shard split/merge —
+    /// siblings derived from one engine are bit-identical in their shared
+    /// trained state, so scatter-gather over them merges deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for out-of-range live ids and
+    /// [`Error::Corrupted`] when mapped content fails verification while
+    /// being materialised.
+    pub fn with_live_ids(&self, live: &[u64]) -> Result<Self> {
+        let next_id = self.list_codes.next_id();
+        let live = Self::sorted_live(live, next_id)?;
+        self.codes.ensure_verified()?;
+        let mut live_mark = vec![false; next_id as usize];
+        for &id in &live {
+            live_mark[id as usize] = true;
+        }
+        let mut list_codes =
+            IvfListCodes::build(self.ivf.labels(), &self.codes, self.ivf.n_clusters())?;
+        for id in 0..next_id {
+            if !live_mark[id as usize] {
+                list_codes.remove(id);
+            }
+        }
+        list_codes.compact();
+        Ok(Self {
+            config: self.config.clone(),
+            ivf: self.ivf.clone(),
+            pq: self.pq.clone(),
+            codes: self.codes.clone(),
+            list_codes,
+            inverted: std::sync::OnceLock::new(),
+            threshold_model: self.threshold_model.clone(),
+            mapping: self.mapping.clone(),
+            scene_bounds: self.scene_bounds.clone(),
+            simulator: self.simulator.clone(),
+            fastscan: self.fastscan,
+            raw: self.raw.clone(),
+            drift: self.drift.clone(),
+        })
     }
 
     /// The selective LUT and its traversal statistics for one query — exposed
@@ -1753,6 +1984,22 @@ impl AnnIndex for JunoIndex {
         JunoIndex::compact(self)
     }
 
+    fn supports_rebuild(&self) -> bool {
+        true
+    }
+
+    fn drift_report(&self) -> Option<DriftReport> {
+        Some(JunoIndex::drift_report(self))
+    }
+
+    fn rebuild_for_live(&self, live: &[u64]) -> Result<Self> {
+        JunoIndex::rebuild_for_live(self, live)
+    }
+
+    fn with_live_ids(&self, live: &[u64]) -> Result<Self> {
+        JunoIndex::with_live_ids(self, live)
+    }
+
     fn snapshot(&self) -> Result<Vec<u8>> {
         // A mapped index defers content verification; force it before the
         // bytes are re-serialised as a fresh snapshot.
@@ -2172,5 +2419,152 @@ mod tests {
         assert_eq!(index.threshold_model().num_subspaces(), 48);
         assert_eq!(index.mapping().num_subspaces(), 48);
         assert_eq!(index.config().pq_entries, 64);
+    }
+
+    fn lifecycle_fixture(seed: u64, retain: bool) -> (juno_data::profiles::Dataset, JunoIndex) {
+        let ds = DatasetProfile::DeepLike.generate(1_000, 8, seed).unwrap();
+        let config = JunoConfig {
+            n_clusters: 16,
+            nprobs: 4,
+            pq_entries: 32,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        }
+        .with_retained_vectors(retain);
+        let index = JunoIndex::build(&ds.points, &config).unwrap();
+        (ds, index)
+    }
+
+    fn result_bits(index: &JunoIndex, query: &[f32], k: usize) -> Vec<(u64, u32)> {
+        index
+            .search(query, k)
+            .unwrap()
+            .neighbors
+            .into_iter()
+            .map(|n| (n.id, n.distance.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn with_live_ids_matches_tombstoned_sibling_bit_for_bit() {
+        let (ds, mut index) = lifecycle_fixture(17, false);
+        for i in 0..40 {
+            index.insert(ds.points.row(i * 3)).unwrap();
+        }
+        let next_id = index.list_codes().next_id();
+        let live: Vec<u64> = (0..u64::from(next_id)).filter(|id| id % 3 != 0).collect();
+
+        let mut derived = index.with_live_ids(&live).unwrap();
+        let mut tombstoned = index.clone();
+        for id in 0..u64::from(next_id) {
+            if id % 3 == 0 {
+                tombstoned.remove(id).unwrap();
+            }
+        }
+        assert_eq!(derived.ids(), tombstoned.ids());
+        for q in ds.queries.iter() {
+            assert_eq!(
+                result_bits(&derived, q, 20),
+                result_bits(&tombstoned, q, 20)
+            );
+        }
+        // The id allocator is preserved: the next insert gets the same id
+        // on both siblings, continuing the original sequence.
+        let id_a = derived.insert(ds.points.row(0)).unwrap();
+        let id_b = tombstoned.insert(ds.points.row(0)).unwrap();
+        assert_eq!(id_a, id_b);
+        assert_eq!(id_a, u64::from(next_id));
+    }
+
+    #[test]
+    fn drift_tracker_flags_distribution_shift() {
+        let (ds, mut index) = lifecycle_fixture(23, false);
+        let before = index.drift_report();
+        assert_eq!(before.inserts_tracked, 0);
+        assert!((before.drift_ratio - 1.0).abs() < 1e-9);
+        // In-distribution inserts keep the ratio near 1; shifted inserts
+        // (constant offset moves points away from every trained centroid)
+        // drive it up and fill the append tails.
+        for i in 0..100 {
+            index.insert(ds.points.row(i)).unwrap();
+        }
+        let in_dist = index.drift_report();
+        assert!(in_dist.drift_ratio < 1.5, "ratio {}", in_dist.drift_ratio);
+        for i in 0..200 {
+            let mut v = ds.points.row(i).to_vec();
+            for x in &mut v {
+                *x += 2.5;
+            }
+            index.insert(&v).unwrap();
+        }
+        let shifted = index.drift_report();
+        assert!(
+            shifted.drift_ratio > in_dist.drift_ratio.max(1.5),
+            "ratio {}",
+            shifted.drift_ratio
+        );
+        assert!(shifted.max_tail_fill > 0.0);
+        assert_eq!(shifted.inserts_tracked, 300);
+    }
+
+    #[test]
+    fn rebuild_for_live_preserves_ids_and_resets_drift() {
+        let (ds, mut index) = lifecycle_fixture(29, true);
+        for i in 0..150 {
+            let mut v = ds.points.row(i).to_vec();
+            for x in &mut v {
+                *x += 2.0;
+            }
+            index.insert(&v).unwrap();
+        }
+        for id in (0..500u64).step_by(2) {
+            assert!(index.remove(id).unwrap());
+        }
+        let live = index.ids();
+        let next_id = index.list_codes().next_id();
+
+        let mut rebuilt = index.rebuild_for_live(&live).unwrap();
+        // Live ids keep their ids, dead ids stay burnt, the allocator
+        // resumes where it left off.
+        assert_eq!(rebuilt.ids(), live);
+        assert_eq!(rebuilt.list_codes().next_id(), next_id);
+        let id = rebuilt.insert(ds.points.row(5)).unwrap();
+        assert_eq!(id, u64::from(next_id));
+        // The drift baseline is re-anchored on the fresh training run.
+        let dr = rebuilt.drift_report();
+        assert_eq!(dr.inserts_tracked, 1);
+        assert!(dr.drift_ratio < 1.5, "ratio {}", dr.drift_ratio);
+        // Retained rows still cover the whole id space.
+        assert_eq!(
+            rebuilt.raw_vectors().unwrap().len(),
+            rebuilt.list_codes().next_id() as usize
+        );
+        // Searches return live ids only.
+        let res = rebuilt.search(ds.queries.row(0), 20).unwrap();
+        assert!(res
+            .neighbors
+            .iter()
+            .all(|n| !index.list_codes().is_deleted(u32::try_from(n.id).unwrap()) || n.id == id));
+    }
+
+    #[test]
+    fn rebuild_without_retention_falls_back_to_reconstructions() {
+        let (ds, mut index) = lifecycle_fixture(31, false);
+        for id in 0..100u64 {
+            index.remove(id).unwrap();
+        }
+        let live = index.ids();
+        let rebuilt = index.rebuild_for_live(&live).unwrap();
+        assert_eq!(rebuilt.ids(), live);
+        assert!(rebuilt.raw_vectors().is_none());
+        let res = rebuilt.search(ds.queries.row(0), 10).unwrap();
+        assert_eq!(res.neighbors.len(), 10);
+    }
+
+    #[test]
+    fn rebuild_rejects_degenerate_live_sets() {
+        let (_, index) = lifecycle_fixture(37, false);
+        assert!(index.rebuild_for_live(&[]).is_err());
+        assert!(index.rebuild_for_live(&[u64::from(u32::MAX) + 7]).is_err());
+        assert!(index.with_live_ids(&[1_000_000]).is_err());
     }
 }

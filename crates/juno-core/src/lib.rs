@@ -50,6 +50,7 @@
 pub mod analysis;
 pub mod config;
 pub mod density;
+pub mod drift;
 pub mod engine;
 pub mod hitcount;
 pub mod inverted;

@@ -72,6 +72,7 @@ use juno_common::atomic_file;
 use juno_common::error::{Error, Result};
 use juno_common::metric::Metric;
 use juno_common::mmap::{MappedBytes, Mmap, ResidencyConfig};
+use juno_common::vector::VectorSet;
 use juno_data::snapshot::{
     fnv1a_w64, kind, MappedSnapshot, SectionReader, SectionWriter, Snapshot, SnapshotWriter,
     CONTAINER_HEADER_LEN, SECTION_PREFIX_LEN,
@@ -449,6 +450,10 @@ fn get_config(r: &mut SectionReader<'_>) -> Result<JunoConfig> {
         seed: r.get_u64()?,
         threshold_train_samples: r.get_usize()?,
         threshold_target_k: r.get_usize()?,
+        // CONF is strict (readers consume it field-by-field and reject
+        // trailing bytes), so retention is not a CONF field: it is inferred
+        // in `assemble` from the presence of the optional RAWV section.
+        retain_vectors: false,
     })
 }
 
@@ -561,6 +566,16 @@ fn get_threshold_model(r: &mut SectionReader<'_>) -> Result<ThresholdModel> {
     ThresholdModel::from_subspaces(subspaces)
 }
 
+/// Decodes the optional `DRFT` section (drift-tracker state).
+fn get_drift(r: &mut SectionReader<'_>) -> Result<crate::drift::DriftTracker> {
+    let baseline = r.get_f64()?;
+    let ewma = r.get_f64()?;
+    let inserts = r.get_u64()?;
+    Ok(crate::drift::DriftTracker::from_parts(
+        baseline, ewma, inserts,
+    ))
+}
+
 impl JunoIndex {
     /// Serialises the complete engine state into snapshot bytes.
     ///
@@ -609,6 +624,21 @@ impl JunoIndex {
         let mut scnb = SectionWriter::new();
         scnb.put_f32s(&self.scene_bounds);
         writer.add_section(*b"SCNB", scnb);
+
+        // Optional lifecycle sections. Sections are looked up by tag, so
+        // older readers skip them and readers treat their absence as
+        // "retention off / drift untracked" — both directions stay
+        // compatible.
+        if let Some(raw) = &self.raw {
+            let mut rawv = SectionWriter::new();
+            rawv.put_vector_set(raw);
+            writer.add_section(*b"RAWV", rawv);
+        }
+        let mut drft = SectionWriter::new();
+        drft.put_f64(self.drift.baseline_mean_sq());
+        drft.put_f64(self.drift.ewma_sq());
+        drft.put_u64(self.drift.inserts());
+        writer.add_section(*b"DRFT", drft);
 
         writer.finish()
     }
@@ -690,6 +720,22 @@ impl JunoIndex {
         let mut r = snap.section(*b"SCNB")?;
         let scene_bounds = r.get_f32s()?;
         r.expect_end()?;
+        let raw = if snap.has_section(*b"RAWV") {
+            let mut r = snap.section(*b"RAWV")?;
+            let raw = r.get_vector_set()?;
+            r.expect_end()?;
+            Some(raw)
+        } else {
+            None
+        };
+        let drift = if snap.has_section(*b"DRFT") {
+            let mut r = snap.section(*b"DRFT")?;
+            let drift = get_drift(&mut r)?;
+            r.expect_end()?;
+            Some(drift)
+        } else {
+            None
+        };
 
         Self::assemble(
             config,
@@ -699,6 +745,8 @@ impl JunoIndex {
             list_codes,
             threshold_model,
             scene_bounds,
+            raw,
+            drift,
         )
     }
 
@@ -706,14 +754,17 @@ impl JunoIndex {
     /// deterministically rebuilding the RT scene and the GPU simulator.
     /// Shared by the copy ([`JunoIndex::from_snapshot_bytes`]) and mapped
     /// ([`JunoIndex::from_mapped`]) restore paths.
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
-        config: JunoConfig,
+        mut config: JunoConfig,
         ivf: IvfIndex,
         pq: ProductQuantizer,
         codes: EncodedPoints,
         list_codes: IvfListCodes,
         threshold_model: ThresholdModel,
         scene_bounds: Vec<f32>,
+        raw: Option<VectorSet>,
+        drift: Option<crate::drift::DriftTracker>,
     ) -> Result<Self> {
         // The restored configuration must satisfy the same invariants
         // JunoIndex::build enforces (positive nprobs, threshold_scale in
@@ -750,6 +801,18 @@ impl JunoIndex {
             ));
         }
 
+        // Retention is implied by the RAWV section (CONF stays strict); a
+        // present section must cover the whole id space at the right
+        // dimension, dead ids included.
+        if let Some(raw) = &raw {
+            if raw.len() != ivf.labels().len() || raw.dim() != ivf.dim() {
+                return Err(Error::corrupted(
+                    "retained raw vectors disagree with the id space",
+                ));
+            }
+        }
+        config.retain_vectors = raw.is_some();
+
         let mapping = Self::build_mapping(&pq, config.metric, &scene_bounds)?;
         let simulator = QuerySimulator::new(
             config.device.clone(),
@@ -768,6 +831,8 @@ impl JunoIndex {
             scene_bounds,
             simulator,
             fastscan: true,
+            raw,
+            drift: drift.unwrap_or_else(|| crate::drift::DriftTracker::from_baseline(0.0)),
         })
     }
 
@@ -965,6 +1030,22 @@ impl JunoIndex {
         let mut r = snap.section_reader(*b"SCNB")?;
         let scene_bounds = r.get_f32s()?;
         r.expect_end()?;
+        let raw = if snap.has_section(*b"RAWV") {
+            let mut r = snap.section_reader(*b"RAWV")?;
+            let raw = r.get_vector_set()?;
+            r.expect_end()?;
+            Some(raw)
+        } else {
+            None
+        };
+        let drift = if snap.has_section(*b"DRFT") {
+            let mut r = snap.section_reader(*b"DRFT")?;
+            let drift = get_drift(&mut r)?;
+            r.expect_end()?;
+            Some(drift)
+        } else {
+            None
+        };
 
         Self::assemble(
             config,
@@ -974,6 +1055,8 @@ impl JunoIndex {
             list_codes,
             threshold_model,
             scene_bounds,
+            raw,
+            drift,
         )
     }
 
@@ -1054,6 +1137,53 @@ mod tests {
         assert_eq!(restored.len(), index.len());
         assert_eq!(restored.config(), index.config());
         assert!(index.supports_snapshot());
+    }
+
+    #[test]
+    fn retention_and_drift_round_trip_through_snapshots() {
+        let ds = DatasetProfile::DeepLike.generate(1_200, 6, 21).unwrap();
+        let config = JunoConfig {
+            n_clusters: 16,
+            nprobs: 4,
+            pq_entries: 32,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        }
+        .with_retained_vectors(true);
+        let mut index = JunoIndex::build(&ds.points, &config).unwrap();
+        for i in 0..25 {
+            index.insert(ds.points.row(i * 7)).unwrap();
+        }
+        assert!(index.remove(3).unwrap());
+
+        let bytes = index.to_snapshot_bytes();
+        let restored = JunoIndex::from_snapshot_bytes(&bytes).unwrap();
+        // Retention is inferred from the RAWV section (CONF stays strict);
+        // raw rows cover the whole id space, dead ids included.
+        assert!(restored.config().retain_vectors);
+        assert_eq!(
+            restored.raw_vectors().unwrap().len(),
+            index.list_codes().next_id() as usize
+        );
+        assert_eq!(restored.drift_tracker(), index.drift_tracker());
+        assert_eq!(results_bits(&index, &ds), results_bits(&restored, &ds));
+
+        // The mapped restore path carries the sections too.
+        let dir = std::env::temp_dir().join("juno_persist_retention_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snap");
+        index.save_snapshot(&path).unwrap();
+        let mapped =
+            JunoIndex::load_snapshot_mapped(&path, &juno_common::mmap::ResidencyConfig::default())
+                .unwrap();
+        assert!(mapped.config().retain_vectors);
+        assert_eq!(mapped.drift_tracker(), index.drift_tracker());
+        std::fs::remove_file(&path).ok();
+
+        // Snapshots without a RAWV section still load, with retention off.
+        let (_, plain) = small_index(21);
+        let restored = JunoIndex::from_snapshot_bytes(&plain.to_snapshot_bytes()).unwrap();
+        assert!(!restored.config().retain_vectors);
+        assert!(restored.raw_vectors().is_none());
     }
 
     #[test]

@@ -390,6 +390,14 @@ impl<'a> Snapshot<'a> {
                 ))
             })
     }
+
+    /// Whether a section with the given tag is present — lets decoders
+    /// branch on optional sections without treating absence as corruption.
+    pub fn has_section(&self, tag: [u8; 4]) -> bool {
+        self.sections
+            .binary_search_by_key(&tag, |&(t, _)| t)
+            .is_ok()
+    }
 }
 
 /// A snapshot parsed *in place* over a shared [`Mmap`] region — the
@@ -516,6 +524,12 @@ impl MappedSnapshot {
     /// Returns [`Error::Corrupted`] when the section is absent.
     pub fn section_range(&self, tag: [u8; 4]) -> Result<(usize, usize)> {
         self.entry(tag).map(|&(_, off, len, _)| (off, len))
+    }
+
+    /// Whether a section with the given tag is present — the mapped twin of
+    /// [`Snapshot::has_section`].
+    pub fn has_section(&self, tag: [u8; 4]) -> bool {
+        self.entry(tag).is_ok()
     }
 
     /// Opens a section for cursor-based reading, borrowing from the mapping

@@ -38,6 +38,15 @@
 //! * [`FaultOp::Rotate`] — after the WAL rotates to a fresh segment during
 //!   a checkpoint but before sealed segments are pruned: the mid-rotation
 //!   crash window.
+//! * [`FaultOp::RebuildTrain`] — at the start of a background rebuild's
+//!   training phase, after the reader pin and start-LSN capture (shard 0).
+//! * [`FaultOp::RebuildReplay`] — before the rebuild replays the WAL suffix
+//!   that landed during training into the shadow fleet (shard 0).
+//! * [`FaultOp::RebuildSwap`] — per shard, immediately before the shadow
+//!   state's epoch-pointer swap: the mid-publish crash window of the
+//!   rebuild protocol.
+//! * [`FaultOp::Split`] — per **new** shard during a split/merge resize,
+//!   before its live-set surgery is derived.
 //!
 //! Injected panics carry [`juno_common::testing::INJECTED_PANIC_MARKER`] so
 //! chaos suites can silence their print-out while real panics stay loud.
@@ -74,10 +83,21 @@ pub enum FaultOp {
     /// The WAL rotated to a fresh segment but sealed segments were not yet
     /// pruned (mid-rotation). Fleet-level: counted on shard 0.
     Rotate,
+    /// A background rebuild entered its training phase (reader pinned,
+    /// start LSN captured). Fleet-level: counted on shard 0.
+    RebuildTrain,
+    /// A background rebuild is about to replay the WAL suffix that landed
+    /// during training into its shadow fleet. Fleet-level: shard 0.
+    RebuildReplay,
+    /// The per-shard epoch-pointer swap publishing a rebuilt shadow state.
+    RebuildSwap,
+    /// Deriving one new shard's live set during a split/merge resize
+    /// (counted on the **new** shard index).
+    Split,
 }
 
 /// Number of distinct [`FaultOp`] values (sizing the counter table).
-const NUM_OPS: usize = 8;
+const NUM_OPS: usize = 12;
 
 impl FaultOp {
     fn index(self) -> usize {
@@ -90,6 +110,10 @@ impl FaultOp {
             FaultOp::WalAppend => 5,
             FaultOp::Checkpoint => 6,
             FaultOp::Rotate => 7,
+            FaultOp::RebuildTrain => 8,
+            FaultOp::RebuildReplay => 9,
+            FaultOp::RebuildSwap => 10,
+            FaultOp::Split => 11,
         }
     }
 
@@ -103,6 +127,10 @@ impl FaultOp {
         FaultOp::WalAppend,
         FaultOp::Checkpoint,
         FaultOp::Rotate,
+        FaultOp::RebuildTrain,
+        FaultOp::RebuildReplay,
+        FaultOp::RebuildSwap,
+        FaultOp::Split,
     ];
 
     /// The operations [`FaultPlan::chaos`] draws rules over. The durability
@@ -115,6 +143,16 @@ impl FaultOp {
         FaultOp::Publish,
         FaultOp::Compact,
         FaultOp::Restore,
+    ];
+
+    /// The operations [`FaultPlan::chaos_lifecycle`] draws rules over — the
+    /// lifecycle plane's injection points. Kept separate from
+    /// [`FaultOp::CHAOS_OPS`] so existing chaos suites replay seed-for-seed.
+    const LIFECYCLE_OPS: [FaultOp; 4] = [
+        FaultOp::RebuildTrain,
+        FaultOp::RebuildReplay,
+        FaultOp::RebuildSwap,
+        FaultOp::Split,
     ];
 }
 
@@ -240,6 +278,45 @@ impl FaultPlan {
                     op,
                     from_op,
                     until_op,
+                    kind,
+                });
+            }
+        }
+        plan
+    }
+
+    /// [`FaultPlan::chaos`]'s sibling for the lifecycle plane: derives a
+    /// replayable rule set over the rebuild/split injection points
+    /// ([`FaultOp::RebuildTrain`] / [`FaultOp::RebuildReplay`] /
+    /// [`FaultOp::RebuildSwap`] / [`FaultOp::Split`]). Every rule is
+    /// windowed, so a retried lifecycle operation eventually clears its
+    /// faults, and [`FaultKind::Crash`] is never drawn — kill-point
+    /// coverage belongs to the subprocess crash harness.
+    pub fn chaos_lifecycle(seed: u64, num_shards: usize, max_stall: Duration) -> Self {
+        let mut plan = Self::new(num_shards);
+        for shard in 0..num_shards {
+            let mut rng = seeded(derive_seed(seed ^ 0x4C49_4645, shard as u64));
+            let num_rules = rng.gen_range(0..=2usize);
+            for _ in 0..num_rules {
+                let op = FaultOp::LIFECYCLE_OPS[rng.gen_range(0..FaultOp::LIFECYCLE_OPS.len())];
+                let from_op = rng.gen_range(0..3u64);
+                let width = rng.gen_range(1..3u64);
+                let kind = match rng.gen_range(0..4u32) {
+                    0 => {
+                        let lo = (max_stall / 4).max(Duration::from_micros(1));
+                        let span = max_stall.saturating_sub(lo);
+                        let extra = span.mul_f64(rng.gen::<f64>());
+                        FaultKind::Stall(lo + extra)
+                    }
+                    1 => FaultKind::Transient,
+                    2 => FaultKind::Fail,
+                    _ => FaultKind::Panic,
+                };
+                plan.rules.push(FaultRule {
+                    shard,
+                    op,
+                    from_op,
+                    until_op: Some(from_op + width),
                     kind,
                 });
             }
@@ -420,6 +497,28 @@ mod tests {
                     FaultOp::CHAOS_OPS.contains(&rule.op),
                     "seed {seed}: chaos drew durability op {:?}",
                     rule.op
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lifecycle_chaos_is_replayable_windowed_and_stays_on_lifecycle_ops() {
+        let a = FaultPlan::chaos_lifecycle(0xBEEF, 4, Duration::from_millis(5));
+        let b = FaultPlan::chaos_lifecycle(0xBEEF, 4, Duration::from_millis(5));
+        assert_eq!(a.rules(), b.rules());
+        for seed in 0..64u64 {
+            let plan = FaultPlan::chaos_lifecycle(seed, 4, Duration::from_millis(5));
+            for rule in plan.rules() {
+                assert_ne!(rule.kind, FaultKind::Crash, "seed {seed}");
+                assert!(
+                    FaultOp::LIFECYCLE_OPS.contains(&rule.op),
+                    "seed {seed}: lifecycle chaos drew {:?}",
+                    rule.op
+                );
+                assert!(
+                    rule.until_op.is_some(),
+                    "seed {seed}: lifecycle rules must be windowed so retries clear"
                 );
             }
         }

@@ -43,7 +43,7 @@
 //! a shard that hiccups once should not surface in `DegradedResult` at all.
 
 use juno_common::rng::{derive_seed, seeded, Rng, StdRng};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Tuning for a [`CircuitBreaker`].
@@ -291,46 +291,107 @@ impl RetryPolicy {
 }
 
 /// Per-shard health state shared between a fleet and its pinned readers.
+///
+/// Interior-mutable: the breaker set and policies live behind a `RwLock`
+/// so [`HealthTracker::reconfigure`] can retune a **live** shared fleet
+/// (`Arc<ShardedIndex>`) in place — pinned readers observe the new tuning
+/// on their next breaker lookup without re-pinning. The shard *count* is
+/// fixed for the tracker's lifetime; topology changes swap in a whole new
+/// tracker so a reader pinned on the old topology never indexes a breaker
+/// out of range.
 #[derive(Debug)]
 pub struct HealthTracker {
-    breakers: Vec<CircuitBreaker>,
+    inner: RwLock<HealthInner>,
+}
+
+#[derive(Debug)]
+struct HealthInner {
+    breakers: Vec<Arc<CircuitBreaker>>,
+    breaker_config: BreakerConfig,
     retry: RetryPolicy,
+}
+
+impl HealthInner {
+    fn fresh(num_shards: usize, breaker: BreakerConfig, retry: RetryPolicy) -> Self {
+        Self {
+            breakers: (0..num_shards)
+                .map(|s| Arc::new(CircuitBreaker::new(breaker, s)))
+                .collect(),
+            breaker_config: breaker,
+            retry,
+        }
+    }
 }
 
 impl HealthTracker {
     /// Fresh (all-closed) health state for `num_shards` shards.
     pub fn new(num_shards: usize, breaker: BreakerConfig, retry: RetryPolicy) -> Self {
         Self {
-            breakers: (0..num_shards)
-                .map(|s| CircuitBreaker::new(breaker, s))
-                .collect(),
-            retry,
+            inner: RwLock::new(HealthInner::fresh(num_shards, breaker, retry)),
         }
     }
 
-    /// The breaker guarding shard `shard`.
-    pub fn breaker(&self, shard: usize) -> &CircuitBreaker {
-        &self.breakers[shard]
+    /// The breaker guarding shard `shard`. The `Arc` pins the breaker
+    /// across a request even if a concurrent [`HealthTracker::reconfigure`]
+    /// swaps the set mid-flight — generation stamping makes a stale
+    /// record_success/record_failure on the old breaker harmless.
+    pub fn breaker(&self, shard: usize) -> Arc<CircuitBreaker> {
+        self.inner.read().expect("health lock poisoned").breakers[shard].clone()
     }
 
     /// Number of shards tracked.
     pub fn num_shards(&self) -> usize {
-        self.breakers.len()
+        self.inner
+            .read()
+            .expect("health lock poisoned")
+            .breakers
+            .len()
     }
 
     /// The in-request retry policy for transient errors.
     pub fn retry(&self) -> RetryPolicy {
-        self.retry
+        self.inner.read().expect("health lock poisoned").retry
+    }
+
+    /// The breaker configuration every tracked breaker was built with.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.inner
+            .read()
+            .expect("health lock poisoned")
+            .breaker_config
+    }
+
+    /// Replaces the tuning **in place** on a shared tracker: every breaker
+    /// is rebuilt fresh (all-closed, counters zeroed) with the new config
+    /// and the retry policy is swapped. Works through `&self`, so a live
+    /// `Arc<ShardedIndex>` (and every pinned reader sharing this tracker)
+    /// picks up the new tuning without re-pinning or a topology swap.
+    pub fn reconfigure(&self, breaker: BreakerConfig, retry: RetryPolicy) {
+        let mut inner = self.inner.write().expect("health lock poisoned");
+        let num_shards = inner.breakers.len();
+        *inner = HealthInner::fresh(num_shards, breaker, retry);
     }
 
     /// Snapshot of every shard's breaker state, indexed by shard.
     pub fn breaker_states(&self) -> Vec<BreakerState> {
-        self.breakers.iter().map(|b| b.state()).collect()
+        self.inner
+            .read()
+            .expect("health lock poisoned")
+            .breakers
+            .iter()
+            .map(|b| b.state())
+            .collect()
     }
 
     /// Total breaker state flips across every shard, for the metrics layer.
     pub fn total_transitions(&self) -> u64 {
-        self.breakers.iter().map(|b| b.transitions()).sum()
+        self.inner
+            .read()
+            .expect("health lock poisoned")
+            .breakers
+            .iter()
+            .map(|b| b.transitions())
+            .sum()
     }
 }
 

@@ -61,8 +61,8 @@ pub use persist::KIND_SHARD;
 pub use router::{ShardRouter, MAX_SHARDS};
 pub use server::{ServeResponse, ServeStats, Server, ServerConfig};
 pub use shard::{
-    BackgroundCompactor, DegradedBatch, DegradedResult, FleetReader, ShardState, ShardStatus,
-    ShardedIndex,
+    BackgroundCompactor, DegradedBatch, DegradedResult, FleetReader, RebuildPolicy, RebuildReport,
+    Rebuilder, ShardState, ShardStatus, ShardedIndex,
 };
 
 #[cfg(test)]
@@ -833,9 +833,48 @@ mod tests {
         assert!(fleet.insert_shared(&[0.5, 0.5]).is_ok());
     }
 
+    /// The satellite contract for live health retuning: `configure_health`
+    /// works through `&self` on a shared `Arc<ShardedIndex>`, reconfigures
+    /// the *same* tracker in place (no new `Arc`), resets every breaker to
+    /// closed, and the new tuning is visible to readers pinned **before**
+    /// the retune (they share the tracker).
+    #[test]
+    fn configure_health_retunes_a_live_shared_fleet_in_place() {
+        let fleet = Arc::new(four_shard_fleet(40));
+        let reader = fleet.reader();
+        let tracker = fleet.health();
+        // Trip shard 1's breaker under the default tuning.
+        let breaker = tracker.breaker(1);
+        for _ in 0..tracker.breaker_config().failure_threshold {
+            let generation = breaker.admit().expect("closed breaker admits");
+            breaker.record_failure(generation);
+        }
+        assert_eq!(tracker.breaker_states()[1], BreakerState::Open);
+        // Retune through &self on the shared fleet: no &mut, no swap.
+        fleet.configure_health(
+            BreakerConfig {
+                failure_threshold: 9,
+                ..BreakerConfig::default()
+            },
+            RetryPolicy {
+                max_retries: 7,
+                ..RetryPolicy::default()
+            },
+        );
+        assert!(Arc::ptr_eq(&tracker, &fleet.health()));
+        assert_eq!(fleet.health().breaker_config().failure_threshold, 9);
+        assert_eq!(fleet.health().retry().max_retries, 7);
+        // The retune resets every breaker, and the previously pinned reader
+        // observes it immediately.
+        assert!(reader
+            .breaker_states()
+            .iter()
+            .all(|s| *s == BreakerState::Closed));
+    }
+
     #[test]
     fn persistent_failures_trip_the_breaker_and_recovery_closes_it() {
-        let mut fleet = four_shard_fleet(80);
+        let fleet = four_shard_fleet(80);
         fleet.configure_health(
             BreakerConfig {
                 failure_threshold: 3,
@@ -1349,7 +1388,7 @@ mod tests {
     /// coverage even though the abandoned probes never reported.
     #[test]
     fn server_p999_holds_under_stall_and_coverage_recovers_after_disarm() {
-        let mut raw = four_shard_fleet(60);
+        let raw = four_shard_fleet(60);
         raw.configure_health(
             BreakerConfig {
                 failure_threshold: 2,

@@ -61,7 +61,7 @@ use crate::health::{BreakerConfig, BreakerState, HealthTracker, RetryPolicy};
 use crate::persist;
 use crate::router::{ShardRouter, MAX_SHARDS};
 use juno_common::error::{Error, Result};
-use juno_common::index::{AnnIndex, SearchResult, SearchStats};
+use juno_common::index::{AnnIndex, DriftReport, SearchResult, SearchStats};
 use juno_common::metrics::{Registry, RegistrySnapshot};
 use juno_common::parallel;
 use juno_common::topk::{merge_neighbors, ScoreOrder};
@@ -530,18 +530,23 @@ impl<I: AnnIndex + 'static> FleetReader<I> {
 /// and parity model.
 #[derive(Debug)]
 pub struct ShardedIndex<I: AnnIndex> {
-    shards: Vec<Shard<I>>,
+    /// The fleet topology, itself behind an epoch pointer: resize
+    /// ([`ShardedIndex::resize_shards`]) publishes a whole new shard vector
+    /// in one pointer swap, so a reader pinning mid-resize sees the old or
+    /// the new topology wholesale — never a mix. The lock is held only to
+    /// clone or swap the `Arc`; every topology mutation additionally holds
+    /// the fleet writer lock.
+    shards: RwLock<Arc<Vec<Shard<I>>>>,
     router: ShardRouter,
     /// Serialises writers (and fleet-consistent snapshots). Readers never
     /// take it.
     writer: Mutex<()>,
     /// Per-shard circuit breakers + retry policy, shared with every reader.
-    health: Arc<HealthTracker>,
-    /// Breaker tuning, kept so a restore that changes the shard count can
-    /// rebuild the tracker with the same configuration.
-    breaker_config: BreakerConfig,
-    /// Retry tuning, kept for the same reason.
-    retry_policy: RetryPolicy,
+    /// Interior-mutable tuning lives inside the tracker
+    /// ([`HealthTracker::reconfigure`]); the outer `RwLock` only exists so
+    /// a shard-count change can swap in a tracker of the right shape
+    /// through `&self`.
+    health: RwLock<Arc<HealthTracker>>,
     /// Chaos-testing fault plan (`None` in production). Behind its own lock
     /// so tests can attach/detach plans without a writer handle.
     fault: RwLock<Option<Arc<FaultPlan>>>,
@@ -555,28 +560,37 @@ pub struct ShardedIndex<I: AnnIndex> {
 impl<I: AnnIndex> ShardedIndex<I> {
     /// Assembles a fleet around validated shards with default health tuning.
     fn assemble(shards: Vec<Shard<I>>, router: ShardRouter) -> Self {
-        let breaker_config = BreakerConfig::default();
-        let retry_policy = RetryPolicy::default();
         let health = Arc::new(HealthTracker::new(
             shards.len(),
-            breaker_config,
-            retry_policy,
+            BreakerConfig::default(),
+            RetryPolicy::default(),
         ));
         Self {
-            shards,
+            shards: RwLock::new(Arc::new(shards)),
             router,
             writer: Mutex::new(()),
-            health,
-            breaker_config,
-            retry_policy,
+            health: RwLock::new(health),
             fault: RwLock::new(None),
             durability: RwLock::new(None),
         }
     }
 
+    /// Pins the current topology (O(1) pointer clone). Stable for the whole
+    /// pinned lifetime: a concurrent resize publishes a *new* vector rather
+    /// than mutating this one.
+    fn topology(&self) -> Arc<Vec<Shard<I>>> {
+        self.shards.read().expect("topology lock poisoned").clone()
+    }
+
+    /// Publishes a new topology (resize / restore paths; caller holds the
+    /// fleet writer lock or `&mut self`).
+    fn set_topology(&self, shards: Vec<Shard<I>>) {
+        *self.shards.write().expect("topology lock poisoned") = Arc::new(shards);
+    }
+
     /// Number of shards in the fleet.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.topology().len()
     }
 
     /// The id router partitioning ownership across shards.
@@ -631,24 +645,36 @@ impl<I: AnnIndex> ShardedIndex<I> {
 
     /// The shared health tracker (per-shard breakers + retry policy).
     pub fn health(&self) -> Arc<HealthTracker> {
-        self.health.clone()
+        self.health.read().expect("health lock poisoned").clone()
     }
 
     /// Snapshot of every shard's circuit-breaker state.
     pub fn breaker_states(&self) -> Vec<BreakerState> {
-        self.health.breaker_states()
+        self.health().breaker_states()
     }
 
-    /// Replaces the health tuning with a fresh (all-closed) tracker.
-    /// Existing readers keep the tracker they pinned.
-    pub fn configure_health(&mut self, breaker: BreakerConfig, retry: RetryPolicy) {
-        self.breaker_config = breaker;
-        self.retry_policy = retry;
-        self.health = Arc::new(HealthTracker::new(self.shards.len(), breaker, retry));
+    /// Replaces the health tuning **in place**: every breaker restarts
+    /// fresh (all-closed) with the new config. Works through `&self` on a
+    /// live shared fleet (`Arc<ShardedIndex>`); existing readers share the
+    /// same tracker, so they pick the new tuning up immediately.
+    pub fn configure_health(&self, breaker: BreakerConfig, retry: RetryPolicy) {
+        self.health().reconfigure(breaker, retry);
+    }
+
+    /// Swaps in a fresh tracker sized for `num_shards`, keeping the current
+    /// tuning — the topology-change path (restore / resize), where pinned
+    /// readers must keep their own tracker so they never index a breaker
+    /// out of range.
+    fn reshape_health(&self, num_shards: usize) {
+        let mut slot = self.health.write().expect("health lock poisoned");
+        if slot.num_shards() != num_shards {
+            let tracker = HealthTracker::new(num_shards, slot.breaker_config(), slot.retry());
+            *slot = Arc::new(tracker);
+        }
     }
 
     fn load(&self, s: usize) -> Arc<ShardState<I>> {
-        self.shards[s]
+        self.topology()[s]
             .slot
             .read()
             .expect("shard slot lock poisoned")
@@ -662,7 +688,7 @@ impl<I: AnnIndex> ShardedIndex<I> {
     /// Publishes an already-shared state — the rollback path, which must
     /// restore the exact pre-op state (epoch included), not a bumped copy.
     fn publish_arc(&self, s: usize, state: Arc<ShardState<I>>) {
-        *self.shards[s]
+        *self.topology()[s]
             .slot
             .write()
             .expect("shard slot lock poisoned") = state;
@@ -674,16 +700,20 @@ impl<I: AnnIndex> ShardedIndex<I> {
     /// skew epochs *across* shards, which is harmless because every point is
     /// live in at most one shard at every published epoch.
     pub fn reader(&self) -> FleetReader<I> {
+        let shards = self.topology();
         FleetReader {
-            states: (0..self.shards.len()).map(|s| self.load(s)).collect(),
-            health: self.health.clone(),
+            states: shards
+                .iter()
+                .map(|shard| shard.slot.read().expect("shard slot lock poisoned").clone())
+                .collect(),
+            health: self.health(),
             fault: self.fault_plan(),
         }
     }
 
     /// The current published epoch of every shard.
     pub fn shard_epochs(&self) -> Vec<u64> {
-        (0..self.shards.len()).map(|s| self.load(s).epoch).collect()
+        self.reader().epochs()
     }
 
     /// Builds a read-only fleet from pre-partitioned sub-indexes, each with
@@ -957,7 +987,7 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
                 self.publish(s, state);
                 // Every replica gained a tail record (non-owners also a
                 // tombstone), so every shard now has something to compact.
-                self.shards[s].dirty.store(true, Ordering::Relaxed);
+                self.topology()[s].dirty.store(true, Ordering::Relaxed);
             }
             Ok(ids)
         }));
@@ -1053,7 +1083,7 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
                     plan.inject(owner, FaultOp::Publish)?;
                 }
                 self.publish(owner, next);
-                self.shards[owner].dirty.store(true, Ordering::Relaxed);
+                self.topology()[owner].dirty.store(true, Ordering::Relaxed);
             }
             Ok(removed)
         }));
@@ -1099,10 +1129,11 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
 
     fn compact_inner(&self, durable: bool) -> Result<()> {
         let _writer = self.writer.lock().expect("fleet writer lock poisoned");
+        let shards = self.topology();
         let plan = self.fault_plan();
         let mut any_compacted = false;
-        for s in 0..self.num_shards() {
-            if !self.shards[s].dirty.swap(false, Ordering::Relaxed) {
+        for s in 0..shards.len() {
+            if !shards[s].dirty.swap(false, Ordering::Relaxed) {
                 continue;
             }
             let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
@@ -1123,7 +1154,7 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
                 )))
             });
             if let Err(err) = step {
-                self.shards[s].dirty.store(true, Ordering::Relaxed);
+                shards[s].dirty.store(true, Ordering::Relaxed);
                 return Err(err);
             }
             any_compacted = true;
@@ -1235,26 +1266,22 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
             self.router = router;
         }
         let num_shards = decoded.states.len();
-        self.shards = decoded
-            .states
-            .into_iter()
-            .map(|state| {
-                // Restored global-id shards may carry tails / tombstones
-                // from their snapshotted lifecycle; mapped shards are
-                // read-only and never need a sweep.
-                let dirty = state.id_map.is_none();
-                Shard::new(state, dirty)
-            })
-            .collect();
-        if self.health.num_shards() != num_shards {
-            // The restored fleet has a different shape: rebuild the breakers
-            // (all closed) with the configured tuning.
-            self.health = Arc::new(HealthTracker::new(
-                num_shards,
-                self.breaker_config,
-                self.retry_policy,
-            ));
-        }
+        self.set_topology(
+            decoded
+                .states
+                .into_iter()
+                .map(|state| {
+                    // Restored global-id shards may carry tails / tombstones
+                    // from their snapshotted lifecycle; mapped shards are
+                    // read-only and never need a sweep.
+                    let dirty = state.id_map.is_none();
+                    Shard::new(state, dirty)
+                })
+                .collect(),
+        );
+        // A restore that changes the shard count rebuilds the breakers (all
+        // closed) with the current tuning.
+        self.reshape_health(num_shards);
         // The log no longer describes this fleet's history; see the doc
         // comment. (`recover_from_dir` re-attaches after its replay.)
         *self.durability.write().expect("durability lock poisoned") = None;
@@ -1588,8 +1615,14 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
                         replayed_ops += 1;
                     }
                 }
-                // Markers for the pruning protocol; no state to replay.
-                WalRecord::Checkpoint { .. } | WalRecord::Abort { .. } => {}
+                // Markers for the pruning and rebuild-publish protocols; no
+                // state to replay. A RebuildPublish whose checkpoint survived
+                // is already reflected in the restored generation; one whose
+                // checkpoint did not survive must be ignored so recovery
+                // lands on the old lineage plus the replayed suffix.
+                WalRecord::Checkpoint { .. }
+                | WalRecord::Abort { .. }
+                | WalRecord::RebuildPublish { .. } => {}
             }
         }
         flush(&fleet, &mut pending)?;
@@ -1613,6 +1646,401 @@ impl<I: AnnIndex + Clone> ShardedIndex<I> {
             },
         ))
     }
+
+    /// Drift signal for the fleet: shard 0's [`DriftReport`]. In global-id
+    /// mode every replica receives every insert, so shard 0's EWMA and
+    /// tail-fill statistics describe the whole fleet's distribution shift.
+    /// `None` for engines without drift tracking.
+    pub fn drift_report(&self) -> Option<DriftReport> {
+        self.load(0).index.drift_report()
+    }
+
+    /// Retrains the fleet's learned structure (codebooks, centroids,
+    /// calibration) **under live traffic** and swaps every shard to the
+    /// fresh lineage atomically per shard. The protocol:
+    ///
+    /// 1. **Pin** (brief writer lock): pin a fleet snapshot and the WAL
+    ///    position `start_lsn`.
+    /// 2. **Train** (no locks): build a fresh full index over the pinned
+    ///    live set via [`AnnIndex::rebuild_for_live`], then derive one
+    ///    shadow replica per shard with [`AnnIndex::with_live_ids`].
+    ///    Writers keep acknowledging into the old lineage the whole time;
+    ///    readers are never blocked.
+    /// 3. **Replay** (writer lock): apply the WAL suffix after `start_lsn`
+    ///    to every shadow — the mutations that landed during training —
+    ///    skipping aborted ranges, with the same id-lockstep check as the
+    ///    live insert path.
+    /// 4. **Swap**: publish each shard's shadow (epoch bumped). Pinned
+    ///    readers keep serving the old lineage until they drop; an
+    ///    in-process failure or panic mid-swap republishes every shard's
+    ///    pre-swap state, so readers never observe a hybrid fleet.
+    /// 5. **Persist** (WAL attached only): write a checkpoint of the new
+    ///    lineage and stamp a fsync'd [`WalRecord::RebuildPublish`] marker.
+    ///    A crash *before* the checkpoint's atomic publish recovers the old
+    ///    lineage plus the full op suffix; a crash *after* recovers the new
+    ///    lineage — both are exactly an acknowledged state, never a mix of
+    ///    lineages.
+    ///
+    /// Without a WAL the whole protocol runs under the writer lock (there
+    /// is no log to replay from, so writers pause during training; readers
+    /// still never block).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unsupported`] for mapped fleets and engines without rebuild
+    /// support; [`Error::InvalidConfig`] when the fleet is resized or its
+    /// WAL detached while training ran (rerun the rebuild); otherwise
+    /// propagates engine/WAL errors with the fleet rolled back to the old
+    /// lineage. A post-swap checkpoint failure is surfaced as an error with
+    /// the fleet already (consistently) on the new lineage.
+    pub fn rebuild_shared(&self) -> Result<RebuildReport> {
+        // Phase 1: pin the training snapshot and the WAL position under the
+        // writer lock, so the snapshot is exactly the state at `start_lsn`.
+        let mut writer_guard = Some(self.writer.lock().expect("fleet writer lock poisoned"));
+        self.ensure_global()?;
+        let pinned = self.reader();
+        if !pinned.shard(0).index.supports_rebuild() {
+            return Err(Error::unsupported(format!(
+                "{} does not support lifecycle rebuilds",
+                pinned.shard(0).index.name()
+            )));
+        }
+        let durability = self.durability_handle();
+        let start_lsn = durability.as_ref().map(|d| d.wal.last_lsn());
+        if durability.is_some() {
+            // With a log to replay from, training can run unlocked: release
+            // the writer lock so live mutations keep flowing.
+            writer_guard = None;
+        }
+        let plan = self.fault_plan();
+        let drift_before = pinned.shard(0).index.drift_report();
+
+        // Phase 2: train the fresh lineage over the pinned snapshot.
+        let num_shards = pinned.num_shards();
+        let router = self.router;
+        let trained = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<I>> {
+            if let Some(plan) = &plan {
+                plan.inject(0, FaultOp::RebuildTrain)?;
+            }
+            let mut all_live: Vec<u64> = Vec::new();
+            for s in 0..num_shards {
+                all_live.extend(pinned.shard(s).index.ids());
+            }
+            all_live.sort_unstable();
+            let fresh = pinned.shard(0).index.rebuild_for_live(&all_live)?;
+            let mut shadows = Vec::with_capacity(num_shards);
+            for s in 0..num_shards {
+                let owned: Vec<u64> = all_live
+                    .iter()
+                    .copied()
+                    .filter(|&id| router.route(id, num_shards) == s)
+                    .collect();
+                shadows.push(fresh.with_live_ids(&owned)?);
+            }
+            Ok(shadows)
+        }));
+        let mut shadows = trained.unwrap_or_else(|payload| {
+            Err(Error::worker_panicked(format!(
+                "fleet rebuild trainer: {}",
+                parallel::panic_message(&*payload)
+            )))
+        })?;
+        let trained_points = pinned.len();
+
+        // Phase 3: under the writer lock, replay what landed during
+        // training and swap. Guard against the fleet changing shape (or
+        // losing its WAL) while the lock was released.
+        let _writer = writer_guard
+            .take()
+            .unwrap_or_else(|| self.writer.lock().expect("fleet writer lock poisoned"));
+        if self.num_shards() != num_shards {
+            return Err(Error::invalid_config(
+                "fleet was resized while the rebuild trained; rerun the rebuild",
+            ));
+        }
+        match (&durability, &self.durability_handle()) {
+            (None, None) => {}
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => {}
+            _ => {
+                return Err(Error::invalid_config(
+                    "the fleet's WAL changed while the rebuild trained; rerun the rebuild",
+                ))
+            }
+        }
+        let pre_swap: Vec<Arc<ShardState<I>>> = (0..num_shards).map(|s| self.load(s)).collect();
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<u64> {
+            let mut replayed_ops = 0u64;
+            if let (Some(d), Some(start)) = (&durability, start_lsn) {
+                if let Some(plan) = &plan {
+                    plan.inject(0, FaultOp::RebuildReplay)?;
+                }
+                let records = d.wal.read_records_after(start)?;
+                let aborted: Vec<(u64, u64)> = records
+                    .iter()
+                    .filter_map(|(_, r)| match r {
+                        WalRecord::Abort {
+                            from_lsn,
+                            until_lsn,
+                        } => Some((*from_lsn, *until_lsn)),
+                        _ => None,
+                    })
+                    .collect();
+                let is_aborted = |lsn: u64| aborted.iter().any(|&(a, b)| lsn >= a && lsn <= b);
+                for (lsn, record) in &records {
+                    if is_aborted(*lsn) {
+                        continue;
+                    }
+                    match record {
+                        WalRecord::Insert { vector } => {
+                            let mut expect = None;
+                            for (s, shadow) in shadows.iter_mut().enumerate() {
+                                let id = shadow.insert(vector)?;
+                                match expect {
+                                    None => expect = Some(id),
+                                    Some(e) if e != id => {
+                                        return Err(Error::invalid_config(format!(
+                                            "rebuild replay: shadow {s} allocated id {id} \
+                                             where shadow 0 allocated {e}; shadows diverged"
+                                        )));
+                                    }
+                                    _ => {}
+                                }
+                                if router.route(id, num_shards) != s {
+                                    shadow.remove(id)?;
+                                }
+                            }
+                            replayed_ops += 1;
+                        }
+                        WalRecord::Remove { id } => {
+                            // Owner removal; non-owners already hold the id
+                            // as a tombstone, so their remove is a no-op.
+                            for shadow in shadows.iter_mut() {
+                                shadow.remove(*id)?;
+                            }
+                            replayed_ops += 1;
+                        }
+                        // Compaction is bit-invisible and the shadows are
+                        // freshly compacted; markers carry no state.
+                        WalRecord::Compact
+                        | WalRecord::Checkpoint { .. }
+                        | WalRecord::Abort { .. }
+                        | WalRecord::RebuildPublish { .. } => {}
+                    }
+                }
+            }
+            // Swap: per shard, publish the shadow on a bumped epoch.
+            for (s, shadow) in shadows.drain(..).enumerate() {
+                if let Some(plan) = &plan {
+                    plan.inject(s, FaultOp::RebuildSwap)?;
+                }
+                self.publish(
+                    s,
+                    ShardState {
+                        index: shadow,
+                        epoch: pre_swap[s].epoch + 1,
+                        id_map: None,
+                    },
+                );
+                // Replayed ops may have left tails/tombstones.
+                self.topology()[s].dirty.store(true, Ordering::Relaxed);
+            }
+            Ok(replayed_ops)
+        }));
+        let outcome = attempt.unwrap_or_else(|payload| {
+            Err(Error::worker_panicked(format!(
+                "fleet rebuild swap: {}",
+                parallel::panic_message(&*payload)
+            )))
+        });
+        let replayed_ops = match outcome {
+            Ok(n) => n,
+            Err(err) => {
+                // Republish the pinned pre-swap states: a partial swap is
+                // erased and every reader keeps seeing one lineage.
+                for (s, state) in pre_swap.into_iter().enumerate() {
+                    self.publish_arc(s, state);
+                }
+                return Err(err);
+            }
+        };
+
+        // Phase 4: make the new lineage the recovery root. A crash anywhere
+        // before the checkpoint's atomic rename lands recovery on the old
+        // lineage + full suffix replay; after it, on the new lineage.
+        let checkpoint = match &durability {
+            Some(d) => {
+                let report = self.checkpoint_locked(d)?;
+                d.wal.append_unsynced(&WalRecord::RebuildPublish {
+                    covered_lsn: report.covered_lsn,
+                })?;
+                d.wal.sync()?;
+                Some(report)
+            }
+            None => None,
+        };
+        let drift_after = self.load(0).index.drift_report();
+        Ok(RebuildReport {
+            trained_points,
+            replayed_ops,
+            pinned_lsn: start_lsn,
+            drift_before,
+            drift_after,
+            checkpoint,
+        })
+    }
+
+    /// Repartitions the fleet to `new_count` shards by **snapshot surgery**
+    /// under live reads: every global-id replica retains the dense per-id
+    /// assignment and code rows for *all* ids ever allocated (tombstones
+    /// included), so shard 0's replica alone can derive, via
+    /// [`AnnIndex::with_live_ids`], a replica owning any id subset — no
+    /// retraining, no vector I/O. The new shard vector is built off to the
+    /// side and published in **one topology-pointer swap**: a reader
+    /// pinning mid-resize sees the old or the new topology wholesale, and
+    /// because every shard shares the same trained state and allocator, the
+    /// resized fleet's search results stay bit-identical to the monolith's.
+    ///
+    /// With a WAL attached the resize is sealed with a checkpoint, making
+    /// the new topology the recovery root; a crash before that checkpoint
+    /// recovers the old topology with the same acknowledged data (topology
+    /// is configuration — either generation replays the log correctly).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for a count of 0, above [`MAX_SHARDS`], or
+    /// equal to the current count; [`Error::Unsupported`] for mapped fleets
+    /// and engines without rebuild support. On error before the swap the
+    /// fleet is untouched; a post-swap checkpoint failure surfaces with the
+    /// fleet already (consistently) on the new topology.
+    pub fn resize_shards(&self, new_count: usize) -> Result<()> {
+        let _writer = self.writer.lock().expect("fleet writer lock poisoned");
+        self.ensure_global()?;
+        if new_count == 0 {
+            return Err(Error::invalid_config("a fleet needs at least one shard"));
+        }
+        if new_count > MAX_SHARDS {
+            return Err(Error::invalid_config(format!(
+                "at most {MAX_SHARDS} shards are supported"
+            )));
+        }
+        let shards = self.topology();
+        if new_count == shards.len() {
+            return Err(Error::invalid_config(format!(
+                "fleet already has {new_count} shards"
+            )));
+        }
+        let states: Vec<Arc<ShardState<I>>> = shards
+            .iter()
+            .map(|shard| shard.slot.read().expect("shard slot lock poisoned").clone())
+            .collect();
+        if !states[0].index.supports_rebuild() {
+            return Err(Error::unsupported(format!(
+                "{} does not support shard split/merge",
+                states[0].index.name()
+            )));
+        }
+        let plan = self.fault_plan();
+        let router = self.router;
+        // All new states publish past every live epoch, like a restore.
+        let base_epoch = states.iter().map(|s| s.epoch).max().unwrap_or(0) + 1;
+        let mut all_live: Vec<u64> = Vec::new();
+        for state in &states {
+            all_live.extend(state.index.ids());
+        }
+        all_live.sort_unstable();
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Shard<I>>> {
+            let mut new_shards = Vec::with_capacity(new_count);
+            for s in 0..new_count {
+                if let Some(plan) = &plan {
+                    // Counted on the NEW shard index.
+                    plan.inject(s, FaultOp::Split)?;
+                }
+                let owned: Vec<u64> = all_live
+                    .iter()
+                    .copied()
+                    .filter(|&id| router.route(id, new_count) == s)
+                    .collect();
+                let index = states[0].index.with_live_ids(&owned)?;
+                new_shards.push(Shard::new(
+                    ShardState {
+                        index,
+                        epoch: base_epoch,
+                        id_map: None,
+                    },
+                    true,
+                ));
+            }
+            Ok(new_shards)
+        }));
+        // Nothing has been published yet, so an error (or panic) here
+        // leaves the live fleet untouched — no rollback needed.
+        let new_shards = attempt.unwrap_or_else(|payload| {
+            Err(Error::worker_panicked(format!(
+                "fleet resize: {}",
+                parallel::panic_message(&*payload)
+            )))
+        })?;
+        self.set_topology(new_shards);
+        self.reshape_health(new_count);
+        if let Some(d) = self.durability_handle() {
+            // Seal the new topology as the recovery root.
+            self.checkpoint_locked(&d)?;
+        }
+        Ok(())
+    }
+
+    /// Splits the fleet one shard wider (`S` → `S + 1`) under live traffic.
+    /// Returns the new shard count. See [`ShardedIndex::resize_shards`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedIndex::resize_shards`].
+    pub fn split_shard(&self) -> Result<usize> {
+        let new_count = self.num_shards() + 1;
+        self.resize_shards(new_count)?;
+        Ok(new_count)
+    }
+
+    /// Merges the fleet one shard narrower (`S` → `S - 1`) under live
+    /// traffic. Returns the new shard count. See
+    /// [`ShardedIndex::resize_shards`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for a single-shard fleet; see
+    /// [`ShardedIndex::resize_shards`] for the rest.
+    pub fn merge_shards(&self) -> Result<usize> {
+        let current = self.num_shards();
+        if current <= 1 {
+            return Err(Error::invalid_config(
+                "a single-shard fleet cannot merge further",
+            ));
+        }
+        self.resize_shards(current - 1)?;
+        Ok(current - 1)
+    }
+}
+
+/// The outcome of [`ShardedIndex::rebuild_shared`].
+#[derive(Debug, Clone)]
+pub struct RebuildReport {
+    /// Live vectors in the pinned snapshot the fresh lineage trained on.
+    pub trained_points: usize,
+    /// Mutations that landed during training and were replayed into the
+    /// shadows before the swap (always 0 without a WAL — writers were
+    /// paused).
+    pub replayed_ops: u64,
+    /// The WAL position the training snapshot was pinned at (`None`
+    /// without a WAL).
+    pub pinned_lsn: Option<u64>,
+    /// Shard 0's drift report at pin time (the signal that typically
+    /// triggered this rebuild).
+    pub drift_before: Option<DriftReport>,
+    /// Shard 0's drift report after the swap — re-anchored to the fresh
+    /// lineage's training distribution.
+    pub drift_after: Option<DriftReport>,
+    /// The checkpoint that sealed the new lineage (`None` without a WAL).
+    pub checkpoint: Option<CheckpointReport>,
 }
 
 /// Internal constructor used by the persistence decoder.
@@ -1816,6 +2244,200 @@ impl Drop for BackgroundCompactor {
     fn drop(&mut self) {
         let (stop_flag, stop_signal) = &*self.stop;
         *stop_flag.lock().expect("compactor stop lock") = true;
+        stop_signal.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// When a [`Rebuilder`] pulls the trigger on a background re-train.
+///
+/// A rebuild fires when the fleet has absorbed at least `min_inserts`
+/// post-build inserts **and** either drift signal trips: the EWMA residual
+/// ratio (inserts landing far from the trained centroids) or the structural
+/// tail-fill ratio (clusters dominated by append-tail rows the trained
+/// layout never saw). Both signals come from
+/// [`ShardedIndex::drift_report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebuildPolicy {
+    /// Trigger when `drift_ratio` (EWMA insert residual energy over the
+    /// training baseline) reaches this. Default 2.0 — inserts land twice as
+    /// far from their centroids as the training distribution did.
+    pub drift_ratio_threshold: f64,
+    /// Trigger when any cluster's tail-fill fraction reaches this.
+    /// Default 0.5 — half the cluster's rows postdate the trained layout.
+    pub tail_fill_threshold: f64,
+    /// Suppress rebuilds until this many inserts were tracked since the
+    /// last (re)build, so a handful of outliers cannot churn the fleet.
+    /// Default 512.
+    pub min_inserts: u64,
+    /// How often the drift report is polled. Default 5 s.
+    pub interval: Duration,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        Self {
+            drift_ratio_threshold: 2.0,
+            tail_fill_threshold: 0.5,
+            min_inserts: 512,
+            interval: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RebuildPolicy {
+    /// Whether `report` trips this policy.
+    pub fn should_rebuild(&self, report: &DriftReport) -> bool {
+        report.inserts_tracked >= self.min_inserts
+            && (report.drift_ratio >= self.drift_ratio_threshold
+                || report.max_tail_fill >= self.tail_fill_threshold)
+    }
+}
+
+/// A background thread that watches the fleet's drift report and runs
+/// [`ShardedIndex::rebuild_shared`] when a [`RebuildPolicy`] trips —
+/// closing the self-healing loop: distribution shift degrades recall, the
+/// drift signal crosses the policy threshold, and a fresh lineage trained
+/// on the *current* distribution swaps in under live traffic.
+///
+/// Failures do not kill the thread: each one is counted, logged to stderr,
+/// and retried with a capped exponential backoff (up to 32× the poll
+/// interval), exactly like [`BackgroundCompactor`]. Shutdown is
+/// condvar-driven via `Drop` — one lock handoff plus at most one in-flight
+/// rebuild.
+#[derive(Debug)]
+pub struct Rebuilder {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    checks: Arc<AtomicU64>,
+    rebuilds: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+    registry: Arc<Registry>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Rebuilder {
+    /// Spawns the watcher thread, polling every `policy.interval` (clamped
+    /// to at least 100µs).
+    pub fn spawn<I>(fleet: Arc<ShardedIndex<I>>, policy: RebuildPolicy) -> Self
+    where
+        I: AnnIndex + Clone + 'static,
+    {
+        let interval = policy.interval.max(Duration::from_micros(100));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let checks = Arc::new(AtomicU64::new(0));
+        let rebuilds = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
+        let registry = Arc::new(Registry::new());
+        let (stop_pair, check_counter, rebuild_counter, error_counter, metrics) = (
+            stop.clone(),
+            checks.clone(),
+            rebuilds.clone(),
+            errors.clone(),
+            registry.clone(),
+        );
+        let handle = std::thread::spawn(move || {
+            let (stop_flag, stop_signal) = &*stop_pair;
+            let mut consecutive_failures: u32 = 0;
+            loop {
+                let factor = 1u32 << consecutive_failures.min(5);
+                let deadline = Instant::now() + interval.saturating_mul(factor);
+                let mut stopped = stop_flag.lock().expect("rebuilder stop lock");
+                loop {
+                    if *stopped {
+                        return;
+                    }
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    let (guard, _timeout) = stop_signal
+                        .wait_timeout(stopped, remaining)
+                        .expect("rebuilder stop lock");
+                    stopped = guard;
+                }
+                drop(stopped);
+                check_counter.fetch_add(1, Ordering::Relaxed);
+                let Some(report) = fleet.drift_report() else {
+                    // Engine without drift tracking: nothing to watch, but
+                    // keep the thread alive in case a restore changes that.
+                    continue;
+                };
+                // Gauges hold integers; export the ratios in milli-units.
+                metrics
+                    .gauge("lifecycle.drift_ratio_milli")
+                    .set((report.drift_ratio * 1000.0) as i64);
+                metrics
+                    .gauge("lifecycle.max_tail_fill_milli")
+                    .set((report.max_tail_fill * 1000.0) as i64);
+                metrics
+                    .gauge("lifecycle.inserts_tracked")
+                    .set(report.inserts_tracked.min(i64::MAX as u64) as i64);
+                if !policy.should_rebuild(&report) {
+                    consecutive_failures = 0;
+                    continue;
+                }
+                match fleet.rebuild_shared() {
+                    Ok(outcome) => {
+                        consecutive_failures = 0;
+                        rebuild_counter.fetch_add(1, Ordering::Relaxed);
+                        metrics.counter("lifecycle.rebuilds").inc();
+                        metrics
+                            .counter("lifecycle.replayed_ops")
+                            .add(outcome.replayed_ops);
+                        metrics
+                            .counter("lifecycle.trained_points")
+                            .add(outcome.trained_points as u64);
+                    }
+                    Err(err) => {
+                        consecutive_failures = consecutive_failures.saturating_add(1);
+                        error_counter.fetch_add(1, Ordering::Relaxed);
+                        metrics.counter("lifecycle.rebuild_errors").inc();
+                        eprintln!(
+                            "[juno-serve] background rebuild failed \
+                             ({consecutive_failures} consecutive), backing off: {err}"
+                        );
+                    }
+                }
+            }
+        });
+        Self {
+            stop,
+            checks,
+            rebuilds,
+            errors,
+            registry,
+            handle: Some(handle),
+        }
+    }
+
+    /// Number of drift checks performed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed background rebuilds so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Number of failed rebuild attempts so far (the thread survives them).
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot of the `lifecycle.*` metrics (drift gauges,
+    /// rebuild/replay counters).
+    pub fn metrics(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl Drop for Rebuilder {
+    fn drop(&mut self) {
+        let (stop_flag, stop_signal) = &*self.stop;
+        *stop_flag.lock().expect("rebuilder stop lock") = true;
         stop_signal.notify_all();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();

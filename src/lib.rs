@@ -49,7 +49,7 @@ pub mod prelude {
     pub use juno_baseline::flat::FlatIndex;
     pub use juno_baseline::hnsw::{HnswConfig, HnswIndex};
     pub use juno_baseline::ivfpq::{IvfPqConfig, IvfPqIndex};
-    pub use juno_common::index::{AnnIndex, Neighbor, SearchResult};
+    pub use juno_common::index::{AnnIndex, DriftReport, Neighbor, SearchResult};
     pub use juno_common::metric::Metric;
     pub use juno_common::metrics::{HistogramSnapshot, LogHistogram, Registry, RegistrySnapshot};
     pub use juno_common::mmap::{Mmap, ResidencyConfig};
@@ -64,8 +64,8 @@ pub mod prelude {
     pub use juno_serve::{
         BackgroundCompactor, BreakerConfig, BreakerState, CheckpointReport, DegradedBatch,
         DegradedResult, DurabilityConfig, FaultKind, FaultOp, FaultPlan, FaultRule, FleetReader,
-        HealthTracker, RecoveryReport, RetryPolicy, ServeResponse, ServeStats, Server,
-        ServerConfig, ShardRouter, ShardStatus, ShardedIndex,
+        HealthTracker, RebuildPolicy, RebuildReport, Rebuilder, RecoveryReport, RetryPolicy,
+        ServeResponse, ServeStats, Server, ServerConfig, ShardRouter, ShardStatus, ShardedIndex,
     };
 }
 

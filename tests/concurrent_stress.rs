@@ -20,6 +20,12 @@
 //!   (the quiescent replay still matches a monolith), and the fleet returns
 //!   to full coverage once the faults clear. Seeded via `JUNO_CHAOS_SEED`
 //!   (printed, so any failure replays exactly).
+//! * A seeded lifecycle chaos scenario: `rebuild_shared`, `split_shard`
+//!   and `merge_shards` under a [`FaultPlan::chaos_lifecycle`] draw over
+//!   the RebuildTrain / RebuildReplay / RebuildSwap / Split windows,
+//!   asserting every faulted lifecycle op either completes or rolls back
+//!   totally (bit-identical results, topology and id allocator) and the
+//!   whole lifecycle succeeds once the plan disarms.
 
 use juno::common::index::Neighbor;
 use juno::common::rng::{seeded, Rng};
@@ -572,4 +578,188 @@ fn chaos_faults_degrade_gracefully_and_the_fleet_recovers() {
         &mono_results,
         "chaos quiescent replay parity",
     );
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle chaos: rebuild / split / merge under injected faults.
+// ---------------------------------------------------------------------------
+
+/// Seeded chaos over the lifecycle plane: `rebuild_shared`, `split_shard`
+/// and `merge_shards` run under a [`FaultPlan::chaos_lifecycle`] draw plus
+/// pinned rules guaranteeing a failed training phase and a panicking split
+/// in every run. The contract: a lifecycle op either completes (live set
+/// intact, topology as requested) or rolls back totally — the fleet serves
+/// bit-identically to the moment before the op, down to distance bits.
+/// Once the plan disarms, every lifecycle op must succeed quiescently.
+/// Seeded via `JUNO_CHAOS_SEED` (printed, so any failure replays exactly).
+#[test]
+fn lifecycle_chaos_rebuild_and_split_roll_back_totally_or_complete() {
+    juno::common::testing::silence_panics();
+    let seed: u64 = std::env::var("JUNO_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x11FE_5EED);
+    println!("chaos seed: {seed} (set JUNO_CHAOS_SEED={seed} to replay this run)");
+
+    const POINTS: usize = 400;
+    const SHARDS: usize = 3;
+
+    let ds = DatasetProfile::DeepLike
+        .generate(POINTS, 5, seed ^ 0x11FE)
+        .expect("dataset");
+    let pool = DatasetProfile::DeepLike
+        .generate(64, 1, seed ^ 0x900D)
+        .expect("pool")
+        .points;
+    let engine = JunoIndex::build(
+        &ds.points,
+        &JunoConfig {
+            n_clusters: 8,
+            nprobs: 4,
+            pq_entries: 16,
+            ..JunoConfig::small_test(ds.dim(), ds.metric())
+        },
+    )
+    .expect("build");
+    let fleet = Arc::new(
+        ShardedIndex::from_monolith(engine, SHARDS, ShardRouter::Hash { seed: 7 }).expect("fleet"),
+    );
+
+    // A WAL makes the rebuild release the writer lock during training and
+    // exercise the replay phase (and its RebuildReplay inject point).
+    let dir = std::env::temp_dir().join(format!(
+        "juno_lifecycle_chaos_{seed}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    fleet
+        .enable_wal(&dir, juno::serve::DurabilityConfig::default())
+        .expect("enable_wal");
+
+    // Seed-derived lifecycle faults over the *post-split* shard range, plus
+    // two pinned rules so every run sees at least one failed training phase
+    // and one panicking split, whatever the chaos draw produced.
+    let plan = Arc::new(
+        FaultPlan::chaos_lifecycle(seed, SHARDS + 1, Duration::from_millis(3))
+            .with_rule(FaultRule {
+                shard: 0,
+                op: FaultOp::RebuildTrain,
+                from_op: 0,
+                until_op: Some(1),
+                kind: FaultKind::Fail,
+            })
+            .with_rule(FaultRule {
+                shard: (seed % (SHARDS as u64 + 1)) as usize,
+                op: FaultOp::Split,
+                from_op: 0,
+                until_op: Some(1),
+                kind: FaultKind::Panic,
+            }),
+    );
+    fleet.set_fault_plan(Some(plan.clone()));
+
+    let snapshot = |fleet: &ShardedIndex<JunoIndex>| -> Vec<SearchResult> {
+        ds.queries
+            .iter()
+            .map(|q| fleet.search(q, 15).expect("snapshot search"))
+            .collect()
+    };
+    let mut next_pool_row = 0usize;
+    let mut rebuild_failures = 0usize;
+    let mut resize_failures = 0usize;
+    for round in 0..4usize {
+        // A little churn between lifecycle ops so each round's live set is
+        // distinct (ordinary mutations are not lifecycle ops — the plan
+        // leaves them alone).
+        for _ in 0..4 {
+            fleet
+                .insert_shared(pool.row(next_pool_row))
+                .expect("insert");
+            next_pool_row += 1;
+        }
+        fleet.remove_shared((round * 7) as u64).expect("remove");
+
+        let before = snapshot(&fleet);
+        let (shards_before, len_before) = (fleet.num_shards(), fleet.len());
+        match fleet.rebuild_shared() {
+            Ok(report) => {
+                // A completed rebuild keeps the live world; only the trained
+                // representation changed.
+                assert_eq!(
+                    fleet.num_shards(),
+                    shards_before,
+                    "round {round} rebuild shards"
+                );
+                assert_eq!(fleet.len(), len_before, "round {round} rebuild live count");
+                assert!(report.trained_points > 0, "round {round} trained nothing");
+            }
+            Err(err) => {
+                // A failed rebuild must leave no trace at all.
+                rebuild_failures += 1;
+                assert_eq!(fleet.num_shards(), shards_before);
+                assert_eq!(fleet.len(), len_before, "round {round} rollback live count");
+                assert_bitwise_equal(
+                    &before,
+                    &snapshot(&fleet),
+                    &format!("round {round} rebuild rollback ({err})"),
+                );
+            }
+        }
+
+        let before = snapshot(&fleet);
+        let (shards_before, len_before) = (fleet.num_shards(), fleet.len());
+        let resize = if round % 2 == 0 {
+            fleet.split_shard()
+        } else {
+            fleet.merge_shards()
+        };
+        match resize {
+            Ok(now) => {
+                let expected = if round % 2 == 0 {
+                    shards_before + 1
+                } else {
+                    shards_before - 1
+                };
+                assert_eq!(now, expected, "round {round} resize count");
+                assert_eq!(fleet.num_shards(), expected);
+                assert_eq!(fleet.len(), len_before, "round {round} resize live count");
+                // Split/merge is pure snapshot surgery: results stay
+                // bit-identical across the topology change.
+                assert_bitwise_equal(
+                    &before,
+                    &snapshot(&fleet),
+                    &format!("round {round} resize parity"),
+                );
+            }
+            Err(err) => {
+                resize_failures += 1;
+                assert_eq!(fleet.num_shards(), shards_before);
+                assert_eq!(fleet.len(), len_before);
+                assert_bitwise_equal(
+                    &before,
+                    &snapshot(&fleet),
+                    &format!("round {round} resize rollback ({err})"),
+                );
+            }
+        }
+    }
+    assert!(
+        rebuild_failures > 0 && resize_failures > 0,
+        "the pinned lifecycle faults never fired — the chaos run was degenerate \
+         (rebuild failures: {rebuild_failures}, resize failures: {resize_failures})"
+    );
+
+    // Faults clear: the whole lifecycle must work quiescently, ending back
+    // at the original topology.
+    plan.disarm();
+    let report = fleet.rebuild_shared().expect("quiescent rebuild");
+    assert!(report.trained_points > 0);
+    let widened = fleet.split_shard().expect("quiescent split");
+    assert_eq!(fleet.num_shards(), widened);
+    let narrowed = fleet.merge_shards().expect("quiescent merge");
+    assert_eq!(widened - 1, narrowed);
+    let final_results = snapshot(&fleet);
+    assert!(final_results.iter().all(|r| !r.neighbors.is_empty()));
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -240,3 +240,187 @@ fn mutation_capabilities_are_reported_consistently() {
     ));
     assert!(juno.supports_mutation() && juno.supports_snapshot());
 }
+
+// ---------------------------------------------------------------------------
+// Index lifecycle: drift degrades recall, background refresh repairs it.
+// ---------------------------------------------------------------------------
+
+/// The self-healing lifecycle contract: a sustained distribution shift plus
+/// 50 % churn pushes recall on the *new* distribution below the fresh-build
+/// floor; the drift detector trips the default [`RebuildPolicy`]; a
+/// background refresh — driven by the actual [`Rebuilder`] thread — swaps
+/// in a lineage retrained on the current distribution, recovering recall
+/// to within one recall quantum of a from-scratch rebuild. A reader pinned
+/// *before* the refresh keeps serving its old epoch bit-identically
+/// throughout: the repair never blocks or perturbs in-flight readers.
+#[test]
+fn drift_churn_degrades_recall_and_background_refresh_repairs_it() {
+    use juno::serve::{RebuildPolicy, Rebuilder, ShardRouter, ShardedIndex};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const N: usize = 1_500;
+    const SHIFT: f32 = 2.5;
+    const DRIFT_QUERIES: usize = 20;
+
+    let base = DatasetProfile::DeepLike
+        .generate(N, 1, 0xD21F)
+        .expect("base");
+    let shifted = DatasetProfile::DeepLike
+        .generate(N, DRIFT_QUERIES, 0xD21F ^ 0xFFFF)
+        .expect("shifted");
+    let shift_rows = |vs: &VectorSet| -> VectorSet {
+        VectorSet::from_rows(
+            vs.iter()
+                .map(|row| row.iter().map(|&x| x * 0.25 + SHIFT).collect())
+                .collect(),
+        )
+        .expect("shifted rows")
+    };
+    // The new regime: every coordinate compressed and offset, so the new
+    // mass sits in a tight region far from the trained centroids where the
+    // stale PQ codebooks have almost no resolution.
+    let inserts = shift_rows(&shifted.points);
+    let queries = shift_rows(&shifted.queries);
+
+    let config = JunoConfig {
+        n_clusters: 32,
+        nprobs: 8,
+        pq_entries: 32,
+        ..JunoConfig::small_test(base.dim(), base.metric())
+    }
+    // Retain raw vectors so the refresh retrains on exact originals (the
+    // contract under test is recall parity with a from-scratch build).
+    .with_retained_vectors(true);
+    let engine = JunoIndex::build(&base.points, &config).expect("build");
+    let fleet = Arc::new(
+        ShardedIndex::from_monolith(engine, 3, ShardRouter::Hash { seed: 9 }).expect("fleet"),
+    );
+
+    // Churn: every even base id leaves, the whole shifted set arrives.
+    for id in (0..N as u64).step_by(2) {
+        assert!(fleet.remove_shared(id).expect("remove"));
+    }
+    let new_ids = fleet.insert_batch_shared(&inserts).expect("insert shifted");
+
+    // The live world, in ascending-id order (odd base survivors, then the
+    // sequentially allocated shifted ids): ground truth and the
+    // from-scratch reference both come from it.
+    let mut live_ids: Vec<u64> = (1..N as u64).step_by(2).collect();
+    live_ids.extend(&new_ids);
+    let mut rows: Vec<Vec<f32>> = (1..N)
+        .step_by(2)
+        .map(|i| base.points.row(i).to_vec())
+        .collect();
+    rows.extend(inserts.iter().map(|r| r.to_vec()));
+    let live_vecs = VectorSet::from_rows(rows).expect("live rows");
+    let flat = FlatIndex::new(live_vecs.clone(), base.metric()).expect("flat");
+    let gt: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| {
+            flat.search(q, GT_K)
+                .expect("gt search")
+                .ids()
+                .into_iter()
+                .map(|i| live_ids[i as usize])
+                .collect()
+        })
+        .collect();
+    let recall_vs_live = |index: &dyn AnnIndex, translate: &dyn Fn(u64) -> u64| -> f64 {
+        let mut hits = 0usize;
+        for (qi, q) in queries.iter().enumerate() {
+            let got: Vec<u64> = index
+                .search(q, RETRIEVE_K)
+                .expect("search")
+                .ids()
+                .into_iter()
+                .map(translate)
+                .collect();
+            hits += gt[qi].iter().filter(|id| got.contains(id)).count();
+        }
+        hits as f64 / (queries.len() * GT_K) as f64
+    };
+
+    let scratch = JunoIndex::build(&live_vecs, &config).expect("scratch build");
+    let scratch_recall = recall_vs_live(&scratch, &|id| live_ids[id as usize]);
+    let drifted_recall = recall_vs_live(&*fleet, &|id| id);
+    println!(
+        "lifecycle recall@{GT_K}@{RETRIEVE_K}: drifted = {drifted_recall:.4}, \
+         from-scratch = {scratch_recall:.4}"
+    );
+    assert!(
+        drifted_recall < scratch_recall - 0.05,
+        "the shift must degrade recall for this test to bite: \
+         drifted {drifted_recall:.4} vs scratch {scratch_recall:.4}"
+    );
+
+    // The detector sees it, and the default policy pulls the trigger.
+    let report = fleet.drift_report().expect("juno tracks drift");
+    let policy = RebuildPolicy {
+        interval: Duration::from_millis(5),
+        ..RebuildPolicy::default()
+    };
+    assert!(
+        policy.should_rebuild(&report),
+        "drift report {report:?} must trip the default policy"
+    );
+
+    // Pin a reader before the refresh; it must be unaffected by the swap.
+    let pinned = fleet.reader();
+    let pinned_epochs = pinned.epochs();
+    let before = pinned.search(queries.row(0), 10).expect("pinned search");
+
+    // The background refresh: the real Rebuilder thread notices the drift
+    // and runs the shadow-rebuild protocol while we wait.
+    let rebuilder = Rebuilder::spawn(fleet.clone(), policy);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while rebuilder.rebuilds() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "background refresh never fired (errors: {})",
+            rebuilder.errors()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(rebuilder.errors(), 0, "refresh must succeed");
+    let metrics = rebuilder.metrics();
+    assert!(metrics.counter("lifecycle.rebuilds") >= 1);
+    drop(rebuilder);
+
+    // Recall is repaired to the from-scratch level (identical training
+    // inputs in identical order => one quantum of slack is generosity).
+    let refreshed_recall = recall_vs_live(&*fleet, &|id| id);
+    let quantum = 1.0 / (DRIFT_QUERIES * GT_K) as f64;
+    println!("lifecycle recall@{GT_K}@{RETRIEVE_K}: refreshed = {refreshed_recall:.4}");
+    assert!(
+        refreshed_recall >= scratch_recall - quantum,
+        "refresh must recover to the from-scratch floor: \
+         {refreshed_recall:.4} vs {scratch_recall:.4}"
+    );
+
+    // The pre-refresh reader stayed live on its pinned epochs, serving the
+    // old lineage bit-identically.
+    assert_eq!(pinned.epochs(), pinned_epochs, "pinned epochs stable");
+    let after = pinned.search(queries.row(0), 10).expect("pinned re-search");
+    assert_eq!(before.ids(), after.ids(), "pinned reader isolation");
+    for (b, a) in before.neighbors.iter().zip(&after.neighbors) {
+        assert_eq!(b.distance.to_bits(), a.distance.to_bits());
+    }
+    assert!(
+        fleet
+            .reader()
+            .epochs()
+            .iter()
+            .zip(&pinned_epochs)
+            .all(|(now, old)| now > old),
+        "the refresh published new epochs on every shard"
+    );
+
+    // And the drift signal is re-anchored: the fresh lineage treats the
+    // shifted distribution as its baseline.
+    let after_report = fleet.drift_report().expect("drift after refresh");
+    assert!(
+        !policy.should_rebuild(&after_report),
+        "refresh must reset the trigger, got {after_report:?}"
+    );
+}

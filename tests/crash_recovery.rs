@@ -17,6 +17,20 @@
 //!   truncates at every byte offset, emulating a power loss that tore the
 //!   final (unsynced) batch.
 //!
+//! The lifecycle scenarios kill the index **rebuild / shard-resize**
+//! protocols instead of a mutation:
+//!
+//! * `rebuild_swap` — mid-swap: some shards already publish the fresh
+//!   lineage, the sealing checkpoint never runs. Recovery must land on the
+//!   **old** lineage plus the full op suffix — never a hybrid.
+//! * `rebuild_ckpt` — inside the rebuild's sealing checkpoint: the new
+//!   lineage's snapshot is durable, its Checkpoint record is not. Recovery
+//!   must land on the **new** lineage.
+//! * `split`        — mid shard-split: shadow construction dies before the
+//!   single topology swap. Recovery keeps the old topology.
+//! * `split_ckpt`   — inside the split's sealing checkpoint: the new
+//!   topology's snapshot is durable. Recovery restores the new topology.
+//!
 //! The child prints `acked <i>` after every acknowledged op, so the parent
 //! knows the exact surviving prefix. It rebuilds that prefix quiescently on
 //! a reference fleet (no WAL, no crash) and asserts the recovered fleet is
@@ -85,6 +99,12 @@ enum PlanOp {
     /// `ShardedIndex::checkpoint` on the durable fleet; a no-op on the
     /// reference (checkpoints never change logical state).
     Checkpoint,
+    /// `ShardedIndex::rebuild_shared`: retrain + shadow swap. Deterministic
+    /// in the acked op prefix (seeded k-means over the live set), so parent
+    /// and child converge on the same fresh lineage bit-for-bit.
+    Rebuild,
+    /// `ShardedIndex::split_shard`: snapshot surgery to `SHARDS + 1`.
+    Split,
 }
 
 fn op_plan(scenario: &str, seed: u64) -> Vec<PlanOp> {
@@ -142,23 +162,69 @@ fn apply_op(fleet: &ShardedIndex<JunoIndex>, pool: &VectorSet, op: &PlanOp, dura
                 fleet.checkpoint().expect("checkpoint");
             }
         }
+        PlanOp::Rebuild => {
+            fleet.rebuild_shared().expect("rebuild");
+        }
+        PlanOp::Split => {
+            fleet.split_shard().expect("split");
+        }
     }
+}
+
+/// The lifecycle plans: a seeded mutation prefix, then the lifecycle op the
+/// crash fires inside, then one insert the child must never reach.
+fn lifecycle_plan(scenario: &str, seed: u64) -> Vec<PlanOp> {
+    let mut rng = seeded(seed ^ 0x11FE);
+    let mut next_row = 0usize;
+    let mut ops = Vec::new();
+    for _ in 0..12 {
+        match rng.gen_range(0..8usize) {
+            0..=5 => {
+                ops.push(PlanOp::Insert(next_row));
+                next_row += 1;
+            }
+            6 => ops.push(PlanOp::Remove(rng.gen_range(0..BASE_POINTS as u64))),
+            _ => ops.push(PlanOp::Compact),
+        }
+    }
+    ops.push(match scenario {
+        "rebuild_swap" | "rebuild_ckpt" => PlanOp::Rebuild,
+        _ => PlanOp::Split,
+    });
+    ops.push(PlanOp::Insert(next_row));
+    ops
+}
+
+fn is_lifecycle(scenario: &str) -> bool {
+    matches!(
+        scenario,
+        "rebuild_swap" | "rebuild_ckpt" | "split" | "split_ckpt"
+    )
 }
 
 /// The kill switch: a single `Crash` rule at the scenario's kill point.
 /// Fleet-level ops (`WalAppend`, `Checkpoint`, `Rotate`) count on shard 0;
 /// `Publish` is genuinely per-shard, so shard 0's publishes are the clock.
 fn crash_rule(scenario: &str, seed: u64) -> FaultRule {
-    let (op, from_op) = match scenario {
-        "wal_append" => (FaultOp::WalAppend, seed % 8),
-        "publish" => (FaultOp::Publish, seed % 3),
-        "checkpoint" => (FaultOp::Checkpoint, 0),
-        "rotate" => (FaultOp::Rotate, 0),
-        "torn" => (FaultOp::WalAppend, 10),
+    let (shard, op, from_op) = match scenario {
+        "wal_append" => (0, FaultOp::WalAppend, seed % 8),
+        "publish" => (0, FaultOp::Publish, seed % 3),
+        "checkpoint" => (0, FaultOp::Checkpoint, 0),
+        "rotate" => (0, FaultOp::Rotate, 0),
+        "torn" => (0, FaultOp::WalAppend, 10),
+        // Per-shard swap clock: the seed picks which shard's swap dies, so
+        // the sweep covers "no shard swapped" through "all but one did".
+        "rebuild_swap" => (seed as usize % SHARDS, FaultOp::RebuildSwap, 0),
+        // The lifecycle plans contain no Checkpoint op, so the first
+        // injected Checkpoint is the protocol's own sealing checkpoint
+        // (enable_wal's baseline runs before the plan is armed).
+        "rebuild_ckpt" | "split_ckpt" => (0, FaultOp::Checkpoint, 0),
+        // Split counts on the NEW shard index (0..SHARDS inclusive).
+        "split" => (seed as usize % (SHARDS + 1), FaultOp::Split, 0),
         other => panic!("unknown crash scenario {other}"),
     };
     FaultRule {
-        shard: 0,
+        shard,
         op,
         from_op,
         until_op: None,
@@ -187,9 +253,21 @@ fn crash_child_entry() {
     fleet
         .enable_wal(&dir, DurabilityConfig::default())
         .expect("enable_wal");
-    let plan = Arc::new(FaultPlan::new(SHARDS).with_rule(crash_rule(&scenario, seed)));
+    // Split injects on the new (wider) shard range, so its plan must cover
+    // one extra shard to arm a rule there.
+    let plan_shards = if scenario.starts_with("split") {
+        SHARDS + 1
+    } else {
+        SHARDS
+    };
+    let plan = Arc::new(FaultPlan::new(plan_shards).with_rule(crash_rule(&scenario, seed)));
     fleet.set_fault_plan(Some(plan));
-    for (i, op) in op_plan(&scenario, seed).iter().enumerate() {
+    let ops = if is_lifecycle(&scenario) {
+        lifecycle_plan(&scenario, seed)
+    } else {
+        op_plan(&scenario, seed)
+    };
+    for (i, op) in ops.iter().enumerate() {
         apply_op(&fleet, &pool, op, true);
         println!("acked {i}");
     }
@@ -374,6 +452,102 @@ fn crash_mid_checkpoint_recovers_bit_identically() {
 fn crash_mid_rotation_recovers_bit_identically() {
     for seed in crash_seeds() {
         run_crash_scenario("rotate", seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle kill points: rebuild swap / sealing checkpoint, shard split.
+// ---------------------------------------------------------------------------
+
+/// Kills the child inside a lifecycle protocol and asserts recovery lands
+/// bit-identically on exactly one of the two acknowledged states: the
+/// pre-lifecycle fleet plus the full op suffix (crash before the sealing
+/// checkpoint's atomic publish) or the post-lifecycle fleet (crash after).
+/// The lifecycle ops are deterministic in the acked prefix, so the parent
+/// reproduces the post- state quiescently without a WAL.
+fn run_lifecycle_crash_scenario(scenario: &str, seed: u64) {
+    eprintln!(
+        "crash-recovery scenario {scenario} seed {seed:#x} \
+         (replay: JUNO_CRASH_SEED={seed})"
+    );
+    let dir = scratch_dir(scenario, seed);
+    let last_acked = spawn_child_to_death(scenario, seed, &dir);
+
+    let (reference, ds, pool) = build_world(seed);
+    let proto_engine = reference.reader().shard(0).index().clone();
+    let plan = lifecycle_plan(scenario, seed);
+    let lifecycle_at = plan.len() - 2;
+    let acked_end = last_acked.map_or(0, |i| i + 1);
+    assert_eq!(
+        acked_end, lifecycle_at,
+        "{scenario}/{seed:#x}: crash fired outside the lifecycle op"
+    );
+    for op in &plan[..acked_end] {
+        apply_op(&reference, &pool, op, false);
+    }
+    // The `_ckpt` scenarios die after the new state's snapshot published
+    // atomically, so recovery must land post-lifecycle; the others die
+    // before anything durable changed, so recovery must land pre-.
+    let lands_post = matches!(scenario, "rebuild_ckpt" | "split_ckpt");
+    if lands_post {
+        apply_op(&reference, &pool, &plan[lifecycle_at], false);
+    }
+
+    let (recovered, report) =
+        ShardedIndex::recover_from_dir(proto_engine, &dir, DurabilityConfig::default())
+            .expect("lifecycle recovery");
+    let want_shards = if scenario == "split_ckpt" {
+        SHARDS + 1
+    } else {
+        SHARDS
+    };
+    assert_eq!(
+        recovered.num_shards(),
+        want_shards,
+        "{scenario}/{seed:#x}: recovered topology"
+    );
+    if lands_post {
+        assert_eq!(
+            report.replayed_ops, 0,
+            "{scenario}/{seed:#x}: the sealing checkpoint covered every op"
+        );
+    }
+    assert_recovered_equivalent(
+        &recovered,
+        &reference,
+        &ds,
+        true,
+        &format!("{scenario}/{seed:#x}"),
+    );
+    recovered.checkpoint().expect("post-recovery checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_rebuild_swap_recovers_the_old_lineage_never_hybrid() {
+    for seed in crash_seeds() {
+        run_lifecycle_crash_scenario("rebuild_swap", seed);
+    }
+}
+
+#[test]
+fn crash_in_rebuild_sealing_checkpoint_recovers_the_new_lineage() {
+    for seed in crash_seeds() {
+        run_lifecycle_crash_scenario("rebuild_ckpt", seed);
+    }
+}
+
+#[test]
+fn crash_mid_split_keeps_the_old_topology() {
+    for seed in crash_seeds() {
+        run_lifecycle_crash_scenario("split", seed);
+    }
+}
+
+#[test]
+fn crash_in_split_sealing_checkpoint_recovers_the_new_topology() {
+    for seed in crash_seeds() {
+        run_lifecycle_crash_scenario("split_ckpt", seed);
     }
 }
 

@@ -135,7 +135,7 @@ fn open_loop_load_generation_is_seeded_and_deterministic() {
 #[test]
 fn stalled_shard_keeps_the_deadline_and_coverage_recovers_after_disarm() {
     const K: usize = 5;
-    let (ds, mut fleet_raw) = build_fleet(1_500, 6, 7_001);
+    let (ds, fleet_raw) = build_fleet(1_500, 6, 7_001);
     fleet_raw.configure_health(
         BreakerConfig {
             failure_threshold: 2,

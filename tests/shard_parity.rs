@@ -362,3 +362,88 @@ fn mapped_fleets_of_approximate_engines_hold_their_recall_floors() {
         Err(juno::common::Error::Unsupported(_))
     ));
 }
+
+/// Shard split and merge under a mutating fleet preserve the bit-identical
+/// merge contract: the post-split (and post-merge) fleet returns the same
+/// ids and distance bits as a monolith mutated identically, id allocation
+/// stays in lockstep across topology changes, and the shard count actually
+/// transitions. Split/merge is pure snapshot surgery over the shared
+/// trained state — no retraining, so exactness is a hard contract, not a
+/// recall floor.
+#[test]
+fn juno_split_and_merge_preserve_bit_identical_parity_with_the_monolith() {
+    let ds = DatasetProfile::DeepLike
+        .generate(1_500, 8, 412)
+        .expect("ds");
+    let extra = DatasetProfile::DeepLike
+        .generate(200, 1, 412 ^ 0xFFFF)
+        .expect("extra");
+    let mut monolith = build_juno(&ds);
+    let fleet = ShardedIndex::from_monolith(monolith.clone(), 3, ShardRouter::Hash { seed: 33 })
+        .expect("fleet");
+
+    let mut rng = seeded(0x5917);
+    let mut inserted = 0usize;
+    let mut mutate = |fleet: &ShardedIndex<JunoIndex>, monolith: &mut JunoIndex, ops: usize| {
+        for _ in 0..ops {
+            if rng.gen_range(0..2usize) == 0 && inserted < extra.points.len() {
+                let v = extra.points.row(inserted);
+                inserted += 1;
+                let fleet_id = fleet.insert_shared(v).expect("fleet insert");
+                let mono_id = monolith.insert(v).expect("mono insert");
+                assert_eq!(fleet_id, mono_id, "id allocation lockstep");
+            } else {
+                let id = rng.gen_range(0..(ds.points.len() + inserted)) as u64;
+                assert_eq!(
+                    fleet.remove_shared(id).expect("fleet remove"),
+                    monolith.remove(id).expect("mono remove"),
+                    "remove({id})"
+                );
+            }
+        }
+    };
+
+    // Mutate, then split twice under the live fleet: 3 -> 4 -> 5 shards.
+    mutate(&fleet, &mut monolith, 40);
+    for expected in [4usize, 5] {
+        assert_eq!(fleet.split_shard().expect("split"), expected);
+        assert_eq!(fleet.num_shards(), expected);
+        assert_eq!(fleet.len(), monolith.len(), "S={expected} live count");
+        assert_same_results(
+            &search_all(&monolith, &ds.queries, 25),
+            &search_all(&fleet, &ds.queries, 25),
+            &format!("post-split S={expected}"),
+        );
+        mutate(&fleet, &mut monolith, 20);
+    }
+
+    // Merge all the way back down to a single shard, mutating throughout.
+    for expected in [4usize, 3, 2, 1] {
+        assert_eq!(fleet.merge_shards().expect("merge"), expected);
+        assert_eq!(fleet.num_shards(), expected);
+        mutate(&fleet, &mut monolith, 10);
+        assert_same_results(
+            &search_all(&monolith, &ds.queries, 25),
+            &search_all(&fleet, &ds.queries, 25),
+            &format!("post-merge S={expected}"),
+        );
+    }
+    assert!(
+        fleet.merge_shards().is_err(),
+        "cannot merge below one shard"
+    );
+
+    // Allocator probe: the next insert allocates the same id on both sides
+    // even after six topology changes.
+    let probe = extra.points.row(extra.points.len() - 1);
+    assert_eq!(
+        fleet.insert_shared(probe).expect("fleet probe"),
+        monolith.insert(probe).expect("mono probe"),
+        "allocator survives split/merge"
+    );
+    assert_same_results(
+        &search_all(&monolith, &ds.queries, 25),
+        &search_all(&fleet, &ds.queries, 25),
+        "final parity",
+    );
+}
